@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one table or figure of the paper; the measured
+rows/series are printed (run with ``-s`` to see them) and the headline
+operation of each experiment is timed through pytest-benchmark.
+"""
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure block, clearly delimited."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+@pytest.fixture
+def report():
+    """The emit helper as a fixture."""
+    return emit

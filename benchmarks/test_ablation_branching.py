@@ -1,0 +1,129 @@
+"""Ablation A1 — branching factor and node-width choices (Section III-A).
+
+The paper chose 3 levels of 16-bit nodes for 12-bit tags and equal node
+widths across levels.  This bench quantifies the alternatives:
+
+* the (levels, literal_bits) factorization sweep of the 12-bit space:
+  storage (eqs. (2)/(3)) versus search depth versus node-match delay —
+  showing why 3x4 sits at the knee;
+* equal- vs mixed-width trees: "the total search time will be most
+  affected by the search time needed for the widest node";
+* the matching-circuit choice inside the full circuit (select &
+  look-ahead vs ripple) — cost per node search at each level width.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, render_series
+from repro.core.matching import ALL_MATCHERS, SelectLookaheadMatcher
+from repro.core.sizing import (
+    mixed_width_tree_bits,
+    sweep_configurations,
+    worst_case_node_searches,
+)
+from repro.core.tree import MultiBitTree
+from repro.core.words import WordFormat
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return sweep_configurations(12)
+
+
+def test_regenerate_branching_sweep(shapes, report, benchmark):
+    lines = [
+        "ABLATION A1 (measured) — 12-bit tag-space factorizations",
+        f"  {'levels x bits':>14} {'tree bits':>10} {'searches':>9} "
+        f"{'match delay':>12} {'total delay':>12}",
+    ]
+    for budget in shapes:
+        fmt = budget.fmt
+        match_delay = SelectLookaheadMatcher(
+            max(2, fmt.branching_factor)
+        ).delay()
+        total = match_delay * fmt.levels
+        lines.append(
+            f"  {fmt.levels:>7} x {fmt.literal_bits:<4} "
+            f"{budget.total_bits:>10} {fmt.levels:>9} "
+            f"{match_delay:>12.1f} {total:>12.1f}"
+        )
+    report("\n".join(lines))
+    benchmark(lambda: sweep_configurations(12))
+
+
+def test_paper_shape_is_at_the_knee(shapes, benchmark):
+    """3 levels x 4 bits: close to the flat bitmap's storage minimum,
+    one third of the binary tree's depth, still single-word nodes."""
+    by_shape = {(b.fmt.levels, b.fmt.literal_bits): b for b in shapes}
+    paper = by_shape[(3, 4)]
+    binary = by_shape[(12, 1)]
+    flat = by_shape[(1, 12)]
+    assert paper.total_bits < binary.total_bits  # less memory than binary
+    assert paper.total_bits < 1.1 * flat.total_bits  # near the flat minimum
+    assert worst_case_node_searches(3) == 3  # vs 12 for binary
+    # The flat shape would need a 4096-bit node — a single match over it
+    # is slower than three 16-bit matches.
+    flat_delay = SelectLookaheadMatcher(4096).delay()
+    paper_delay = 3 * SelectLookaheadMatcher(16).delay()
+    assert paper_delay < flat_delay
+    benchmark(lambda: worst_case_node_searches(3))
+
+
+def test_equal_widths_beat_mixed_widths(report, benchmark):
+    """Section III-A: 'the total search time will be most affected by
+    the search time needed for the widest node.  If all nodes are equal
+    width, all will execute in equal time.'"""
+    equal = [16, 16, 16]
+    mixed_options = ([8, 32, 16], [4, 32, 32], [32, 16, 8])
+    equal_stage = SelectLookaheadMatcher(16).delay()
+    lines = [
+        "ABLATION A1b (measured) — equal vs mixed node widths",
+        f"  {'widths':>14} {'bits':>8} {'slowest stage':>14}",
+        f"  {'16/16/16':>14} {mixed_width_tree_bits(equal):>8} "
+        f"{equal_stage:>14.1f}",
+    ]
+    for widths in mixed_options:
+        slowest = max(SelectLookaheadMatcher(w).delay() for w in widths)
+        lines.append(
+            f"  {'/'.join(map(str, widths)):>14} "
+            f"{mixed_width_tree_bits(widths):>8} {slowest:>14.1f}"
+        )
+        # Any mixed shape containing a node wider than 16 bits has a
+        # slower pipeline stage than the equal-width tree.
+        if max(widths) > 16:
+            assert slowest > equal_stage
+    report("\n".join(lines))
+    benchmark(lambda: mixed_width_tree_bits([8, 32, 16]))
+
+
+def test_matcher_ablation_in_full_tree(report, benchmark):
+    """Swap the matching circuit inside the tree: results identical,
+    modeled node-search delay differs by the Fig. 7 ratios."""
+    import random
+
+    rng = random.Random(5)
+    values = [rng.randrange(4096) for _ in range(200)]
+    reference_results = None
+    lines = [
+        "ABLATION A1c (measured) — matcher choice inside the tree",
+        f"  {'matcher':<18} {'delay/node':>10} {'results':>9}",
+    ]
+    for name, cls in sorted(ALL_MATCHERS.items()):
+        tree = MultiBitTree(
+            WordFormat(levels=3, literal_bits=4), matcher_factory=cls
+        )
+        for value in values:
+            tree.insert_marker(value)
+        results = [tree.closest_at_most(k) for k in range(0, 4096, 131)]
+        if reference_results is None:
+            reference_results = results
+        assert results == reference_results, name
+        lines.append(
+            f"  {name:<18} {cls(16).delay():>10.1f} {'same':>9}"
+        )
+    report("\n".join(lines))
+
+    tree = MultiBitTree(WordFormat(levels=3, literal_bits=4))
+    for value in values:
+        tree.insert_marker(value)
+    benchmark(lambda: [tree.closest_at_most(k) for k in range(0, 4096, 131)])

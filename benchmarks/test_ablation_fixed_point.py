@@ -1,0 +1,108 @@
+"""Ablation A3 — fixed-point precision of the WFQ tag computation.
+
+The Fig. 1 tag-computation block (ref. [8]) works in fixed point; its
+precision sets how faithfully hardware tags track exact eq.-(1) values
+and how often finishing tags collide (the Section III-C duplicates the
+sort circuit must absorb).  This bench sweeps the fractional bit width:
+
+* worst tag error vs the exact computation shrinks ~2x per extra bit
+  (reciprocal-weight quantization dominates);
+* exact-collision (duplicate) counts for synchronized equal-weight CBR
+  sources at each precision;
+* the cycle-accurate pipeline keeps its 4-cycle throughput regardless
+  (timing is precision-independent — the datapath is one multiply).
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelinedSortRetrieve, STAGE_CYCLES
+from repro.core.words import PAPER_FORMAT
+from repro.sched.tag_computation import FixedPointVirtualClock
+
+FRAC_BITS = (2, 4, 8, 12)
+
+
+def run_mix(frac_bits, packets=1200, seed=11):
+    rng = random.Random(seed)
+    clock = FixedPointVirtualClock(
+        rate_bps=1e6, frac_bits=frac_bits, track_error=True
+    )
+    for flow, weight in enumerate((0.4, 0.3, 0.2, 0.1)):
+        clock.register(flow, weight)
+    t = 0.0
+    for _ in range(packets):
+        t += rng.expovariate(3000.0)
+        clock.on_arrival(rng.randrange(4), rng.choice([64, 576, 1500]) * 8, t)
+    return clock
+
+
+def run_cbr_collisions(frac_bits, steps=200):
+    clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=frac_bits)
+    clock.register(1, 0.5)
+    clock.register(2, 0.5)
+    for step in range(steps):
+        t = step * 1e-3
+        clock.on_arrival(1, 640, t)
+        clock.on_arrival(2, 640, t)
+    return clock.duplicate_tags
+
+
+@pytest.fixture(scope="module")
+def precision_sweep():
+    return {
+        bits: {
+            "error_real": run_mix(bits).max_error_units() / (1 << bits),
+            "cbr_duplicates": run_cbr_collisions(bits),
+        }
+        for bits in FRAC_BITS
+    }
+
+
+def test_regenerate_precision_sweep(precision_sweep, report, benchmark):
+    lines = [
+        "ABLATION A3 (measured) — fixed-point tag computation precision",
+        f"  {'frac bits':>9} {'max error (virt units)':>23} "
+        f"{'CBR duplicates':>15}",
+    ]
+    for bits, row in precision_sweep.items():
+        lines.append(
+            f"  {bits:>9} {row['error_real']:>23.1f} "
+            f"{row['cbr_duplicates']:>15}"
+        )
+    report("\n".join(lines))
+    benchmark(lambda: run_mix(4, packets=200))
+
+
+def test_error_halves_per_bit_class(precision_sweep, benchmark):
+    errors = [precision_sweep[bits]["error_real"] for bits in FRAC_BITS]
+    assert errors == sorted(errors, reverse=True)
+    # Over the 10-bit span the error must fall by >2 orders of magnitude.
+    assert errors[0] > 100 * errors[-1]
+    benchmark(lambda: None)
+
+
+def test_duplicates_exist_at_every_precision(precision_sweep, benchmark):
+    """Synchronized equal-weight sources collide exactly no matter how
+    many fractional bits are carried — duplicates are structural, which
+    is why the translation table must track the newest (Fig. 11)."""
+    for bits, row in precision_sweep.items():
+        assert row["cbr_duplicates"] > 0, bits
+    benchmark(lambda: run_cbr_collisions(8, steps=50))
+
+
+def test_pipeline_timing_is_precision_independent(benchmark):
+    pipeline = PipelinedSortRetrieve(PAPER_FORMAT, capacity=512)
+    clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=8)
+    clock.register(1, 0.5)
+    t = 0.0
+    for step in range(120):
+        t += 1e-3
+        tags = clock.on_arrival(1, 640, t)
+        pipeline.submit_insert(tags.finish_units % 4096)
+    pipeline.run_until_drained()
+    assert pipeline.steady_state_cycles_per_operation() == pytest.approx(
+        STAGE_CYCLES
+    )
+    benchmark(lambda: None)

@@ -1,0 +1,75 @@
+"""Extension — external tag-storage technology (Section III-C / IV).
+
+The paper's tag storage uses external SRAM, with "QDRII and RLD RAM
+versions ... also under development", and the conclusion claims the
+design is "further scalable for future terabit QoS router technologies".
+This bench builds that evaluation the paper defers:
+
+* per-technology splice time and the line rate it sustains at the
+  paper's 140-byte mean packet;
+* capacity per device against the "30 million packets" claim;
+* the random-cycle time a terabit target would demand.
+"""
+
+import pytest
+
+from repro.silicon import (
+    QDRII_SRAM,
+    compare_technologies,
+    required_random_cycle_ns,
+    storage_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def technology_table():
+    return compare_technologies()
+
+
+def test_regenerate_memory_comparison(technology_table, report, benchmark):
+    lines = [
+        "EXTERNAL TAG-STORAGE TECHNOLOGY (measured model)",
+        f"  {'technology':<22} {'ns/op':>6} {'Mops/s':>8} "
+        f"{'Gb/s @140B':>11} {'links/device':>13}",
+    ]
+    for name, result in technology_table.items():
+        lines.append(
+            f"  {name:<22} {result.operation_time_ns:>6.1f} "
+            f"{result.operations_per_second / 1e6:>8.1f} "
+            f"{result.line_rate_gbps_at_140b:>11.1f} "
+            f"{result.links_per_device:>13,}"
+        )
+    needed_40g = required_random_cycle_ns(40.0, dual_port=True)
+    needed_1t = required_random_cycle_ns(1000.0, dual_port=True)
+    lines.append(
+        f"  40 Gb/s needs <= {needed_40g:.2f} ns QDR cycles; "
+        f"1 Tb/s would need {needed_1t:.2f} ns"
+    )
+    report("\n".join(lines))
+    benchmark(compare_technologies)
+
+
+def test_qdrii_covers_the_40g_claim(technology_table, benchmark):
+    assert (
+        technology_table["QDRII SRAM"].line_rate_gbps_at_140b > 40.0
+    )
+    benchmark(lambda: storage_throughput(QDRII_SRAM))
+
+
+def test_rldram_covers_the_capacity_claim(technology_table, benchmark):
+    """Section IV: '30 million packets at any instance' — an 8-device
+    RLDRAM bank reaches it; QDRII SRAM alone cannot."""
+    rldram_links = technology_table["RLDRAM II"].links_per_device
+    qdr_links = technology_table["QDRII SRAM"].links_per_device
+    assert 8 * rldram_links > 30e6
+    assert 8 * qdr_links < 30e6
+    benchmark(lambda: None)
+
+
+def test_terabit_gap_is_quantified(benchmark):
+    """The conclusion's terabit claim needs ~6x faster random cycles
+    than QDRII — scalable architecture, gated by memory technology."""
+    needed = required_random_cycle_ns(1000.0, dual_port=True)
+    gap = QDRII_SRAM.random_cycle_ns / needed
+    assert 4.0 < gap < 10.0
+    benchmark(lambda: required_random_cycle_ns(1000.0, dual_port=True))

@@ -1,0 +1,90 @@
+"""Fig. 7 — matcher circuit speed (time delay) for different word lengths.
+
+Regenerates the delay curves for all five closest-match circuits over
+word widths 8-128 bits.  Shape expectations (asserted):
+
+* ripple is linear and slowest beyond small widths;
+* every accelerated circuit beats ripple from 16 bits up;
+* select & look-ahead is never beaten at any width and "performs
+  exceptionally well over a range of word widths up to 128 bits";
+* at 16 bits (the silicon node width) the select & look-ahead delay is
+  consistent with the 154 MHz Stratix II measurement class.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, render_series
+from repro.core.matching import ALL_MATCHERS, SelectLookaheadMatcher
+
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def delay_series():
+    return {
+        name: [
+            SweepPoint(parameter=width, value=cls(width).delay())
+            for width in WIDTHS
+        ]
+        for name, cls in sorted(ALL_MATCHERS.items())
+    }
+
+
+def test_regenerate_fig7(delay_series, report, benchmark):
+    report(
+        render_series(
+            "FIG. 7 (measured) — matcher delay vs word length",
+            delay_series,
+            unit="unit-gate delays",
+        )
+    )
+    matcher = SelectLookaheadMatcher(16)
+    benchmark(matcher.search, 0xA5A5, 11)
+
+
+def test_ripple_is_linear(delay_series, benchmark):
+    ripple = [point.value for point in delay_series["ripple"]]
+    for earlier, later in zip(ripple, ripple[1:]):
+        assert later / earlier == pytest.approx(2.0, rel=0.25)
+    benchmark(lambda: None)
+
+
+def test_accelerated_beat_ripple(delay_series, benchmark):
+    for name, series in delay_series.items():
+        if name == "ripple":
+            continue
+        for ripple_point, point in zip(delay_series["ripple"][1:], series[1:]):
+            assert point.value < ripple_point.value, (name, point.parameter)
+    benchmark(lambda: None)
+
+
+def test_select_lookahead_is_never_beaten(delay_series, benchmark):
+    select = delay_series["select_lookahead"]
+    for name, series in delay_series.items():
+        for select_point, point in zip(select, series):
+            assert select_point.value <= point.value + 1e-9, (
+                name,
+                point.parameter,
+            )
+    benchmark(lambda: None)
+
+
+def test_16bit_delay_in_154mhz_class(benchmark):
+    """Ref [13]: the 16-bit select & look-ahead ran at 154 MHz on
+    Stratix II (~6.5 ns).  At ~0.4-0.5 ns per LUT level that is roughly
+    13-16 unit delays; the model must land in that class."""
+    delay = SelectLookaheadMatcher(16).delay()
+    assert 10 <= delay <= 20
+    benchmark(lambda: SelectLookaheadMatcher(16).delay())
+
+
+def test_functional_throughput_of_all_matchers(benchmark):
+    """Time one full sweep of every circuit over a 16-bit node."""
+    matchers = [cls(16) for cls in ALL_MATCHERS.values()]
+
+    def sweep_all():
+        for matcher in matchers:
+            for target in range(16):
+                matcher.search(0xBEEF, target)
+
+    benchmark(sweep_all)

@@ -1,0 +1,79 @@
+"""Fig. 8 — matcher circuit area cost (FPGA LUTs) for different word
+lengths.
+
+Regenerates the area curves for all five circuits.  Shape expectations
+(asserted):
+
+* every curve grows monotonically with width;
+* the plain ripple chain is the cheapest logic;
+* select & look-ahead is the cheapest *accelerated* option (ref. [13]:
+  "the fastest and most hardware efficient option available");
+* the two-level block look-ahead is the most expensive.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, render_series
+from repro.core.matching import ALL_MATCHERS
+
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def area_series():
+    return {
+        name: [
+            SweepPoint(parameter=width, value=cls(width).area_luts())
+            for width in WIDTHS
+        ]
+        for name, cls in sorted(ALL_MATCHERS.items())
+    }
+
+
+def test_regenerate_fig8(area_series, report, benchmark):
+    report(
+        render_series(
+            "FIG. 8 (measured) — matcher area vs word length",
+            area_series,
+            unit="equivalent 4-input LUTs",
+        )
+    )
+    benchmark(
+        lambda: {
+            name: cls(64).area_luts() for name, cls in ALL_MATCHERS.items()
+        }
+    )
+
+
+def test_all_curves_monotone(area_series, benchmark):
+    for name, series in area_series.items():
+        values = [point.value for point in series]
+        assert values == sorted(values), name
+    benchmark(lambda: None)
+
+
+def test_ripple_cheapest_overall(area_series, benchmark):
+    for name, series in area_series.items():
+        if name == "ripple":
+            continue
+        for ripple_point, point in zip(area_series["ripple"], series):
+            assert ripple_point.value <= point.value, name
+    benchmark(lambda: None)
+
+
+def test_select_cheapest_accelerated(area_series, benchmark):
+    select = area_series["select_lookahead"]
+    for name, series in area_series.items():
+        if name in ("ripple", "select_lookahead"):
+            continue
+        for select_point, point in zip(select, series):
+            assert select_point.value <= point.value, name
+    benchmark(lambda: None)
+
+
+def test_block_lookahead_most_expensive(area_series, benchmark):
+    block = area_series["block_lookahead"]
+    for name, series in area_series.items():
+        for block_point, point in zip(block, series):
+            assert block_point.value >= point.value, name
+    benchmark(lambda: None)

@@ -1,0 +1,84 @@
+"""Structural corroboration of Figs. 7/8 — gate-level netlist sweep.
+
+The analytic matcher cost models are cross-checked by *building* the
+closest-match circuit out of two-input gates and measuring longest-path
+depth and gate count structurally, for the serial (ripple-class) and
+parallel-prefix (look-ahead-class) suffix-OR topologies.
+"""
+
+import pytest
+
+from repro.core.matching import reference_search
+from repro.core.matching.netlist import (
+    build_matcher_netlist,
+    netlist_search,
+)
+
+WIDTHS = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def structural_sweep():
+    sweep = {}
+    for topology in ("ripple", "tree"):
+        sweep[topology] = {
+            width: build_matcher_netlist(width, topology=topology)
+            for width in WIDTHS
+        }
+    return sweep
+
+
+def test_regenerate_structural_sweep(structural_sweep, report, benchmark):
+    lines = [
+        "GATE-LEVEL NETLIST SWEEP (structural Figs. 7/8 corroboration)",
+        f"  {'width':>6} {'ripple depth':>13} {'ripple gates':>13} "
+        f"{'tree depth':>11} {'tree gates':>11}",
+    ]
+    for width in WIDTHS:
+        ripple = structural_sweep["ripple"][width]
+        tree = structural_sweep["tree"][width]
+        lines.append(
+            f"  {width:>6} {ripple.depth():>13} {ripple.gate_count():>13} "
+            f"{tree.depth():>11} {tree.gate_count():>11}"
+        )
+    report("\n".join(lines))
+    netlist = structural_sweep["tree"][16]
+    benchmark(netlist_search, netlist, 16, 0xBEEF, 11)
+
+
+def test_depth_classes(structural_sweep, benchmark):
+    """Linear vs logarithmic depth, measured on real gates."""
+    for width in WIDTHS:
+        assert structural_sweep["ripple"][width].depth() == width + 2
+    tree_depths = [structural_sweep["tree"][w].depth() for w in WIDTHS]
+    assert tree_depths[-1] - tree_depths[0] == 6  # +2 per doubling
+    benchmark(lambda: None)
+
+
+def test_area_depth_tradeoff(structural_sweep, benchmark):
+    """Faster topology costs more gates at every width (Fig. 8's moral)."""
+    for width in WIDTHS:
+        ripple = structural_sweep["ripple"][width]
+        tree = structural_sweep["tree"][width]
+        # The curves converge at small widths (Fig. 7 shows the same).
+        if width >= 16:
+            assert tree.depth() < ripple.depth()
+        else:
+            assert tree.depth() <= ripple.depth()
+        assert tree.gate_count() > ripple.gate_count()
+    benchmark(lambda: None)
+
+
+def test_netlists_compute_the_reference_function(structural_sweep, benchmark):
+    import random
+
+    rng = random.Random(3)
+    for topology in ("ripple", "tree"):
+        netlist = structural_sweep[topology][16]
+        for _ in range(60):
+            mask = rng.getrandbits(16)
+            target = rng.randrange(16)
+            got = netlist_search(netlist, 16, mask, target)
+            want = reference_search(mask, 16, target)
+            assert got == (want.primary, want.backup)
+    benchmark(lambda: None)

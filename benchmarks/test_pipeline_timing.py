@@ -1,0 +1,102 @@
+"""§III-A pipeline timing — the fixed-time contract on a real clock.
+
+The paper synchronizes the tree+translation lookup (4 cycles) with the
+storage splice (4 cycles) "so the operations of the separate components
+[are] synchronized most efficiently".  The cycle-accurate model executes
+that schedule with per-cycle port auditing; this bench measures:
+
+* steady-state throughput: exactly one operation per four cycles;
+* fixed 8-cycle first-in-line latency, independent of occupancy;
+* zero port conflicts over a long full-load run;
+* the derived clock->line-rate chain at the Table II clock.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    OPERATION_LATENCY_CYCLES,
+    STAGE_CYCLES,
+    PipelinedSortRetrieve,
+)
+from repro.core.words import PAPER_FORMAT
+from repro.silicon import estimate_sort_retrieve
+
+
+@pytest.fixture(scope="module")
+def loaded_run():
+    pipeline = PipelinedSortRetrieve(PAPER_FORMAT, capacity=4096)
+    for tag in range(0, 3000, 3):
+        pipeline.submit_insert(tag)
+    cycles = pipeline.run_until_drained()
+    return pipeline, cycles
+
+
+def test_regenerate_pipeline_timing(loaded_run, report, benchmark):
+    pipeline, cycles = loaded_run
+    per_op = pipeline.steady_state_cycles_per_operation()
+    estimate = estimate_sort_retrieve()
+    mpps = estimate.clock_mhz * 1e6 / per_op / 1e6
+    report(
+        "PIPELINE TIMING (measured on the cycle-accurate model)\n"
+        f"  operations retired:        {len(pipeline.retired)}\n"
+        f"  total cycles:              {cycles}\n"
+        f"  steady-state cycles/op:    {per_op:.3f} (paper: 4)\n"
+        f"  first-in-line latency:     {OPERATION_LATENCY_CYCLES} cycles "
+        "(lookup stage + splice stage)\n"
+        f"  at the {estimate.clock_mhz:.1f} MHz Table II clock: "
+        f"{mpps:.1f} Mpps"
+    )
+    assert per_op == pytest.approx(STAGE_CYCLES)
+
+    def throughput_block():
+        local = PipelinedSortRetrieve(PAPER_FORMAT, capacity=256)
+        for tag in range(0, 200, 2):
+            local.submit_insert(tag)
+        local.run_until_drained()
+
+    benchmark(throughput_block)
+
+
+def test_latency_is_occupancy_independent(report, benchmark):
+    latencies = {}
+    for occupancy in (0, 100, 1000):
+        pipeline = PipelinedSortRetrieve(PAPER_FORMAT, capacity=4096)
+        for tag in range(occupancy):
+            pipeline.submit_insert(min(tag, 4095))
+        pipeline.run_until_drained()
+        pipeline.submit_insert(4095)
+        pipeline.run_until_drained()
+        latencies[occupancy] = pipeline.operation_latencies()[-1]
+    report(
+        "FIXED-TIME LATENCY (measured)\n"
+        + "\n".join(
+            f"  occupancy {occupancy:>5}: {latency} cycles"
+            for occupancy, latency in latencies.items()
+        )
+    )
+    assert len(set(latencies.values())) == 1
+    assert next(iter(latencies.values())) == OPERATION_LATENCY_CYCLES
+    benchmark(lambda: None)
+
+
+def test_mixed_operation_stream_stays_clean(benchmark):
+    """Inserts, dequeues and combined ops at full load: no conflicts,
+    exact cycle accounting."""
+
+    def run():
+        pipeline = PipelinedSortRetrieve(PAPER_FORMAT, capacity=512)
+        base = 0
+        for step in range(150):
+            base = min(base + 3, 4095)
+            pipeline.submit_insert(base)
+            if step % 3 == 2:
+                pipeline.submit_dequeue()
+            if step % 10 == 9:
+                pipeline.submit_insert_dequeue(min(base + 1, 4095))
+        pipeline.run_until_drained()
+        return pipeline
+
+    pipeline = run()
+    pipeline.circuit.check_invariants()
+    assert pipeline.steady_state_cycles_per_operation() == pytest.approx(4.0)
+    benchmark(lambda: len(run().retired))

@@ -1,0 +1,172 @@
+"""Section I-B / II QoS claims — fair queueing vs the round-robin family.
+
+The paper's case for WFQ over round robin:
+
+* "WFQ outperforms round robin because it approximates GPS within one
+  packet transmission time regardless of the arrival patterns" — checked
+  via the Parekh–Gallager bound;
+* "the principal drawback for a typical round robin approach is that it
+  cannot provide for effective bounded delays" — the worst delay of a
+  light flow under DRR grows with the number of competing flows, while
+  WFQ's stays rate-determined;
+* round robin (WRR) misallocates bandwidth for variable packet sizes.
+"""
+
+import pytest
+
+from repro.net import gps_lag, max_gps_lag, per_flow_delays
+from repro.sched import (
+    DRRScheduler,
+    GPSFluidSimulator,
+    MDRRScheduler,
+    Packet,
+    SRRScheduler,
+    WF2QScheduler,
+    WFQScheduler,
+    WRRScheduler,
+    simulate,
+)
+from repro.traffic import voip_video_data_mix
+
+RATE = 1e6
+
+
+def light_flow_worst_delay(scheduler_factory, competitor_count):
+    """Worst delay of a 10%-share flow against N bulk competitors."""
+    scheduler = scheduler_factory()
+    scheduler.add_flow(0, 0.1)
+    share = 0.9 / competitor_count
+    for flow_id in range(1, competitor_count + 1):
+        scheduler.add_flow(flow_id, share)
+    trace = []
+    # Bulk competitors: continuously backlogged with max-size packets.
+    for flow_id in range(1, competitor_count + 1):
+        for _ in range(12):
+            trace.append(Packet(flow_id, 1500, 0.0))
+    # The light flow sends small packets spread over the busy period.
+    for index in range(10):
+        trace.append(Packet(0, 100, index * 0.01))
+    result = simulate(scheduler, trace)
+    return per_flow_delays(result)[0].worst
+
+
+@pytest.fixture(scope="module")
+def delay_growth():
+    flow_counts = (4, 16, 48)
+    growth = {}
+    for name, factory in (
+        ("wfq", lambda: WFQScheduler(RATE)),
+        ("wf2q", lambda: WF2QScheduler(RATE)),
+        ("drr", lambda: DRRScheduler(RATE)),
+    ):
+        growth[name] = [
+            light_flow_worst_delay(factory, n) for n in flow_counts
+        ]
+    return flow_counts, growth
+
+
+def test_regenerate_delay_bound_table(delay_growth, report, benchmark):
+    flow_counts, growth = delay_growth
+    lines = [
+        "QOS DELAY BOUNDS (measured) — worst delay of a 10%-share flow",
+        f"  {'competitors':>12} " + " ".join(f"{n:>10}" for n in flow_counts),
+    ]
+    for name, delays in growth.items():
+        lines.append(
+            f"  {name:>12} "
+            + " ".join(f"{d * 1000:>8.2f}ms" for d in delays)
+        )
+    report("\n".join(lines))
+    benchmark(lambda: light_flow_worst_delay(lambda: WFQScheduler(RATE), 4))
+
+
+def test_rr_delay_grows_with_flows_fq_does_not(delay_growth, benchmark):
+    flow_counts, growth = delay_growth
+    drr_growth = growth["drr"][-1] / growth["drr"][0]
+    wfq_growth = growth["wfq"][-1] / max(growth["wfq"][0], 1e-9)
+    assert drr_growth > 3.0  # round-trip of the whole round
+    assert wfq_growth < 2.0  # rate-determined, flow-count independent
+    assert growth["wfq"][-1] < growth["drr"][-1]
+    assert growth["wf2q"][-1] < growth["drr"][-1]
+    benchmark(lambda: None)
+
+
+def test_pg_bound_on_realistic_mix(report, benchmark):
+    scenario = voip_video_data_mix(packets_per_flow=200, seed=21)
+    scheduler = WFQScheduler(scenario.rate_bps)
+    gps = GPSFluidSimulator(scenario.rate_bps)
+    for flow_id, weight in scenario.weights.items():
+        scheduler.add_flow(flow_id, weight)
+        gps.set_weight(flow_id, weight)
+    result = simulate(scheduler, scenario.clone_trace())
+    reference = gps.run(scenario.clone_trace())
+    worst = max_gps_lag(result, reference)
+    bound = 1500 * 8 / scenario.rate_bps
+    report(
+        "PAREKH-GALLAGER CHECK (measured)\n"
+        f"  worst lag behind GPS: {worst * 1e6:.1f} us\n"
+        f"  L_max/r bound:        {bound * 1e6:.1f} us\n"
+        f"  bound satisfied:      {worst <= bound + 1e-9}"
+    )
+    assert worst <= bound + 1e-9
+    benchmark(lambda: max_gps_lag(result, reference))
+
+
+def test_wrr_misallocates_variable_sizes(report, benchmark):
+    """Equal-weight flows, 15x different packet sizes."""
+
+    def shares_for(scheduler):
+        trace = [Packet(0, 1500, 0.0) for _ in range(60)]
+        trace += [Packet(1, 100, 0.0) for _ in range(600)]
+        result = simulate(scheduler, trace)
+        bits = {0: 0, 1: 0}
+        horizon = result.finish_time / 2
+        for packet in result.packets:
+            if packet.departure_time <= horizon:
+                bits[packet.flow_id] += packet.size_bits
+        return bits[0] / max(bits[1], 1)
+
+    wrr = WRRScheduler(RATE, mean_packet_bytes=500)
+    wrr.add_flow(0, 1.0)
+    wrr.add_flow(1, 1.0)
+    wfq = WFQScheduler(RATE)
+    wfq.add_flow(0, 0.5)
+    wfq.add_flow(1, 0.5)
+    wrr_ratio = shares_for(wrr)
+    wfq_ratio = shares_for(wfq)
+    report(
+        "VARIABLE-SIZE FAIRNESS (measured) — equal weights, 1500B vs 100B\n"
+        f"  WRR bandwidth ratio: {wrr_ratio:.1f}x (should be 1.0)\n"
+        f"  WFQ bandwidth ratio: {wfq_ratio:.2f}x"
+    )
+    assert wrr_ratio > 5.0
+    assert wfq_ratio == pytest.approx(1.0, rel=0.25)
+    benchmark(lambda: None)
+
+
+def test_mdrr_helps_one_class_srr_limits_classes(report, benchmark):
+    """MDRR protects exactly one priority queue; SRR supports only tens
+    of weight classes (vs the circuit's 4096 distinct tag values)."""
+    mdrr = MDRRScheduler(RATE, priority_flow=0, strict=True)
+    mdrr.add_flow(1, 0.5)
+    mdrr.add_flow(2, 0.5)
+    trace = [Packet(1, 1500, 0.0) for _ in range(20)]
+    trace += [Packet(2, 1500, 0.0) for _ in range(20)]
+    trace += [Packet(0, 100, 0.001)]
+    result = simulate(mdrr, trace)
+    voip_delay = [p for p in result.packets if p.flow_id == 0][0].delay
+    bulk_delays = [p.delay for p in result.packets if p.flow_id != 0]
+    assert voip_delay < sorted(bulk_delays)[len(bulk_delays) // 4]
+
+    srr = SRRScheduler(RATE, max_classes=32)
+    from repro.hwsim.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        srr.add_flow(0, 2.0**-40)  # finer than the class stratification
+    report(
+        "MDRR/SRR LIMITS (measured)\n"
+        f"  MDRR priority-packet delay: {voip_delay * 1000:.2f} ms "
+        f"(bulk median {sorted(bulk_delays)[len(bulk_delays) // 2] * 1000:.2f} ms)\n"
+        "  SRR: weights below 2^-32 rejected (tens of classes only)"
+    )
+    benchmark(lambda: None)

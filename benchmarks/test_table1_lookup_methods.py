@@ -1,0 +1,107 @@
+"""Table I — comparing lookup methods available.
+
+Regenerates the paper's method comparison by *measuring* worst-case
+memory accesses per operation for every implemented method, at several
+populations, under the adversarial-high workload that exposes each
+method's bound.  Shape expectations (asserted):
+
+* sorted list grows ~linearly with N;
+* binary CAM's service cost tracks the tag range;
+* binning's service cost tracks the bin count (range / span);
+* TCAM's service cost tracks the word width W;
+* the multi-bit tree is population-independent with the smallest
+  sequential lookup (W / k node reads).
+"""
+
+import pytest
+
+from repro.analysis.complexity import (
+    measure_method,
+    render_table1,
+    scaling_exponent,
+)
+from repro.baselines import make_all_queues
+
+POPULATIONS = (256, 1024, 3072)
+TAG_RANGE = 4096
+WORD_BITS = 12
+
+
+@pytest.fixture(scope="module")
+def table1_measurements():
+    measurements = []
+    for population in POPULATIONS:
+        for name, queue in make_all_queues(
+            tag_range=TAG_RANGE, word_bits=WORD_BITS, capacity=TAG_RANGE
+        ).items():
+            measurements.append(
+                measure_method(
+                    queue,
+                    population=population,
+                    tag_range=TAG_RANGE,
+                    seed=5,
+                    workload="adversarial_high",
+                )
+            )
+    return measurements
+
+
+def by_method(measurements, name):
+    return [m for m in measurements if m.method == name]
+
+
+def test_regenerate_table1(table1_measurements, report, benchmark):
+    report(render_table1(table1_measurements))
+    # Benchmark the headline operation: one tree insert at steady state.
+    queue = make_all_queues(tag_range=TAG_RANGE)["multibit_tree"]
+    base = 0
+    for value in range(0, 2048, 2):
+        queue.insert(value)
+
+    state = {"tag": 2048}
+
+    def insert_and_extract():
+        queue.insert(state["tag"] % TAG_RANGE)
+        queue.extract_min()
+        state["tag"] += 1
+
+    benchmark(insert_and_extract)
+
+
+def test_sorted_list_is_linear(table1_measurements, benchmark):
+    exponent = scaling_exponent(by_method(table1_measurements, "sorted_list"))
+    assert exponent > 0.6
+    benchmark(lambda: scaling_exponent(by_method(table1_measurements, "sorted_list")))
+
+
+def test_tree_is_population_independent(table1_measurements, benchmark):
+    exponent = scaling_exponent(
+        by_method(table1_measurements, "multibit_tree")
+    )
+    assert exponent < 0.2
+    benchmark(
+        lambda: scaling_exponent(by_method(table1_measurements, "multibit_tree"))
+    )
+
+
+def test_cam_tracks_range_and_binning_tracks_bins(
+    table1_measurements, benchmark
+):
+    cam = by_method(table1_measurements, "binary_cam")[-1]
+    binning = by_method(table1_measurements, "binning")[-1]
+    tcam = by_method(table1_measurements, "tcam")[-1]
+    assert cam.worst_extract > TAG_RANGE // 4  # O(range)-class probing
+    assert binning.worst_extract <= TAG_RANGE  # bounded by bin count
+    assert binning.worst_extract > 100
+    assert tcam.worst_extract == WORD_BITS + 1  # W probes + the row pop
+    benchmark(lambda: None)
+
+
+def test_tree_beats_every_population_bound_method(
+    table1_measurements, benchmark
+):
+    tree = by_method(table1_measurements, "multibit_tree")[-1]
+    for name in ("sorted_list", "binary_cam", "binning", "calendar_queue"):
+        other = by_method(table1_measurements, name)[-1]
+        assert tree.worst_total < other.worst_total, name
+    benchmark(lambda: None)

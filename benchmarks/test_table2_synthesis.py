@@ -1,0 +1,69 @@
+"""Table II — post-layout synthesis results (estimator substitute).
+
+The real Table II came from Cadence SoC Encounter on UMC 130-nm cells;
+we regenerate its *shape* from architecture bit/gate counts and a
+130-nm-class technology model:
+
+* memory-dominated area (Fig. 12's floorplan),
+* logic-dominated power (Section IV's observation),
+* a ~140 MHz clock giving 35.8 Mpps and 40 Gb/s at 140-byte packets,
+* the 15-bit variant's 32k-entry translation table cost.
+"""
+
+import pytest
+
+from repro.core.sizing import budget_for
+from repro.core.words import PAPER_FORMAT
+from repro.silicon import estimate_sort_retrieve, render_table, scaling_sweep
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    return estimate_sort_retrieve()
+
+
+def test_regenerate_table2(estimate, report, benchmark):
+    report(render_table(estimate))
+    benchmark(estimate_sort_retrieve)
+
+
+def test_architecture_bit_budget(estimate, report, benchmark):
+    budget = budget_for(PAPER_FORMAT)
+    report(
+        "EQ. (2)/(3) STORAGE BUDGET\n"
+        f"  register bits (levels 0-1): {budget.register_bits}\n"
+        f"  SRAM bits (level 2):        {budget.sram_bits}\n"
+        f"  translation entries:        {budget.translation_entries}"
+    )
+    assert budget.register_bits == 272
+    assert budget.sram_bits == 4096
+    assert budget.translation_entries == 4096
+    benchmark(lambda: budget_for(PAPER_FORMAT))
+
+
+def test_shape_checks(estimate, benchmark):
+    assert estimate.area_memory_mm2 > estimate.area_logic_mm2
+    assert estimate.power_logic_mw > estimate.power_memory_mw
+    assert 120.0 <= estimate.clock_mhz <= 170.0
+    assert estimate.packets_per_second == pytest.approx(35.8e6, rel=0.10)
+    assert estimate.line_rate_gbps_at_140b == pytest.approx(40.0, rel=0.10)
+    benchmark(lambda: None)
+
+
+def test_scaling_to_wider_tags(report, benchmark):
+    sweep = benchmark(scaling_sweep, (12, 15, 16, 20))
+    lines = ["SCALING SWEEP (wider tag formats)"]
+    lines.append(
+        f"  {'W':>3} {'SRAM kbit':>10} {'area mm^2':>10} {'clock MHz':>10}"
+    )
+    for bits, est in sweep.items():
+        lines.append(
+            f"  {bits:>3} {est.sram_bits / 1024:>10.1f} "
+            f"{est.area_total_mm2:>10.3f} {est.clock_mhz:>10.1f}"
+        )
+    report("\n".join(lines))
+    assert sweep[15].sram_bits == pytest.approx(
+        32 * 1024 * 27, rel=0.5
+    )  # 32k entries dominate
+    areas = [sweep[b].area_total_mm2 for b in (12, 15, 16, 20)]
+    assert areas == sorted(areas)

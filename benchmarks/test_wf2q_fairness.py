@@ -1,0 +1,108 @@
+"""Section I-B — "WF²Q ... has better worst case fairness" than WFQ.
+
+The Bennett–Zhang worst-case-fairness experiment, measured: a
+half-share flow bursts against ten 5%-share flows; the metric is how far
+each flow's *served work* runs ahead of its GPS fluid entitlement.
+
+Shape expectations (asserted):
+
+* WFQ lets the heavy flow run multiple maximum packets ahead of GPS
+  (it serves strictly by finishing tags, which front-loads the burst);
+* WF²Q's eligibility rule keeps every flow within one maximum packet of
+  GPS — the property that made WF²Q worth its extra complexity;
+* both stay within the Parekh–Gallager *lag* bound (behind GPS), so the
+  improvement is purely on the ahead-of-GPS side.
+"""
+
+import pytest
+
+from repro.net import max_gps_lag, worst_work_lead
+from repro.sched import (
+    GPSFluidSimulator,
+    Packet,
+    WF2QScheduler,
+    WFQScheduler,
+    simulate,
+)
+
+RATE = 1e6
+LMAX_BITS = 1500 * 8
+HEAVY_WEIGHT = 0.5
+LIGHT_FLOWS = 10
+
+
+def build(cls):
+    scheduler = cls(RATE)
+    scheduler.add_flow(0, HEAVY_WEIGHT)
+    for flow_id in range(1, LIGHT_FLOWS + 1):
+        scheduler.add_flow(flow_id, HEAVY_WEIGHT / LIGHT_FLOWS)
+    return scheduler
+
+
+def burst_trace():
+    trace = [Packet(0, 1500, 0.0) for _ in range(20)]
+    for flow_id in range(1, LIGHT_FLOWS + 1):
+        trace.extend(Packet(flow_id, 1500, 0.0) for _ in range(2))
+    return trace
+
+
+def clone(trace):
+    return [
+        Packet(p.flow_id, p.size_bytes, p.arrival_time, packet_id=p.packet_id)
+        for p in trace
+    ]
+
+
+@pytest.fixture(scope="module")
+def fairness_runs():
+    trace = burst_trace()
+    runs = {}
+    for cls in (WFQScheduler, WF2QScheduler):
+        gps = GPSFluidSimulator(RATE)
+        gps.set_weight(0, HEAVY_WEIGHT)
+        for flow_id in range(1, LIGHT_FLOWS + 1):
+            gps.set_weight(flow_id, HEAVY_WEIGHT / LIGHT_FLOWS)
+        reference = gps.run(clone(trace))
+        result = simulate(build(cls), clone(trace))
+        runs[cls.name] = {
+            "leads": worst_work_lead(result, gps),
+            "lag": max_gps_lag(result, reference),
+        }
+    return runs
+
+
+def test_regenerate_fairness_comparison(fairness_runs, report, benchmark):
+    lines = [
+        "WORST-CASE FAIRNESS (measured) — work served ahead of GPS",
+        f"  {'policy':<6} {'heavy-flow lead':>16} {'worst lead':>11} "
+        f"{'worst lag':>10}",
+    ]
+    for name, run in fairness_runs.items():
+        heavy = run["leads"][0] / LMAX_BITS
+        worst = max(run["leads"].values()) / LMAX_BITS
+        lines.append(
+            f"  {name:<6} {heavy:>13.2f} L {worst:>8.2f} L "
+            f"{run['lag'] * 1000:>8.2f}ms"
+        )
+    lines.append("  (L = one maximum packet of 1500 B)")
+    report("\n".join(lines))
+    benchmark(lambda: None)
+
+
+def test_wfq_runs_packets_ahead(fairness_runs, benchmark):
+    heavy_lead = fairness_runs["wfq"]["leads"][0]
+    assert heavy_lead > 3 * LMAX_BITS
+    benchmark(lambda: None)
+
+
+def test_wf2q_bounded_by_one_packet(fairness_runs, benchmark):
+    worst = max(fairness_runs["wf2q"]["leads"].values())
+    assert worst <= LMAX_BITS + 1e-6
+    benchmark(lambda: None)
+
+
+def test_both_satisfy_the_lag_bound(fairness_runs, benchmark):
+    bound = LMAX_BITS / RATE
+    for run in fairness_runs.values():
+        assert run["lag"] <= bound + 1e-9
+    benchmark(lambda: None)

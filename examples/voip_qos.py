@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""VoIP QoS: why the paper wants hardware WFQ at the edge and core.
+
+The motivating workload of the paper's introduction: VoIP conversations
+share a link with streaming video and bulk data.  VoIP needs tight delay
+bounds ("end-to-end delays ... must be kept within certain limits if a
+conversation ... is to be practical").
+
+This example schedules the same traffic mix under:
+
+* exact software WFQ,
+* the full hardware WFQ system (Fig. 1 — tag computation + packet
+  buffer + sort/retrieve circuit, with 12-bit quantized tags),
+* DRR and WRR from the round-robin family,
+
+and reports per-class delay percentiles plus weighted-fairness indexes.
+
+Run: ``python examples/voip_qos.py``
+"""
+
+from repro.net import (
+    HardwareWFQSystem,
+    per_flow_delays,
+    throughput_shares,
+    weighted_jain_index,
+)
+from repro.sched import DRRScheduler, WFQScheduler, WRRScheduler, simulate
+from repro.traffic import voip_video_data_mix
+
+
+def build(cls, scenario, **kwargs):
+    scheduler = cls(scenario.rate_bps, **kwargs)
+    for flow_id, weight in scenario.weights.items():
+        if cls is WRRScheduler:
+            # WRR needs integer-ish slot ratios: scale weights up.
+            scheduler.add_flow(flow_id, weight * 20)
+        else:
+            scheduler.add_flow(flow_id, weight)
+    return scheduler
+
+
+def class_delays(scenario, result):
+    delays = per_flow_delays(result)
+    voip = [delays[f] for f in scenario.realtime_flows]
+    other = [
+        stats
+        for flow_id, stats in delays.items()
+        if flow_id not in scenario.realtime_flows
+    ]
+    return voip, other
+
+
+def main() -> None:
+    scenario = voip_video_data_mix(
+        rate_bps=10e6, packets_per_flow=400, load=0.9, seed=42
+    )
+    print(f"scenario: {scenario.flow_count} flows "
+          f"({len(scenario.realtime_flows)} VoIP), "
+          f"{len(scenario.trace)} packets, 10 Mb/s link, 90% load\n")
+
+    header = (f"{'scheduler':<12} {'VoIP worst':>11} {'VoIP p99':>9} "
+              f"{'bulk worst':>11} {'weighted Jain':>14}")
+    print(header)
+    print("-" * len(header))
+
+    schedulers = [
+        ("wfq (sw)", lambda: build(WFQScheduler, scenario)),
+        ("wfq (hw)", lambda: build(HardwareWFQSystem, scenario)),
+        ("drr", lambda: build(DRRScheduler, scenario)),
+        ("wrr", lambda: build(WRRScheduler, scenario, mean_packet_bytes=500)),
+    ]
+    for name, factory in schedulers:
+        scheduler = factory()
+        result = simulate(scheduler, scenario.clone_trace())
+        voip, other = class_delays(scenario, result)
+        voip_worst = max(stats.worst for stats in voip) * 1000
+        voip_p99 = max(stats.p99 for stats in voip) * 1000
+        bulk_worst = max(stats.worst for stats in other) * 1000
+        jain = weighted_jain_index(
+            throughput_shares(result), scenario.weights
+        )
+        print(f"{name:<12} {voip_worst:>9.2f}ms {voip_p99:>7.2f}ms "
+              f"{bulk_worst:>9.2f}ms {jain:>14.4f}")
+
+    print("\nTakeaways (the paper's Section I/II argument, measured):")
+    print("  * Both WFQ variants keep VoIP worst-case delay tightly bounded;")
+    print("    the hardware circuit tracks exact WFQ despite 12-bit tags.")
+    print("  * Round robin delays the light real-time flows behind whole")
+    print("    rounds of bulk traffic - no per-flow delay bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — behavioral reproduction of McLaughlin et al., "A Scalable
+Packet Sorting Circuit for High-Speed WFQ Packet Scheduling".
+
+Packages:
+
+* :mod:`repro.core` — the tag sort/retrieve circuit (multi-bit tree,
+  matching circuits, translation table, linked-list tag storage).
+* :mod:`repro.hwsim` — the clocked-hardware simulation substrate.
+* :mod:`repro.baselines` — every Table I lookup method.
+* :mod:`repro.sched` — GPS/WFQ/WF²Q/WF²Q+/SCFQ/FBFQ and the round-robin
+  family, plus the single-link simulator.
+* :mod:`repro.traffic` — packet-size models, arrival processes, scenarios.
+* :mod:`repro.net` — the full Fig. 1 scheduler system and QoS metrics.
+* :mod:`repro.silicon` — the Table II area/power/timing estimator.
+* :mod:`repro.analysis` — complexity measurement, distribution profiling,
+  sweep utilities.
+
+Quick start::
+
+    from repro.core import TagSortRetrieveCircuit
+
+    circuit = TagSortRetrieveCircuit()
+    circuit.insert(15, payload="pkt-a")
+    circuit.insert(17, payload="pkt-b")
+    circuit.insert(16, payload="pkt-c")   # the Fig. 9 walkthrough
+    served = circuit.dequeue_min()        # tag 15, in fixed time
+"""
+
+__version__ = "1.0.0"
+
+from .core import TagSortRetrieveCircuit  # noqa: F401  (primary entry point)
+
+__all__ = ["TagSortRetrieveCircuit", "__version__"]

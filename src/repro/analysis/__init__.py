@@ -1,0 +1,59 @@
+"""Experiment support: complexity measurement, distributions, sweeps."""
+
+from .complexity import (
+    MethodMeasurement,
+    measure_all,
+    measure_method,
+    render_table1,
+    scaling_exponent,
+)
+from .distributions import (
+    TagDistributionProfiler,
+    WindowProfile,
+    mean_drift_per_window,
+    render_windows,
+)
+from .timelines import (
+    BusyPeriod,
+    backlog_series,
+    busy_periods,
+    interleaving_index,
+    peak_backlog,
+    service_timeline,
+    utilization,
+)
+from .sweeps import (
+    SweepPoint,
+    crossover,
+    geometric_grid,
+    monotone_nondecreasing,
+    monotone_nonincreasing,
+    render_series,
+    sweep,
+)
+
+__all__ = [
+    "MethodMeasurement",
+    "measure_all",
+    "measure_method",
+    "render_table1",
+    "scaling_exponent",
+    "TagDistributionProfiler",
+    "WindowProfile",
+    "mean_drift_per_window",
+    "render_windows",
+    "BusyPeriod",
+    "backlog_series",
+    "busy_periods",
+    "interleaving_index",
+    "peak_backlog",
+    "service_timeline",
+    "utilization",
+    "SweepPoint",
+    "crossover",
+    "geometric_grid",
+    "monotone_nondecreasing",
+    "monotone_nonincreasing",
+    "render_series",
+    "sweep",
+]

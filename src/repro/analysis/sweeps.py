@@ -1,0 +1,88 @@
+"""Shared parameter-sweep helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+from ..hwsim.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter, value) measurement."""
+
+    parameter: float
+    value: float
+
+
+def sweep(
+    parameters: Iterable[float], measure: Callable[[float], float]
+) -> List[SweepPoint]:
+    """Evaluate ``measure`` at every parameter, in order."""
+    return [SweepPoint(parameter=p, value=measure(p)) for p in parameters]
+
+
+def monotone_nonincreasing(points: Sequence[SweepPoint], *, slack: float = 0.0) -> bool:
+    """True when values never rise by more than ``slack``."""
+    return all(
+        later.value <= earlier.value + slack
+        for earlier, later in zip(points, points[1:])
+    )
+
+
+def monotone_nondecreasing(points: Sequence[SweepPoint], *, slack: float = 0.0) -> bool:
+    """True when values never drop by more than ``slack``."""
+    return all(
+        later.value >= earlier.value - slack
+        for earlier, later in zip(points, points[1:])
+    )
+
+
+def crossover(points_a: Sequence[SweepPoint], points_b: Sequence[SweepPoint]) -> float:
+    """First parameter where series A stops beating series B.
+
+    Returns +inf when A wins everywhere, -inf when it never wins.
+    Both series must share parameters.
+    """
+    if [p.parameter for p in points_a] != [p.parameter for p in points_b]:
+        raise ConfigurationError("series must share their parameter grid")
+    winning = False
+    for a, b in zip(points_a, points_b):
+        if a.value < b.value:
+            winning = True
+        elif winning:
+            return a.parameter
+    return float("inf") if winning else float("-inf")
+
+
+def render_series(
+    title: str, series: Dict[str, Sequence[SweepPoint]], *, unit: str = ""
+) -> str:
+    """Tabulate several sweeps side by side (one row per parameter)."""
+    names = list(series)
+    if not names:
+        raise ConfigurationError("no series to render")
+    grid = [p.parameter for p in series[names[0]]]
+    lines = [title]
+    header = f"  {'param':>10} " + " ".join(f"{name:>16}" for name in names)
+    lines.append(header)
+    for index, parameter in enumerate(grid):
+        row = f"  {parameter:>10g} "
+        row += " ".join(
+            f"{series[name][index].value:>16.2f}" for name in names
+        )
+        lines.append(row)
+    if unit:
+        lines.append(f"  (values in {unit})")
+    return "\n".join(lines)
+
+
+def geometric_grid(start: float, stop: float, points: int) -> Tuple[float, ...]:
+    """A geometric parameter grid inclusive of both ends."""
+    if points < 2 or start <= 0 or stop <= start:
+        raise ConfigurationError("need points >= 2 and 0 < start < stop")
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    return tuple(start * ratio**i for i in range(points))

@@ -1,0 +1,66 @@
+"""Every tag-lookup method compared in the paper's Table I.
+
+All methods implement :class:`~repro.baselines.base.TagQueue` and count
+their own memory accesses, so the Table I benchmark measures worst-case
+accesses per operation directly.  :func:`make_all_queues` builds one
+instance of each for a given tag range/width.
+"""
+
+from typing import Callable, Dict
+
+from .base import TagQueue
+from .binning import BinningQueue
+from .bst import BalancedBSTQueue
+from .calendar_queue import CalendarQueue
+from .cam import BinaryCAMQueue
+from .heap import BinaryHeapQueue
+from .lfvc import LFVCQueue
+from .shift_register_pq import ShiftRegisterPriorityQueue
+from .sorted_list import SortedLinkedListQueue
+from .tcam import TernaryCAMQueue
+from .tcq import TwoDimensionalCalendarQueue
+from .tree_queue import MultiBitTreeQueue
+from .veb import VanEmdeBoasQueue
+
+
+def make_all_queues(
+    *, tag_range: int = 4096, word_bits: int = 12, capacity: int = 4096
+) -> Dict[str, TagQueue]:
+    """One instance of every Table I method, consistently parameterized."""
+    factories: Dict[str, Callable[[], TagQueue]] = {
+        SortedLinkedListQueue.name: SortedLinkedListQueue,
+        BinaryHeapQueue.name: BinaryHeapQueue,
+        BalancedBSTQueue.name: BalancedBSTQueue,
+        VanEmdeBoasQueue.name: lambda: VanEmdeBoasQueue(word_bits=word_bits),
+        CalendarQueue.name: CalendarQueue,
+        TwoDimensionalCalendarQueue.name: lambda: TwoDimensionalCalendarQueue(
+            tag_range=tag_range
+        ),
+        LFVCQueue.name: lambda: LFVCQueue(tag_range=tag_range),
+        BinningQueue.name: lambda: BinningQueue(tag_range=tag_range),
+        BinaryCAMQueue.name: lambda: BinaryCAMQueue(tag_range=tag_range),
+        TernaryCAMQueue.name: lambda: TernaryCAMQueue(word_bits=word_bits),
+        ShiftRegisterPriorityQueue.name: lambda: ShiftRegisterPriorityQueue(
+            capacity=capacity
+        ),
+        MultiBitTreeQueue.name: lambda: MultiBitTreeQueue(capacity=capacity),
+    }
+    return {name: factory() for name, factory in factories.items()}
+
+
+__all__ = [
+    "TagQueue",
+    "SortedLinkedListQueue",
+    "BinaryHeapQueue",
+    "BalancedBSTQueue",
+    "VanEmdeBoasQueue",
+    "CalendarQueue",
+    "TwoDimensionalCalendarQueue",
+    "LFVCQueue",
+    "BinningQueue",
+    "BinaryCAMQueue",
+    "TernaryCAMQueue",
+    "ShiftRegisterPriorityQueue",
+    "MultiBitTreeQueue",
+    "make_all_queues",
+]

@@ -1,0 +1,86 @@
+"""Common interface for every Table I lookup method.
+
+The paper compares nine tag-lookup approaches (four software, five
+hardware) by worst-case operation complexity and, for hardware, worst-case
+memory accesses per lookup.  Every method here implements the same
+:class:`TagQueue` interface and *counts its own memory accesses* through an
+:class:`~repro.hwsim.stats.AccessStats`, so the Table I benchmark measures
+rather than asserts the comparison.
+
+Accounting convention: one access = one touch of a conceptual memory word
+(an array slot, a list node, a CAM row probe, a bin header).  Python-level
+bookkeeping that a hardware implementation would keep in registers is not
+counted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
+
+from ..hwsim.errors import EmptyStructureError
+from ..hwsim.stats import AccessStats
+
+
+class TagQueue(ABC):
+    """A priority queue over integer tags, instrumented for accesses."""
+
+    #: short identifier used in benchmark tables
+    name: str = "abstract"
+    #: which of the paper's two models the method follows (Section II-C)
+    model: str = "sort"  # "sort" or "search"
+    #: Table I complexity string, for report rendering
+    complexity: str = "?"
+
+    def __init__(self) -> None:
+        self.stats = AccessStats()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no tags are stored."""
+        return self._size == 0
+
+    def insert(self, tag: int, payload: Any = None) -> None:
+        """Store ``tag`` (the lookup may happen now or at extract time)."""
+        self._insert(tag, payload)
+        self._size += 1
+
+    def extract_min(self) -> Tuple[int, Any]:
+        """Remove and return the smallest ``(tag, payload)``."""
+        if self.is_empty:
+            raise EmptyStructureError(f"{self.name}: extract from empty queue")
+        result = self._extract_min()
+        self._size -= 1
+        return result
+
+    def peek_min(self) -> Optional[int]:
+        """The smallest stored tag without removing it, or None."""
+        if self.is_empty:
+            return None
+        return self._peek_min()
+
+    @abstractmethod
+    def _insert(self, tag: int, payload: Any) -> None:
+        """Method-specific insert."""
+
+    @abstractmethod
+    def _extract_min(self) -> Tuple[int, Any]:
+        """Method-specific extract; queue is known non-empty."""
+
+    @abstractmethod
+    def _peek_min(self) -> int:
+        """Method-specific peek; queue is known non-empty."""
+
+    def drain(self) -> list:
+        """Extract everything in order (verification helper)."""
+        out = []
+        while not self.is_empty:
+            out.append(self.extract_min()[0])
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self._size})"

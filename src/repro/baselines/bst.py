@@ -1,0 +1,101 @@
+"""Balanced binary search tree — the O(log N) software sort-model row.
+
+Implemented as a treap (randomized balance with deterministic seed):
+expected O(log N) node touches for insert and delete-min, with the
+worst-case variance that makes tree structures unattractive for a
+fixed-time hardware pipeline.  Duplicates are FCFS via sequence numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from .base import TagQueue
+
+
+@dataclass
+class _Node:
+    key: Tuple[int, int]
+    payload: Any
+    priority: float
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class BalancedBSTQueue(TagQueue):
+    """Treap-based sorted structure with access accounting."""
+
+    name = "balanced_bst"
+    model = "sort"
+    complexity = "O(log N) insert, O(log N) service"
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        super().__init__()
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        self._sequence = itertools.count()
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        node = _Node(
+            key=(tag, next(self._sequence)),
+            payload=payload,
+            priority=self._rng.random(),
+        )
+        self._root = self._treap_insert(self._root, node)
+
+    def _treap_insert(self, root: Optional[_Node], node: _Node) -> _Node:
+        if root is None:
+            self.stats.record_write()
+            return node
+        self.stats.record_read()
+        if node.key < root.key:
+            root.left = self._treap_insert(root.left, node)
+            self.stats.record_write()
+            if root.left.priority < root.priority:
+                root = self._rotate_right(root)
+        else:
+            root.right = self._treap_insert(root.right, node)
+            self.stats.record_write()
+            if root.right.priority < root.priority:
+                root = self._rotate_left(root)
+        return root
+
+    def _rotate_right(self, node: _Node) -> _Node:
+        pivot = node.left
+        node.left = pivot.right
+        pivot.right = node
+        self.stats.record_write(2)
+        return pivot
+
+    def _rotate_left(self, node: _Node) -> _Node:
+        pivot = node.right
+        node.right = pivot.left
+        pivot.left = node
+        self.stats.record_write(2)
+        return pivot
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        parent = None
+        node = self._root
+        self.stats.record_read()
+        while node.left is not None:
+            parent = node
+            node = node.left
+            self.stats.record_read()
+        if parent is None:
+            self._root = node.right
+        else:
+            parent.left = node.right
+        self.stats.record_write()
+        return node.key[0], node.payload
+
+    def _peek_min(self) -> int:
+        node = self._root
+        self.stats.record_read()
+        while node.left is not None:
+            node = node.left
+            self.stats.record_read()
+        return node.key[0]

@@ -1,0 +1,80 @@
+"""Binary CAM minimum search — the associative-memory option of Table I.
+
+A binary content-addressable memory matches *exact* keys only, so finding
+the minimum "must use an iterative technique based on incrementing a
+search by one value at a time, which is very slow" (Section II-D): probe
+key 0, then 1, then 2 ... until a row matches.  Each probe is one parallel
+compare across the array, counted as one access; the worst case is the
+full tag range.  The probe loop restarts from the last served value — the
+best a real controller can do under a monotone (WFQ) tag sequence — so the
+measured worst case reflects the tag *gap*, bounded by the range.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from .base import TagQueue
+
+
+class BinaryCAMQueue(TagQueue):
+    """Exact-match CAM with increment-and-probe minimum search."""
+
+    name = "binary_cam"
+    model = "search"
+    complexity = "O(range) service (probe per value)"
+
+    def __init__(self, *, tag_range: int = 4096, monotone: bool = True) -> None:
+        super().__init__()
+        if tag_range < 1:
+            raise ConfigurationError("tag range must be positive")
+        self.tag_range = tag_range
+        self.monotone = monotone
+        self._rows: Dict[int, Deque[Any]] = {}
+        self._occupancy: Counter = Counter()
+        self._probe_floor = 0
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        if not 0 <= tag < self.tag_range:
+            raise ConfigurationError(
+                f"tag {tag} outside CAM range [0, {self.tag_range})"
+            )
+        if self.monotone and tag < self._probe_floor:
+            # A tag below the probe floor would be missed by the
+            # incremental search; WFQ never produces one, other workloads
+            # must reset the floor.
+            self._probe_floor = tag
+        row = self._rows.get(tag)
+        if row is None:
+            row = deque()
+            self._rows[tag] = row
+        row.append(payload)
+        self._occupancy[tag] += 1
+        self.stats.record_write()
+
+    def _probe_from(self, start: int) -> int:
+        for key in range(start, self.tag_range):
+            self.stats.record_read()  # one CAM probe (parallel compare)
+            if self._occupancy.get(key):
+                return key
+        raise AssertionError("probe ran off the range in a non-empty CAM")
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        start = self._probe_floor if self.monotone else 0
+        tag = self._probe_from(start)
+        if self.monotone:
+            self._probe_floor = tag
+        row = self._rows[tag]
+        payload = row.popleft()
+        self.stats.record_write()
+        self._occupancy[tag] -= 1
+        if not self._occupancy[tag]:
+            del self._occupancy[tag]
+            del self._rows[tag]
+        return tag, payload
+
+    def _peek_min(self) -> int:
+        start = self._probe_floor if self.monotone else 0
+        return self._probe_from(start)

@@ -1,0 +1,86 @@
+"""Binary heap — the standard software queue/heap method of Table I.
+
+The paper notes most prior tag sorters are "queue/heap methods...
+generally limited to O(log N) performance".  Both insert (sift-up) and
+extract (sift-down) touch O(log N) array slots, and — crucially for the
+paper's argument — extraction is *not* a fixed-time operation: its cost
+varies with occupancy, violating the fixed service time the scheduler
+needs.  Duplicate tags carry an insertion sequence number so service stays
+first-come-first-served, matching the linked list's behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Tuple
+
+from .base import TagQueue
+
+
+class BinaryHeapQueue(TagQueue):
+    """Array-backed binary min-heap with access accounting."""
+
+    name = "binary_heap"
+    model = "search"  # the min is located at service time by sift-down
+    complexity = "O(log N) insert and service"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slots: List[Tuple[int, int, Any]] = []
+        self._sequence = itertools.count()
+
+    def _key(self, index: int) -> Tuple[int, int]:
+        tag, order, _ = self._slots[index]
+        return tag, order
+
+    def _swap(self, a: int, b: int) -> None:
+        self._slots[a], self._slots[b] = self._slots[b], self._slots[a]
+        self.stats.record_write(2)
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        self._slots.append((tag, next(self._sequence), payload))
+        self.stats.record_write()
+        index = len(self._slots) - 1
+        while index > 0:
+            parent = (index - 1) // 2
+            self.stats.record_read(2)  # compare child with parent
+            if self._key(index) < self._key(parent):
+                self._swap(index, parent)
+                index = parent
+            else:
+                break
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        self.stats.record_read()
+        tag, _, payload = self._slots[0]
+        last = self._slots.pop()
+        self.stats.record_read()
+        if self._slots:
+            self._slots[0] = last
+            self.stats.record_write()
+            self._sift_down(0)
+        return tag, payload
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._slots)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            self.stats.record_read()
+            if left < size:
+                self.stats.record_read()
+                if self._key(left) < self._key(smallest):
+                    smallest = left
+            if right < size:
+                self.stats.record_read()
+                if self._key(right) < self._key(smallest):
+                    smallest = right
+            if smallest == index:
+                return
+            self._swap(index, smallest)
+            index = smallest
+
+    def _peek_min(self) -> int:
+        self.stats.record_read()
+        return self._slots[0][0]

@@ -1,0 +1,66 @@
+"""Systolic shift-register priority queue — the classic hardware PQ.
+
+The traditional hardware alternative to the paper's tree: a linear array
+of compare-and-shift cells.  A new tag is broadcast to every cell; each
+cell compares it with its stored tag in parallel and the array shifts the
+larger values one position right, absorbing the newcomer at its sorted
+position in **O(1) time** — at the price of one comparator and one
+register *per stored tag*, which is why it cannot scale to the millions of
+tags the paper's external-SRAM linked list holds.
+
+Accounting: one insert = one parallel shift = one access *per occupied
+cell beyond the insert point is free in time but real in hardware*; Table
+I reports time-accesses, so insert and extract each count 1 sequential
+access, and the ``cell_count`` property exposes the O(N) hardware cost
+that the comparison tables report alongside.  Ties are broadcast-stable:
+equal tags keep arrival order (FCFS).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from .base import TagQueue
+
+
+class ShiftRegisterPriorityQueue(TagQueue):
+    """Compare-and-shift systolic array."""
+
+    name = "shift_register"
+    model = "sort"
+    complexity = "O(1) time, O(N) comparators"
+
+    def __init__(self, *, capacity: int = 1024) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ConfigurationError("capacity must be positive")
+        self.capacity = capacity
+        self._cells: List[Tuple[int, Any]] = []
+
+    @property
+    def cell_count(self) -> int:
+        """Hardware cells required — grows with capacity, not occupancy."""
+        return self.capacity
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        if len(self._cells) >= self.capacity:
+            raise ConfigurationError("shift-register array full")
+        # All cells compare in parallel, then shift in one cycle; the
+        # sequential access cost is a single broadcast-write.
+        position = len(self._cells)
+        for index, (existing, _) in enumerate(self._cells):
+            if existing > tag:
+                position = index
+                break
+        self._cells.insert(position, (tag, payload))
+        self.stats.record_write()
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        # Head cell pops and the array shifts left in one cycle.
+        self.stats.record_read()
+        return self._cells.pop(0)
+
+    def _peek_min(self) -> int:
+        self.stats.record_read()
+        return self._cells[0][0]

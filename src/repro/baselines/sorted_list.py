@@ -1,0 +1,58 @@
+"""Sorted linked-list insertion — the naive software sort-model baseline.
+
+Insertion scans from the head until the insert position is found: O(N)
+accesses in the worst case.  Extraction is a head removal, O(1).  This is
+the first software row of Table I and the structure whose *insert* cost
+the multi-bit tree removes while keeping the same O(1) service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .base import TagQueue
+
+
+@dataclass
+class _Node:
+    tag: int
+    payload: Any
+    next: Optional["_Node"]
+
+
+class SortedLinkedListQueue(TagQueue):
+    """Head-scanned sorted singly linked list."""
+
+    name = "sorted_list"
+    model = "sort"
+    complexity = "O(N) insert, O(1) service"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._head: Optional[_Node] = None
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        self.stats.record_read()  # head register + first node inspection
+        if self._head is None or tag < self._head.tag:
+            self._head = _Node(tag, payload, self._head)
+            self.stats.record_write()
+            return
+        cursor = self._head
+        # FCFS for duplicates: advance past equal tags (paper Section
+        # III-C notes first-come-first-served for rounded-off equal tags).
+        while cursor.next is not None and cursor.next.tag <= tag:
+            cursor = cursor.next
+            self.stats.record_read()
+        cursor.next = _Node(tag, payload, cursor.next)
+        self.stats.record_write(2)  # new node + predecessor pointer
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        node = self._head
+        self.stats.record_read()
+        self._head = node.next
+        return node.tag, node.payload
+
+    def _peek_min(self) -> int:
+        self.stats.record_read()
+        return self._head.tag

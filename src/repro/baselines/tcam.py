@@ -1,0 +1,81 @@
+"""Ternary CAM minimum search — the bit-wise masked iterative method.
+
+A TCAM can match with don't-care bits, enabling the classic W-step
+minimum search (Section II-D: "a TCAM can use a bit-wise iterative search
+using masked bits"): fix the candidate minimum one bit at a time from the
+MSB, probing with the remaining bits masked.  If a match exists with the
+current bit forced to 0 the minimum has a 0 there; otherwise a 1.  Worst
+case: exactly W probes — proportional to tag *width*, not count, the same
+exponential improvement class as the tree (whose branching factor then
+divides the W further).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from .base import TagQueue
+
+
+class TernaryCAMQueue(TagQueue):
+    """Masked-probe TCAM with W-step bitwise minimum search."""
+
+    name = "tcam"
+    model = "search"
+    complexity = "O(W) service (one probe per bit)"
+
+    def __init__(self, *, word_bits: int = 12) -> None:
+        super().__init__()
+        if word_bits < 1:
+            raise ConfigurationError("word width must be positive")
+        self.word_bits = word_bits
+        self._rows: Dict[int, Deque[Any]] = {}
+        self._occupancy: Counter = Counter()
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        if tag >> self.word_bits:
+            raise ConfigurationError(
+                f"tag {tag} wider than {self.word_bits} bits"
+            )
+        row = self._rows.get(tag)
+        if row is None:
+            row = deque()
+            self._rows[tag] = row
+        row.append(payload)
+        self._occupancy[tag] += 1
+        self.stats.record_write()
+
+    def _masked_match_exists(self, prefix: int, bits_fixed: int) -> bool:
+        """One TCAM probe: does any stored tag start with ``prefix``?"""
+        self.stats.record_read()
+        shift = self.word_bits - bits_fixed
+        for tag in self._occupancy:
+            if tag >> shift == prefix:
+                return True
+        return False
+
+    def _bitwise_min(self) -> int:
+        prefix = 0
+        for bit in range(self.word_bits):
+            candidate = prefix << 1  # try a 0 in this position
+            if self._masked_match_exists(candidate, bit + 1):
+                prefix = candidate
+            else:
+                prefix = candidate | 1
+        return prefix
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        tag = self._bitwise_min()
+        row = self._rows[tag]
+        payload = row.popleft()
+        self.stats.record_write()
+        self._occupancy[tag] -= 1
+        if not self._occupancy[tag]:
+            del self._occupancy[tag]
+            del self._rows[tag]
+        return tag, payload
+
+    def _peek_min(self) -> int:
+        return self._bitwise_min()

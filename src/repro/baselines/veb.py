@@ -1,0 +1,176 @@
+"""Van Emde Boas priority queue — ref. [10] of the paper.
+
+A full recursive vEB tree over a power-of-two universe: insert, delete,
+and minimum in O(log log U).  The paper cites it as the efficient software
+priority queue but explicitly notes "the van Emde Boas method is
+unsuitable for implementation in hardware" — its recursive memory layout
+defeats the distributed-memory pipelining the multi-bit tree enables.  It
+appears in Table I as the best asymptotic software row.
+
+The vEB structure stores a *set* of values; duplicate tags (which WFQ
+produces when tags are rounded) are handled with a per-value FIFO bucket
+alongside the set, preserving first-come-first-served service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from ..hwsim.stats import AccessStats
+from .base import TagQueue
+
+
+class _VebNode:
+    """One recursive vEB node over a universe of ``universe_bits`` bits."""
+
+    __slots__ = ("universe_bits", "min", "max", "summary", "clusters")
+
+    def __init__(self, universe_bits: int) -> None:
+        self.universe_bits = universe_bits
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.summary: Optional["_VebNode"] = None
+        self.clusters: Dict[int, "_VebNode"] = {}
+
+    @property
+    def high_bits(self) -> int:
+        return (self.universe_bits + 1) // 2
+
+    @property
+    def low_bits(self) -> int:
+        return self.universe_bits - self.high_bits
+
+    def _high(self, value: int) -> int:
+        return value >> self.low_bits
+
+    def _low(self, value: int) -> int:
+        return value & ((1 << self.low_bits) - 1)
+
+    def _index(self, high: int, low: int) -> int:
+        return (high << self.low_bits) | low
+
+    def insert(self, value: int, stats: AccessStats) -> None:
+        stats.record_read()  # inspect node min/max
+        if self.min is None:
+            self.min = self.max = value
+            stats.record_write()
+            return
+        if value < self.min:
+            value, self.min = self.min, value
+            stats.record_write()
+        if value > self.max:
+            self.max = value
+            stats.record_write()
+        if self.universe_bits > 1:
+            high, low = self._high(value), self._low(value)
+            cluster = self.clusters.get(high)
+            stats.record_read()  # cluster directory probe
+            if cluster is None:
+                cluster = _VebNode(self.low_bits)
+                self.clusters[high] = cluster
+                stats.record_write()
+            if cluster.min is None:
+                # Empty cluster: O(1) insert there plus a summary insert.
+                if self.summary is None:
+                    self.summary = _VebNode(self.high_bits)
+                self.summary.insert(high, stats)
+                cluster.min = cluster.max = low
+                stats.record_write()
+            else:
+                cluster.insert(low, stats)
+
+    def delete(self, value: int, stats: AccessStats) -> None:
+        stats.record_read()
+        if self.min == self.max:
+            self.min = self.max = None
+            stats.record_write()
+            return
+        if self.universe_bits == 1:
+            self.min = 1 if value == 0 else 0
+            self.max = self.min
+            stats.record_write()
+            return
+        if value == self.min:
+            first_cluster = self.summary.min
+            stats.record_read()
+            value = self._index(first_cluster, self.clusters[first_cluster].min)
+            self.min = value
+            stats.record_write()
+        high, low = self._high(value), self._low(value)
+        cluster = self.clusters[high]
+        stats.record_read()
+        cluster.delete(low, stats)
+        if cluster.min is None:
+            self.summary.delete(high, stats)
+            del self.clusters[high]
+            stats.record_write()
+            if value == self.max:
+                stats.record_read()
+                if self.summary.min is None:
+                    self.max = self.min
+                else:
+                    top = self.summary.max
+                    self.max = self._index(top, self.clusters[top].max)
+                stats.record_write()
+        elif value == self.max:
+            self.max = self._index(high, cluster.max)
+            stats.record_write()
+
+    def contains(self, value: int, stats: AccessStats) -> bool:
+        stats.record_read()
+        if value == self.min or value == self.max:
+            return True
+        if self.universe_bits == 1:
+            return False
+        cluster = self.clusters.get(self._high(value))
+        if cluster is None:
+            return False
+        return cluster.contains(self._low(value), stats)
+
+
+class VanEmdeBoasQueue(TagQueue):
+    """vEB-set priority queue with FIFO duplicate buckets."""
+
+    name = "van_emde_boas"
+    model = "sort"
+    complexity = "O(log log U) insert and service"
+
+    def __init__(self, word_bits: int = 12) -> None:
+        super().__init__()
+        if word_bits < 1:
+            raise ConfigurationError("word width must be positive")
+        self.word_bits = word_bits
+        self._root = _VebNode(word_bits)
+        self._buckets: Dict[int, deque] = {}
+
+    def _insert(self, tag: int, payload: Any) -> None:
+        if tag >> self.word_bits:
+            raise ConfigurationError(
+                f"tag {tag} exceeds the {self.word_bits}-bit universe"
+            )
+        bucket = self._buckets.get(tag)
+        self.stats.record_read()  # bucket directory probe
+        if bucket is None:
+            bucket = deque()
+            self._buckets[tag] = bucket
+            self._root.insert(tag, self.stats)
+        bucket.append(payload)
+        self.stats.record_write()
+
+    def _extract_min(self) -> Tuple[int, Any]:
+        tag = self._root.min
+        self.stats.record_read()
+        bucket = self._buckets[tag]
+        self.stats.record_read()
+        payload = bucket.popleft()
+        self.stats.record_write()
+        if not bucket:
+            del self._buckets[tag]
+            self._root.delete(tag, self.stats)
+        return tag, payload
+
+    def _peek_min(self) -> int:
+        self.stats.record_read()
+        return self._root.min

@@ -1,0 +1,80 @@
+"""Command-line interface: ``python -m repro <artifact>``.
+
+Regenerates any of the paper's evaluation artifacts without pytest:
+
+.. code-block:: console
+
+   $ python -m repro list
+   $ python -m repro table1
+   $ python -m repro fig7
+   $ python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis import reports
+
+#: artifact name -> (generator, description)
+ARTIFACTS: Dict[str, tuple] = {
+    "table1": (reports.table1, "lookup-method comparison (worst-case accesses)"),
+    "table2": (reports.table2, "post-layout synthesis estimate"),
+    "fig6": (reports.fig6, "drifting new-tag distribution under WFQ"),
+    "fig7": (reports.fig7, "matcher delay vs word length"),
+    "fig8": (reports.fig8, "matcher area vs word length"),
+    "throughput": (reports.throughput, "Section IV 35.8 Mpps / 40 Gb/s chain"),
+    "qos": (reports.qos, "WFQ vs round robin delay/fairness"),
+    "memory": (reports.memory, "external tag-storage technologies"),
+    "shapes": (reports.shapes, "branching-factor ablation sweep"),
+    "demo": (reports.demo, "live sorted-service proof on the circuit"),
+    "fairness": (reports.fairness, "WF2Q vs WFQ worst-case fairness burst"),
+    "e2e": (reports.e2e, "end-to-end delay bounds over WFQ hop chains"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation artifacts of 'A Scalable Packet "
+            "Sorting Circuit for High-Speed WFQ Packet Scheduling'."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "list"],
+        help="which artifact to regenerate ('list' shows descriptions)",
+    )
+    return parser
+
+
+def run_artifact(name: str) -> str:
+    """Generate one artifact's text."""
+    generator: Callable[[], str] = ARTIFACTS[name][0]
+    return generator()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        width = max(len(name) for name in ARTIFACTS)
+        for name, (_, description) in sorted(ARTIFACTS.items()):
+            print(f"  {name:<{width}}  {description}")
+        return 0
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    try:
+        for index, name in enumerate(names):
+            if index:
+                print()
+            print(run_artifact(name))
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: the tag sort/retrieve circuit.
+
+Public surface:
+
+* :class:`~repro.core.sort_retrieve.TagSortRetrieveCircuit` — the composed
+  circuit (tree + translation table + tag storage memory).
+* :class:`~repro.core.tree.MultiBitTree` — the closest-match search tree.
+* :class:`~repro.core.translation.TranslationTable` and
+  :class:`~repro.core.tag_storage.TagStorageMemory` — its memories.
+* :mod:`repro.core.matching` — the five node-search circuit topologies.
+* :mod:`repro.core.sizing` — eqs. (2)/(3) storage budgets.
+"""
+
+from .pipeline import (
+    OPERATION_LATENCY_CYCLES,
+    STAGE_CYCLES,
+    PipelinedSortRetrieve,
+)
+from .matching import (
+    ALL_MATCHERS,
+    DEFAULT_MATCHER,
+    BlockLookaheadMatcher,
+    LookaheadMatcher,
+    MatchingCircuit,
+    MatchResult,
+    RippleMatcher,
+    SelectLookaheadMatcher,
+    SkipLookaheadMatcher,
+    reference_search,
+)
+from .sizing import (
+    TreeBudget,
+    budget_for,
+    level_memory_bits,
+    mixed_width_tree_bits,
+    sweep_configurations,
+    total_tree_bits,
+    translation_table_entries,
+    worst_case_node_searches,
+)
+from .sort_retrieve import FIXED_OP_CYCLES, ServedTag, TagSortRetrieveCircuit
+from .tag_storage import CYCLES_PER_OPERATION, Link, TagStorageMemory
+from .translation import TranslationTable
+from .tree import MultiBitTree, SearchOutcome, TreeInvariantError
+from .words import FIGURE_FORMAT, PAPER_FORMAT, WordFormat
+
+__all__ = [
+    "OPERATION_LATENCY_CYCLES",
+    "STAGE_CYCLES",
+    "PipelinedSortRetrieve",
+    "ALL_MATCHERS",
+    "DEFAULT_MATCHER",
+    "BlockLookaheadMatcher",
+    "LookaheadMatcher",
+    "MatchingCircuit",
+    "MatchResult",
+    "RippleMatcher",
+    "SelectLookaheadMatcher",
+    "SkipLookaheadMatcher",
+    "reference_search",
+    "TreeBudget",
+    "budget_for",
+    "level_memory_bits",
+    "mixed_width_tree_bits",
+    "sweep_configurations",
+    "total_tree_bits",
+    "translation_table_entries",
+    "worst_case_node_searches",
+    "FIXED_OP_CYCLES",
+    "ServedTag",
+    "TagSortRetrieveCircuit",
+    "CYCLES_PER_OPERATION",
+    "Link",
+    "TagStorageMemory",
+    "TranslationTable",
+    "MultiBitTree",
+    "SearchOutcome",
+    "TreeInvariantError",
+    "FIGURE_FORMAT",
+    "PAPER_FORMAT",
+    "WordFormat",
+]

@@ -1,0 +1,63 @@
+"""Block look-ahead closest-match circuit.
+
+Two-level look-ahead: 4-bit groups feed 4-group super-blocks whose
+block-level "set bit exists" signals are themselves computed with
+look-ahead logic.  The inter-block chain is then over ``width/16``
+super-blocks, flattening the delay curve at the cost of a second level of
+look-ahead logic (the largest area of the five topologies in Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ...hwsim.gates import Cost, GATE_AREA, GATE_DELAY
+from .base import MatchingCircuit, MatchResult
+
+GROUP_BITS = 4
+GROUPS_PER_BLOCK = 4
+BLOCK_BITS = GROUP_BITS * GROUPS_PER_BLOCK
+
+
+class BlockLookaheadMatcher(MatchingCircuit):
+    """Two-level look-ahead priority encode."""
+
+    name = "block_lookahead"
+
+    def _priority_encode(self, masked: int, top: int) -> Optional[int]:
+        """Scan 16-bit super-blocks, then 4-bit groups, then bits."""
+        block_mask = (1 << BLOCK_BITS) - 1
+        group_mask = (1 << GROUP_BITS) - 1
+        top_block = top // BLOCK_BITS
+        for block in range(top_block, -1, -1):
+            block_bits = (masked >> (block * BLOCK_BITS)) & block_mask
+            if block_bits == 0:
+                continue
+            for group in range(GROUPS_PER_BLOCK - 1, -1, -1):
+                group_bits = (block_bits >> (group * GROUP_BITS)) & group_mask
+                if group_bits == 0:
+                    continue
+                highest = group_bits.bit_length() - 1
+                return block * BLOCK_BITS + group * GROUP_BITS + highest
+        return None
+
+    def search(self, word_mask: int, target: int) -> MatchResult:
+        self._validate(word_mask, target)
+        low_mask = (1 << (target + 1)) - 1
+        primary = self._priority_encode(word_mask & low_mask, target)
+        backup = None
+        if primary is not None and primary > 0:
+            backup = self._priority_encode(
+                word_mask & ((1 << primary) - 1), primary - 1
+            )
+        return MatchResult(primary=primary, backup=backup)
+
+    def cost(self) -> Cost:
+        blocks = math.ceil(self.width / BLOCK_BITS)
+        # Group look-ahead (2 levels) + block look-ahead (2 levels) + the
+        # inter-block chain + re-descent through both levels on the way
+        # back down to the selected bit.
+        delay = 2 * GATE_DELAY * blocks + 16 * GATE_DELAY
+        # Two look-ahead levels cost ~6.5 gates per bit.
+        return Cost(delay=delay, area=6.5 * GATE_AREA * self.width)

@@ -1,0 +1,255 @@
+"""Gate-level netlist realization of the closest-match function.
+
+The behavioral matchers in this package model *cost* analytically; this
+module goes one level deeper and actually builds the matcher out of
+two-input gates, evaluates it bit by bit, and measures depth and gate
+count structurally — a micro-RTL cross-check of both the function and
+the Fig. 7/8 cost models:
+
+* :func:`build_matcher_netlist` emits the priority-encode-below-target
+  circuit: a thermometer mask of the target, an eligibility AND plane,
+  a suffix-OR "found above" network, and one-hot primary/backup selects
+  (the backup plane is the same structure with the primary bit masked —
+  the paper's parallel secondary lookup);
+* the suffix-OR network comes in two topologies, ``"ripple"`` (serial
+  chain, linear depth) and ``"tree"`` (Kogge–Stone-style parallel
+  prefix, logarithmic depth), mirroring the ripple vs look-ahead split
+  of ref. [13];
+* :class:`Netlist` evaluates with plain boolean propagation and reports
+  longest-path depth and gate count, which the tests compare against the
+  analytic :class:`~repro.core.matching.base.MatchingCircuit` costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...hwsim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One two-input (or one-input) logic gate."""
+
+    kind: str  # "AND" | "OR" | "NOT"
+    inputs: Tuple[int, ...]
+    output: int
+
+
+@dataclass
+class Netlist:
+    """A feed-forward gate network over numbered nets."""
+
+    input_nets: Dict[str, int] = field(default_factory=dict)
+    output_nets: Dict[str, int] = field(default_factory=dict)
+    gates: List[Gate] = field(default_factory=list)
+    _next_net: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def new_net(self) -> int:
+        net = self._next_net
+        self._next_net += 1
+        return net
+
+    def add_input(self, name: str) -> int:
+        if name in self.input_nets:
+            raise ConfigurationError(f"duplicate input {name!r}")
+        net = self.new_net()
+        self.input_nets[name] = net
+        return net
+
+    def add_gate(self, kind: str, *inputs: int) -> int:
+        if kind not in ("AND", "OR", "NOT"):
+            raise ConfigurationError(f"unknown gate kind {kind!r}")
+        if kind == "NOT" and len(inputs) != 1:
+            raise ConfigurationError("NOT takes exactly one input")
+        if kind != "NOT" and len(inputs) != 2:
+            raise ConfigurationError(f"{kind} takes exactly two inputs")
+        output = self.new_net()
+        self.gates.append(Gate(kind=kind, inputs=tuple(inputs), output=output))
+        return output
+
+    def mark_output(self, name: str, net: int) -> None:
+        self.output_nets[name] = net
+
+    # ------------------------------------------------------------------
+    # analysis
+
+    def evaluate(self, inputs: Dict[str, bool]) -> Dict[str, bool]:
+        """Propagate boolean values through the network."""
+        values: Dict[int, bool] = {}
+        for name, net in self.input_nets.items():
+            if name not in inputs:
+                raise ConfigurationError(f"missing input {name!r}")
+            values[net] = bool(inputs[name])
+        for gate in self.gates:  # gates are emitted in topological order
+            operands = [values[net] for net in gate.inputs]
+            if gate.kind == "AND":
+                values[gate.output] = operands[0] and operands[1]
+            elif gate.kind == "OR":
+                values[gate.output] = operands[0] or operands[1]
+            else:
+                values[gate.output] = not operands[0]
+        return {
+            name: values[net] for name, net in self.output_nets.items()
+        }
+
+    def depth(self) -> int:
+        """Longest input-to-output path in gate levels (NOT counts 0,
+        matching the unit-gate convention of repro.hwsim.gates)."""
+        level: Dict[int, int] = {
+            net: 0 for net in self.input_nets.values()
+        }
+        deepest = 0
+        for gate in self.gates:
+            cost = 0 if gate.kind == "NOT" else 1
+            gate_level = max(level[net] for net in gate.inputs) + cost
+            level[gate.output] = gate_level
+            deepest = max(deepest, gate_level)
+        return deepest
+
+    def gate_count(self) -> int:
+        """Two-input gates (NOT counts half, per the area convention)."""
+        full = sum(1 for gate in self.gates if gate.kind != "NOT")
+        inverters = sum(1 for gate in self.gates if gate.kind == "NOT")
+        return full + (inverters + 1) // 2
+
+
+def _suffix_or_ripple(netlist: Netlist, bits: Sequence[int]) -> List[int]:
+    """above[i] = OR of bits[j] for j > i, as a serial chain."""
+    width = len(bits)
+    above: List[Optional[int]] = [None] * width
+    running: Optional[int] = None
+    for position in range(width - 1, -1, -1):
+        above[position] = running
+        if running is None:
+            running = bits[position]
+        else:
+            running = netlist.add_gate("OR", bits[position], running)
+    return above
+
+
+def _suffix_or_tree(netlist: Netlist, bits: Sequence[int]) -> List[int]:
+    """The same suffix-OR, as a Kogge–Stone parallel-prefix network."""
+    width = len(bits)
+    # exclusive suffix: shift by one, then inclusive-suffix the rest
+    current: List[Optional[int]] = [
+        bits[position + 1] if position + 1 < width else None
+        for position in range(width)
+    ]
+    distance = 1
+    while distance < width:
+        updated = list(current)
+        for position in range(width):
+            other = position + distance
+            if other < width and current[other] is not None:
+                if current[position] is None:
+                    updated[position] = current[other]
+                else:
+                    updated[position] = netlist.add_gate(
+                        "OR", current[position], current[other]
+                    )
+        current = updated
+        distance *= 2
+    return current
+
+
+def build_matcher_netlist(width: int, *, topology: str = "tree") -> Netlist:
+    """Emit the full closest-match circuit for ``width``-bit nodes.
+
+    Inputs: ``m0..m{w-1}`` (the node word) and ``t0..t{w-1}`` (a
+    thermometer code of the target: ``t_i = 1`` iff ``i <= target``).
+    Outputs: one-hot ``p0..`` (primary match), one-hot ``b0..`` (backup
+    match), and ``none`` (primary search failed — the Fig. 5 point-A
+    signal).
+    """
+    if width < 2:
+        raise ConfigurationError("need at least 2 bits")
+    if topology not in ("ripple", "tree"):
+        raise ConfigurationError(f"unknown topology {topology!r}")
+    netlist = Netlist()
+    mask = [netlist.add_input(f"m{i}") for i in range(width)]
+    thermometer = [netlist.add_input(f"t{i}") for i in range(width)]
+
+    eligible = [
+        netlist.add_gate("AND", mask[i], thermometer[i]) for i in range(width)
+    ]
+    suffix = (
+        _suffix_or_ripple if topology == "ripple" else _suffix_or_tree
+    )
+    above = suffix(netlist, eligible)
+
+    primary = []
+    for position in range(width):
+        if above[position] is None:
+            primary.append(eligible[position])
+        else:
+            inverted = netlist.add_gate("NOT", above[position])
+            primary.append(
+                netlist.add_gate("AND", eligible[position], inverted)
+            )
+        netlist.mark_output(f"p{position}", primary[position])
+
+    # The parallel backup plane: the same encode over eligible bits with
+    # the primary bit removed.
+    secondary = [
+        netlist.add_gate(
+            "AND",
+            eligible[position],
+            netlist.add_gate("NOT", primary[position]),
+        )
+        for position in range(width)
+    ]
+    above2 = suffix(netlist, secondary)
+    for position in range(width):
+        if above2[position] is None:
+            backup = secondary[position]
+        else:
+            inverted = netlist.add_gate("NOT", above2[position])
+            backup = netlist.add_gate("AND", secondary[position], inverted)
+        netlist.mark_output(f"b{position}", backup)
+
+    # none = NOT(OR of all eligible): a balanced OR tree.
+    frontier = list(eligible)
+    while len(frontier) > 1:
+        paired = []
+        for index in range(0, len(frontier) - 1, 2):
+            paired.append(
+                netlist.add_gate("OR", frontier[index], frontier[index + 1])
+            )
+        if len(frontier) % 2:
+            paired.append(frontier[-1])
+        frontier = paired
+    netlist.mark_output("none", netlist.add_gate("NOT", frontier[0]))
+    return netlist
+
+
+def netlist_search(
+    netlist: Netlist, width: int, word_mask: int, target: int
+) -> Tuple[Optional[int], Optional[int]]:
+    """Run one search on a built netlist; returns (primary, backup)."""
+    inputs = {}
+    for position in range(width):
+        inputs[f"m{position}"] = bool(word_mask >> position & 1)
+        inputs[f"t{position}"] = position <= target
+    outputs = netlist.evaluate(inputs)
+    primary = next(
+        (
+            position
+            for position in range(width)
+            if outputs[f"p{position}"]
+        ),
+        None,
+    )
+    backup = next(
+        (
+            position
+            for position in range(width)
+            if outputs[f"b{position}"]
+        ),
+        None,
+    )
+    return primary, backup

@@ -1,0 +1,46 @@
+"""Ripple-cell closest-match circuit.
+
+The simplest topology from ref. [13]: a "not found yet" signal ripples
+from the target bit position down to bit 0, one AND-OR cell per position.
+Delay grows linearly with node width, which is why Fig. 7 shows the ripple
+curve diverging from every accelerated variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...hwsim.gates import Cost, GATE_AREA, GATE_DELAY
+from .base import MatchingCircuit, MatchResult
+
+
+class RippleMatcher(MatchingCircuit):
+    """Bit-serial priority encode below the target."""
+
+    name = "ripple"
+
+    def _priority_encode(self, masked: int, top: int) -> Optional[int]:
+        """Walk bit by bit downward, as the ripple chain does."""
+        for position in range(top, -1, -1):
+            if masked >> position & 1:
+                return position
+        return None
+
+    def search(self, word_mask: int, target: int) -> MatchResult:
+        self._validate(word_mask, target)
+        primary = self._priority_encode(word_mask, target)
+        backup = None
+        if primary is not None and primary > 0:
+            backup = self._priority_encode(
+                word_mask & ~(1 << primary), primary - 1
+            )
+        return MatchResult(primary=primary, backup=backup)
+
+    def cost(self) -> Cost:
+        # One AND-OR cell per bit position (2 gate delays each), plus the
+        # target-mask decode and final position encode (4 delays, ~b area).
+        chain_delay = 2 * GATE_DELAY * self.width
+        return Cost(
+            delay=chain_delay + 2 * GATE_DELAY,
+            area=3 * GATE_AREA * self.width,
+        )

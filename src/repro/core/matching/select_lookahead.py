@@ -1,0 +1,87 @@
+"""Select & look-ahead closest-match circuit — the paper's choice.
+
+Analogous to a carry-select adder: the word is split into
+``ceil(sqrt(2 * width))``-bit blocks, each of which computes its local
+priority encode *speculatively and in parallel* using two-level look-ahead
+logic; a fast mux chain then selects, from the highest block downward, the
+first block that actually holds a set bit.  Because block results are
+ready before the select chain arrives, the critical path is just the block
+look-ahead depth plus the mux chain — the flattest curve in Fig. 7.
+
+Ref. [13] found this variant "the fastest and most hardware efficient
+option available"; at 16 bits on Altera Stratix II it ran at 154 MHz,
+which the paper converts to >44 Gb/s for 140-byte average packets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ...hwsim.gates import Cost, GATE_AREA, GATE_DELAY, MUX_DELAY
+from .base import MatchingCircuit, MatchResult
+
+
+def optimal_select_block(width: int) -> int:
+    """Select-chain block sizing: sqrt(2 * width), at least 2."""
+    return max(2, math.ceil(math.sqrt(2 * width)))
+
+
+class SelectLookaheadMatcher(MatchingCircuit):
+    """Speculative per-block encode with a mux select chain."""
+
+    name = "select_lookahead"
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width)
+        self.block_bits = optimal_select_block(width)
+
+    def _block_encodes(self, masked: int) -> List[Tuple[bool, int]]:
+        """Per-block (any set bit, local highest position), all in parallel.
+
+        This is the speculative stage: every block computes its answer
+        before knowing whether it will be selected.
+        """
+        block_mask = (1 << self.block_bits) - 1
+        blocks = math.ceil(self.width / self.block_bits)
+        encodes = []
+        for block in range(blocks):
+            bits = (masked >> (block * self.block_bits)) & block_mask
+            if bits:
+                encodes.append((True, bits.bit_length() - 1))
+            else:
+                encodes.append((False, 0))
+        return encodes
+
+    def _priority_encode(self, masked: int, top: int) -> Optional[int]:
+        encodes = self._block_encodes(masked)
+        top_block = top // self.block_bits
+        # The select chain walks from the target's block downward and
+        # latches the first block whose speculative "any" flag is set.
+        for block in range(top_block, -1, -1):
+            any_set, local = encodes[block]
+            if any_set:
+                return block * self.block_bits + local
+        return None
+
+    def search(self, word_mask: int, target: int) -> MatchResult:
+        self._validate(word_mask, target)
+        low_mask = (1 << (target + 1)) - 1
+        primary = self._priority_encode(word_mask & low_mask, target)
+        backup = None
+        if primary is not None and primary > 0:
+            backup = self._priority_encode(
+                word_mask & ((1 << primary) - 1), primary - 1
+            )
+        return MatchResult(primary=primary, backup=backup)
+
+    def cost(self) -> Cost:
+        blocks = math.ceil(self.width / self.block_bits)
+        # Blocks encode in parallel with look-ahead logic (log depth),
+        # then the select mux chain runs over the block count.
+        block_depth = 2 * math.ceil(math.log2(self.block_bits)) + 2
+        select_chain = MUX_DELAY * blocks
+        return Cost(
+            delay=block_depth * GATE_DELAY + select_chain,
+            area=4 * GATE_AREA * self.width,
+        )

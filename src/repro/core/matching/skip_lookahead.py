@@ -1,0 +1,67 @@
+"""Skip & look-ahead closest-match circuit.
+
+Analogous to a carry-skip adder: the word is split into blocks of
+``ceil(sqrt(width / 2))`` bits (the classic optimum for a skip chain).
+An empty block is *skipped* in one mux delay instead of being rippled
+through; only the first and last blocks touched by the search pay the full
+in-block ripple.  Worst-case delay grows with the square root of the node
+width.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ...hwsim.gates import Cost, GATE_AREA, GATE_DELAY, MUX_DELAY
+from .base import MatchingCircuit, MatchResult
+
+
+def optimal_skip_block(width: int) -> int:
+    """Classic carry-skip block sizing: sqrt(width / 2), at least 2."""
+    return max(2, math.ceil(math.sqrt(width / 2)))
+
+
+class SkipLookaheadMatcher(MatchingCircuit):
+    """Block-skip priority encode."""
+
+    name = "skip_lookahead"
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width)
+        self.block_bits = optimal_skip_block(width)
+
+    def _priority_encode(self, masked: int, top: int) -> Optional[int]:
+        """Skip whole empty blocks; ripple only inside a hit block."""
+        block_mask = (1 << self.block_bits) - 1
+        top_block = top // self.block_bits
+        for block in range(top_block, -1, -1):
+            bits = (masked >> (block * self.block_bits)) & block_mask
+            if bits == 0:
+                continue  # this is the one-mux-delay skip
+            for position in range(self.block_bits - 1, -1, -1):
+                if bits >> position & 1:
+                    return block * self.block_bits + position
+        return None
+
+    def search(self, word_mask: int, target: int) -> MatchResult:
+        self._validate(word_mask, target)
+        low_mask = (1 << (target + 1)) - 1
+        primary = self._priority_encode(word_mask & low_mask, target)
+        backup = None
+        if primary is not None and primary > 0:
+            backup = self._priority_encode(
+                word_mask & ((1 << primary) - 1), primary - 1
+            )
+        return MatchResult(primary=primary, backup=backup)
+
+    def cost(self) -> Cost:
+        blocks = math.ceil(self.width / self.block_bits)
+        # Worst case: ripple through the entry block, skip the middle
+        # blocks (one mux each), ripple through the exit block.
+        ripple_ends = 2 * (2 * GATE_DELAY * self.block_bits)
+        skip_chain = MUX_DELAY * blocks
+        return Cost(
+            delay=ripple_ends + skip_chain + 2 * GATE_DELAY,
+            area=4.5 * GATE_AREA * self.width,
+        )

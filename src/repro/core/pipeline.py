@@ -1,0 +1,249 @@
+"""Cycle-accurate pipelined model of the sort/retrieve circuit.
+
+The paper's Section III-A fixes the timing contract: the three-level
+tree plus the translation table throughput one tag in four clock cycles,
+deliberately matched to the tag storage memory's four-cycle (two-read,
+two-write) insert, "allow[ing] the operations of the separate components
+to be synchronized most efficiently".  Because the two halves use
+*disjoint memories*, they pipeline: while the storage memory splices tag
+i, the tree and translation table are already looking up tag i+1.
+
+:class:`PipelinedSortRetrieve` executes that schedule cycle by cycle on
+a real :class:`~repro.hwsim.clock.Clock`:
+
+* **stage A (lookup, 4 cycles)** — tree levels 0/1 (registers, cycle 0),
+  tree level 2 (single-port SRAM, cycle 1), translation-table read
+  (cycle 2), tree marker write-back + translation update (cycle 3);
+* **stage B (splice, 4 cycles)** — the Fig. 9 storage sequence: free-
+  location read, predecessor read, predecessor write, new-link write.
+
+Single-port constraints are enforced per cycle on the level-2 SRAM, the
+translation table, and the tag storage; a schedule that double-booked a
+port would raise :class:`~repro.hwsim.errors.PortConflictError` instead
+of silently serializing.
+
+The model demonstrates and *measures* the paper's two headline timing
+properties:
+
+* steady-state throughput of one operation per four cycles;
+* a fixed per-operation latency of eight cycles (two full stages),
+  independent of occupancy.
+
+Functional results are delegated to :class:`TagSortRetrieveCircuit` (the
+behavioural golden model); this class adds the cycle schedule on top and
+cross-checks against it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+from ..hwsim.clock import Clock
+from ..hwsim.errors import ConfigurationError, ProtocolError
+from .sort_retrieve import ServedTag, TagSortRetrieveCircuit
+from .words import PAPER_FORMAT, WordFormat
+
+#: cycles per pipeline stage (Section III-A)
+STAGE_CYCLES = 4
+#: end-to-end latency of one operation: lookup stage + splice stage
+OPERATION_LATENCY_CYCLES = 2 * STAGE_CYCLES
+
+
+@dataclass
+class _Operation:
+    """One in-flight circuit operation."""
+
+    kind: str  # "insert" | "dequeue" | "insert_dequeue"
+    tag: Optional[int]
+    payload: Any
+    issue_cycle: int
+    port_trace: List[str] = field(default_factory=list)
+    retired_cycle: Optional[int] = None
+    result: Optional[ServedTag] = None
+    address: Optional[int] = None
+
+
+#: which port each cycle of each stage claims, for conflict auditing
+_STAGE_A_PORTS = ("tree_regs", "tree_sram", "translation", "translation")
+_STAGE_B_PORTS = ("storage", "storage", "storage", "storage")
+
+
+class PipelinedSortRetrieve:
+    """Two-stage, four-cycles-per-stage pipeline over the circuit."""
+
+    def __init__(
+        self,
+        fmt: WordFormat = PAPER_FORMAT,
+        *,
+        capacity: int = 4096,
+        clock: Optional[Clock] = None,
+        eager_marker_removal: bool = True,
+    ) -> None:
+        self.circuit = TagSortRetrieveCircuit(
+            fmt,
+            capacity=capacity,
+            eager_marker_removal=eager_marker_removal,
+        )
+        self.clock = clock if clock is not None else Clock()
+        self._pending: Deque[_Operation] = deque()
+        self._stage_a: Optional[_Operation] = None
+        self._stage_b: Optional[_Operation] = None
+        self._stage_a_cycle = 0
+        self._stage_b_cycle = 0
+        self.retired: List[_Operation] = []
+        self._ports_this_cycle: List[str] = []
+
+    # ------------------------------------------------------------------
+    # issue interface
+
+    def submit_insert(self, tag: int, payload: Any = None) -> None:
+        """Queue an insert operation."""
+        self.circuit.fmt.check_value(tag)
+        self._pending.append(
+            _Operation(
+                kind="insert",
+                tag=tag,
+                payload=payload,
+                issue_cycle=self.clock.cycle,
+            )
+        )
+
+    def submit_dequeue(self) -> None:
+        """Queue a dequeue of the current minimum."""
+        self._pending.append(
+            _Operation(
+                kind="dequeue",
+                tag=None,
+                payload=None,
+                issue_cycle=self.clock.cycle,
+            )
+        )
+
+    def submit_insert_dequeue(self, tag: int, payload: Any = None) -> None:
+        """Queue a simultaneous insert + dequeue (Section III-C)."""
+        self.circuit.fmt.check_value(tag)
+        self._pending.append(
+            _Operation(
+                kind="insert_dequeue",
+                tag=tag,
+                payload=payload,
+                issue_cycle=self.clock.cycle,
+            )
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Operations accepted but not yet retired."""
+        active = sum(
+            1 for stage in (self._stage_a, self._stage_b) if stage is not None
+        )
+        return len(self._pending) + active
+
+    # ------------------------------------------------------------------
+    # cycle execution
+
+    def _claim_port(self, port: str) -> None:
+        if port in self._ports_this_cycle:
+            raise ProtocolError(
+                f"pipeline schedule bug: port {port!r} double-booked in "
+                f"cycle {self.clock.cycle}"
+            )
+        self._ports_this_cycle.append(port)
+
+    def tick(self) -> None:
+        """Advance the pipeline by one clock cycle."""
+        self._ports_this_cycle = []
+
+        # Stage B (splice) executes first so its hand-off slot frees up
+        # within this cycle, exactly like a register between stages.
+        if self._stage_b is not None:
+            operation = self._stage_b
+            self._claim_port(_STAGE_B_PORTS[self._stage_b_cycle])
+            operation.port_trace.append(
+                f"B{self._stage_b_cycle}:{_STAGE_B_PORTS[self._stage_b_cycle]}"
+            )
+            self._stage_b_cycle += 1
+            if self._stage_b_cycle == STAGE_CYCLES:
+                self._retire(operation)
+                self._stage_b = None
+                self._stage_b_cycle = 0
+
+        # Stage A (lookup).
+        if self._stage_a is not None:
+            operation = self._stage_a
+            self._claim_port(_STAGE_A_PORTS[self._stage_a_cycle])
+            operation.port_trace.append(
+                f"A{self._stage_a_cycle}:{_STAGE_A_PORTS[self._stage_a_cycle]}"
+            )
+            self._stage_a_cycle += 1
+            if self._stage_a_cycle == STAGE_CYCLES and self._stage_b is None:
+                self._stage_b = operation
+                self._stage_a = None
+                self._stage_a_cycle = 0
+        elif self._pending:
+            # Issue into stage A at the top of the cycle.
+            self._stage_a = self._pending.popleft()
+            self._claim_port(_STAGE_A_PORTS[0])
+            self._stage_a.port_trace.append(f"A0:{_STAGE_A_PORTS[0]}")
+            self._stage_a_cycle = 1
+
+        self.clock.step(1)
+
+    def _retire(self, operation: _Operation) -> None:
+        """Commit the operation's architectural effect (golden model)."""
+        if operation.kind == "insert":
+            operation.address = self.circuit.insert(
+                operation.tag, operation.payload
+            )
+        elif operation.kind == "dequeue":
+            operation.result = self.circuit.dequeue_min()
+        else:
+            served, address = self.circuit.insert_and_dequeue(
+                operation.tag, operation.payload
+            )
+            operation.result = served
+            operation.address = address
+        operation.retired_cycle = self.clock.cycle + 1
+        self.retired.append(operation)
+
+    def run_until_drained(self, *, max_cycles: int = 1_000_000) -> int:
+        """Tick until every submitted operation has retired."""
+        start = self.clock.cycle
+        while self.in_flight:
+            if self.clock.cycle - start > max_cycles:
+                raise ConfigurationError("pipeline failed to drain")
+            self.tick()
+        return self.clock.cycle - start
+
+    # ------------------------------------------------------------------
+    # measured timing properties
+
+    def steady_state_cycles_per_operation(self) -> float:
+        """Retirement-to-retirement spacing once the pipeline is full."""
+        retire_cycles = [
+            op.retired_cycle
+            for op in self.retired
+            if op.retired_cycle is not None
+        ]
+        if len(retire_cycles) < 3:
+            raise ConfigurationError("need at least 3 retirements")
+        gaps = [
+            later - earlier
+            for earlier, later in zip(retire_cycles[1:], retire_cycles[2:])
+        ]
+        return sum(gaps) / len(gaps)
+
+    def operation_latencies(self) -> List[int]:
+        """Issue-to-retire latency of each retired operation, in cycles.
+
+        For back-pressured operations this includes queueing; the *fixed*
+        part (first-in-line issue to retire) is
+        :data:`OPERATION_LATENCY_CYCLES`.
+        """
+        return [
+            op.retired_cycle - op.issue_cycle
+            for op in self.retired
+            if op.retired_cycle is not None
+        ]

@@ -1,0 +1,153 @@
+"""Architecture sizing per the paper's eqs. (2) and (3).
+
+Equation (2) gives the memory (in bits) needed for level ``l`` of the
+multi-bit tree: a node is ``b`` bits wide (branching factor b) and level
+``l`` holds ``b**l`` nodes, so::
+
+    LM(l) = b ** (l + 1)          # level 0 is the root
+
+Equation (3) sums this over all L levels.  A second eq. (2) in the text
+(the labels collide in the original) sizes the translation table: one
+entry per representable tag value, ``E = b ** L = 2 ** W``.
+
+These closed forms are checked against the paper's concrete numbers in
+the tests: the 3-level, 16-bit-node tree has 16 + 256 = 272 bits in its
+first two (register) levels and 4096 bits (4 kbit) in its third (SRAM)
+level, and needs a 4096-entry translation table (the text's optional
+32-bit-node variant would need 32 k entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..hwsim.errors import ConfigurationError
+from .words import WordFormat
+
+
+def level_memory_bits(level: int, branching_factor: int) -> int:
+    """Eq. (2): bits of storage required for tree level ``level`` (0 = root)."""
+    if level < 0:
+        raise ConfigurationError("level must be non-negative")
+    if branching_factor < 2:
+        raise ConfigurationError("branching factor must be at least 2")
+    return branching_factor ** (level + 1)
+
+
+def total_tree_bits(levels: int, branching_factor: int) -> int:
+    """Eq. (3): total tree storage in bits across ``levels`` levels."""
+    if levels < 1:
+        raise ConfigurationError("tree needs at least one level")
+    return sum(level_memory_bits(l, branching_factor) for l in range(levels))
+
+
+def translation_table_entries(levels: int, branching_factor: int) -> int:
+    """Entries required in the translation table: b**L = 2**W."""
+    if levels < 1:
+        raise ConfigurationError("tree needs at least one level")
+    if branching_factor < 2:
+        raise ConfigurationError("branching factor must be at least 2")
+    return branching_factor ** levels
+
+
+def mixed_width_tree_bits(node_bits_per_level: Sequence[int]) -> int:
+    """Total bits for a tree whose node width differs per level.
+
+    The paper (Section III-A) mentions — and rejects — unequal node
+    widths; this helper supports the A1 ablation quantifying that choice.
+    Level ``l``'s node count is the product of the branching factors of
+    all shallower levels.
+    """
+    if not node_bits_per_level:
+        raise ConfigurationError("need at least one level")
+    total = 0
+    nodes_at_level = 1
+    for bits in node_bits_per_level:
+        if bits < 2:
+            raise ConfigurationError("node width must be at least 2 bits")
+        total += nodes_at_level * bits
+        nodes_at_level *= bits
+    return total
+
+
+def worst_case_node_searches(levels: int) -> int:
+    """Worst-case node lookups per tree search: one per level.
+
+    The backup path runs *in parallel* with the primary search (paper
+    Section III-A), so it does not add sequential node accesses.
+    """
+    if levels < 1:
+        raise ConfigurationError("tree needs at least one level")
+    return levels
+
+
+@dataclass(frozen=True)
+class TreeBudget:
+    """A complete sizing of one tree configuration."""
+
+    fmt: WordFormat
+    register_levels: int
+    register_bits: int
+    sram_bits: int
+    translation_entries: int
+
+    @property
+    def total_bits(self) -> int:
+        """Tree storage, registers plus SRAM."""
+        return self.register_bits + self.sram_bits
+
+    @property
+    def word_bits(self) -> int:
+        """Tag width W covered by the configuration."""
+        return self.fmt.word_bits
+
+
+def budget_for(fmt: WordFormat, *, register_levels: int = 2) -> TreeBudget:
+    """Compute the full storage budget for a word format.
+
+    ``register_levels`` is how many shallow levels live in registers (the
+    paper uses 2); the rest are SRAM.
+    """
+    if not 0 <= register_levels <= fmt.levels:
+        raise ConfigurationError(
+            f"register_levels must lie in [0, {fmt.levels}]"
+        )
+    reg = sum(
+        level_memory_bits(l, fmt.branching_factor) for l in range(register_levels)
+    )
+    sram = sum(
+        level_memory_bits(l, fmt.branching_factor)
+        for l in range(register_levels, fmt.levels)
+    )
+    return TreeBudget(
+        fmt=fmt,
+        register_levels=register_levels,
+        register_bits=reg,
+        sram_bits=sram,
+        translation_entries=translation_table_entries(
+            fmt.levels, fmt.branching_factor
+        ),
+    )
+
+
+def sweep_configurations(
+    word_bits: int, *, register_levels: int = 2
+) -> List[TreeBudget]:
+    """All (levels, literal_bits) factorizations of a word width.
+
+    Supports the branching-factor ablation: for a fixed tag width, compare
+    storage and search depth across every equal-width tree shape.
+    """
+    if word_bits < 1:
+        raise ConfigurationError("word width must be positive")
+    budgets = []
+    for literal_bits in range(1, word_bits + 1):
+        if word_bits % literal_bits:
+            continue
+        levels = word_bits // literal_bits
+        fmt = WordFormat(levels=levels, literal_bits=literal_bits)
+        budgets.append(
+            budget_for(fmt, register_levels=min(register_levels, levels))
+        )
+    return budgets

@@ -1,0 +1,318 @@
+"""The tag sort/retrieve circuit: tree + translation table + tag storage.
+
+This is the paper's contribution (Fig. 3): an associative memory that
+stores every finishing tag in the scheduler **in sorted order** and serves
+the smallest within a guaranteed fixed time.  Inserting conforms to the
+*sort model* of Section II-C — the lookup happens at the input, so a
+dequeue never searches: it is a fixed-cost head removal.
+
+Operation timing follows Section III-A: the three-level tree plus the
+translation table throughput one tag in four clock cycles, matched to the
+four-cycle (two-read, two-write) insert of the tag storage memory, so the
+whole circuit sustains one operation — insert, dequeue, or a simultaneous
+insert+dequeue — every :data:`FIXED_OP_CYCLES` cycles.
+
+Marker lifetime has two modes:
+
+* **Deferred (paper mode, default).**  A dequeue touches only the tag
+  storage; tree markers and translation entries go *stale* instead of
+  being removed.  Under the WFQ invariant — a new tag is never smaller
+  than the current minimum — a stale marker is always shadowed by the
+  live minimum's marker and can never be returned by a search, so this is
+  sound and is exactly why the paper can bulk-delete stale sections only
+  when the wrapping tag space comes back around (Fig. 6,
+  :meth:`TagSortRetrieveCircuit.clear_stale_section`).
+* **Eager.**  A dequeue that retires the last tag of a value removes the
+  marker and translation entry immediately.  This drops the WFQ
+  monotonicity requirement, making the circuit a general-purpose
+  priority queue (used as such in the Table I comparisons).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from ..hwsim.errors import (
+    ConfigurationError,
+    EmptyStructureError,
+    ProtocolError,
+)
+from ..hwsim.stats import AccessStats, StatsRegistry
+from .matching import DEFAULT_MATCHER
+from .tag_storage import TagStorageMemory
+from .translation import TranslationTable
+from .tree import MultiBitTree
+from .words import PAPER_FORMAT, WordFormat
+
+#: Clock cycles consumed by any single circuit operation (Section III-A).
+FIXED_OP_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class ServedTag:
+    """A tag retrieved from the circuit."""
+
+    tag: int
+    payload: Any
+    address: int
+
+
+class TagSortRetrieveCircuit:
+    """The complete tag sort/retrieve circuit of paper Fig. 3."""
+
+    def __init__(
+        self,
+        fmt: WordFormat = PAPER_FORMAT,
+        *,
+        capacity: int = 4096,
+        matcher_factory=DEFAULT_MATCHER,
+        eager_marker_removal: bool = False,
+        modular: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        if modular and eager_marker_removal:
+            raise ConfigurationError(
+                "modular (wrapping) mode relies on deferred marker removal"
+            )
+        self.fmt = fmt
+        self.eager_marker_removal = eager_marker_removal
+        self.modular = modular
+        self.tree = MultiBitTree(fmt, matcher_factory=matcher_factory)
+        self.translation = TranslationTable(fmt)
+        self.storage = TagStorageMemory(capacity, modular=modular)
+        self.cycles = 0
+        self.operations = 0
+        self._live_tags: Counter = Counter()  # verification shadow only
+        self.registry = StatsRegistry()
+        self.registry.register("translation_table", self.translation.stats)
+        self.registry.register("tag_storage", self.storage.stats)
+        for level in range(fmt.levels):
+            self.registry.register(
+                f"tree_level_{level}", self.tree.level_stats(level)
+            )
+
+    # ------------------------------------------------------------------
+    # observers
+
+    @property
+    def count(self) -> int:
+        """Number of tags currently stored."""
+        return self.storage.count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the circuit holds no tags."""
+        return self.storage.is_empty
+
+    def peek_min(self) -> Optional[int]:
+        """The smallest stored tag, from the head register (zero cost)."""
+        return self.storage.min_tag
+
+    def total_stats(self) -> AccessStats:
+        """Summed memory traffic across every internal structure."""
+        return self.registry.total()
+
+    def _spend_operation(self) -> None:
+        self.cycles += FIXED_OP_CYCLES
+        self.operations += 1
+
+    def _check_monotone(self, tag: int) -> None:
+        """Enforce the WFQ invariant: new tags never precede the minimum.
+
+        In modular mode the comparison is sequence-number style: the
+        forward (wrapped) distance from the minimum to the new tag must be
+        under half the tag space, the standard serial-number rule that
+        makes the wrapped window unambiguous.
+        """
+        minimum = self.storage.min_tag
+        if minimum is None:
+            return
+        if self.modular:
+            distance = (tag - minimum) % self.fmt.capacity
+            if distance >= self.fmt.capacity // 2:
+                raise ProtocolError(
+                    f"tag {tag} is behind the window minimum {minimum} "
+                    f"(wrapped distance {distance})"
+                )
+        elif tag < minimum:
+            raise ProtocolError(
+                f"WFQ invariant violated: tag {tag} below current "
+                f"minimum {minimum} (use eager_marker_removal=True for "
+                "general priority-queue workloads)"
+            )
+
+    # ------------------------------------------------------------------
+    # insert (sort-model input-side lookup)
+
+    def insert(self, tag: int, payload: Any = None) -> int:
+        """Sort ``tag`` into the circuit; returns its storage address.
+
+        One fixed four-cycle operation: the tree finds the closest
+        existing tag at or below ``tag`` (Figs. 4/5), the translation
+        table converts it to a linked-list address, and the storage
+        memory splices the new link in (Fig. 9).
+        """
+        self.fmt.check_value(tag)
+        if not self.eager_marker_removal:
+            self._check_monotone(tag)
+        address = self._insert_link(tag, payload)
+        self.tree.insert_marker(tag)
+        self.translation.record(tag, address)
+        self._live_tags[tag] += 1
+        self._spend_operation()
+        return address
+
+    def _insert_link(self, tag: int, payload: Any) -> int:
+        if self.storage.is_empty:
+            # Initialization mode (Section III-A).  In deferred-marker
+            # mode the tree still holds stale markers from the busy
+            # period that just drained; the next busy period may start at
+            # *lower* tag values, which would make those stale markers
+            # reachable again, so the initialization reset flushes them.
+            if not self.eager_marker_removal and not self.tree.is_empty:
+                self.tree.clear_all()
+            return self.storage.insert_first(tag, payload)
+        predecessor = self._locate_predecessor(tag)
+        if predecessor is None:
+            if self.modular:
+                raise ProtocolError(
+                    f"no predecessor for wrapped tag {tag}: the sections "
+                    "below it were not cleared before reuse"
+                )
+            return self.storage.insert_at_head(tag, payload)
+        return self.storage.insert_after(predecessor, tag, payload)
+
+    def _locate_predecessor(self, tag: int) -> Optional[int]:
+        """Tree search + translation lookup -> predecessor link address.
+
+        In modular mode a raw-search miss means the tag is the logically
+        smallest value of the *new lap* (it wrapped past zero while older
+        tags are still live near the top of the range); its logical
+        predecessor is then the largest marked value of the old lap — the
+        raw maximum, found by following maximum bits down the tree.
+        """
+        closest = self.tree.closest_at_most(tag)
+        if closest is None and self.modular and not self.tree.is_empty:
+            closest = self.tree.max_marked()
+        if closest is None:
+            return None
+        address = self.translation.lookup(closest)
+        if address is None:
+            raise ProtocolError(
+                f"tree returned value {closest} with no translation entry"
+            )
+        return address
+
+    # ------------------------------------------------------------------
+    # dequeue (fixed-time head removal)
+
+    def dequeue_min(self) -> ServedTag:
+        """Remove and return the smallest tag in fixed time."""
+        if self.is_empty:
+            raise EmptyStructureError("dequeue from an empty circuit")
+        tag, payload, address = self.storage.dequeue_min()
+        self._retire(tag, address)
+        self._spend_operation()
+        return ServedTag(tag=tag, payload=payload, address=address)
+
+    def insert_and_dequeue(
+        self, tag: int, payload: Any = None
+    ) -> Tuple[ServedTag, int]:
+        """Simultaneous insert + dequeue in one four-cycle operation.
+
+        Models the Section III-C case where a store request and a service
+        request arrive together: the departing head's slot is reused for
+        the incoming tag.  Returns ``(served, new_address)``.
+        """
+        self.fmt.check_value(tag)
+        if self.is_empty:
+            raise EmptyStructureError("insert_and_dequeue on an empty circuit")
+        if not self.eager_marker_removal:
+            self._check_monotone(tag)
+        predecessor = self._locate_predecessor(tag)
+        served_tag, served_payload, served_address, new_address = (
+            self.storage.replace_min(predecessor, tag, payload)
+        )
+        self._retire(served_tag, served_address)
+        self.tree.insert_marker(tag)
+        self.translation.record(tag, new_address)
+        self._live_tags[tag] += 1
+        self._spend_operation()
+        served = ServedTag(
+            tag=served_tag, payload=served_payload, address=served_address
+        )
+        return served, new_address
+
+    def _retire(self, tag: int, address: int) -> None:
+        self._live_tags[tag] -= 1
+        if self._live_tags[tag] == 0:
+            del self._live_tags[tag]
+        if self.eager_marker_removal:
+            if self.translation.invalidate_if_points_to(tag, address):
+                self.tree.remove_marker(tag)
+
+    # ------------------------------------------------------------------
+    # stale-section maintenance (Fig. 6)
+
+    def clear_stale_section(self, root_literal: int) -> int:
+        """Bulk-delete the markers of one vacated sixteenth of tag space.
+
+        Called by the scheduler as the wrapping tag window advances past a
+        root-literal section (Fig. 6).  Refuses to clear a section that
+        still holds live tags.  Returns the number of stale marker values
+        deleted.
+        """
+        section_bits = self.fmt.word_bits - self.fmt.literal_bits
+        low = root_literal << section_bits
+        high = low + (1 << section_bits) - 1
+        live_in_section = [
+            value for value in self._live_tags if low <= value <= high
+        ]
+        if live_in_section:
+            raise ProtocolError(
+                f"section {root_literal} still holds live tags "
+                f"(e.g. {min(live_in_section)}); cannot clear"
+            )
+        return self.tree.clear_root_section(root_literal)
+
+    # ------------------------------------------------------------------
+    # verification
+
+    def check_invariants(self) -> None:
+        """Deep-verify tree, storage, and cross-structure consistency."""
+        self.storage.check_invariants()
+        self.tree.check_invariants()
+        live = sorted(self._live_tags.elements())
+        stored = [tag for tag, _ in self.storage.walk()]
+        if self.modular:
+            stored = sorted(stored)
+        if live != stored:
+            raise ProtocolError(
+                f"shadow tag multiset diverged from storage: "
+                f"{live[:8]}... vs {stored[:8]}..."
+            )
+        marked = set(self.tree.marked_values())
+        for value in self._live_tags:
+            if value not in marked:
+                raise ProtocolError(f"live tag {value} lost its tree marker")
+        if self.eager_marker_removal:
+            for value in marked:
+                if value not in self._live_tags:
+                    raise ProtocolError(
+                        f"eager mode left a stale marker for {value}"
+                    )
+        # Every live value's translation entry must point at its newest
+        # duplicate, which is the last of its equal-valued run in the list.
+        newest = {}
+        for tag, address in self.storage.walk():
+            newest[tag] = address
+        for value, address in newest.items():
+            recorded = self.translation.lookup(value)
+            if recorded != address:
+                raise ProtocolError(
+                    f"translation entry for {value} points at {recorded}, "
+                    f"newest duplicate is at {address}"
+                )

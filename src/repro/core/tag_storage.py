@@ -1,0 +1,411 @@
+"""The tag storage memory: a linked list in flat SRAM (Section III-C).
+
+Every *link* stores a tag value, a pointer to the next-larger link, and a
+payload (the packet-buffer pointer of Fig. 1).  Links are kept sorted by
+tag value, so the head of the list is always the smallest tag — the next
+packet to serve — and service is a fixed-cost head removal, never a
+search.
+
+Free-space management follows Fig. 10: an initialization counter hands
+out addresses 0..M-1 first; links freed by service join an *empty list*
+threaded through the same memory, and once the counter is exhausted all
+allocations pop the empty list.
+
+Two fidelity notes relative to the paper's prose:
+
+* Each link also carries the *tag of its successor* (``next_tag``).  This
+  costs no extra memory accesses (the successor tag is always in hand
+  when a link is written) and lets a head removal learn the new minimum
+  tag from the single read of the departing link — which is how the
+  combined insert+dequeue fits the four-access budget of Fig. 9.
+* The paper frees a link by "leaving the link and its pointer unchanged",
+  relying on stale pointers to thread the empty list.  That shortcut is
+  only sound if no insertion ever lands between a served tag and its
+  successor before the successor is itself served; since WFQ permits such
+  insertions, this implementation writes the freed link onto the empty
+  list explicitly (one write, inside the same four-cycle budget).
+
+Insert cost is exactly the Fig. 9 sequence — two reads and two writes —
+and the simultaneous insert+dequeue of Section III-C reuses the departing
+head's slot within the same four accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..hwsim.counters import SaturatingCounter
+from ..hwsim.errors import (
+    CapacityError,
+    ConfigurationError,
+    EmptyStructureError,
+    HardwareSimulationError,
+)
+from ..hwsim.memory import SinglePortSRAM
+from ..hwsim.stats import AccessStats
+
+#: The fixed clock budget of one storage operation (2 reads + 2 writes).
+CYCLES_PER_OPERATION = 4
+
+
+class StorageCorruptionError(HardwareSimulationError):
+    """The linked-list structure lost consistency (a simulator bug)."""
+
+
+@dataclass
+class Link:
+    """One linked-list entry in the tag storage memory."""
+
+    tag: int
+    next_address: Optional[int]
+    next_tag: Optional[int]
+    payload: Any = None
+
+
+class TagStorageMemory:
+    """Sorted linked list of tags with an empty list and init counter.
+
+    With ``modular=True`` the list is sorted in *logical* (wrapped) tag
+    order rather than raw order: raw values may wrap once within the live
+    window (Fig. 6's cyclical tag space), so the raw-order assertions are
+    relaxed to "at most one descent along the list".  The caller (the
+    sort/retrieve circuit) is responsible for computing wrap-correct
+    predecessors.
+    """
+
+    def __init__(
+        self, capacity: int, *, word_bits: int = 64, modular: bool = False
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        self.capacity = capacity
+        self.modular = modular
+        self._memory = SinglePortSRAM(
+            capacity,
+            name="tag_storage",
+            word_bits=word_bits,
+            enforce_port=False,
+        )
+        self._init_counter = SaturatingCounter(capacity)
+        self._empty_head: Optional[int] = None
+        self._head_address: Optional[int] = None
+        self._head_tag: Optional[int] = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # registers and accounting
+
+    @property
+    def stats(self) -> AccessStats:
+        """Access counters of the storage SRAM."""
+        return self._memory.stats
+
+    @property
+    def count(self) -> int:
+        """Live tags currently stored."""
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no tags are stored."""
+        return self._count == 0
+
+    @property
+    def is_full(self) -> bool:
+        """True when every memory location holds a live tag."""
+        return self._count == self.capacity
+
+    @property
+    def head_address(self) -> Optional[int]:
+        """Physical address of the smallest tag (a register in hardware)."""
+        return self._head_address
+
+    @property
+    def min_tag(self) -> Optional[int]:
+        """The smallest stored tag (register; zero-cost to read)."""
+        return self._head_tag
+
+    @property
+    def allocations_remaining_in_counter(self) -> int:
+        """Fresh addresses the init counter can still hand out (Fig. 10)."""
+        return self.capacity - self._init_counter.value
+
+    # ------------------------------------------------------------------
+    # free-space management (Fig. 10)
+
+    def _allocate(self) -> int:
+        """Next free address: init counter first, then the empty list."""
+        if self._count >= self.capacity:
+            raise CapacityError(
+                f"tag storage full ({self.capacity} links in use)"
+            )
+        if not self._init_counter.saturated:
+            return self._init_counter.take()
+        if self._empty_head is None:
+            raise StorageCorruptionError(
+                "counter exhausted and empty list empty, but count < capacity"
+            )
+        address = self._empty_head
+        link = self._memory.read(address)
+        self._empty_head = link.next_address
+        return address
+
+    def _free(self, address: int, *, reuse: bool = False) -> None:
+        """Return ``address`` to the empty list (skipped when reused)."""
+        if reuse:
+            return
+        self._memory.write(
+            address,
+            Link(tag=-1, next_address=self._empty_head, next_tag=None),
+        )
+        self._empty_head = address
+
+    def empty_list_addresses(self) -> List[int]:
+        """Walk the empty list (debug view matching Fig. 10)."""
+        addresses = []
+        cursor = self._empty_head
+        while cursor is not None:
+            addresses.append(cursor)
+            link = self._memory.peek(cursor)
+            cursor = link.next_address
+            if len(addresses) > self.capacity:
+                raise StorageCorruptionError("empty list contains a cycle")
+        return addresses
+
+    # ------------------------------------------------------------------
+    # insertion (Fig. 9)
+
+    def insert_first(self, tag: int, payload: Any = None) -> int:
+        """Insert into an empty memory (initialization mode)."""
+        if not self.is_empty:
+            raise ConfigurationError("insert_first requires an empty memory")
+        address = self._allocate()
+        self._memory.write(
+            address, Link(tag=tag, next_address=None, next_tag=None, payload=payload)
+        )
+        self._head_address = address
+        self._head_tag = tag
+        self._count += 1
+        return address
+
+    def insert_at_head(self, tag: int, payload: Any = None) -> int:
+        """Insert a tag smaller than (or equal to) the current minimum.
+
+        Not needed under WFQ (new tags are never below the current
+        minimum) but required for general priority-queue use.
+        """
+        if self.is_empty:
+            return self.insert_first(tag, payload)
+        if self._head_tag is not None and tag > self._head_tag:
+            raise ConfigurationError(
+                f"insert_at_head: tag {tag} exceeds current minimum "
+                f"{self._head_tag}"
+            )
+        address = self._allocate()
+        self._memory.write(
+            address,
+            Link(
+                tag=tag,
+                next_address=self._head_address,
+                next_tag=self._head_tag,
+                payload=payload,
+            ),
+        )
+        self._head_address = address
+        self._head_tag = tag
+        self._count += 1
+        return address
+
+    def insert_after(
+        self, predecessor_address: int, tag: int, payload: Any = None
+    ) -> int:
+        """The Fig. 9 insert: link ``tag`` directly after a predecessor.
+
+        The four accesses are (1) read a free location, (2) read the
+        predecessor, (3) write the predecessor with a pointer to the new
+        link, (4) write the new link pointing at the predecessor's old
+        successor.
+        """
+        address = self._allocate()  # access 1 (a read when from empty list)
+        predecessor = self._memory.read(predecessor_address)  # access 2
+        if predecessor.tag > tag and not self.modular:
+            raise ConfigurationError(
+                f"sorted-order violation: inserting {tag} after "
+                f"{predecessor.tag}"
+            )
+        new_link = Link(
+            tag=tag,
+            next_address=predecessor.next_address,
+            next_tag=predecessor.next_tag,
+            payload=payload,
+        )
+        self._memory.write(  # access 3
+            predecessor_address,
+            Link(
+                tag=predecessor.tag,
+                next_address=address,
+                next_tag=tag,
+                payload=predecessor.payload,
+            ),
+        )
+        self._memory.write(address, new_link)  # access 4
+        self._count += 1
+        return address
+
+    # ------------------------------------------------------------------
+    # service (head removal)
+
+    def dequeue_min(self) -> Tuple[int, Any, int]:
+        """Remove and return the smallest tag.
+
+        Returns ``(tag, payload, address)``; the freed address joins the
+        empty list.  One read (the departing link, which carries the new
+        head's tag) plus one write (threading the empty list).
+        """
+        if self.is_empty:
+            raise EmptyStructureError("dequeue from an empty tag storage")
+        address = self._head_address
+        link = self._memory.read(address)
+        self._head_address = link.next_address
+        self._head_tag = link.next_tag
+        self._free(address)
+        self._count -= 1
+        return link.tag, link.payload, address
+
+    def replace_min(
+        self, predecessor_address: Optional[int], tag: int, payload: Any = None
+    ) -> Tuple[int, Any, int, int]:
+        """Simultaneous insert + dequeue within one four-access window.
+
+        The departing head's slot is reused for the incoming tag instead
+        of cycling through the empty list (Section III-C).  Returns
+        ``(served_tag, served_payload, served_address, new_address)``.
+
+        ``predecessor_address`` is the linked-list position the tree
+        search produced for the incoming tag; pass None when the new tag
+        belongs at the head.  When the predecessor *is* the departing
+        head, the insert is re-anchored to the new head.
+        """
+        if self.is_empty:
+            raise EmptyStructureError("replace_min on an empty tag storage")
+        head_address = self._head_address
+        head = self._memory.read(head_address)  # access 1: serves + frees
+        served = (head.tag, head.payload, head_address)
+        self._head_address = head.next_address
+        self._head_tag = head.next_tag
+        self._count -= 1
+
+        if self.is_empty:
+            # The memory emptied; the incoming tag restarts the list in
+            # the reused slot.
+            self._memory.write(
+                head_address,
+                Link(tag=tag, next_address=None, next_tag=None, payload=payload),
+            )
+            self._head_address = head_address
+            self._head_tag = tag
+            self._count += 1
+            return served[0], served[1], served[2], head_address
+
+        if predecessor_address == head_address or predecessor_address is None:
+            if self._head_tag is not None and tag <= self._head_tag:
+                # New head in the reused slot.
+                self._memory.write(
+                    head_address,
+                    Link(
+                        tag=tag,
+                        next_address=self._head_address,
+                        next_tag=self._head_tag,
+                        payload=payload,
+                    ),
+                )
+                self._head_address = head_address
+                self._head_tag = tag
+                self._count += 1
+                return served[0], served[1], served[2], head_address
+            # The served head was the predecessor; the new tag now follows
+            # the new head instead.
+            predecessor_address = self._head_address
+
+        predecessor = self._memory.read(predecessor_address)  # access 2
+        if predecessor.tag > tag and not self.modular:
+            raise ConfigurationError(
+                f"sorted-order violation: inserting {tag} after "
+                f"{predecessor.tag}"
+            )
+        new_link = Link(
+            tag=tag,
+            next_address=predecessor.next_address,
+            next_tag=predecessor.next_tag,
+            payload=payload,
+        )
+        self._memory.write(  # access 3
+            predecessor_address,
+            Link(
+                tag=predecessor.tag,
+                next_address=head_address,
+                next_tag=tag,
+                payload=predecessor.payload,
+            ),
+        )
+        self._memory.write(head_address, new_link)  # access 4 (slot reuse)
+        self._count += 1
+        return served[0], served[1], served[2], head_address
+
+    # ------------------------------------------------------------------
+    # verification helpers
+
+    def walk(self) -> List[Tuple[int, int]]:
+        """The live list as ``(tag, address)`` pairs, head first (debug)."""
+        out = []
+        cursor = self._head_address
+        while cursor is not None:
+            link = self._memory.peek(cursor)
+            out.append((link.tag, cursor))
+            cursor = link.next_address
+            if len(out) > self.capacity:
+                raise StorageCorruptionError("live list contains a cycle")
+        return out
+
+    def check_invariants(self) -> None:
+        """Verify sortedness, counts, and pointer consistency."""
+        live = self.walk()
+        if len(live) != self._count:
+            raise StorageCorruptionError(
+                f"live count {self._count} != walked length {len(live)}"
+            )
+        tags = [tag for tag, _ in live]
+        if self.modular:
+            descents = sum(
+                1 for a, b in zip(tags, tags[1:]) if b < a
+            )
+            if descents > 1:
+                raise StorageCorruptionError(
+                    f"modular list wraps more than once: {tags}"
+                )
+        elif tags != sorted(tags):
+            raise StorageCorruptionError(f"list out of order: {tags}")
+        if live:
+            if self._head_tag != tags[0]:
+                raise StorageCorruptionError(
+                    f"head tag register {self._head_tag} != actual {tags[0]}"
+                )
+            cursor = self._head_address
+            while cursor is not None:
+                link = self._memory.peek(cursor)
+                if link.next_address is not None:
+                    successor = self._memory.peek(link.next_address)
+                    if link.next_tag != successor.tag:
+                        raise StorageCorruptionError(
+                            f"stale next_tag at address {cursor}: "
+                            f"{link.next_tag} != {successor.tag}"
+                        )
+                cursor = link.next_address
+        free = len(self.empty_list_addresses())
+        unallocated = self.capacity - self._init_counter.value
+        if free + unallocated + self._count != self.capacity:
+            raise StorageCorruptionError(
+                f"slot accounting broken: {free} free + {unallocated} "
+                f"unallocated + {self._count} live != {self.capacity}"
+            )

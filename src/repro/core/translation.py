@@ -1,0 +1,89 @@
+"""The translation table (paper Section III-D).
+
+The table bridges the search tree and the tag storage memory: for every
+representable tag value it records the linked-list address of the **most
+recently inserted** tag of that value.  Tracking the most recent duplicate
+(Fig. 11) is what keeps tree results valid when rounded-off WFQ tags
+collide, and preserves first-come-first-served order among duplicates: a
+new duplicate is always inserted *after* the previous one.
+
+Size: one entry per representable value, ``b**L = 2**W`` entries
+(the paper's second eq. (2)); the silicon configuration needs 4096, the
+optional 15-bit variant would need 32 k.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hwsim.errors import ConfigurationError
+from ..hwsim.memory import SinglePortSRAM
+from ..hwsim.stats import AccessStats
+from .sizing import translation_table_entries
+from .words import WordFormat
+
+
+class TranslationTable:
+    """tag value -> linked-list address of the newest tag of that value."""
+
+    def __init__(self, fmt: WordFormat, *, address_bits: int = 24) -> None:
+        self.fmt = fmt
+        entries = translation_table_entries(fmt.levels, fmt.branching_factor)
+        self._memory = SinglePortSRAM(
+            entries,
+            name="translation_table",
+            word_bits=address_bits,
+            enforce_port=False,
+        )
+
+    @property
+    def entries(self) -> int:
+        """Number of table entries (2**W)."""
+        return self._memory.size
+
+    @property
+    def stats(self) -> AccessStats:
+        """Access counters of the table memory."""
+        return self._memory.stats
+
+    @property
+    def total_bits(self) -> int:
+        """Storage footprint in bits."""
+        return self._memory.total_bits
+
+    def lookup(self, tag_value: int) -> Optional[int]:
+        """Linked-list address of the newest tag with ``tag_value``.
+
+        Returns None when the value has no live entry.  The caller (the
+        sort/retrieve circuit) only looks up values the tree reported
+        present, so None here indicates a bookkeeping bug upstream.
+        """
+        self.fmt.check_value(tag_value)
+        return self._memory.read(tag_value)
+
+    def record(self, tag_value: int, address: int) -> None:
+        """Point ``tag_value`` at ``address`` (the newest duplicate)."""
+        self.fmt.check_value(tag_value)
+        if address < 0:
+            raise ConfigurationError("linked-list address must be non-negative")
+        self._memory.write(tag_value, address)
+
+    def invalidate(self, tag_value: int) -> None:
+        """Drop the entry for ``tag_value`` (its last duplicate departed)."""
+        self.fmt.check_value(tag_value)
+        self._memory.write(tag_value, None)
+
+    def invalidate_if_points_to(self, tag_value: int, address: int) -> bool:
+        """Invalidate only if the entry still points at ``address``.
+
+        Used on dequeue: when the departing link is the one the table
+        points at, the value has no remaining duplicates and the entry
+        must go; if the table points elsewhere a newer duplicate is still
+        live and the entry stays.  Returns True when invalidated.
+        """
+        self.fmt.check_value(tag_value)
+        current = self._memory.read(tag_value)
+        if current == address:
+            self._memory.write(tag_value, None)
+            return True
+        return False

@@ -1,0 +1,122 @@
+"""Fixed-width word and literal arithmetic for the multi-bit tree.
+
+The tree of the paper slices a W-bit tag into L literals of k bits each
+(W = L*k).  The implemented configuration is W=12, L=3, k=4, giving 16-bit
+nodes and branching factor 16; the worked examples in Figs. 4 and 5 use
+W=6, L=3, k=2.  This module centralizes the bit slicing so the tree,
+translation table, and sizing math all agree on the representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..hwsim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WordFormat:
+    """Describes how tags are sliced into per-level literals.
+
+    Attributes:
+        levels: number of tree levels L.
+        literal_bits: bits per literal k (branching factor is 2**k).
+    """
+
+    levels: int
+    literal_bits: int
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ConfigurationError("tree needs at least one level")
+        if self.literal_bits < 1:
+            raise ConfigurationError("literals need at least one bit")
+
+    @property
+    def word_bits(self) -> int:
+        """Total tag width W = L*k."""
+        return self.levels * self.literal_bits
+
+    @property
+    def branching_factor(self) -> int:
+        """Children per node (= node width in bits), 2**k."""
+        return 1 << self.literal_bits
+
+    @property
+    def node_bits(self) -> int:
+        """Bits per node (one presence bit per child)."""
+        return self.branching_factor
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable tag value, 2**W - 1."""
+        return (1 << self.word_bits) - 1
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct representable tag values, 2**W."""
+        return 1 << self.word_bits
+
+    def check_value(self, value: int) -> int:
+        """Validate that ``value`` fits the word format; returns it."""
+        if not isinstance(value, int):
+            raise ConfigurationError(f"tag must be an int, got {type(value).__name__}")
+        if not 0 <= value <= self.max_value:
+            raise ConfigurationError(
+                f"tag {value} outside [0, {self.max_value}] for W={self.word_bits}"
+            )
+        return value
+
+    def literals(self, value: int) -> List[int]:
+        """Slice ``value`` into literals, most significant (root) first.
+
+        For the Fig. 4 example (W=6, k=2), 0b110110 -> [0b11, 0b01, 0b10].
+        """
+        self.check_value(value)
+        mask = self.branching_factor - 1
+        out = []
+        for level in range(self.levels):
+            shift = (self.levels - 1 - level) * self.literal_bits
+            out.append((value >> shift) & mask)
+        return out
+
+    def literal_at(self, value: int, level: int) -> int:
+        """The literal of ``value`` used at tree ``level`` (0 = root)."""
+        self.check_value(value)
+        if not 0 <= level < self.levels:
+            raise ConfigurationError(f"level {level} outside [0, {self.levels})")
+        shift = (self.levels - 1 - level) * self.literal_bits
+        return (value >> shift) & (self.branching_factor - 1)
+
+    def combine(self, literals: List[int]) -> int:
+        """Reassemble a tag value from root-first literals."""
+        if len(literals) != self.levels:
+            raise ConfigurationError(
+                f"expected {self.levels} literals, got {len(literals)}"
+            )
+        value = 0
+        for literal in literals:
+            if not 0 <= literal < self.branching_factor:
+                raise ConfigurationError(f"literal {literal} out of range")
+            value = (value << self.literal_bits) | literal
+        return value
+
+    def prefix_value(self, value: int, depth: int) -> int:
+        """The integer formed by the first ``depth`` literals of ``value``.
+
+        Used to index nodes: the node visited at level ``d`` is identified
+        by the (d)-literal prefix of the search key.
+        """
+        self.check_value(value)
+        if not 0 <= depth <= self.levels:
+            raise ConfigurationError(f"depth {depth} outside [0, {self.levels}]")
+        shift = (self.levels - depth) * self.literal_bits
+        return value >> shift
+
+
+PAPER_FORMAT = WordFormat(levels=3, literal_bits=4)
+"""The silicon configuration: 12-bit tags, three levels, 16-bit nodes."""
+
+FIGURE_FORMAT = WordFormat(levels=3, literal_bits=2)
+"""The worked-example configuration of Figs. 4 and 5: 6-bit tags."""

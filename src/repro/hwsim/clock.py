@@ -1,0 +1,71 @@
+"""Cycle clock and clocked-component protocol.
+
+The sort/retrieve circuit of the paper is a synchronous design: the tree +
+translation table consume four clock cycles per tag, matching the four
+cycles (two reads, two writes) the tag storage memory needs per insert
+(paper Section III-A).  This module provides the minimal synchronous
+machinery: a :class:`Clock` that counts cycles and a
+:class:`ClockedComponent` protocol whose ``tick`` is invoked once per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from .errors import ConfigurationError
+
+
+@runtime_checkable
+class ClockedComponent(Protocol):
+    """Anything driven by the system clock."""
+
+    def tick(self, cycle: int) -> None:
+        """Advance the component by one clock cycle."""
+        ...
+
+
+class Clock:
+    """A cycle counter driving a set of registered components.
+
+    Components tick in registration order, which models a single-phase
+    synchronous design with a deterministic evaluation order.
+    """
+
+    def __init__(self, frequency_hz: float = 150e6) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+        self.frequency_hz = frequency_hz
+        self.cycle = 0
+        self._components: List[ClockedComponent] = []
+
+    @property
+    def period_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def register(self, component: ClockedComponent) -> None:
+        """Attach a component so it ticks on every cycle."""
+        self._components.append(component)
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance the clock ``cycles`` cycles, ticking all components.
+
+        Returns the cycle counter after advancing.
+        """
+        if cycles < 0:
+            raise ConfigurationError("cannot step a negative number of cycles")
+        for _ in range(cycles):
+            for component in self._components:
+                component.tick(self.cycle)
+            self.cycle += 1
+        return self.cycle
+
+    def elapsed_s(self) -> float:
+        """Wall-clock time represented by the cycles elapsed so far."""
+        return self.cycle * self.period_s
+
+    def cycles_for_seconds(self, seconds: float) -> int:
+        """Number of whole cycles covering ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ConfigurationError("duration must be non-negative")
+        return int(seconds * self.frequency_hz)

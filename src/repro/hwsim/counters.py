@@ -1,0 +1,77 @@
+"""Hardware counter models.
+
+The tag storage memory allocates fresh linked-list slots from an
+initialization counter that increments from 0 to M-1 and then stops
+(paper Section III-C / Fig. 10); after that, free slots come only from the
+empty list.  The WFQ tag space itself wraps around a finite maximum
+(Fig. 6), which :class:`WrappingCounter` models.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+
+class SaturatingCounter:
+    """Counts 0..limit and then holds at ``limit``."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 0:
+            raise ConfigurationError("limit must be non-negative")
+        self.limit = limit
+        self.value = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True once the counter has reached its limit."""
+        return self.value >= self.limit
+
+    def increment(self) -> int:
+        """Advance by one (no-op when saturated); returns the new value."""
+        if not self.saturated:
+            self.value += 1
+        return self.value
+
+    def take(self) -> int:
+        """Return the current value and advance.
+
+        This is the allocation idiom: the pre-increment value is the
+        address handed out.  Raises once saturated.
+        """
+        if self.saturated:
+            raise ConfigurationError("allocation counter exhausted")
+        current = self.value
+        self.value += 1
+        return current
+
+    def reset(self) -> None:
+        """Return to zero."""
+        self.value = 0
+
+
+class WrappingCounter:
+    """Counts modulo ``modulus``, reporting wrap events."""
+
+    def __init__(self, modulus: int, *, start: int = 0) -> None:
+        if modulus <= 0:
+            raise ConfigurationError("modulus must be positive")
+        if not 0 <= start < modulus:
+            raise ConfigurationError("start must lie in [0, modulus)")
+        self.modulus = modulus
+        self.value = start
+        self.wraps = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Advance by ``amount`` (which may exceed the modulus)."""
+        if amount < 0:
+            raise ConfigurationError("amount must be non-negative")
+        raw = self.value + amount
+        self.wraps += raw // self.modulus
+        self.value = raw % self.modulus
+        return self.value
+
+    def distance_to(self, other: int) -> int:
+        """Forward (modular) distance from the current value to ``other``."""
+        if not 0 <= other < self.modulus:
+            raise ConfigurationError("target must lie in [0, modulus)")
+        return (other - self.value) % self.modulus

@@ -1,0 +1,45 @@
+"""Error hierarchy for the hardware behavioral-simulation substrate.
+
+Every failure raised by a simulated hardware component derives from
+:class:`HardwareSimulationError`, so callers can distinguish modelling
+errors (bad parameters, misuse of a component) from genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class HardwareSimulationError(Exception):
+    """Base class for all simulated-hardware failures."""
+
+
+class ConfigurationError(HardwareSimulationError):
+    """A component was constructed with invalid parameters."""
+
+
+class AddressError(HardwareSimulationError):
+    """A memory access targeted an address outside the component."""
+
+
+class PortConflictError(HardwareSimulationError):
+    """Two accesses contended for a single memory port in one cycle.
+
+    The paper's level-3 tree memory and the translation table are
+    single-port SRAMs; issuing two accesses in the same cycle is a
+    design bug the simulator must surface rather than silently serialize.
+    """
+
+
+class CapacityError(HardwareSimulationError):
+    """A bounded structure (linked list memory, buffer) overflowed."""
+
+
+class ProtocolError(HardwareSimulationError):
+    """A component was driven outside its legal cycle protocol.
+
+    Example: reading the tag sort/retrieve result before the fixed
+    four-cycle operation window has elapsed.
+    """
+
+
+class EmptyStructureError(HardwareSimulationError):
+    """A dequeue/extract-min was issued against an empty structure."""

@@ -1,0 +1,154 @@
+"""Unit-gate delay and area model for combinational matching circuits.
+
+The paper's Figs. 7 and 8 compare five closest-match circuit topologies by
+propagation delay and logic area (FPGA LUTs).  To regenerate those curves
+without a synthesis flow we use the classic *unit-gate model* from the
+adder-design literature the circuits derive from (the circuits are
+"based on modified adder carry chain acceleration techniques", paper
+Section III-B):
+
+* a 2-input monotone gate (AND/OR/NAND/NOR) costs 1 delay unit, 1 area unit;
+* XOR/XNOR and a 2:1 MUX cost 2 delay units, 2 area units;
+* an n-input gate decomposes into a balanced tree of 2-input gates:
+  ceil(log2(n)) delay, (n - 1) area;
+* an inverter is free in delay terms (absorbed into adjacent gates) and
+  costs 0.5 area units.
+
+For Fig. 8 the paper measures *FPGA LUTs* (Altera Stratix II, 4-input
+fracturable ALMs).  We map gate-level area onto LUTs with
+:func:`gates_to_luts`, using the standard heuristic that one 4-LUT absorbs
+roughly the logic of three 2-input gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+GATE_DELAY = 1.0
+XOR_DELAY = 2.0
+MUX_DELAY = 2.0
+GATE_AREA = 1.0
+XOR_AREA = 2.0
+MUX_AREA = 2.0
+INVERTER_AREA = 0.5
+GATES_PER_LUT = 3.0
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A (delay, area) pair in unit-gate terms.
+
+    ``delay`` composes along the critical path (serial = add, parallel =
+    max); ``area`` always adds.
+    """
+
+    delay: float
+    area: float
+
+    def then(self, other: "Cost") -> "Cost":
+        """Serial composition: other's logic follows this one."""
+        return Cost(self.delay + other.delay, self.area + other.area)
+
+    def alongside(self, other: "Cost") -> "Cost":
+        """Parallel composition: both evaluate concurrently."""
+        return Cost(max(self.delay, other.delay), self.area + other.area)
+
+    @staticmethod
+    def zero() -> "Cost":
+        """The identity for both compositions."""
+        return Cost(0.0, 0.0)
+
+
+def gate(inputs: int = 2) -> Cost:
+    """Cost of an ``inputs``-input monotone gate (balanced-tree decomposed)."""
+    if inputs < 1:
+        raise ConfigurationError("a gate needs at least one input")
+    if inputs == 1:
+        return Cost(0.0, INVERTER_AREA)
+    depth = math.ceil(math.log2(inputs))
+    return Cost(depth * GATE_DELAY, (inputs - 1) * GATE_AREA)
+
+
+def and_gate(inputs: int = 2) -> Cost:
+    """n-input AND."""
+    return gate(inputs)
+
+
+def or_gate(inputs: int = 2) -> Cost:
+    """n-input OR."""
+    return gate(inputs)
+
+
+def xor_gate() -> Cost:
+    """2-input XOR."""
+    return Cost(XOR_DELAY, XOR_AREA)
+
+
+def mux2() -> Cost:
+    """2:1 multiplexer."""
+    return Cost(MUX_DELAY, MUX_AREA)
+
+
+def mux(ways: int) -> Cost:
+    """``ways``:1 multiplexer built as a tree of 2:1 muxes."""
+    if ways < 1:
+        raise ConfigurationError("mux needs at least one input")
+    if ways == 1:
+        return Cost.zero()
+    depth = math.ceil(math.log2(ways))
+    return Cost(depth * MUX_DELAY, (ways - 1) * MUX_AREA)
+
+
+def priority_chain(length: int) -> Cost:
+    """Cost of a ripple priority chain of ``length`` cells.
+
+    Each cell is one AND-OR pair propagating a "not found yet" signal,
+    which is the fundamental structure of the ripple matcher.
+    """
+    if length < 0:
+        raise ConfigurationError("chain length must be non-negative")
+    cell = gate(2).then(gate(2))
+    return Cost(length * cell.delay, length * cell.area)
+
+
+def gates_to_luts(area_units: float) -> float:
+    """Convert unit-gate area to an equivalent 4-input LUT count."""
+    if area_units < 0:
+        raise ConfigurationError("area must be non-negative")
+    return area_units / GATES_PER_LUT
+
+
+def fanout_buffer(fanout: int) -> Cost:
+    """Delay/area of buffering a signal to ``fanout`` loads.
+
+    Modeled as a balanced buffer tree: log4 stages of unit delay.
+    High-fanout select lines dominate select & look-ahead circuits at
+    large word widths, which is why its curve flattens but never reaches
+    zero slope in Fig. 7.
+    """
+    if fanout < 1:
+        raise ConfigurationError("fanout must be at least 1")
+    if fanout == 1:
+        return Cost.zero()
+    stages = math.ceil(math.log(fanout, 4))
+    return Cost(stages * GATE_DELAY, stages * GATE_AREA)
+
+
+__all__ = [
+    "Cost",
+    "gate",
+    "and_gate",
+    "or_gate",
+    "xor_gate",
+    "mux",
+    "mux2",
+    "priority_chain",
+    "fanout_buffer",
+    "gates_to_luts",
+    "GATE_DELAY",
+    "GATE_AREA",
+    "GATES_PER_LUT",
+]

@@ -1,0 +1,149 @@
+"""Access and cycle accounting shared by every simulated component.
+
+The paper's Table I compares lookup methods by their *worst-case number of
+memory accesses per operation*.  To regenerate that table we instrument
+every memory model and every baseline sorter with an :class:`AccessStats`
+counter, and track per-operation peaks with :class:`OperationProbe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class AccessStats:
+    """Running totals of memory traffic for one component."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def record_read(self, count: int = 1) -> None:
+        """Account for ``count`` read accesses."""
+        self.reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        """Account for ``count`` write accesses."""
+        self.writes += count
+
+    def snapshot(self) -> "AccessStats":
+        """Return an independent copy of the current totals."""
+        return AccessStats(reads=self.reads, writes=self.writes)
+
+    def delta_since(self, earlier: "AccessStats") -> "AccessStats":
+        """Return accesses accumulated since ``earlier`` was snapshotted."""
+        return AccessStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+        )
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class OperationProbe:
+    """Tracks per-operation access costs and their worst case.
+
+    Usage::
+
+        probe = OperationProbe()
+        with probe.operation(stats):
+            queue.insert(tag)
+        probe.worst_case  # max accesses any single insert needed
+    """
+
+    samples: List[int] = field(default_factory=list)
+
+    class _Scope:
+        def __init__(self, probe: "OperationProbe", stats: AccessStats):
+            self._probe = probe
+            self._stats = stats
+            self._before: Optional[AccessStats] = None
+
+        def __enter__(self) -> "OperationProbe._Scope":
+            self._before = self._stats.snapshot()
+            return self
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if exc_type is None and self._before is not None:
+                delta = self._stats.delta_since(self._before)
+                self._probe.samples.append(delta.total)
+
+    def operation(self, stats: AccessStats) -> "_Scope":
+        """Context manager recording one operation's access delta."""
+        return OperationProbe._Scope(self, stats)
+
+    @property
+    def worst_case(self) -> int:
+        """Largest access count observed for a single operation."""
+        return max(self.samples) if self.samples else 0
+
+    @property
+    def average(self) -> float:
+        """Mean access count per operation."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def count(self) -> int:
+        """Number of operations observed."""
+        return len(self.samples)
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self.samples.clear()
+
+
+class StatsRegistry:
+    """Aggregates named :class:`AccessStats` across a composed system.
+
+    Composite components (the sort/retrieve circuit, the full scheduler)
+    register the counters of their internal memories under descriptive
+    names so experiments can attribute traffic to individual structures.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, AccessStats] = {}
+
+    def register(self, name: str, stats: AccessStats) -> AccessStats:
+        """Register ``stats`` under ``name``; returns the same object."""
+        if name in self._entries:
+            raise ValueError(f"duplicate stats registration: {name!r}")
+        self._entries[name] = stats
+        return stats
+
+    def __getitem__(self, name: str) -> AccessStats:
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def names(self) -> List[str]:
+        """Registered component names, in registration order."""
+        return list(self._entries)
+
+    def total(self) -> AccessStats:
+        """Sum of all registered counters."""
+        combined = AccessStats()
+        for stats in self._entries.values():
+            combined.reads += stats.reads
+            combined.writes += stats.writes
+        return combined
+
+    def reset_all(self) -> None:
+        """Zero every registered counter."""
+        for stats in self._entries.values():
+            stats.reset()

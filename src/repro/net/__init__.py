@@ -1,0 +1,61 @@
+"""Scheduler-system integration (paper Fig. 1) and QoS metrics."""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    ServiceLevelAgreement,
+)
+from .buffer import SharedPacketBuffer
+from .dual_circuit import HardwareWF2QPlusSystem
+from .hardware_store import HardwareTagStore
+from .metrics import (
+    DelayStats,
+    gps_lag,
+    gps_lead,
+    jain_index,
+    max_gps_lag,
+    max_gps_lead,
+    out_of_order_service,
+    per_flow_delays,
+    pg_bound_violations,
+    throughput_shares,
+    weighted_jain_index,
+    worst_work_lead,
+)
+from .multihop import (
+    EndToEndRecord,
+    MultiHopNetwork,
+    e2e_delay_bound,
+    worst_flow_delay,
+)
+from .scheduler_system import DEFAULT_CLOCK_HZ, HardwareWFQSystem
+from .session_table import SessionRecord, SessionStateTable
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ServiceLevelAgreement",
+    "SharedPacketBuffer",
+    "HardwareWF2QPlusSystem",
+    "HardwareTagStore",
+    "DelayStats",
+    "gps_lag",
+    "gps_lead",
+    "max_gps_lead",
+    "jain_index",
+    "max_gps_lag",
+    "out_of_order_service",
+    "per_flow_delays",
+    "pg_bound_violations",
+    "throughput_shares",
+    "weighted_jain_index",
+    "worst_work_lead",
+    "DEFAULT_CLOCK_HZ",
+    "HardwareWFQSystem",
+    "EndToEndRecord",
+    "MultiHopNetwork",
+    "e2e_delay_bound",
+    "worst_flow_delay",
+    "SessionRecord",
+    "SessionStateTable",
+]

@@ -1,0 +1,181 @@
+"""SLA admission control for the WFQ scheduler.
+
+The paper's motivation (Sections I/V): fair queueing lets providers
+"deliver next generation services" with "service level agreements (SLA)
+and service differentiation".  This module supplies the control-plane
+arithmetic that turns SLAs into scheduler configuration:
+
+* a **guaranteed rate** g_i maps to a WFQ weight ``phi_i = g_i / C``;
+* the single-node Parekh–Gallager delay bound for a flow that is
+  (sigma, g)-token-bucket constrained is::
+
+      D_i <= sigma_i / g_i + L_i / g_i + L_max / C
+
+  (burst drain at the guaranteed rate + own-packet serialization at the
+  guaranteed rate + one maximum packet of non-preemption);
+* **admission**: a new SLA is admitted iff the guaranteed rates still
+  fit the link (sum g_i <= utilization_limit * C) and the offered delay
+  bound meets the request.
+
+:class:`AdmissionController` tracks admitted SLAs, answers
+admit/reject with the reason, and configures any
+:class:`~repro.sched.base.PacketScheduler` with the derived weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.base import PacketScheduler
+
+
+@dataclass(frozen=True)
+class ServiceLevelAgreement:
+    """One flow's contract."""
+
+    flow_id: int
+    #: guaranteed throughput, bits/s
+    guaranteed_rate_bps: float
+    #: token-bucket burst allowance, bits
+    burst_bits: float = 0.0
+    #: largest packet the flow may send, bytes
+    max_packet_bytes: int = 1500
+    #: requested worst-case queueing+transmission delay, seconds
+    delay_target_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.guaranteed_rate_bps <= 0:
+            raise ConfigurationError("guaranteed rate must be positive")
+        if self.burst_bits < 0:
+            raise ConfigurationError("burst must be non-negative")
+        if self.max_packet_bytes < 1:
+            raise ConfigurationError("max packet size must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one SLA."""
+
+    admitted: bool
+    reason: str
+    #: the WFQ weight assigned on admission
+    weight: Optional[float] = None
+    #: the delay bound the scheduler can actually offer
+    offered_delay_s: Optional[float] = None
+
+
+class AdmissionController:
+    """Admits SLAs against one WFQ-scheduled link."""
+
+    def __init__(
+        self,
+        link_rate_bps: float,
+        *,
+        utilization_limit: float = 0.95,
+        link_max_packet_bytes: int = 1500,
+    ) -> None:
+        if link_rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        if not 0 < utilization_limit <= 1:
+            raise ConfigurationError("utilization limit must be in (0, 1]")
+        self.link_rate_bps = link_rate_bps
+        self.utilization_limit = utilization_limit
+        self.link_max_packet_bytes = link_max_packet_bytes
+        self._admitted: Dict[int, ServiceLevelAgreement] = {}
+
+    # ------------------------------------------------------------------
+    # bounds
+
+    @property
+    def committed_rate_bps(self) -> float:
+        """Sum of admitted guaranteed rates."""
+        return sum(
+            sla.guaranteed_rate_bps for sla in self._admitted.values()
+        )
+
+    @property
+    def available_rate_bps(self) -> float:
+        """Guaranteed rate still available for new SLAs."""
+        return (
+            self.utilization_limit * self.link_rate_bps
+            - self.committed_rate_bps
+        )
+
+    def delay_bound_s(self, sla: ServiceLevelAgreement) -> float:
+        """Single-node WFQ delay bound for a token-bucket flow."""
+        own_packet = sla.max_packet_bytes * 8 / sla.guaranteed_rate_bps
+        burst = sla.burst_bits / sla.guaranteed_rate_bps
+        cross_traffic = self.link_max_packet_bytes * 8 / self.link_rate_bps
+        return burst + own_packet + cross_traffic
+
+    def weight_for(self, sla: ServiceLevelAgreement) -> float:
+        """The WFQ weight implementing the SLA's guaranteed rate."""
+        return sla.guaranteed_rate_bps / self.link_rate_bps
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def evaluate(self, sla: ServiceLevelAgreement) -> AdmissionDecision:
+        """Decide without committing."""
+        if sla.flow_id in self._admitted:
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"flow {sla.flow_id} already has an SLA",
+            )
+        if sla.guaranteed_rate_bps > self.available_rate_bps:
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"insufficient capacity: {sla.guaranteed_rate_bps:.0f} "
+                    f"b/s requested, {max(self.available_rate_bps, 0):.0f} "
+                    "b/s available"
+                ),
+            )
+        offered = self.delay_bound_s(sla)
+        if sla.delay_target_s is not None and offered > sla.delay_target_s:
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"delay target {sla.delay_target_s * 1000:.2f} ms not "
+                    f"achievable: bound is {offered * 1000:.2f} ms (raise "
+                    "the guaranteed rate or shrink the burst)"
+                ),
+                offered_delay_s=offered,
+            )
+        return AdmissionDecision(
+            admitted=True,
+            reason="admitted",
+            weight=self.weight_for(sla),
+            offered_delay_s=offered,
+        )
+
+    def admit(self, sla: ServiceLevelAgreement) -> AdmissionDecision:
+        """Evaluate and, on success, commit the SLA."""
+        decision = self.evaluate(sla)
+        if decision.admitted:
+            self._admitted[sla.flow_id] = sla
+        return decision
+
+    def release(self, flow_id: int) -> None:
+        """Tear down a flow's SLA, freeing its rate."""
+        if flow_id not in self._admitted:
+            raise ConfigurationError(f"flow {flow_id} has no admitted SLA")
+        del self._admitted[flow_id]
+
+    def admitted_slas(self) -> Dict[int, ServiceLevelAgreement]:
+        """A copy of the admitted set."""
+        return dict(self._admitted)
+
+    # ------------------------------------------------------------------
+    # scheduler configuration
+
+    def configure(self, scheduler: PacketScheduler) -> None:
+        """Register every admitted flow on ``scheduler`` with its weight."""
+        for flow_id, sla in self._admitted.items():
+            scheduler.add_flow(
+                flow_id,
+                self.weight_for(sla),
+                guaranteed_rate_bps=sla.guaranteed_rate_bps,
+            )

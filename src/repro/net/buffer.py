@@ -1,0 +1,80 @@
+"""The shared packet buffer of Fig. 1 — ref. [9].
+
+Packets live in a shared memory pool; the scheduler passes *pointers*
+around (they ride in the sort/retrieve circuit's linked-list payloads) and
+the egress side redeems a pointer for the stored packet.  The paper's
+buffer is a shared-memory gigabit-switch design; this model keeps its
+essential properties — bounded capacity, pointer-based access, accounting
+— over a Python free-list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hwsim.errors import CapacityError, ConfigurationError
+from ..hwsim.stats import AccessStats
+from ..sched.packet import Packet
+
+
+class SharedPacketBuffer:
+    """Bounded pointer-addressed packet store."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be positive")
+        self.capacity = capacity
+        self.stats = AccessStats()
+        self._slots: List[Optional[Packet]] = [None] * capacity
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self.peak_occupancy = 0
+        self.drop_count = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently stored."""
+        return self.capacity - len(self._free)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no slot is free."""
+        return not self._free
+
+    def store(self, packet: Packet) -> int:
+        """Place a packet, returning its pointer (slot index).
+
+        Raises :class:`~repro.hwsim.errors.CapacityError` when full; use
+        :meth:`try_store` for drop-counting ingress behaviour.
+        """
+        if not self._free:
+            raise CapacityError("shared packet buffer full")
+        pointer = self._free.pop()
+        self._slots[pointer] = packet
+        self.stats.record_write()
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return pointer
+
+    def try_store(self, packet: Packet) -> Optional[int]:
+        """Store if space allows; otherwise count a drop and return None."""
+        if self.is_full:
+            self.drop_count += 1
+            return None
+        return self.store(packet)
+
+    def fetch(self, pointer: int) -> Packet:
+        """Redeem a pointer: remove and return the packet."""
+        if not 0 <= pointer < self.capacity:
+            raise ConfigurationError(f"pointer {pointer} out of range")
+        packet = self._slots[pointer]
+        if packet is None:
+            raise ConfigurationError(f"pointer {pointer} is not occupied")
+        self._slots[pointer] = None
+        self._free.append(pointer)
+        self.stats.record_read()
+        return packet
+
+    def peek(self, pointer: int) -> Optional[Packet]:
+        """Inspect a slot without freeing it (debug)."""
+        if not 0 <= pointer < self.capacity:
+            raise ConfigurationError(f"pointer {pointer} out of range")
+        return self._slots[pointer]

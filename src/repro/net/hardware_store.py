@@ -1,0 +1,219 @@
+"""The hardware sort/retrieve circuit as a WFQ tag store.
+
+This is the glue of paper Fig. 1: the WFQ tag-computation block produces
+*real-valued* virtual finishing tags, while the circuit sorts fixed-width
+integers.  :class:`HardwareTagStore` quantizes each tag to the circuit's
+word format, manages the cyclical tag space of Fig. 6, and plugs into
+:class:`~repro.sched.wfq.WFQScheduler` through the
+:class:`~repro.sched.wfq.TagStore` protocol.
+
+Wrap management follows the paper's Fig. 6 discipline.  Tags are tracked
+*unwrapped* (a monotone integer); the circuit stores them modulo the tag
+space.  A **clear frontier** sweeps ahead of the inserts: before the first
+insert whose unwrapped value enters a new root-literal section, every
+section between the frontier and it is bulk-cleared of the previous lap's
+stale markers (:meth:`~repro.core.sort_retrieve.TagSortRetrieveCircuit.clear_stale_section`),
+so a raw closest-match search can never land on a stale marker across the
+wrap boundary.  A **span guard** enforces the sequence-number condition
+that makes the wrapped window unambiguous: the live tag span must stay
+under half the tag space, or the configured ``granularity`` is too fine
+for the workload and a :class:`~repro.hwsim.errors.ProtocolError` reports
+it.
+
+Quantization effects are first-class: two tags in the same quantum are
+served FCFS, and the resulting QoS degradation versus the exact software
+sorter is what the granularity benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.sort_retrieve import TagSortRetrieveCircuit
+from ..core.words import PAPER_FORMAT, WordFormat
+from ..hwsim.errors import ConfigurationError, ProtocolError
+
+
+class HardwareTagStore:
+    """Quantizing, wrap-managing adapter over the sort/retrieve circuit."""
+
+    def __init__(
+        self,
+        *,
+        fmt: WordFormat = PAPER_FORMAT,
+        granularity: float = 1.0,
+        capacity: int = 4096,
+    ) -> None:
+        if granularity <= 0:
+            raise ConfigurationError("granularity must be positive")
+        self.fmt = fmt
+        self.granularity = granularity
+        self.circuit = TagSortRetrieveCircuit(
+            fmt, capacity=capacity, modular=True
+        )
+        self._section_span = fmt.capacity // fmt.branching_factor
+        #: highest unwrapped section index ever prepared for inserts
+        self._frontier: Optional[int] = None
+        self._last_served_unwrapped: Optional[int] = None
+        self._min_inserted_unwrapped: Optional[int] = None
+        self.sections_cleared = 0
+        self.markers_purged = 0
+        self.clamped_inserts = 0
+        self.clamp_error_quanta = 0
+
+    # ------------------------------------------------------------------
+    # quantization and wrap management
+
+    def quantize(self, finish_tag: float) -> int:
+        """Unwrapped (monotone, unbounded) integer tag."""
+        return int(finish_tag / self.granularity)
+
+    def _span_floor(self) -> Optional[int]:
+        """A lower bound on the smallest live unwrapped tag.
+
+        Service is monotone, so the last served tag bounds every live tag
+        from below; before any service, the smallest insert does.
+        """
+        if self._last_served_unwrapped is not None:
+            return self._last_served_unwrapped
+        return self._min_inserted_unwrapped
+
+    def _guard_span(self, unwrapped: int) -> None:
+        floor = self._span_floor()
+        if floor is None:
+            return
+        if unwrapped - floor >= self.fmt.capacity // 2:
+            raise ProtocolError(
+                f"live tag span {unwrapped - floor} quanta exceeds half the "
+                f"{self.fmt.capacity}-value tag space; increase granularity "
+                f"(currently {self.granularity}) or widen the word format"
+            )
+
+    def _prepare_sections(self, unwrapped: int) -> None:
+        """Advance the clear frontier to the target unwrapped section.
+
+        Every section the frontier passes is bulk-cleared of the previous
+        lap's stale markers (the Fig. 6 maintenance step).  On the first
+        lap the clears are no-ops because the tree starts empty.
+        """
+        target = unwrapped // self._section_span
+        if self._frontier is None:
+            self._frontier = target
+            return
+        while self._frontier < target:
+            self._frontier += 1
+            section = self._frontier % self.fmt.branching_factor
+            purged = self.circuit.clear_stale_section(section)
+            if purged:
+                self.markers_purged += purged
+                self.sections_cleared += 1
+
+    def _is_behind_minimum(self, raw: int) -> bool:
+        minimum = self.circuit.peek_min()
+        if minimum is None:
+            return False
+        distance = (raw - minimum) % self.fmt.capacity
+        return distance >= self.fmt.capacity // 2
+
+    # ------------------------------------------------------------------
+    # TagStore protocol
+
+    def push(self, finish_tag: float, flow_id: int) -> None:
+        """Quantize and insert one tag; payload carries the exact tag.
+
+        The paper asserts that "the WFQ algorithm always produces tags
+        larger than, or equal to, the smallest tag already in the system"
+        (Section III-A) — the property its deferred marker deletion rests
+        on.  Exact WFQ violates it occasionally: a newly busy high-weight
+        session can receive a finishing tag *below* the current minimum
+        (its tag starts from virtual time, which trails the minimum
+        outstanding tag).  The hardware must resolve this with registers
+        only, so such a tag is **clamped to the current minimum's
+        quantum**: it is served FCFS alongside the minimum instead of
+        strictly before it.  ``clamped_inserts`` / ``clamp_error_quanta``
+        quantify how often and by how much, and the granularity benchmark
+        sweeps the resulting QoS error.  Clamping also keeps circuit
+        service monotone in raw tag order, which is exactly what makes
+        stale markers unreachable (they are all at or below the last
+        served value).
+        """
+        if len(self) == 0:
+            # The scheduler drained: the circuit re-enters initialization
+            # mode (stale markers flush), so lap/frontier bookkeeping
+            # restarts as a fresh epoch.
+            self._frontier = None
+            self._last_served_unwrapped = None
+            self._min_inserted_unwrapped = None
+        unwrapped = self.quantize(finish_tag)
+        # The span guard must precede the behind-minimum test: a raw
+        # value more than half the space *ahead* is indistinguishable
+        # from one behind under serial-number comparison, and only the
+        # unwrapped value can tell the two apart.
+        self._guard_span(unwrapped)
+        raw = unwrapped % self.fmt.capacity
+        floor = self._span_floor()
+        regressed = floor is not None and unwrapped < floor
+        # A regression bigger than half the space aliases as "forward"
+        # under raw serial-number comparison, so the unwrapped check must
+        # come first; the raw check then covers within-window reordering.
+        if regressed or self._is_behind_minimum(raw):
+            raw = self.circuit.peek_min()
+            floor = self._span_floor()
+            if floor is not None:
+                self.clamp_error_quanta += max(0, floor - unwrapped)
+            self.clamped_inserts += 1
+            self.circuit.insert(raw, payload=(finish_tag, flow_id))
+            return
+        self._prepare_sections(unwrapped)
+        if (
+            self._min_inserted_unwrapped is None
+            or unwrapped < self._min_inserted_unwrapped
+        ):
+            self._min_inserted_unwrapped = unwrapped
+        self.circuit.insert(raw, payload=(finish_tag, flow_id))
+
+    def pop_min(self) -> Tuple[float, int]:
+        """Serve the smallest tag; returns the exact (float) tag."""
+        served = self.circuit.dequeue_min()
+        finish_tag, flow_id = served.payload
+        # Reconstruct the unwrapped value of the served raw tag: service
+        # is monotone, so it is the smallest consistent value at or above
+        # the previous floor.
+        base = self._span_floor()
+        if base is None:
+            base = 0
+        unwrapped = base + ((served.tag - base) % self.fmt.capacity)
+        if (
+            self._last_served_unwrapped is None
+            or unwrapped > self._last_served_unwrapped
+        ):
+            self._last_served_unwrapped = unwrapped
+        return finish_tag, flow_id
+
+    def peek_min_exact(self) -> Optional[Tuple[float, int]]:
+        """The head entry's exact (tag, payload) without dequeuing.
+
+        Hardware keeps the head link's contents in registers (it was
+        read when it became the head), so this costs no memory access.
+        """
+        address = self.circuit.storage.head_address
+        if address is None:
+            return None
+        link = self.circuit.storage._memory.peek(address)
+        return link.payload
+
+    def __len__(self) -> int:
+        return self.circuit.count
+
+    # ------------------------------------------------------------------
+    # introspection for experiments
+
+    @property
+    def cycles(self) -> int:
+        """Clock cycles the circuit has consumed (4 per operation)."""
+        return self.circuit.cycles
+
+    @property
+    def operations(self) -> int:
+        """Circuit operations performed."""
+        return self.circuit.operations

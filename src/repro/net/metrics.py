@@ -1,0 +1,221 @@
+"""QoS and fairness metrics over simulation results.
+
+The quantities the paper's argument rests on:
+
+* per-flow **delay statistics** and worst-case delay — WFQ's bounded
+  delay versus the round-robin family's flow-count-dependent delay;
+* the **WFQ delay bound** itself (Parekh–Gallager): a packet departs no
+  later than its GPS departure plus one maximum packet time;
+* **throughput shares** versus configured weights, and the **Jain
+  fairness index** over normalized shares;
+* the **worst-case fair index** style lag between a flow's received
+  service and its GPS entitlement over busy intervals (the WF²Q
+  motivation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.base import SimulationResult
+from ..sched.gps import GpsDeparture
+from ..sched.packet import Packet
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Delay summary for one flow."""
+
+    count: int
+    mean: float
+    p99: float
+    worst: float
+
+    @staticmethod
+    def of(packets: List[Packet]) -> "DelayStats":
+        """Compute stats from departed packets."""
+        delays = sorted(p.delay for p in packets if p.delay is not None)
+        if not delays:
+            return DelayStats(count=0, mean=0.0, p99=0.0, worst=0.0)
+        index = min(len(delays) - 1, int(math.ceil(0.99 * len(delays))) - 1)
+        return DelayStats(
+            count=len(delays),
+            mean=sum(delays) / len(delays),
+            p99=delays[max(index, 0)],
+            worst=delays[-1],
+        )
+
+
+def per_flow_delays(result: SimulationResult) -> Dict[int, DelayStats]:
+    """Delay statistics per flow."""
+    return {
+        flow_id: DelayStats.of(packets)
+        for flow_id, packets in result.by_flow().items()
+    }
+
+
+def throughput_shares(
+    result: SimulationResult, *, start: float = 0.0, end: Optional[float] = None
+) -> Dict[int, float]:
+    """Fraction of delivered bits per flow within [start, end]."""
+    if end is None:
+        end = result.finish_time
+    bits: Dict[int, float] = {}
+    for packet in result.packets:
+        if packet.departure_time is None:
+            continue
+        if start <= packet.departure_time <= end:
+            bits[packet.flow_id] = bits.get(packet.flow_id, 0.0) + packet.size_bits
+    total = sum(bits.values())
+    if total == 0:
+        return {flow_id: 0.0 for flow_id in bits}
+    return {flow_id: value / total for flow_id, value in bits.items()}
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index over normalized allocations (1.0 = fair)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("need at least one allocation")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def weighted_jain_index(
+    shares: Mapping[int, float], weights: Mapping[int, float]
+) -> float:
+    """Jain index over shares normalized by weights.
+
+    A scheduler that delivers exactly weight-proportional bandwidth
+    scores 1.0 regardless of the weight vector.
+    """
+    normalized = []
+    for flow_id, share in shares.items():
+        weight = weights.get(flow_id)
+        if weight is None or weight <= 0:
+            raise ConfigurationError(f"missing weight for flow {flow_id}")
+        normalized.append(share / weight)
+    return jain_index(normalized)
+
+
+def gps_lag(
+    result: SimulationResult, gps: Mapping[int, GpsDeparture]
+) -> Dict[int, float]:
+    """Worst (departure - GPS departure) per flow, in seconds.
+
+    The Parekh–Gallager theorem bounds this by ``L_max / rate`` for WFQ;
+    round-robin policies show lags that grow with the number of flows.
+    """
+    worst: Dict[int, float] = {}
+    for packet in result.packets:
+        reference = gps.get(packet.packet_id)
+        if reference is None or packet.departure_time is None:
+            continue
+        lag = packet.departure_time - reference.departure_time
+        if lag > worst.get(packet.flow_id, float("-inf")):
+            worst[packet.flow_id] = lag
+    return worst
+
+
+def max_gps_lag(result: SimulationResult, gps: Mapping[int, GpsDeparture]) -> float:
+    """System-wide worst GPS lag."""
+    lags = gps_lag(result, gps)
+    return max(lags.values()) if lags else 0.0
+
+
+def gps_lead(
+    result: SimulationResult, gps: Mapping[int, GpsDeparture]
+) -> Dict[int, float]:
+    """Worst (GPS departure - actual departure) per flow, in seconds.
+
+    How far each flow ran *ahead* of its fluid entitlement.  This is the
+    worst-case-fairness axis on which WF²Q improves on WFQ (paper
+    Section I-B: WF²Q "has better worst case fairness"): WFQ can serve a
+    heavy flow arbitrarily far ahead of GPS, while WF²Q's eligibility
+    rule bounds the lead by one packet's service time.
+    """
+    worst: Dict[int, float] = {}
+    for packet in result.packets:
+        reference = gps.get(packet.packet_id)
+        if reference is None or packet.departure_time is None:
+            continue
+        lead = reference.departure_time - packet.departure_time
+        if lead > worst.get(packet.flow_id, float("-inf")):
+            worst[packet.flow_id] = lead
+    return worst
+
+
+def max_gps_lead(result: SimulationResult, gps: Mapping[int, GpsDeparture]) -> float:
+    """System-wide worst GPS lead (the WF²Q-vs-WFQ fairness metric)."""
+    leads = gps_lead(result, gps)
+    return max(leads.values()) if leads else 0.0
+
+
+def worst_work_lead(result: SimulationResult, gps_simulator) -> Dict[int, float]:
+    """Per-flow worst (actual bits served - GPS fluid bits), in bits.
+
+    The Bennett–Zhang worst-case-fairness quantity: WF²Q keeps every
+    flow's served work within one maximum packet of its GPS fluid
+    entitlement, while WFQ lets a heavy flow run many packets ahead
+    (paper Section I-B).  ``gps_simulator`` must be a
+    :class:`~repro.sched.gps.GPSFluidSimulator` whose :meth:`run` has
+    already been called on the same trace (it holds the fluid curves).
+    """
+    served: Dict[int, float] = {}
+    worst: Dict[int, float] = {}
+    for packet in sorted(
+        result.packets, key=lambda p: (p.departure_time, p.packet_id)
+    ):
+        flow = packet.flow_id
+        served[flow] = served.get(flow, 0.0) + packet.size_bits
+        entitled = gps_simulator.work_at(flow, packet.departure_time)
+        lead = served[flow] - entitled
+        if lead > worst.get(flow, float("-inf")):
+            worst[flow] = lead
+    return worst
+
+
+def pg_bound_violations(
+    result: SimulationResult,
+    gps: Mapping[int, GpsDeparture],
+    *,
+    rate_bps: float,
+    max_packet_bytes: float,
+    slack: float = 1e-9,
+) -> int:
+    """Count packets departing after GPS + L_max/rate (should be 0 for WFQ)."""
+    bound = max_packet_bytes * 8 / rate_bps
+    violations = 0
+    for packet in result.packets:
+        reference = gps.get(packet.packet_id)
+        if reference is None or packet.departure_time is None:
+            continue
+        if packet.departure_time > reference.departure_time + bound + slack:
+            violations += 1
+    return violations
+
+
+def out_of_order_service(result: SimulationResult) -> int:
+    """Served packets whose finish tag exceeds a later-served smaller tag.
+
+    Measures sorting inaccuracy end to end: zero for exact WFQ, positive
+    for binning/TCQ-style aggregation or for coarse hardware quantization.
+    """
+    inversions = 0
+    best_seen = float("-inf")
+    for packet in sorted(
+        result.packets, key=lambda p: (p.departure_time, p.packet_id)
+    ):
+        if packet.finish_tag is None:
+            continue
+        if packet.finish_tag < best_seen - 1e-12:
+            inversions += 1
+        else:
+            best_seen = max(best_seen, packet.finish_tag)
+    return inversions

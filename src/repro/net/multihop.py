@@ -1,0 +1,141 @@
+"""Multi-hop scheduling: end-to-end delay across a chain of WFQ links.
+
+The paper's QoS motivation is end to end: "end-to-end delays for such
+packet flows must also be kept within certain limits if, for example, a
+conversation or other interaction is to be practical" (Section I-A).
+The single-node Parekh–Gallager bound composes across a path of H WFQ
+hops serving a (sigma, g)-constrained flow::
+
+    D_e2e <= sigma / g  +  H * L / g  +  sum_h (L_max / C_h)
+
+(one burst drain, one own-packet serialization per hop, one maximum
+cross-packet per hop).  :class:`MultiHopNetwork` chains per-hop
+schedulers — each hop's departures become the next hop's arrivals — so
+that bound can be *measured* rather than assumed, for WFQ and for any
+other policy in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.base import PacketScheduler, SimulationResult, simulate
+from ..sched.packet import Packet
+
+
+@dataclass(frozen=True)
+class HopResult:
+    """One hop's simulation outcome."""
+
+    hop_index: int
+    result: SimulationResult
+
+
+@dataclass(frozen=True)
+class EndToEndRecord:
+    """A packet's journey across the chain."""
+
+    packet_id: int
+    flow_id: int
+    size_bytes: int
+    ingress_time: float
+    egress_time: float
+
+    @property
+    def delay(self) -> float:
+        return self.egress_time - self.ingress_time
+
+
+class MultiHopNetwork:
+    """A linear chain of independently scheduled store-and-forward hops."""
+
+    def __init__(
+        self,
+        scheduler_factories: Sequence[Callable[[], PacketScheduler]],
+    ) -> None:
+        if not scheduler_factories:
+            raise ConfigurationError("need at least one hop")
+        self._factories = list(scheduler_factories)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self._factories)
+
+    def run(self, trace: Sequence[Packet]) -> List[EndToEndRecord]:
+        """Push a trace through every hop; returns end-to-end records.
+
+        Each hop is simulated to completion; a packet's departure time at
+        hop h becomes its arrival time at hop h+1 (store-and-forward,
+        zero propagation delay — add a constant per hop externally if
+        needed).
+        """
+        ingress: Dict[int, float] = {
+            packet.packet_id: packet.arrival_time for packet in trace
+        }
+        current = [
+            Packet(
+                flow_id=p.flow_id,
+                size_bytes=p.size_bytes,
+                arrival_time=p.arrival_time,
+                packet_id=p.packet_id,
+            )
+            for p in trace
+        ]
+        self.hop_results: List[HopResult] = []
+        for hop_index, factory in enumerate(self._factories):
+            scheduler = factory()
+            result = simulate(scheduler, current)
+            self.hop_results.append(
+                HopResult(hop_index=hop_index, result=result)
+            )
+            current = [
+                Packet(
+                    flow_id=p.flow_id,
+                    size_bytes=p.size_bytes,
+                    arrival_time=p.departure_time,
+                    packet_id=p.packet_id,
+                )
+                for p in result.packets
+            ]
+        return [
+            EndToEndRecord(
+                packet_id=p.packet_id,
+                flow_id=p.flow_id,
+                size_bytes=p.size_bytes,
+                ingress_time=ingress[p.packet_id],
+                egress_time=p.arrival_time,  # post-last-hop departure
+            )
+            for p in current
+        ]
+
+
+def e2e_delay_bound(
+    *,
+    hops: int,
+    rate_bps: float,
+    guaranteed_rate_bps: float,
+    burst_bits: float,
+    packet_bytes: int,
+    max_packet_bytes: int = 1500,
+) -> float:
+    """The composed Parekh–Gallager end-to-end bound for one flow."""
+    if hops < 1:
+        raise ConfigurationError("need at least one hop")
+    if guaranteed_rate_bps <= 0 or rate_bps <= 0:
+        raise ConfigurationError("rates must be positive")
+    burst = burst_bits / guaranteed_rate_bps
+    per_hop_own = packet_bytes * 8 / guaranteed_rate_bps
+    per_hop_cross = max_packet_bytes * 8 / rate_bps
+    return burst + hops * (per_hop_own + per_hop_cross)
+
+
+def worst_flow_delay(
+    records: Sequence[EndToEndRecord], flow_id: int
+) -> float:
+    """Worst end-to-end delay observed for one flow."""
+    delays = [r.delay for r in records if r.flow_id == flow_id]
+    if not delays:
+        raise ConfigurationError(f"no records for flow {flow_id}")
+    return max(delays)

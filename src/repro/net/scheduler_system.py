@@ -1,0 +1,147 @@
+"""The complete hardware WFQ scheduler of paper Fig. 1.
+
+Three blocks in one data flow:
+
+1. **WFQ tag computation** (ref. [8]) — the
+   :class:`~repro.sched.virtual_time.VirtualClock` produces a finishing
+   tag per arriving packet (eq. (1) machinery included);
+2. **shared packet buffer** (ref. [9]) — packets are parked in
+   :class:`~repro.net.buffer.SharedPacketBuffer` and only their pointers
+   move through the scheduler;
+3. **tag sort/retrieve circuit** — the
+   :class:`~repro.net.hardware_store.HardwareTagStore` keeps (tag,
+   pointer) pairs sorted so egress always pops the smallest tag's pointer
+   in fixed time.
+
+The class implements :class:`~repro.sched.base.PacketScheduler`, so the
+same :func:`~repro.sched.base.simulate` loop that drives the software
+policies drives the full hardware system — which is how the QoS
+benchmarks compare hardware-quantized WFQ against exact WFQ, and how the
+throughput benchmark converts circuit cycles into the paper's
+packets-per-second and line-rate figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.base import PacketScheduler
+from ..sched.packet import Packet
+from ..sched.virtual_time import VirtualClock
+from .buffer import SharedPacketBuffer
+from .hardware_store import HardwareTagStore
+from ..core.words import PAPER_FORMAT, WordFormat
+
+#: Post-layout clock target: 35.8 Mpps at 4 cycles/operation (Section IV).
+DEFAULT_CLOCK_HZ = 143.2e6
+
+
+class HardwareWFQSystem(PacketScheduler):
+    """WFQ tag computation + packet buffer + sort/retrieve circuit."""
+
+    name = "hw_wfq"
+
+    def __init__(
+        self,
+        rate_bps: float,
+        *,
+        fmt: WordFormat = PAPER_FORMAT,
+        granularity: Optional[float] = None,
+        buffer_capacity: int = 8192,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
+    ) -> None:
+        super().__init__(rate_bps)
+        if clock_hz <= 0:
+            raise ConfigurationError("clock frequency must be positive")
+        self.clock_hz = clock_hz
+        self.clock = VirtualClock(rate_bps)
+        self.buffer = SharedPacketBuffer(buffer_capacity)
+        self._fmt = fmt
+        self._buffer_capacity = buffer_capacity
+        self._explicit_granularity = granularity
+        self._store: Optional[HardwareTagStore] = None
+        self.dropped = 0
+
+    #: packets of worst-case tag increment half the tag space must cover
+    AUTO_GRANULARITY_HEADROOM = 128
+    #: maximum packet size assumed by the auto granularity rule
+    AUTO_GRANULARITY_MAX_BYTES = 1500
+
+    @property
+    def store(self) -> HardwareTagStore:
+        """The sort/retrieve circuit adapter (created on first use).
+
+        When no explicit ``granularity`` was given, the quantum is sized
+        from the registered weights so that
+        :data:`AUTO_GRANULARITY_HEADROOM` worst-case per-packet tag
+        increments (a maximum-size packet on the lightest flow) fit in
+        half the tag space — the sequence-number window the wrap logic
+        needs.
+        """
+        if self._store is None:
+            granularity = self._explicit_granularity
+            if granularity is None:
+                min_weight = min(
+                    (flow.weight for flow in self.flows), default=1.0
+                )
+                worst_increment = (
+                    self.AUTO_GRANULARITY_MAX_BYTES * 8 / min_weight
+                )
+                half_space = self._fmt.capacity // 2
+                granularity = (
+                    self.AUTO_GRANULARITY_HEADROOM * worst_increment / half_space
+                )
+            self._store = HardwareTagStore(
+                fmt=self._fmt,
+                granularity=granularity,
+                capacity=self._buffer_capacity,
+            )
+        return self._store
+
+    # ------------------------------------------------------------------
+    # PacketScheduler interface
+
+    def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        super().add_flow(flow_id, weight, **kwargs)
+        self.clock.register(flow_id, weight)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.store)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        tags = self.clock.on_arrival(packet.flow_id, packet.size_bits, now)
+        packet.start_tag = tags.start_tag
+        packet.finish_tag = tags.finish_tag
+        pointer = self.buffer.try_store(packet)
+        if pointer is None:
+            self.dropped += 1
+            return
+        self.store.push(tags.finish_tag, pointer)
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        if len(self.store) == 0:
+            return None
+        self.clock.advance_to(now)
+        _, pointer = self.store.pop_min()
+        return self.buffer.fetch(pointer)
+
+    # ------------------------------------------------------------------
+    # throughput model (Section IV)
+
+    @property
+    def circuit_busy_seconds(self) -> float:
+        """Wall-clock time the circuit spent at ``clock_hz``."""
+        return self.store.cycles / self.clock_hz
+
+    def sustained_packets_per_second(self) -> float:
+        """One operation per four cycles: the paper's 35.8 Mpps figure."""
+        return self.clock_hz / 4.0
+
+    def sustained_line_rate_bps(self, mean_packet_bytes: float) -> float:
+        """Line speed supported at a given mean packet size (40 Gb/s at
+        the paper's conservative 140-byte average)."""
+        if mean_packet_bytes <= 0:
+            raise ConfigurationError("mean packet size must be positive")
+        return self.sustained_packets_per_second() * mean_packet_bytes * 8

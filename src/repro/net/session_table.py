@@ -1,0 +1,167 @@
+"""Per-session state table — the "8 million sessions" substrate.
+
+Section IV: "The number of sessions supported by the scheduler is
+scalable up to 8 million concurrent sessions (virtual queues)."  What
+scales is not the sort/retrieve circuit (it sees only tags) but the
+per-session WFQ state: each session needs its weight's reciprocal and
+its last finishing tag, held in an off-chip table and read-modify-
+written once per packet by the tag-computation block.
+
+:class:`SessionStateTable` models that table: a flat memory of fixed-
+width records with access accounting, plus the bookkeeping the claim
+depends on:
+
+* footprint: ``sessions x record_bits`` (8 M x 64 b = 64 MB of DRAM);
+* exactly one read + one write per packet, independent of session count
+  (the table is direct-indexed by session id — no search);
+* activity tracking, so idle-session state can be reclaimed/LRU-swapped
+  when the provisioned table is smaller than the id space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hwsim.errors import CapacityError, ConfigurationError
+from ..hwsim.stats import AccessStats
+
+#: reciprocal weight (24b fixed point) + last finish tag (32b) + flags
+DEFAULT_RECORD_BITS = 64
+
+
+@dataclass
+class SessionRecord:
+    """One session's scheduler state."""
+
+    reciprocal_units: int
+    last_finish_units: int = 0
+    packets_seen: int = 0
+    last_active_packet: int = 0
+
+
+class SessionStateTable:
+    """Direct-indexed per-session state with one R+W per packet."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        frac_bits: int = 16,
+        record_bits: int = DEFAULT_RECORD_BITS,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be positive")
+        if frac_bits < 0 or record_bits < 1:
+            raise ConfigurationError("invalid record geometry")
+        self.capacity = capacity
+        self.frac_bits = frac_bits
+        self.scale = 1 << frac_bits
+        self.record_bits = record_bits
+        self.stats = AccessStats()
+        self._records: Dict[int, SessionRecord] = {}
+        self._packet_counter = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+
+    @property
+    def footprint_bits(self) -> int:
+        """Provisioned table size in bits."""
+        return self.capacity * self.record_bits
+
+    @property
+    def footprint_megabytes(self) -> float:
+        """Provisioned table size in MB."""
+        return self.footprint_bits / 8 / 1024 / 1024
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently holding a record."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+
+    def provision(self, session: int, weight: float) -> None:
+        """Install a session's record (admission time)."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        if session in self._records:
+            raise ConfigurationError(f"session {session} already provisioned")
+        if len(self._records) >= self.capacity:
+            if not self._evict_idle():
+                raise CapacityError(
+                    f"session table full ({self.capacity} records) and "
+                    "nothing is idle enough to evict"
+                )
+        reciprocal = max(1, round(self.scale / weight))
+        self._records[session] = SessionRecord(reciprocal_units=reciprocal)
+        self.stats.record_write()
+
+    def _evict_idle(self) -> bool:
+        """Reclaim the least recently active record, if any is idle.
+
+        A record is evictable once its session has been quiet for at
+        least ``capacity`` packets — the simple high-water LRU a hardware
+        table would implement with a generation counter.
+        """
+        if not self._records:
+            return False
+        victim = min(
+            self._records, key=lambda s: self._records[s].last_active_packet
+        )
+        quiet_for = (
+            self._packet_counter
+            - self._records[victim].last_active_packet
+        )
+        if quiet_for < self.capacity:
+            return False
+        del self._records[victim]
+        self.stats.record_write()
+        self.evictions += 1
+        return True
+
+    def release(self, session: int) -> None:
+        """Explicitly tear a session down."""
+        if session not in self._records:
+            raise ConfigurationError(f"session {session} not provisioned")
+        del self._records[session]
+        self.stats.record_write()
+
+    # ------------------------------------------------------------------
+    # the per-packet read-modify-write
+
+    def compute_finish_tag(
+        self, session: int, size_bits: int, virtual_units: int
+    ) -> int:
+        """One packet's tag update: exactly one read and one write.
+
+        ``F = max(V, F_prev) + L * reciprocal`` in fixed-point units —
+        the same datapath as
+        :class:`~repro.sched.tag_computation.FixedPointVirtualClock`, but
+        against table-resident state.
+        """
+        record = self._records.get(session)
+        self.stats.record_read()
+        if record is None:
+            raise ConfigurationError(f"session {session} not provisioned")
+        start = max(virtual_units, record.last_finish_units)
+        finish = start + size_bits * record.reciprocal_units
+        record.last_finish_units = finish
+        record.packets_seen += 1
+        self._packet_counter += 1
+        record.last_active_packet = self._packet_counter
+        self.stats.record_write()
+        return finish
+
+    def record_of(self, session: int) -> Optional[SessionRecord]:
+        """Debug view of a session's record (no accounting)."""
+        return self._records.get(session)
+
+
+def paper_scale_footprint() -> float:
+    """The Section IV figure: 8 M sessions in MB of table memory."""
+    table = SessionStateTable(8 * 1024 * 1024)
+    return table.footprint_megabytes

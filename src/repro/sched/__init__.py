@@ -1,0 +1,52 @@
+"""Fair-queueing scheduling substrate.
+
+The GPS fluid reference, the WFQ virtual-time engine (paper eq. (1)),
+the fair-queueing family (WFQ, WF²Q, WF²Q+, SCFQ, FBFQ), the round-robin
+family (WRR, DRR, MDRR, CBQ, SRR), and the single-link simulation loop.
+"""
+
+from .base import PacketScheduler, SimulationResult, simulate
+from .cbq import CBQScheduler
+from .drr import DRRScheduler
+from .fbfq import FBFQScheduler
+from .flow import Flow, FlowTable
+from .gps import GPSFluidSimulator, GpsDeparture
+from .hpfq import HPFQScheduler
+from .mdrr import MDRRScheduler
+from .packet import Packet
+from .scfq import SCFQScheduler
+from .srr import SRRScheduler
+from .tag_computation import FixedPointTags, FixedPointVirtualClock
+from .virtual_time import TaggedArrival, VirtualClock
+from .wf2q import WF2QScheduler
+from .wf2qplus import WF2QPlusScheduler
+from .wfq import HeapTagStore, TagStore, WFQScheduler
+from .wrr import WRRScheduler
+
+__all__ = [
+    "PacketScheduler",
+    "SimulationResult",
+    "simulate",
+    "CBQScheduler",
+    "DRRScheduler",
+    "FBFQScheduler",
+    "Flow",
+    "FlowTable",
+    "GPSFluidSimulator",
+    "GpsDeparture",
+    "HPFQScheduler",
+    "MDRRScheduler",
+    "Packet",
+    "SCFQScheduler",
+    "SRRScheduler",
+    "FixedPointTags",
+    "FixedPointVirtualClock",
+    "TaggedArrival",
+    "VirtualClock",
+    "WF2QScheduler",
+    "WF2QPlusScheduler",
+    "HeapTagStore",
+    "TagStore",
+    "WFQScheduler",
+    "WRRScheduler",
+]

@@ -1,0 +1,142 @@
+"""Common scheduler interface and the single-link simulation loop.
+
+A :class:`PacketScheduler` decides, each time the output link goes idle,
+which queued packet transmits next.  :func:`simulate` drives a scheduler
+with a pre-generated arrival trace over a non-preemptive link of fixed
+rate, producing per-packet departure times — the substrate every
+delay-bound and fairness experiment runs on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..hwsim.errors import ConfigurationError
+from .flow import FlowTable
+from .packet import Packet
+
+
+class PacketScheduler(ABC):
+    """A packet scheduler for one output link."""
+
+    #: short identifier used in reports
+    name: str = "abstract"
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self.flows = FlowTable()
+
+    def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        """Register a flow before (or at) its first packet."""
+        self.flows.add(flow_id, weight, **kwargs)
+
+    @abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Accept an arriving packet at real time ``now``."""
+
+    @abstractmethod
+    def select_next(self, now: float) -> Optional[Packet]:
+        """Pick and remove the packet to transmit next, or None.
+
+        Work-conserving policies must return a packet whenever the
+        backlog is non-zero.  A policy with an eligibility rule may
+        return None and should then implement
+        :meth:`earliest_eligible_time`.
+        """
+
+    def earliest_eligible_time(self, now: float) -> Optional[float]:
+        """When a backlogged-but-ineligible policy can next transmit.
+
+        Only consulted after :meth:`select_next` returned None with a
+        non-zero backlog; the default (None) declares the policy
+        work-conserving, making that situation an error.
+        """
+        return None
+
+    @property
+    def backlog(self) -> int:
+        """Total queued packets."""
+        return sum(len(flow.queue) for flow in self.flows)
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds needed to serialize ``packet`` onto the link."""
+        return packet.size_bits / self.rate_bps
+
+
+@dataclass
+class SimulationResult:
+    """Everything the metrics layer needs from one run."""
+
+    packets: List[Packet] = field(default_factory=list)
+    finish_time: float = 0.0
+
+    def by_flow(self) -> dict:
+        """Departed packets grouped by flow id."""
+        grouped: dict = {}
+        for packet in self.packets:
+            grouped.setdefault(packet.flow_id, []).append(packet)
+        return grouped
+
+
+def simulate(
+    scheduler: PacketScheduler,
+    arrivals: Iterable[Packet],
+) -> SimulationResult:
+    """Run ``scheduler`` against an arrival trace on one link.
+
+    The link is non-preemptive: once a packet starts transmitting it
+    completes — the packet-integrity constraint that separates every
+    practical policy from fluid GPS.  Arrivals must be time-sorted.
+    """
+    trace = sorted(arrivals, key=lambda p: (p.arrival_time, p.packet_id))
+    result = SimulationResult()
+    now = 0.0
+    index = 0
+    total = len(trace)
+    stalled_selects = 0
+
+    while index < total or scheduler.backlog:
+        if scheduler.backlog == 0:
+            now = max(now, trace[index].arrival_time)
+        while index < total and trace[index].arrival_time <= now + 1e-15:
+            packet = trace[index]
+            index += 1
+            scheduler.enqueue(packet, packet.arrival_time)
+        chosen = scheduler.select_next(now)
+        if chosen is None:
+            # Backlogged but ineligible: advance to the next event (the
+            # next arrival or the scheduler's own eligibility horizon).
+            stalled_selects += 1
+            if stalled_selects > 2:
+                raise ConfigurationError(
+                    f"{scheduler.name}: backlog of {scheduler.backlog} with "
+                    "no selectable packet and no time progress"
+                )
+            candidates = []
+            if index < total:
+                candidates.append(trace[index].arrival_time)
+            eligible_at = scheduler.earliest_eligible_time(now)
+            if eligible_at is not None:
+                candidates.append(max(eligible_at, now))
+            if not candidates:
+                raise ConfigurationError(
+                    f"{scheduler.name}: backlog of {scheduler.backlog} with "
+                    "no selectable packet and no future event"
+                )
+            next_now = min(candidates)
+            if next_now > now:
+                stalled_selects = 0
+            now = next_now
+            continue
+        stalled_selects = 0
+        chosen.departure_time = now + scheduler.transmission_time(chosen)
+        now = chosen.departure_time
+        result.packets.append(chosen)
+
+    result.finish_time = now
+    result.packets.sort(key=lambda p: (p.departure_time, p.packet_id))
+    return result

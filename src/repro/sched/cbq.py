@@ -1,0 +1,94 @@
+"""Class-based queueing — ref. [4].
+
+CBQ "adopts a hierarchical approach to DRR" (Section I-B): traffic is
+grouped into classes, bandwidth is divided between classes by weighted
+deficit rounds, and flows inside a class share its allocation by a second
+deficit round.  Idle-class capacity is naturally redistributed (borrowed)
+because the rounds are work-conserving over backlogged classes only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hwsim.errors import ConfigurationError
+from .base import PacketScheduler
+from .drr import DRRScheduler
+from .packet import Packet
+
+
+class CBQScheduler(PacketScheduler):
+    """Two-level hierarchical deficit round robin."""
+
+    name = "cbq"
+
+    def __init__(self, rate_bps: float, *, quantum_bytes: float = 1500.0) -> None:
+        super().__init__(rate_bps)
+        self.quantum_bytes = quantum_bytes
+        self._classes: Dict[str, DRRScheduler] = {}
+        self._class_weight: Dict[str, float] = {}
+        self._flow_class: Dict[int, str] = {}
+        self._class_deficit: Dict[str, float] = {}
+        self._class_order: list = []
+        self._cursor = 0
+
+    def add_class(self, class_name: str, weight: float = 1.0) -> None:
+        """Declare a traffic class with its bandwidth share."""
+        if class_name in self._classes:
+            raise ConfigurationError(f"class {class_name!r} already exists")
+        if weight <= 0:
+            raise ConfigurationError("class weight must be positive")
+        self._classes[class_name] = DRRScheduler(
+            self.rate_bps, quantum_bytes=self.quantum_bytes
+        )
+        self._class_weight[class_name] = weight
+        self._class_deficit[class_name] = 0.0
+        self._class_order.append(class_name)
+
+    def add_flow_to_class(
+        self, flow_id: int, class_name: str, weight: float = 1.0
+    ) -> None:
+        """Attach a flow to a class."""
+        if class_name not in self._classes:
+            raise ConfigurationError(f"unknown class {class_name!r}")
+        if flow_id in self._flow_class:
+            raise ConfigurationError(f"flow {flow_id} already classed")
+        self._flow_class[flow_id] = class_name
+        self._classes[class_name].add_flow(flow_id, weight)
+
+    @property
+    def backlog(self) -> int:
+        return sum(inner.backlog for inner in self._classes.values())
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        class_name = self._flow_class.get(packet.flow_id)
+        if class_name is None:
+            raise ConfigurationError(
+                f"flow {packet.flow_id} was never assigned to a class"
+            )
+        self._classes[class_name].enqueue(packet, now)
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        if not self._class_order:
+            return None
+        quantum_bits = self.quantum_bytes * 8
+        # Weighted deficit round over classes; inner DRR picks the packet.
+        for _ in range(2 * len(self._class_order) + 1):
+            class_name = self._class_order[self._cursor]
+            inner = self._classes[class_name]
+            if inner.backlog == 0:
+                self._class_deficit[class_name] = 0.0
+                self._cursor = (self._cursor + 1) % len(self._class_order)
+                continue
+            if self._class_deficit[class_name] <= 0:
+                self._class_deficit[class_name] += (
+                    quantum_bits * self._class_weight[class_name]
+                )
+            packet = inner.select_next(now)
+            if packet is not None:
+                self._class_deficit[class_name] -= packet.size_bits
+                if self._class_deficit[class_name] <= 0:
+                    self._cursor = (self._cursor + 1) % len(self._class_order)
+                return packet
+            self._cursor = (self._cursor + 1) % len(self._class_order)
+        return None

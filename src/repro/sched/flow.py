@@ -1,0 +1,101 @@
+"""Flows (sessions) and the flow table.
+
+A *flow* is one scheduled session: a weight share phi_i plus bookkeeping.
+The paper's scheduler supports up to 8 million concurrent sessions
+(Section IV); the flow table is therefore a plain dict keyed by integer
+flow id rather than a dense array.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, Optional
+
+from ..hwsim.errors import ConfigurationError
+from .packet import Packet
+
+
+@dataclass
+class Flow:
+    """One scheduled session."""
+
+    flow_id: int
+    weight: float = 1.0
+    #: optional guaranteed rate in bits/s, used by delay-bound checks
+    guaranteed_rate_bps: Optional[float] = None
+    queue: Deque[Packet] = field(default_factory=deque)
+    last_finish_tag: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"flow {self.flow_id}: weight must be positive"
+            )
+
+    @property
+    def backlogged(self) -> bool:
+        """True when packets are queued."""
+        return bool(self.queue)
+
+    @property
+    def head(self) -> Optional[Packet]:
+        """The head-of-line packet, if any."""
+        return self.queue[0] if self.queue else None
+
+
+class FlowTable:
+    """All flows known to a scheduler."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, Flow] = {}
+
+    def add(
+        self,
+        flow_id: int,
+        weight: float = 1.0,
+        *,
+        guaranteed_rate_bps: Optional[float] = None,
+    ) -> Flow:
+        """Register a flow; re-registering an id is an error."""
+        if flow_id in self._flows:
+            raise ConfigurationError(f"flow {flow_id} already registered")
+        flow = Flow(
+            flow_id=flow_id,
+            weight=weight,
+            guaranteed_rate_bps=guaranteed_rate_bps,
+        )
+        self._flows[flow_id] = flow
+        return flow
+
+    def get(self, flow_id: int) -> Flow:
+        """Fetch a flow, registering it with weight 1 if unknown."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            flow = self.add(flow_id)
+        return flow
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._flows
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all registered weights."""
+        return sum(flow.weight for flow in self._flows.values())
+
+    @property
+    def backlogged_weight(self) -> float:
+        """Sum of weights of currently backlogged flows."""
+        return sum(
+            flow.weight for flow in self._flows.values() if flow.backlogged
+        )
+
+    def backlogged_flows(self) -> Iterator[Flow]:
+        """All flows with queued packets."""
+        return (flow for flow in self._flows.values() if flow.backlogged)

@@ -1,0 +1,164 @@
+"""Fluid GPS reference simulator.
+
+Generalized processor sharing serves every backlogged session
+simultaneously, session i at rate ``rate * phi_i / sum(phi_busy)``.  It is
+the theoretical yardstick of the paper (Section I-B): practical policies
+are judged by how closely they track it.  This simulator computes *exact*
+per-packet GPS departure times by iterating the same Next(t) relation as
+eq. (1) — a packet departs the fluid system at the real instant virtual
+time reaches its finishing tag.
+
+The classic Parekh–Gallager bound ties WFQ to this reference::
+
+    depart_WFQ(p) <= depart_GPS(p) + L_max / rate
+
+and is verified as a property test over random traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class GpsDeparture:
+    """GPS results for one packet."""
+
+    finish_tag: float
+    departure_time: float
+
+
+class GPSFluidSimulator:
+    """Event-exact fluid GPS over one link.
+
+    After :meth:`run`, :attr:`curves` holds each flow's fluid service
+    curve as breakpoints ``(time, cumulative_bits)`` (piecewise linear
+    between them), and :meth:`work_at` interpolates it — the reference
+    for work-based fairness metrics such as
+    :func:`repro.net.metrics.worst_work_lead`.
+    """
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self._weights: Dict[int, float] = {}
+        #: per-flow fluid service breakpoints, filled by run()
+        self.curves: Dict[int, List[Tuple[float, float]]] = {}
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Declare phi for a flow."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self._weights[flow_id] = weight
+
+    def run(self, arrivals: Iterable[Packet]) -> Dict[int, GpsDeparture]:
+        """Exact GPS departures for a time-sorted arrival trace.
+
+        Returns a map from ``packet_id`` to its finishing tag and fluid
+        departure time.  Packets' ``start_tag``/``finish_tag`` fields are
+        left untouched (the WFQ scheduler owns those).
+        """
+        trace = sorted(arrivals, key=lambda p: (p.arrival_time, p.packet_id))
+        results: Dict[int, GpsDeparture] = {}
+
+        now = 0.0
+        virtual = 0.0
+        busy_weight = 0.0
+        outstanding: Dict[int, int] = {}
+        last_finish: Dict[int, float] = {}
+        heap: List[Tuple[float, int, int]] = []  # (finish, packet_id, flow)
+        index = 0
+        work: Dict[int, float] = {}
+        self.curves = {}
+
+        def accrue(to_time: float) -> None:
+            """Credit fluid service over [now, to_time] to busy flows."""
+            elapsed = to_time - now
+            if elapsed <= 0 or busy_weight <= 0:
+                return
+            for flow, count in outstanding.items():
+                if count <= 0:
+                    continue
+                share = self._weights.get(flow, 1.0) / busy_weight
+                work[flow] = work.get(flow, 0.0) + (
+                    elapsed * self.rate_bps * share
+                )
+                self.curves.setdefault(flow, [(0.0, 0.0)]).append(
+                    (to_time, work[flow])
+                )
+
+        def advance(to_time: float) -> None:
+            """Move real time forward, emitting fluid departures."""
+            nonlocal now, virtual, busy_weight
+            while heap:
+                finish, packet_id, flow = heap[0]
+                departure = now + (finish - virtual) * busy_weight / self.rate_bps
+                if departure > to_time + 1e-15:
+                    break
+                heapq.heappop(heap)
+                accrue(departure)
+                now = departure
+                virtual = finish
+                results[packet_id] = GpsDeparture(
+                    finish_tag=finish, departure_time=departure
+                )
+                outstanding[flow] -= 1
+                if outstanding[flow] == 0:
+                    busy_weight -= self._weights.get(flow, 1.0)
+                    if busy_weight < 1e-12:
+                        busy_weight = 0.0
+            if busy_weight > 0:
+                virtual += (to_time - now) * self.rate_bps / busy_weight
+                accrue(to_time)
+            now = max(now, to_time)
+
+        while index < len(trace):
+            packet = trace[index]
+            advance(packet.arrival_time)
+            index += 1
+            weight = self._weights.get(packet.flow_id, 1.0)
+            start = max(virtual, last_finish.get(packet.flow_id, 0.0))
+            finish = start + packet.size_bits / weight
+            last_finish[packet.flow_id] = finish
+            if outstanding.get(packet.flow_id, 0) == 0:
+                busy_weight += weight
+                # Pin the curve flat across the preceding idle period.
+                self.curves.setdefault(packet.flow_id, [(0.0, 0.0)]).append(
+                    (packet.arrival_time, work.get(packet.flow_id, 0.0))
+                )
+            outstanding[packet.flow_id] = outstanding.get(packet.flow_id, 0) + 1
+            heapq.heappush(heap, (finish, packet.packet_id, packet.flow_id))
+
+        advance(float("inf"))
+        return results
+
+    def work_at(self, flow_id: int, time_s: float) -> float:
+        """Fluid bits served to ``flow_id`` by ``time_s`` (after run()).
+
+        Linear interpolation between the recorded breakpoints; constant
+        before the first and after the last.
+        """
+        curve = self.curves.get(flow_id)
+        if not curve:
+            return 0.0
+        if time_s <= curve[0][0]:
+            return curve[0][1]
+        for (t0, w0), (t1, w1) in zip(curve, curve[1:]):
+            if t0 <= time_s <= t1:
+                if t1 == t0:
+                    return w1
+                return w0 + (w1 - w0) * (time_s - t0) / (t1 - t0)
+        return curve[-1][1]
+
+    def finish_tags(self, arrivals: Iterable[Packet]) -> Dict[int, float]:
+        """Just the finishing tags (convenience for tag-stream studies)."""
+        return {
+            packet_id: departure.finish_tag
+            for packet_id, departure in self.run(arrivals).items()
+        }

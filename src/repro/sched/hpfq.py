@@ -1,0 +1,239 @@
+"""H-PFQ — hierarchical packet fair queueing, ref. [6].
+
+Bennett & Zhang's hierarchical scheduler: a tree of fair-queueing nodes
+in which every interior node runs a WF²Q+-style policy among its
+children, and a packet is transmitted by selecting a child at each level
+from the root down to a leaf flow.  This gives *nested* guarantees — an
+organization's share is protected first, then divided fairly among its
+own flows — which is the link-sharing goal CBQ approximates and fair
+queueing makes exact.
+
+Each node keeps its own system virtual time and per-child (start,
+finish) tags covering the child's current head packet:
+
+* when a child becomes backlogged (or its head changes after service),
+  it receives ``S = max(V_node, F_prev_child)`` and
+  ``F = S + L_head / phi_child``;
+* selection at a node is smallest-finish-tag among *eligible* children
+  (``S <= V_node``), recursively down to a leaf;
+* after a service of ``L`` bits, each node on the path updates
+  ``V = max(V + L / PHI_children, min S over backlogged children)`` —
+  the WF²Q+ virtual-time rule applied per node.
+
+The paper cites this family alongside WF²Q+ as algorithms its tag
+sort/retrieve circuit can serve: every node's selection is again a
+minimum-finishing-tag lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hwsim.errors import ConfigurationError
+from .base import PacketScheduler
+from .packet import Packet
+
+_SLACK = 1e-9
+
+
+@dataclass
+class _Node:
+    """One vertex of the scheduling hierarchy."""
+
+    name: str
+    weight: float
+    parent: Optional["_Node"] = None
+    children: List["_Node"] = field(default_factory=list)
+    #: leaf only: the attached flow id
+    flow_id: Optional[int] = None
+    # per-node WF2Q+ state over the children
+    virtual: float = 0.0
+    # per-child tag state, kept on the child itself
+    start_tag: float = 0.0
+    finish_tag: float = 0.0
+    last_finish: float = 0.0
+    backlogged: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.flow_id is not None
+
+    @property
+    def child_weight(self) -> float:
+        return sum(child.weight for child in self.children)
+
+
+class HPFQScheduler(PacketScheduler):
+    """Hierarchical WF²Q+-per-node fair queueing."""
+
+    name = "hpfq"
+
+    def __init__(self, rate_bps: float) -> None:
+        super().__init__(rate_bps)
+        self._root = _Node(name="root", weight=1.0)
+        self._nodes: Dict[str, _Node] = {"root": self._root}
+        self._leaves: Dict[int, _Node] = {}
+
+    # ------------------------------------------------------------------
+    # hierarchy construction
+
+    def add_class(
+        self, name: str, *, parent: str = "root", weight: float = 1.0
+    ) -> None:
+        """Declare an interior sharing class under ``parent``."""
+        if name in self._nodes:
+            raise ConfigurationError(f"node {name!r} already exists")
+        if parent not in self._nodes:
+            raise ConfigurationError(f"unknown parent {parent!r}")
+        if weight <= 0:
+            raise ConfigurationError("class weight must be positive")
+        parent_node = self._nodes[parent]
+        if parent_node.is_leaf:
+            raise ConfigurationError(f"{parent!r} is a leaf, not a class")
+        node = _Node(name=name, weight=weight, parent=parent_node)
+        parent_node.children.append(node)
+        self._nodes[name] = node
+
+    def attach_flow(
+        self, flow_id: int, *, parent: str = "root", weight: float = 1.0
+    ) -> None:
+        """Attach a flow as a leaf under ``parent``."""
+        if flow_id in self._leaves:
+            raise ConfigurationError(f"flow {flow_id} already attached")
+        if parent not in self._nodes:
+            raise ConfigurationError(f"unknown parent {parent!r}")
+        if weight <= 0:
+            raise ConfigurationError("flow weight must be positive")
+        self.flows.add(flow_id, weight)
+        parent_node = self._nodes[parent]
+        leaf = _Node(
+            name=f"flow:{flow_id}",
+            weight=weight,
+            parent=parent_node,
+            flow_id=flow_id,
+        )
+        parent_node.children.append(leaf)
+        self._nodes[leaf.name] = leaf
+        self._leaves[flow_id] = leaf
+
+    def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        """PacketScheduler compatibility: attach directly under the root."""
+        self.attach_flow(flow_id, parent="root", weight=weight)
+
+    # ------------------------------------------------------------------
+    # tag maintenance
+
+    def _head_size_bits(self, node: _Node) -> Optional[int]:
+        """Size of the head packet currently below ``node``."""
+        if node.is_leaf:
+            head = self.flows.get(node.flow_id).head
+            return head.size_bits if head is not None else None
+        # interior: the head is the packet its own policy would pick
+        chosen = self._select_child(node)
+        if chosen is None:
+            return None
+        return self._head_size_bits(chosen)
+
+    def _assign_tags(self, node: _Node, size_bits: int) -> None:
+        """Give ``node`` fresh (S, F) tags at its parent for a new head."""
+        parent = node.parent
+        node.start_tag = max(parent.virtual, node.last_finish)
+        node.finish_tag = node.start_tag + size_bits / node.weight
+
+    def _on_new_head(self, node: _Node) -> None:
+        """Propagate a (possibly) new head packet up from ``node``."""
+        while node.parent is not None:
+            size = self._head_size_bits(node)
+            parent = node.parent
+            if size is None:
+                node.backlogged = False
+            else:
+                was_backlogged = node.backlogged
+                node.backlogged = True
+                if not was_backlogged:
+                    self._assign_tags(node, size)
+            node = parent
+
+    # ------------------------------------------------------------------
+    # enqueue / select
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        leaf = self._leaves.get(packet.flow_id)
+        if leaf is None:
+            raise ConfigurationError(
+                f"flow {packet.flow_id} was never attached"
+            )
+        flow = self.flows.get(packet.flow_id)
+        flow.queue.append(packet)
+        # Leaf-level tags double as the packet's own fair-queueing tags.
+        if len(flow.queue) == 1:
+            self._on_new_head(leaf)
+        if packet.start_tag is None:
+            packet.start_tag = leaf.start_tag
+            packet.finish_tag = leaf.finish_tag
+
+    def _select_child(self, node: _Node) -> Optional[_Node]:
+        """WF²Q+ choice among ``node``'s children (eligible min-F)."""
+        best = None
+        for child in node.children:
+            if not child.backlogged:
+                continue
+            if child.start_tag > node.virtual + _SLACK:
+                continue
+            if best is None or child.finish_tag < best.finish_tag:
+                best = child
+        if best is None:
+            # WF2Q+ work conservation: jump the node clock to min S.
+            starts = [
+                child.start_tag
+                for child in node.children
+                if child.backlogged
+            ]
+            if not starts:
+                return None
+            node.virtual = max(node.virtual, min(starts))
+            return self._select_child(node)
+        return best
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        path: List[_Node] = []
+        node = self._root
+        while not node.is_leaf:
+            chosen = self._select_child(node)
+            if chosen is None:
+                return None
+            path.append(node)
+            node = chosen
+        leaf = node
+        flow = self.flows.get(leaf.flow_id)
+        packet = flow.queue.popleft()
+        # WF2Q+ virtual-time advance at every node on the path.
+        size = packet.size_bits
+        for parent in path:
+            total = max(parent.child_weight, 1e-12)
+            advanced = parent.virtual + size / total
+            starts = [
+                child.start_tag
+                for child in parent.children
+                if child.backlogged
+            ]
+            parent.virtual = (
+                max(advanced, min(starts)) if starts else advanced
+            )
+        # Commit the served chain's finish tags bottom-up, then re-tag
+        # each chain node for its (possibly new) subtree head.
+        node = leaf
+        while node.parent is not None:
+            node.last_finish = node.finish_tag
+            node = node.parent
+        node = leaf
+        while node.parent is not None:
+            head_size = self._head_size_bits(node)
+            if head_size is None:
+                node.backlogged = False
+            else:
+                node.backlogged = True
+                self._assign_tags(node, head_size)
+            node = node.parent
+        return packet

@@ -1,0 +1,50 @@
+"""Packets and per-packet scheduling metadata."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One IP packet traversing the scheduler.
+
+    Attributes:
+        flow_id: the session/connection the packet belongs to.
+        size_bytes: wire size in bytes.
+        arrival_time: arrival at the scheduler, in seconds.
+        packet_id: globally unique arrival sequence number.
+        start_tag: virtual start time assigned by a fair-queueing policy.
+        finish_tag: virtual finishing time ("finishing tag" of the paper).
+        departure_time: transmission-complete time, set by the simulator.
+    """
+
+    flow_id: int
+    size_bytes: int
+    arrival_time: float
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    start_tag: Optional[float] = None
+    finish_tag: Optional[float] = None
+    departure_time: Optional[float] = None
+
+    @property
+    def size_bits(self) -> int:
+        """Wire size in bits."""
+        return self.size_bytes * 8
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Queueing + transmission delay, once departed."""
+        if self.departure_time is None:
+            return None
+        return self.departure_time - self.arrival_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, flow={self.flow_id}, "
+            f"{self.size_bytes}B @ {self.arrival_time:.6f})"
+        )

@@ -1,0 +1,49 @@
+"""SCFQ — self-clocked fair queueing.
+
+A member of the fair-queueing family the paper's circuit supports: the
+virtual time is simply the finishing tag of the packet currently in
+service, so no GPS simulation is needed.  Start tags use
+``S = max(F_prev(flow), v(t))`` and service is smallest-finish-tag —
+exactly the tag-sorting workload of the sort/retrieve circuit, with a
+cheaper (but less accurate) clock than WFQ.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from .base import PacketScheduler
+from .packet import Packet
+
+
+class SCFQScheduler(PacketScheduler):
+    """Self-clocked fair queueing."""
+
+    name = "scfq"
+
+    def __init__(self, rate_bps: float) -> None:
+        super().__init__(rate_bps)
+        self._service_tag = 0.0  # v(t): finish tag of packet in service
+        self._heap: List[Tuple[float, int, int]] = []
+        self._sequence = itertools.count()
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        flow = self.flows.get(packet.flow_id)
+        start = max(flow.last_finish_tag, self._service_tag)
+        finish = start + packet.size_bits / flow.weight
+        packet.start_tag = start
+        packet.finish_tag = finish
+        flow.last_finish_tag = finish
+        flow.queue.append(packet)
+        heapq.heappush(
+            self._heap, (finish, next(self._sequence), packet.flow_id)
+        )
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        finish, _, flow_id = heapq.heappop(self._heap)
+        self._service_tag = finish
+        return self.flows.get(flow_id).queue.popleft()

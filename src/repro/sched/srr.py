@@ -1,0 +1,115 @@
+"""Stratified round robin — ref. [11].
+
+SRR (Ramabhadran & Pasquale) was motivated by exactly the bottleneck this
+paper attacks: "a primary reason given for developing SRR was the
+bottleneck of sorting tags in fair queueing" (Section II-B).  It avoids
+per-packet tag sorting by stratifying flows into *classes* by weight —
+class k holds flows with weight in [2^-k, 2^-(k-1)) — and scheduling only
+among the few dozen classes with a finite-universe priority queue of
+class deadlines: class k receives one slot every 2^k scheduling
+intervals.  Flows inside a class share slots round-robin with
+weight-proportional credits.
+
+The cost the paper calls out: round-robin service inside a class is
+"inherently less fair than fair queueing", and the number of supported
+traffic classes is small compared to the tag-sorting circuit.  Both show
+up in the QoS benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from .base import PacketScheduler
+from .packet import Packet
+
+
+class SRRScheduler(PacketScheduler):
+    """Weight-stratified classes with deadline-based interleaving."""
+
+    name = "srr"
+
+    def __init__(self, rate_bps: float, *, max_classes: int = 32) -> None:
+        super().__init__(rate_bps)
+        if max_classes < 1:
+            raise ConfigurationError("need at least one class")
+        self.max_classes = max_classes
+        self._flow_class: Dict[int, int] = {}
+        self._class_flows: Dict[int, Deque[int]] = {}
+        self._class_deadlines: List[Tuple[float, int]] = []  # (deadline, k)
+        self._class_scheduled: Dict[int, bool] = {}
+        self._slot = 0.0
+        self._credit: Dict[int, float] = {}
+
+    def _stratum(self, weight: float) -> int:
+        """Class index k such that weight is in [2^-k, 2^-(k-1))."""
+        if weight > 1.0:
+            weight = 1.0
+        k = max(1, math.ceil(-math.log2(weight)))
+        if k > self.max_classes:
+            raise ConfigurationError(
+                f"weight {weight} falls below the {self.max_classes}-class "
+                "stratification range"
+            )
+        return k
+
+    def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        super().add_flow(flow_id, weight, **kwargs)
+        stratum = self._stratum(weight)
+        self._flow_class[flow_id] = stratum
+        self._class_flows.setdefault(stratum, deque())
+        self._class_scheduled.setdefault(stratum, False)
+        self._credit[flow_id] = 0.0
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        flow = self.flows.get(packet.flow_id)
+        was_empty = not flow.backlogged
+        flow.queue.append(packet)
+        stratum = self._flow_class.setdefault(packet.flow_id, 1)
+        ring = self._class_flows.setdefault(stratum, deque())
+        if was_empty:
+            ring.append(packet.flow_id)
+        if not self._class_scheduled.get(stratum, False):
+            # Class k gets one slot per 2^k intervals: its next deadline.
+            deadline = self._slot + float(2**stratum)
+            heapq.heappush(self._class_deadlines, (deadline, stratum))
+            self._class_scheduled[stratum] = True
+
+    def _class_backlogged(self, stratum: int) -> bool:
+        return any(
+            self.flows.get(fid).backlogged
+            for fid in self._class_flows.get(stratum, ())
+        )
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        while self._class_deadlines:
+            deadline, stratum = heapq.heappop(self._class_deadlines)
+            ring = self._class_flows.get(stratum, deque())
+            # Drop drained flows from the ring.
+            for _ in range(len(ring)):
+                flow_id = ring[0]
+                if self.flows.get(flow_id).backlogged:
+                    break
+                ring.popleft()
+            if not ring:
+                self._class_scheduled[stratum] = False
+                continue
+            self._slot = max(self._slot, deadline)
+            flow_id = ring.popleft()
+            flow = self.flows.get(flow_id)
+            packet = flow.queue.popleft()
+            if flow.backlogged:
+                ring.append(flow_id)
+            if self._class_backlogged(stratum):
+                heapq.heappush(
+                    self._class_deadlines,
+                    (self._slot + float(2**stratum), stratum),
+                )
+            else:
+                self._class_scheduled[stratum] = False
+            return packet
+        return None

@@ -1,0 +1,161 @@
+"""Fixed-point WFQ tag-computation circuit — ref. [8] of the paper.
+
+The Fig. 1 architecture's first block is a *hardware* WFQ finishing-tag
+computation (McKillen & Sezer, "A WFQ finishing tag computation
+architecture and implementation").  Hardware cannot iterate eq. (1) in
+floating point: virtual time, weights, and tags are fixed-point values,
+and the reciprocal weight is a stored constant per session.  Finite
+precision is what makes *duplicate finishing tags* a first-class event —
+"depending on the accuracy of the WFQ computation, tag values may be
+rounded off so that theoretically two or more tags of the same value can
+exist in the scheduler at one time" (Section III-C) — which is exactly
+why the sort/retrieve circuit carries the Fig. 11 duplicate machinery.
+
+:class:`FixedPointVirtualClock` mirrors the exact
+:class:`~repro.sched.virtual_time.VirtualClock` but carries virtual time
+and tags in integer units of ``2**-frac_bits``, stores per-session
+*reciprocal weights* quantized to ``frac_bits`` fractional bits (one
+multiply per tag instead of a divide — the standard hardware trick), and
+reports its rounding behaviour:
+
+* ``duplicate_tags`` — how many computed finishing tags collided
+  exactly with a previously issued tag (across all sessions) — the
+  event rate the Fig. 11 duplicate machinery absorbs;
+* :meth:`max_error_units` — worst observed deviation against an exact
+  shadow computation (enabled with ``track_error=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hwsim.errors import ConfigurationError
+from .virtual_time import VirtualClock
+
+
+@dataclass(frozen=True)
+class FixedPointTags:
+    """Quantized (start, finish) tags, in integer fixed-point units."""
+
+    start_units: int
+    finish_units: int
+
+
+class FixedPointVirtualClock:
+    """Hardware-style eq. (1) machinery in fixed-point arithmetic."""
+
+    def __init__(
+        self,
+        rate_bps: float = 1.0,
+        *,
+        frac_bits: int = 8,
+        track_error: bool = False,
+    ) -> None:
+        if frac_bits < 0:
+            raise ConfigurationError("fractional bits must be non-negative")
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self.frac_bits = frac_bits
+        self.scale = 1 << frac_bits
+        #: per-session reciprocal weights, in fixed-point units
+        self._reciprocal_units: Dict[int, int] = {}
+        self._last_finish_units: Dict[int, int] = {}
+        self._issued_units: Dict[int, int] = {}
+        self.duplicate_tags = 0
+        self._shadow: Optional[VirtualClock] = (
+            VirtualClock(rate_bps) if track_error else None
+        )
+        self._max_error_units = 0
+        # The GPS busy-set iteration reuses the exact engine's event
+        # machinery; only the *tag arithmetic* is quantized, matching the
+        # ref. [8] split between the virtual-time datapath and the
+        # per-packet multiply.
+        self._engine = VirtualClock(rate_bps)
+
+    # ------------------------------------------------------------------
+    # sessions
+
+    def register(self, session: int, weight: float) -> None:
+        """Store a session's quantized reciprocal weight."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        reciprocal = round(self.scale / weight)
+        if reciprocal == 0:
+            raise ConfigurationError(
+                f"weight {weight} too large for {self.frac_bits} fractional "
+                "bits (reciprocal rounds to zero)"
+            )
+        self._reciprocal_units[session] = reciprocal
+        self._engine.register(session, weight)
+        if self._shadow is not None:
+            self._shadow.register(session, weight)
+
+    def reciprocal_of(self, session: int) -> int:
+        """The stored fixed-point reciprocal weight (default: weight 1)."""
+        return self._reciprocal_units.get(session, self.scale)
+
+    # ------------------------------------------------------------------
+    # tag computation
+
+    def quantize(self, value: float) -> int:
+        """Truncate a real value to fixed-point units (hardware floor)."""
+        return int(value * self.scale)
+
+    def on_arrival(
+        self, session: int, size_bits: float, arrival_time: float
+    ) -> FixedPointTags:
+        """Compute quantized (start, finish) tags for one packet.
+
+        The virtual-time advance runs on the shared engine; the tag
+        datapath is ``F_units = max(V_units, F_prev_units) + L * recip``
+        — one integer multiply per packet, since the stored reciprocal
+        already carries the 2**frac_bits scale.
+        """
+        self._engine.advance_to(arrival_time)
+        virtual_units = self.quantize(self._engine.virtual_time)
+        previous_units = self._last_finish_units.get(session, 0)
+        start_units = max(virtual_units, previous_units)
+        increment_units = int(size_bits) * self.reciprocal_of(session)
+        # A zero increment would stall the session's tag sequence; the
+        # hardware clamps to one unit (the paper's rounding floor).
+        increment_units = max(increment_units, 1)
+        finish_units = start_units + increment_units
+        if finish_units in self._issued_units:
+            self.duplicate_tags += 1
+        self._issued_units[finish_units] = (
+            self._issued_units.get(finish_units, 0) + 1
+        )
+        self._last_finish_units[session] = finish_units
+        # Keep the GPS busy set advancing with the *exact* sizes so the
+        # virtual-time slope stays faithful.
+        self._engine.on_arrival(session, size_bits, arrival_time)
+        if self._shadow is not None:
+            exact = self._shadow.on_arrival(session, size_bits, arrival_time)
+            error = abs(self.quantize(exact.finish_tag) - finish_units)
+            if error > self._max_error_units:
+                self._max_error_units = error
+        return FixedPointTags(
+            start_units=start_units, finish_units=finish_units
+        )
+
+    # ------------------------------------------------------------------
+    # observers
+
+    @property
+    def virtual_time_units(self) -> int:
+        """Current virtual time in fixed-point units."""
+        return self.quantize(self._engine.virtual_time)
+
+    def max_error_units(self) -> int:
+        """Worst deviation from the exact computation (needs tracking)."""
+        if self._shadow is None:
+            raise ConfigurationError(
+                "construct with track_error=True to measure error"
+            )
+        return self._max_error_units
+
+    def to_real(self, units: int) -> float:
+        """Convert fixed-point units back to virtual-time reals."""
+        return units / self.scale

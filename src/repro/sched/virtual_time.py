@@ -1,0 +1,183 @@
+"""The WFQ virtual-time engine — eq. (1) of the paper.
+
+WFQ tracks the progress of a simulated GPS server with a *virtual time*
+V(t) that advances at rate 1/sum(phi_i, i in B(t)) where B(t) is the set
+of sessions busy **in the GPS reference system**.  B(t) changes whenever a
+packet finishes GPS service, i.e. whenever V reaches the smallest
+outstanding finishing tag F_min.  The paper's eq. (1),
+
+    Next(t) = t + (F_min - V(t)) * sum(phi_i, i in B),
+
+is exactly the real time of that next GPS departure; this engine advances
+virtual time by iterating it: jump departure-by-departure while
+Next(t) <= the requested time, then advance linearly.
+
+The engine is deliberately independent of any packet scheduler: WFQ,
+WF2Q and the hardware tag-computation circuit of ref. [8] all consume it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..hwsim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TaggedArrival:
+    """The (start, finish) virtual tags computed for one packet."""
+
+    start_tag: float
+    finish_tag: float
+
+
+class VirtualClock:
+    """Piecewise-linear GPS virtual time with eq. (1) iteration."""
+
+    def __init__(self, rate_bps: float = 1.0) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self._weights: Dict[int, float] = {}
+        self._now = 0.0
+        self._virtual = 0.0
+        self._last_finish: Dict[int, float] = {}
+        # Outstanding GPS work: (finish_tag, session) heap plus per-session
+        # outstanding counts; a session is GPS-busy while it has any
+        # outstanding finish tag.
+        self._gps_heap: List[Tuple[float, int]] = []
+        self._outstanding: Dict[int, int] = {}
+        self._busy_weight = 0.0
+
+    # ------------------------------------------------------------------
+    # session management
+
+    def register(self, session: int, weight: float) -> None:
+        """Declare a session's weight phi_i (before its first arrival)."""
+        if weight <= 0:
+            raise ConfigurationError("session weight must be positive")
+        self._weights[session] = weight
+
+    def weight_of(self, session: int) -> float:
+        """phi_i for ``session`` (defaults to 1.0 when never registered)."""
+        return self._weights.get(session, 1.0)
+
+    # ------------------------------------------------------------------
+    # observers
+
+    @property
+    def now(self) -> float:
+        """Real time of the last update."""
+        return self._now
+
+    @property
+    def virtual_time(self) -> float:
+        """V(now)."""
+        return self._virtual
+
+    @property
+    def busy_weight(self) -> float:
+        """sum(phi_i) over GPS-busy sessions."""
+        return self._busy_weight
+
+    @property
+    def minimum_finish_tag(self) -> Optional[float]:
+        """F_min: the smallest outstanding GPS finishing tag."""
+        self._prune_heap()
+        return self._gps_heap[0][0] if self._gps_heap else None
+
+    def next_departure_time(self) -> Optional[float]:
+        """Eq. (1): real time of the next simulated GPS departure."""
+        minimum = self.minimum_finish_tag
+        if minimum is None:
+            return None
+        return (
+            self._now
+            + (minimum - self._virtual) * self._busy_weight / self.rate_bps
+        )
+
+    # ------------------------------------------------------------------
+    # time advance
+
+    def _prune_heap(self) -> None:
+        while self._gps_heap and self._outstanding.get(self._gps_heap[0][1], 0) == 0:
+            heapq.heappop(self._gps_heap)
+
+    def advance_to(self, t: float) -> None:
+        """Advance real time to ``t``, processing GPS departures en route."""
+        if t < self._now - 1e-12:
+            raise ConfigurationError(
+                f"time moved backwards: {t} < {self._now}"
+            )
+        while True:
+            self._prune_heap()
+            if not self._gps_heap:
+                # GPS idle: V holds its value while no session is busy.
+                self._now = max(self._now, t)
+                return
+            finish_tag, session = self._gps_heap[0]
+            departure = (
+                self._now
+                + (finish_tag - self._virtual)
+                * self._busy_weight
+                / self.rate_bps
+            )
+            if departure > t + 1e-15:
+                break
+            # Jump to the departure instant: V reaches the finish tag.
+            self._now = departure
+            self._virtual = finish_tag
+            heapq.heappop(self._gps_heap)
+            self._outstanding[session] -= 1
+            if self._outstanding[session] == 0:
+                self._busy_weight -= self._weights.get(session, 1.0)
+                if self._busy_weight < 1e-12:
+                    self._busy_weight = 0.0
+        # Linear segment to t within the current busy set.
+        if self._busy_weight > 0:
+            self._virtual += (t - self._now) * self.rate_bps / self._busy_weight
+        self._now = t
+
+    # ------------------------------------------------------------------
+    # arrivals
+
+    def on_arrival(
+        self, session: int, size_bits: float, arrival_time: float
+    ) -> TaggedArrival:
+        """Compute the (start, finish) tags for one arriving packet.
+
+        Advances virtual time to the arrival instant, then applies the
+        classic WFQ tag rules::
+
+            S = max(V(t), F_previous(session))
+            F = S + size_bits / phi_session
+
+        Virtual time advances at ``rate_bps / busy_weight``, so tags are
+        in bit-per-unit-weight units and eq. (1) converts back to seconds
+        through the link rate.
+        """
+        if size_bits <= 0:
+            raise ConfigurationError("packet size must be positive")
+        self.advance_to(arrival_time)
+        weight = self._weights.get(session, 1.0)
+        previous = self._last_finish.get(session, 0.0)
+        start = max(self._virtual, previous)
+        finish = start + size_bits / weight
+        self._last_finish[session] = finish
+        # Track GPS busyness.
+        if self._outstanding.get(session, 0) == 0:
+            self._busy_weight += weight
+        self._outstanding[session] = self._outstanding.get(session, 0) + 1
+        heapq.heappush(self._gps_heap, (finish, session))
+        return TaggedArrival(start_tag=start, finish_tag=finish)
+
+    def reset(self) -> None:
+        """Return to the initial idle state (weights are kept)."""
+        self._now = 0.0
+        self._virtual = 0.0
+        self._gps_heap.clear()
+        self._outstanding.clear()
+        self._busy_weight = 0.0
+        self._last_finish.clear()

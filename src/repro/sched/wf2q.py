@@ -1,0 +1,72 @@
+"""WF²Q — worst-case fair weighted fair queueing, ref. [5].
+
+Identical tag computation to WFQ, but a packet is only *eligible* for
+service once its virtual start time has been reached by GPS
+(``S <= V(now)``); among eligible head-of-line packets the smallest
+finishing tag wins.  This removes WFQ's ability to run ahead of GPS,
+giving the better worst-case fairness the paper cites — at the price of
+the eligibility test and, like WFQ, of sorting finishing tags at the
+output (which is where the sort/retrieve circuit comes in for both).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import PacketScheduler
+from .packet import Packet
+from .virtual_time import VirtualClock
+
+_ELIGIBILITY_SLACK = 1e-9
+
+
+class WF2QScheduler(PacketScheduler):
+    """Eligibility-gated smallest-finish-tag scheduling."""
+
+    name = "wf2q"
+
+    def __init__(self, rate_bps: float) -> None:
+        super().__init__(rate_bps)
+        self.clock = VirtualClock(rate_bps)
+
+    def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        super().add_flow(flow_id, weight, **kwargs)
+        self.clock.register(flow_id, weight)
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        flow = self.flows.get(packet.flow_id)
+        tags = self.clock.on_arrival(packet.flow_id, packet.size_bits, now)
+        packet.start_tag = tags.start_tag
+        packet.finish_tag = tags.finish_tag
+        flow.queue.append(packet)
+
+    def select_next(self, now: float) -> Optional[Packet]:
+        self.clock.advance_to(now)
+        virtual_now = self.clock.virtual_time
+        best_flow = None
+        best_finish = None
+        for flow in self.flows.backlogged_flows():
+            head = flow.head
+            if head.start_tag > virtual_now + _ELIGIBILITY_SLACK:
+                continue
+            if best_finish is None or head.finish_tag < best_finish:
+                best_finish = head.finish_tag
+                best_flow = flow
+        if best_flow is None:
+            return None
+        return best_flow.queue.popleft()
+
+    def earliest_eligible_time(self, now: float) -> Optional[float]:
+        """Real time at which the earliest-start head becomes eligible."""
+        self.clock.advance_to(now)
+        starts = [
+            flow.head.start_tag for flow in self.flows.backlogged_flows()
+        ]
+        if not starts:
+            return None
+        earliest_start = min(starts)
+        gap = earliest_start - self.clock.virtual_time
+        if gap <= 0:
+            return now
+        busy = max(self.clock.busy_weight, 1e-12)
+        return now + gap * busy / self.rate_bps + _ELIGIBILITY_SLACK

@@ -1,0 +1,38 @@
+"""First-order silicon estimation (the Table II substitute)."""
+
+from .memory_timing import (
+    ALL_TECHNOLOGIES,
+    EXTERNAL_SRAM,
+    QDRII_SRAM,
+    RLDRAM,
+    MemoryTechnology,
+    StorageThroughput,
+    compare_technologies,
+    required_random_cycle_ns,
+    storage_throughput,
+)
+from .estimate import (
+    SynthesisEstimate,
+    estimate_sort_retrieve,
+    render_table,
+    scaling_sweep,
+)
+from .technology import UMC_130NM, Technology
+
+__all__ = [
+    "ALL_TECHNOLOGIES",
+    "EXTERNAL_SRAM",
+    "QDRII_SRAM",
+    "RLDRAM",
+    "MemoryTechnology",
+    "StorageThroughput",
+    "compare_technologies",
+    "required_random_cycle_ns",
+    "storage_throughput",
+    "SynthesisEstimate",
+    "estimate_sort_retrieve",
+    "render_table",
+    "scaling_sweep",
+    "UMC_130NM",
+    "Technology",
+]

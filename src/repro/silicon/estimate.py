@@ -1,0 +1,174 @@
+"""Area/power/timing roll-up for the sort/retrieve circuit (Table II).
+
+The estimator walks the same architecture parameters the real layout used
+(Section III-A / IV):
+
+* tree levels 0-1 in registers (272 bits), level 2 in 32 distributed
+  SRAM blocks (4 kbit);
+* an 8-block, 4096-entry address translation table;
+* three matching circuits plus control/pipeline logic;
+* the clock period set by the slowest stage — the node matcher plus a
+  memory access — and the throughput model: one tag per four cycles,
+  line rate at the paper's conservative 140-byte mean packet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.matching import DEFAULT_MATCHER, MatchingCircuit
+from ..core.sizing import budget_for
+from ..core.words import PAPER_FORMAT, WordFormat
+from ..hwsim.errors import ConfigurationError
+from .technology import Technology, UMC_130NM
+
+#: pointer width assumed for the translation table entries (log2 of the
+#: off-chip tag-storage capacity; 24 bits addresses 16M links)
+TRANSLATION_POINTER_BITS = 24
+
+#: control, pipeline registers, and interface logic in gate equivalents
+CONTROL_OVERHEAD_GATES = 9000.0
+
+#: SRAM read access time in 130 nm for small distributed macros, ns
+SRAM_ACCESS_NS = 3.0
+
+
+@dataclass(frozen=True)
+class SynthesisEstimate:
+    """A Table II-shaped summary."""
+
+    technology: str
+    logic_gates: float
+    register_bits: int
+    sram_bits: int
+    memory_blocks: int
+    area_logic_mm2: float
+    area_memory_mm2: float
+    clock_mhz: float
+    power_logic_mw: float
+    power_memory_mw: float
+    packets_per_second: float
+    line_rate_gbps_at_140b: float
+
+    @property
+    def area_total_mm2(self) -> float:
+        """Total die estimate (logic + memory)."""
+        return self.area_logic_mm2 + self.area_memory_mm2
+
+    @property
+    def power_total_mw(self) -> float:
+        """Total dynamic power estimate."""
+        return self.power_logic_mw + self.power_memory_mw
+
+
+def estimate_sort_retrieve(
+    fmt: WordFormat = PAPER_FORMAT,
+    *,
+    technology: Technology = UMC_130NM,
+    matcher_factory=DEFAULT_MATCHER,
+    register_levels: int = 2,
+) -> SynthesisEstimate:
+    """Estimate the silicon figures of the sort/retrieve circuit."""
+    budget = budget_for(fmt, register_levels=register_levels)
+    matcher: MatchingCircuit = matcher_factory(fmt.branching_factor)
+
+    # --- logic -------------------------------------------------------
+    # One matching circuit per level (identical, Section III-A), each
+    # duplicated for the parallel backup search, plus control overhead.
+    matcher_gates = 2 * fmt.levels * matcher.cost().area
+    logic_gates = matcher_gates + CONTROL_OVERHEAD_GATES
+
+    # --- memory ------------------------------------------------------
+    translation_bits = budget.translation_entries * TRANSLATION_POINTER_BITS
+    sram_bits = budget.sram_bits + translation_bits
+    register_bits = budget.register_bits
+    # Paper Fig. 12: 32 small blocks for the tree's bottom level plus 8
+    # larger blocks for the translation table.
+    tree_sram_levels = fmt.levels - register_levels
+    memory_blocks = (32 if tree_sram_levels > 0 else 0) + 8
+
+    # --- timing ------------------------------------------------------
+    # Critical stage: one node match plus the level memory access.
+    match_ns = matcher.cost().delay * technology.gate_delay_ns
+    period_ns = match_ns + SRAM_ACCESS_NS + technology.wire_margin_ns
+    clock_mhz = 1000.0 / period_ns
+    packets_per_second = clock_mhz * 1e6 / 4.0
+    line_rate = packets_per_second * 140 * 8 / 1e9
+
+    # --- roll-up -----------------------------------------------------
+    area_logic = logic_gates * technology.gate_area_mm2
+    area_memory = (
+        sram_bits * technology.sram_bit_area_mm2
+        + register_bits * technology.register_bit_area_mm2
+    )
+    power_logic = logic_gates * technology.gate_power_mw_per_mhz * clock_mhz
+    power_memory = (
+        sram_bits * technology.sram_bit_power_mw_per_mhz * clock_mhz
+    )
+
+    return SynthesisEstimate(
+        technology=technology.name,
+        logic_gates=logic_gates,
+        register_bits=register_bits,
+        sram_bits=sram_bits,
+        memory_blocks=memory_blocks,
+        area_logic_mm2=area_logic,
+        area_memory_mm2=area_memory,
+        clock_mhz=clock_mhz,
+        power_logic_mw=power_logic,
+        power_memory_mw=power_memory,
+        packets_per_second=packets_per_second,
+        line_rate_gbps_at_140b=line_rate,
+    )
+
+
+def scaling_sweep(
+    word_bits_options=(12, 15, 16, 20),
+    *,
+    technology: Technology = UMC_130NM,
+) -> Dict[int, SynthesisEstimate]:
+    """Estimate the circuit at wider tag formats (the paper's 15-bit
+    variant with a 32k-entry translation table, and beyond)."""
+    results = {}
+    for word_bits in word_bits_options:
+        best_fmt = None
+        # Prefer 4-bit literals as in the paper; fall back to the closest
+        # factorization.
+        for literal_bits in (4, 5, 3, 2, 1):
+            if word_bits % literal_bits == 0:
+                best_fmt = WordFormat(
+                    levels=word_bits // literal_bits, literal_bits=literal_bits
+                )
+                break
+        if best_fmt is None:
+            raise ConfigurationError(f"no factorization for {word_bits} bits")
+        results[word_bits] = estimate_sort_retrieve(
+            best_fmt, technology=technology
+        )
+    return results
+
+
+def render_table(estimate: SynthesisEstimate) -> str:
+    """Format an estimate in the shape of the paper's Table II."""
+    rows = [
+        ("Technology", estimate.technology),
+        ("Logic gates (NAND2 eq.)", f"{estimate.logic_gates:,.0f}"),
+        ("Register bits", f"{estimate.register_bits:,}"),
+        ("SRAM bits", f"{estimate.sram_bits:,}"),
+        ("Memory blocks", f"{estimate.memory_blocks}"),
+        ("Logic area (mm^2)", f"{estimate.area_logic_mm2:.3f}"),
+        ("Memory area (mm^2)", f"{estimate.area_memory_mm2:.3f}"),
+        ("Total area (mm^2)", f"{estimate.area_total_mm2:.3f}"),
+        ("Clock (MHz)", f"{estimate.clock_mhz:.1f}"),
+        ("Logic+interconnect power (mW)", f"{estimate.power_logic_mw:.1f}"),
+        ("Memory power (mW)", f"{estimate.power_memory_mw:.1f}"),
+        ("Total power (mW)", f"{estimate.power_total_mw:.1f}"),
+        ("Throughput (Mpackets/s)", f"{estimate.packets_per_second / 1e6:.1f}"),
+        ("Line rate @140B (Gb/s)", f"{estimate.line_rate_gbps_at_140b:.1f}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = ["POST-LAYOUT ESTIMATE (Table II substitute)"]
+    lines += [f"  {label:<{width}}  {value}" for label, value in rows]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""External tag-storage memory technologies (Section III-C).
+
+The paper's tag storage "is implemented off chip, using SRAM.  Currently,
+QDRII and RLD RAM versions are also under development."  The storage
+technology sets the splice-stage cycle time and hence the whole
+scheduler's throughput (the tree/table stage was matched to the storage's
+four accesses).  This module models the candidate technologies'
+random-access behaviour and rolls them into the throughput chain:
+
+* the four Fig. 9 accesses are *dependent* (the predecessor address comes
+  from the translation table, the free location from the previous read),
+  so random-access latency — not burst bandwidth — dominates;
+* QDRII's separate read/write ports let the two reads overlap the two
+  writes of adjacent operations, halving the effective splice time;
+* RLDRAM trades a slightly longer random cycle for much larger, cheaper
+  parts (more tags stored), which is why the paper pursues both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hwsim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """A candidate external memory for the tag storage."""
+
+    name: str
+    #: true random-access cycle time (same-bank row-to-row), ns
+    random_cycle_ns: float
+    #: independent read and write ports (QDR-style) -> reads and writes
+    #: of back-to-back operations overlap
+    dual_port: bool
+    #: device capacity in megabits, for the links-per-device figure
+    capacity_mbit: int
+
+
+# Representative mid-2000s parts (order-of-magnitude class, not bins).
+EXTERNAL_SRAM = MemoryTechnology(
+    name="external SRAM (ZBT)",
+    random_cycle_ns=5.0,
+    dual_port=False,
+    capacity_mbit=18,
+)
+QDRII_SRAM = MemoryTechnology(
+    name="QDRII SRAM",
+    random_cycle_ns=3.3,
+    dual_port=True,
+    capacity_mbit=36,
+)
+RLDRAM = MemoryTechnology(
+    name="RLDRAM II",
+    random_cycle_ns=15.0,
+    dual_port=False,
+    capacity_mbit=288,
+)
+
+ALL_TECHNOLOGIES = (EXTERNAL_SRAM, QDRII_SRAM, RLDRAM)
+
+#: accesses per operation: the Fig. 9 splice (2 reads + 2 writes)
+ACCESSES_PER_OPERATION = 4
+
+#: bits per link: tag + next pointer + successor tag + packet pointer
+LINK_BITS = 74
+
+
+@dataclass(frozen=True)
+class StorageThroughput:
+    """Throughput consequences of one memory choice."""
+
+    technology: str
+    operation_time_ns: float
+    operations_per_second: float
+    line_rate_gbps_at_140b: float
+    links_per_device: int
+
+
+def storage_throughput(technology: MemoryTechnology) -> StorageThroughput:
+    """Packet rate the tag storage sustains on ``technology``.
+
+    One operation needs four dependent accesses; a dual-port (QDR)
+    memory overlaps the read pair of operation i+1 with the write pair
+    of operation i, so the steady-state spacing is two cycles instead of
+    four.
+    """
+    if technology.random_cycle_ns <= 0:
+        raise ConfigurationError("cycle time must be positive")
+    effective_accesses = (
+        ACCESSES_PER_OPERATION // 2 if technology.dual_port
+        else ACCESSES_PER_OPERATION
+    )
+    operation_ns = effective_accesses * technology.random_cycle_ns
+    operations_per_second = 1e9 / operation_ns
+    line_rate = operations_per_second * 140 * 8 / 1e9
+    links = technology.capacity_mbit * 1024 * 1024 // LINK_BITS
+    return StorageThroughput(
+        technology=technology.name,
+        operation_time_ns=operation_ns,
+        operations_per_second=operations_per_second,
+        line_rate_gbps_at_140b=line_rate,
+        links_per_device=links,
+    )
+
+
+def compare_technologies() -> Dict[str, StorageThroughput]:
+    """All candidate memories, keyed by name."""
+    return {
+        technology.name: storage_throughput(technology)
+        for technology in ALL_TECHNOLOGIES
+    }
+
+
+def required_random_cycle_ns(
+    target_gbps: float, *, mean_packet_bytes: float = 140.0, dual_port: bool = False
+) -> float:
+    """The memory cycle time a line-rate target demands.
+
+    Inverts the chain: target Gb/s -> packets/s -> operation time ->
+    per-access cycle.  Useful for the terabit-scaling discussion in the
+    paper's conclusion.
+    """
+    if target_gbps <= 0 or mean_packet_bytes <= 0:
+        raise ConfigurationError("targets must be positive")
+    operations_per_second = target_gbps * 1e9 / (mean_packet_bytes * 8)
+    operation_ns = 1e9 / operations_per_second
+    accesses = (
+        ACCESSES_PER_OPERATION // 2 if dual_port else ACCESSES_PER_OPERATION
+    )
+    return operation_ns / accesses

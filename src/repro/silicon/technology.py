@@ -1,0 +1,54 @@
+"""130-nm technology constants for first-order area/power/timing estimates.
+
+The paper implements the circuit in UMC 130-nm standard cells (Table II).
+We cannot run a synthesis flow, so Table II is *estimated* from the
+architecture's bit and gate counts using generic 130-nm-class densities
+from the public literature.  The constants below are deliberately
+first-order — the reproduction targets the *shape* of Table II (memory-
+dominated area, logic-dominated power, a ~140-150 MHz clock), not its
+exact microns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process node's density/power/speed coefficients."""
+
+    name: str
+    #: area of one NAND2-equivalent gate, in mm^2
+    gate_area_mm2: float
+    #: area of one on-chip SRAM bit (including periphery), in mm^2
+    sram_bit_area_mm2: float
+    #: area of one register (flip-flop) bit, in mm^2
+    register_bit_area_mm2: float
+    #: dynamic power of one gate toggling at 1 MHz, in mW
+    gate_power_mw_per_mhz: float
+    #: dynamic power of one SRAM bit's share at 1 MHz access rate, in mW
+    sram_bit_power_mw_per_mhz: float
+    #: intrinsic delay of one unit gate, in ns
+    gate_delay_ns: float
+    #: extra interconnect/setup margin on the critical path, in ns
+    wire_margin_ns: float
+
+
+UMC_130NM = Technology(
+    name="UMC 130 nm (generic estimates)",
+    # ~5.1 um^2 for a NAND2 in 130 nm standard cells.
+    gate_area_mm2=5.1e-6,
+    # ~2.4 um^2 per SRAM bit including decoder/sense periphery share.
+    sram_bit_area_mm2=2.4e-6,
+    # A scan flip-flop is ~6 NAND2 equivalents.
+    register_bit_area_mm2=30.6e-6,
+    # ~8 nW/MHz per gate at 1.2 V, typical switching activity.
+    gate_power_mw_per_mhz=8.0e-6,
+    sram_bit_power_mw_per_mhz=0.35e-6,
+    # Unit-gate delay including average routing load in 130-nm standard
+    # cells (raw FO4 is ~65 ps; real matcher chains route-load to ~2-3x).
+    gate_delay_ns=0.15,
+    # clock skew, setup, and routing margin on the critical path
+    wire_margin_ns=2.0,
+)

@@ -1,0 +1,54 @@
+"""Workload generation: packet sizes, arrival processes, scenarios."""
+
+from .generators import (
+    ArrivalProcess,
+    CBRArrivals,
+    OnOffArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    merge,
+)
+from .packet_sizes import (
+    PAPER_MEAN_PACKET_BYTES,
+    TRIMODAL_INTERNET_MIX,
+    BoundedParetoSize,
+    EmpiricalMix,
+    FixedSize,
+    PacketSizeModel,
+    UniformSize,
+    internet_mix,
+    voice_heavy_mix,
+)
+from .trace_io import load_trace, save_trace
+from .scenarios import (
+    Scenario,
+    heavy_tail_stress,
+    uniform_poisson,
+    voip_skewed,
+    voip_video_data_mix,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "CBRArrivals",
+    "OnOffArrivals",
+    "ParetoArrivals",
+    "PoissonArrivals",
+    "merge",
+    "PAPER_MEAN_PACKET_BYTES",
+    "TRIMODAL_INTERNET_MIX",
+    "BoundedParetoSize",
+    "EmpiricalMix",
+    "FixedSize",
+    "PacketSizeModel",
+    "UniformSize",
+    "internet_mix",
+    "voice_heavy_mix",
+    "load_trace",
+    "save_trace",
+    "Scenario",
+    "heavy_tail_stress",
+    "uniform_poisson",
+    "voip_skewed",
+    "voip_video_data_mix",
+]

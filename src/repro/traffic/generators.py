@@ -1,0 +1,196 @@
+"""Arrival-process generators.
+
+Each generator produces a time-sorted stream of
+:class:`~repro.sched.packet.Packet` for one flow; :func:`merge` interleaves
+several flows into one trace.  The processes cover the paper's traffic
+discussion (Section III-A / Fig. 6): smooth CBR voice, Poisson data,
+Markov-modulated on-off video bursts, and heavy-tailed Pareto arrivals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, List
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.packet import Packet
+from .packet_sizes import FixedSize, PacketSizeModel
+
+
+class ArrivalProcess(ABC):
+    """A per-flow packet arrival generator."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        size_model: PacketSizeModel,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.size_model = size_model
+        self.rng = random.Random((seed << 16) ^ flow_id ^ 0x9E3779B9)
+
+    @abstractmethod
+    def intervals(self) -> Iterator[float]:
+        """Successive inter-arrival times in seconds."""
+
+    def packets(
+        self, count: int, *, start_time: float = 0.0
+    ) -> List[Packet]:
+        """Generate ``count`` packets starting at ``start_time``."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        out = []
+        t = start_time
+        gaps = self.intervals()
+        for _ in range(count):
+            t += next(gaps)
+            out.append(
+                Packet(
+                    flow_id=self.flow_id,
+                    size_bytes=self.size_model.sample(self.rng),
+                    arrival_time=t,
+                )
+            )
+        return out
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_pps`` packets per second."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        rate_pps: float,
+        size_model: PacketSizeModel,
+        *,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(flow_id, size_model, seed=seed)
+        if rate_pps <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate_pps = rate_pps
+
+    def intervals(self) -> Iterator[float]:
+        while True:
+            yield self.rng.expovariate(self.rate_pps)
+
+
+class CBRArrivals(ArrivalProcess):
+    """Constant-bit-rate arrivals (VoIP): fixed spacing, optional jitter."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        rate_pps: float,
+        size_model: PacketSizeModel = FixedSize(80),
+        *,
+        jitter_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(flow_id, size_model, seed=seed)
+        if rate_pps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if not 0 <= jitter_fraction < 1:
+            raise ConfigurationError("jitter fraction must be in [0, 1)")
+        self.period = 1.0 / rate_pps
+        self.jitter_fraction = jitter_fraction
+
+    def intervals(self) -> Iterator[float]:
+        while True:
+            jitter = 0.0
+            if self.jitter_fraction:
+                jitter = self.period * self.jitter_fraction * (
+                    self.rng.random() - 0.5
+                )
+            yield max(1e-9, self.period + jitter)
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Markov-modulated on-off bursts (streaming video / bursty data).
+
+    In the ON state packets arrive at ``peak_rate_pps``; OFF emits
+    nothing.  State holding times are exponential, so the process is the
+    standard interrupted Poisson model of bursty sources.
+    """
+
+    def __init__(
+        self,
+        flow_id: int,
+        peak_rate_pps: float,
+        size_model: PacketSizeModel,
+        *,
+        mean_on_s: float = 0.1,
+        mean_off_s: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(flow_id, size_model, seed=seed)
+        if peak_rate_pps <= 0 or mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigurationError("rates and durations must be positive")
+        self.peak_rate_pps = peak_rate_pps
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+
+    @property
+    def mean_rate_pps(self) -> float:
+        """Long-run average packet rate."""
+        duty = self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+        return self.peak_rate_pps * duty
+
+    def intervals(self) -> Iterator[float]:
+        while True:
+            burst_remaining = self.rng.expovariate(1.0 / self.mean_on_s)
+            first_in_burst = True
+            while True:
+                gap = self.rng.expovariate(self.peak_rate_pps)
+                if gap > burst_remaining:
+                    break
+                burst_remaining -= gap
+                if first_in_burst:
+                    # The silence preceding this burst rides on its first
+                    # packet's gap.
+                    yield gap + self.rng.expovariate(1.0 / self.mean_off_s)
+                    first_in_burst = False
+                else:
+                    yield gap
+            if first_in_burst:
+                # Empty burst: fold the on+off period into the next one.
+                continue
+
+
+class ParetoArrivals(ArrivalProcess):
+    """Heavy-tailed inter-arrival gaps (self-similar aggregate traffic)."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        rate_pps: float,
+        size_model: PacketSizeModel,
+        *,
+        alpha: float = 1.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(flow_id, size_model, seed=seed)
+        if rate_pps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if alpha <= 1:
+            raise ConfigurationError("alpha must exceed 1 for a finite mean")
+        self.alpha = alpha
+        # Scale xm so the mean gap is 1/rate: mean = xm * a / (a - 1).
+        self.scale = (1.0 / rate_pps) * (alpha - 1) / alpha
+
+    def intervals(self) -> Iterator[float]:
+        while True:
+            yield self.scale * self.rng.paretovariate(self.alpha)
+
+
+def merge(streams: Iterable[List[Packet]]) -> List[Packet]:
+    """Merge per-flow packet lists into one time-sorted trace."""
+    return list(
+        heapq.merge(
+            *streams, key=lambda packet: (packet.arrival_time, packet.packet_id)
+        )
+    )

@@ -1,0 +1,140 @@
+"""Packet-size models.
+
+The paper's throughput math rests on "a conservative estimate for an
+average IP packet size of 140 bytes" (Section IV) — a voice-heavy mix.
+Alongside that we provide the classic trimodal Internet distribution
+(40/576/1500 bytes), fixed sizes (VoIP), and uniform/bounded-Pareto
+variants for stress tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from ..hwsim.errors import ConfigurationError
+
+#: The paper's conservative average IP packet size (Section IV).
+PAPER_MEAN_PACKET_BYTES = 140
+
+#: Classic Internet trimodal mix: (size, probability).
+TRIMODAL_INTERNET_MIX: Tuple[Tuple[int, float], ...] = (
+    (40, 0.55),
+    (576, 0.25),
+    (1500, 0.20),
+)
+
+
+class PacketSizeModel(ABC):
+    """Draws packet sizes in bytes."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """One packet size in bytes."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected size in bytes."""
+
+
+class FixedSize(PacketSizeModel):
+    """Constant packet size (VoIP frames, ATM-like cells)."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes < 1:
+            raise ConfigurationError("packet size must be positive")
+        self.size_bytes = size_bytes
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size_bytes
+
+    def mean(self) -> float:
+        return float(self.size_bytes)
+
+
+class UniformSize(PacketSizeModel):
+    """Uniform over [low, high] bytes."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 1 <= low <= high:
+            raise ConfigurationError("need 1 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+class EmpiricalMix(PacketSizeModel):
+    """Discrete (size, probability) mixture."""
+
+    def __init__(self, mix: Sequence[Tuple[int, float]]) -> None:
+        if not mix:
+            raise ConfigurationError("mixture must not be empty")
+        total = sum(probability for _, probability in mix)
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ConfigurationError(f"probabilities sum to {total}, not 1")
+        self.sizes: List[int] = [size for size, _ in mix]
+        self.cumulative: List[float] = []
+        running = 0.0
+        for _, probability in mix:
+            running += probability
+            self.cumulative.append(running)
+
+    def sample(self, rng: random.Random) -> int:
+        draw = rng.random()
+        for size, bound in zip(self.sizes, self.cumulative):
+            if draw <= bound:
+                return size
+        return self.sizes[-1]
+
+    def mean(self) -> float:
+        means = zip(self.sizes, [self.cumulative[0]] + [
+            b - a for a, b in zip(self.cumulative, self.cumulative[1:])
+        ])
+        return sum(size * probability for size, probability in means)
+
+
+class BoundedParetoSize(PacketSizeModel):
+    """Heavy-tailed sizes truncated to [low, high] bytes."""
+
+    def __init__(
+        self, low: int = 40, high: int = 1500, alpha: float = 1.2
+    ) -> None:
+        if not 1 <= low < high:
+            raise ConfigurationError("need 1 <= low < high")
+        if alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        self.low = low
+        self.high = high
+        self.alpha = alpha
+
+    def sample(self, rng: random.Random) -> int:
+        # Inverse-CDF sampling of the bounded Pareto.
+        u = rng.random()
+        la = self.low**self.alpha
+        ha = self.high**self.alpha
+        value = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
+        return max(self.low, min(self.high, int(round(value))))
+
+    def mean(self) -> float:
+        a, l, h = self.alpha, self.low, self.high
+        if math.isclose(a, 1.0):
+            return l * math.log(h / l) / (1 - (l / h))
+        num = l**a / (1 - (l / h) ** a) * (a / (a - 1))
+        return num * (1 / l ** (a - 1) - 1 / h ** (a - 1))
+
+
+def internet_mix() -> EmpiricalMix:
+    """The 40/576/1500 trimodal mix (mean ~466 bytes)."""
+    return EmpiricalMix(TRIMODAL_INTERNET_MIX)
+
+
+def voice_heavy_mix() -> EmpiricalMix:
+    """A VoIP-dominated mix with mean close to the paper's 140 bytes."""
+    return EmpiricalMix(((80, 0.70), (200, 0.20), (576, 0.10)))

@@ -1,0 +1,194 @@
+"""Composed traffic scenarios used across the experiments.
+
+Each scenario builds the per-flow generators, weight assignments, and a
+merged trace in one call, so tests, examples, and benchmarks all share
+identical workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.packet import Packet
+from .generators import (
+    CBRArrivals,
+    OnOffArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    merge,
+)
+from .packet_sizes import (
+    BoundedParetoSize,
+    FixedSize,
+    internet_mix,
+    voice_heavy_mix,
+)
+
+
+@dataclass
+class Scenario:
+    """A reproducible workload: flows, weights, and the merged trace."""
+
+    name: str
+    rate_bps: float
+    weights: Dict[int, float] = field(default_factory=dict)
+    trace: List[Packet] = field(default_factory=list)
+    #: ids of flows with tight delay expectations (VoIP-class)
+    realtime_flows: List[int] = field(default_factory=list)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.weights)
+
+    def clone_trace(self) -> List[Packet]:
+        """Fresh Packet objects (schedulers mutate departure fields)."""
+        return [
+            Packet(
+                flow_id=p.flow_id,
+                size_bytes=p.size_bytes,
+                arrival_time=p.arrival_time,
+                packet_id=p.packet_id,
+            )
+            for p in self.trace
+        ]
+
+
+def voip_video_data_mix(
+    *,
+    rate_bps: float = 10e6,
+    voip_flows: int = 4,
+    video_flows: int = 2,
+    data_flows: int = 2,
+    packets_per_flow: int = 300,
+    load: float = 0.9,
+    seed: int = 0,
+) -> Scenario:
+    """The paper's motivating workload: VoIP + streaming video + bulk data.
+
+    VoIP flows are CBR with small fixed packets and a guaranteed share;
+    video flows are bursty on-off; data flows are Poisson with the
+    trimodal size mix.  Per-class offered load is split 20/40/40 and
+    scaled so total offered load is ``load`` x link rate.
+    """
+    if load <= 0:
+        raise ConfigurationError("load must be positive")
+    total_flows = voip_flows + video_flows + data_flows
+    if total_flows == 0:
+        raise ConfigurationError("need at least one flow")
+    scenario = Scenario(name="voip_video_data", rate_bps=rate_bps)
+    offered = load * rate_bps
+    voip_share, video_share, data_share = 0.2, 0.4, 0.4
+
+    streams = []
+    flow_id = 0
+    for _ in range(voip_flows):
+        bits_per_packet = 80 * 8
+        rate_pps = offered * voip_share / max(voip_flows, 1) / bits_per_packet
+        generator = CBRArrivals(
+            flow_id, rate_pps, FixedSize(80), jitter_fraction=0.1, seed=seed
+        )
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = voip_share / max(voip_flows, 1)
+        scenario.realtime_flows.append(flow_id)
+        flow_id += 1
+    for _ in range(video_flows):
+        sizes = internet_mix()
+        bits_per_packet = sizes.mean() * 8
+        mean_pps = offered * video_share / max(video_flows, 1) / bits_per_packet
+        generator = OnOffArrivals(
+            flow_id,
+            peak_rate_pps=mean_pps * 4,
+            size_model=sizes,
+            mean_on_s=0.05,
+            mean_off_s=0.15,
+            seed=seed,
+        )
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = video_share / max(video_flows, 1)
+        flow_id += 1
+    for _ in range(data_flows):
+        sizes = BoundedParetoSize()
+        bits_per_packet = sizes.mean() * 8
+        rate_pps = offered * data_share / max(data_flows, 1) / bits_per_packet
+        generator = PoissonArrivals(flow_id, rate_pps, sizes, seed=seed)
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = data_share / max(data_flows, 1)
+        flow_id += 1
+
+    scenario.trace = merge(streams)
+    return scenario
+
+
+def uniform_poisson(
+    *,
+    rate_bps: float = 10e6,
+    flows: int = 8,
+    packets_per_flow: int = 250,
+    load: float = 0.85,
+    seed: int = 0,
+) -> Scenario:
+    """Equal-weight Poisson flows with the trimodal size mix."""
+    scenario = Scenario(name="uniform_poisson", rate_bps=rate_bps)
+    sizes = internet_mix()
+    bits_per_packet = sizes.mean() * 8
+    per_flow_pps = load * rate_bps / flows / bits_per_packet
+    streams = []
+    for flow_id in range(flows):
+        generator = PoissonArrivals(flow_id, per_flow_pps, sizes, seed=seed)
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = 1.0 / flows
+    scenario.trace = merge(streams)
+    return scenario
+
+
+def voip_skewed(
+    *,
+    rate_bps: float = 10e6,
+    flows: int = 16,
+    packets_per_flow: int = 150,
+    load: float = 0.8,
+    seed: int = 0,
+) -> Scenario:
+    """A VoIP-dominated mix — the left-weighted tag profile of Fig. 6."""
+    scenario = Scenario(name="voip_skewed", rate_bps=rate_bps)
+    sizes = voice_heavy_mix()
+    bits_per_packet = sizes.mean() * 8
+    per_flow_pps = load * rate_bps / flows / bits_per_packet
+    streams = []
+    for flow_id in range(flows):
+        generator = CBRArrivals(
+            flow_id, per_flow_pps, sizes, jitter_fraction=0.3, seed=seed
+        )
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = 1.0 / flows
+        scenario.realtime_flows.append(flow_id)
+    scenario.trace = merge(streams)
+    return scenario
+
+
+def heavy_tail_stress(
+    *,
+    rate_bps: float = 10e6,
+    flows: int = 6,
+    packets_per_flow: int = 300,
+    load: float = 1.1,
+    seed: int = 0,
+) -> Scenario:
+    """Overloaded heavy-tailed arrivals — the classic bell becomes a smear."""
+    scenario = Scenario(name="heavy_tail_stress", rate_bps=rate_bps)
+    sizes = BoundedParetoSize()
+    bits_per_packet = sizes.mean() * 8
+    per_flow_pps = load * rate_bps / flows / bits_per_packet
+    streams = []
+    rng = random.Random(seed)
+    for flow_id in range(flows):
+        generator = ParetoArrivals(
+            flow_id, per_flow_pps, sizes, alpha=1.4, seed=rng.randrange(2**30)
+        )
+        streams.append(generator.packets(packets_per_flow))
+        scenario.weights[flow_id] = 1.0 / flows
+    scenario.trace = merge(streams)
+    return scenario

@@ -1,0 +1,118 @@
+"""Tests for the Table I measurement harness."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    MethodMeasurement,
+    measure_all,
+    measure_method,
+    render_table1,
+    scaling_exponent,
+)
+from repro.baselines import (
+    BinaryCAMQueue,
+    MultiBitTreeQueue,
+    SortedLinkedListQueue,
+    TernaryCAMQueue,
+)
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestMeasureMethod:
+    def test_measures_worst_and_average(self):
+        queue = SortedLinkedListQueue()
+        measurement = measure_method(queue, population=64, tag_range=4096)
+        assert measurement.method == "sorted_list"
+        assert measurement.worst_insert > 0
+        assert measurement.average_insert > 0
+        assert measurement.population == 64
+
+    def test_worst_total_uses_binding_operation(self):
+        sort_side = MethodMeasurement(
+            method="x",
+            model="sort",
+            complexity="",
+            population=1,
+            worst_insert=10,
+            worst_extract=2,
+            average_insert=1,
+            average_extract=1,
+        )
+        search_side = MethodMeasurement(
+            method="x",
+            model="search",
+            complexity="",
+            population=1,
+            worst_insert=2,
+            worst_extract=10,
+            average_insert=1,
+            average_extract=1,
+        )
+        assert sort_side.worst_total == 10
+        assert search_side.worst_total == 10
+
+    def test_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_method(
+                SortedLinkedListQueue(), population=0, tag_range=16
+            )
+
+
+class TestScalingSplit:
+    """The qualitative split of Table I: N-dependent vs N-independent."""
+
+    def measure_at(self, factory, populations):
+        return [
+            measure_method(factory(), population=n, tag_range=4096, seed=1)
+            for n in populations
+        ]
+
+    def test_sorted_list_scales_linearly(self):
+        measurements = self.measure_at(
+            SortedLinkedListQueue, (128, 512, 2048)
+        )
+        assert scaling_exponent(measurements) > 0.6
+
+    def test_tree_is_population_independent(self):
+        measurements = self.measure_at(
+            lambda: MultiBitTreeQueue(capacity=4096), (128, 512, 2048)
+        )
+        assert scaling_exponent(measurements) < 0.2
+
+    def test_tcam_is_population_independent(self):
+        measurements = self.measure_at(
+            lambda: TernaryCAMQueue(word_bits=12), (128, 512, 2048)
+        )
+        assert scaling_exponent(measurements) < 0.2
+
+    def test_tree_beats_cam_absolutely(self):
+        tree = measure_method(
+            MultiBitTreeQueue(capacity=4096), population=1024, tag_range=4096
+        )
+        cam = measure_method(
+            BinaryCAMQueue(tag_range=4096), population=1024, tag_range=4096
+        )
+        assert tree.worst_total < cam.worst_total
+
+    def test_scaling_exponent_needs_two_points(self):
+        single = measure_method(
+            SortedLinkedListQueue(), population=16, tag_range=64
+        )
+        with pytest.raises(ConfigurationError):
+            scaling_exponent([single])
+
+
+class TestMeasureAll:
+    def test_all_methods_all_populations(self):
+        factories = {
+            "sorted_list": SortedLinkedListQueue,
+            "tcam": lambda: TernaryCAMQueue(word_bits=12),
+        }
+        measurements = measure_all(factories, populations=(32, 64))
+        assert len(measurements) == 4
+
+    def test_render(self):
+        factories = {"sorted_list": SortedLinkedListQueue}
+        text = render_table1(measure_all(factories, populations=(32,)))
+        assert "TABLE I" in text
+        assert "sorted_list" in text

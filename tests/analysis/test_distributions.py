@@ -1,0 +1,90 @@
+"""Tests for the Fig. 6 tag-distribution profiler."""
+
+import random
+
+import pytest
+
+from repro.analysis.distributions import (
+    TagDistributionProfiler,
+    mean_drift_per_window,
+    render_windows,
+)
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestProfiler:
+    def test_windows_partition_time(self):
+        profiler = TagDistributionProfiler(window_s=1.0)
+        profiler.record(0.5, 10.0)
+        profiler.record(1.5, 20.0)
+        profiler.record(1.9, 30.0)
+        profiles = profiler.profiles()
+        assert [p.window_index for p in profiles] == [0, 1]
+        assert profiles[1].count == 2
+
+    def test_statistics(self):
+        profiler = TagDistributionProfiler(window_s=10.0)
+        for tag in (10.0, 20.0, 30.0):
+            profiler.record(0.0, tag)
+        profile = profiler.profiles()[0]
+        assert profile.mean == pytest.approx(20.0)
+        assert profile.minimum == 10.0
+        assert profile.maximum == 30.0
+        assert profile.spread == 20.0
+        assert profile.skewness == pytest.approx(0.0, abs=1e-9)
+
+    def test_histogram_sums_to_count(self):
+        rng = random.Random(1)
+        profiler = TagDistributionProfiler(window_s=1.0, histogram_bins=8)
+        for _ in range(100):
+            profiler.record(0.5, rng.gauss(50, 10))
+        profile = profiler.profiles()[0]
+        assert sum(profile.histogram) == 100
+
+    def test_skewness_sign(self):
+        """A VoIP-like left-weighted profile has positive skew (mass near
+        the minimum, tail to the right)."""
+        profiler = TagDistributionProfiler(window_s=1.0)
+        rng = random.Random(2)
+        for _ in range(500):
+            profiler.record(0.1, rng.expovariate(1.0))
+        assert profiler.profiles()[0].skewness > 0.5
+
+    def test_empty(self):
+        profiler = TagDistributionProfiler(window_s=1.0)
+        assert profiler.profiles() == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TagDistributionProfiler(window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TagDistributionProfiler(window_s=1.0, histogram_bins=1)
+
+
+class TestDrift:
+    def test_forward_drift_detected(self):
+        """Fig. 6's arrow: the distribution moves forward over time."""
+        profiler = TagDistributionProfiler(window_s=1.0)
+        rng = random.Random(3)
+        for step in range(300):
+            t = step * 0.01
+            profiler.record(t, 100.0 * t + rng.gauss(0, 5))
+        drift = mean_drift_per_window(profiler.profiles())
+        assert drift is not None
+        assert drift > 0
+
+    def test_drift_needs_two_windows(self):
+        profiler = TagDistributionProfiler(window_s=10.0)
+        profiler.record(0.0, 1.0)
+        assert mean_drift_per_window(profiler.profiles()) is None
+
+
+class TestRendering:
+    def test_render_contains_windows(self):
+        profiler = TagDistributionProfiler(window_s=1.0)
+        profiler.record(0.5, 10.0)
+        profiler.record(1.5, 20.0)
+        text = render_windows(profiler.profiles())
+        assert "FIG. 6" in text
+        assert "w0" in text
+        assert "w1" in text

@@ -1,0 +1,77 @@
+"""Tests for the artifact report generators and the CLI."""
+
+import pytest
+
+from repro.analysis import reports
+from repro.cli import ARTIFACTS, build_parser, main, run_artifact
+
+
+class TestReports:
+    def test_table1_mentions_every_method(self):
+        text = reports.table1(populations=(64,))
+        for method in ("multibit_tree", "binary_cam", "tcam", "binning"):
+            assert method in text
+
+    def test_table2_shape(self):
+        text = reports.table2()
+        assert "Clock (MHz)" in text
+
+    def test_fig7_and_fig8(self):
+        assert "unit-gate delays" in reports.fig7()
+        assert "LUTs" in reports.fig8()
+
+    def test_fig6_renders_windows(self):
+        text = reports.fig6(windows=4)
+        assert "w0" in text
+
+    def test_throughput_numbers(self):
+        text = reports.throughput()
+        assert "35.8 M" in text
+        assert "40" in text
+
+    def test_qos_covers_policies(self):
+        text = reports.qos()
+        assert "wfq" in text and "drr" in text
+        assert "n/a" in text  # untag-based policy has no inversion count
+
+    def test_memory_and_shapes(self):
+        assert "QDRII" in reports.memory()
+        assert "3 x 4" in reports.shapes()
+
+    def test_demo_asserts_sortedness(self):
+        text = reports.demo()
+        assert "sorted order" in text
+
+    def test_fairness_shows_both_policies(self):
+        text = reports.fairness()
+        assert "wfq" in text and "wf2q" in text
+
+    def test_e2e_shows_hop_sweep(self):
+        text = reports.e2e()
+        assert "PG bound" in text
+
+
+class TestCli:
+    def test_every_artifact_registered_runs(self):
+        # Just the fast ones directly; table1/qos are covered above.
+        for name in ("table2", "fig7", "fig8", "memory", "shapes", "demo"):
+            assert run_artifact(name)
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_single_artifact_command(self, capsys):
+        assert main(["demo"]) == 0
+        assert "sorted order" in capsys.readouterr().out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_artifact_table_is_consistent(self):
+        for name, (generator, description) in ARTIFACTS.items():
+            assert callable(generator)
+            assert description

@@ -1,0 +1,85 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    crossover,
+    geometric_grid,
+    monotone_nondecreasing,
+    monotone_nonincreasing,
+    render_series,
+    sweep,
+)
+from repro.hwsim.errors import ConfigurationError
+
+
+def points(values):
+    return [SweepPoint(parameter=i, value=v) for i, v in enumerate(values)]
+
+
+class TestSweep:
+    def test_evaluates_in_order(self):
+        result = sweep([1, 2, 3], lambda p: p * 10)
+        assert [(p.parameter, p.value) for p in result] == [
+            (1, 10),
+            (2, 20),
+            (3, 30),
+        ]
+
+
+class TestMonotone:
+    def test_nonincreasing(self):
+        assert monotone_nonincreasing(points([5, 4, 4, 2]))
+        assert not monotone_nonincreasing(points([5, 6]))
+        assert monotone_nonincreasing(points([5, 5.5]), slack=1.0)
+
+    def test_nondecreasing(self):
+        assert monotone_nondecreasing(points([1, 2, 2, 9]))
+        assert not monotone_nondecreasing(points([3, 1]))
+
+
+class TestCrossover:
+    def test_crossover_point(self):
+        a = points([1, 2, 8, 9])
+        b = points([5, 5, 5, 5])
+        assert crossover(a, b) == 2  # A wins at 0, 1; loses from 2
+
+    def test_always_wins(self):
+        assert crossover(points([1, 1]), points([5, 5])) == float("inf")
+
+    def test_never_wins(self):
+        assert crossover(points([9, 9]), points([5, 5])) == float("-inf")
+
+    def test_mismatched_grid(self):
+        a = [SweepPoint(1, 1.0)]
+        b = [SweepPoint(2, 1.0)]
+        with pytest.raises(ConfigurationError):
+            crossover(a, b)
+
+
+class TestGrid:
+    def test_geometric_grid_endpoints(self):
+        grid = geometric_grid(1.0, 100.0, 3)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[1] == pytest.approx(10.0)
+        assert grid[-1] == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_grid(0.0, 10.0, 3)
+        with pytest.raises(ConfigurationError):
+            geometric_grid(1.0, 10.0, 1)
+
+
+class TestRender:
+    def test_render_series(self):
+        series = {"a": points([1.0, 2.0]), "b": points([3.0, 4.0])}
+        text = render_series("TITLE", series, unit="ns")
+        assert "TITLE" in text
+        assert "a" in text and "b" in text
+        assert "ns" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series("t", {})

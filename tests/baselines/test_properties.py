@@ -1,0 +1,79 @@
+"""Property-based tests over all Table I queues (hypothesis)."""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import make_all_queues
+from tests.baselines.test_interface import EXACT_METHODS
+
+
+@st.composite
+def workloads(draw):
+    """Random interleavings: positive int = insert, None = extract."""
+    return draw(
+        st.lists(
+            st.one_of(st.integers(min_value=0, max_value=4095), st.none()),
+            min_size=1,
+            max_size=120,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(make_all_queues())),
+    operations=workloads(),
+)
+def test_multiset_conservation(name, operations):
+    """Whatever goes in comes out: no method loses or invents tags."""
+    queue = make_all_queues()[name]
+    inserted = []
+    extracted = []
+    for op in operations:
+        if op is None:
+            if queue.is_empty:
+                continue
+            extracted.append(queue.extract_min()[0])
+        else:
+            queue.insert(op)
+            inserted.append(op)
+    extracted.extend(queue.drain())
+    assert sorted(extracted) == sorted(inserted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(EXACT_METHODS)),
+    operations=workloads(),
+)
+def test_exact_methods_match_heap(name, operations):
+    """Every exact method is behaviour-equivalent to a heap."""
+    queue = make_all_queues()[name]
+    model = []
+    for op in operations:
+        if op is None:
+            if not model:
+                continue
+            assert queue.extract_min()[0] == heapq.heappop(model)
+        else:
+            queue.insert(op)
+            heapq.heappush(model, op)
+    assert queue.drain() == sorted(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(sorted(make_all_queues())),
+    values=st.lists(
+        st.integers(min_value=0, max_value=4095), min_size=1, max_size=60
+    ),
+)
+def test_peek_does_not_consume(name, values):
+    queue = make_all_queues()[name]
+    for value in values:
+        queue.insert(value)
+    first = queue.peek_min()
+    assert queue.peek_min() == first
+    assert len(queue) == len(values)
+    assert queue.extract_min()[0] == first

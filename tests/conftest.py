@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.words import FIGURE_FORMAT, PAPER_FORMAT, WordFormat
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_format():
+    """The silicon word format: 12-bit tags, 3 levels, 16-bit nodes."""
+    return PAPER_FORMAT
+
+
+@pytest.fixture
+def figure_format():
+    """The Figs. 4/5 worked-example format: 6-bit tags, 2-bit literals."""
+    return FIGURE_FORMAT
+
+
+@pytest.fixture
+def tiny_format():
+    """A 4-bit format for exhaustive enumeration tests."""
+    return WordFormat(levels=2, literal_bits=2)

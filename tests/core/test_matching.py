@@ -1,0 +1,193 @@
+"""Unit and property tests for the five closest-match circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import (
+    ALL_MATCHERS,
+    DEFAULT_MATCHER,
+    RippleMatcher,
+    SelectLookaheadMatcher,
+    SkipLookaheadMatcher,
+    highest_set_bit,
+    reference_search,
+)
+from repro.core.matching.select_lookahead import optimal_select_block
+from repro.core.matching.skip_lookahead import optimal_skip_block
+from repro.hwsim.errors import ConfigurationError
+
+MATCHER_ITEMS = sorted(ALL_MATCHERS.items())
+
+
+class TestReferenceModel:
+    def test_exact_match(self):
+        result = reference_search(0b0100, 4, 2)
+        assert result.primary == 2
+        assert result.backup is None
+
+    def test_next_smallest(self):
+        result = reference_search(0b0001, 4, 3)
+        assert result.primary == 0
+
+    def test_miss(self):
+        result = reference_search(0b1000, 4, 2)
+        assert result.primary is None
+        assert result.backup is None
+
+    def test_backup_is_second_highest(self):
+        # bits {0, 2, 3}, target 3 -> primary 3, backup 2
+        result = reference_search(0b1101, 4, 3)
+        assert result.primary == 3
+        assert result.backup == 2
+
+    def test_fig4_third_level_node(self):
+        """Fig. 4 step 3: node holds literals {01, 11}; searching 10
+        returns the next smallest, 01."""
+        node = (1 << 0b01) | (1 << 0b11)
+        result = reference_search(node, 4, 0b10)
+        assert result.primary == 0b01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reference_search(0b1111, 4, 4)
+        with pytest.raises(ConfigurationError):
+            reference_search(0b10000, 4, 2)
+        with pytest.raises(ConfigurationError):
+            reference_search(1, 0, 0)
+
+
+class TestHighestSetBit:
+    def test_positions(self):
+        assert highest_set_bit(0b0001, 4) == 0
+        assert highest_set_bit(0b1010, 4) == 3
+        assert highest_set_bit(0, 4) is None
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            highest_set_bit(0b10000, 4)
+
+
+@pytest.mark.parametrize("name,cls", MATCHER_ITEMS)
+class TestAllCircuitsAgree:
+    def test_exhaustive_4bit(self, name, cls):
+        matcher = cls(4)
+        for mask in range(16):
+            for target in range(4):
+                got = matcher.search(mask, target)
+                want = reference_search(mask, 4, target)
+                assert (got.primary, got.backup) == (want.primary, want.backup)
+
+    def test_exhaustive_paper_node_sampled(self, name, cls):
+        """16-bit nodes (the silicon width), sampled masks."""
+        matcher = cls(16)
+        for mask in (0, 1, 0x8000, 0xFFFF, 0xA5A5, 0x0F0F, 0x4001):
+            for target in range(16):
+                got = matcher.search(mask, target)
+                want = reference_search(mask, 16, target)
+                assert (got.primary, got.backup) == (want.primary, want.backup)
+
+    def test_validation(self, name, cls):
+        matcher = cls(8)
+        with pytest.raises(ConfigurationError):
+            matcher.search(0, 8)
+        with pytest.raises(ConfigurationError):
+            matcher.search(1 << 8, 0)
+        with pytest.raises(ConfigurationError):
+            cls(1)
+
+    def test_cost_is_positive(self, name, cls):
+        cost = cls(16).cost()
+        assert cost.delay > 0
+        assert cost.area > 0
+
+
+@settings(max_examples=300)
+@given(
+    name=st.sampled_from([name for name, _ in MATCHER_ITEMS]),
+    width_exp=st.integers(min_value=2, max_value=7),
+    data=st.data(),
+)
+def test_property_matches_reference(name, width_exp, data):
+    """Every circuit at every power-of-two width equals the reference."""
+    width = 1 << width_exp
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    target = data.draw(st.integers(min_value=0, max_value=width - 1))
+    matcher = ALL_MATCHERS[name](width)
+    got = matcher.search(mask, target)
+    want = reference_search(mask, width, target)
+    assert (got.primary, got.backup) == (want.primary, want.backup)
+
+
+class TestFig7DelayShape:
+    """The delay curves of Fig. 7."""
+
+    WIDTHS = (8, 16, 32, 64, 128)
+
+    def test_ripple_is_linear(self):
+        delays = [RippleMatcher(w).delay() for w in self.WIDTHS]
+        # doubling the width roughly doubles the delay
+        for earlier, later in zip(delays, delays[1:]):
+            assert later / earlier == pytest.approx(2.0, rel=0.25)
+
+    def test_select_lookahead_never_loses(self):
+        """Ref. [13]: select & look-ahead is the fastest option at every
+        width in the sweep."""
+        for width in self.WIDTHS:
+            select_delay = SelectLookaheadMatcher(width).delay()
+            for name, cls in MATCHER_ITEMS:
+                assert select_delay <= cls(width).delay() + 1e-9, (
+                    f"{name} beats select_lookahead at {width} bits"
+                )
+
+    def test_all_accelerated_beat_ripple_at_width(self):
+        for name, cls in MATCHER_ITEMS:
+            if name == "ripple":
+                continue
+            assert cls(64).delay() < RippleMatcher(64).delay()
+
+    def test_delays_grow_with_width(self):
+        for name, cls in MATCHER_ITEMS:
+            delays = [cls(w).delay() for w in self.WIDTHS]
+            assert delays == sorted(delays)
+
+
+class TestFig8AreaShape:
+    """The area curves of Fig. 8."""
+
+    def test_ripple_is_cheapest(self):
+        for name, cls in MATCHER_ITEMS:
+            if name == "ripple":
+                continue
+            assert RippleMatcher(64).area_luts() <= cls(64).area_luts()
+
+    def test_select_is_cheapest_accelerated_option(self):
+        """Ref. [13]: select & look-ahead is also the most hardware
+        efficient of the accelerated circuits."""
+        select_area = SelectLookaheadMatcher(64).area_luts()
+        for name, cls in MATCHER_ITEMS:
+            if name in ("ripple", "select_lookahead"):
+                continue
+            assert select_area <= cls(64).area_luts()
+
+    def test_areas_grow_with_width(self):
+        for name, cls in MATCHER_ITEMS:
+            areas = [cls(w).area_luts() for w in (8, 16, 32, 64, 128)]
+            assert areas == sorted(areas)
+
+
+class TestBlockSizing:
+    def test_skip_block_is_sqrt_scaled(self):
+        assert optimal_skip_block(8) == 2
+        assert optimal_skip_block(32) == 4
+        assert optimal_skip_block(128) == 8
+
+    def test_select_block_is_sqrt_scaled(self):
+        assert optimal_select_block(8) == 4
+        assert optimal_select_block(32) == 8
+        assert optimal_select_block(128) == 16
+
+    def test_default_matcher_is_select(self):
+        assert DEFAULT_MATCHER is SelectLookaheadMatcher
+
+    def test_skip_matcher_records_block(self):
+        assert SkipLookaheadMatcher(32).block_bits == 4

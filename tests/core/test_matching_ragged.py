@@ -1,0 +1,46 @@
+"""Non-power-of-two node widths: ragged final blocks in every matcher.
+
+The block-structured circuits (look-ahead groups, skip blocks, select
+blocks) all have a partial final block when the width is not a multiple
+of their block size; these tests pin that corner.
+"""
+
+import random
+
+import pytest
+
+from repro.core.matching import ALL_MATCHERS, reference_search
+
+RAGGED_WIDTHS = (5, 7, 11, 13, 17, 23, 33, 100)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MATCHERS))
+@pytest.mark.parametrize("width", RAGGED_WIDTHS)
+class TestRaggedWidths:
+    def test_matches_reference(self, name, width):
+        matcher = ALL_MATCHERS[name](width)
+        rng = random.Random(width * 1000 + len(name))
+        for _ in range(120):
+            mask = rng.getrandbits(width)
+            target = rng.randrange(width)
+            got = matcher.search(mask, target)
+            want = reference_search(mask, width, target)
+            assert (got.primary, got.backup) == (want.primary, want.backup)
+
+    def test_top_bit_corner(self, name, width):
+        """The highest bit lives in the ragged final block."""
+        matcher = ALL_MATCHERS[name](width)
+        top = width - 1
+        mask = 1 << top
+        result = matcher.search(mask, top)
+        assert result.primary == top
+        assert result.backup is None
+        result = matcher.search(mask, top - 1) if top else None
+        if result is not None:
+            assert result.primary is None
+
+    def test_costs_are_finite_and_monotone_with_width(self, name, width):
+        matcher = ALL_MATCHERS[name](width)
+        bigger = ALL_MATCHERS[name](width + 16)
+        assert 0 < matcher.delay() <= bigger.delay() + 1e-9
+        assert 0 < matcher.cost().area <= bigger.cost().area + 1e-9

@@ -1,0 +1,144 @@
+"""Tests for the gate-level matcher netlist."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import reference_search
+from repro.core.matching.netlist import (
+    Netlist,
+    build_matcher_netlist,
+    netlist_search,
+)
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestNetlistPrimitives:
+    def test_and_or_not(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.mark_output("and", netlist.add_gate("AND", a, b))
+        netlist.mark_output("or", netlist.add_gate("OR", a, b))
+        netlist.mark_output("na", netlist.add_gate("NOT", a))
+        out = netlist.evaluate({"a": True, "b": False})
+        assert out == {"and": False, "or": True, "na": False}
+
+    def test_depth_counts_gate_levels(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        first = netlist.add_gate("AND", a, b)
+        second = netlist.add_gate("OR", first, a)
+        netlist.mark_output("out", second)
+        assert netlist.depth() == 2
+
+    def test_not_is_free_depth(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.mark_output("out", netlist.add_gate("NOT", a))
+        assert netlist.depth() == 0
+
+    def test_validation(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.add_input("a")
+        with pytest.raises(ConfigurationError):
+            netlist.add_gate("XANDX", a, a)
+        with pytest.raises(ConfigurationError):
+            netlist.add_gate("NOT", a, a)
+        with pytest.raises(ConfigurationError):
+            netlist.add_gate("AND", a)
+        with pytest.raises(ConfigurationError):
+            netlist.evaluate({})
+
+
+@pytest.mark.parametrize("topology", ["ripple", "tree"])
+class TestMatcherNetlist:
+    def test_exhaustive_small_width(self, topology):
+        width = 5
+        netlist = build_matcher_netlist(width, topology=topology)
+        for mask in range(1 << width):
+            for target in range(width):
+                got = netlist_search(netlist, width, mask, target)
+                want = reference_search(mask, width, target)
+                assert got == (want.primary, want.backup), (mask, target)
+
+    def test_sampled_16bit(self, topology):
+        width = 16
+        netlist = build_matcher_netlist(width, topology=topology)
+        rng = random.Random(7)
+        for _ in range(150):
+            mask = rng.getrandbits(width)
+            target = rng.randrange(width)
+            got = netlist_search(netlist, width, mask, target)
+            want = reference_search(mask, width, target)
+            assert got == (want.primary, want.backup)
+
+    def test_none_flag(self, topology):
+        width = 8
+        netlist = build_matcher_netlist(width, topology=topology)
+        inputs = {f"m{i}": False for i in range(width)}
+        inputs.update({f"t{i}": True for i in range(width)})
+        inputs["m7"] = True
+        inputs["t7"] = True
+        outputs = netlist.evaluate(inputs)
+        assert not outputs["none"]
+        inputs["m7"] = False
+        assert netlist.evaluate(inputs)["none"]
+
+
+class TestStructuralCosts:
+    def test_ripple_depth_is_linear(self):
+        for width in (8, 16, 32, 64):
+            netlist = build_matcher_netlist(width, topology="ripple")
+            # serial suffix-OR chain: exactly width + 2 gate levels
+            assert netlist.depth() == width + 2
+
+    def test_tree_depth_is_logarithmic(self):
+        depths = {
+            width: build_matcher_netlist(width, topology="tree").depth()
+            for width in (8, 16, 32, 64)
+        }
+        # Doubling the width adds one OR level per suffix network.
+        assert depths[64] - depths[32] == 2
+        assert depths[16] - depths[8] == 2
+        assert depths[64] <= 18
+
+    def test_tree_beats_ripple_in_depth_costs_more_gates(self):
+        """The fundamental Fig. 7/8 trade, measured structurally."""
+        width = 32
+        ripple = build_matcher_netlist(width, topology="ripple")
+        tree = build_matcher_netlist(width, topology="tree")
+        assert tree.depth() < ripple.depth()
+        assert tree.gate_count() > ripple.gate_count()
+
+    def test_structural_costs_track_analytic_models(self):
+        """The netlist depths sit in the same class as the analytic
+        Cost models: ripple-netlist ~ RippleMatcher's linear growth,
+        tree-netlist ~ the look-ahead family's logarithmic growth."""
+        from repro.core.matching import LookaheadMatcher, RippleMatcher
+
+        width = 32
+        ripple_netlist = build_matcher_netlist(width, topology="ripple")
+        ratio = RippleMatcher(width).delay() / ripple_netlist.depth()
+        assert 0.5 <= ratio <= 4.0  # same asymptotic class
+        tree_netlist = build_matcher_netlist(width, topology="tree")
+        assert tree_netlist.depth() < RippleMatcher(width).delay() / 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    topology=st.sampled_from(["ripple", "tree"]),
+    width=st.sampled_from([4, 8, 12]),
+    data=st.data(),
+)
+def test_property_netlist_matches_reference(topology, width, data):
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    target = data.draw(st.integers(min_value=0, max_value=width - 1))
+    netlist = build_matcher_netlist(width, topology=topology)
+    got = netlist_search(netlist, width, mask, target)
+    want = reference_search(mask, width, target)
+    assert got == (want.primary, want.backup)

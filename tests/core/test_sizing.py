@@ -1,0 +1,117 @@
+"""Unit tests for the eq. (2)/(3) sizing math."""
+
+import pytest
+
+from repro.core.sizing import (
+    budget_for,
+    level_memory_bits,
+    mixed_width_tree_bits,
+    sweep_configurations,
+    total_tree_bits,
+    translation_table_entries,
+    worst_case_node_searches,
+)
+from repro.core.words import PAPER_FORMAT, WordFormat
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestEquation2:
+    def test_level_memory_matches_paper(self):
+        """Eq. (2) at the silicon config: 16, 256, 4096 bits per level."""
+        assert level_memory_bits(0, 16) == 16
+        assert level_memory_bits(1, 16) == 256
+        assert level_memory_bits(2, 16) == 4096
+
+    def test_binary_tree_levels(self):
+        assert level_memory_bits(0, 2) == 2
+        assert level_memory_bits(3, 2) == 16
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            level_memory_bits(-1, 16)
+        with pytest.raises(ConfigurationError):
+            level_memory_bits(0, 1)
+
+
+class TestEquation3:
+    def test_total_matches_paper(self):
+        """272 register bits + 4096 SRAM bits = 4368 total."""
+        assert total_tree_bits(3, 16) == 16 + 256 + 4096
+
+    def test_multibit_beats_binary_on_memory(self):
+        """Section III-A: a multi-bit tree needs less memory than a
+        binary tree covering the same 12-bit range."""
+        multibit = total_tree_bits(3, 16)
+        binary = total_tree_bits(12, 2)
+        assert multibit < binary
+
+    def test_multibit_beats_binary_on_depth(self):
+        assert worst_case_node_searches(3) < worst_case_node_searches(12)
+
+
+class TestTranslationTable:
+    def test_paper_config_needs_4096_entries(self):
+        assert translation_table_entries(3, 16) == 4096
+
+    def test_15_bit_variant_needs_32k(self):
+        """Section III-A: 32-bit nodes / 15-bit words -> 32k entries."""
+        assert translation_table_entries(3, 32) == 32 * 1024
+
+
+class TestBudget:
+    def test_paper_budget(self):
+        budget = budget_for(PAPER_FORMAT, register_levels=2)
+        assert budget.register_bits == 272
+        assert budget.sram_bits == 4096
+        assert budget.total_bits == 4368
+        assert budget.translation_entries == 4096
+        assert budget.word_bits == 12
+
+    def test_register_level_bounds(self):
+        with pytest.raises(ConfigurationError):
+            budget_for(PAPER_FORMAT, register_levels=4)
+
+    def test_all_register_budget(self):
+        budget = budget_for(
+            WordFormat(levels=2, literal_bits=2), register_levels=2
+        )
+        assert budget.sram_bits == 0
+
+
+class TestSweep:
+    def test_sweep_covers_all_factorizations(self):
+        budgets = sweep_configurations(12)
+        shapes = {(b.fmt.levels, b.fmt.literal_bits) for b in budgets}
+        assert (12, 1) in shapes  # binary
+        assert (3, 4) in shapes  # the paper's choice
+        assert (1, 12) in shapes  # flat bitmap
+        assert (2, 6) in shapes
+
+    def test_flat_bitmap_has_one_level_but_big_node(self):
+        budgets = {b.fmt.levels: b for b in sweep_configurations(12)}
+        assert budgets[1].total_bits == 4096  # one 4096-bit node
+
+    def test_binary_is_the_most_expensive_shape(self):
+        """Section III-A: wider nodes need *less* total memory — the
+        binary factorization tops the storage ranking while the flat
+        bitmap bottoms it; the paper's 3-level shape sits near the flat
+        minimum while keeping nodes searchable in one match."""
+        budgets = sorted(sweep_configurations(12), key=lambda b: b.fmt.levels)
+        totals = [b.total_bits for b in budgets]  # flat ... binary
+        assert totals == sorted(totals)
+        assert max(totals) == totals[-1]  # binary (12 levels) costs most
+
+
+class TestMixedWidth:
+    def test_equal_width_equivalence(self):
+        assert mixed_width_tree_bits([16, 16, 16]) == total_tree_bits(3, 16)
+
+    def test_unequal_widths(self):
+        # An 8-32-16 tree covers 2^12 values with a different profile.
+        assert mixed_width_tree_bits([8, 32, 16]) == 8 + 8 * 32 + 256 * 16
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            mixed_width_tree_bits([])
+        with pytest.raises(ConfigurationError):
+            mixed_width_tree_bits([16, 1])

@@ -1,0 +1,192 @@
+"""Unit tests for the composed tag sort/retrieve circuit."""
+
+import pytest
+
+from repro.core.sort_retrieve import (
+    FIXED_OP_CYCLES,
+    TagSortRetrieveCircuit,
+)
+from repro.core.words import PAPER_FORMAT
+from repro.hwsim.errors import (
+    ConfigurationError,
+    EmptyStructureError,
+    ProtocolError,
+)
+
+
+@pytest.fixture
+def circuit():
+    return TagSortRetrieveCircuit(PAPER_FORMAT, capacity=64)
+
+
+@pytest.fixture
+def pq_circuit():
+    return TagSortRetrieveCircuit(
+        PAPER_FORMAT, capacity=64, eager_marker_removal=True
+    )
+
+
+class TestBasicOperation:
+    def test_sorted_service(self, circuit):
+        for tag in (100, 150, 120, 150, 4000):
+            circuit.insert(tag)
+        served = [circuit.dequeue_min().tag for _ in range(5)]
+        assert served == [100, 120, 150, 150, 4000]
+
+    def test_peek_min_is_free(self, circuit):
+        circuit.insert(77)
+        before = circuit.total_stats().total
+        assert circuit.peek_min() == 77
+        assert circuit.total_stats().total == before
+
+    def test_payloads_travel_with_tags(self, circuit):
+        circuit.insert(10, payload="first")
+        circuit.insert(20, payload="second")
+        assert circuit.dequeue_min().payload == "first"
+        assert circuit.dequeue_min().payload == "second"
+
+    def test_empty_dequeue_raises(self, circuit):
+        with pytest.raises(EmptyStructureError):
+            circuit.dequeue_min()
+
+    def test_count_tracking(self, circuit):
+        assert circuit.is_empty
+        circuit.insert(1)
+        circuit.insert(2)
+        assert circuit.count == 2
+        circuit.dequeue_min()
+        assert circuit.count == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TagSortRetrieveCircuit(PAPER_FORMAT, capacity=0)
+
+    def test_modular_requires_deferred(self):
+        with pytest.raises(ConfigurationError):
+            TagSortRetrieveCircuit(
+                PAPER_FORMAT, modular=True, eager_marker_removal=True
+            )
+
+
+class TestFixedTiming:
+    def test_every_operation_costs_four_cycles(self, circuit):
+        circuit.insert(10)
+        circuit.insert(20)
+        circuit.dequeue_min()
+        circuit.insert_and_dequeue(30)
+        assert circuit.operations == 4
+        assert circuit.cycles == 4 * FIXED_OP_CYCLES
+
+    def test_storage_traffic_fits_four_accesses_per_op(self, circuit):
+        """The tag storage never exceeds the Fig. 9 budget of 4 accesses
+        in any single operation."""
+        from repro.hwsim.stats import OperationProbe
+
+        probe = OperationProbe()
+        tags = [10, 500, 300, 300, 2000, 2000, 2001, 4095]
+        for tag in tags:
+            with probe.operation(circuit.storage.stats):
+                circuit.insert(tag)
+        while not circuit.is_empty:
+            with probe.operation(circuit.storage.stats):
+                circuit.dequeue_min()
+        assert probe.worst_case <= 4
+
+
+class TestWfqInvariantEnforcement:
+    def test_below_minimum_rejected_in_paper_mode(self, circuit):
+        circuit.insert(100)
+        with pytest.raises(ProtocolError):
+            circuit.insert(99)
+
+    def test_equal_to_minimum_accepted(self, circuit):
+        circuit.insert(100)
+        circuit.insert(100)
+        assert circuit.count == 2
+
+    def test_eager_mode_accepts_any_order(self, pq_circuit):
+        pq_circuit.insert(100)
+        pq_circuit.insert(5)
+        assert pq_circuit.dequeue_min().tag == 5
+
+
+class TestDeferredMarkers:
+    def test_dequeue_leaves_marker_stale(self, circuit):
+        circuit.insert(100)
+        circuit.insert(200)
+        circuit.dequeue_min()
+        # The marker for 100 is still in the tree (deferred deletion)...
+        assert circuit.tree.contains(100)
+        # ...but can never be returned: any legal key >= 200 finds 200.
+        assert circuit.tree.closest_at_most(250) == 200
+
+    def test_stale_markers_flushed_on_reinit(self, circuit):
+        """Draining the circuit and restarting at lower tags must flush
+        stale markers (initialization mode)."""
+        circuit.insert(3000)
+        circuit.dequeue_min()
+        circuit.insert(100)  # below the stale 3000 marker
+        assert not circuit.tree.contains(3000)
+        assert circuit.dequeue_min().tag == 100
+
+    def test_eager_mode_removes_markers(self, pq_circuit):
+        pq_circuit.insert(100)
+        pq_circuit.insert(200)
+        pq_circuit.dequeue_min()
+        assert not pq_circuit.tree.contains(100)
+        pq_circuit.check_invariants()
+
+    def test_eager_duplicate_marker_survives_until_last(self, pq_circuit):
+        pq_circuit.insert(100)
+        pq_circuit.insert(100)
+        pq_circuit.dequeue_min()
+        assert pq_circuit.tree.contains(100)
+        pq_circuit.dequeue_min()
+        assert not pq_circuit.tree.contains(100)
+
+
+class TestInsertAndDequeue:
+    def test_combined_operation(self, circuit):
+        circuit.insert(10)
+        circuit.insert(30)
+        served, _ = circuit.insert_and_dequeue(20)
+        assert served.tag == 10
+        assert [tag for tag, _ in circuit.storage.walk()] == [20, 30]
+
+    def test_combined_on_empty_raises(self, circuit):
+        with pytest.raises(EmptyStructureError):
+            circuit.insert_and_dequeue(5)
+
+    def test_combined_respects_invariant(self, circuit):
+        circuit.insert(100)
+        with pytest.raises(ProtocolError):
+            circuit.insert_and_dequeue(50)
+
+    def test_combined_single_element(self, circuit):
+        circuit.insert(10)
+        served, _ = circuit.insert_and_dequeue(12)
+        assert served.tag == 10
+        assert circuit.peek_min() == 12
+        circuit.check_invariants()
+
+
+class TestStaleSectionClearing:
+    def test_clear_refuses_live_sections(self, circuit):
+        circuit.insert(100)  # section 0
+        with pytest.raises(ProtocolError):
+            circuit.clear_stale_section(0)
+
+    def test_clear_stale_section_counts(self, circuit):
+        for tag in (10, 20, 300, 3000):
+            circuit.insert(tag)
+        for _ in range(3):
+            circuit.dequeue_min()  # 10, 20, 300 go stale; 3000 stays live
+        removed = circuit.clear_stale_section(0)
+        assert removed == 2  # markers 10 and 20 (300 is in section 1)
+        assert not circuit.tree.contains(10)
+        assert circuit.tree.contains(3000)
+
+    def test_registry_names_every_memory(self, circuit):
+        names = set(circuit.registry.names())
+        assert {"translation_table", "tag_storage"} <= names
+        assert {"tree_level_0", "tree_level_1", "tree_level_2"} <= names

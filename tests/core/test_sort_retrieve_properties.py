@@ -1,0 +1,174 @@
+"""Property-based tests for the sort/retrieve circuit (hypothesis).
+
+Three properties drive everything the paper claims about correctness:
+
+1. as a general priority queue (eager mode) the circuit is
+   behaviour-equivalent to a reference heap with FCFS tie-breaking;
+2. under WFQ-legal workloads (paper mode) service is the sorted order of
+   the inserted multiset;
+3. internal invariants (list order, translation pointers, marker/tag
+   consistency) survive arbitrary legal operation interleavings.
+"""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.words import PAPER_FORMAT, WordFormat
+
+SMALL_FORMAT = WordFormat(levels=2, literal_bits=3)  # 6-bit, 64 values
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of inserts (value) and dequeues (None)."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=SMALL_FORMAT.max_value),
+                st.none(),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations=operation_sequences())
+def test_eager_mode_equals_reference_heap(operations):
+    circuit = TagSortRetrieveCircuit(
+        SMALL_FORMAT, capacity=128, eager_marker_removal=True
+    )
+    model = []
+    sequence = 0
+    for op in operations:
+        if op is None:
+            if not model:
+                continue
+            expected_tag, _ = heapq.heappop(model)
+            assert circuit.dequeue_min().tag == expected_tag
+        else:
+            circuit.insert(op)
+            heapq.heappush(model, (op, sequence))
+            sequence += 1
+    circuit.check_invariants()
+    remaining = [circuit.dequeue_min().tag for _ in range(circuit.count)]
+    expected = [heapq.heappop(model)[0] for _ in range(len(model))]
+    assert remaining == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    increments=st.lists(
+        st.integers(min_value=0, max_value=15), min_size=1, max_size=60
+    ),
+    dequeue_pattern=st.lists(st.booleans(), min_size=0, max_size=60),
+)
+def test_paper_mode_serves_sorted_under_wfq_workload(
+    increments, dequeue_pattern
+):
+    """WFQ-legal workload: each new tag is current-min + a non-negative
+    increment.  Within every busy period, service is the sorted multiset
+    of that period's inserts (a fresh period may legally restart at lower
+    values once the circuit drains — initialization mode)."""
+    circuit = TagSortRetrieveCircuit(SMALL_FORMAT, capacity=128)
+    pattern = iter(dequeue_pattern + [False] * len(increments))
+    periods = [{"inserted": [], "served": []}]
+    for increment in increments:
+        base = circuit.peek_min()
+        if base is None:
+            base = 0
+            if periods[-1]["inserted"]:
+                periods.append({"inserted": [], "served": []})
+        tag = min(base + increment, SMALL_FORMAT.max_value)
+        circuit.insert(tag)
+        periods[-1]["inserted"].append(tag)
+        if next(pattern) and not circuit.is_empty:
+            periods[-1]["served"].append(circuit.dequeue_min().tag)
+    while not circuit.is_empty:
+        periods[-1]["served"].append(circuit.dequeue_min().tag)
+    for period in periods:
+        assert period["served"] == sorted(period["inserted"])
+    circuit.check_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tags=st.lists(
+        st.integers(min_value=0, max_value=4095), min_size=1, max_size=40
+    )
+)
+def test_fcfs_for_duplicates(tags):
+    """Equal tags must depart in arrival order (Section III-C)."""
+    circuit = TagSortRetrieveCircuit(
+        PAPER_FORMAT, capacity=64, eager_marker_removal=True
+    )
+    for order, tag in enumerate(tags):
+        circuit.insert(tag, payload=order)
+    served = [circuit.dequeue_min() for _ in range(len(tags))]
+    for earlier, later in zip(served, served[1:]):
+        if earlier.tag == later.tag:
+            assert earlier.payload < later.payload
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_combined_insert_dequeue_property(operations):
+    """insert_and_dequeue atomically serves the pre-insert minimum and
+    then stores the new tag — equivalent to a heap pop followed by a
+    push, with FCFS tie-breaking."""
+    import heapq
+
+    combined = TagSortRetrieveCircuit(SMALL_FORMAT, capacity=128)
+    model = []
+    sequence = 0
+    combined.insert(0)
+    heapq.heappush(model, (0, sequence))
+    for increment, use_combined in operations:
+        base = combined.peek_min() or 0
+        tag = min(base + increment, SMALL_FORMAT.max_value)
+        if use_combined and not combined.is_empty:
+            served, _ = combined.insert_and_dequeue(tag)
+            expected_tag, _ = heapq.heappop(model)
+            assert served.tag == expected_tag
+        else:
+            combined.insert(tag)
+        sequence += 1
+        heapq.heappush(model, (tag, sequence))
+    rest = [combined.dequeue_min().tag for _ in range(combined.count)]
+    expected_rest = [heapq.heappop(model)[0] for _ in range(len(model))]
+    assert rest == expected_rest
+    combined.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    increments=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=5, max_size=80
+    )
+)
+def test_full_invariant_suite_under_churn(increments):
+    """Paper-mode churn with periodic deep invariant verification."""
+    circuit = TagSortRetrieveCircuit(PAPER_FORMAT, capacity=256)
+    step = 0
+    for increment in increments:
+        base = circuit.peek_min() or 0
+        tag = min(base + increment, PAPER_FORMAT.max_value)
+        circuit.insert(tag)
+        step += 1
+        if step % 3 == 0 and circuit.count > 1:
+            circuit.dequeue_min()
+        if step % 7 == 0:
+            circuit.check_invariants()
+    circuit.check_invariants()

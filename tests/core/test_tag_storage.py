@@ -1,0 +1,224 @@
+"""Unit tests for the tag storage memory (Figs. 9 and 10)."""
+
+import pytest
+
+from repro.core.tag_storage import StorageCorruptionError, TagStorageMemory
+from repro.hwsim.errors import (
+    CapacityError,
+    ConfigurationError,
+    EmptyStructureError,
+)
+
+
+class TestFig9Insert:
+    """Inserting tag 16 between 15 and 17 costs two reads + two writes."""
+
+    def test_insert_between_links(self):
+        memory = TagStorageMemory(8)
+        a15 = memory.insert_first(15)
+        a17 = memory.insert_after(a15, 17)
+        before = memory.stats.snapshot()
+        a16 = memory.insert_after(a15, 16)
+        delta = memory.stats.delta_since(before)
+        # One predecessor read + two writes; the free slot came from the
+        # init counter (register), so the "find free location" step needs
+        # no memory read yet.
+        assert delta.writes == 2
+        assert delta.reads <= 2
+        assert [tag for tag, _ in memory.walk()] == [15, 16, 17]
+        assert {a15, a16, a17} == {0, 1, 2}
+        memory.check_invariants()
+
+    def test_insert_costs_two_reads_two_writes_from_empty_list(self):
+        """Once the counter is exhausted the full Fig. 9 sequence runs:
+        read free location, read predecessor, write both."""
+        memory = TagStorageMemory(4)
+        memory.insert_first(10)
+        for tag in (20, 30, 40):
+            memory.insert_after(memory.walk()[-1][1], tag)  # exhaust counter
+        memory.dequeue_min()  # frees a slot onto the empty list
+        before = memory.stats.snapshot()
+        memory.insert_after(memory.head_address, 25)
+        delta = memory.stats.delta_since(before)
+        assert delta.reads == 2
+        assert delta.writes == 2
+
+    def test_insert_order_violation_detected(self):
+        memory = TagStorageMemory(8)
+        a20 = memory.insert_first(20)
+        with pytest.raises(ConfigurationError):
+            memory.insert_after(a20, 10)
+
+    def test_duplicate_tags_fcfs(self):
+        memory = TagStorageMemory(8)
+        a = memory.insert_first(5)
+        b = memory.insert_after(a, 5)
+        memory.insert_after(b, 5)
+        tags = [tag for tag, _ in memory.walk()]
+        assert tags == [5, 5, 5]
+        served = [memory.dequeue_min()[2] for _ in range(3)]
+        assert served == [0, 1, 2]  # arrival order
+
+
+class TestFig10EmptyList:
+    """Twelve locations, nine allocated, four served: the counter reads 9
+    and the empty list holds the four served slots."""
+
+    def test_counter_and_empty_list_state(self):
+        memory = TagStorageMemory(12)
+        head = memory.insert_first(0)
+        for tag in range(1, 9):
+            memory.insert_after(
+                memory.walk()[-1][1], tag
+            )
+        for _ in range(4):
+            memory.dequeue_min()
+        assert memory.count == 5
+        assert memory.allocations_remaining_in_counter == 3
+        assert sorted(memory.empty_list_addresses()) == [0, 1, 2, 3]
+        memory.check_invariants()
+
+    def test_next_allocation_uses_counter_first(self):
+        memory = TagStorageMemory(12)
+        memory.insert_first(0)
+        for tag in range(1, 9):
+            memory.insert_after(memory.walk()[-1][1], tag)
+        for _ in range(4):
+            memory.dequeue_min()
+        # Counter reads 9: the next tag lands at address 9.
+        address = memory.insert_after(memory.walk()[-1][1], 100)
+        assert address == 9
+
+    def test_empty_list_reused_after_counter_exhausts(self):
+        memory = TagStorageMemory(3)
+        head = memory.insert_first(1)
+        memory.insert_after(head, 2)
+        memory.insert_after(memory.walk()[-1][1], 3)
+        tag, _, freed = memory.dequeue_min()
+        assert tag == 1
+        address = memory.insert_after(memory.walk()[-1][1], 9)
+        assert address == freed
+        memory.check_invariants()
+
+
+class TestCapacityAndEmpty:
+    def test_capacity_error(self):
+        memory = TagStorageMemory(2)
+        head = memory.insert_first(1)
+        memory.insert_after(head, 2)
+        with pytest.raises(CapacityError):
+            memory.insert_after(head, 3)
+
+    def test_dequeue_empty(self):
+        memory = TagStorageMemory(2)
+        with pytest.raises(EmptyStructureError):
+            memory.dequeue_min()
+
+    def test_insert_first_requires_empty(self):
+        memory = TagStorageMemory(2)
+        memory.insert_first(1)
+        with pytest.raises(ConfigurationError):
+            memory.insert_first(2)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TagStorageMemory(0)
+
+
+class TestHeadRegisters:
+    def test_min_tag_tracks_head(self):
+        memory = TagStorageMemory(8)
+        memory.insert_first(50)
+        assert memory.min_tag == 50
+        memory.insert_at_head(40)
+        assert memory.min_tag == 40
+        memory.dequeue_min()
+        assert memory.min_tag == 50
+
+    def test_insert_at_head_validation(self):
+        memory = TagStorageMemory(8)
+        memory.insert_first(10)
+        with pytest.raises(ConfigurationError):
+            memory.insert_at_head(11)
+
+    def test_dequeue_gives_tag_payload_address(self):
+        memory = TagStorageMemory(8)
+        memory.insert_first(10, payload="pkt")
+        tag, payload, address = memory.dequeue_min()
+        assert (tag, payload, address) == (10, "pkt", 0)
+        assert memory.is_empty
+
+
+class TestReplaceMin:
+    """Simultaneous insert + dequeue (Section III-C)."""
+
+    def test_reuses_departing_slot(self):
+        memory = TagStorageMemory(4)
+        head = memory.insert_first(10)
+        memory.insert_after(head, 20)
+        served_tag, _, served_address, new_address = memory.replace_min(
+            memory.head_address, 15
+        )
+        assert served_tag == 10
+        assert new_address == served_address  # slot reuse
+        assert [tag for tag, _ in memory.walk()] == [15, 20]
+        memory.check_invariants()
+
+    def test_four_access_budget(self):
+        memory = TagStorageMemory(8)
+        head = memory.insert_first(10)
+        memory.insert_after(head, 20)
+        memory.insert_after(memory.walk()[-1][1], 30)
+        before = memory.stats.snapshot()
+        memory.replace_min(memory.walk()[1][1], 25)
+        delta = memory.stats.delta_since(before)
+        assert delta.total <= 4
+
+    def test_replace_on_single_element(self):
+        memory = TagStorageMemory(4)
+        memory.insert_first(10)
+        served_tag, _, _, _ = memory.replace_min(None, 12)
+        assert served_tag == 10
+        assert [tag for tag, _ in memory.walk()] == [12]
+        memory.check_invariants()
+
+    def test_new_tag_becomes_head(self):
+        memory = TagStorageMemory(4)
+        head = memory.insert_first(10)
+        memory.insert_after(head, 30)
+        memory.replace_min(None, 20)
+        assert memory.min_tag == 20
+        memory.check_invariants()
+
+    def test_empty_raises(self):
+        memory = TagStorageMemory(4)
+        with pytest.raises(EmptyStructureError):
+            memory.replace_min(None, 5)
+
+
+class TestInvariantChecks:
+    def test_detects_stale_next_tag(self):
+        memory = TagStorageMemory(4)
+        head = memory.insert_first(10)
+        memory.insert_after(head, 20)
+        link = memory._memory.peek(head)
+        link.next_tag = 99
+        with pytest.raises(StorageCorruptionError):
+            memory.check_invariants()
+
+    def test_modular_mode_allows_one_wrap(self):
+        memory = TagStorageMemory(8, modular=True)
+        head = memory.insert_first(4000)
+        a = memory.insert_after(head, 4090)
+        memory.insert_after(a, 5)  # wrapped: logically after 4090
+        memory.check_invariants()
+        assert [tag for tag, _ in memory.walk()] == [4000, 4090, 5]
+
+    def test_modular_mode_rejects_double_wrap(self):
+        memory = TagStorageMemory(8, modular=True)
+        head = memory.insert_first(4000)
+        a = memory.insert_after(head, 5)
+        b = memory.insert_after(a, 3000)
+        memory.insert_after(b, 2)  # second descent: corrupt
+        with pytest.raises(StorageCorruptionError):
+            memory.check_invariants()

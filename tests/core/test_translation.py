@@ -1,0 +1,100 @@
+"""Unit tests for the translation table, including the Fig. 11 walkthrough."""
+
+import pytest
+
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.translation import TranslationTable
+from repro.core.words import PAPER_FORMAT
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestTranslationTable:
+    def test_sizing_matches_word_format(self, paper_format):
+        table = TranslationTable(paper_format)
+        assert table.entries == 4096
+
+    def test_record_and_lookup(self, paper_format):
+        table = TranslationTable(paper_format)
+        table.record(100, 7)
+        assert table.lookup(100) == 7
+        assert table.lookup(101) is None
+
+    def test_record_overwrites_with_newest(self, paper_format):
+        """Fig. 11: the entry always tracks the most recent duplicate."""
+        table = TranslationTable(paper_format)
+        table.record(5, 3)
+        table.record(5, 9)
+        assert table.lookup(5) == 9
+
+    def test_invalidate(self, paper_format):
+        table = TranslationTable(paper_format)
+        table.record(5, 3)
+        table.invalidate(5)
+        assert table.lookup(5) is None
+
+    def test_conditional_invalidate(self, paper_format):
+        table = TranslationTable(paper_format)
+        table.record(5, 3)
+        assert not table.invalidate_if_points_to(5, 99)
+        assert table.lookup(5) == 3
+        assert table.invalidate_if_points_to(5, 3)
+        assert table.lookup(5) is None
+
+    def test_value_validation(self, paper_format):
+        table = TranslationTable(paper_format)
+        with pytest.raises(ConfigurationError):
+            table.record(4096, 0)
+        with pytest.raises(ConfigurationError):
+            table.record(5, -1)
+        with pytest.raises(ConfigurationError):
+            table.lookup(-1)
+
+    def test_access_accounting(self, paper_format):
+        table = TranslationTable(paper_format)
+        table.record(1, 1)
+        table.lookup(1)
+        assert table.stats.writes == 1
+        assert table.stats.reads == 1
+
+
+class TestFig11Walkthrough:
+    """Inserting duplicate tag values through the full circuit:
+
+    Step 1: a second '5' goes in after the existing '5' and the table
+    repoints to the newest.  Step 2: a '6' lands after the newest '5'.
+    """
+
+    def test_duplicates_keep_fcfs_and_table_tracks_newest(self):
+        circuit = TagSortRetrieveCircuit(
+            PAPER_FORMAT, capacity=16, eager_marker_removal=True
+        )
+        first_five = circuit.insert(5, payload="five-1")
+        second_five = circuit.insert(5, payload="five-2")
+        assert first_five != second_five
+        assert circuit.translation.lookup(5) == second_five
+
+        six = circuit.insert(6, payload="six")
+        # The 6 must sit after the *newest* 5 in the list.
+        tags_in_order = [tag for tag, _ in circuit.storage.walk()]
+        assert tags_in_order == [5, 5, 6]
+        addresses = [address for _, address in circuit.storage.walk()]
+        assert addresses == [first_five, second_five, six]
+
+        # Service order: FCFS among the duplicates.
+        assert circuit.dequeue_min().payload == "five-1"
+        assert circuit.dequeue_min().payload == "five-2"
+        assert circuit.dequeue_min().payload == "six"
+
+    def test_search_result_always_valid_with_duplicates(self):
+        """'Any result from the search tree will always be valid since
+        the corresponding entry in the translation table will always
+        indicate the most recently added of any duplicate value.'"""
+        circuit = TagSortRetrieveCircuit(
+            PAPER_FORMAT, capacity=32, eager_marker_removal=True
+        )
+        for _ in range(5):
+            circuit.insert(7)
+        circuit.insert(8)
+        circuit.check_invariants()
+        served = [circuit.dequeue_min().tag for _ in range(6)]
+        assert served == [7, 7, 7, 7, 7, 8]

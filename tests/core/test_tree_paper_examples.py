@@ -1,0 +1,105 @@
+"""The exact worked examples of paper Figs. 4 and 5.
+
+The figures use a 6-bit/2-bit-literal tree storing the tag markers
+001001, 110101, and 110111.
+"""
+
+import pytest
+
+from repro.core.tree import MultiBitTree
+from repro.core.words import FIGURE_FORMAT
+
+STORED = (0b001001, 0b110101, 0b110111)
+
+
+@pytest.fixture
+def figure_tree():
+    tree = MultiBitTree(FIGURE_FORMAT)
+    for value in STORED:
+        tree.insert_marker(value)
+    return tree
+
+
+class TestFig4:
+    """Incoming tag 110110: the search walks 11 -> 01 -> (10 misses,
+    next smallest is 01) and returns 110101."""
+
+    def test_closest_match(self, figure_tree):
+        outcome = figure_tree.search(0b110110)
+        assert outcome.result == 0b110101
+
+    def test_path_follows_figure(self, figure_tree):
+        outcome = figure_tree.search(0b110110)
+        assert outcome.path_literals == [0b11, 0b01, 0b01]
+        assert not outcome.used_backup
+        assert not outcome.exact
+
+    def test_insert_after_search_updates_one_node(self, figure_tree):
+        """Fig. 4's final step: writing the new marker 110110 touches
+        only the third-level node (value 0111 there afterwards)."""
+        before = figure_tree.total_stats().writes
+        figure_tree.insert_marker(0b110110)
+        assert figure_tree.total_stats().writes - before == 1
+        # The level-2 node under prefix 1101 now holds literals
+        # {01, 10, 11} = bit pattern 1110.
+        node = figure_tree._levels[2].peek(0b1101)
+        assert node == 0b1110
+
+    def test_exact_match_when_value_present(self, figure_tree):
+        outcome = figure_tree.search(0b110101)
+        assert outcome.result == 0b110101
+        assert outcome.exact
+
+
+class TestFig5:
+    """Searching 110100 fails at the third level (point A); the backup
+    path (point B) is taken and, following the largest literals, returns
+    the next lowest stored value."""
+
+    def test_search_uses_backup(self, figure_tree):
+        outcome = figure_tree.search(0b110100)
+        assert outcome.used_backup
+        assert outcome.fail_level == 2
+
+    def test_result_is_next_lowest_value(self, figure_tree):
+        # Stored values below 110100: only 001001 (110101 > 110100).
+        outcome = figure_tree.search(0b110100)
+        assert outcome.result == 0b001001
+
+    def test_level1_has_no_backup_so_root_supplies_it(self, figure_tree):
+        """In Fig. 5's second level there is 'only one literal in that
+        particular node', so the backup comes from the level above."""
+        outcome = figure_tree.search(0b110100)
+        # The backup descends from the root literal 00 following maximum
+        # bits: 00 -> 10 -> 01.
+        assert outcome.path_literals == [0b00, 0b10, 0b01]
+
+    def test_point_c_variant(self):
+        """Fig. 5 point C: were literals 00 and 10 both present in the
+        second level, the level-1 backup would be used instead."""
+        tree = MultiBitTree(FIGURE_FORMAT)
+        for value in STORED:
+            tree.insert_marker(value)
+        tree.insert_marker(0b110011)  # adds literal 00 beside 01 in level 1
+        outcome = tree.search(0b110100)
+        assert outcome.used_backup
+        # Backup now stays under the 11 root literal.
+        assert outcome.result == 0b110011
+        assert outcome.path_literals[0] == 0b11
+
+
+class TestInitializationMode:
+    """'Unless the tree is empty, in which case it will enter an
+    initialization mode where only a write to the tree is necessary.'"""
+
+    def test_empty_tree_search_fails_cleanly(self):
+        tree = MultiBitTree(FIGURE_FORMAT)
+        outcome = tree.search(0b110100)
+        assert outcome.result is None
+        assert outcome.used_backup
+
+    def test_first_insert_writes_whole_path(self):
+        tree = MultiBitTree(FIGURE_FORMAT)
+        before = tree.total_stats().writes
+        tree.insert_marker(0b110101)
+        assert tree.total_stats().writes - before == FIGURE_FORMAT.levels

@@ -1,0 +1,78 @@
+"""Unit tests for word/literal slicing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.words import FIGURE_FORMAT, PAPER_FORMAT, WordFormat
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestWordFormat:
+    def test_paper_format_dimensions(self):
+        assert PAPER_FORMAT.word_bits == 12
+        assert PAPER_FORMAT.branching_factor == 16
+        assert PAPER_FORMAT.node_bits == 16
+        assert PAPER_FORMAT.max_value == 4095
+        assert PAPER_FORMAT.capacity == 4096
+
+    def test_figure_format_dimensions(self):
+        assert FIGURE_FORMAT.word_bits == 6
+        assert FIGURE_FORMAT.branching_factor == 4
+
+    def test_fig4_literal_slicing(self):
+        """The Fig. 4 walkthrough: 110110 -> literals 11, 01, 10."""
+        assert FIGURE_FORMAT.literals(0b110110) == [0b11, 0b01, 0b10]
+
+    def test_literal_at(self):
+        assert FIGURE_FORMAT.literal_at(0b110110, 0) == 0b11
+        assert FIGURE_FORMAT.literal_at(0b110110, 1) == 0b01
+        assert FIGURE_FORMAT.literal_at(0b110110, 2) == 0b10
+
+    def test_combine_roundtrip_examples(self):
+        for value in (0, 1, 0b110101, 0b111111):
+            literals = FIGURE_FORMAT.literals(value)
+            assert FIGURE_FORMAT.combine(literals) == value
+
+    def test_prefix_value(self):
+        assert FIGURE_FORMAT.prefix_value(0b110110, 0) == 0
+        assert FIGURE_FORMAT.prefix_value(0b110110, 1) == 0b11
+        assert FIGURE_FORMAT.prefix_value(0b110110, 2) == 0b1101
+        assert FIGURE_FORMAT.prefix_value(0b110110, 3) == 0b110110
+
+    def test_value_validation(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_FORMAT.check_value(-1)
+        with pytest.raises(ConfigurationError):
+            PAPER_FORMAT.check_value(4096)
+        with pytest.raises(ConfigurationError):
+            PAPER_FORMAT.check_value("12")  # type: ignore[arg-type]
+
+    def test_invalid_formats(self):
+        with pytest.raises(ConfigurationError):
+            WordFormat(levels=0, literal_bits=4)
+        with pytest.raises(ConfigurationError):
+            WordFormat(levels=3, literal_bits=0)
+
+    def test_combine_validation(self):
+        with pytest.raises(ConfigurationError):
+            FIGURE_FORMAT.combine([1, 2])  # wrong length
+        with pytest.raises(ConfigurationError):
+            FIGURE_FORMAT.combine([1, 2, 4])  # literal out of range
+
+    @given(st.integers(min_value=0, max_value=4095))
+    def test_roundtrip_property(self, value):
+        assert PAPER_FORMAT.combine(PAPER_FORMAT.literals(value)) == value
+
+    @given(st.integers(min_value=0, max_value=4095))
+    def test_literals_are_in_range(self, value):
+        for literal in PAPER_FORMAT.literals(value):
+            assert 0 <= literal < PAPER_FORMAT.branching_factor
+
+    @given(
+        st.integers(min_value=0, max_value=4095),
+        st.integers(min_value=0, max_value=4095),
+    )
+    def test_ordering_matches_lexicographic_literals(self, a, b):
+        """Tag order equals lexicographic literal order — the property
+        the tree's top-down closest-match search relies on."""
+        assert (a < b) == (PAPER_FORMAT.literals(a) < PAPER_FORMAT.literals(b))

@@ -1,0 +1,49 @@
+"""Unit tests for the cycle clock."""
+
+import pytest
+
+from repro.hwsim.clock import Clock
+from repro.hwsim.errors import ConfigurationError
+
+
+class Recorder:
+    def __init__(self):
+        self.cycles = []
+
+    def tick(self, cycle):
+        self.cycles.append(cycle)
+
+
+class TestClock:
+    def test_step_advances_counter(self):
+        clock = Clock()
+        assert clock.step(3) == 3
+        assert clock.cycle == 3
+
+    def test_components_tick_in_order(self):
+        clock = Clock()
+        first, second = Recorder(), Recorder()
+        clock.register(first)
+        clock.register(second)
+        clock.step(2)
+        assert first.cycles == [0, 1]
+        assert second.cycles == [0, 1]
+
+    def test_period_and_elapsed(self):
+        clock = Clock(frequency_hz=100e6)
+        assert clock.period_s == pytest.approx(10e-9)
+        clock.step(5)
+        assert clock.elapsed_s() == pytest.approx(50e-9)
+
+    def test_cycles_for_seconds(self):
+        clock = Clock(frequency_hz=1e6)
+        assert clock.cycles_for_seconds(1e-3) == 1000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Clock(frequency_hz=0)
+        clock = Clock()
+        with pytest.raises(ConfigurationError):
+            clock.step(-1)
+        with pytest.raises(ConfigurationError):
+            clock.cycles_for_seconds(-1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for hardware counters."""
+
+import pytest
+
+from repro.hwsim.counters import SaturatingCounter, WrappingCounter
+from repro.hwsim.errors import ConfigurationError
+
+
+class TestSaturatingCounter:
+    def test_take_hands_out_sequential_addresses(self):
+        counter = SaturatingCounter(3)
+        assert [counter.take() for _ in range(3)] == [0, 1, 2]
+        assert counter.saturated
+
+    def test_take_after_saturation_raises(self):
+        counter = SaturatingCounter(1)
+        counter.take()
+        with pytest.raises(ConfigurationError):
+            counter.take()
+
+    def test_increment_saturates_silently(self):
+        counter = SaturatingCounter(2)
+        counter.increment()
+        counter.increment()
+        counter.increment()
+        assert counter.value == 2
+
+    def test_reset(self):
+        counter = SaturatingCounter(2)
+        counter.take()
+        counter.reset()
+        assert counter.value == 0
+        assert not counter.saturated
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingCounter(-1)
+
+
+class TestWrappingCounter:
+    def test_wraps_and_counts_laps(self):
+        counter = WrappingCounter(4)
+        counter.increment(9)
+        assert counter.value == 1
+        assert counter.wraps == 2
+
+    def test_distance_to(self):
+        counter = WrappingCounter(16, start=12)
+        assert counter.distance_to(2) == 6
+        assert counter.distance_to(12) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WrappingCounter(0)
+        with pytest.raises(ConfigurationError):
+            WrappingCounter(4, start=4)
+        counter = WrappingCounter(4)
+        with pytest.raises(ConfigurationError):
+            counter.increment(-1)
+        with pytest.raises(ConfigurationError):
+            counter.distance_to(4)

@@ -1,0 +1,83 @@
+"""Unit tests for the unit-gate cost model."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.hwsim.gates import (
+    Cost,
+    and_gate,
+    fanout_buffer,
+    gate,
+    gates_to_luts,
+    mux,
+    or_gate,
+    priority_chain,
+    xor_gate,
+)
+
+
+class TestCost:
+    def test_serial_composition_adds(self):
+        combined = Cost(2, 3).then(Cost(5, 7))
+        assert combined.delay == 7
+        assert combined.area == 10
+
+    def test_parallel_composition_maxes_delay(self):
+        combined = Cost(2, 3).alongside(Cost(5, 7))
+        assert combined.delay == 5
+        assert combined.area == 10
+
+    def test_zero_is_identity(self):
+        cost = Cost(4, 4)
+        assert cost.then(Cost.zero()) == cost
+        assert cost.alongside(Cost.zero()).delay == cost.delay
+
+
+class TestGates:
+    def test_two_input_gate(self):
+        cost = gate(2)
+        assert cost.delay == 1.0
+        assert cost.area == 1.0
+
+    def test_wide_gate_decomposes_logarithmically(self):
+        cost = gate(16)
+        assert cost.delay == 4.0  # log2(16)
+        assert cost.area == 15.0  # n - 1
+
+    def test_inverter_is_cheap(self):
+        cost = gate(1)
+        assert cost.delay == 0.0
+        assert cost.area == 0.5
+
+    def test_and_or_are_monotone_gates(self):
+        assert and_gate(8) == or_gate(8) == gate(8)
+
+    def test_xor_costs_double(self):
+        assert xor_gate().delay == 2.0
+
+    def test_mux_tree(self):
+        assert mux(1) == Cost.zero()
+        assert mux(4).delay == 4.0  # two 2:1 levels
+        assert mux(4).area == 6.0
+
+    def test_priority_chain_is_linear(self):
+        assert priority_chain(8).delay == 2 * priority_chain(4).delay
+
+    def test_fanout_buffer(self):
+        assert fanout_buffer(1) == Cost.zero()
+        assert fanout_buffer(16).delay == 2.0  # log4(16)
+
+    def test_gates_to_luts(self):
+        assert gates_to_luts(30.0) == pytest.approx(10.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            gate(0)
+        with pytest.raises(ConfigurationError):
+            mux(0)
+        with pytest.raises(ConfigurationError):
+            priority_chain(-1)
+        with pytest.raises(ConfigurationError):
+            fanout_buffer(0)
+        with pytest.raises(ConfigurationError):
+            gates_to_luts(-1.0)

@@ -1,0 +1,113 @@
+"""Unit tests for access accounting."""
+
+import pytest
+
+from repro.hwsim.stats import AccessStats, OperationProbe, StatsRegistry
+
+
+class TestAccessStats:
+    def test_starts_at_zero(self):
+        stats = AccessStats()
+        assert stats.reads == 0
+        assert stats.writes == 0
+        assert stats.total == 0
+
+    def test_record_and_total(self):
+        stats = AccessStats()
+        stats.record_read()
+        stats.record_write(3)
+        assert stats.reads == 1
+        assert stats.writes == 3
+        assert stats.total == 4
+
+    def test_snapshot_is_independent(self):
+        stats = AccessStats()
+        stats.record_read(2)
+        snap = stats.snapshot()
+        stats.record_read(5)
+        assert snap.reads == 2
+        assert stats.reads == 7
+
+    def test_delta_since(self):
+        stats = AccessStats()
+        stats.record_read(2)
+        before = stats.snapshot()
+        stats.record_read(3)
+        stats.record_write(4)
+        delta = stats.delta_since(before)
+        assert delta.reads == 3
+        assert delta.writes == 4
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.record_write(9)
+        stats.reset()
+        assert stats.total == 0
+
+
+class TestOperationProbe:
+    def test_records_per_operation_deltas(self):
+        stats = AccessStats()
+        probe = OperationProbe()
+        with probe.operation(stats):
+            stats.record_read(3)
+        with probe.operation(stats):
+            stats.record_write(7)
+        assert probe.samples == [3, 7]
+        assert probe.worst_case == 7
+        assert probe.average == 5.0
+        assert probe.count == 2
+
+    def test_empty_probe(self):
+        probe = OperationProbe()
+        assert probe.worst_case == 0
+        assert probe.average == 0.0
+
+    def test_exception_discards_sample(self):
+        stats = AccessStats()
+        probe = OperationProbe()
+        with pytest.raises(ValueError):
+            with probe.operation(stats):
+                stats.record_read()
+                raise ValueError("boom")
+        assert probe.samples == []
+
+    def test_reset(self):
+        stats = AccessStats()
+        probe = OperationProbe()
+        with probe.operation(stats):
+            stats.record_read()
+        probe.reset()
+        assert probe.count == 0
+
+
+class TestStatsRegistry:
+    def test_register_and_total(self):
+        registry = StatsRegistry()
+        a = registry.register("a", AccessStats())
+        b = registry.register("b", AccessStats())
+        a.record_read(2)
+        b.record_write(3)
+        total = registry.total()
+        assert total.reads == 2
+        assert total.writes == 3
+
+    def test_duplicate_name_rejected(self):
+        registry = StatsRegistry()
+        registry.register("a", AccessStats())
+        with pytest.raises(ValueError):
+            registry.register("a", AccessStats())
+
+    def test_lookup_and_iteration(self):
+        registry = StatsRegistry()
+        stats = registry.register("mem", AccessStats())
+        assert registry["mem"] is stats
+        assert "mem" in registry
+        assert registry.names() == ["mem"]
+
+    def test_reset_all(self):
+        registry = StatsRegistry()
+        stats = registry.register("mem", AccessStats())
+        stats.record_read(4)
+        registry.reset_all()
+        assert registry.total().total == 0

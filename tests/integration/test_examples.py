@@ -1,0 +1,71 @@
+"""Smoke-run every example script — examples must never rot.
+
+Each example is executed in-process (import + ``main()``) with stdout
+captured, and its key output lines are sanity-checked.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "closest match 110101" in out
+        assert "served all 1000 in sorted order" in out
+
+    def test_voip_qos(self, capsys):
+        out = run_example("voip_qos", capsys)
+        assert "wfq (hw)" in out
+        assert "Takeaways" in out
+
+    def test_scheduler_shootout(self, capsys):
+        out = run_example("scheduler_shootout", capsys)
+        for policy in ("wfq", "wf2q+", "srr", "hw_wfq", "cbq"):
+            assert policy in out
+        assert "Parekh-Gallager" in out
+
+    def test_capacity_planning(self, capsys):
+        out = run_example("capacity_planning", capsys)
+        assert "3 x 4" in out
+        assert "40 Gb/s" in out
+
+    def test_wraparound_tour(self, capsys):
+        out = run_example("wraparound_tour", capsys)
+        assert "invariants verified" in out
+        assert "span guard demonstration" in out
+
+    def test_sla_admission(self, capsys):
+        out = run_example("sla_admission", capsys)
+        assert "ADMIT" in out
+        assert "reject" in out
+        assert "NO" not in out.split("within bound")[-1]
+
+    def test_every_example_has_a_test(self):
+        """Adding an example without a smoke test fails this meta-check."""
+        scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        tested = {
+            name.removeprefix("test_")
+            for name in dir(self)
+            if name.startswith("test_") and name != "test_every_example_has_a_test"
+        }
+        assert scripts <= tested, scripts - tested

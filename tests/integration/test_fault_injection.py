@@ -1,0 +1,152 @@
+"""Fault injection: every corruption class must be *detected*.
+
+The circuit's value in a router depends on its verifiability: a
+scheduler that silently reorders or loses tags violates SLAs invisibly.
+These tests inject representative faults into each memory structure and
+assert the invariant checkers catch them (rather than the system
+carrying on wrong).
+"""
+
+import pytest
+
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.tag_storage import Link, StorageCorruptionError
+from repro.core.tree import TreeInvariantError
+from repro.core.words import PAPER_FORMAT
+from repro.hwsim.errors import HardwareSimulationError, ProtocolError
+
+
+@pytest.fixture
+def loaded_circuit():
+    circuit = TagSortRetrieveCircuit(
+        PAPER_FORMAT, capacity=64, eager_marker_removal=True
+    )
+    for tag in (100, 200, 300, 300, 1500, 4000):
+        circuit.insert(tag)
+    return circuit
+
+
+class TestTreeFaults:
+    def test_stuck_at_one_bit(self, loaded_circuit):
+        """A marker bit stuck at 1 with no subtree below it."""
+        tree = loaded_circuit.tree
+        node = tree._levels[0].peek(0)
+        stuck = next(bit for bit in range(16) if not node >> bit & 1)
+        tree._levels[0].poke(0, node | (1 << stuck))
+        with pytest.raises(TreeInvariantError):
+            loaded_circuit.check_invariants()
+
+    def test_dropped_marker_bit(self, loaded_circuit):
+        """A leaf marker silently lost (stuck-at-zero)."""
+        tree = loaded_circuit.tree
+        prefix = PAPER_FORMAT.prefix_value(1500, 2)
+        literal = PAPER_FORMAT.literal_at(1500, 2)
+        node = tree._levels[2].peek(prefix)
+        tree._levels[2].poke(prefix, node & ~(1 << literal))
+        with pytest.raises(HardwareSimulationError):
+            loaded_circuit.check_invariants()
+
+    def test_phantom_subtree(self, loaded_circuit):
+        """A non-empty child node under a cleared parent bit."""
+        tree = loaded_circuit.tree
+        # Find a level-1 prefix whose parent bit is clear.
+        root = tree._levels[0].peek(0)
+        clear = next(bit for bit in range(16) if not root >> bit & 1)
+        tree._levels[1].poke(clear, 0b1)
+        with pytest.raises(TreeInvariantError):
+            loaded_circuit.check_invariants()
+
+    def test_marker_count_drift(self, loaded_circuit):
+        loaded_circuit.tree._count += 1
+        with pytest.raises(TreeInvariantError):
+            loaded_circuit.check_invariants()
+
+
+class TestStorageFaults:
+    def test_pointer_cycle(self, loaded_circuit):
+        """A next pointer looping back onto an earlier link."""
+        storage = loaded_circuit.storage
+        live = storage.walk()
+        second_address = live[1][1]
+        link = storage._memory.peek(second_address)
+        storage._memory.poke(
+            second_address,
+            Link(
+                tag=link.tag,
+                next_address=storage.head_address,
+                next_tag=live[0][0],
+                payload=link.payload,
+            ),
+        )
+        with pytest.raises(StorageCorruptionError):
+            storage.check_invariants()
+
+    def test_out_of_order_link(self, loaded_circuit):
+        storage = loaded_circuit.storage
+        live = storage.walk()
+        address = live[2][1]
+        link = storage._memory.peek(address)
+        storage._memory.poke(
+            address,
+            Link(
+                tag=1,  # far smaller than its position allows
+                next_address=link.next_address,
+                next_tag=link.next_tag,
+                payload=link.payload,
+            ),
+        )
+        with pytest.raises(HardwareSimulationError):
+            loaded_circuit.check_invariants()
+
+    def test_stale_successor_tag(self, loaded_circuit):
+        storage = loaded_circuit.storage
+        head = storage._memory.peek(storage.head_address)
+        head.next_tag = 9999 if head.next_tag is not None else None
+        if head.next_tag is not None:
+            with pytest.raises(StorageCorruptionError):
+                storage.check_invariants()
+
+    def test_lost_link(self, loaded_circuit):
+        """A link vanishing mid-list (count mismatch)."""
+        storage = loaded_circuit.storage
+        live = storage.walk()
+        first = storage._memory.peek(live[0][1])
+        skipped = storage._memory.peek(live[1][1])
+        storage._memory.poke(
+            live[0][1],
+            Link(
+                tag=first.tag,
+                next_address=skipped.next_address,
+                next_tag=skipped.next_tag,
+                payload=first.payload,
+            ),
+        )
+        with pytest.raises(HardwareSimulationError):
+            loaded_circuit.check_invariants()
+
+
+class TestTranslationFaults:
+    def test_stale_translation_entry(self, loaded_circuit):
+        """The table pointing at the wrong (non-newest) duplicate."""
+        live = loaded_circuit.storage.walk()
+        older_300 = [addr for tag, addr in live if tag == 300][0]
+        loaded_circuit.translation.record(300, older_300)
+        with pytest.raises(ProtocolError):
+            loaded_circuit.check_invariants()
+
+    def test_dangling_translation_entry(self, loaded_circuit):
+        loaded_circuit.translation.record(100, 63)  # unoccupied slot
+        with pytest.raises(ProtocolError):
+            loaded_circuit.check_invariants()
+
+
+class TestFaultFreeBaseline:
+    def test_loaded_circuit_is_clean(self, loaded_circuit):
+        """The injection fixtures start from a verified-good state."""
+        loaded_circuit.check_invariants()
+
+    def test_detection_is_not_overzealous(self, loaded_circuit):
+        """Normal operations after verification stay clean."""
+        loaded_circuit.insert(2000)
+        loaded_circuit.dequeue_min()
+        loaded_circuit.check_invariants()

@@ -1,0 +1,135 @@
+"""Stateful (rule-based) verification of the sort/retrieve circuit.
+
+Hypothesis drives arbitrary legal operation sequences against the
+circuit while a reference model shadows every step; class invariants are
+re-verified between rules.  Two machines:
+
+* :class:`GeneralQueueMachine` — eager mode as a general priority queue,
+  shadowed by a sorted list with FCFS tie-breaking;
+* :class:`WfqModeMachine` — paper (deferred) mode under the WFQ
+  monotonicity discipline, including combined insert+dequeue and
+  busy-period restarts.
+"""
+
+import heapq
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.words import WordFormat
+
+SMALL = WordFormat(levels=2, literal_bits=3)  # 64 tag values
+
+
+class GeneralQueueMachine(RuleBasedStateMachine):
+    """Eager-mode circuit vs a heap with FCFS tie-breaking."""
+
+    def __init__(self):
+        super().__init__()
+        self.circuit = TagSortRetrieveCircuit(
+            SMALL, capacity=128, eager_marker_removal=True
+        )
+        self.model = []
+        self.sequence = 0
+
+    @rule(tag=st.integers(min_value=0, max_value=63))
+    def insert(self, tag):
+        if self.circuit.count >= 120:
+            return
+        self.circuit.insert(tag, payload=self.sequence)
+        heapq.heappush(self.model, (tag, self.sequence))
+        self.sequence += 1
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def dequeue(self):
+        served = self.circuit.dequeue_min()
+        expected_tag, expected_order = heapq.heappop(self.model)
+        assert served.tag == expected_tag
+        assert served.payload == expected_order
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def peek(self):
+        assert self.circuit.peek_min() == self.model[0][0]
+
+    @invariant()
+    def counts_agree(self):
+        assert self.circuit.count == len(self.model)
+
+    @invariant()
+    def deep_structures_consistent(self):
+        self.circuit.check_invariants()
+
+
+class WfqModeMachine(RuleBasedStateMachine):
+    """Paper-mode circuit under WFQ-legal (monotone) workloads."""
+
+    def __init__(self):
+        super().__init__()
+        self.circuit = TagSortRetrieveCircuit(SMALL, capacity=128)
+        self.model = []
+        self.sequence = 0
+
+    def _next_tag(self, increment):
+        base = self.circuit.peek_min()
+        if base is None:
+            base = 0
+        return min(base + increment, SMALL.max_value)
+
+    @rule(increment=st.integers(min_value=0, max_value=9))
+    def insert(self, increment):
+        if self.circuit.count >= 120:
+            return
+        tag = self._next_tag(increment)
+        self.circuit.insert(tag, payload=self.sequence)
+        heapq.heappush(self.model, (tag, self.sequence))
+        self.sequence += 1
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def dequeue(self):
+        served = self.circuit.dequeue_min()
+        expected_tag, expected_order = heapq.heappop(self.model)
+        assert served.tag == expected_tag
+        assert served.payload == expected_order
+
+    @precondition(lambda self: self.model)
+    @rule(increment=st.integers(min_value=0, max_value=9))
+    def insert_and_dequeue(self, increment):
+        tag = self._next_tag(increment)
+        served, _ = self.circuit.insert_and_dequeue(
+            tag, payload=self.sequence
+        )
+        expected_tag, expected_order = heapq.heappop(self.model)
+        assert served.tag == expected_tag
+        assert served.payload == expected_order
+        heapq.heappush(self.model, (tag, self.sequence))
+        self.sequence += 1
+
+    @invariant()
+    def counts_agree(self):
+        assert self.circuit.count == len(self.model)
+
+    @invariant()
+    def deep_structures_consistent(self):
+        self.circuit.check_invariants()
+
+
+TestGeneralQueueMachine = GeneralQueueMachine.TestCase
+TestGeneralQueueMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+TestWfqModeMachine = WfqModeMachine.TestCase
+TestWfqModeMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,136 @@
+"""Tests for SLA admission control, including end-to-end bound checks."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.net.admission import (
+    AdmissionController,
+    ServiceLevelAgreement,
+)
+from repro.sched import WFQScheduler, simulate
+from repro.traffic import CBRArrivals, FixedSize
+
+
+def sla(flow_id, rate, **kwargs):
+    return ServiceLevelAgreement(
+        flow_id=flow_id, guaranteed_rate_bps=rate, **kwargs
+    )
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self):
+        controller = AdmissionController(10e6)
+        decision = controller.admit(sla(1, 4e6))
+        assert decision.admitted
+        assert decision.weight == pytest.approx(0.4)
+
+    def test_rejects_over_capacity(self):
+        controller = AdmissionController(10e6, utilization_limit=0.9)
+        assert controller.admit(sla(1, 5e6)).admitted
+        decision = controller.admit(sla(2, 5e6))
+        assert not decision.admitted
+        assert "insufficient capacity" in decision.reason
+
+    def test_release_frees_capacity(self):
+        controller = AdmissionController(10e6, utilization_limit=1.0)
+        controller.admit(sla(1, 9e6))
+        controller.release(1)
+        assert controller.admit(sla(2, 9e6)).admitted
+
+    def test_duplicate_flow_rejected(self):
+        controller = AdmissionController(10e6)
+        controller.admit(sla(1, 1e6))
+        assert not controller.admit(sla(1, 1e6)).admitted
+
+    def test_release_unknown_flow(self):
+        controller = AdmissionController(10e6)
+        with pytest.raises(ConfigurationError):
+            controller.release(5)
+
+    def test_evaluate_does_not_commit(self):
+        controller = AdmissionController(10e6)
+        controller.evaluate(sla(1, 9e6))
+        assert controller.committed_rate_bps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(10e6, utilization_limit=1.5)
+        with pytest.raises(ConfigurationError):
+            sla(1, 0.0)
+
+
+class TestDelayBounds:
+    def test_bound_formula(self):
+        controller = AdmissionController(10e6, link_max_packet_bytes=1500)
+        agreement = sla(
+            1, 1e6, burst_bits=8000.0, max_packet_bytes=500
+        )
+        bound = controller.delay_bound_s(agreement)
+        expected = 8000 / 1e6 + 500 * 8 / 1e6 + 1500 * 8 / 10e6
+        assert bound == pytest.approx(expected)
+
+    def test_delay_target_gating(self):
+        controller = AdmissionController(10e6)
+        tight = sla(1, 100e3, delay_target_s=0.001)  # 100 kb/s cannot
+        decision = controller.admit(tight)
+        assert not decision.admitted
+        assert "not achievable" in decision.reason
+        relaxed = sla(1, 100e3, delay_target_s=0.5)
+        assert controller.admit(relaxed).admitted
+
+    def test_higher_rate_buys_lower_bound(self):
+        controller = AdmissionController(10e6)
+        slow = controller.delay_bound_s(sla(1, 100e3))
+        fast = controller.delay_bound_s(sla(2, 1e6))
+        assert fast < slow
+
+
+class TestEndToEndBound:
+    def test_measured_delay_within_offered_bound(self):
+        """Admit CBR flows, run the real scheduler, verify every packet
+        meets the admission-time delay bound."""
+        rate = 10e6
+        controller = AdmissionController(rate)
+        agreements = [
+            sla(0, 2e6, max_packet_bytes=200),
+            sla(1, 3e6, max_packet_bytes=1500),
+            sla(2, 4e6, max_packet_bytes=1500),
+        ]
+        bounds = {}
+        for agreement in agreements:
+            decision = controller.admit(agreement)
+            assert decision.admitted
+            bounds[agreement.flow_id] = decision.offered_delay_s
+        scheduler = WFQScheduler(rate)
+        controller.configure(scheduler)
+        streams = []
+        for agreement in agreements:
+            # Send at exactly the guaranteed rate (token bucket honored).
+            packet_bits = agreement.max_packet_bytes * 8
+            pps = agreement.guaranteed_rate_bps / packet_bits
+            generator = CBRArrivals(
+                agreement.flow_id,
+                pps,
+                FixedSize(agreement.max_packet_bytes),
+                seed=1,
+            )
+            streams.append(generator.packets(150))
+        from repro.traffic import merge
+
+        result = simulate(scheduler, merge(streams))
+        for packet in result.packets:
+            assert packet.delay <= bounds[packet.flow_id] + 1e-9, (
+                packet.flow_id,
+                packet.delay,
+                bounds[packet.flow_id],
+            )
+
+    def test_configure_registers_weights(self):
+        controller = AdmissionController(10e6)
+        controller.admit(sla(1, 2.5e6))
+        scheduler = WFQScheduler(10e6)
+        controller.configure(scheduler)
+        assert scheduler.flows.get(1).weight == pytest.approx(0.25)
+        assert scheduler.flows.get(1).guaranteed_rate_bps == 2.5e6

@@ -1,0 +1,72 @@
+"""Unit tests for the shared packet buffer."""
+
+import pytest
+
+from repro.hwsim.errors import CapacityError, ConfigurationError
+from repro.net.buffer import SharedPacketBuffer
+from repro.sched.packet import Packet
+
+
+def make_packet(flow=0):
+    return Packet(flow_id=flow, size_bytes=100, arrival_time=0.0)
+
+
+class TestSharedPacketBuffer:
+    def test_store_fetch_roundtrip(self):
+        buffer = SharedPacketBuffer(4)
+        packet = make_packet()
+        pointer = buffer.store(packet)
+        assert buffer.fetch(pointer) is packet
+        assert buffer.occupancy == 0
+
+    def test_pointers_are_reusable(self):
+        buffer = SharedPacketBuffer(2)
+        p1 = buffer.store(make_packet())
+        buffer.fetch(p1)
+        p2 = buffer.store(make_packet())
+        assert p2 == p1  # freed slot reused
+
+    def test_capacity_enforced(self):
+        buffer = SharedPacketBuffer(2)
+        buffer.store(make_packet())
+        buffer.store(make_packet())
+        with pytest.raises(CapacityError):
+            buffer.store(make_packet())
+
+    def test_try_store_counts_drops(self):
+        buffer = SharedPacketBuffer(1)
+        assert buffer.try_store(make_packet()) is not None
+        assert buffer.try_store(make_packet()) is None
+        assert buffer.drop_count == 1
+
+    def test_fetch_validation(self):
+        buffer = SharedPacketBuffer(2)
+        with pytest.raises(ConfigurationError):
+            buffer.fetch(5)
+        with pytest.raises(ConfigurationError):
+            buffer.fetch(0)  # unoccupied
+
+    def test_double_fetch_rejected(self):
+        buffer = SharedPacketBuffer(2)
+        pointer = buffer.store(make_packet())
+        buffer.fetch(pointer)
+        with pytest.raises(ConfigurationError):
+            buffer.fetch(pointer)
+
+    def test_peak_occupancy(self):
+        buffer = SharedPacketBuffer(4)
+        pointers = [buffer.store(make_packet()) for _ in range(3)]
+        for pointer in pointers:
+            buffer.fetch(pointer)
+        assert buffer.peak_occupancy == 3
+
+    def test_accounting(self):
+        buffer = SharedPacketBuffer(4)
+        pointer = buffer.store(make_packet())
+        buffer.fetch(pointer)
+        assert buffer.stats.writes == 1
+        assert buffer.stats.reads == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SharedPacketBuffer(0)

@@ -1,0 +1,105 @@
+"""Tests for the dual-circuit WF²Q+ hardware system."""
+
+import pytest
+
+from repro.net import HardwareWF2QPlusSystem, HardwareWFQSystem
+from repro.net.metrics import worst_work_lead
+from repro.sched import (
+    GPSFluidSimulator,
+    Packet,
+    WF2QPlusScheduler,
+    simulate,
+)
+from repro.traffic import voip_video_data_mix
+
+
+def build(cls, scenario, **kwargs):
+    scheduler = cls(scenario.rate_bps, **kwargs)
+    for flow_id, weight in scenario.weights.items():
+        scheduler.add_flow(flow_id, weight)
+    return scheduler
+
+
+class TestBasicOperation:
+    def test_delivers_everything(self):
+        scenario = voip_video_data_mix(packets_per_flow=120, seed=4)
+        system = build(HardwareWF2QPlusSystem, scenario)
+        result = simulate(system, scenario.clone_trace())
+        assert len(result.packets) == len(scenario.trace)
+        assert system.dropped == 0
+        system._calendar.circuit.check_invariants()
+        system._service.circuit.check_invariants()
+
+    def test_per_flow_fifo(self):
+        scenario = voip_video_data_mix(packets_per_flow=100, seed=6)
+        system = build(HardwareWF2QPlusSystem, scenario)
+        result = simulate(system, scenario.clone_trace())
+        for packets in result.by_flow().values():
+            ids = [p.packet_id for p in packets]
+            assert ids == sorted(ids)
+
+    def test_close_to_software_wf2qplus(self):
+        scenario = voip_video_data_mix(packets_per_flow=150, seed=8)
+        hardware = build(HardwareWF2QPlusSystem, scenario)
+        software = build(WF2QPlusScheduler, scenario)
+        hw_result = simulate(hardware, scenario.clone_trace())
+        sw_result = simulate(software, scenario.clone_trace())
+        hw_mean = sum(p.delay for p in hw_result.packets) / len(
+            hw_result.packets
+        )
+        sw_mean = sum(p.delay for p in sw_result.packets) / len(
+            sw_result.packets
+        )
+        assert hw_mean == pytest.approx(sw_mean, rel=0.15)
+
+
+class TestTwoSortsObservation:
+    def test_roughly_double_the_circuit_operations(self):
+        """The paper's Section I-B criticism, measured: WF²Q+ needs
+        exactly 2x the circuit operations per packet of single-circuit
+        WFQ (each packet traverses both sorted structures)."""
+        scenario = voip_video_data_mix(packets_per_flow=150, seed=9)
+        wf2q_system = build(HardwareWF2QPlusSystem, scenario)
+        wfq_system = build(HardwareWFQSystem, scenario)
+        wf2q_result = simulate(wf2q_system, scenario.clone_trace())
+        wfq_result = simulate(wfq_system, scenario.clone_trace())
+        wf2q_ops = wf2q_system.circuit_operations / len(wf2q_result.packets)
+        wfq_ops = wfq_system.store.operations / len(wfq_result.packets)
+        assert wfq_ops == pytest.approx(2.0)
+        assert wf2q_ops == pytest.approx(2.0 * wfq_ops)
+
+    def test_cycles_follow_operations(self):
+        scenario = voip_video_data_mix(packets_per_flow=60, seed=10)
+        system = build(HardwareWF2QPlusSystem, scenario)
+        simulate(system, scenario.clone_trace())
+        assert system.circuit_cycles == 4 * system.circuit_operations
+
+
+class TestFairnessProperty:
+    def test_bounded_work_lead_on_burst(self):
+        """The dual-circuit system inherits WF²Q+'s bounded lead: on the
+        Bennett–Zhang burst, the heavy flow stays within ~1 packet of
+        GPS (single-circuit hardware WFQ runs several ahead)."""
+        rate = 1e6
+        heavy = HardwareWF2QPlusSystem(rate)
+        heavy.add_flow(0, 0.5)
+        for flow_id in range(1, 11):
+            heavy.add_flow(flow_id, 0.05)
+        trace = [Packet(0, 1500, 0.0) for _ in range(20)]
+        for flow_id in range(1, 11):
+            trace.extend(Packet(flow_id, 1500, 0.0) for _ in range(2))
+        gps = GPSFluidSimulator(rate)
+        gps.set_weight(0, 0.5)
+        for flow_id in range(1, 11):
+            gps.set_weight(flow_id, 0.05)
+        gps.run(
+            [
+                Packet(p.flow_id, p.size_bytes, p.arrival_time,
+                       packet_id=p.packet_id)
+                for p in trace
+            ]
+        )
+        result = simulate(heavy, trace)
+        leads = worst_work_lead(result, gps)
+        lmax_bits = 1500 * 8
+        assert leads[0] <= 2.0 * lmax_bits  # quantization slack on top

@@ -1,0 +1,113 @@
+"""Unit tests for the quantizing hardware tag store."""
+
+import pytest
+
+from repro.core.words import PAPER_FORMAT, WordFormat
+from repro.hwsim.errors import ConfigurationError, ProtocolError
+from repro.net.hardware_store import HardwareTagStore
+
+
+class TestQuantization:
+    def test_quantize(self):
+        store = HardwareTagStore(granularity=10.0)
+        assert store.quantize(99.9) == 9
+        assert store.quantize(100.0) == 10
+
+    def test_same_quantum_is_fcfs(self):
+        store = HardwareTagStore(granularity=10.0, capacity=8)
+        store.push(51.0, 1)
+        store.push(53.0, 2)
+        store.push(57.0, 3)
+        order = [store.pop_min()[1] for _ in range(3)]
+        assert order == [1, 2, 3]
+
+    def test_cross_quantum_ordering_preserved(self):
+        store = HardwareTagStore(granularity=10.0, capacity=8)
+        store.push(95.0, 1)
+        store.push(101.0, 2)
+        store.push(99.0, 3)
+        order = [store.pop_min()[1] for _ in range(3)]
+        # 95 and 99 share quantum 9 (FCFS), 101 is quantum 10.
+        assert order == [1, 3, 2]
+
+    def test_exact_tag_returned(self):
+        store = HardwareTagStore(granularity=100.0, capacity=8)
+        store.push(123.456, 0)
+        finish_tag, _ = store.pop_min()
+        assert finish_tag == 123.456
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            HardwareTagStore(granularity=0.0)
+
+
+class TestWrapManagement:
+    def test_sections_cleared_on_lap(self):
+        store = HardwareTagStore(
+            fmt=PAPER_FORMAT, granularity=1.0, capacity=16
+        )
+        tag = 0.0
+        served = 0
+        for step in range(3000):
+            tag += 5.0
+            store.push(tag, step)
+            if len(store) > 4:  # keep a standing backlog so the busy
+                store.pop_min()  # period (and its laps) never resets
+                served += 1
+        assert store.sections_cleared > 0
+        assert store.markers_purged > 0
+        store.circuit.check_invariants()
+
+    def test_epoch_reset_on_drain(self):
+        store = HardwareTagStore(granularity=1.0, capacity=8)
+        store.push(1000.0, 0)
+        store.pop_min()
+        # After draining, a much smaller tag is legal again.
+        store.push(3.0, 1)
+        assert store.pop_min()[1] == 1
+
+    def test_len(self):
+        store = HardwareTagStore(granularity=1.0, capacity=8)
+        assert len(store) == 0
+        store.push(5.0, 0)
+        assert len(store) == 1
+
+    def test_cycles_accumulate(self):
+        store = HardwareTagStore(granularity=1.0, capacity=8)
+        store.push(1.0, 0)
+        store.push(2.0, 1)
+        store.pop_min()
+        assert store.operations == 3
+        assert store.cycles == 12
+
+
+class TestClamping:
+    def test_clamp_statistics(self):
+        store = HardwareTagStore(granularity=1.0, capacity=8)
+        store.push(100.0, 0)
+        store.push(50.0, 1)
+        assert store.clamped_inserts == 1
+        assert store.clamp_error_quanta >= 49
+
+    def test_clamped_tag_not_lost(self):
+        store = HardwareTagStore(granularity=1.0, capacity=8)
+        store.push(100.0, 0)
+        store.push(50.0, 1)
+        payloads = {store.pop_min()[1] for _ in range(2)}
+        assert payloads == {0, 1}
+
+
+class TestSpanGuard:
+    def test_fine_granularity_overflow(self):
+        small = WordFormat(levels=2, literal_bits=3)
+        store = HardwareTagStore(fmt=small, granularity=1.0, capacity=8)
+        store.push(1.0, 0)
+        with pytest.raises(ProtocolError):
+            store.push(100.0, 1)
+
+    def test_coarser_granularity_fixes_overflow(self):
+        small = WordFormat(levels=2, literal_bits=3)
+        store = HardwareTagStore(fmt=small, granularity=10.0, capacity=8)
+        store.push(1.0, 0)
+        store.push(100.0, 1)  # now only 10 quanta apart
+        assert len(store) == 2

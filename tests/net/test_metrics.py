@@ -1,0 +1,155 @@
+"""Unit tests for QoS/fairness metrics."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.net.metrics import (
+    DelayStats,
+    gps_lag,
+    jain_index,
+    max_gps_lag,
+    out_of_order_service,
+    per_flow_delays,
+    pg_bound_violations,
+    throughput_shares,
+    weighted_jain_index,
+)
+from repro.sched.base import SimulationResult
+from repro.sched.gps import GpsDeparture
+from repro.sched.packet import Packet
+
+
+def departed(flow, size, arrive, depart, finish_tag=None, packet_id=None):
+    kwargs = {}
+    if packet_id is not None:
+        kwargs["packet_id"] = packet_id
+    packet = Packet(flow, size, arrive, **kwargs)
+    packet.departure_time = depart
+    packet.finish_tag = finish_tag
+    return packet
+
+
+class TestDelayStats:
+    def test_basic_stats(self):
+        packets = [departed(0, 100, 0.0, d) for d in (1.0, 2.0, 3.0, 10.0)]
+        stats = DelayStats.of(packets)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.worst == 10.0
+        assert stats.p99 == 10.0
+
+    def test_empty(self):
+        stats = DelayStats.of([])
+        assert stats.count == 0
+        assert stats.worst == 0.0
+
+    def test_per_flow_grouping(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 1.0),
+                departed(1, 100, 0.0, 5.0),
+            ],
+            finish_time=5.0,
+        )
+        delays = per_flow_delays(result)
+        assert delays[0].worst == 1.0
+        assert delays[1].worst == 5.0
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 300, 0.0, 1.0),
+                departed(1, 100, 0.0, 2.0),
+            ],
+            finish_time=2.0,
+        )
+        shares = throughput_shares(result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.75)
+
+    def test_window_restriction(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 1.0),
+                departed(1, 100, 0.0, 9.0),
+            ],
+            finish_time=9.0,
+        )
+        shares = throughput_shares(result, start=0.0, end=5.0)
+        assert shares == {0: 1.0}
+
+
+class TestJain:
+    def test_perfectly_fair(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_weighted_index_normalizes(self):
+        shares = {0: 0.75, 1: 0.25}
+        weights = {0: 0.75, 1: 0.25}
+        assert weighted_jain_index(shares, weights) == pytest.approx(1.0)
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_jain_index({0: 1.0}, {})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+
+
+class TestGpsLag:
+    def make(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 2.0, packet_id=1000),
+                departed(1, 100, 0.0, 5.0, packet_id=1001),
+            ],
+            finish_time=5.0,
+        )
+        gps = {
+            1000: GpsDeparture(finish_tag=10.0, departure_time=1.5),
+            1001: GpsDeparture(finish_tag=20.0, departure_time=4.9),
+        }
+        return result, gps
+
+    def test_per_flow_lag(self):
+        result, gps = self.make()
+        lags = gps_lag(result, gps)
+        assert lags[0] == pytest.approx(0.5)
+        assert lags[1] == pytest.approx(0.1)
+        assert max_gps_lag(result, gps) == pytest.approx(0.5)
+
+    def test_pg_violations(self):
+        result, gps = self.make()
+        # Bound of 0.4 s: flow 0's lag (0.5 s) violates.
+        violations = pg_bound_violations(
+            result, gps, rate_bps=1000.0, max_packet_bytes=50.0
+        )
+        assert violations == 1
+
+
+class TestOutOfOrder:
+    def test_sorted_service_has_no_inversions(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 1.0, finish_tag=10.0),
+                departed(0, 100, 0.0, 2.0, finish_tag=20.0),
+            ],
+            finish_time=2.0,
+        )
+        assert out_of_order_service(result) == 0
+
+    def test_inversion_counted(self):
+        result = SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 1.0, finish_tag=20.0),
+                departed(0, 100, 0.0, 2.0, finish_tag=10.0),
+            ],
+            finish_time=2.0,
+        )
+        assert out_of_order_service(result) == 1

@@ -1,0 +1,128 @@
+"""Tests for multi-hop end-to-end scheduling."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.net.multihop import (
+    MultiHopNetwork,
+    e2e_delay_bound,
+    worst_flow_delay,
+)
+from repro.sched import DRRScheduler, Packet, WFQScheduler
+from repro.traffic import CBRArrivals, FixedSize, PoissonArrivals, merge
+from repro.traffic.packet_sizes import internet_mix
+
+RATE = 10e6
+WEIGHTS = {0: 0.2, 1: 0.4, 2: 0.4}
+
+
+def wfq_factory():
+    scheduler = WFQScheduler(RATE)
+    for flow_id, weight in WEIGHTS.items():
+        scheduler.add_flow(flow_id, weight)
+    return scheduler
+
+
+def drr_factory():
+    scheduler = DRRScheduler(RATE)
+    for flow_id, weight in WEIGHTS.items():
+        scheduler.add_flow(flow_id, weight)
+    return scheduler
+
+
+def build_trace(packets_per_flow=120, seed=5):
+    streams = [
+        CBRArrivals(
+            0,
+            WEIGHTS[0] * RATE * 0.9 / (200 * 8),
+            FixedSize(200),
+            seed=seed,
+        ).packets(packets_per_flow)
+    ]
+    for flow_id in (1, 2):
+        streams.append(
+            PoissonArrivals(
+                flow_id,
+                WEIGHTS[flow_id] * RATE * 0.9 / (internet_mix().mean() * 8),
+                internet_mix(),
+                seed=seed,
+            ).packets(packets_per_flow)
+        )
+    return merge(streams)
+
+
+class TestChainMechanics:
+    def test_conservation_across_hops(self):
+        network = MultiHopNetwork([wfq_factory] * 3)
+        trace = build_trace(packets_per_flow=60)
+        records = network.run(trace)
+        assert len(records) == len(trace)
+        assert {r.packet_id for r in records} == {
+            p.packet_id for p in trace
+        }
+
+    def test_delay_grows_with_hops(self):
+        trace = build_trace(packets_per_flow=60)
+        one = MultiHopNetwork([wfq_factory]).run(trace)
+        three = MultiHopNetwork([wfq_factory] * 3).run(trace)
+        mean_one = sum(r.delay for r in one) / len(one)
+        mean_three = sum(r.delay for r in three) / len(three)
+        assert mean_three > mean_one
+
+    def test_egress_never_precedes_ingress(self):
+        network = MultiHopNetwork([wfq_factory, drr_factory])
+        for record in network.run(build_trace(packets_per_flow=40)):
+            assert record.egress_time >= record.ingress_time
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiHopNetwork([])
+
+    def test_hop_results_exposed(self):
+        network = MultiHopNetwork([wfq_factory] * 2)
+        network.run(build_trace(packets_per_flow=30))
+        assert len(network.hop_results) == 2
+
+
+class TestEndToEndBound:
+    def test_bound_formula(self):
+        bound = e2e_delay_bound(
+            hops=3,
+            rate_bps=10e6,
+            guaranteed_rate_bps=2e6,
+            burst_bits=4000.0,
+            packet_bytes=200,
+        )
+        expected = 4000 / 2e6 + 3 * (200 * 8 / 2e6 + 1500 * 8 / 10e6)
+        assert bound == pytest.approx(expected)
+
+    @pytest.mark.parametrize("hops", [1, 2, 4])
+    def test_measured_e2e_delay_within_bound(self, hops):
+        """The composed PG bound holds for the CBR flow across chains of
+        WFQ hops under cross traffic."""
+        trace = build_trace(packets_per_flow=100, seed=9)
+        network = MultiHopNetwork([wfq_factory] * hops)
+        records = network.run(trace)
+        measured = worst_flow_delay(records, 0)
+        bound = e2e_delay_bound(
+            hops=hops,
+            rate_bps=RATE,
+            guaranteed_rate_bps=WEIGHTS[0] * RATE,
+            burst_bits=200 * 8,  # CBR: at most one packet of burst
+            packet_bytes=200,
+        )
+        assert measured <= bound + 1e-9
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            e2e_delay_bound(
+                hops=0,
+                rate_bps=1.0,
+                guaranteed_rate_bps=1.0,
+                burst_bits=0.0,
+                packet_bytes=1,
+            )
+
+    def test_worst_flow_delay_requires_records(self):
+        with pytest.raises(ConfigurationError):
+            worst_flow_delay([], 0)

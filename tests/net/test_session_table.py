@@ -1,0 +1,100 @@
+"""Tests for the per-session state table (the 8M-sessions substrate)."""
+
+import pytest
+
+from repro.hwsim.errors import CapacityError, ConfigurationError
+from repro.net.session_table import (
+    SessionStateTable,
+    paper_scale_footprint,
+)
+
+
+class TestGeometry:
+    def test_paper_scale_footprint(self):
+        """8 M sessions at 64-bit records = 64 MB of table memory."""
+        assert paper_scale_footprint() == pytest.approx(64.0)
+
+    def test_footprint_math(self):
+        table = SessionStateTable(1024, record_bits=128)
+        assert table.footprint_bits == 1024 * 128
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionStateTable(0)
+        with pytest.raises(ConfigurationError):
+            SessionStateTable(4, frac_bits=-1)
+
+
+class TestPerPacketCost:
+    def test_one_read_one_write_per_packet(self):
+        table = SessionStateTable(16)
+        table.provision(1, 0.5)
+        before = table.stats.snapshot()
+        table.compute_finish_tag(1, 1000, 0)
+        delta = table.stats.delta_since(before)
+        assert delta.reads == 1
+        assert delta.writes == 1
+
+    def test_cost_is_session_count_independent(self):
+        small = SessionStateTable(16)
+        big = SessionStateTable(100_000)
+        for table, sessions in ((small, 4), (big, 50_000)):
+            for session in range(sessions):
+                table.provision(session, 1.0)
+            before = table.stats.snapshot()
+            table.compute_finish_tag(0, 1000, 0)
+            assert table.stats.delta_since(before).total == 2
+
+    def test_tag_datapath(self):
+        table = SessionStateTable(4, frac_bits=8)
+        table.provision(1, 0.5)  # reciprocal = 512 units
+        finish = table.compute_finish_tag(1, 100, virtual_units=0)
+        assert finish == 100 * 512
+        # chained second packet
+        second = table.compute_finish_tag(1, 100, virtual_units=0)
+        assert second == 2 * 100 * 512
+        # virtual time overtakes the chain
+        third = table.compute_finish_tag(1, 100, virtual_units=10**9)
+        assert third == 10**9 + 100 * 512
+
+    def test_unprovisioned_session_rejected(self):
+        table = SessionStateTable(4)
+        with pytest.raises(ConfigurationError):
+            table.compute_finish_tag(9, 100, 0)
+
+
+class TestLifecycle:
+    def test_duplicate_provision_rejected(self):
+        table = SessionStateTable(4)
+        table.provision(1, 1.0)
+        with pytest.raises(ConfigurationError):
+            table.provision(1, 1.0)
+
+    def test_release(self):
+        table = SessionStateTable(4)
+        table.provision(1, 1.0)
+        table.release(1)
+        assert table.active_sessions == 0
+        with pytest.raises(ConfigurationError):
+            table.release(1)
+
+    def test_full_table_with_active_sessions_rejects(self):
+        table = SessionStateTable(2)
+        table.provision(1, 1.0)
+        table.provision(2, 1.0)
+        table.compute_finish_tag(1, 100, 0)
+        table.compute_finish_tag(2, 100, 0)
+        with pytest.raises(CapacityError):
+            table.provision(3, 1.0)
+
+    def test_idle_session_evicted_for_new_one(self):
+        table = SessionStateTable(2)
+        table.provision(1, 1.0)
+        table.provision(2, 1.0)
+        # Session 2 stays hot; session 1 goes idle for > capacity packets.
+        for _ in range(5):
+            table.compute_finish_tag(2, 100, 0)
+        table.provision(3, 1.0)
+        assert table.evictions == 1
+        assert table.record_of(1) is None
+        assert table.record_of(2) is not None

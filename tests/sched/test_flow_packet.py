@@ -1,0 +1,91 @@
+"""Tests for the packet and flow primitives."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched.flow import Flow, FlowTable
+from repro.sched.packet import Packet
+
+
+class TestPacket:
+    def test_size_bits(self):
+        assert Packet(0, 125, 0.0).size_bits == 1000
+
+    def test_unique_ids(self):
+        a = Packet(0, 100, 0.0)
+        b = Packet(0, 100, 0.0)
+        assert a.packet_id != b.packet_id
+
+    def test_explicit_id_preserved(self):
+        packet = Packet(0, 100, 0.0, packet_id=12345)
+        assert packet.packet_id == 12345
+
+    def test_delay_requires_departure(self):
+        packet = Packet(0, 100, 1.0)
+        assert packet.delay is None
+        packet.departure_time = 3.5
+        assert packet.delay == pytest.approx(2.5)
+
+    def test_repr_is_informative(self):
+        text = repr(Packet(7, 100, 0.25))
+        assert "flow=7" in text
+        assert "100B" in text
+
+
+class TestFlow:
+    def test_backlog_and_head(self):
+        flow = Flow(flow_id=1, weight=0.5)
+        assert not flow.backlogged
+        assert flow.head is None
+        packet = Packet(1, 100, 0.0)
+        flow.queue.append(packet)
+        assert flow.backlogged
+        assert flow.head is packet
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            Flow(flow_id=1, weight=0.0)
+
+
+class TestFlowTable:
+    def test_add_and_get(self):
+        table = FlowTable()
+        flow = table.add(1, 0.5)
+        assert table.get(1) is flow
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_duplicate_rejected(self):
+        table = FlowTable()
+        table.add(1)
+        with pytest.raises(ConfigurationError):
+            table.add(1)
+
+    def test_get_auto_registers(self):
+        table = FlowTable()
+        flow = table.get(9)
+        assert flow.weight == 1.0
+        assert 9 in table
+
+    def test_total_and_backlogged_weight(self):
+        table = FlowTable()
+        table.add(1, 0.6)
+        table.add(2, 0.4)
+        assert table.total_weight == pytest.approx(1.0)
+        assert table.backlogged_weight == 0.0
+        table.get(1).queue.append(Packet(1, 100, 0.0))
+        assert table.backlogged_weight == pytest.approx(0.6)
+
+    def test_backlogged_flows_iterator(self):
+        table = FlowTable()
+        table.add(1)
+        table.add(2)
+        table.get(2).queue.append(Packet(2, 100, 0.0))
+        backlogged = list(table.backlogged_flows())
+        assert len(backlogged) == 1
+        assert backlogged[0].flow_id == 2
+
+    def test_guaranteed_rate_stored(self):
+        table = FlowTable()
+        flow = table.add(1, 0.5, guaranteed_rate_bps=2e6)
+        assert flow.guaranteed_rate_bps == 2e6

@@ -1,0 +1,92 @@
+"""Unit tests for the fluid GPS reference simulator."""
+
+import pytest
+
+from repro.sched.gps import GPSFluidSimulator
+from repro.sched.packet import Packet
+
+
+def make(flow, size, t):
+    return Packet(flow_id=flow, size_bytes=size, arrival_time=t)
+
+
+class TestSingleFlow:
+    def test_one_packet_gets_full_rate(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)  # 1000 bytes/s
+        packet = make(1, 100, 0.0)
+        results = gps.run([packet])
+        departure = results[packet.packet_id]
+        assert departure.departure_time == pytest.approx(0.1)
+
+    def test_fifo_within_flow(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        first = make(1, 100, 0.0)
+        second = make(1, 100, 0.0)
+        results = gps.run([first, second])
+        assert results[first.packet_id].departure_time == pytest.approx(0.1)
+        assert results[second.packet_id].departure_time == pytest.approx(0.2)
+
+
+class TestWeightedSharing:
+    def test_equal_flows_share_equally(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        a = make(1, 100, 0.0)
+        b = make(2, 100, 0.0)
+        results = gps.run([a, b])
+        # Both served at half rate: both finish at 0.2 s.
+        assert results[a.packet_id].departure_time == pytest.approx(0.2)
+        assert results[b.packet_id].departure_time == pytest.approx(0.2)
+
+    def test_weights_bias_completion(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.set_weight(1, 3.0)
+        gps.set_weight(2, 1.0)
+        a = make(1, 100, 0.0)
+        b = make(2, 100, 0.0)
+        results = gps.run([a, b])
+        # Flow 1 at 3/4 rate finishes its 100 bytes first; flow 2 then
+        # accelerates.
+        assert (
+            results[a.packet_id].departure_time
+            < results[b.packet_id].departure_time
+        )
+
+    def test_departure_order_follows_finish_tags(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.set_weight(1, 1.0)
+        gps.set_weight(2, 2.0)
+        a = make(1, 200, 0.0)
+        b = make(2, 100, 0.0)
+        results = gps.run([a, b])
+        assert (
+            results[b.packet_id].finish_tag < results[a.packet_id].finish_tag
+        )
+        assert (
+            results[b.packet_id].departure_time
+            <= results[a.packet_id].departure_time
+        )
+
+
+class TestWorkConservation:
+    def test_total_work_equals_capacity(self):
+        """With a saturated link, the last fluid departure happens at
+        exactly total_bits / rate."""
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        packets = [make(i % 3, 125, 0.0) for i in range(12)]
+        results = gps.run(packets)
+        last = max(d.departure_time for d in results.values())
+        total_bits = 12 * 125 * 8
+        assert last == pytest.approx(total_bits / 8000.0)
+
+    def test_idle_gap_preserved(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        a = make(1, 100, 0.0)
+        b = make(1, 100, 10.0)
+        results = gps.run([a, b])
+        assert results[b.packet_id].departure_time == pytest.approx(10.1)
+
+    def test_finish_tags_helper(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        a = make(1, 100, 0.0)
+        tags = gps.finish_tags([a])
+        assert tags[a.packet_id] == pytest.approx(800.0)

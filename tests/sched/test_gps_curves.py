@@ -1,0 +1,58 @@
+"""Tests for the GPS fluid service curves."""
+
+import pytest
+
+from repro.sched.gps import GPSFluidSimulator
+from repro.sched.packet import Packet
+
+
+def make(flow, size, t, pid=None):
+    kwargs = {"packet_id": pid} if pid is not None else {}
+    return Packet(flow, size, t, **kwargs)
+
+
+class TestServiceCurves:
+    def test_single_flow_linear_ramp(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.run([make(1, 100, 0.0)])  # 800 bits at full rate
+        assert gps.work_at(1, 0.0) == pytest.approx(0.0)
+        assert gps.work_at(1, 0.05) == pytest.approx(400.0)
+        assert gps.work_at(1, 0.1) == pytest.approx(800.0)
+        assert gps.work_at(1, 5.0) == pytest.approx(800.0)  # flat after
+
+    def test_two_flows_half_rate_each(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.run([make(1, 100, 0.0), make(2, 100, 0.0)])
+        assert gps.work_at(1, 0.1) == pytest.approx(400.0)
+        assert gps.work_at(2, 0.1) == pytest.approx(400.0)
+
+    def test_rate_accelerates_when_competitor_finishes(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.set_weight(1, 3.0)
+        gps.set_weight(2, 1.0)
+        gps.run([make(1, 100, 0.0), make(2, 100, 0.0)])
+        # Flow 1 (3/4 rate) finishes at 800/(6000) = 0.1333 s; flow 2 had
+        # 2000 b/s until then, full rate after.
+        at_finish = gps.work_at(2, 800.0 / 6000.0)
+        assert at_finish == pytest.approx(2000.0 * 800.0 / 6000.0, rel=1e-6)
+        assert gps.work_at(2, 0.2) > at_finish
+
+    def test_idle_period_is_flat(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.run([make(1, 100, 0.0), make(1, 100, 10.0)])
+        assert gps.work_at(1, 0.1) == pytest.approx(800.0)
+        assert gps.work_at(1, 5.0) == pytest.approx(800.0)  # idle gap
+        assert gps.work_at(1, 10.05) == pytest.approx(1200.0)
+
+    def test_unknown_flow_is_zero(self):
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        gps.run([make(1, 100, 0.0)])
+        assert gps.work_at(99, 1.0) == 0.0
+
+    def test_total_work_conserved(self):
+        """Sum of all curves at the end equals total offered bits."""
+        gps = GPSFluidSimulator(rate_bps=8000.0)
+        packets = [make(i % 3, 125, 0.01 * i) for i in range(15)]
+        gps.run(packets)
+        total = sum(gps.work_at(flow, 100.0) for flow in range(3))
+        assert total == pytest.approx(15 * 1000.0, rel=1e-9)

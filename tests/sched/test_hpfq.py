@@ -1,0 +1,127 @@
+"""Tests for hierarchical packet fair queueing (ref. [6])."""
+
+from collections import Counter
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched import HPFQScheduler, Packet, simulate
+
+
+def saturate(scheduler, flows, count=200, size=500):
+    for flow_id in flows:
+        for _ in range(count):
+            scheduler.enqueue(Packet(flow_id, size, 0.0), 0.0)
+
+
+def serve_counts(scheduler, services):
+    order = [scheduler.select_next(0.0).flow_id for _ in range(services)]
+    return Counter(order)
+
+
+class TestHierarchyConstruction:
+    def test_classes_and_flows(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.add_class("org", weight=0.5)
+        scheduler.attach_flow(1, parent="org")
+        assert 1 in scheduler._leaves
+
+    def test_duplicate_class_rejected(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.add_class("org")
+        with pytest.raises(ConfigurationError):
+            scheduler.add_class("org")
+
+    def test_unknown_parent_rejected(self):
+        scheduler = HPFQScheduler(1e6)
+        with pytest.raises(ConfigurationError):
+            scheduler.add_class("x", parent="nope")
+        with pytest.raises(ConfigurationError):
+            scheduler.attach_flow(1, parent="nope")
+
+    def test_leaf_cannot_parent(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.attach_flow(1)
+        with pytest.raises(ConfigurationError):
+            scheduler.add_class("x", parent="flow:1")
+
+    def test_duplicate_flow_rejected(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.attach_flow(1)
+        with pytest.raises(ConfigurationError):
+            scheduler.attach_flow(1)
+
+    def test_unattached_flow_rejected_at_enqueue(self):
+        scheduler = HPFQScheduler(1e6)
+        with pytest.raises(ConfigurationError):
+            scheduler.enqueue(Packet(9, 100, 0.0), 0.0)
+
+
+class TestFlatFairness:
+    def test_flat_hierarchy_matches_weights(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.add_flow(0, 0.75)
+        scheduler.add_flow(1, 0.25)
+        saturate(scheduler, (0, 1))
+        counts = serve_counts(scheduler, 200)
+        assert counts[0] / counts[1] == pytest.approx(3.0, rel=0.2)
+
+
+class TestNestedGuarantees:
+    def build(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.add_class("org_a", weight=0.9)
+        scheduler.add_class("org_b", weight=0.1)
+        scheduler.attach_flow(0, parent="org_a", weight=0.75)
+        scheduler.attach_flow(1, parent="org_a", weight=0.25)
+        scheduler.attach_flow(2, parent="org_b", weight=1.0)
+        return scheduler
+
+    def test_two_level_shares(self):
+        scheduler = self.build()
+        saturate(scheduler, (0, 1, 2), count=400)
+        counts = serve_counts(scheduler, 600)
+        org_a = counts[0] + counts[1]
+        assert org_a / counts[2] == pytest.approx(9.0, rel=0.25)
+        assert counts[0] / counts[1] == pytest.approx(3.0, rel=0.25)
+
+    def test_idle_sibling_capacity_is_inherited(self):
+        """When org_b is idle, its share flows to org_a's flows in *their*
+        ratio — the link-sharing semantics CBQ only approximates."""
+        scheduler = self.build()
+        saturate(scheduler, (0, 1), count=300)
+        counts = serve_counts(scheduler, 300)
+        assert counts[2] == 0
+        assert counts[0] / counts[1] == pytest.approx(3.0, rel=0.25)
+
+    def test_intra_class_isolation(self):
+        """A misbehaving sibling inside org_a cannot touch org_b's 10%."""
+        scheduler = self.build()
+        saturate(scheduler, (0,), count=800)  # flow 0 floods
+        saturate(scheduler, (2,), count=100)
+        counts = serve_counts(scheduler, 500)
+        assert counts[2] >= 40  # ~10% of 500, quantization slack
+
+    def test_full_simulation_loop(self):
+        scheduler = self.build()
+        trace = []
+        for flow_id in range(3):
+            for _ in range(60):
+                trace.append(Packet(flow_id, 500, 0.0))
+        result = simulate(scheduler, trace)
+        assert len(result.packets) == 180
+        for packet in result.packets:
+            assert packet.finish_tag is not None
+
+
+class TestThreeLevels:
+    def test_deep_hierarchy(self):
+        scheduler = HPFQScheduler(1e6)
+        scheduler.add_class("isp", weight=1.0)
+        scheduler.add_class("business", parent="isp", weight=0.8)
+        scheduler.add_class("residential", parent="isp", weight=0.2)
+        scheduler.attach_flow(0, parent="business", weight=1.0)
+        scheduler.attach_flow(1, parent="residential", weight=1.0)
+        saturate(scheduler, (0, 1), count=300)
+        counts = serve_counts(scheduler, 300)
+        assert counts[0] / counts[1] == pytest.approx(4.0, rel=0.3)

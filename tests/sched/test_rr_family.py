@@ -1,0 +1,221 @@
+"""Tests for the round-robin family: WRR, DRR, MDRR, CBQ, SRR."""
+
+import random
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched import (
+    CBQScheduler,
+    DRRScheduler,
+    MDRRScheduler,
+    Packet,
+    SRRScheduler,
+    WRRScheduler,
+    simulate,
+)
+
+RATE = 1e6
+
+
+def saturating_trace(flows, packets_per_flow, size_bytes=500):
+    """Everything arrives at t=0: pure bandwidth-sharing test."""
+    trace = []
+    for flow_id in range(flows):
+        for _ in range(packets_per_flow):
+            trace.append(Packet(flow_id, size_bytes, 0.0))
+    return trace
+
+
+def delivered_bits_by_flow(result, horizon):
+    bits = {}
+    for packet in result.packets:
+        if packet.departure_time <= horizon:
+            bits[packet.flow_id] = bits.get(packet.flow_id, 0) + packet.size_bits
+    return bits
+
+
+class TestWRR:
+    def test_equal_weights_equal_service(self):
+        scheduler = WRRScheduler(RATE, mean_packet_bytes=500)
+        for flow_id in range(4):
+            scheduler.add_flow(flow_id, 1.0)
+        result = simulate(scheduler, saturating_trace(4, 50))
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        values = list(bits.values())
+        assert max(values) / min(values) < 1.3
+
+    def test_weighted_slots(self):
+        scheduler = WRRScheduler(RATE, mean_packet_bytes=500)
+        scheduler.add_flow(0, 3.0)
+        scheduler.add_flow(1, 1.0)
+        result = simulate(scheduler, saturating_trace(2, 60))
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[0] / bits[1] == pytest.approx(3.0, rel=0.25)
+
+    def test_wrr_is_size_blind(self):
+        """The paper's criticism: WRR counts packets, so a flow sending
+        large packets steals bandwidth from an equal-weight flow sending
+        small ones."""
+        scheduler = WRRScheduler(RATE, mean_packet_bytes=500)
+        scheduler.add_flow(0, 1.0)
+        scheduler.add_flow(1, 1.0)
+        trace = [Packet(0, 1500, 0.0) for _ in range(40)]
+        trace += [Packet(1, 100, 0.0) for _ in range(40)]
+        result = simulate(scheduler, trace)
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        # Flow 0 receives ~15x the bandwidth despite equal weights.
+        assert bits[0] / bits[1] > 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WRRScheduler(RATE, mean_packet_bytes=0)
+
+
+class TestDRR:
+    def test_drr_is_size_fair(self):
+        """DRR fixes WRR: byte-accurate shares without mean-size input."""
+        scheduler = DRRScheduler(RATE, quantum_bytes=1500)
+        scheduler.add_flow(0, 1.0)
+        scheduler.add_flow(1, 1.0)
+        trace = [Packet(0, 1500, 0.0) for _ in range(40)]
+        trace += [Packet(1, 100, 0.0) for _ in range(600)]
+        result = simulate(scheduler, trace)
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[0] / bits[1] == pytest.approx(1.0, rel=0.2)
+
+    def test_weighted_quantum(self):
+        scheduler = DRRScheduler(RATE)
+        scheduler.add_flow(0, 3.0)
+        scheduler.add_flow(1, 1.0)
+        result = simulate(scheduler, saturating_trace(2, 80))
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[0] / bits[1] == pytest.approx(3.0, rel=0.3)
+
+    def test_small_quantum_accumulates(self):
+        """A quantum below the packet size must still make progress."""
+        scheduler = DRRScheduler(RATE, quantum_bytes=100)
+        scheduler.add_flow(0, 1.0)
+        result = simulate(scheduler, [Packet(0, 1500, 0.0)])
+        assert len(result.packets) == 1
+
+    def test_delay_grows_with_flow_count(self):
+        """The paper's central RR criticism: a newly busy flow waits for
+        the whole round, so worst-case delay scales with flow count."""
+
+        def worst_delay(flows):
+            scheduler = DRRScheduler(RATE)
+            for flow_id in range(flows):
+                scheduler.add_flow(flow_id, 1.0)
+            trace = []
+            for flow_id in range(flows):
+                for _ in range(10):
+                    trace.append(Packet(flow_id, 1500, 0.0))
+            probe = Packet(flows - 1, 64, 0.0)
+            result = simulate(scheduler, trace)
+            last_per_flow = {
+                fid: max(p.delay for p in pkts)
+                for fid, pkts in result.by_flow().items()
+            }
+            return max(last_per_flow.values())
+
+        assert worst_delay(32) > worst_delay(4) * 2
+
+
+class TestMDRR:
+    def test_priority_queue_gets_low_delay(self):
+        scheduler = MDRRScheduler(RATE, priority_flow=0, strict=True)
+        scheduler.add_flow(1, 1.0)
+        scheduler.add_flow(2, 1.0)
+        trace = [Packet(1, 1500, 0.0) for _ in range(20)]
+        trace += [Packet(2, 1500, 0.0) for _ in range(20)]
+        trace += [Packet(0, 100, 0.001)]  # VoIP packet arrives mid-burst
+        result = simulate(scheduler, trace)
+        voip = [p for p in result.packets if p.flow_id == 0][0]
+        others = [p.delay for p in result.packets if p.flow_id != 0]
+        assert voip.delay < sorted(others)[len(others) // 2]
+
+    def test_alternate_mode_shares_with_drr(self):
+        scheduler = MDRRScheduler(RATE, priority_flow=0, strict=False)
+        scheduler.add_flow(1, 1.0)
+        trace = [Packet(0, 500, 0.0) for _ in range(40)]
+        trace += [Packet(1, 500, 0.0) for _ in range(40)]
+        result = simulate(scheduler, trace)
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[1] > 0  # DRR side is not starved
+
+    def test_cannot_register_priority_flow_twice(self):
+        scheduler = MDRRScheduler(RATE, priority_flow=0)
+        with pytest.raises(ConfigurationError):
+            scheduler.add_flow(0, 1.0)
+
+
+class TestCBQ:
+    def build(self):
+        scheduler = CBQScheduler(RATE)
+        scheduler.add_class("gold", 3.0)
+        scheduler.add_class("bronze", 1.0)
+        scheduler.add_flow_to_class(0, "gold")
+        scheduler.add_flow_to_class(1, "bronze")
+        return scheduler
+
+    def test_class_weights_respected(self):
+        scheduler = self.build()
+        result = simulate(scheduler, saturating_trace(2, 80))
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[0] / bits[1] == pytest.approx(3.0, rel=0.35)
+
+    def test_idle_class_bandwidth_is_borrowed(self):
+        scheduler = self.build()
+        trace = [Packet(1, 500, 0.0) for _ in range(40)]  # bronze only
+        result = simulate(scheduler, trace)
+        # Work conservation: bronze gets the whole link.
+        assert result.finish_time == pytest.approx(
+            40 * 500 * 8 / RATE, rel=1e-6
+        )
+
+    def test_unclassed_flow_rejected(self):
+        scheduler = self.build()
+        with pytest.raises(ConfigurationError):
+            simulate(scheduler, [Packet(9, 100, 0.0)])
+
+    def test_duplicate_class_rejected(self):
+        scheduler = self.build()
+        with pytest.raises(ConfigurationError):
+            scheduler.add_class("gold", 1.0)
+
+
+class TestSRR:
+    def test_stratification_by_weight(self):
+        scheduler = SRRScheduler(RATE)
+        scheduler.add_flow(0, 0.5)  # class 1
+        scheduler.add_flow(1, 0.25)  # class 2
+        scheduler.add_flow(2, 0.05)  # class 5
+        assert scheduler._flow_class[0] == 1
+        assert scheduler._flow_class[1] == 2
+        assert scheduler._flow_class[2] == 5
+
+    def test_heavy_class_served_more_often(self):
+        scheduler = SRRScheduler(RATE)
+        scheduler.add_flow(0, 0.5)
+        scheduler.add_flow(1, 0.0625)  # class 4: 1 slot per 16
+        result = simulate(scheduler, saturating_trace(2, 60))
+        bits = delivered_bits_by_flow(result, result.finish_time / 2)
+        assert bits[0] / bits[1] > 3.0
+
+    def test_all_packets_delivered(self, rng):
+        scheduler = SRRScheduler(RATE)
+        for flow_id, weight in enumerate((0.5, 0.25, 0.125, 0.0625)):
+            scheduler.add_flow(flow_id, weight)
+        trace = []
+        t = 0.0
+        for _ in range(200):
+            t += rng.expovariate(300.0)
+            trace.append(Packet(rng.randrange(4), 500, t))
+        result = simulate(scheduler, trace)
+        assert len(result.packets) == 200
+
+    def test_weight_below_stratification_range_rejected(self):
+        scheduler = SRRScheduler(RATE, max_classes=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.add_flow(0, 0.001)

@@ -1,0 +1,80 @@
+"""Tests for the single-link simulation loop itself."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched import Packet, WFQScheduler, simulate
+from repro.sched.base import PacketScheduler
+
+
+class TestSimulateLoop:
+    def test_empty_trace(self):
+        scheduler = WFQScheduler(1e6)
+        result = simulate(scheduler, [])
+        assert result.packets == []
+        assert result.finish_time == 0.0
+
+    def test_single_packet_timing(self):
+        scheduler = WFQScheduler(1e6)
+        scheduler.add_flow(0, 1.0)
+        result = simulate(scheduler, [Packet(0, 125, 1.0)])
+        # 125 bytes = 1000 bits at 1 Mb/s = 1 ms
+        assert result.packets[0].departure_time == pytest.approx(1.001)
+
+    def test_non_preemptive_link(self):
+        """A long packet in service delays a later-arriving short one."""
+        scheduler = WFQScheduler(1e6)
+        scheduler.add_flow(0, 0.5)
+        scheduler.add_flow(1, 0.5)
+        long_packet = Packet(0, 12500, 0.0)  # 100 ms of service
+        short_packet = Packet(1, 125, 0.001)
+        result = simulate(scheduler, [long_packet, short_packet])
+        assert short_packet.departure_time >= long_packet.departure_time
+
+    def test_idle_gaps_respected(self):
+        scheduler = WFQScheduler(1e6)
+        scheduler.add_flow(0, 1.0)
+        trace = [Packet(0, 125, 0.0), Packet(0, 125, 5.0)]
+        result = simulate(scheduler, trace)
+        assert result.packets[1].departure_time == pytest.approx(5.001)
+
+    def test_unsorted_trace_is_sorted_internally(self):
+        scheduler = WFQScheduler(1e6)
+        scheduler.add_flow(0, 1.0)
+        trace = [Packet(0, 125, 2.0), Packet(0, 125, 1.0)]
+        result = simulate(scheduler, trace)
+        assert len(result.packets) == 2
+        assert result.packets[0].arrival_time == 1.0
+
+    def test_by_flow_grouping(self):
+        scheduler = WFQScheduler(1e6)
+        scheduler.add_flow(0, 0.5)
+        scheduler.add_flow(1, 0.5)
+        trace = [Packet(0, 125, 0.0), Packet(1, 125, 0.0), Packet(0, 125, 0.0)]
+        result = simulate(scheduler, trace)
+        grouped = result.by_flow()
+        assert len(grouped[0]) == 2
+        assert len(grouped[1]) == 1
+
+    def test_broken_scheduler_detected(self):
+        class Stuck(PacketScheduler):
+            name = "stuck"
+
+            def enqueue(self, packet, now):
+                self.flows.get(packet.flow_id).queue.append(packet)
+
+            def select_next(self, now):
+                return None  # backlogged forever
+
+        with pytest.raises(ConfigurationError):
+            simulate(Stuck(1e6), [Packet(0, 125, 0.0)])
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            WFQScheduler(0.0)
+
+    def test_transmission_time(self):
+        scheduler = WFQScheduler(8e6)
+        assert scheduler.transmission_time(Packet(0, 1000, 0.0)) == pytest.approx(
+            1e-3
+        )

@@ -1,0 +1,126 @@
+"""Tests for the fixed-point WFQ tag-computation circuit (ref. [8])."""
+
+import random
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched.tag_computation import FixedPointVirtualClock
+
+
+class TestBasicDatapath:
+    def test_single_packet(self):
+        clock = FixedPointVirtualClock(rate_bps=100.0, frac_bits=8)
+        clock.register(1, 1.0)
+        tags = clock.on_arrival(1, size_bits=100, arrival_time=0.0)
+        assert tags.start_units == 0
+        # 100 bits x reciprocal(1.0) = 100 x 256 units.
+        assert tags.finish_units == 100 * 256
+
+    def test_reciprocal_weight_multiply(self):
+        clock = FixedPointVirtualClock(rate_bps=100.0, frac_bits=8)
+        clock.register(1, 4.0)
+        tags = clock.on_arrival(1, 100, 0.0)
+        # 100 / 4 = 25 real units = 6400 fixed units.
+        assert clock.to_real(tags.finish_units) == pytest.approx(25.0)
+
+    def test_back_to_back_chain(self):
+        clock = FixedPointVirtualClock(rate_bps=100.0, frac_bits=8)
+        clock.register(1, 1.0)
+        first = clock.on_arrival(1, 100, 0.0)
+        second = clock.on_arrival(1, 100, 0.0)
+        assert second.start_units == first.finish_units
+
+    def test_tags_are_monotone_per_session(self):
+        rng = random.Random(2)
+        clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=4)
+        clock.register(1, 0.3)
+        t = 0.0
+        last = -1
+        for _ in range(200):
+            t += rng.expovariate(2000.0)
+            tags = clock.on_arrival(1, rng.choice([512, 4608, 12000]), t)
+            assert tags.finish_units > last
+            last = tags.finish_units
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointVirtualClock(frac_bits=-1)
+        with pytest.raises(ConfigurationError):
+            FixedPointVirtualClock(rate_bps=0.0)
+        clock = FixedPointVirtualClock(frac_bits=2)
+        with pytest.raises(ConfigurationError):
+            clock.register(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            clock.register(1, 100.0)  # reciprocal rounds to zero
+        with pytest.raises(ConfigurationError):
+            clock.max_error_units()  # tracking disabled
+
+
+class TestPrecision:
+    def run_mix(self, frac_bits, packets=1500, seed=1):
+        rng = random.Random(seed)
+        clock = FixedPointVirtualClock(
+            rate_bps=1e6, frac_bits=frac_bits, track_error=True
+        )
+        for flow, weight in enumerate((0.4, 0.3, 0.2, 0.1)):
+            clock.register(flow, weight)
+        t = 0.0
+        for _ in range(packets):
+            t += rng.expovariate(3000.0)
+            clock.on_arrival(
+                rng.randrange(4), rng.choice([64, 576, 1500]) * 8, t
+            )
+        return clock
+
+    def test_error_shrinks_with_precision(self):
+        errors = [
+            self.run_mix(bits).max_error_units() / (1 << bits)
+            for bits in (2, 6, 10)
+        ]
+        assert errors[0] > 4 * errors[1] > 16 * errors[2]
+
+    def test_rounding_produces_duplicates(self):
+        """Section III-C's premise: rounded-off computation can assign
+        the same finishing tag to packets of different sessions —
+        equal-weight CBR sessions arriving together collide exactly."""
+        clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=4)
+        clock.register(1, 0.5)
+        clock.register(2, 0.5)
+        for step in range(50):
+            t = step * 1e-3
+            clock.on_arrival(1, 640, t)
+            clock.on_arrival(2, 640, t)
+        assert clock.duplicate_tags > 0
+
+    def test_zero_increment_clamped(self):
+        """A tiny packet on a heavy weight still advances the tag."""
+        clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=0)
+        clock.register(1, 1.0)
+        first = clock.on_arrival(1, 1, 0.0)
+        second = clock.on_arrival(1, 1, 0.0)
+        assert second.finish_units > first.finish_units
+
+
+class TestIntegrationWithSortCircuit:
+    def test_fixed_point_tags_feed_the_hardware_store(self):
+        """End-to-end Fig. 1 path with hardware arithmetic everywhere:
+        fixed-point tag computation -> quantized sort/retrieve."""
+        from repro.net.hardware_store import HardwareTagStore
+
+        rng = random.Random(3)
+        clock = FixedPointVirtualClock(rate_bps=1e6, frac_bits=8)
+        for flow, weight in enumerate((0.5, 0.3, 0.2)):
+            clock.register(flow, weight)
+        store = HardwareTagStore(granularity=2**8 * 4000.0, capacity=256)
+        t = 0.0
+        served = []
+        for step in range(600):
+            t += rng.expovariate(2500.0)
+            flow = rng.randrange(3)
+            tags = clock.on_arrival(flow, rng.choice([512, 4608]), t)
+            store.push(float(tags.finish_units), flow)
+            if len(store) > 16:
+                served.append(store.pop_min()[0])
+        store.circuit.check_invariants()
+        assert len(served) > 500

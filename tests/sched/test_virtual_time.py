@@ -1,0 +1,108 @@
+"""Unit tests for the WFQ virtual-time engine (paper eq. (1))."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.sched.virtual_time import VirtualClock
+
+
+class TestTagRules:
+    def test_first_packet_starts_at_virtual_time(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        tags = clock.on_arrival(1, size_bits=100, arrival_time=0.0)
+        assert tags.start_tag == 0.0
+        assert tags.finish_tag == 100.0
+
+    def test_back_to_back_packets_chain_finish_tags(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        clock.on_arrival(1, 100, 0.0)
+        tags = clock.on_arrival(1, 100, 0.0)
+        assert tags.start_tag == 100.0
+        assert tags.finish_tag == 200.0
+
+    def test_weight_divides_tag_increment(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 4.0)
+        tags = clock.on_arrival(1, 100, 0.0)
+        assert tags.finish_tag == 25.0
+
+    def test_idle_flow_restarts_from_virtual_time(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        clock.register(2, 1.0)
+        clock.on_arrival(1, 100, 0.0)
+        # Flow 1 finishes GPS at t=1; by t=5 V has stopped at 100.
+        tags = clock.on_arrival(2, 100, 5.0)
+        assert tags.start_tag == 100.0
+
+
+class TestEquation1:
+    def test_next_departure_formula(self):
+        """Next(t) = t + (F_min - V(t)) * sum(phi_busy) / rate."""
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        clock.register(2, 3.0)
+        clock.on_arrival(1, 100, 0.0)  # F = 100
+        clock.on_arrival(2, 100, 0.0)  # F = 33.33
+        assert clock.minimum_finish_tag == pytest.approx(100.0 / 3.0)
+        # busy weight 4, V=0: Next = 0 + 33.33 * 4 / 100 = 1.333
+        assert clock.next_departure_time() == pytest.approx(4.0 / 3.0)
+
+    def test_idle_system_has_no_next_departure(self):
+        clock = VirtualClock(rate_bps=100.0)
+        assert clock.next_departure_time() is None
+
+    def test_departure_iteration_advances_virtual_time(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        clock.register(2, 3.0)
+        clock.on_arrival(1, 100, 0.0)
+        clock.on_arrival(2, 100, 0.0)
+        # After flow 2's GPS departure (t=4/3) only flow 1 is busy, so V
+        # accelerates: V(2) = 33.33 + (2 - 4/3) * 100 / 1 = 100.
+        clock.advance_to(2.0)
+        assert clock.virtual_time == pytest.approx(100.0)
+        assert clock.busy_weight == pytest.approx(0.0)
+
+    def test_virtual_time_slope_depends_on_busy_set(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 1.0)
+        clock.register(2, 1.0)
+        clock.on_arrival(1, 1000, 0.0)
+        clock.on_arrival(2, 1000, 0.0)
+        clock.advance_to(1.0)
+        # Two equal busy flows: dV/dt = rate / 2.
+        assert clock.virtual_time == pytest.approx(50.0)
+
+
+class TestRobustness:
+    def test_time_cannot_move_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(rate_bps=0)
+        clock = VirtualClock()
+        with pytest.raises(ConfigurationError):
+            clock.register(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            clock.on_arrival(1, 0, 0.0)
+
+    def test_reset(self):
+        clock = VirtualClock(rate_bps=100.0)
+        clock.register(1, 2.0)
+        clock.on_arrival(1, 100, 0.0)
+        clock.reset()
+        assert clock.virtual_time == 0.0
+        assert clock.busy_weight == 0.0
+        assert clock.weight_of(1) == 2.0  # weights survive
+
+    def test_unregistered_flow_defaults_to_unit_weight(self):
+        clock = VirtualClock(rate_bps=100.0)
+        tags = clock.on_arrival(99, 100, 0.0)
+        assert tags.finish_tag == 100.0

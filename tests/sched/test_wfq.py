@@ -1,0 +1,180 @@
+"""Tests for WFQ / WF²Q / WF²Q+ / SCFQ / FBFQ — the fair-queueing family."""
+
+import random
+
+import pytest
+
+from repro.sched import (
+    FBFQScheduler,
+    GPSFluidSimulator,
+    Packet,
+    SCFQScheduler,
+    WF2QPlusScheduler,
+    WF2QScheduler,
+    WFQScheduler,
+    simulate,
+)
+
+RATE = 1e6  # 1 Mb/s
+
+
+def poisson_trace(rng, flows, count, load=1.2, mean_bytes=600):
+    trace = []
+    t = 0.0
+    per_packet = mean_bytes * 8 / RATE
+    for _ in range(count):
+        t += rng.expovariate(load / per_packet)
+        trace.append(
+            Packet(
+                flow_id=rng.randrange(flows),
+                size_bytes=rng.choice([64, 576, 1500]),
+                arrival_time=t,
+            )
+        )
+    return trace
+
+
+def clone(trace):
+    return [
+        Packet(p.flow_id, p.size_bytes, p.arrival_time, packet_id=p.packet_id)
+        for p in trace
+    ]
+
+
+WEIGHTS = [0.4, 0.3, 0.2, 0.1]
+
+FQ_SCHEDULERS = [
+    WFQScheduler,
+    WF2QScheduler,
+    WF2QPlusScheduler,
+    SCFQScheduler,
+    FBFQScheduler,
+]
+
+
+def build(scheduler_cls):
+    scheduler = scheduler_cls(RATE)
+    for flow_id, weight in enumerate(WEIGHTS):
+        scheduler.add_flow(flow_id, weight)
+    return scheduler
+
+
+@pytest.mark.parametrize("scheduler_cls", FQ_SCHEDULERS)
+class TestFamilyCommon:
+    def test_delivers_every_packet(self, scheduler_cls, rng):
+        trace = poisson_trace(rng, 4, 300)
+        result = simulate(build(scheduler_cls), clone(trace))
+        assert len(result.packets) == 300
+
+    def test_departures_after_arrivals(self, scheduler_cls, rng):
+        trace = poisson_trace(rng, 4, 200)
+        result = simulate(build(scheduler_cls), clone(trace))
+        for packet in result.packets:
+            assert packet.departure_time >= packet.arrival_time
+
+    def test_work_conserving_makespan(self, scheduler_cls, rng):
+        """All work-conserving policies finish a saturated trace at the
+        same instant (total bits / rate after the last arrival)."""
+        trace = poisson_trace(rng, 4, 300)
+        reference = simulate(build(WFQScheduler), clone(trace))
+        result = simulate(build(scheduler_cls), clone(trace))
+        assert result.finish_time == pytest.approx(
+            reference.finish_time, rel=1e-9
+        )
+
+    def test_per_flow_fifo(self, scheduler_cls, rng):
+        trace = poisson_trace(rng, 4, 300)
+        result = simulate(build(scheduler_cls), clone(trace))
+        for flow_packets in result.by_flow().values():
+            ids = [p.packet_id for p in flow_packets]
+            assert ids == sorted(ids)
+
+    def test_tags_assigned(self, scheduler_cls, rng):
+        trace = poisson_trace(rng, 4, 50)
+        result = simulate(build(scheduler_cls), clone(trace))
+        for packet in result.packets:
+            assert packet.finish_tag is not None
+            assert packet.start_tag is not None
+            assert packet.finish_tag > packet.start_tag
+
+
+class TestParekhGallagerBound:
+    """depart_WFQ <= depart_GPS + L_max / rate, packet by packet."""
+
+    @pytest.mark.parametrize("scheduler_cls", [WFQScheduler, WF2QScheduler])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bound_holds(self, scheduler_cls, seed):
+        rng = random.Random(seed)
+        trace = poisson_trace(rng, 4, 400)
+        result = simulate(build(scheduler_cls), clone(trace))
+        gps = GPSFluidSimulator(RATE)
+        for flow_id, weight in enumerate(WEIGHTS):
+            gps.set_weight(flow_id, weight)
+        reference = gps.run(clone(trace))
+        bound = 1500 * 8 / RATE
+        for packet in result.packets:
+            gps_departure = reference[packet.packet_id].departure_time
+            assert packet.departure_time <= gps_departure + bound + 1e-9
+
+    def test_wfq_tags_match_gps_tags(self):
+        rng = random.Random(9)
+        trace = poisson_trace(rng, 4, 100)
+        scheduler = build(WFQScheduler)
+        result = simulate(scheduler, clone(trace))
+        gps = GPSFluidSimulator(RATE)
+        for flow_id, weight in enumerate(WEIGHTS):
+            gps.set_weight(flow_id, weight)
+        reference = gps.run(clone(trace))
+        for packet in result.packets:
+            assert packet.finish_tag == pytest.approx(
+                reference[packet.packet_id].finish_tag, rel=1e-9
+            )
+
+
+class TestWF2QEligibility:
+    def test_wf2q_never_runs_ahead_of_gps(self):
+        """WF²Q serves only eligible packets (S <= V), so a packet never
+        *starts* before its GPS start time."""
+        scheduler = WF2QScheduler(RATE)
+        scheduler.add_flow(0, 0.5)
+        scheduler.add_flow(1, 0.5)
+        trace = [
+            Packet(0, 1500, 0.0),
+            Packet(0, 1500, 0.0),
+            Packet(0, 1500, 0.0),
+            Packet(1, 1500, 0.0),
+        ]
+        result = simulate(scheduler, trace)
+        # With equal weights, flow 1's packet cannot be starved to the
+        # end: WF2Q interleaves.
+        order = [p.flow_id for p in result.packets]
+        assert order.index(1) < 3
+
+    def test_wf2qplus_counts_two_sorts_per_packet(self, rng):
+        scheduler = build(WF2QPlusScheduler)
+        trace = poisson_trace(rng, 4, 100)
+        simulate(scheduler, clone(trace))
+        # The paper: WF2Q+ 'requires two sort operations per packet'.
+        assert scheduler.sort_operations >= 2 * 100
+
+
+class TestSCFQAndFBFQ:
+    def test_scfq_virtual_time_is_monotone(self, rng):
+        scheduler = build(SCFQScheduler)
+        trace = poisson_trace(rng, 4, 200)
+        tags = []
+        result = simulate(scheduler, clone(trace))
+        for packet in result.packets:
+            tags.append(packet.finish_tag)
+        # SCFQ service tags are non-decreasing (the monotone property the
+        # paper's deferred marker deletion relies on).
+        assert all(b >= a - 1e-9 for a, b in zip(tags, tags[1:]))
+
+    def test_fbfq_frame_recalibration(self):
+        scheduler = FBFQScheduler(RATE, frame_bits=8000)
+        scheduler.add_flow(0, 0.9)
+        scheduler.add_flow(1, 0.1)
+        trace = [Packet(0, 1000, 0.0) for _ in range(10)]
+        trace += [Packet(1, 1000, 0.05)]
+        result = simulate(scheduler, trace)
+        assert len(result.packets) == 11

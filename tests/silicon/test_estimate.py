@@ -1,0 +1,89 @@
+"""Tests for the Table II estimator — shape checks, not micron matching."""
+
+import pytest
+
+from repro.core.matching import RippleMatcher
+from repro.core.words import PAPER_FORMAT, WordFormat
+from repro.silicon import (
+    UMC_130NM,
+    estimate_sort_retrieve,
+    render_table,
+    scaling_sweep,
+)
+
+
+class TestPaperConfiguration:
+    def test_register_and_sram_bits_match_architecture(self):
+        estimate = estimate_sort_retrieve()
+        assert estimate.register_bits == 272  # tree levels 0-1
+        # level 2 (4 kbit) + 4096-entry x 24-bit translation table
+        assert estimate.sram_bits == 4096 + 4096 * 24
+
+    def test_memory_block_count_matches_fig12(self):
+        """Fig. 12: 32 small tree blocks + 8 translation-table blocks."""
+        estimate = estimate_sort_retrieve()
+        assert estimate.memory_blocks == 40
+
+    def test_clock_in_paper_class(self):
+        """The paper's throughput implies ~143 MHz; the FPGA matcher ran
+        at 154 MHz.  The estimate must land in that class."""
+        estimate = estimate_sort_retrieve()
+        assert 120.0 <= estimate.clock_mhz <= 170.0
+
+    def test_throughput_reproduces_section_iv(self):
+        estimate = estimate_sort_retrieve()
+        assert estimate.packets_per_second == pytest.approx(35.8e6, rel=0.10)
+        assert estimate.line_rate_gbps_at_140b == pytest.approx(40.0, rel=0.10)
+
+    def test_power_is_logic_dominated(self):
+        """Section IV: 'the power consumption of the memory blocks is
+        comparatively low, with the majority due to the lookup logic and
+        associated interconnect'."""
+        estimate = estimate_sort_retrieve()
+        assert estimate.power_logic_mw > estimate.power_memory_mw
+
+    def test_area_is_memory_dominated(self):
+        """Fig. 12's floorplan is dominated by the memory blocks."""
+        estimate = estimate_sort_retrieve()
+        assert estimate.area_memory_mm2 > estimate.area_logic_mm2
+
+    def test_totals_are_sums(self):
+        estimate = estimate_sort_retrieve()
+        assert estimate.area_total_mm2 == pytest.approx(
+            estimate.area_logic_mm2 + estimate.area_memory_mm2
+        )
+        assert estimate.power_total_mw == pytest.approx(
+            estimate.power_logic_mw + estimate.power_memory_mw
+        )
+
+
+class TestScaling:
+    def test_15_bit_variant_grows_translation_table(self):
+        """Section III-A: the 15-bit option needs a 32k-entry table."""
+        sweep = scaling_sweep((12, 15))
+        assert sweep[15].sram_bits > sweep[12].sram_bits * 4
+
+    def test_wider_formats_cost_more_area(self):
+        sweep = scaling_sweep((12, 16, 20))
+        areas = [sweep[bits].area_total_mm2 for bits in (12, 16, 20)]
+        assert areas == sorted(areas)
+
+    def test_matcher_choice_affects_clock(self):
+        fast = estimate_sort_retrieve()
+        slow = estimate_sort_retrieve(matcher_factory=RippleMatcher)
+        assert fast.clock_mhz > slow.clock_mhz
+
+    def test_deeper_tree_trades_memory_for_depth(self):
+        deep = estimate_sort_retrieve(WordFormat(levels=6, literal_bits=2))
+        flat = estimate_sort_retrieve(WordFormat(levels=3, literal_bits=4))
+        # Same 12-bit range: the binary-ish tree stores more tree bits
+        # but the translation table dominates both.
+        assert deep.sram_bits >= flat.sram_bits
+
+
+class TestRendering:
+    def test_render_contains_key_rows(self):
+        text = render_table(estimate_sort_retrieve())
+        assert "Clock (MHz)" in text
+        assert "Line rate @140B" in text
+        assert UMC_130NM.name in text

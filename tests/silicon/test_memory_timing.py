@@ -1,0 +1,75 @@
+"""Tests for the external tag-storage memory models."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.silicon.memory_timing import (
+    ACCESSES_PER_OPERATION,
+    EXTERNAL_SRAM,
+    QDRII_SRAM,
+    RLDRAM,
+    MemoryTechnology,
+    compare_technologies,
+    required_random_cycle_ns,
+    storage_throughput,
+)
+
+
+class TestStorageThroughput:
+    def test_single_port_pays_four_accesses(self):
+        result = storage_throughput(EXTERNAL_SRAM)
+        assert result.operation_time_ns == pytest.approx(
+            ACCESSES_PER_OPERATION * EXTERNAL_SRAM.random_cycle_ns
+        )
+
+    def test_dual_port_halves_the_splice(self):
+        """QDR separate read/write ports overlap adjacent operations."""
+        result = storage_throughput(QDRII_SRAM)
+        assert result.operation_time_ns == pytest.approx(
+            2 * QDRII_SRAM.random_cycle_ns
+        )
+
+    def test_qdrii_sustains_the_40g_target(self):
+        """The development direction the paper names: QDRII keeps the
+        storage off the critical path at 40 Gb/s."""
+        result = storage_throughput(QDRII_SRAM)
+        assert result.line_rate_gbps_at_140b > 40.0
+
+    def test_rldram_trades_speed_for_capacity(self):
+        fast = storage_throughput(QDRII_SRAM)
+        big = storage_throughput(RLDRAM)
+        assert big.line_rate_gbps_at_140b < fast.line_rate_gbps_at_140b
+        assert big.links_per_device > 5 * fast.links_per_device
+
+    def test_compare_covers_all(self):
+        table = compare_technologies()
+        assert len(table) == 3
+
+    def test_invalid_cycle_rejected(self):
+        broken = MemoryTechnology(
+            name="broken", random_cycle_ns=0.0, dual_port=False,
+            capacity_mbit=1,
+        )
+        with pytest.raises(ConfigurationError):
+            storage_throughput(broken)
+
+
+class TestRequiredCycle:
+    def test_inverts_the_chain(self):
+        """At QDRII's achieved rate, the required cycle equals its own."""
+        achieved = storage_throughput(QDRII_SRAM).line_rate_gbps_at_140b
+        needed = required_random_cycle_ns(achieved, dual_port=True)
+        assert needed == pytest.approx(QDRII_SRAM.random_cycle_ns)
+
+    def test_terabit_demands_subnanosecond_cycles(self):
+        """The conclusion's 'future terabit QoS router' scaling: even
+        dual-port storage needs sub-ns random cycles at 1 Tb/s/140 B —
+        quantifying how far the claim stretches."""
+        needed = required_random_cycle_ns(1000.0, dual_port=True)
+        assert needed < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_random_cycle_ns(0.0)
+        with pytest.raises(ConfigurationError):
+            required_random_cycle_ns(10.0, mean_packet_bytes=0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for arrival-process generators."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.traffic.generators import (
+    CBRArrivals,
+    OnOffArrivals,
+    ParetoArrivals,
+    PoissonArrivals,
+    merge,
+)
+from repro.traffic.packet_sizes import FixedSize
+
+
+class TestPoisson:
+    def test_count_and_ordering(self):
+        generator = PoissonArrivals(1, 1000.0, FixedSize(100), seed=1)
+        packets = generator.packets(200)
+        assert len(packets) == 200
+        times = [p.arrival_time for p in packets]
+        assert times == sorted(times)
+        assert all(p.flow_id == 1 for p in packets)
+
+    def test_rate_is_respected(self):
+        generator = PoissonArrivals(1, 1000.0, FixedSize(100), seed=2)
+        packets = generator.packets(5000)
+        duration = packets[-1].arrival_time
+        assert 5000 / duration == pytest.approx(1000.0, rel=0.1)
+
+    def test_determinism_by_seed(self):
+        a = PoissonArrivals(1, 100.0, FixedSize(100), seed=7).packets(50)
+        b = PoissonArrivals(1, 100.0, FixedSize(100), seed=7).packets(50)
+        assert [p.arrival_time for p in a] == [p.arrival_time for p in b]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(1, 0.0, FixedSize(100))
+        generator = PoissonArrivals(1, 10.0, FixedSize(100))
+        with pytest.raises(ConfigurationError):
+            generator.packets(-1)
+
+
+class TestCBR:
+    def test_fixed_spacing_without_jitter(self):
+        generator = CBRArrivals(1, 100.0, FixedSize(80))
+        packets = generator.packets(10)
+        gaps = [
+            b.arrival_time - a.arrival_time
+            for a, b in zip(packets, packets[1:])
+        ]
+        assert all(gap == pytest.approx(0.01) for gap in gaps)
+
+    def test_jitter_bounded(self):
+        generator = CBRArrivals(
+            1, 100.0, FixedSize(80), jitter_fraction=0.2, seed=1
+        )
+        packets = generator.packets(200)
+        gaps = [
+            b.arrival_time - a.arrival_time
+            for a, b in zip(packets, packets[1:])
+        ]
+        assert all(0.009 <= gap <= 0.011 for gap in gaps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CBRArrivals(1, 100.0, FixedSize(80), jitter_fraction=1.0)
+
+
+class TestOnOff:
+    def test_burstiness(self):
+        """On-off traffic shows much higher gap variance than Poisson at
+        the same mean rate."""
+        onoff = OnOffArrivals(
+            1,
+            peak_rate_pps=2000.0,
+            size_model=FixedSize(500),
+            mean_on_s=0.05,
+            mean_off_s=0.15,
+            seed=3,
+        )
+        poisson = PoissonArrivals(1, onoff.mean_rate_pps, FixedSize(500), seed=3)
+        burst_packets = onoff.packets(1000)
+        smooth_packets = poisson.packets(1000)
+
+        def gap_cv(packets):
+            gaps = [
+                b.arrival_time - a.arrival_time
+                for a, b in zip(packets, packets[1:])
+            ]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var**0.5 / mean
+
+        assert gap_cv(burst_packets) > gap_cv(smooth_packets) * 1.5
+
+    def test_mean_rate(self):
+        onoff = OnOffArrivals(
+            1, 1000.0, FixedSize(100), mean_on_s=0.1, mean_off_s=0.3
+        )
+        assert onoff.mean_rate_pps == pytest.approx(250.0)
+
+
+class TestPareto:
+    def test_mean_rate_approximate(self):
+        generator = ParetoArrivals(1, 500.0, FixedSize(100), alpha=2.5, seed=5)
+        packets = generator.packets(5000)
+        rate = 5000 / packets[-1].arrival_time
+        assert rate == pytest.approx(500.0, rel=0.2)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ParetoArrivals(1, 100.0, FixedSize(100), alpha=1.0)
+
+
+class TestMerge:
+    def test_merge_sorts_globally(self):
+        a = PoissonArrivals(1, 100.0, FixedSize(80), seed=1).packets(50)
+        b = PoissonArrivals(2, 100.0, FixedSize(80), seed=2).packets(50)
+        merged = merge([a, b])
+        assert len(merged) == 100
+        times = [p.arrival_time for p in merged]
+        assert times == sorted(times)

@@ -1,0 +1,89 @@
+"""Unit tests for packet-size models."""
+
+import random
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.traffic.packet_sizes import (
+    PAPER_MEAN_PACKET_BYTES,
+    BoundedParetoSize,
+    EmpiricalMix,
+    FixedSize,
+    UniformSize,
+    internet_mix,
+    voice_heavy_mix,
+)
+
+
+class TestFixedSize:
+    def test_always_same(self, rng):
+        model = FixedSize(80)
+        assert all(model.sample(rng) == 80 for _ in range(10))
+        assert model.mean() == 80.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedSize(0)
+
+
+class TestUniformSize:
+    def test_bounds(self, rng):
+        model = UniformSize(40, 1500)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert min(samples) >= 40
+        assert max(samples) <= 1500
+        assert model.mean() == 770.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformSize(100, 50)
+
+
+class TestEmpiricalMix:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalMix(((40, 0.5), (1500, 0.4)))
+
+    def test_samples_come_from_support(self, rng):
+        model = internet_mix()
+        support = {40, 576, 1500}
+        assert all(model.sample(rng) in support for _ in range(300))
+
+    def test_empirical_mean_tracks_model_mean(self):
+        rng = random.Random(1)
+        model = internet_mix()
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            model.mean(), rel=0.05
+        )
+
+    def test_voice_mix_is_near_paper_mean(self):
+        """The paper sizes throughput at a 140-byte average packet."""
+        assert voice_heavy_mix().mean() == pytest.approx(
+            PAPER_MEAN_PACKET_BYTES, rel=0.15
+        )
+
+
+class TestBoundedPareto:
+    def test_bounds_respected(self, rng):
+        model = BoundedParetoSize(low=40, high=1500, alpha=1.2)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert min(samples) >= 40
+        assert max(samples) <= 1500
+
+    def test_heavy_tail_shape(self):
+        """Most mass near the minimum, a real tail near the maximum."""
+        rng = random.Random(2)
+        model = BoundedParetoSize(low=40, high=1500, alpha=1.2)
+        samples = [model.sample(rng) for _ in range(5000)]
+        small = sum(1 for s in samples if s < 200)
+        large = sum(1 for s in samples if s > 1000)
+        assert small > len(samples) / 2
+        assert large > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedParetoSize(low=100, high=100)
+        with pytest.raises(ConfigurationError):
+            BoundedParetoSize(alpha=0)

@@ -1,0 +1,73 @@
+"""Unit tests for composed traffic scenarios."""
+
+import pytest
+
+from repro.traffic.scenarios import (
+    heavy_tail_stress,
+    uniform_poisson,
+    voip_skewed,
+    voip_video_data_mix,
+)
+
+
+class TestVoipVideoData:
+    def test_structure(self):
+        scenario = voip_video_data_mix(packets_per_flow=50, seed=1)
+        assert scenario.flow_count == 8
+        assert len(scenario.realtime_flows) == 4
+        assert len(scenario.trace) == 8 * 50
+
+    def test_weights_sum_to_one(self):
+        scenario = voip_video_data_mix(packets_per_flow=10)
+        assert sum(scenario.weights.values()) == pytest.approx(1.0)
+
+    def test_trace_is_time_sorted(self):
+        scenario = voip_video_data_mix(packets_per_flow=50, seed=2)
+        times = [p.arrival_time for p in scenario.trace]
+        assert times == sorted(times)
+
+    def test_clone_trace_is_independent(self):
+        scenario = voip_video_data_mix(packets_per_flow=10)
+        cloned = scenario.clone_trace()
+        cloned[0].departure_time = 99.0
+        assert scenario.trace[0].departure_time is None
+        assert cloned[0].packet_id == scenario.trace[0].packet_id
+
+    def test_offered_load_tracks_target(self):
+        scenario = voip_video_data_mix(
+            rate_bps=10e6, packets_per_flow=400, load=0.9, seed=3
+        )
+        # Flows end at different times (each emits a fixed packet count),
+        # so offered load is the sum of per-flow rates over each flow's
+        # own active span.
+        per_flow_rate = {}
+        for packet in scenario.trace:
+            bits, end = per_flow_rate.get(packet.flow_id, (0, 0.0))
+            per_flow_rate[packet.flow_id] = (
+                bits + packet.size_bits,
+                max(end, packet.arrival_time),
+            )
+        offered = sum(bits / end for bits, end in per_flow_rate.values())
+        assert offered == pytest.approx(0.9 * 10e6, rel=0.4)
+
+
+class TestOtherScenarios:
+    def test_uniform_poisson(self):
+        scenario = uniform_poisson(flows=5, packets_per_flow=20)
+        assert scenario.flow_count == 5
+        assert len(scenario.trace) == 100
+
+    def test_voip_skewed_all_realtime(self):
+        scenario = voip_skewed(flows=8, packets_per_flow=10)
+        assert len(scenario.realtime_flows) == 8
+
+    def test_heavy_tail_overload(self):
+        scenario = heavy_tail_stress(flows=4, packets_per_flow=50, load=1.2)
+        assert len(scenario.trace) == 200
+
+    def test_deterministic_by_seed(self):
+        a = uniform_poisson(packets_per_flow=20, seed=9)
+        b = uniform_poisson(packets_per_flow=20, seed=9)
+        assert [p.arrival_time for p in a.trace] == [
+            p.arrival_time for p in b.trace
+        ]

@@ -1,0 +1,80 @@
+"""Tests for CSV trace persistence."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.traffic import uniform_poisson
+from repro.traffic.trace_io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        scenario = uniform_poisson(flows=4, packets_per_flow=25, seed=3)
+        path = tmp_path / "trace.csv"
+        save_trace(path, scenario.trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(scenario.trace)
+        for original, restored in zip(scenario.trace, loaded):
+            assert restored.packet_id == original.packet_id
+            assert restored.flow_id == original.flow_id
+            assert restored.size_bytes == original.size_bytes
+            assert restored.arrival_time == original.arrival_time
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.sched import WFQScheduler, simulate
+
+        scenario = uniform_poisson(flows=4, packets_per_flow=40, seed=5)
+        path = tmp_path / "trace.csv"
+        save_trace(path, scenario.trace)
+
+        def run(trace):
+            scheduler = WFQScheduler(scenario.rate_bps)
+            for flow_id, weight in scenario.weights.items():
+                scheduler.add_flow(flow_id, weight)
+            return simulate(scheduler, trace)
+
+        original = run(scenario.clone_trace())
+        replayed = run(load_trace(path))
+        assert [p.packet_id for p in original.packets] == [
+            p.packet_id for p in replayed.packets
+        ]
+        assert [p.departure_time for p in original.packets] == [
+            p.departure_time for p in replayed.packets
+        ]
+
+
+class TestValidation:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_short_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "packet_id,flow_id,size_bytes,arrival_time\n1,2,3\n"
+        )
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "packet_id,flow_id,size_bytes,arrival_time\n1,2,x,0.0\n"
+        )
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_invalid_values(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "packet_id,flow_id,size_bytes,arrival_time\n1,2,0,0.0\n"
+        )
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+        path.write_text(
+            "packet_id,flow_id,size_bytes,arrival_time\n1,2,64,-1.0\n"
+        )
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
