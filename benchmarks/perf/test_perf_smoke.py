@@ -1,0 +1,78 @@
+"""Smoke coverage for the perf-regression harness.
+
+Runs the suite's smoke preset end to end — every matcher variant, every
+word-format size, and the headline mixed soak with its served-order
+equivalence assertion — then exercises the baseline write/check round
+trip exactly as CI invokes it (``python -m repro bench --smoke`` /
+``--check``).
+"""
+
+import json
+
+from repro.bench.perf import check_against_baseline, main, run_bench
+from repro.core.matching import ALL_MATCHERS
+
+
+def test_smoke_preset_structure(report):
+    document = run_bench(preset="smoke", seed=7)
+    assert document["preset"] == "smoke"
+    names = [scenario["name"] for scenario in document["scenarios"]]
+    for matcher in ALL_MATCHERS:
+        assert f"insert_per_op:matcher={matcher}" in names
+        assert f"insert_batch:matcher={matcher}" in names
+    for label in ("w8", "w12", "w16"):
+        assert f"dequeue_batch:size={label}" in names
+    for scenario in document["scenarios"]:
+        assert scenario["ops"] > 0
+        assert scenario["ops_per_second"] > 0
+        assert scenario["accesses_per_op"] > 0
+        # Every circuit operation costs exactly FIXED_OP_CYCLES.
+        assert scenario["cycles_per_op"] == 4.0
+    headline = document["headline"]
+    assert headline["served_orders_identical"] is True
+    assert headline["per_op"]["ops"] == headline["batched"]["ops"]
+    report(
+        f"smoke headline speedup: {headline['speedup']}x "
+        f"({headline['batched']['ops_per_second']:,.0f} ops/s batched)"
+    )
+
+
+def test_batched_paths_amortize_accesses():
+    """The machine-independent win: fewer memory accesses per insert."""
+    document = run_bench(preset="smoke", seed=11)
+    by_name = {s["name"]: s for s in document["scenarios"]}
+    for label in ("w8", "w12", "w16"):
+        per_op = by_name[f"insert_per_op:size={label}"]
+        batch = by_name[f"insert_batch:size={label}"]
+        assert batch["accesses_per_op"] < per_op["accesses_per_op"]
+
+
+def test_check_round_trip(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["--smoke", "--output", str(baseline_path)]) == 0
+    assert baseline_path.exists()
+    document = json.loads(baseline_path.read_text())
+    assert document["schema"] == 1
+    assert main(["--smoke", "--check", "--output", str(baseline_path)]) == 0
+
+
+def test_check_flags_access_growth():
+    document = run_bench(preset="smoke", seed=3)
+    inflated = json.loads(json.dumps(document))
+    inflated["scenarios"][0]["accesses_per_op"] *= 2
+    degraded = check_against_baseline(document, inflated)
+    assert not degraded  # current run is *better*: no complaint
+    regressed = check_against_baseline(inflated, document)
+    assert any("accesses_per_op" in problem for problem in regressed)
+
+
+def test_check_flags_missing_scenario_and_preset_mismatch():
+    document = run_bench(preset="smoke", seed=3)
+    pruned = json.loads(json.dumps(document))
+    dropped = pruned["scenarios"].pop(0)
+    problems = check_against_baseline(pruned, document)
+    assert any(dropped["name"] in problem for problem in problems)
+    mismatched = json.loads(json.dumps(document))
+    mismatched["preset"] = "full"
+    problems = check_against_baseline(document, mismatched)
+    assert any("preset" in problem for problem in problems)

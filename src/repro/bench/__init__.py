@@ -1,0 +1,17 @@
+"""Performance benchmarks and the perf-regression harness.
+
+``python -m repro bench`` times the sort/retrieve hot paths — per-op
+versus batched — across matcher variants and circuit sizes, and writes a
+machine-readable baseline (``BENCH_sort_retrieve.json``).  ``--check``
+compares a fresh run against the committed baseline and fails loudly on
+regression.  See :mod:`repro.bench.perf`.
+"""
+
+from .perf import (  # noqa: F401
+    BASELINE_FILENAME,
+    HEADLINE_MIN_SPEEDUP,
+    REGRESSION_TOLERANCE,
+    check_against_baseline,
+    main,
+    run_bench,
+)

@@ -1,0 +1,472 @@
+"""Perf-regression harness for the sort/retrieve hot paths.
+
+Three scenario families, all deterministic per seed:
+
+* **insert soaks** — fill a circuit with a sorted-random tag load,
+  per-op :meth:`~repro.core.sort_retrieve.TagSortRetrieveCircuit.insert`
+  versus one :meth:`~repro.core.sort_retrieve.TagSortRetrieveCircuit.insert_batch`,
+  swept across the five matcher topologies and three word formats;
+* **dequeue soaks** — drain the same loads per-op versus
+  :meth:`~repro.core.sort_retrieve.TagSortRetrieveCircuit.dequeue_batch`;
+* the **headline mixed soak** — 100k bursty push/pop operations through
+  :class:`~repro.net.hardware_store.HardwareTagStore` (paper word
+  format, default matcher), per-op versus the batched fast-mode path,
+  with the served sequences compared element-wise before any timing is
+  trusted.
+
+Each scenario records wall throughput (machine-dependent) and memory
+accesses and circuit cycles per operation (machine-independent).  The
+results land in ``BENCH_sort_retrieve.json``; ``--check`` re-runs the
+suite and fails when throughput drops more than 20% below the committed
+baseline or when the access counts grow beyond the same tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.matching import ALL_MATCHERS, DEFAULT_MATCHER
+from ..core.sort_retrieve import TagSortRetrieveCircuit
+from ..core.words import PAPER_FORMAT, WordFormat
+from ..net.hardware_store import HardwareTagStore
+
+#: Baseline file name, committed at the repository root.
+BASELINE_FILENAME = "BENCH_sort_retrieve.json"
+
+#: Allowed fractional slowdown (or access growth) before --check fails.
+REGRESSION_TOLERANCE = 0.20
+
+#: The batched mixed soak must beat the per-op path by this factor.
+HEADLINE_MIN_SPEEDUP = 2.0
+
+#: Wall-clock comparisons need at least this much timed work to be
+#: meaningful; shorter scenarios are checked only on their
+#: machine-independent access and cycle counts.
+MIN_TIMED_WALL_SECONDS = 0.2
+
+#: Word formats swept by the size scenarios: 8-, 12- (paper) and 16-bit.
+SIZE_SWEEP: Tuple[Tuple[str, WordFormat], ...] = (
+    ("w8", WordFormat(levels=2, literal_bits=4)),
+    ("w12", PAPER_FORMAT),
+    ("w16", WordFormat(levels=4, literal_bits=4)),
+)
+
+_SCHEMA = 1
+
+
+def _sorted_tags(fmt: WordFormat, count: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return sorted(rng.randrange(fmt.capacity) for _ in range(count))
+
+
+def _timed(fn) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _scenario(
+    name: str,
+    *,
+    ops: int,
+    seconds: float,
+    accesses: int,
+    cycles: int,
+    **extra,
+) -> Dict:
+    record = {
+        "name": name,
+        "ops": ops,
+        "seconds": round(seconds, 6),
+        "ops_per_second": round(ops / seconds, 1) if seconds > 0 else 0.0,
+        "accesses_per_op": round(accesses / ops, 4) if ops else 0.0,
+        "cycles_per_op": round(cycles / ops, 4) if ops else 0.0,
+    }
+    record.update(extra)
+    return record
+
+
+def _bench_insert_dequeue(
+    label: str,
+    fmt: WordFormat,
+    matcher_factory,
+    count: int,
+    seed: int,
+) -> List[Dict]:
+    """Per-op and batched insert+dequeue soaks on one configuration."""
+    tags = _sorted_tags(fmt, count, seed)
+    capacity = count
+    scenarios: List[Dict] = []
+
+    def fresh() -> TagSortRetrieveCircuit:
+        return TagSortRetrieveCircuit(
+            fmt, capacity=capacity, matcher_factory=matcher_factory
+        )
+
+    # -- per-op insert, then per-op dequeue on the filled circuit
+    circuit = fresh()
+    seconds, _ = _timed(lambda: [circuit.insert(tag) for tag in tags])
+    stats = circuit.registry.total()
+    scenarios.append(
+        _scenario(
+            f"insert_per_op:{label}",
+            ops=count,
+            seconds=seconds,
+            accesses=stats.total,
+            cycles=circuit.cycles,
+        )
+    )
+    before = circuit.registry.total()
+    cycles_before = circuit.cycles
+    seconds, _ = _timed(lambda: [circuit.dequeue_min() for _ in range(count)])
+    stats = circuit.registry.total()
+    scenarios.append(
+        _scenario(
+            f"dequeue_per_op:{label}",
+            ops=count,
+            seconds=seconds,
+            accesses=stats.total - before.total,
+            cycles=circuit.cycles - cycles_before,
+        )
+    )
+
+    # -- batched insert, then one batched dequeue of everything
+    circuit = fresh()
+    seconds, _ = _timed(lambda: circuit.insert_batch(tags))
+    stats = circuit.registry.total()
+    scenarios.append(
+        _scenario(
+            f"insert_batch:{label}",
+            ops=count,
+            seconds=seconds,
+            accesses=stats.total,
+            cycles=circuit.cycles,
+        )
+    )
+    before = circuit.registry.total()
+    cycles_before = circuit.cycles
+    seconds, _ = _timed(lambda: circuit.dequeue_batch(count))
+    stats = circuit.registry.total()
+    scenarios.append(
+        _scenario(
+            f"dequeue_batch:{label}",
+            ops=count,
+            seconds=seconds,
+            accesses=stats.total - before.total,
+            cycles=circuit.cycles - cycles_before,
+        )
+    )
+    return scenarios
+
+
+def make_mixed_ops(count: int, seed: int, *, max_backlog: int = 512) -> List:
+    """A bursty, WFQ-shaped push/pop stream of ``count`` operations.
+
+    Pushes carry drifting virtual-time finish tags (so the tag space
+    wraps many times over a long soak); the backlog is soft-capped so
+    the live span stays inside the wrap window at the benchmark's
+    granularity.
+    """
+    rng = random.Random(seed)
+    ops: List = []
+    live = 0
+    vt = 0.0
+    while len(ops) < count:
+        for _ in range(rng.randint(1, 12)):
+            if len(ops) >= count:
+                break
+            vt += rng.random() * 30
+            finish = max(0.0, vt + rng.random() * 200 - 20)
+            ops.append(("push", finish, len(ops)))
+            live += 1
+        pops = rng.randint(1, 12)
+        if live > max_backlog:
+            pops = live - max_backlog // 2
+        for _ in range(min(pops, live)):
+            if len(ops) >= count:
+                break
+            ops.append(("pop",))
+            live -= 1
+    return ops
+
+
+def _drive_per_op(store: HardwareTagStore, ops: List) -> List:
+    served = []
+    for op in ops:
+        if op[0] == "push":
+            store.push(op[1], op[2])
+        else:
+            served.append(store.pop_min())
+    return served
+
+
+def _drive_batched(store: HardwareTagStore, ops: List) -> List:
+    served: List = []
+    pending_push: List = []
+    pending_pop = 0
+    for op in ops:
+        if op[0] == "push":
+            if pending_pop:
+                served.extend(store.pop_batch(pending_pop))
+                pending_pop = 0
+            pending_push.append((op[1], op[2]))
+        else:
+            if pending_push:
+                store.push_batch(pending_push)
+                pending_push = []
+            pending_pop += 1
+    if pending_push:
+        store.push_batch(pending_push)
+    if pending_pop:
+        served.extend(store.pop_batch(pending_pop))
+    return served
+
+
+def _bench_headline(count: int, seed: int) -> Dict:
+    """The acceptance scenario: 100k mixed ops, per-op vs batched."""
+    granularity = 8.0
+    ops = make_mixed_ops(count, seed)
+
+    store = HardwareTagStore(granularity=granularity)
+    seconds_per_op, served_per_op = _timed(lambda: _drive_per_op(store, ops))
+    per_op = _scenario(
+        "mixed_per_op:headline",
+        ops=count,
+        seconds=seconds_per_op,
+        accesses=store.circuit.registry.total().total,
+        cycles=store.cycles,
+    )
+
+    store = HardwareTagStore(granularity=granularity, fast_mode=True)
+    seconds_batch, served_batch = _timed(lambda: _drive_batched(store, ops))
+    batched = _scenario(
+        "mixed_batched:headline",
+        ops=count,
+        seconds=seconds_batch,
+        accesses=store.circuit.registry.total().total,
+        cycles=store.cycles,
+    )
+
+    if served_per_op != served_batch:
+        raise AssertionError(
+            "batched mixed soak served a different sequence than per-op: "
+            "timings are meaningless, refusing to report them"
+        )
+    speedup = seconds_per_op / seconds_batch if seconds_batch > 0 else 0.0
+    return {
+        "name": "mixed_100k_paper_default",
+        "ops": count,
+        "granularity": granularity,
+        "per_op": per_op,
+        "batched": batched,
+        "speedup": round(speedup, 2),
+        "served_orders_identical": True,
+    }
+
+
+def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
+    """Run the suite; returns the JSON-ready result document."""
+    if preset == "full":
+        matcher_count = 4096
+        size_count = {"w8": 256, "w12": 4096, "w16": 8192}
+        headline_count = 100_000
+    elif preset == "smoke":
+        matcher_count = 256
+        size_count = {"w8": 128, "w12": 256, "w16": 256}
+        headline_count = 2_000
+    else:
+        raise ValueError(f"unknown preset {preset!r}")
+
+    scenarios: List[Dict] = []
+    for name, matcher in sorted(ALL_MATCHERS.items()):
+        scenarios.extend(
+            _bench_insert_dequeue(
+                f"matcher={name}", PAPER_FORMAT, matcher, matcher_count, seed
+            )
+        )
+    for label, fmt in SIZE_SWEEP:
+        scenarios.extend(
+            _bench_insert_dequeue(
+                f"size={label}",
+                fmt,
+                DEFAULT_MATCHER,
+                size_count[label],
+                seed,
+            )
+        )
+    headline = _bench_headline(headline_count, seed)
+    return {
+        "schema": _SCHEMA,
+        "preset": preset,
+        "seed": seed,
+        "headline": headline,
+        "scenarios": scenarios,
+    }
+
+
+def check_against_baseline(
+    current: Dict,
+    baseline: Dict,
+    *,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare a fresh run to the committed baseline.
+
+    Returns human-readable regression messages (empty = pass).  Wall
+    throughput may drop by up to ``tolerance`` — but only scenarios that
+    ran for at least :data:`MIN_TIMED_WALL_SECONDS` in *both* runs are
+    wall-compared, because shorter timings are noise (the smoke preset
+    falls almost entirely under the floor).  Per-op access and cycle
+    counts are deterministic, so the same tolerance bounds noise-free
+    growth there at every scale.
+    """
+    problems: List[str] = []
+    if baseline.get("preset") != current.get("preset"):
+        problems.append(
+            f"baseline preset {baseline.get('preset')!r} does not match "
+            f"current run {current.get('preset')!r}; regenerate the baseline"
+        )
+        return problems
+    old_scenarios = {s["name"]: s for s in baseline.get("scenarios", ())}
+    new_scenarios = {s["name"]: s for s in current.get("scenarios", ())}
+    for name, old in sorted(old_scenarios.items()):
+        new = new_scenarios.get(name)
+        if new is None:
+            problems.append(f"scenario {name} disappeared from the suite")
+            continue
+        timed = (
+            old["seconds"] >= MIN_TIMED_WALL_SECONDS
+            and new["seconds"] >= MIN_TIMED_WALL_SECONDS
+        )
+        floor = old["ops_per_second"] * (1.0 - tolerance)
+        if timed and new["ops_per_second"] < floor:
+            problems.append(
+                f"{name}: throughput {new['ops_per_second']:.0f} ops/s fell "
+                f">{tolerance:.0%} below baseline {old['ops_per_second']:.0f}"
+            )
+        for metric in ("accesses_per_op", "cycles_per_op"):
+            if new[metric] > old[metric] * (1.0 + tolerance):
+                problems.append(
+                    f"{name}: {metric} {new[metric]} grew >{tolerance:.0%} "
+                    f"over baseline {old[metric]}"
+                )
+    old_head = baseline.get("headline", {})
+    new_head = current.get("headline", {})
+    if old_head and new_head:
+        timed = all(
+            side.get("seconds", 0.0) >= MIN_TIMED_WALL_SECONDS
+            for side in (
+                old_head.get("per_op", {}),
+                old_head.get("batched", {}),
+                new_head.get("per_op", {}),
+                new_head.get("batched", {}),
+            )
+        )
+        floor = old_head.get("speedup", 0.0) * (1.0 - tolerance)
+        if timed and new_head.get("speedup", 0.0) < floor:
+            problems.append(
+                f"headline batched speedup {new_head.get('speedup')}x fell "
+                f">{tolerance:.0%} below baseline {old_head.get('speedup')}x"
+            )
+    return problems
+
+
+def _format_summary(document: Dict) -> str:
+    lines = [
+        f"perf suite ({document['preset']} preset, seed {document['seed']})",
+        "",
+        f"  {'scenario':<38} {'ops/s':>12} {'acc/op':>8} {'cyc/op':>8}",
+    ]
+    for scenario in document["scenarios"]:
+        lines.append(
+            f"  {scenario['name']:<38} {scenario['ops_per_second']:>12,.0f} "
+            f"{scenario['accesses_per_op']:>8.2f} "
+            f"{scenario['cycles_per_op']:>8.2f}"
+        )
+    headline = document["headline"]
+    lines += [
+        "",
+        f"  headline {headline['name']}: "
+        f"{headline['per_op']['ops_per_second']:,.0f} ops/s per-op vs "
+        f"{headline['batched']['ops_per_second']:,.0f} ops/s batched "
+        f"({headline['speedup']}x)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the sort/retrieve hot paths and manage the "
+        "perf-regression baseline.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI preset (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        # argparse %-formats help strings, so the percent sign must be
+        # doubled or it swallows the rest of the text.
+        help=f"compare against the baseline instead of rewriting it; "
+        f"exits 1 on a >{round(REGRESSION_TOLERANCE * 100)}%% regression",
+    )
+    parser.add_argument(
+        "--output",
+        default=BASELINE_FILENAME,
+        help="where to write (or read, with --check) the baseline JSON",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20060101, help="workload seed"
+    )
+    args = parser.parse_args(argv)
+    preset = "smoke" if args.smoke else "full"
+
+    document = run_bench(preset=preset, seed=args.seed)
+    print(_format_summary(document))
+
+    headline = document["headline"]
+    if preset == "full" and headline["speedup"] < HEADLINE_MIN_SPEEDUP:
+        print(
+            f"\nFAIL: headline batched speedup {headline['speedup']}x is "
+            f"below the required {HEADLINE_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.check:
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(
+                f"\nFAIL: no baseline at {args.output}; run "
+                "'python -m repro bench' first to create one",
+                file=sys.stderr,
+            )
+            return 1
+        problems = check_against_baseline(document, baseline)
+        if problems:
+            print("\nFAIL: performance regressed:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"\nOK: within {REGRESSION_TOLERANCE:.0%} of {args.output}")
+        return 0
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"\nbaseline written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -8,6 +8,9 @@ Regenerates any of the paper's evaluation artifacts without pytest:
    $ python -m repro table1
    $ python -m repro fig7
    $ python -m repro all
+
+``python -m repro bench`` runs the perf-regression suite instead (see
+:mod:`repro.bench.perf` for its own flags: ``--smoke``, ``--check``).
 """
 
 from __future__ import annotations
@@ -58,6 +61,15 @@ def run_artifact(name: str) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # The bench harness owns its flags; dispatch before the artifact
+        # parser rejects them.  Imported lazily so artifact generation
+        # never pays for the benchmark machinery.
+        from .bench.perf import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)

@@ -26,15 +26,32 @@ Marker lifetime has two modes:
   marker and translation entry immediately.  This drops the WFQ
   monotonicity requirement, making the circuit a general-purpose
   priority queue (used as such in the Table I comparisons).
+
+Besides the per-operation methods, the circuit offers **batched fast
+paths** (:meth:`TagSortRetrieveCircuit.insert_batch`,
+:meth:`TagSortRetrieveCircuit.dequeue_batch`,
+:meth:`TagSortRetrieveCircuit.run_mixed`) that amortize per-op
+bookkeeping across a run of operations: one tree search anchors a whole
+monotone insert run (the storage finger walks forward from it), tree
+markers reuse the previous value's path as a node-register cache, and
+stats land in the :class:`~repro.hwsim.stats.StatsRegistry` as one bulk
+update per batch.  Batches produce the same service order, the same
+linked-list state, and the same cycle accounting as the per-op loop.
+An opt-in **fast mode** additionally skips the ``_live_tags``
+verification shadow (a pure-software debugging aid with no hardware
+counterpart); section-level occupancy counters keep the Fig. 6
+stale-section guard intact, but :meth:`check_invariants` can no longer
+cross-check the stored multiset against an independent shadow.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from ..hwsim.errors import (
+    CapacityError,
     ConfigurationError,
     EmptyStructureError,
     ProtocolError,
@@ -70,6 +87,7 @@ class TagSortRetrieveCircuit:
         matcher_factory=DEFAULT_MATCHER,
         eager_marker_removal: bool = False,
         modular: bool = False,
+        fast_mode: bool = False,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("capacity must be at least 1")
@@ -85,7 +103,12 @@ class TagSortRetrieveCircuit:
         self.storage = TagStorageMemory(capacity, modular=modular)
         self.cycles = 0
         self.operations = 0
+        self._fast_mode = bool(fast_mode)
         self._live_tags: Counter = Counter()  # verification shadow only
+        #: live tags per root-literal section; backs the Fig. 6
+        #: stale-section guard even when the shadow is disabled.
+        self._section_bits = fmt.word_bits - fmt.literal_bits
+        self._section_live = [0] * fmt.branching_factor
         self.registry = StatsRegistry()
         self.registry.register("translation_table", self.translation.stats)
         self.registry.register("tag_storage", self.storage.stats)
@@ -110,6 +133,37 @@ class TagSortRetrieveCircuit:
     def peek_min(self) -> Optional[int]:
         """The smallest stored tag, from the head register (zero cost)."""
         return self.storage.min_tag
+
+    def peek_head(self) -> Optional[ServedTag]:
+        """The head entry without dequeuing it, from registers (zero cost).
+
+        Returns None when the circuit is empty.  No memory access or
+        stats traffic: the head link is latched by the operation that
+        made it the head (:meth:`TagStorageMemory.peek_head`).
+        """
+        head = self.storage.peek_head()
+        if head is None:
+            return None
+        tag, payload, address = head
+        return ServedTag(tag=tag, payload=payload, address=address)
+
+    @property
+    def fast_mode(self) -> bool:
+        """Whether the verification shadow is disabled (opt-in fast path)."""
+        return self._fast_mode
+
+    @fast_mode.setter
+    def fast_mode(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled == self._fast_mode:
+            return
+        if enabled:
+            self._live_tags.clear()
+        else:
+            # Rebuild the shadow from the authoritative storage walk so
+            # invariant checking resumes from a consistent state.
+            self._live_tags = Counter(tag for tag, _ in self.storage.walk())
+        self._fast_mode = enabled
 
     def total_stats(self) -> AccessStats:
         """Summed memory traffic across every internal structure."""
@@ -161,7 +215,9 @@ class TagSortRetrieveCircuit:
         address = self._insert_link(tag, payload)
         self.tree.insert_marker(tag)
         self.translation.record(tag, address)
-        self._live_tags[tag] += 1
+        if not self._fast_mode:
+            self._live_tags[tag] += 1
+        self._section_live[tag >> self._section_bits] += 1
         self._spend_operation()
         return address
 
@@ -239,7 +295,9 @@ class TagSortRetrieveCircuit:
         self._retire(served_tag, served_address)
         self.tree.insert_marker(tag)
         self.translation.record(tag, new_address)
-        self._live_tags[tag] += 1
+        if not self._fast_mode:
+            self._live_tags[tag] += 1
+        self._section_live[tag >> self._section_bits] += 1
         self._spend_operation()
         served = ServedTag(
             tag=served_tag, payload=served_payload, address=served_address
@@ -247,15 +305,214 @@ class TagSortRetrieveCircuit:
         return served, new_address
 
     def _retire(self, tag: int, address: int) -> None:
-        self._live_tags[tag] -= 1
-        if self._live_tags[tag] == 0:
-            del self._live_tags[tag]
+        if not self._fast_mode:
+            self._live_tags[tag] -= 1
+            if self._live_tags[tag] == 0:
+                del self._live_tags[tag]
+        self._section_live[tag >> self._section_bits] -= 1
         if self.eager_marker_removal:
             if self.translation.invalidate_if_points_to(tag, address):
                 self.tree.remove_marker(tag)
 
     # ------------------------------------------------------------------
+    # batched fast paths
+
+    def insert_batch(
+        self,
+        tags: Sequence[int],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> List[int]:
+        """Sort a whole run of tags with amortized bookkeeping.
+
+        Service order and cycle accounting are identical to inserting
+        per-op in the given order (equal tags keep their FCFS order
+        because the internal sort is stable; physical addresses may
+        differ since allocation follows sorted order), but the cost is
+        one tree search for the entire run: the storage finger walks
+        forward from the first predecessor, the tree marker pass reuses
+        the previous value's path as a node-register cache, and stats
+        are flushed in bulk.  Validation runs up front, so a rejected
+        batch leaves the circuit untouched.  Eager-marker mode falls
+        back to per-op inserts (its retire work is per-tag anyway).
+        Returns storage addresses aligned with the input order.
+        """
+        tags = list(tags)
+        count = len(tags)
+        if payloads is None:
+            payloads = [None] * count
+        else:
+            payloads = list(payloads)
+            if len(payloads) != count:
+                raise ConfigurationError(
+                    f"{count} tags but {len(payloads)} payloads"
+                )
+        if count == 0:
+            return []
+        if self.eager_marker_removal:
+            return [
+                self.insert(tag, payload)
+                for tag, payload in zip(tags, payloads)
+            ]
+        for tag in tags:
+            self.fmt.check_value(tag)
+        if self.storage.count + count > self.storage.capacity:
+            raise CapacityError(
+                f"batch of {count} tags overflows tag storage "
+                f"({self.storage.count} of {self.storage.capacity} in use)"
+            )
+        minimum = self.storage.min_tag
+        reference = minimum if minimum is not None else tags[0]
+        if self.modular:
+            space = self.fmt.capacity
+            half = space // 2
+            key = lambda value: (value - reference) % space  # noqa: E731
+            for tag in tags:
+                if key(tag) >= half:
+                    raise ProtocolError(
+                        f"tag {tag} is behind the window minimum "
+                        f"{reference} (wrapped distance {key(tag)})"
+                    )
+            sort_key = key
+        else:
+            for tag in tags:
+                if tag < reference:
+                    raise ProtocolError(
+                        f"WFQ invariant violated: tag {tag} below current "
+                        f"minimum {reference} (use eager_marker_removal="
+                        "True for general priority-queue workloads)"
+                    )
+            key = None
+            sort_key = lambda value: value  # noqa: E731
+
+        order = sorted(range(count), key=lambda i: sort_key(tags[i]))
+        entries = [(tags[i], payloads[i]) for i in order]
+
+        if self.storage.is_empty:
+            # Initialization mode: flush stale markers exactly as the
+            # per-op path does on the first insert of a busy period.
+            self.flush_stale_markers()
+            predecessor = None
+        else:
+            predecessor = self._locate_predecessor(entries[0][0])
+            if predecessor is None and self.modular:
+                raise ProtocolError(
+                    f"no predecessor for wrapped tag {entries[0][0]}: the "
+                    "sections below it were not cleared before reuse"
+                )
+        sorted_addresses = self.storage.insert_monotone_batch(
+            entries, predecessor, key=key
+        )
+        self.tree.insert_markers(tag for tag, _ in entries)
+        for index in range(count):
+            tag = entries[index][0]
+            if index + 1 == count or entries[index + 1][0] != tag:
+                # Only the newest duplicate's address must be recorded.
+                self.translation.record(tag, sorted_addresses[index])
+        if not self._fast_mode:
+            for tag in tags:
+                self._live_tags[tag] += 1
+        section_live = self._section_live
+        shift = self._section_bits
+        for tag in tags:
+            section_live[tag >> shift] += 1
+        self.cycles += FIXED_OP_CYCLES * count
+        self.operations += count
+        addresses: List[int] = [0] * count
+        for position, index in enumerate(order):
+            addresses[index] = sorted_addresses[position]
+        return addresses
+
+    def dequeue_batch(self, count: int) -> List[ServedTag]:
+        """Serve the ``count`` smallest tags with amortized bookkeeping.
+
+        Equivalent to ``count`` calls of :meth:`dequeue_min` — same
+        service order, same empty-list state, same cycle accounting —
+        with the storage reads/writes flushed once per batch.
+        """
+        if count < 0:
+            raise ConfigurationError("dequeue count must be non-negative")
+        if count > self.count:
+            raise EmptyStructureError(
+                f"dequeue_batch({count}) from a circuit holding {self.count}"
+            )
+        if count == 0:
+            return []
+        triples = self.storage.dequeue_batch(count)
+        served = [
+            ServedTag(tag=tag, payload=payload, address=address)
+            for tag, payload, address in triples
+        ]
+        for entry in served:
+            self._retire(entry.tag, entry.address)
+        self.cycles += FIXED_OP_CYCLES * count
+        self.operations += count
+        return served
+
+    def run_mixed(self, operations: Iterable[Tuple]) -> List[ServedTag]:
+        """Execute a mixed op stream, coalescing runs into batch calls.
+
+        ``operations`` yields ``("insert", tag[, payload])`` and
+        ``("dequeue",)`` tuples.  Consecutive operations of the same
+        kind are grouped into one :meth:`insert_batch` /
+        :meth:`dequeue_batch` call, so bursty streams (the common WFQ
+        arrival pattern) pay per-batch instead of per-op overhead.
+        Returns every served tag in service order — identical to
+        executing the stream one operation at a time.
+        """
+        served: List[ServedTag] = []
+        pending_inserts: List[Tuple[int, Any]] = []
+        pending_dequeues = 0
+        for operation in operations:
+            kind = operation[0]
+            if kind == "insert":
+                if pending_dequeues:
+                    served.extend(self.dequeue_batch(pending_dequeues))
+                    pending_dequeues = 0
+                payload = operation[2] if len(operation) > 2 else None
+                pending_inserts.append((operation[1], payload))
+            elif kind == "dequeue":
+                if pending_inserts:
+                    self.insert_batch(
+                        [tag for tag, _ in pending_inserts],
+                        [payload for _, payload in pending_inserts],
+                    )
+                    pending_inserts = []
+                pending_dequeues += 1
+            else:
+                raise ConfigurationError(
+                    f"unknown mixed operation kind {kind!r}"
+                )
+        if pending_inserts:
+            self.insert_batch(
+                [tag for tag, _ in pending_inserts],
+                [payload for _, payload in pending_inserts],
+            )
+        if pending_dequeues:
+            served.extend(self.dequeue_batch(pending_dequeues))
+        return served
+
+    # ------------------------------------------------------------------
     # stale-section maintenance (Fig. 6)
+
+    def flush_stale_markers(self) -> None:
+        """Initialization-mode reset: wipe last busy period's markers.
+
+        Only meaningful while the storage is empty (Section III-A): with
+        no live tags, every marker in the tree is stale, and the next
+        busy period may start at lower values that would otherwise find
+        them.  The per-op and batched insert paths both perform this
+        flush automatically on the first insert of a busy period; wrap
+        managers call it directly when they need the flush to precede
+        their own section maintenance.  No-op in eager-marker mode (no
+        stale markers exist) or when the tree is already clean.
+        """
+        if not self.storage.is_empty:
+            raise ProtocolError(
+                f"cannot flush markers with {self.storage.count} live "
+                "tags in storage"
+            )
+        if not self.eager_marker_removal and not self.tree.is_empty:
+            self.tree.clear_all()
 
     def clear_stale_section(self, root_literal: int) -> int:
         """Bulk-delete the markers of one vacated sixteenth of tag space.
@@ -265,16 +522,26 @@ class TagSortRetrieveCircuit:
         still holds live tags.  Returns the number of stale marker values
         deleted.
         """
-        section_bits = self.fmt.word_bits - self.fmt.literal_bits
-        low = root_literal << section_bits
-        high = low + (1 << section_bits) - 1
-        live_in_section = [
-            value for value in self._live_tags if low <= value <= high
-        ]
-        if live_in_section:
+        if not 0 <= root_literal < self.fmt.branching_factor:
+            raise ConfigurationError(
+                f"root literal {root_literal} outside "
+                f"[0, {self.fmt.branching_factor})"
+            )
+        if self._section_live[root_literal]:
+            # The per-section occupancy counters guard the clear even in
+            # fast mode; the shadow (when enabled) names an offender.
+            low = root_literal << self._section_bits
+            high = low + (1 << self._section_bits) - 1
+            live_in_section = [
+                value for value in self._live_tags if low <= value <= high
+            ]
+            example = (
+                f" (e.g. {min(live_in_section)})" if live_in_section else ""
+            )
             raise ProtocolError(
-                f"section {root_literal} still holds live tags "
-                f"(e.g. {min(live_in_section)}); cannot clear"
+                f"section {root_literal} still holds "
+                f"{self._section_live[root_literal]} live "
+                f"tags{example}; cannot clear"
             )
         return self.tree.clear_root_section(root_literal)
 
@@ -282,32 +549,50 @@ class TagSortRetrieveCircuit:
     # verification
 
     def check_invariants(self) -> None:
-        """Deep-verify tree, storage, and cross-structure consistency."""
+        """Deep-verify tree, storage, and cross-structure consistency.
+
+        In fast mode the independent ``_live_tags`` shadow is disabled,
+        so the shadow-vs-storage multiset comparison is skipped; every
+        other check (structure invariants, marker coverage, newest-
+        duplicate translation pointers, section occupancy counters)
+        still runs against the authoritative storage walk.
+        """
         self.storage.check_invariants()
         self.tree.check_invariants()
-        live = sorted(self._live_tags.elements())
-        stored = [tag for tag, _ in self.storage.walk()]
+        walked = self.storage.walk()
+        stored = [tag for tag, _ in walked]
         if self.modular:
             stored = sorted(stored)
-        if live != stored:
-            raise ProtocolError(
-                f"shadow tag multiset diverged from storage: "
-                f"{live[:8]}... vs {stored[:8]}..."
-            )
+        if not self._fast_mode:
+            live = sorted(self._live_tags.elements())
+            if live != stored:
+                raise ProtocolError(
+                    f"shadow tag multiset diverged from storage: "
+                    f"{live[:8]}... vs {stored[:8]}..."
+                )
+        stored_values = set(stored)
         marked = set(self.tree.marked_values())
-        for value in self._live_tags:
+        for value in stored_values:
             if value not in marked:
                 raise ProtocolError(f"live tag {value} lost its tree marker")
         if self.eager_marker_removal:
             for value in marked:
-                if value not in self._live_tags:
+                if value not in stored_values:
                     raise ProtocolError(
                         f"eager mode left a stale marker for {value}"
                     )
+        sections = [0] * self.fmt.branching_factor
+        for tag in stored:
+            sections[tag >> self._section_bits] += 1
+        if sections != self._section_live:
+            raise ProtocolError(
+                f"section occupancy counters diverged from storage: "
+                f"{self._section_live} vs {sections}"
+            )
         # Every live value's translation entry must point at its newest
         # duplicate, which is the last of its equal-valued run in the list.
         newest = {}
-        for tag, address in self.storage.walk():
+        for tag, address in walked:
             newest[tag] = address
         for value, address in newest.items():
             recorded = self.translation.lookup(value)

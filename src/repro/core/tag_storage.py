@@ -131,6 +131,19 @@ class TagStorageMemory:
         """Fresh addresses the init counter can still hand out (Fig. 10)."""
         return self.capacity - self._init_counter.value
 
+    def peek_head(self) -> Optional[Tuple[int, Any, int]]:
+        """The head link's ``(tag, payload, address)``, at zero cost.
+
+        Hardware latches the full head link in registers whenever a link
+        becomes the head (it was read by the very operation that promoted
+        it), so observing the head costs no memory access and no port.
+        Returns None when the memory is empty.
+        """
+        if self._head_address is None:
+            return None
+        link = self._memory.peek(self._head_address)
+        return link.tag, link.payload, self._head_address
+
     # ------------------------------------------------------------------
     # free-space management (Fig. 10)
 
@@ -253,6 +266,123 @@ class TagStorageMemory:
         self._count += 1
         return address
 
+    def insert_monotone_batch(
+        self,
+        entries: List[Tuple[int, Any]],
+        predecessor_address: Optional[int],
+        *,
+        key=None,
+    ) -> List[int]:
+        """Insert a nondecreasing run of ``(tag, payload)`` links.
+
+        The amortized fast path: instead of one search per link, the
+        caller supplies the predecessor of the *first* entry (one tree
+        search for the whole run) and the insert finger then walks the
+        list forward — each link it passes is read once, and each insert
+        costs the same two writes as the per-op Fig. 9 sequence.  Over a
+        monotone run the walk telescopes, so the batch costs
+        O(run length + links skipped) accesses instead of one full
+        search per link.
+
+        ``entries`` must be nondecreasing under ``key`` (identity by
+        default; modular callers pass a wrap-aware key) and every entry
+        must belong at or after the predecessor link.  Pass
+        ``predecessor_address=None`` only when the memory is empty.
+        Equal tags are appended after existing duplicates, preserving
+        the per-op FCFS discipline.  Accounting is flushed to the SRAM
+        stats once per batch.  Returns the new addresses in entry order.
+        """
+        if not entries:
+            return []
+        if self._count + len(entries) > self.capacity:
+            raise CapacityError(
+                f"batch of {len(entries)} links overflows tag storage "
+                f"({self._count} of {self.capacity} in use)"
+            )
+        if key is None:
+            key = lambda value: value  # noqa: E731 - identity key
+        cells = self._memory._cells
+        reads = 0
+        writes = 0
+
+        def allocate() -> int:
+            nonlocal reads
+            if not self._init_counter.saturated:
+                return self._init_counter.take()
+            address = self._empty_head
+            if address is None:
+                raise StorageCorruptionError(
+                    "counter exhausted and empty list empty, "
+                    "but count < capacity"
+                )
+            link = cells[address]
+            reads += 1
+            self._empty_head = link.next_address
+            return address
+
+        addresses: List[int] = []
+        start = 0
+        if predecessor_address is None:
+            if not self.is_empty:
+                raise ConfigurationError(
+                    "insert_monotone_batch without a predecessor requires "
+                    "an empty memory"
+                )
+            tag, payload = entries[0]
+            address = allocate()
+            finger = Link(
+                tag=tag, next_address=None, next_tag=None, payload=payload
+            )
+            cells[address] = finger
+            writes += 1
+            self._head_address = address
+            self._head_tag = tag
+            self._count += 1
+            addresses.append(address)
+            finger_address = address
+            start = 1
+        else:
+            finger_address = predecessor_address
+            finger = cells[finger_address]
+            reads += 1  # the predecessor read of the per-op sequence
+            if key(finger.tag) > key(entries[0][0]):
+                raise ConfigurationError(
+                    f"sorted-order violation: inserting {entries[0][0]} "
+                    f"after {finger.tag}"
+                )
+
+        for tag, payload in entries[start:]:
+            target = key(tag)
+            while (
+                finger.next_address is not None
+                and key(finger.next_tag) <= target
+            ):
+                finger_address = finger.next_address
+                finger = cells[finger_address]
+                reads += 1
+            address = allocate()
+            new_link = Link(
+                tag=tag,
+                next_address=finger.next_address,
+                next_tag=finger.next_tag,
+                payload=payload,
+            )
+            cells[finger_address] = Link(
+                tag=finger.tag,
+                next_address=address,
+                next_tag=tag,
+                payload=finger.payload,
+            )
+            cells[address] = new_link
+            writes += 2
+            self._count += 1
+            addresses.append(address)
+            finger_address = address
+            finger = new_link
+
+        self._memory.stats.record_bulk(reads=reads, writes=writes)
+        return addresses
+
     # ------------------------------------------------------------------
     # service (head removal)
 
@@ -272,6 +402,44 @@ class TagStorageMemory:
         self._free(address)
         self._count -= 1
         return link.tag, link.payload, address
+
+    def dequeue_batch(self, count: int) -> List[Tuple[int, Any, int]]:
+        """Remove the ``count`` smallest tags in one amortized pass.
+
+        Retire discipline and costs match ``count`` per-op head removals
+        exactly — one read (the departing link) plus one write (threading
+        the empty list) each, and freed links join the empty list in the
+        same LIFO order — but the accounting is flushed once per batch.
+        Returns ``(tag, payload, address)`` triples in service order.
+        """
+        if count < 0:
+            raise ConfigurationError("dequeue count must be non-negative")
+        if count > self._count:
+            raise EmptyStructureError(
+                f"dequeue_batch({count}) from a storage holding {self._count}"
+            )
+        if count == 0:
+            return []
+        cells = self._memory._cells
+        served: List[Tuple[int, Any, int]] = []
+        address = self._head_address
+        next_address = address
+        next_tag = self._head_tag
+        for _ in range(count):
+            link = cells[address]
+            served.append((link.tag, link.payload, address))
+            next_address = link.next_address
+            next_tag = link.next_tag
+            cells[address] = Link(
+                tag=-1, next_address=self._empty_head, next_tag=None
+            )
+            self._empty_head = address
+            address = next_address
+        self._head_address = next_address
+        self._head_tag = next_tag
+        self._count -= count
+        self._memory.stats.record_bulk(reads=count, writes=count)
+        return served
 
     def replace_min(
         self, predecessor_address: Optional[int], tag: int, payload: Any = None

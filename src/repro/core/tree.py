@@ -162,6 +162,73 @@ class MultiBitTree:
             self._count += 1
         return new_marker
 
+    def insert_markers(self, values) -> int:
+        """Mark many values, amortizing node fetches across the batch.
+
+        The node words along the previous value's path stay latched in
+        registers, so a value sharing a path prefix with its predecessor
+        re-reads only the levels below the first differing literal — the
+        hardware analogue of keeping the last search path as a
+        node-register cache.  Sorted (or monotone-run) inputs maximize
+        prefix sharing; correctness holds for any order.  Access
+        accounting is flushed to each level's stats once per batch.
+        Returns the number of new distinct markers.
+        """
+        b = self.fmt.branching_factor
+        depth = self.fmt.levels
+        reads = [0] * depth
+        writes = [0] * depth
+        cells = [level._cells for level in self._levels]
+        cached_literals: List[int] = []
+        cached_prefixes: List[int] = []
+        cached_nodes: List[int] = []
+        added = 0
+        for value in values:
+            literals = self.fmt.literals(value)
+            shared = 0
+            while (
+                shared < len(cached_literals)
+                and cached_literals[shared] == literals[shared]
+            ):
+                shared += 1
+            if shared == depth:
+                continue  # duplicate of the previous value: bits all set
+            new_marker = False
+            prefix = cached_prefixes[shared] if shared < len(cached_prefixes) else 0
+            del cached_literals[shared:]
+            del cached_prefixes[shared:]
+            for level in range(shared, depth):
+                literal = literals[level]
+                if level == shared and level < len(cached_nodes):
+                    # Same node address as the cached path: reuse the
+                    # latched word instead of re-reading it.
+                    node = cached_nodes[level]
+                else:
+                    node = cells[level][prefix] or 0
+                    reads[level] += 1
+                if not node >> literal & 1:
+                    node |= 1 << literal
+                    cells[level][prefix] = node
+                    writes[level] += 1
+                    new_marker = True
+                if level < len(cached_nodes):
+                    cached_nodes[level] = node
+                else:
+                    cached_nodes.append(node)
+                cached_literals.append(literal)
+                cached_prefixes.append(prefix)
+                prefix = prefix * b + literal
+            del cached_nodes[depth:]
+            if new_marker:
+                added += 1
+        for level in range(depth):
+            if reads[level] or writes[level]:
+                self._levels[level].stats.record_bulk(
+                    reads=reads[level], writes=writes[level]
+                )
+        self._count += added
+        return added
+
     def remove_marker(self, value: int) -> bool:
         """Unmark ``value``; prunes now-empty ancestors bottom-up.
 

@@ -32,6 +32,18 @@ class AccessStats:
         """Account for ``count`` write accesses."""
         self.writes += count
 
+    def record_bulk(self, *, reads: int = 0, writes: int = 0) -> None:
+        """Flush one batch of accumulated accesses in a single update.
+
+        The batched fast paths count their memory traffic in local
+        integers and deposit it here once per batch, instead of paying
+        one attribute increment per access.
+        """
+        if reads < 0 or writes < 0:
+            raise ValueError("bulk access counts must be non-negative")
+        self.reads += reads
+        self.writes += writes
+
     def snapshot(self) -> "AccessStats":
         """Return an independent copy of the current totals."""
         return AccessStats(reads=self.reads, writes=self.writes)
@@ -142,6 +154,10 @@ class StatsRegistry:
             combined.reads += stats.reads
             combined.writes += stats.writes
         return combined
+
+    def record_bulk(self, name: str, *, reads: int = 0, writes: int = 0) -> None:
+        """Deposit one batch of accesses on the named component."""
+        self._entries[name].record_bulk(reads=reads, writes=writes)
 
     def reset_all(self) -> None:
         """Zero every registered counter."""

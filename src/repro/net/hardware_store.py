@@ -43,13 +43,14 @@ class HardwareTagStore:
         fmt: WordFormat = PAPER_FORMAT,
         granularity: float = 1.0,
         capacity: int = 4096,
+        fast_mode: bool = False,
     ) -> None:
         if granularity <= 0:
             raise ConfigurationError("granularity must be positive")
         self.fmt = fmt
         self.granularity = granularity
         self.circuit = TagSortRetrieveCircuit(
-            fmt, capacity=capacity, modular=True
+            fmt, capacity=capacity, modular=True, fast_mode=fast_mode
         )
         self._section_span = fmt.capacity // fmt.branching_factor
         #: highest unwrapped section index ever prepared for inserts
@@ -172,6 +173,121 @@ class HardwareTagStore:
             self._min_inserted_unwrapped = unwrapped
         self.circuit.insert(raw, payload=(finish_tag, flow_id))
 
+    def push_batch(self, items: List[Tuple[float, int]]) -> None:
+        """Quantize and insert a run of ``(finish_tag, payload)`` pairs.
+
+        Service-order equivalent to calling :meth:`push` per item, with
+        the whole wrap discipline — span guard, clamping, frontier
+        advance — evaluated in one scalar pass over the quantized tags
+        before a single :meth:`TagSortRetrieveCircuit.insert_batch`
+        call touches the circuit.  Validation therefore runs up front:
+        a span-guard violation raises *before* any insert, leaving the
+        store untouched (the per-op loop would stop mid-run instead).
+        """
+        items = list(items)
+        if not items:
+            return
+        fresh_epoch = len(self) == 0
+        if fresh_epoch:
+            self._frontier = None
+            self._last_served_unwrapped = None
+            self._min_inserted_unwrapped = None
+        space = self.fmt.capacity
+        half = space // 2
+        last_served = self._last_served_unwrapped
+        min_inserted = self._min_inserted_unwrapped
+        # The live minimum in unwrapped terms: it can only rise during a
+        # pure-insert run (anything logically below it is clamped), so a
+        # scalar mirror of the circuit's head register suffices.
+        min_live: Optional[int] = None
+        raw_min = self.circuit.peek_min()
+        if raw_min is not None:
+            base = last_served if last_served is not None else min_inserted
+            if base is None:
+                base = 0
+            min_live = base + ((raw_min - base) % space)
+        raws: List[int] = []
+        payloads: List[Tuple[float, int]] = []
+        clamped = 0
+        clamp_quanta = 0
+        first_section: Optional[int] = None
+        prepare_target: Optional[int] = None
+        for finish_tag, flow_id in items:
+            unwrapped = self.quantize(finish_tag)
+            floor = last_served if last_served is not None else min_inserted
+            if floor is not None and unwrapped - floor >= half:
+                raise ProtocolError(
+                    f"live tag span {unwrapped - floor} quanta exceeds half "
+                    f"the {space}-value tag space; increase granularity "
+                    f"(currently {self.granularity}) or widen the word format"
+                )
+            raw = unwrapped % space
+            regressed = floor is not None and unwrapped < floor
+            behind = (
+                min_live is not None
+                and (raw - min_live) % space >= half
+            )
+            if regressed or behind:
+                raws.append(min_live % space)
+                if floor is not None:
+                    clamp_quanta += max(0, floor - unwrapped)
+                clamped += 1
+            else:
+                if first_section is None:
+                    first_section = unwrapped // self._section_span
+                if prepare_target is None or unwrapped > prepare_target:
+                    prepare_target = unwrapped
+                if min_inserted is None or unwrapped < min_inserted:
+                    min_inserted = unwrapped
+                if min_live is None or unwrapped < min_live:
+                    min_live = unwrapped
+                raws.append(raw)
+            payloads.append((finish_tag, flow_id))
+        if prepare_target is not None:
+            if fresh_epoch:
+                # The circuit re-enters initialization mode, so per-op
+                # pushes would flush the whole tree at the first insert
+                # — *before* any frontier clear of this busy period.
+                # Flush here for the same effect; otherwise the clears
+                # below would purge (and count) stale markers the flush
+                # is about to wipe anyway.
+                self.circuit.flush_stale_markers()
+            if self._frontier is None:
+                # Mirror the per-op discipline: the first prepared
+                # section of an epoch anchors the frontier (no clears);
+                # the advance to the batch maximum then clears every
+                # section it passes.
+                self._frontier = first_section
+            self._prepare_sections(prepare_target)
+        self._min_inserted_unwrapped = min_inserted
+        self.circuit.insert_batch(raws, payloads)
+        self.clamped_inserts += clamped
+        self.clamp_error_quanta += clamp_quanta
+
+    def pop_batch(self, count: int) -> List[Tuple[float, int]]:
+        """Serve the ``count`` smallest tags; exact (float) tags back.
+
+        Equivalent to ``count`` calls of :meth:`pop_min`, with the
+        circuit-side bookkeeping amortized by
+        :meth:`TagSortRetrieveCircuit.dequeue_batch`.
+        """
+        served = self.circuit.dequeue_batch(count)
+        space = self.fmt.capacity
+        out: List[Tuple[float, int]] = []
+        for entry in served:
+            finish_tag, flow_id = entry.payload
+            base = self._span_floor()
+            if base is None:
+                base = 0
+            unwrapped = base + ((entry.tag - base) % space)
+            if (
+                self._last_served_unwrapped is None
+                or unwrapped > self._last_served_unwrapped
+            ):
+                self._last_served_unwrapped = unwrapped
+            out.append((finish_tag, flow_id))
+        return out
+
     def pop_min(self) -> Tuple[float, int]:
         """Serve the smallest tag; returns the exact (float) tag."""
         served = self.circuit.dequeue_min()
@@ -194,13 +310,15 @@ class HardwareTagStore:
         """The head entry's exact (tag, payload) without dequeuing.
 
         Hardware keeps the head link's contents in registers (it was
-        read when it became the head), so this costs no memory access.
+        read when it became the head), so this costs no memory access —
+        modeled by the head-register accessor
+        :meth:`~repro.core.sort_retrieve.TagSortRetrieveCircuit.peek_head`,
+        which stays outside the access-stats accounting by contract.
         """
-        address = self.circuit.storage.head_address
-        if address is None:
+        head = self.circuit.peek_head()
+        if head is None:
             return None
-        link = self.circuit.storage._memory.peek(address)
-        return link.payload
+        return head.payload
 
     def __len__(self) -> int:
         return self.circuit.count

@@ -169,8 +169,14 @@ def worst_work_lead(result: SimulationResult, gps_simulator) -> Dict[int, float]
     """
     served: Dict[int, float] = {}
     worst: Dict[int, float] = {}
+    # Undelivered packets (still queued or dropped at simulation end)
+    # have no departure time and received no service; they must not
+    # reach the sort key.
+    delivered = (
+        p for p in result.packets if p.departure_time is not None
+    )
     for packet in sorted(
-        result.packets, key=lambda p: (p.departure_time, p.packet_id)
+        delivered, key=lambda p: (p.departure_time, p.packet_id)
     ):
         flow = packet.flow_id
         served[flow] = served.get(flow, 0.0) + packet.size_bits
@@ -209,8 +215,13 @@ def out_of_order_service(result: SimulationResult) -> int:
     """
     inversions = 0
     best_seen = float("-inf")
+    # Only packets that were actually served define the service order;
+    # undelivered ones have no departure time to sort by.
+    delivered = (
+        p for p in result.packets if p.departure_time is not None
+    )
     for packet in sorted(
-        result.packets, key=lambda p: (p.departure_time, p.packet_id)
+        delivered, key=lambda p: (p.departure_time, p.packet_id)
     ):
         if packet.finish_tag is None:
             continue

@@ -23,7 +23,7 @@ packets-per-second and line-rate figures.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from ..hwsim.errors import ConfigurationError
 from ..sched.base import PacketScheduler
@@ -50,6 +50,7 @@ class HardwareWFQSystem(PacketScheduler):
         granularity: Optional[float] = None,
         buffer_capacity: int = 8192,
         clock_hz: float = DEFAULT_CLOCK_HZ,
+        fast_mode: bool = False,
     ) -> None:
         super().__init__(rate_bps)
         if clock_hz <= 0:
@@ -60,6 +61,7 @@ class HardwareWFQSystem(PacketScheduler):
         self._fmt = fmt
         self._buffer_capacity = buffer_capacity
         self._explicit_granularity = granularity
+        self._fast_mode = fast_mode
         self._store: Optional[HardwareTagStore] = None
         self.dropped = 0
 
@@ -96,6 +98,7 @@ class HardwareWFQSystem(PacketScheduler):
                 fmt=self._fmt,
                 granularity=granularity,
                 capacity=self._buffer_capacity,
+                fast_mode=self._fast_mode,
             )
         return self._store
 
@@ -103,6 +106,20 @@ class HardwareWFQSystem(PacketScheduler):
     # PacketScheduler interface
 
     def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
+        if self._store is not None:
+            if self._store.operations > 0 or len(self._store) > 0:
+                raise ConfigurationError(
+                    f"cannot register flow {flow_id}: tags are already "
+                    "live in the sort/retrieve circuit, so the frozen tag "
+                    "quantum cannot be resized; register every flow before "
+                    "the first enqueue, or pass an explicit granularity"
+                )
+            # The store was instantiated early (a `backlog` probe or an
+            # enqueue-before-registration) with a quantum sized from an
+            # incomplete flow table.  No tag has passed through it yet,
+            # so drop it and let the next access re-derive the auto
+            # granularity from the full weight set.
+            self._store = None
         super().add_flow(flow_id, weight, **kwargs)
         self.clock.register(flow_id, weight)
 
@@ -126,6 +143,42 @@ class HardwareWFQSystem(PacketScheduler):
         self.clock.advance_to(now)
         _, pointer = self.store.pop_min()
         return self.buffer.fetch(pointer)
+
+    # ------------------------------------------------------------------
+    # batched soak paths
+
+    def enqueue_batch(self, packets: Iterable[Packet]) -> int:
+        """Accept a run of arrivals in one amortized store operation.
+
+        Tag computation stays per-packet (the virtual clock is a serial
+        recurrence), but the quantize/wrap/insert work lands in a single
+        :meth:`HardwareTagStore.push_batch`.  Service order matches
+        per-packet :meth:`enqueue` calls.  Returns how many packets were
+        admitted (the rest incremented :attr:`dropped`).
+        """
+        pushes = []
+        for packet in packets:
+            tags = self.clock.on_arrival(
+                packet.flow_id, packet.size_bits, packet.arrival_time
+            )
+            packet.start_tag = tags.start_tag
+            packet.finish_tag = tags.finish_tag
+            pointer = self.buffer.try_store(packet)
+            if pointer is None:
+                self.dropped += 1
+                continue
+            pushes.append((tags.finish_tag, pointer))
+        self.store.push_batch(pushes)
+        return len(pushes)
+
+    def select_batch(self, count: int, now: float) -> List[Packet]:
+        """Serve up to ``count`` packets in one amortized store operation."""
+        available = min(count, len(self.store))
+        if available <= 0:
+            return []
+        self.clock.advance_to(now)
+        pairs = self.store.pop_batch(available)
+        return [self.buffer.fetch(pointer) for _, pointer in pairs]
 
     # ------------------------------------------------------------------
     # throughput model (Section IV)

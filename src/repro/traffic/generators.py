@@ -5,6 +5,16 @@ Each generator produces a time-sorted stream of
 several flows into one trace.  The processes cover the paper's traffic
 discussion (Section III-A / Fig. 6): smooth CBR voice, Poisson data,
 Markov-modulated on-off video bursts, and heavy-tailed Pareto arrivals.
+
+Two synthesis paths exist per process.  :meth:`ArrivalProcess.packets`
+draws one packet at a time from the stdlib ``random`` stream — the
+reference path, byte-stable across releases.  For 100k+-packet soaks
+(the perf-regression benchmarks) :meth:`ArrivalProcess.packets_bulk`
+draws every inter-arrival gap and packet size in single vectorized numpy
+calls; the bulk stream is deterministic per ``(seed, flow_id)`` but
+*distinct* from the per-packet stream (different RNG).  When numpy is
+unavailable, or for processes whose state machine resists vectorization
+(on-off), the bulk path transparently falls back to the per-packet one.
 """
 
 from __future__ import annotations
@@ -12,7 +22,12 @@ from __future__ import annotations
 import heapq
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+try:  # optional: enables the vectorized bulk-synthesis paths
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
 
 from ..hwsim.errors import ConfigurationError
 from ..sched.packet import Packet
@@ -31,11 +46,34 @@ class ArrivalProcess(ABC):
     ) -> None:
         self.flow_id = flow_id
         self.size_model = size_model
-        self.rng = random.Random((seed << 16) ^ flow_id ^ 0x9E3779B9)
+        self._seed_word = (seed << 16) ^ flow_id ^ 0x9E3779B9
+        self.rng = random.Random(self._seed_word)
+        self._np_rng = None
+
+    @property
+    def bulk_rng(self):
+        """Persistent numpy ``Generator`` for the vectorized path.
+
+        Created lazily so constructing a process never requires numpy;
+        successive :meth:`packets_bulk` calls continue one stream, just
+        as :meth:`packets` calls continue ``self.rng``.
+        """
+        if self._np_rng is None:
+            self._np_rng = np.random.default_rng(self._seed_word & (2**64 - 1))
+        return self._np_rng
 
     @abstractmethod
     def intervals(self) -> Iterator[float]:
         """Successive inter-arrival times in seconds."""
+
+    def bulk_intervals(self, count: int) -> Optional["np.ndarray"]:
+        """``count`` inter-arrival gaps in one vectorized draw.
+
+        Returns ``None`` when the process has no vectorized form (the
+        on-off state machine) — :meth:`packets_bulk` then falls back to
+        the per-packet generator.
+        """
+        return None
 
     def packets(
         self, count: int, *, start_time: float = 0.0
@@ -57,6 +95,35 @@ class ArrivalProcess(ABC):
             )
         return out
 
+    def packets_bulk(
+        self, count: int, *, start_time: float = 0.0
+    ) -> List[Packet]:
+        """Generate ``count`` packets with vectorized synthesis.
+
+        All inter-arrival gaps and packet sizes are drawn in single
+        numpy calls, then cumulative-summed into arrival times — the
+        100k+-packet soak path.  Falls back to :meth:`packets` when
+        numpy is missing or the process has no vectorized form.
+        """
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if np is None:
+            return self.packets(count, start_time=start_time)
+        gaps = self.bulk_intervals(count)
+        if gaps is None:
+            return self.packets(count, start_time=start_time)
+        times = start_time + np.cumsum(gaps)
+        sizes = self.size_model.sample_bulk(self.bulk_rng, count)
+        flow_id = self.flow_id
+        return [
+            Packet(
+                flow_id=flow_id,
+                size_bytes=int(size),
+                arrival_time=float(time),
+            )
+            for size, time in zip(sizes, times)
+        ]
+
 
 class PoissonArrivals(ArrivalProcess):
     """Memoryless arrivals at ``rate_pps`` packets per second."""
@@ -77,6 +144,9 @@ class PoissonArrivals(ArrivalProcess):
     def intervals(self) -> Iterator[float]:
         while True:
             yield self.rng.expovariate(self.rate_pps)
+
+    def bulk_intervals(self, count: int) -> "np.ndarray":
+        return self.bulk_rng.exponential(1.0 / self.rate_pps, size=count)
 
 
 class CBRArrivals(ArrivalProcess):
@@ -107,6 +177,14 @@ class CBRArrivals(ArrivalProcess):
                     self.rng.random() - 0.5
                 )
             yield max(1e-9, self.period + jitter)
+
+    def bulk_intervals(self, count: int) -> "np.ndarray":
+        if not self.jitter_fraction:
+            return np.full(count, self.period)
+        jitter = self.period * self.jitter_fraction * (
+            self.bulk_rng.random(count) - 0.5
+        )
+        return np.maximum(1e-9, self.period + jitter)
 
 
 class OnOffArrivals(ArrivalProcess):
@@ -186,6 +264,11 @@ class ParetoArrivals(ArrivalProcess):
         while True:
             yield self.scale * self.rng.paretovariate(self.alpha)
 
+    def bulk_intervals(self, count: int) -> "np.ndarray":
+        # numpy's pareto() is the Lomax (shifted) form; +1 recovers the
+        # classical Pareto I with x_m = 1 that paretovariate() draws.
+        return self.scale * (self.bulk_rng.pareto(self.alpha, size=count) + 1.0)
+
 
 def merge(streams: Iterable[List[Packet]]) -> List[Packet]:
     """Merge per-flow packet lists into one time-sorted trace."""
@@ -193,4 +276,27 @@ def merge(streams: Iterable[List[Packet]]) -> List[Packet]:
         heapq.merge(
             *streams, key=lambda packet: (packet.arrival_time, packet.packet_id)
         )
+    )
+
+
+def bulk_trace(
+    processes: Sequence[ArrivalProcess],
+    counts: Union[int, Sequence[int]],
+    *,
+    start_time: float = 0.0,
+) -> List[Packet]:
+    """Vectorized multi-flow trace: bulk-generate each flow, then merge.
+
+    ``counts`` is one packet count shared by every flow or a per-flow
+    sequence aligned with ``processes``.
+    """
+    if isinstance(counts, int):
+        counts = [counts] * len(processes)
+    if len(counts) != len(processes):
+        raise ConfigurationError(
+            f"{len(processes)} processes but {len(counts)} counts"
+        )
+    return merge(
+        process.packets_bulk(count, start_time=start_time)
+        for process, count in zip(processes, counts)
     )

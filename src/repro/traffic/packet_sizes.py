@@ -14,6 +14,11 @@ import random
 from abc import ABC, abstractmethod
 from typing import List, Sequence, Tuple
 
+try:  # optional: enables the vectorized bulk-sampling paths
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
 from ..hwsim.errors import ConfigurationError
 
 #: The paper's conservative average IP packet size (Section IV).
@@ -38,6 +43,20 @@ class PacketSizeModel(ABC):
     def mean(self) -> float:
         """Expected size in bytes."""
 
+    def sample_bulk(self, rng, count: int) -> Sequence[int]:
+        """``count`` sizes in one call; ``rng`` is a numpy ``Generator``.
+
+        The built-in models override this with a vectorized draw.  This
+        fallback keeps third-party models working on the bulk path by
+        looping over :meth:`sample` with a stdlib ``Random`` seeded from
+        the bulk stream (a different — but equally deterministic —
+        sequence than the vectorized overrides produce).
+        """
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        fallback = random.Random(int(rng.integers(0, 2**63)))
+        return [self.sample(fallback) for _ in range(count)]
+
 
 class FixedSize(PacketSizeModel):
     """Constant packet size (VoIP frames, ATM-like cells)."""
@@ -49,6 +68,9 @@ class FixedSize(PacketSizeModel):
 
     def sample(self, rng: random.Random) -> int:
         return self.size_bytes
+
+    def sample_bulk(self, rng, count: int) -> Sequence[int]:
+        return np.full(count, self.size_bytes, dtype=np.int64)
 
     def mean(self) -> float:
         return float(self.size_bytes)
@@ -65,6 +87,9 @@ class UniformSize(PacketSizeModel):
 
     def sample(self, rng: random.Random) -> int:
         return rng.randint(self.low, self.high)
+
+    def sample_bulk(self, rng, count: int) -> Sequence[int]:
+        return rng.integers(self.low, self.high + 1, size=count)
 
     def mean(self) -> float:
         return (self.low + self.high) / 2
@@ -92,6 +117,12 @@ class EmpiricalMix(PacketSizeModel):
             if draw <= bound:
                 return size
         return self.sizes[-1]
+
+    def sample_bulk(self, rng, count: int) -> Sequence[int]:
+        draws = rng.random(count)
+        indices = np.searchsorted(self.cumulative, draws, side="left")
+        indices = np.minimum(indices, len(self.sizes) - 1)
+        return np.asarray(self.sizes, dtype=np.int64)[indices]
 
     def mean(self) -> float:
         means = zip(self.sizes, [self.cumulative[0]] + [
@@ -121,6 +152,13 @@ class BoundedParetoSize(PacketSizeModel):
         ha = self.high**self.alpha
         value = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
         return max(self.low, min(self.high, int(round(value))))
+
+    def sample_bulk(self, rng, count: int) -> Sequence[int]:
+        u = rng.random(count)
+        la = self.low**self.alpha
+        ha = self.high**self.alpha
+        values = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / self.alpha)
+        return np.clip(np.rint(values), self.low, self.high).astype(np.int64)
 
     def mean(self) -> float:
         a, l, h = self.alpha, self.low, self.high

@@ -111,3 +111,39 @@ class TestSpanGuard:
         store.push(1.0, 0)
         store.push(100.0, 1)  # now only 10 quanta apart
         assert len(store) == 2
+
+
+class TestPeekMinExact:
+    """Regression: peek_min_exact used to reach into the storage's
+    backing SRAM model (``circuit.storage._memory.peek``); it now goes
+    through the circuit's head-register accessor, which by contract
+    costs no memory access and no cycles."""
+
+    def test_returns_exact_head_payload(self):
+        store = HardwareTagStore(granularity=1.0)
+        assert store.peek_min_exact() is None
+        store.push(3.5, 2)
+        store.push(7.25, 1)
+        assert store.peek_min_exact() == (3.5, 2)
+        assert store.pop_min() == (3.5, 2)
+        assert store.peek_min_exact() == (7.25, 1)
+
+    def test_costs_no_accesses_or_cycles(self):
+        store = HardwareTagStore(granularity=1.0)
+        for tag in (5.0, 9.0, 2.0):
+            store.push(tag, int(tag))
+        accesses = store.circuit.registry.total().total
+        cycles = store.cycles
+        for _ in range(50):
+            store.peek_min_exact()
+        assert store.circuit.registry.total().total == accesses
+        assert store.cycles == cycles
+
+    def test_head_register_survives_batch_paths(self):
+        store = HardwareTagStore(granularity=1.0, fast_mode=True)
+        store.push_batch([(1.0, 1), (4.0, 0), (6.0, 2)])
+        assert store.peek_min_exact() == (1.0, 1)
+        store.pop_batch(2)
+        assert store.peek_min_exact() == (6.0, 2)
+        store.pop_batch(1)
+        assert store.peek_min_exact() is None

@@ -13,6 +13,7 @@ from repro.net.metrics import (
     pg_bound_violations,
     throughput_shares,
     weighted_jain_index,
+    worst_work_lead,
 )
 from repro.sched.base import SimulationResult
 from repro.sched.gps import GpsDeparture
@@ -153,3 +154,60 @@ class TestOutOfOrder:
             finish_time=2.0,
         )
         assert out_of_order_service(result) == 1
+
+
+def undelivered(flow, size, arrive, finish_tag=None):
+    """A packet still queued (or dropped) when the simulation ended."""
+    packet = Packet(flow, size, arrive)
+    packet.finish_tag = finish_tag
+    assert packet.departure_time is None
+    return packet
+
+
+class StubFluid:
+    """Minimal stand-in for GPSFluidSimulator.work_at."""
+
+    def __init__(self, rate_bits_per_s=1000.0):
+        self.rate = rate_bits_per_s
+
+    def work_at(self, flow_id, time_s):
+        return self.rate * time_s
+
+
+class TestUndeliveredPacketsFiltered:
+    """Regression: both service-order metrics used to sort the full
+    packet list by departure time, so one undelivered packet (its
+    departure_time is None) crashed the sort with a TypeError."""
+
+    def make(self):
+        return SimulationResult(
+            packets=[
+                departed(0, 100, 0.0, 1.0, finish_tag=10.0),
+                undelivered(1, 100, 0.5, finish_tag=15.0),
+                departed(0, 100, 0.0, 2.0, finish_tag=20.0),
+            ],
+            finish_time=2.0,
+        )
+
+    def test_out_of_order_ignores_undelivered(self):
+        assert out_of_order_service(self.make()) == 0
+
+    def test_out_of_order_still_counts_real_inversions(self):
+        result = self.make()
+        result.packets[0].finish_tag = 30.0  # served first, biggest tag
+        assert out_of_order_service(result) == 1
+
+    def test_worst_work_lead_ignores_undelivered(self):
+        leads = worst_work_lead(self.make(), StubFluid())
+        # Only flow 0 received service; the queued flow-1 packet must
+        # neither crash the sort nor contribute served bits.
+        assert set(leads) == {0}
+        assert leads[0] == pytest.approx(800 - 1000.0)
+
+    def test_all_undelivered_is_empty_not_error(self):
+        result = SimulationResult(
+            packets=[undelivered(0, 100, 0.0), undelivered(1, 64, 0.1)],
+            finish_time=1.0,
+        )
+        assert out_of_order_service(result) == 0
+        assert worst_work_lead(result, StubFluid()) == {}

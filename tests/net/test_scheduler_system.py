@@ -111,3 +111,94 @@ class TestThroughputClaims:
         system = HardwareWFQSystem(10e6)
         with pytest.raises(Exception):
             system.sustained_line_rate_bps(0)
+
+
+class TestAutoGranularityFreezing:
+    """Regression: the auto-sized tag quantum used to freeze at the
+    first store access, so flows registered afterwards (especially
+    light-weight ones) silently got a quantum derived from an
+    incomplete weight table."""
+
+    def expected_granularity(self, system, min_weight):
+        worst = system.AUTO_GRANULARITY_MAX_BYTES * 8 / min_weight
+        half_space = system._fmt.capacity // 2
+        return system.AUTO_GRANULARITY_HEADROOM * worst / half_space
+
+    def test_store_rederived_when_flow_registers_before_first_push(self):
+        system = HardwareWFQSystem(1e6)
+        system.add_flow(0, weight=1.0)
+        # An early probe (e.g. a backlog check) instantiates the store
+        # from the incomplete flow table.
+        assert system.backlog == 0
+        early = system.store.granularity
+        assert early == pytest.approx(self.expected_granularity(system, 1.0))
+        # Registering a lighter flow before any tag is live must resize.
+        system.add_flow(1, weight=0.01)
+        late = system.store.granularity
+        assert late == pytest.approx(self.expected_granularity(system, 0.01))
+        assert late > early
+
+    def test_registration_after_live_tags_rejected(self):
+        from repro.hwsim.errors import ConfigurationError
+
+        system = HardwareWFQSystem(1e6)
+        system.add_flow(0, weight=1.0)
+        system.enqueue(Packet(0, 100, 0.0), now=0.0)
+        with pytest.raises(ConfigurationError, match="already"):
+            system.add_flow(1, weight=2.0)
+
+    def test_registration_after_drain_still_rejected(self):
+        """Even a drained store has frozen its quantum (tags already
+        passed through it at the old granularity)."""
+        from repro.hwsim.errors import ConfigurationError
+
+        system = HardwareWFQSystem(1e6)
+        system.add_flow(0, weight=1.0)
+        system.enqueue(Packet(0, 100, 0.0), now=0.0)
+        assert system.select_next(1.0) is not None
+        assert system.backlog == 0
+        with pytest.raises(ConfigurationError):
+            system.add_flow(1, weight=2.0)
+
+    def test_explicit_granularity_unaffected(self):
+        system = HardwareWFQSystem(1e6, granularity=64.0)
+        system.add_flow(0, weight=1.0)
+        assert system.backlog == 0
+        system.add_flow(1, weight=0.01)
+        assert system.store.granularity == 64.0
+
+
+class TestSystemBatchPaths:
+    def test_batched_service_matches_per_op(self):
+        scenario = voip_video_data_mix(packets_per_flow=60, seed=9)
+        per_op = build_system(scenario)
+        trace = scenario.clone_trace()
+        for packet in trace:
+            per_op.enqueue(packet, packet.arrival_time)
+        served_ref = []
+        while per_op.backlog:
+            served_ref.append(per_op.select_next(1e9).packet_id)
+
+        batched = build_system(scenario, fast_mode=True)
+        admitted = batched.enqueue_batch(scenario.clone_trace())
+        assert admitted == len(scenario.trace)
+        served = [
+            p.packet_id for p in batched.select_batch(batched.backlog, 1e9)
+        ]
+        assert served == served_ref
+        assert batched.backlog == 0
+        assert batched.store.cycles == per_op.store.cycles
+        batched.store.circuit.check_invariants()
+
+    def test_enqueue_batch_counts_drops(self):
+        scenario = voip_video_data_mix(packets_per_flow=200, seed=5)
+        system = build_system(scenario, buffer_capacity=16, fast_mode=True)
+        admitted = system.enqueue_batch(scenario.clone_trace())
+        assert system.dropped > 0
+        assert admitted + system.dropped == len(scenario.trace)
+        assert len(system.store) == admitted
+
+    def test_select_batch_on_empty(self):
+        system = HardwareWFQSystem(1e6)
+        system.add_flow(0)
+        assert system.select_batch(5, now=0.0) == []

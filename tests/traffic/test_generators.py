@@ -121,3 +121,71 @@ class TestMerge:
         assert len(merged) == 100
         times = [p.arrival_time for p in merged]
         assert times == sorted(times)
+
+
+class TestBulkSynthesis:
+    """The vectorized soak path: same distributions, one call."""
+
+    def test_count_ordering_and_flow(self):
+        generator = PoissonArrivals(3, 1000.0, FixedSize(100), seed=1)
+        packets = generator.packets_bulk(5000)
+        assert len(packets) == 5000
+        times = [p.arrival_time for p in packets]
+        assert times == sorted(times)
+        assert all(p.flow_id == 3 and p.size_bytes == 100 for p in packets)
+
+    def test_rate_matches_per_op_distribution(self):
+        for make in (
+            lambda: PoissonArrivals(1, 2000.0, FixedSize(64), seed=4),
+            lambda: CBRArrivals(1, 2000.0, jitter_fraction=0.3, seed=4),
+            lambda: ParetoArrivals(1, 2000.0, FixedSize(64), seed=4),
+        ):
+            bulk_duration = make().packets_bulk(4000)[-1].arrival_time
+            per_op_duration = make().packets(4000)[-1].arrival_time
+            assert bulk_duration == pytest.approx(per_op_duration, rel=0.15)
+
+    def test_deterministic_and_stateful(self):
+        fresh = [
+            p.arrival_time
+            for p in PoissonArrivals(1, 100.0, FixedSize(10), seed=2).packets_bulk(20)
+        ]
+        again = [
+            p.arrival_time
+            for p in PoissonArrivals(1, 100.0, FixedSize(10), seed=2).packets_bulk(20)
+        ]
+        assert fresh == again
+        generator = PoissonArrivals(1, 100.0, FixedSize(10), seed=2)
+        generator.packets_bulk(20)
+        continued = [p.arrival_time for p in generator.packets_bulk(20)]
+        assert continued != fresh  # the RNG stream advanced
+
+    def test_onoff_falls_back_to_per_op_stream(self):
+        """The on-off state machine has no vectorized form; the bulk
+        call must still work by delegating to the reference path."""
+        make = lambda: OnOffArrivals(1, 5000.0, FixedSize(100), seed=6)
+        bulk = make().packets_bulk(300)
+        per_op = make().packets(300)
+        assert [p.arrival_time for p in bulk] == [
+            p.arrival_time for p in per_op
+        ]
+
+    def test_validation_and_empty(self):
+        generator = PoissonArrivals(1, 100.0, FixedSize(10), seed=0)
+        assert generator.packets_bulk(0) == []
+        with pytest.raises(ConfigurationError):
+            generator.packets_bulk(-1)
+
+    def test_bulk_trace_merges_flows(self):
+        from repro.traffic.generators import bulk_trace
+
+        processes = [
+            PoissonArrivals(0, 500.0, FixedSize(40), seed=3),
+            CBRArrivals(1, 500.0, seed=3),
+        ]
+        trace = bulk_trace(processes, 200)
+        assert len(trace) == 400
+        times = [p.arrival_time for p in trace]
+        assert times == sorted(times)
+        assert {p.flow_id for p in trace} == {0, 1}
+        with pytest.raises(ConfigurationError):
+            bulk_trace(processes, [200])

@@ -10,6 +10,7 @@ from repro.traffic.packet_sizes import (
     BoundedParetoSize,
     EmpiricalMix,
     FixedSize,
+    PacketSizeModel,
     UniformSize,
     internet_mix,
     voice_heavy_mix,
@@ -87,3 +88,50 @@ class TestBoundedPareto:
             BoundedParetoSize(low=100, high=100)
         with pytest.raises(ConfigurationError):
             BoundedParetoSize(alpha=0)
+
+
+class TestBulkSampling:
+    """Vectorized size draws agree with each model's support and mean."""
+
+    def bulk_rng(self):
+        import numpy as np
+
+        return np.random.default_rng(123)
+
+    def test_fixed(self):
+        sizes = FixedSize(80).sample_bulk(self.bulk_rng(), 100)
+        assert len(sizes) == 100
+        assert all(int(s) == 80 for s in sizes)
+
+    def test_uniform_bounds(self):
+        model = UniformSize(40, 1500)
+        sizes = model.sample_bulk(self.bulk_rng(), 2000)
+        assert all(40 <= int(s) <= 1500 for s in sizes)
+        mean = sum(int(s) for s in sizes) / len(sizes)
+        assert mean == pytest.approx(model.mean(), rel=0.1)
+
+    def test_empirical_support_and_mean(self):
+        model = internet_mix()
+        sizes = model.sample_bulk(self.bulk_rng(), 5000)
+        assert set(int(s) for s in sizes) <= {40, 576, 1500}
+        mean = sum(int(s) for s in sizes) / len(sizes)
+        assert mean == pytest.approx(model.mean(), rel=0.1)
+
+    def test_bounded_pareto_bounds_and_mean(self):
+        model = BoundedParetoSize(40, 1500, alpha=1.3)
+        sizes = model.sample_bulk(self.bulk_rng(), 5000)
+        assert all(40 <= int(s) <= 1500 for s in sizes)
+        mean = sum(int(s) for s in sizes) / len(sizes)
+        assert mean == pytest.approx(model.mean(), rel=0.15)
+
+    def test_base_class_fallback_loops_over_sample(self):
+        class Doubling(PacketSizeModel):
+            def sample(self, rng):
+                return rng.randint(1, 2) * 100
+
+            def mean(self):
+                return 150.0
+
+        sizes = Doubling().sample_bulk(self.bulk_rng(), 50)
+        assert len(sizes) == 50
+        assert set(sizes) <= {100, 200}
