@@ -4,13 +4,22 @@ Runs the suite's smoke preset end to end — every matcher variant, every
 word-format size, and the headline mixed soak with its served-order
 equivalence assertion — then exercises the baseline write/check round
 trip exactly as CI invokes it (``python -m repro bench --smoke`` /
-``--check``).
+``--check``), and measures that the *disabled* telemetry layer stays
+within 5% of the uninstrumented hot path.
 """
 
 import json
+import time
 
-from repro.bench.perf import check_against_baseline, main, run_bench
+from repro.bench.perf import (
+    _sorted_tags,
+    check_against_baseline,
+    main,
+    run_bench,
+)
 from repro.core.matching import ALL_MATCHERS
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.words import PAPER_FORMAT
 
 
 def test_smoke_preset_structure(report):
@@ -52,7 +61,7 @@ def test_check_round_trip(tmp_path):
     assert main(["--smoke", "--output", str(baseline_path)]) == 0
     assert baseline_path.exists()
     document = json.loads(baseline_path.read_text())
-    assert document["schema"] == 1
+    assert document["schema"] == 2
     assert main(["--smoke", "--check", "--output", str(baseline_path)]) == 0
 
 
@@ -76,3 +85,66 @@ def test_check_flags_missing_scenario_and_preset_mismatch():
     mismatched["preset"] = "full"
     problems = check_against_baseline(document, mismatched)
     assert any("preset" in problem for problem in problems)
+
+
+def test_distributions_block_present_and_sane():
+    document = run_bench(preset="smoke", seed=5)
+    distributions = document["distributions"]
+    for phase in ("insert", "dequeue"):
+        summary = distributions[phase]
+        assert summary["count"] > 0
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+    mixed = distributions["mixed"]
+    for name in ("op_accesses", "occupancy", "free_list_depth"):
+        assert mixed[name]["count"] > 0
+    # Every mixed op touches memory, so the access floor is positive.
+    assert mixed["op_accesses"]["min"] > 0
+
+
+def _time_inserts(invoke, circuit_factory, tags, repeats=5):
+    """Best-of-k wall time for one insert loop shape (fresh circuit each
+    repeat so tree state is identical across shapes)."""
+    best = float("inf")
+    for _ in range(repeats):
+        circuit = circuit_factory()
+        start = time.perf_counter()
+        for tag in tags:
+            invoke(circuit, tag)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracer_overhead(report):
+    """The acceptance bound: tracing off must cost <5% on the hot path.
+
+    Structurally, an untraced circuit has no instance-level wrappers, so
+    ``circuit.insert`` resolves to the exact class method; the measured
+    check then compares instance dispatch against a direct class call
+    (the pre-telemetry code path) on identical workloads.
+    """
+    fmt = PAPER_FORMAT
+    count = 2_000
+    tags = _sorted_tags(fmt, count, seed=13)
+
+    circuit = TagSortRetrieveCircuit(fmt, capacity=count)
+    assert not circuit.tracer.enabled
+    # No traced wrappers shadowing the class hot paths.
+    for name in ("insert", "dequeue_min", "insert_batch", "dequeue_batch"):
+        assert name not in vars(circuit)
+
+    def fresh():
+        return TagSortRetrieveCircuit(fmt, capacity=count)
+
+    via_instance = _time_inserts(
+        lambda c, tag: c.insert(tag), fresh, tags
+    )
+    via_class = _time_inserts(
+        lambda c, tag: TagSortRetrieveCircuit.insert(c, tag), fresh, tags
+    )
+    ratio = via_instance / via_class
+    report(
+        f"disabled-tracer insert overhead: {ratio:.3f}x "
+        f"({via_instance * 1e6:.0f}us vs {via_class * 1e6:.0f}us "
+        f"for {count} ops)"
+    )
+    assert ratio < 1.05

@@ -15,10 +15,13 @@ Three scenario families, all deterministic per seed:
   trusted.
 
 Each scenario records wall throughput (machine-dependent) and memory
-accesses and circuit cycles per operation (machine-independent).  The
-results land in ``BENCH_sort_retrieve.json``; ``--check`` re-runs the
-suite and fails when throughput drops more than 20% below the committed
-baseline or when the access counts grow beyond the same tolerance.
+accesses and circuit cycles per operation (machine-independent).  A
+separate **untimed** instrumented pass adds per-phase distribution data
+(p50/p90/p99/max access counts, occupancy, free-list depth) through the
+:mod:`repro.obs` telemetry layer.  The results land in
+``BENCH_sort_retrieve.json``; ``--check`` re-runs the suite and fails
+when throughput drops more than 20% below the committed baseline or
+when the access counts grow beyond the same tolerance.
 """
 
 from __future__ import annotations
@@ -34,6 +37,9 @@ from ..core.matching import ALL_MATCHERS, DEFAULT_MATCHER
 from ..core.sort_retrieve import TagSortRetrieveCircuit
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..net.hardware_store import HardwareTagStore
+from ..obs.instruments import Histogram
+from ..obs.probes import StandardProbes
+from ..obs.tracer import Tracer
 
 #: Baseline file name, committed at the repository root.
 BASELINE_FILENAME = "BENCH_sort_retrieve.json"
@@ -56,7 +62,8 @@ SIZE_SWEEP: Tuple[Tuple[str, WordFormat], ...] = (
     ("w16", WordFormat(levels=4, literal_bits=4)),
 )
 
-_SCHEMA = 1
+#: Document schema: 2 added the per-phase ``distributions`` block.
+_SCHEMA = 2
 
 
 def _sorted_tags(fmt: WordFormat, count: int, seed: int) -> List[int]:
@@ -269,6 +276,58 @@ def _bench_headline(count: int, seed: int) -> Dict:
     }
 
 
+def _bench_distributions(count: int, mixed_count: int, seed: int) -> Dict:
+    """Per-phase distribution data (machine-independent, untimed).
+
+    Runs *fresh*, instrumented circuits — the timed scenarios above are
+    never traced, so their wall numbers stay comparable to pre-telemetry
+    baselines.  Three phases on the paper format and default matcher:
+
+    * ``insert`` / ``dequeue`` — per-op access-count distributions of a
+      sorted-load fill and drain;
+    * ``mixed`` — the bursty headline-shaped workload through the
+      hardware store with a live tracer, summarizing per-op accesses,
+      occupancy, storage free-list depth, and clamp magnitudes.
+    """
+    fmt = PAPER_FORMAT
+    tags = _sorted_tags(fmt, count, seed)
+    circuit = TagSortRetrieveCircuit(fmt, capacity=count)
+    registry = circuit.registry
+
+    insert_hist = Histogram()
+    before = registry.total().total
+    for tag in tags:
+        circuit.insert(tag)
+        after = registry.total().total
+        insert_hist.record(after - before)
+        before = after
+
+    dequeue_hist = Histogram()
+    for _ in range(count):
+        circuit.dequeue_min()
+        after = registry.total().total
+        dequeue_hist.record(after - before)
+        before = after
+
+    probes = StandardProbes()
+    tracer = Tracer(buffer_size=1, observers=[probes])  # instruments only
+    store = HardwareTagStore(granularity=8.0, tracer=tracer)
+    _drive_per_op(store, make_mixed_ops(mixed_count, seed))
+    instruments = probes.instruments
+    mixed = {
+        name: instruments.hist(name).summary()
+        for name in ("op_accesses", "occupancy", "free_list_depth")
+    }
+    if "clamp_quanta" in instruments:
+        mixed["clamp_quanta"] = instruments.hist("clamp_quanta").summary()
+
+    return {
+        "insert": insert_hist.summary(),
+        "dequeue": dequeue_hist.summary(),
+        "mixed": mixed,
+    }
+
+
 def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
     """Run the suite; returns the JSON-ready result document."""
     if preset == "full":
@@ -300,12 +359,16 @@ def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
             )
         )
     headline = _bench_headline(headline_count, seed)
+    distributions = _bench_distributions(
+        size_count["w12"], min(headline_count, 10_000), seed
+    )
     return {
         "schema": _SCHEMA,
         "preset": preset,
         "seed": seed,
         "headline": headline,
         "scenarios": scenarios,
+        "distributions": distributions,
     }
 
 
@@ -396,6 +459,20 @@ def _format_summary(document: Dict) -> str:
         f"{headline['batched']['ops_per_second']:,.0f} ops/s batched "
         f"({headline['speedup']}x)",
     ]
+    distributions = document.get("distributions")
+    if distributions:
+        lines += ["", "  per-phase access distributions (p50/p99/max):"]
+        for phase in ("insert", "dequeue"):
+            s = distributions[phase]
+            lines.append(
+                f"    {phase:<8} {s['p50']:.0f}/{s['p99']:.0f}/{s['max']:.0f}"
+                f"  (n={s['count']})"
+            )
+        mixed = distributions["mixed"]["op_accesses"]
+        lines.append(
+            f"    {'mixed':<8} {mixed['p50']:.0f}/{mixed['p99']:.0f}/"
+            f"{mixed['max']:.0f}  (n={mixed['count']})"
+        )
     return "\n".join(lines)
 
 

@@ -6,16 +6,21 @@ Regenerates any of the paper's evaluation artifacts without pytest:
 
    $ python -m repro list
    $ python -m repro table1
-   $ python -m repro fig7
-   $ python -m repro all
+   $ python -m repro fig7 --output fig7.txt
+   $ python -m repro all --format json --output artifacts.json
 
 ``python -m repro bench`` runs the perf-regression suite instead (see
-:mod:`repro.bench.perf` for its own flags: ``--smoke``, ``--check``).
+:mod:`repro.bench.perf` for its own flags: ``--smoke``, ``--check``),
+and ``python -m repro obs`` runs a traced telemetry soak (see
+:mod:`repro.obs.runner`).  All three subsystems share one output
+convention: ``--output FILE`` writes where you say, ``--format
+{text,json}`` picks the representation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -51,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ARTIFACTS) + ["all", "list"],
         help="which artifact to regenerate ('list' shows descriptions)",
     )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the artifact(s) here instead of stdout",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="plain text blocks or one JSON document",
+    )
     return parser
 
 
@@ -58,6 +74,24 @@ def run_artifact(name: str) -> str:
     """Generate one artifact's text."""
     generator: Callable[[], str] = ARTIFACTS[name][0]
     return generator()
+
+
+def render_artifacts(names: List[str], fmt: str) -> str:
+    """Render the named artifacts as one text or JSON payload."""
+    if fmt == "json":
+        document = {
+            "artifacts": [
+                {
+                    "name": name,
+                    "description": ARTIFACTS[name][1],
+                    "content": run_artifact(name),
+                }
+                for name in names
+            ]
+        }
+        return json.dumps(document, indent=2) + "\n"
+    blocks = [run_artifact(name) for name in names]
+    return "\n\n".join(blocks) + "\n"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -70,6 +104,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench.perf import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Same lazy dispatch for the telemetry soak runner.
+        from .obs.runner import main as obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)
@@ -78,10 +117,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
     try:
-        for index, name in enumerate(names):
-            if index:
-                print()
-            print(run_artifact(name))
+        payload = render_artifacts(names, args.format)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        else:
+            sys.stdout.write(payload)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()

@@ -42,6 +42,14 @@ verification shadow (a pure-software debugging aid with no hardware
 counterpart); section-level occupancy counters keep the Fig. 6
 stale-section guard intact, but :meth:`check_invariants` can no longer
 cross-check the stored multiset against an independent shadow.
+
+**Telemetry** is opt-in via
+:meth:`TagSortRetrieveCircuit.attach_tracer`: every operation then emits
+a structured :class:`~repro.obs.events.TraceEvent` (tag, cycles,
+occupancy, backup-path activation, per-structure read/write deltas; the
+batched paths wrap their per-op events in an attributing span).  The
+traced variants are bound as instance attributes only while a tracer is
+attached, so the default untraced circuit runs the unmodified hot paths.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from ..hwsim.errors import (
     ProtocolError,
 )
 from ..hwsim.stats import AccessStats, StatsRegistry
+from ..obs.tracer import NULL_TRACER
 from .matching import DEFAULT_MATCHER
 from .tag_storage import TagStorageMemory
 from .translation import TranslationTable
@@ -88,6 +97,7 @@ class TagSortRetrieveCircuit:
         eager_marker_removal: bool = False,
         modular: bool = False,
         fast_mode: bool = False,
+        tracer=None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("capacity must be at least 1")
@@ -116,6 +126,9 @@ class TagSortRetrieveCircuit:
             self.registry.register(
                 f"tree_level_{level}", self.tree.level_stats(level)
             )
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # observers
@@ -490,6 +503,234 @@ class TagSortRetrieveCircuit:
         if pending_dequeues:
             served.extend(self.dequeue_batch(pending_dequeues))
         return served
+
+    # ------------------------------------------------------------------
+    # telemetry (opt-in; zero-cost when disabled)
+
+    @property
+    def free_list_depth(self) -> int:
+        """Links currently threaded on the storage empty list (Fig. 10).
+
+        Addresses handed out by the init counter and later freed; a
+        register-derived quantity (no memory access).
+        """
+        storage = self.storage
+        return (
+            storage.capacity
+            - storage.count
+            - storage.allocations_remaining_in_counter
+        )
+
+    def attach_tracer(self, tracer) -> None:
+        """Start emitting structured telemetry events to ``tracer``.
+
+        The traced variants of the operation methods are bound as
+        *instance* attributes, shadowing the plain class methods — so an
+        untraced circuit runs the exact pre-telemetry hot paths with no
+        per-operation guard, and :meth:`detach_tracer` restores them by
+        deleting the shadows.  Passing a disabled tracer (or ``None``)
+        detaches.
+        """
+        if tracer is None or not getattr(tracer, "enabled", False):
+            self.detach_tracer()
+            return
+        self.tracer = tracer
+        self.insert = self._traced_insert
+        self.dequeue_min = self._traced_dequeue_min
+        self.insert_and_dequeue = self._traced_insert_and_dequeue
+        self.insert_batch = self._traced_insert_batch
+        self.dequeue_batch = self._traced_dequeue_batch
+        self.clear_stale_section = self._traced_clear_stale_section
+        self.flush_stale_markers = self._traced_flush_stale_markers
+
+    def detach_tracer(self) -> None:
+        """Stop tracing and restore the uninstrumented hot paths."""
+        self.tracer = NULL_TRACER
+        for name in (
+            "insert",
+            "dequeue_min",
+            "insert_and_dequeue",
+            "insert_batch",
+            "dequeue_batch",
+            "clear_stale_section",
+            "flush_stale_markers",
+        ):
+            self.__dict__.pop(name, None)
+
+    def _op_attrs(self) -> dict:
+        """Shared register-derived attributes of a per-op event."""
+        return {
+            "cycles": FIXED_OP_CYCLES,
+            "occupancy": self.count,
+            "free_list_depth": self.free_list_depth,
+        }
+
+    def _traced_insert(self, tag: int, payload: Any = None) -> int:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        self.tree.last_outcome = None
+        try:
+            address = TagSortRetrieveCircuit.insert(self, tag, payload)
+        except BaseException as error:
+            tracer.event(
+                "insert",
+                deltas=self.registry.deltas_since(before),
+                tag=tag,
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        outcome = self.tree.last_outcome
+        tracer.event(
+            "insert",
+            deltas=self.registry.deltas_since(before),
+            tag=tag,
+            address=address,
+            used_backup=bool(outcome.used_backup) if outcome else False,
+            **self._op_attrs(),
+        )
+        return address
+
+    def _traced_dequeue_min(self) -> ServedTag:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        try:
+            served = TagSortRetrieveCircuit.dequeue_min(self)
+        except BaseException as error:
+            tracer.event(
+                "dequeue",
+                deltas=self.registry.deltas_since(before),
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        tracer.event(
+            "dequeue",
+            deltas=self.registry.deltas_since(before),
+            tag=served.tag,
+            address=served.address,
+            **self._op_attrs(),
+        )
+        return served
+
+    def _traced_insert_and_dequeue(
+        self, tag: int, payload: Any = None
+    ) -> Tuple[ServedTag, int]:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        self.tree.last_outcome = None
+        try:
+            served, address = TagSortRetrieveCircuit.insert_and_dequeue(
+                self, tag, payload
+            )
+        except BaseException as error:
+            tracer.event(
+                "insert_dequeue",
+                deltas=self.registry.deltas_since(before),
+                tag=tag,
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        outcome = self.tree.last_outcome
+        tracer.event(
+            "insert_dequeue",
+            deltas=self.registry.deltas_since(before),
+            tag=tag,
+            address=address,
+            served_tag=served.tag,
+            served_address=served.address,
+            used_backup=bool(outcome.used_backup) if outcome else False,
+            **self._op_attrs(),
+        )
+        return served, address
+
+    def _traced_insert_batch(
+        self,
+        tags: Sequence[int],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> List[int]:
+        tags = list(tags)
+        if self.eager_marker_removal:
+            # The eager path falls back to per-op inserts, whose traced
+            # wrappers already emit one event each.
+            return TagSortRetrieveCircuit.insert_batch(self, tags, payloads)
+        tracer = self.tracer
+        start = self.count
+        with tracer.span(
+            "insert_batch", registry=self.registry, count=len(tags)
+        ):
+            self.tree.last_outcome = None
+            addresses = TagSortRetrieveCircuit.insert_batch(
+                self, tags, payloads
+            )
+            outcome = self.tree.last_outcome
+            used_backup = bool(outcome.used_backup) if outcome else False
+            # One event per logical operation, in input order, so the
+            # batched stream is event-for-event comparable to per-op
+            # mode; the memory-traffic deltas live on the enclosing
+            # span (the batch amortizes them across the run).
+            for index, (tag, address) in enumerate(zip(tags, addresses)):
+                tracer.event(
+                    "insert",
+                    tag=tag,
+                    address=address,
+                    cycles=FIXED_OP_CYCLES,
+                    occupancy=start + index + 1,
+                    used_backup=used_backup and index == 0,
+                    batched=True,
+                )
+        return addresses
+
+    def _traced_dequeue_batch(self, count: int) -> List[ServedTag]:
+        tracer = self.tracer
+        start = self.count
+        with tracer.span(
+            "dequeue_batch", registry=self.registry, count=count
+        ):
+            served = TagSortRetrieveCircuit.dequeue_batch(self, count)
+            for index, entry in enumerate(served):
+                tracer.event(
+                    "dequeue",
+                    tag=entry.tag,
+                    address=entry.address,
+                    cycles=FIXED_OP_CYCLES,
+                    occupancy=start - index - 1,
+                    batched=True,
+                )
+        return served
+
+    def _traced_clear_stale_section(self, root_literal: int) -> int:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        try:
+            purged = TagSortRetrieveCircuit.clear_stale_section(
+                self, root_literal
+            )
+        except BaseException as error:
+            tracer.event(
+                "section_clear",
+                deltas=self.registry.deltas_since(before),
+                root_literal=root_literal,
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        tracer.event(
+            "section_clear",
+            deltas=self.registry.deltas_since(before),
+            root_literal=root_literal,
+            purged=purged,
+        )
+        return purged
+
+    def _traced_flush_stale_markers(self) -> None:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        TagSortRetrieveCircuit.flush_stale_markers(self)
+        tracer.event(
+            "marker_flush", deltas=self.registry.deltas_since(before)
+        )
 
     # ------------------------------------------------------------------
     # stale-section maintenance (Fig. 6)

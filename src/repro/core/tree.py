@@ -94,6 +94,10 @@ class MultiBitTree:
             matcher_factory(b) for _ in range(fmt.levels)
         ]
         self._count = 0
+        #: instrumentation of the most recent :meth:`search` (telemetry
+        #: probe: lets a tracer report backup-path activations without
+        #: re-running the search).
+        self.last_outcome: Optional[SearchOutcome] = None
         for level in self._levels:
             for address in range(level.size):
                 level.poke(address, 0)
@@ -334,6 +338,7 @@ class MultiBitTree:
         """Run the full primary+backup search, with instrumentation."""
         self.fmt.check_value(key)
         outcome = SearchOutcome(key=key, result=None)
+        self.last_outcome = outcome
         b = self.fmt.branching_factor
         literals = self.fmt.literals(key)
         backups: List[Tuple[int, int, int]] = []  # (level, prefix, bit)

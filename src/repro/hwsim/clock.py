@@ -31,12 +31,16 @@ class Clock:
     synchronous design with a deterministic evaluation order.
     """
 
-    def __init__(self, frequency_hz: float = 150e6) -> None:
+    def __init__(self, frequency_hz: float = 150e6, *, tracer=None) -> None:
         if frequency_hz <= 0:
             raise ConfigurationError("clock frequency must be positive")
         self.frequency_hz = frequency_hz
         self.cycle = 0
         self._components: List[ClockedComponent] = []
+        #: optional telemetry tracer; when enabled, each :meth:`step`
+        #: call emits one ``clock_step`` event (per call, not per cycle,
+        #: so long advances stay cheap).
+        self.tracer = tracer
 
     @property
     def period_s(self) -> float:
@@ -58,6 +62,9 @@ class Clock:
             for component in self._components:
                 component.tick(self.cycle)
             self.cycle += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("clock_step", cycles=cycles, cycle=self.cycle)
         return self.cycle
 
     def elapsed_s(self) -> float:

@@ -44,6 +44,10 @@ class AccessStats:
         self.reads += reads
         self.writes += writes
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready ``{"reads": ..., "writes": ...}`` view."""
+        return {"reads": self.reads, "writes": self.writes}
+
     def snapshot(self) -> "AccessStats":
         """Return an independent copy of the current totals."""
         return AccessStats(reads=self.reads, writes=self.writes)
@@ -71,9 +75,15 @@ class OperationProbe:
         with probe.operation(stats):
             queue.insert(tag)
         probe.worst_case  # max accesses any single insert needed
+
+    An operation that raises still consumed memory bandwidth up to the
+    failure point, so its partial delta is recorded too — in
+    :attr:`samples` (worst-case accounting must see error paths) and in
+    :attr:`failed_samples`, which tags it as failed.
     """
 
     samples: List[int] = field(default_factory=list)
+    failed_samples: List[int] = field(default_factory=list)
 
     class _Scope:
         def __init__(self, probe: "OperationProbe", stats: AccessStats):
@@ -86,13 +96,21 @@ class OperationProbe:
             return self
 
         def __exit__(self, exc_type, exc, tb) -> None:
-            if exc_type is None and self._before is not None:
-                delta = self._stats.delta_since(self._before)
-                self._probe.samples.append(delta.total)
+            if self._before is None:
+                return
+            delta = self._stats.delta_since(self._before)
+            self._probe.samples.append(delta.total)
+            if exc_type is not None:
+                self._probe.failed_samples.append(delta.total)
 
     def operation(self, stats: AccessStats) -> "_Scope":
         """Context manager recording one operation's access delta."""
         return OperationProbe._Scope(self, stats)
+
+    @property
+    def failure_count(self) -> int:
+        """Number of recorded operations that raised."""
+        return len(self.failed_samples)
 
     @property
     def worst_case(self) -> int:
@@ -114,6 +132,7 @@ class OperationProbe:
     def reset(self) -> None:
         """Forget all samples."""
         self.samples.clear()
+        self.failed_samples.clear()
 
 
 class StatsRegistry:
@@ -127,12 +146,27 @@ class StatsRegistry:
     def __init__(self) -> None:
         self._entries: Dict[str, AccessStats] = {}
 
-    def register(self, name: str, stats: AccessStats) -> AccessStats:
-        """Register ``stats`` under ``name``; returns the same object."""
-        if name in self._entries:
+    def register(
+        self, name: str, stats: AccessStats, *, replace: bool = False
+    ) -> AccessStats:
+        """Register ``stats`` under ``name``; returns the same object.
+
+        A duplicate name is rejected unless ``replace=True``, which swaps
+        the counter in place — the escape hatch for re-created circuits
+        that want to keep publishing under a stable name in long-running
+        sessions.
+        """
+        if name in self._entries and not replace:
             raise ValueError(f"duplicate stats registration: {name!r}")
         self._entries[name] = stats
         return stats
+
+    def unregister(self, name: str) -> AccessStats:
+        """Drop (and return) the counter registered under ``name``."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise KeyError(f"no stats registered under {name!r}") from None
 
     def __getitem__(self, name: str) -> AccessStats:
         return self._entries[name]
@@ -158,6 +192,33 @@ class StatsRegistry:
     def record_bulk(self, name: str, *, reads: int = 0, writes: int = 0) -> None:
         """Deposit one batch of accesses on the named component."""
         self._entries[name].record_bulk(reads=reads, writes=writes)
+
+    def snapshot_all(self) -> Dict[str, AccessStats]:
+        """Independent copies of every registered counter, by name.
+
+        The returned dict is the argument :meth:`deltas_since` expects;
+        together they let a tracer attribute a span's memory traffic to
+        individual structures without resetting anything.
+        """
+        return {name: stats.snapshot() for name, stats in self._entries.items()}
+
+    def deltas_since(
+        self, earlier: Dict[str, AccessStats]
+    ) -> Dict[str, AccessStats]:
+        """Per-structure traffic accumulated since :meth:`snapshot_all`.
+
+        Structures registered after the snapshot contribute their full
+        totals (delta from zero); structures unregistered since are
+        absent.  Zero-delta entries are omitted so sparse spans stay
+        sparse.
+        """
+        deltas: Dict[str, AccessStats] = {}
+        for name, stats in self._entries.items():
+            before = earlier.get(name)
+            delta = stats.delta_since(before) if before is not None else stats.snapshot()
+            if delta.reads or delta.writes:
+                deltas[name] = delta
+        return deltas
 
     def reset_all(self) -> None:
         """Zero every registered counter."""

@@ -44,13 +44,18 @@ class HardwareTagStore:
         granularity: float = 1.0,
         capacity: int = 4096,
         fast_mode: bool = False,
+        tracer=None,
     ) -> None:
         if granularity <= 0:
             raise ConfigurationError("granularity must be positive")
         self.fmt = fmt
         self.granularity = granularity
         self.circuit = TagSortRetrieveCircuit(
-            fmt, capacity=capacity, modular=True, fast_mode=fast_mode
+            fmt,
+            capacity=capacity,
+            modular=True,
+            fast_mode=fast_mode,
+            tracer=tracer,
         )
         self._section_span = fmt.capacity // fmt.branching_factor
         #: highest unwrapped section index ever prepared for inserts
@@ -160,9 +165,16 @@ class HardwareTagStore:
         if regressed or self._is_behind_minimum(raw):
             raw = self.circuit.peek_min()
             floor = self._span_floor()
-            if floor is not None:
-                self.clamp_error_quanta += max(0, floor - unwrapped)
+            quanta = max(0, floor - unwrapped) if floor is not None else 0
+            self.clamp_error_quanta += quanta
             self.clamped_inserts += 1
+            tracer = self.circuit.tracer
+            if tracer.enabled:
+                # The clamp is the store's backup path: the tag could
+                # not be inserted where WFQ wanted it.
+                tracer.event(
+                    "clamp", unwrapped=unwrapped, raw=raw, quanta=quanta
+                )
             self.circuit.insert(raw, payload=(finish_tag, flow_id))
             return
         self._prepare_sections(unwrapped)
@@ -228,10 +240,16 @@ class HardwareTagStore:
                 and (raw - min_live) % space >= half
             )
             if regressed or behind:
-                raws.append(min_live % space)
-                if floor is not None:
-                    clamp_quanta += max(0, floor - unwrapped)
+                raw = min_live % space
+                raws.append(raw)
+                quanta = max(0, floor - unwrapped) if floor is not None else 0
+                clamp_quanta += quanta
                 clamped += 1
+                tracer = self.circuit.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "clamp", unwrapped=unwrapped, raw=raw, quanta=quanta
+                    )
             else:
                 if first_section is None:
                     first_section = unwrapped // self._section_span
@@ -322,6 +340,22 @@ class HardwareTagStore:
 
     def __len__(self) -> int:
         return self.circuit.count
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    @property
+    def tracer(self):
+        """The circuit's tracer (the shared :data:`NULL_TRACER` when off)."""
+        return self.circuit.tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Start tracing: circuit ops plus the store's clamp events."""
+        self.circuit.attach_tracer(tracer)
+
+    def detach_tracer(self) -> None:
+        """Stop tracing and restore the uninstrumented hot paths."""
+        self.circuit.detach_tracer()
 
     # ------------------------------------------------------------------
     # introspection for experiments

@@ -51,6 +51,7 @@ class HardwareWFQSystem(PacketScheduler):
         buffer_capacity: int = 8192,
         clock_hz: float = DEFAULT_CLOCK_HZ,
         fast_mode: bool = False,
+        tracer=None,
     ) -> None:
         super().__init__(rate_bps)
         if clock_hz <= 0:
@@ -62,6 +63,7 @@ class HardwareWFQSystem(PacketScheduler):
         self._buffer_capacity = buffer_capacity
         self._explicit_granularity = granularity
         self._fast_mode = fast_mode
+        self._tracer = tracer
         self._store: Optional[HardwareTagStore] = None
         self.dropped = 0
 
@@ -99,8 +101,22 @@ class HardwareWFQSystem(PacketScheduler):
                 granularity=granularity,
                 capacity=self._buffer_capacity,
                 fast_mode=self._fast_mode,
+                tracer=self._tracer,
             )
         return self._store
+
+    def attach_tracer(self, tracer) -> None:
+        """Trace the underlying store/circuit (applies on store creation
+        too, so it can be called before the first enqueue)."""
+        self._tracer = tracer
+        if self._store is not None:
+            self._store.attach_tracer(tracer)
+
+    def detach_tracer(self) -> None:
+        """Stop tracing the underlying store/circuit."""
+        self._tracer = None
+        if self._store is not None:
+            self._store.detach_tracer()
 
     # ------------------------------------------------------------------
     # PacketScheduler interface

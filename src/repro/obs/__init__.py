@@ -1,0 +1,55 @@
+"""Opt-in telemetry: structured tracing, instruments, exporters.
+
+The software equivalent of logic-analyzer probes on the paper's circuit:
+
+* :mod:`repro.obs.events` — the structured event schema;
+* :mod:`repro.obs.tracer` — :class:`Tracer` (ring buffer + JSONL sink +
+  per-structure delta attribution) and the zero-cost
+  :data:`NULL_TRACER` default;
+* :mod:`repro.obs.instruments` — streaming :class:`Histogram` /
+  :class:`Gauge` / :class:`Counter` and the :class:`InstrumentSet`
+  registry;
+* :mod:`repro.obs.exporters` — JSONL, Prometheus-style text, and the
+  human-readable run report;
+* :mod:`repro.obs.probes` — observers wiring op events into standard
+  instruments;
+* :mod:`repro.obs.runner` — the traced-soak driver behind
+  ``python -m repro obs`` (imported lazily by the CLI; not re-exported
+  here to keep this package importable from :mod:`repro.core`).
+
+Attach a tracer with
+:meth:`repro.core.sort_retrieve.TagSortRetrieveCircuit.attach_tracer`
+or by passing ``tracer=`` to the circuit, the
+:class:`~repro.net.hardware_store.HardwareTagStore`, or the
+:class:`~repro.net.scheduler_system.HardwareWFQSystem`.
+"""
+
+from .events import MAINTENANCE_KINDS, OP_KINDS, SPAN_KIND, TraceEvent
+from .exporters import (
+    prometheus_snapshot,
+    read_jsonl,
+    run_report,
+    write_jsonl,
+)
+from .instruments import Counter, Gauge, Histogram, InstrumentSet
+from .probes import StandardProbes
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentSet",
+    "MAINTENANCE_KINDS",
+    "NULL_TRACER",
+    "NullTracer",
+    "OP_KINDS",
+    "SPAN_KIND",
+    "StandardProbes",
+    "TraceEvent",
+    "Tracer",
+    "prometheus_snapshot",
+    "read_jsonl",
+    "run_report",
+    "write_jsonl",
+]

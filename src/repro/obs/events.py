@@ -1,0 +1,102 @@
+"""Structured trace events — the software logic-analyzer sample format.
+
+One :class:`TraceEvent` is one probe sample: a circuit operation, a
+maintenance action (section clear, marker flush, clamp), or a closed
+span.  Events carry *per-structure* read/write deltas keyed by the
+:class:`~repro.hwsim.stats.StatsRegistry` names, so a trace can be
+reconciled exactly against the registry totals (the sum of every event's
+deltas over a traced window equals the registry delta over that window —
+see :meth:`repro.obs.tracer.Tracer.attributed_totals`).
+
+The JSONL schema (documented in DESIGN.md) is the :meth:`TraceEvent.to_dict`
+output: stable keys, no nesting deeper than the ``deltas`` map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..hwsim.stats import AccessStats
+
+#: Event kinds emitted by the traced circuit / store / scheduler stack.
+#: Op kinds (one logical circuit operation each):
+OP_KINDS = ("insert", "dequeue", "insert_dequeue")
+#: Maintenance kinds (wrap discipline, backup paths):
+MAINTENANCE_KINDS = ("section_clear", "marker_flush", "clamp")
+#: Structural kind closing a nested span:
+SPAN_KIND = "span"
+
+
+@dataclass
+class TraceEvent:
+    """One telemetry sample.
+
+    Attributes:
+        seq: monotone emission index (0-based, per tracer).
+        kind: one of :data:`OP_KINDS`, :data:`MAINTENANCE_KINDS`, or
+            :data:`SPAN_KIND`.
+        name: human label — the op kind again for ops, the span name for
+            spans.
+        span_id: id of the enclosing open span, or ``None`` at top level.
+        deltas: per-structure memory-traffic attribution for this event
+            *alone* (span events carry only traffic not already
+            attributed to their children).
+        attrs: kind-specific payload (tag, address, cycles, occupancy,
+            used_backup, purged, ...).
+    """
+
+    seq: int
+    kind: str
+    name: str
+    span_id: Optional[int] = None
+    deltas: Dict[str, AccessStats] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delta_reads(self) -> int:
+        """Summed reads attributed to this event."""
+        return sum(delta.reads for delta in self.deltas.values())
+
+    @property
+    def delta_writes(self) -> int:
+        """Summed writes attributed to this event."""
+        return sum(delta.writes for delta in self.deltas.values())
+
+    @property
+    def delta_total(self) -> int:
+        """Summed accesses (reads + writes) attributed to this event."""
+        return self.delta_reads + self.delta_writes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict in the documented JSONL schema."""
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+        }
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        if self.deltas:
+            record["deltas"] = {
+                name: delta.to_dict() for name, delta in self.deltas.items()
+            }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from its :meth:`to_dict` form (JSONL replay)."""
+        deltas = {
+            name: AccessStats(reads=entry["reads"], writes=entry["writes"])
+            for name, entry in record.get("deltas", {}).items()
+        }
+        return cls(
+            seq=record["seq"],
+            kind=record["kind"],
+            name=record["name"],
+            span_id=record.get("span_id"),
+            deltas=deltas,
+            attrs=dict(record.get("attrs", {})),
+        )

@@ -1,0 +1,183 @@
+"""Trace and metric exporters: JSONL, Prometheus text, run report.
+
+Three output shapes for the same telemetry:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per event,
+  the archival format (uploaded as a CI artifact, replayable into
+  :class:`~repro.obs.events.TraceEvent` objects).
+* :func:`prometheus_snapshot` — a Prometheus-style text exposition of
+  an :class:`~repro.obs.instruments.InstrumentSet`, for scraping or
+  eyeballing.
+* :func:`run_report` — the human-readable post-run summary: per-structure
+  traffic, event counts, distribution tables, reconciliation status.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from ..hwsim.stats import AccessStats
+from .events import TraceEvent
+from .instruments import Counter, Gauge, Histogram, InstrumentSet
+
+
+def write_jsonl(
+    events: Iterable[TraceEvent], destination: Union[str, IO[str]]
+) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    own = not hasattr(destination, "write")
+    handle = open(destination, "w", encoding="utf-8") if own else destination
+    count = 0
+    try:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=False) + "\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Load a JSONL trace back into events (skips blank lines)."""
+    own = not hasattr(source, "read")
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        return [
+            TraceEvent.from_dict(json.loads(line))
+            for line in handle
+            if line.strip()
+        ]
+    finally:
+        if own:
+            handle.close()
+
+
+def prometheus_snapshot(
+    instruments: InstrumentSet, *, prefix: str = "repro"
+) -> str:
+    """Prometheus-style text exposition of every instrument.
+
+    Histograms use the cumulative ``_bucket{le=...}`` convention plus
+    ``_sum``/``_count``; gauges export value/min/max; counters export
+    their total.  The output is a snapshot, not a live endpoint — good
+    enough for scrape emulation and diffing in CI.
+    """
+    lines: List[str] = []
+    for name, instrument in instruments.items():
+        metric = f"{prefix}_{name}"
+        if isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {metric} histogram")
+            for bound, cumulative in instrument.cumulative_buckets():
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{metric}_sum {_fmt(instrument.sum)}")
+            lines.append(f"{metric}_count {instrument.count}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(instrument.value)}")
+            lines.append(f"{metric}_min {_fmt(instrument.min)}")
+            lines.append(f"{metric}_max {_fmt(instrument.max)}")
+        elif isinstance(instrument, Counter):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric}_total {instrument.value}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Trim trailing zeros so integers print as integers."""
+    if value == int(value):
+        return str(int(value))
+    return repr(round(value, 6))
+
+
+def run_report(
+    *,
+    title: str,
+    totals: Dict[str, AccessStats],
+    instruments: Optional[InstrumentSet] = None,
+    event_counts: Optional[Dict[str, int]] = None,
+    reconciliation: Optional[Dict[str, int]] = None,
+    notes: Iterable[str] = (),
+) -> str:
+    """The human-readable post-run report.
+
+    Args:
+        title: headline (workload description).
+        totals: per-structure :class:`AccessStats` (registry snapshot).
+        instruments: distribution/gauge summaries to tabulate.
+        event_counts: events emitted per kind.
+        reconciliation: ``{"traced": ..., "registry": ...}`` totals; a
+            mismatch is flagged loudly.
+        notes: free-form trailing lines.
+    """
+    lines = [title, "=" * len(title), ""]
+
+    lines.append("per-structure memory traffic")
+    lines.append(f"  {'structure':<24} {'reads':>10} {'writes':>10} {'total':>10}")
+    sum_reads = sum_writes = 0
+    for name in sorted(totals):
+        stats = totals[name]
+        sum_reads += stats.reads
+        sum_writes += stats.writes
+        lines.append(
+            f"  {name:<24} {stats.reads:>10} {stats.writes:>10} {stats.total:>10}"
+        )
+    lines.append(
+        f"  {'TOTAL':<24} {sum_reads:>10} {sum_writes:>10} "
+        f"{sum_reads + sum_writes:>10}"
+    )
+
+    if event_counts:
+        lines += ["", "events by kind"]
+        for kind in sorted(event_counts):
+            lines.append(f"  {kind:<24} {event_counts[kind]:>10}")
+
+    if instruments is not None and instruments.names():
+        lines += ["", "distributions"]
+        lines.append(
+            f"  {'instrument':<28} {'count':>8} {'p50':>8} {'p90':>8} "
+            f"{'p99':>8} {'max':>8}"
+        )
+        for name, instrument in instruments.items():
+            if isinstance(instrument, Histogram):
+                s = instrument.summary()
+                lines.append(
+                    f"  {name:<28} {s['count']:>8} {_fmt(s['p50']):>8} "
+                    f"{_fmt(s['p90']):>8} {_fmt(s['p99']):>8} {_fmt(s['max']):>8}"
+                )
+        gauges = [
+            (name, inst)
+            for name, inst in instruments.items()
+            if isinstance(inst, Gauge)
+        ]
+        if gauges:
+            lines += ["", "gauges"]
+            for name, gauge in gauges:
+                lines.append(
+                    f"  {name:<28} value={_fmt(gauge.value)} "
+                    f"min={_fmt(gauge.min)} max={_fmt(gauge.max)}"
+                )
+
+    if reconciliation is not None:
+        traced = reconciliation.get("traced", 0)
+        registry = reconciliation.get("registry", 0)
+        lines.append("")
+        if traced == registry:
+            lines.append(
+                f"reconciliation OK: traced deltas account for all "
+                f"{registry} registry accesses"
+            )
+        else:
+            lines.append(
+                f"reconciliation MISMATCH: traced {traced} != registry "
+                f"{registry} ({registry - traced} unattributed)"
+            )
+
+    for note in notes:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,263 @@
+"""Streaming instruments: histograms, gauges, counters.
+
+The paper argues in *worst cases* (Table I); debugging a reproduction
+needs *distributions*.  :class:`Histogram` keeps an HDR-style
+log-bucketed sketch — constant memory, bounded relative error — so a
+100k-op soak can report p50/p99/max access counts, occupancies, and
+queue depths without storing per-op samples.  :class:`Gauge` tracks a
+level (occupancy, backlog) with running min/max; :class:`Counter` is a
+monotone total.
+
+:class:`InstrumentSet` is the named registry the exporters consume
+(:func:`repro.obs.exporters.prometheus_snapshot`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class Histogram:
+    """Fixed-memory histogram of non-negative values with bounded error.
+
+    Values below ``2**subbucket_bits`` are recorded exactly; larger
+    values land in power-of-two ranges split into ``2**subbucket_bits``
+    linear sub-buckets, so any recorded quantile differs from the true
+    sample quantile by at most a factor of ``2**-subbucket_bits``
+    (3.125% at the default 5 bits).
+
+    Non-integer values are scaled by ``scale`` and rounded, letting the
+    same sketch hold e.g. quanta-valued clamp errors; reported
+    statistics are scaled back.
+    """
+
+    def __init__(self, *, subbucket_bits: int = 5, scale: float = 1.0) -> None:
+        if not 1 <= subbucket_bits <= 16:
+            raise ValueError("subbucket_bits must be in [1, 16]")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self._sub_bits = subbucket_bits
+        self._sub_count = 1 << subbucket_bits
+        self._scale = scale
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def _index(self, value: int) -> int:
+        if value < self._sub_count:
+            return value
+        exp = value.bit_length() - self._sub_bits - 1
+        mantissa = value >> exp
+        return ((exp + 1) << self._sub_bits) + (mantissa - self._sub_count)
+
+    def _bucket_high(self, index: int) -> int:
+        """Largest raw value mapping to ``index`` (the reported bound)."""
+        if index < self._sub_count:
+            return index
+        exp = (index >> self._sub_bits) - 1
+        mantissa = (index & (self._sub_count - 1)) + self._sub_count
+        return ((mantissa + 1) << exp) - 1
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` (``count`` times)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        raw = int(round(value * self._scale))
+        if raw < 0:
+            raise ValueError(f"histogram values must be non-negative, got {value}")
+        index = self._index(raw)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += count
+        self._sum += raw * count
+        if self._min is None or raw < self._min:
+            self._min = raw
+        if self._max is None or raw > self._max:
+            self._max = raw
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same shape) into this one."""
+        if (other._sub_bits, other._scale) != (self._sub_bits, self._scale):
+            raise ValueError("histogram shapes differ; cannot merge")
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self.count += other.count
+        self._sum += other._sum
+        for theirs in (other._min,):
+            if theirs is not None and (self._min is None or theirs < self._min):
+                self._min = theirs
+        for theirs in (other._max,):
+            if theirs is not None and (self._max is None or theirs > self._max):
+                self._max = theirs
+
+    # ------------------------------------------------------------------
+    # statistics
+
+    @property
+    def min(self) -> float:
+        return (self._min or 0) / self._scale
+
+    @property
+    def max(self) -> float:
+        return (self._max or 0) / self._scale
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return self._sum / self.count / self._scale
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 < q <= 100), nearest-rank.
+
+        Returns the recorded bucket's upper bound (exact for values
+        below the linear range; within the relative-error bound above
+        it), clamped to the true observed maximum.
+        """
+        if not 0 < q <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self.count:
+            return 0.0
+        rank = max(1, -(-int(q * self.count) // 100))  # ceil(q/100 * count)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                high = min(self._bucket_high(index), self._max or 0)
+                return high / self._scale
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready {count, min, mean, p50, p90, p99, max}."""
+        return {
+            "count": self.count,
+            "min": self.min,
+            "mean": round(self.mean, 4),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def buckets(self) -> Iterator[Tuple[float, int]]:
+        """(upper_bound, count) pairs in ascending order (sparse)."""
+        for index in sorted(self._buckets):
+            yield self._bucket_high(index) / self._scale, self._buckets[index]
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs — Prometheus ``le`` form."""
+        out: List[Tuple[float, int]] = []
+        seen = 0
+        for bound, count in self.buckets():
+            seen += count
+            out.append((bound, seen))
+        return out
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded values (scaled back)."""
+        return self._sum / self._scale
+
+
+class Gauge:
+    """A level with running min/max (occupancy, backlog, span depth)."""
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self.value = initial
+        self.min = initial
+        self.max = initial
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Counter:
+    """A monotone total."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class InstrumentSet:
+    """Named instruments, get-or-create style, for the exporters.
+
+    ``hist("x").record(...)`` either reuses the existing histogram
+    ``x`` or creates it; same for :meth:`gauge` and :meth:`counter`.
+    Names are export identifiers (Prometheus metric names), so keep
+    them ``snake_case``.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"instrument {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def hist(self, name: str, **kwargs) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(**kwargs))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> object:
+        return self._instruments[name]
+
+    def items(self) -> Sequence[Tuple[str, object]]:
+        return sorted(self._instruments.items())
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready summary of every instrument."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, instrument in self.items():
+            if isinstance(instrument, (Histogram, Gauge)):
+                out[name] = instrument.summary()
+            elif isinstance(instrument, Counter):
+                out[name] = {"value": instrument.value}
+        return out

@@ -1,0 +1,76 @@
+"""Standard probes: stream trace events into histograms and gauges.
+
+:class:`StandardProbes` is a tracer observer (see
+:meth:`repro.obs.tracer.Tracer.add_observer`) that converts the event
+stream of a traced circuit/store run into the distribution view the
+ISSUE calls for: per-op access counts, cycles, occupancy, linked-list
+depths, clamp magnitudes, backup-path activations.
+
+It never touches the traced components — everything is derived from the
+events — so the same probes work on a live tracer or on a replayed
+JSONL file (:func:`repro.obs.exporters.read_jsonl`).
+"""
+
+from __future__ import annotations
+
+from .events import OP_KINDS, SPAN_KIND, TraceEvent
+from .instruments import InstrumentSet
+
+
+class StandardProbes:
+    """Maps trace events onto a standard set of instruments.
+
+    Instruments populated (all optional — absent if no event carried
+    the field):
+
+    * ``op_accesses`` — per-operation memory accesses (per-op mode
+      events carry exact deltas);
+    * ``batch_accesses_per_op`` — amortized per-op accesses of batched
+      spans (span self-delta / op count, captured at 0.01 resolution);
+    * ``op_cycles`` — circuit cycles per operation;
+    * ``occupancy`` — stored tags after each operation (histogram) and
+      ``occupancy_now`` (gauge);
+    * ``free_list_depth`` — storage empty-list depth per op;
+    * ``clamp_quanta`` — clamp magnitude per backup-path activation of
+      the store;
+    * ``section_purged`` — stale markers deleted per section clear;
+    * counters ``events_<kind>``, ``backup_activations``,
+      ``failed_operations``.
+    """
+
+    def __init__(self, instruments: InstrumentSet = None) -> None:
+        self.instruments = instruments if instruments is not None else InstrumentSet()
+
+    def __call__(self, event: TraceEvent) -> None:
+        inst = self.instruments
+        inst.counter(f"events_{event.kind}").inc()
+        attrs = event.attrs
+        if attrs.get("failed"):
+            inst.counter("failed_operations").inc()
+        if event.kind in OP_KINDS:
+            if event.deltas:
+                inst.hist("op_accesses").record(event.delta_total)
+            cycles = attrs.get("cycles")
+            if cycles is not None:
+                inst.hist("op_cycles").record(cycles)
+            occupancy = attrs.get("occupancy")
+            if occupancy is not None:
+                inst.hist("occupancy").record(occupancy)
+                inst.gauge("occupancy_now").set(occupancy)
+            depth = attrs.get("free_list_depth")
+            if depth is not None:
+                inst.hist("free_list_depth").record(depth)
+            if attrs.get("used_backup"):
+                inst.counter("backup_activations").inc()
+        elif event.kind == SPAN_KIND:
+            count = attrs.get("count")
+            if count and event.deltas:
+                inst.hist("batch_accesses_per_op", scale=100).record(
+                    event.delta_total / count
+                )
+        elif event.kind == "clamp":
+            quanta = attrs.get("quanta")
+            if quanta is not None:
+                inst.hist("clamp_quanta").record(quanta)
+        elif event.kind == "section_clear" and not attrs.get("failed"):
+            inst.hist("section_purged").record(attrs.get("purged", 0))

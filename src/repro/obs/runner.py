@@ -1,0 +1,245 @@
+"""Traced-soak driver: the machinery behind ``python -m repro obs``.
+
+Runs the bench harness's bursty WFQ-shaped mixed workload (the same
+generator the perf suite times) through a
+:class:`~repro.net.hardware_store.HardwareTagStore` with a live
+:class:`~repro.obs.tracer.Tracer` attached, streams the events through
+:class:`~repro.obs.probes.StandardProbes`, and verifies the telemetry
+acceptance invariant: the summed per-structure deltas of the event
+stream reconcile *exactly* with ``StatsRegistry.total()``.
+
+Kept out of :mod:`repro.obs`'s eager imports (it pulls in the net/bench
+layers) — the CLI imports it lazily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bench.perf import _drive_batched, _drive_per_op, make_mixed_ops
+from ..net.hardware_store import HardwareTagStore
+from .exporters import prometheus_snapshot, run_report
+from .instruments import InstrumentSet
+from .probes import StandardProbes
+from .tracer import Tracer
+
+
+@dataclass
+class TracedRun:
+    """Everything a traced soak produced."""
+
+    tracer: Tracer
+    store: HardwareTagStore
+    instruments: InstrumentSet
+    ops: int
+    seed: int
+    batched: bool
+    served: int
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Events emitted per kind (from the probe counters, so exact
+        even after ring-buffer eviction)."""
+        counts: Dict[str, int] = {}
+        prefix = "events_"
+        for name in self.instruments.names():
+            if name.startswith(prefix):
+                counts[name[len(prefix):]] = self.instruments.counter(name).value
+        return counts
+
+    @property
+    def reconciliation(self) -> Dict[str, int]:
+        """Traced-vs-registry access totals (equal on a correct trace)."""
+        return {
+            "traced": self.tracer.attributed_grand_total().total,
+            "registry": self.store.circuit.registry.total().total,
+        }
+
+    @property
+    def reconciled(self) -> bool:
+        """True when every registry access is attributed to an event."""
+        traced = self.tracer.attributed_totals()
+        registry = self.store.circuit.registry
+        for name in registry.names():
+            stats = registry[name]
+            mine = traced.get(name)
+            got = (mine.reads, mine.writes) if mine else (0, 0)
+            if got != (stats.reads, stats.writes):
+                return False
+        return True
+
+    def report(self) -> str:
+        """The human-readable run report."""
+        mode = "batched fast-mode" if self.batched else "per-op"
+        return run_report(
+            title=(
+                f"traced mixed soak: {self.ops} ops ({mode}), "
+                f"seed {self.seed}"
+            ),
+            totals={
+                name: self.store.circuit.registry[name]
+                for name in self.store.circuit.registry.names()
+            },
+            instruments=self.instruments,
+            event_counts=self.event_counts,
+            reconciliation=self.reconciliation,
+            notes=(
+                f"tracer: {self.tracer.emitted} events emitted, "
+                f"{self.tracer.dropped} evicted from the ring buffer",
+            ),
+        )
+
+    def to_document(self) -> Dict:
+        """The JSON-format report (one output convention with the
+        artifact CLI's ``--format json``)."""
+        return {
+            "workload": {
+                "ops": self.ops,
+                "seed": self.seed,
+                "mode": "batched" if self.batched else "per_op",
+                "granularity": self.store.granularity,
+                "served": self.served,
+            },
+            "totals": {
+                name: self.store.circuit.registry[name].to_dict()
+                for name in self.store.circuit.registry.names()
+            },
+            "event_counts": self.event_counts,
+            "instruments": self.instruments.summaries(),
+            "reconciliation": {
+                **self.reconciliation,
+                "exact": self.reconciled,
+            },
+            "tracer": {
+                "emitted": self.tracer.emitted,
+                "dropped": self.tracer.dropped,
+            },
+        }
+
+
+def run_traced_soak(
+    *,
+    ops: int = 10_000,
+    seed: int = 20060101,
+    granularity: float = 8.0,
+    batched: bool = False,
+    trace_sink: Optional[str] = None,
+    buffer_size: int = 65536,
+) -> TracedRun:
+    """Drive a traced mixed push/pop soak and return its telemetry.
+
+    ``batched=True`` exercises the coalesced fast paths (span-attributed
+    deltas); the default per-op mode attributes every access to its
+    exact operation.  ``trace_sink`` streams the full JSONL trace to a
+    file even when the ring buffer is smaller than the run.
+    """
+    probes = StandardProbes()
+    tracer = Tracer(
+        buffer_size=buffer_size, sink=trace_sink, observers=[probes]
+    )
+    store = HardwareTagStore(
+        granularity=granularity, fast_mode=batched, tracer=tracer
+    )
+    stream = make_mixed_ops(ops, seed)
+    drive = _drive_batched if batched else _drive_per_op
+    served = drive(store, stream)
+    tracer.flush()
+    tracer.close()
+    return TracedRun(
+        tracer=tracer,
+        store=store,
+        instruments=probes.instruments,
+        ops=ops,
+        seed=seed,
+        batched=batched,
+        served=len(served),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Run a traced mixed soak through the hardware tag store and "
+            "export its telemetry (JSONL trace, metrics, run report)."
+        ),
+    )
+    parser.add_argument(
+        "--ops", type=int, default=10_000, help="operations in the soak"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20060101, help="workload seed"
+    )
+    parser.add_argument(
+        "--granularity", type=float, default=8.0, help="tag quantum"
+    )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="use the coalesced fast paths (span-attributed deltas)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="stream the JSONL event trace here"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a Prometheus-style metrics snapshot here",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the run report here (default: stdout)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="run-report format",
+    )
+    parser.add_argument(
+        "--buffer-size",
+        type=int,
+        default=65536,
+        help="tracer ring-buffer capacity",
+    )
+    args = parser.parse_args(argv)
+
+    run = run_traced_soak(
+        ops=args.ops,
+        seed=args.seed,
+        granularity=args.granularity,
+        batched=args.batched,
+        trace_sink=args.trace,
+        buffer_size=args.buffer_size,
+    )
+
+    if args.format == "json":
+        report = json.dumps(run.to_document(), indent=2) + "\n"
+    else:
+        report = run.report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_snapshot(run.instruments))
+
+    if not run.reconciled:
+        print(
+            "FAIL: trace deltas do not reconcile with the stats registry",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,350 @@
+"""Event tracers: the real ring-buffer/JSONL tracer and the no-op default.
+
+Two implementations share one duck-typed interface:
+
+* :class:`NullTracer` (singleton :data:`NULL_TRACER`) — the default.
+  ``enabled`` is ``False`` and the instrumented components skip their
+  probe work entirely, so an untraced run pays nothing.
+* :class:`Tracer` — keeps the most recent events in a bounded ring
+  buffer (100k-op soaks stay cheap), optionally streams every event to a
+  JSONL sink, and maintains running per-structure totals so a trace can
+  be reconciled against :meth:`repro.hwsim.stats.StatsRegistry.total`
+  without replaying the buffer.
+
+**Attribution invariant.**  Each unit of memory traffic recorded by the
+:class:`~repro.hwsim.stats.StatsRegistry` during a traced operation is
+attributed to exactly one event: op events carry their own per-structure
+deltas, and a span (e.g. a batched fast path) carries only the traffic
+its child events did *not* claim.  Consequently
+:meth:`Tracer.attributed_totals` equals the registry delta over the
+traced window exactly — the acceptance check of the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
+
+from ..hwsim.stats import AccessStats, StatsRegistry
+from .events import SPAN_KIND, TraceEvent
+
+
+class _NullSpan:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every probe is a no-op.
+
+    Instrumented components check :attr:`enabled` once at attach time
+    and skip instrumentation altogether when it is ``False``, so the
+    null tracer's methods exist only for duck-typed callers that do not
+    bother checking.
+    """
+
+    enabled = False
+
+    def event(self, kind: str, **_kwargs: Any) -> None:
+        """Discard the event."""
+
+    def span(self, name: str, **_kwargs: Any) -> _NullSpan:
+        """Return a no-op context manager."""
+        return _NULL_SPAN
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Always empty."""
+        return []
+
+    @property
+    def emitted(self) -> int:
+        return 0
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    def attributed_totals(self) -> Dict[str, AccessStats]:
+        return {}
+
+    def flush(self) -> None:
+        """Nothing to flush."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+#: Shared disabled tracer used as the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One open span: snapshot on entry, self-delta attribution on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_registry", "_snapshot", "span_id", "_attributed")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        registry: Optional[StatsRegistry],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._registry = registry
+        self._snapshot: Optional[Dict[str, AccessStats]] = None
+        self.span_id: Optional[int] = None
+        #: per-structure traffic already claimed by child events/spans
+        self._attributed: Dict[str, AccessStats] = {}
+
+    def _absorb(self, deltas: Dict[str, AccessStats]) -> None:
+        for name, delta in deltas.items():
+            slot = self._attributed.get(name)
+            if slot is None:
+                self._attributed[name] = delta.snapshot()
+            else:
+                slot.reads += delta.reads
+                slot.writes += delta.writes
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self._tracer._open_span(self)
+        if self._registry is not None:
+            self._snapshot = self._registry.snapshot_all()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        window: Dict[str, AccessStats] = {}
+        if self._registry is not None and self._snapshot is not None:
+            window = self._registry.deltas_since(self._snapshot)
+        self_deltas: Dict[str, AccessStats] = {}
+        for name, delta in window.items():
+            claimed = self._attributed.get(name)
+            reads = delta.reads - (claimed.reads if claimed else 0)
+            writes = delta.writes - (claimed.writes if claimed else 0)
+            if reads or writes:
+                self_deltas[name] = AccessStats(reads=reads, writes=writes)
+        attrs = dict(self.attrs)
+        if exc_type is not None:
+            attrs["failed"] = True
+            attrs["error"] = exc_type.__name__
+        # The parent span must see this whole window as claimed; when the
+        # span had no registry, propagate whatever the children claimed.
+        propagate = window if self._registry is not None else self._attributed
+        self._tracer._close_span(self, self_deltas, attrs, propagate)
+        return False
+
+
+class Tracer:
+    """Structured event tracer with nested spans and a JSONL sink.
+
+    Args:
+        buffer_size: ring-buffer capacity; older events are dropped from
+            the in-memory view (the JSONL sink, when set, still received
+            them) and counted in :attr:`dropped`.
+        sink: a path or an open text file to stream one JSON object per
+            event into.  Paths are opened lazily on the first event and
+            closed by :meth:`close`.
+        observers: callables invoked with every emitted
+            :class:`~repro.obs.events.TraceEvent` — the hook streaming
+            instruments (histograms, gauges) attach to.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        buffer_size: int = 65536,
+        sink: Optional[Union[str, IO[str]]] = None,
+        observers: Iterable[Callable[[TraceEvent], None]] = (),
+    ) -> None:
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be at least 1")
+        self._buffer: deque = deque(maxlen=buffer_size)
+        self._sink_spec = sink
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        self._observers: List[Callable[[TraceEvent], None]] = list(observers)
+        self._seq = 0
+        self._next_span_id = 0
+        self._stack: List[_Span] = []
+        self._totals: Dict[str, AccessStats] = {}
+
+    # ------------------------------------------------------------------
+    # emission
+
+    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Attach a streaming observer (called once per emitted event)."""
+        self._observers.append(observer)
+
+    def event(
+        self,
+        kind: str,
+        *,
+        name: Optional[str] = None,
+        deltas: Optional[Dict[str, AccessStats]] = None,
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Emit one event, attributing ``deltas`` to it."""
+        deltas = deltas or {}
+        if deltas and self._stack:
+            self._stack[-1]._absorb(deltas)
+        return self._emit(
+            TraceEvent(
+                seq=self._seq,
+                kind=kind,
+                name=name if name is not None else kind,
+                span_id=self._stack[-1].span_id if self._stack else None,
+                deltas=deltas,
+                attrs=attrs,
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        *,
+        registry: Optional[StatsRegistry] = None,
+        **attrs: Any,
+    ) -> _Span:
+        """Open a nested span (use as a context manager).
+
+        With a ``registry``, the span snapshots it on entry and, on
+        exit, emits a :data:`~repro.obs.events.SPAN_KIND` event carrying
+        the window's per-structure deltas minus whatever child events
+        already claimed.
+        """
+        return _Span(self, name, registry, attrs)
+
+    def _open_span(self, span: _Span) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._stack.append(span)
+        return span_id
+
+    def _close_span(
+        self,
+        span: _Span,
+        self_deltas: Dict[str, AccessStats],
+        attrs: Dict[str, Any],
+        propagate: Dict[str, AccessStats],
+    ) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError("span exited out of order")
+        parent_id = self._stack[-1].span_id if self._stack else None
+        if propagate and self._stack:
+            self._stack[-1]._absorb(propagate)
+        self._emit(
+            TraceEvent(
+                seq=self._seq,
+                kind=SPAN_KIND,
+                name=span.name,
+                span_id=parent_id,
+                deltas=self_deltas,
+                attrs=attrs,
+            )
+        )
+
+    def _emit(self, event: TraceEvent) -> TraceEvent:
+        self._seq += 1
+        for name, delta in event.deltas.items():
+            slot = self._totals.get(name)
+            if slot is None:
+                self._totals[name] = delta.snapshot()
+            else:
+                slot.reads += delta.reads
+                slot.writes += delta.writes
+        self._buffer.append(event)
+        if self._sink_spec is not None:
+            self._sink_write(event)
+        for observer in self._observers:
+            observer(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # sink management
+
+    def _sink_write(self, event: TraceEvent) -> None:
+        if self._sink is None:
+            if hasattr(self._sink_spec, "write"):
+                self._sink = self._sink_spec  # type: ignore[assignment]
+            else:
+                self._sink = open(self._sink_spec, "w", encoding="utf-8")
+                self._owns_sink = True
+        self._sink.write(json.dumps(event.to_dict(), sort_keys=False) + "\n")
+
+    def flush(self) -> None:
+        """Flush the JSONL sink, if open."""
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Close the JSONL sink if this tracer opened it."""
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+        self._sink = None
+        self._owns_sink = False
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # inspection
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Buffered events (most recent ``buffer_size``), oldest first."""
+        if kind is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.kind == kind]
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted over the tracer's lifetime."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer (sink still saw them)."""
+        return self._seq - len(self._buffer)
+
+    @property
+    def open_spans(self) -> int:
+        """Currently nested spans (0 when quiescent)."""
+        return len(self._stack)
+
+    def attributed_totals(self) -> Dict[str, AccessStats]:
+        """Per-structure traffic summed over *every* emitted event.
+
+        Maintained incrementally, so it is exact even after ring-buffer
+        eviction.  Over a window where all registry traffic happened
+        inside traced operations, this equals
+        ``registry.deltas_since(<window start>)`` structure for
+        structure.
+        """
+        return {name: stats.snapshot() for name, stats in self._totals.items()}
+
+    def attributed_grand_total(self) -> AccessStats:
+        """Summed reads/writes over every emitted event."""
+        combined = AccessStats()
+        for stats in self._totals.values():
+            combined.reads += stats.reads
+            combined.writes += stats.writes
+        return combined

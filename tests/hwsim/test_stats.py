@@ -63,22 +63,44 @@ class TestOperationProbe:
         assert probe.worst_case == 0
         assert probe.average == 0.0
 
-    def test_exception_discards_sample(self):
+    def test_exception_records_partial_delta_as_failed(self):
         stats = AccessStats()
         probe = OperationProbe()
         with pytest.raises(ValueError):
             with probe.operation(stats):
-                stats.record_read()
+                stats.record_read(3)
                 raise ValueError("boom")
-        assert probe.samples == []
+        # The partial delta stays visible in worst-case accounting...
+        assert probe.samples == [3]
+        assert probe.worst_case == 3
+        # ...and is tagged as failed.
+        assert probe.failed_samples == [3]
+        assert probe.failure_count == 1
+
+    def test_failed_operation_can_dominate_worst_case(self):
+        stats = AccessStats()
+        probe = OperationProbe()
+        with probe.operation(stats):
+            stats.record_read(2)
+        with pytest.raises(RuntimeError):
+            with probe.operation(stats):
+                stats.record_write(9)
+                raise RuntimeError("mid-operation fault")
+        assert probe.worst_case == 9
+        assert probe.count == 2
+        assert probe.failure_count == 1
 
     def test_reset(self):
         stats = AccessStats()
         probe = OperationProbe()
         with probe.operation(stats):
             stats.record_read()
+        with pytest.raises(ValueError):
+            with probe.operation(stats):
+                raise ValueError("boom")
         probe.reset()
         assert probe.count == 0
+        assert probe.failure_count == 0
 
 
 class TestStatsRegistry:
@@ -111,3 +133,50 @@ class TestStatsRegistry:
         stats.record_read(4)
         registry.reset_all()
         assert registry.total().total == 0
+
+    def test_unregister_frees_the_name(self):
+        registry = StatsRegistry()
+        stats = registry.register("mem", AccessStats())
+        assert registry.unregister("mem") is stats
+        assert "mem" not in registry
+        # The name is reusable by a re-created component.
+        registry.register("mem", AccessStats())
+
+    def test_unregister_unknown_name(self):
+        registry = StatsRegistry()
+        with pytest.raises(KeyError):
+            registry.unregister("ghost")
+
+    def test_register_replace(self):
+        registry = StatsRegistry()
+        old = registry.register("mem", AccessStats())
+        old.record_read(5)
+        new = registry.register("mem", AccessStats(), replace=True)
+        assert registry["mem"] is new
+        assert registry.total().total == 0
+
+    def test_snapshot_all_and_deltas_since(self):
+        registry = StatsRegistry()
+        a = registry.register("a", AccessStats())
+        b = registry.register("b", AccessStats())
+        a.record_read(2)
+        snapshot = registry.snapshot_all()
+        a.record_read(3)
+        a.record_write(1)
+        # b is untouched: it must not appear in the deltas.
+        deltas = registry.deltas_since(snapshot)
+        assert set(deltas) == {"a"}
+        assert deltas["a"].reads == 3
+        assert deltas["a"].writes == 1
+        # Snapshots are independent copies.
+        assert snapshot["a"].reads == 2
+        assert b.total == 0
+
+    def test_deltas_since_covers_late_registrations(self):
+        registry = StatsRegistry()
+        registry.register("early", AccessStats())
+        snapshot = registry.snapshot_all()
+        late = registry.register("late", AccessStats())
+        late.record_write(4)
+        deltas = registry.deltas_since(snapshot)
+        assert deltas["late"].writes == 4

@@ -1,0 +1,113 @@
+"""Exporter formats: JSONL round trip, Prometheus text, run report."""
+
+from repro.hwsim.stats import AccessStats
+from repro.obs.events import TraceEvent
+from repro.obs.exporters import (
+    prometheus_snapshot,
+    read_jsonl,
+    run_report,
+    write_jsonl,
+)
+from repro.obs.instruments import InstrumentSet
+
+
+def sample_events():
+    return [
+        TraceEvent(
+            seq=0,
+            kind="insert",
+            name="insert",
+            deltas={"tree": AccessStats(reads=3, writes=2)},
+            attrs={"tag": 17, "occupancy": 1},
+        ),
+        TraceEvent(seq=1, kind="span", name="insert_batch", span_id=0),
+        TraceEvent(seq=2, kind="clamp", name="clamp", attrs={"quanta": 4}),
+    ]
+
+
+class TestJsonlRoundTrip:
+    def test_path_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = sample_events()
+        assert write_jsonl(events, str(path)) == 3
+        assert read_jsonl(str(path)) == events
+
+    def test_file_object_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = sample_events()
+        with open(path, "w", encoding="utf-8") as handle:
+            write_jsonl(events, handle)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert read_jsonl(handle) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_events(), str(path))
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(str(path))) == 3
+
+
+class TestPrometheusSnapshot:
+    def test_histogram_gauge_counter_exposition(self):
+        instruments = InstrumentSet()
+        for value in (1, 2, 2, 9):
+            instruments.hist("op_accesses").record(value)
+        instruments.gauge("occupancy_now").set(7)
+        instruments.counter("backup_activations").inc(2)
+        text = prometheus_snapshot(instruments)
+        assert "# TYPE repro_op_accesses histogram" in text
+        assert 'repro_op_accesses_bucket{le="2"} 3' in text
+        assert 'repro_op_accesses_bucket{le="+Inf"} 4' in text
+        assert "repro_op_accesses_sum 14" in text
+        assert "repro_op_accesses_count 4" in text
+        assert "repro_occupancy_now 7" in text
+        assert "repro_backup_activations_total 2" in text
+
+    def test_custom_prefix(self):
+        instruments = InstrumentSet()
+        instruments.counter("ops").inc()
+        assert "wfq_ops_total 1" in prometheus_snapshot(
+            instruments, prefix="wfq"
+        )
+
+    def test_cumulative_counts_are_monotone(self):
+        instruments = InstrumentSet()
+        for value in range(200):
+            instruments.hist("h").record(value)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in prometheus_snapshot(instruments).splitlines()
+            if line.startswith("repro_h_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 200
+
+
+class TestRunReport:
+    def test_reconciled_report(self):
+        instruments = InstrumentSet()
+        instruments.hist("op_accesses").record(11)
+        report = run_report(
+            title="traced soak",
+            totals={"tree": AccessStats(reads=6, writes=4)},
+            instruments=instruments,
+            event_counts={"insert": 2, "dequeue": 1},
+            reconciliation={"traced": 10, "registry": 10},
+            notes=("all good",),
+        )
+        assert "traced soak" in report
+        assert "tree" in report
+        assert "10" in report
+        assert "insert" in report
+        assert "op_accesses" in report
+        assert "reconciliation OK" in report
+        assert "all good" in report
+
+    def test_mismatch_is_flagged(self):
+        report = run_report(
+            title="bad run",
+            totals={"tree": AccessStats(reads=5)},
+            reconciliation={"traced": 3, "registry": 5},
+        )
+        assert "reconciliation MISMATCH" in report
+        assert "2 unattributed" in report

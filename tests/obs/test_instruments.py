@@ -1,0 +1,156 @@
+"""Instrument correctness, including percentiles against a numpy oracle."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs.instruments import Counter, Gauge, Histogram, InstrumentSet
+
+
+def nearest_rank(data, q):
+    """The exact nearest-rank percentile numpy computes with inverted_cdf."""
+    return float(np.percentile(np.asarray(data), q, method="inverted_cdf"))
+
+
+class TestHistogramExactRange:
+    """Values below 2**subbucket_bits are stored exactly."""
+
+    @pytest.mark.parametrize("q", [1, 25, 50, 75, 90, 99, 100])
+    def test_matches_numpy_nearest_rank_exactly(self, q):
+        rng = random.Random(42)
+        data = [rng.randrange(32) for _ in range(5_000)]
+        hist = Histogram(subbucket_bits=5)
+        for value in data:
+            hist.record(value)
+        assert hist.percentile(q) == nearest_rank(data, q)
+
+    def test_min_max_mean_sum(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        hist = Histogram()
+        for value in data:
+            hist.record(value)
+        assert hist.min == min(data)
+        assert hist.max == max(data)
+        assert hist.mean == pytest.approx(np.mean(data))
+        assert hist.sum == sum(data)
+        assert hist.count == len(data)
+
+
+class TestHistogramBoundedError:
+    """Above the linear range the quantile error is bounded by 2**-bits."""
+
+    @pytest.mark.parametrize("seed", [7, 99, 12345])
+    @pytest.mark.parametrize("q", [50, 90, 99, 100])
+    def test_relative_error_within_bound(self, seed, q):
+        rng = random.Random(seed)
+        # heavy-tailed: spans many power-of-two ranges
+        data = [int(rng.lognormvariate(6, 2)) + 1 for _ in range(4_000)]
+        hist = Histogram(subbucket_bits=5)
+        for value in data:
+            hist.record(value)
+        truth = nearest_rank(data, q)
+        estimate = hist.percentile(q)
+        # nearest-rank bucket upper bound: never below the true sample,
+        # never beyond one sub-bucket width (1/32 relative) above it
+        assert truth <= estimate <= truth * (1 + 2 ** -5) + 1
+
+    def test_estimate_clamped_to_observed_max(self):
+        hist = Histogram()
+        hist.record(1000)
+        assert hist.percentile(100) == 1000
+        assert hist.max == 1000
+
+    def test_scale_for_fractional_values(self):
+        hist = Histogram(scale=100)
+        hist.record(0.25)
+        hist.record(0.75)
+        assert hist.min == 0.25
+        assert hist.max == 0.75
+        assert hist.percentile(100) == 0.75
+        assert hist.sum == pytest.approx(1.0)
+
+
+class TestHistogramStructure:
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        for value in (1, 2, 3):
+            a.record(value)
+        for value in (100, 200):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 5
+        assert a.min == 1
+        assert a.max == 200
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(subbucket_bits=5).merge(Histogram(subbucket_bits=6))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-1)
+
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_cumulative_buckets_are_monotone(self):
+        hist = Histogram()
+        rng = random.Random(1)
+        for _ in range(1000):
+            hist.record(rng.randrange(10_000))
+        cumulative = hist.cumulative_buckets()
+        bounds = [bound for bound, _ in cumulative]
+        counts = [count for _, count in cumulative]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 1000
+
+
+class TestGaugeAndCounter:
+    def test_gauge_tracks_extremes(self):
+        gauge = Gauge()
+        for value in (5, -2, 9, 3):
+            gauge.set(value)
+        assert gauge.value == 3
+        assert gauge.min == -2
+        assert gauge.max == 9
+        assert gauge.updates == 4
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 4
+
+    def test_counter_is_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestInstrumentSet:
+    def test_get_or_create(self):
+        instruments = InstrumentSet()
+        hist = instruments.hist("op_accesses")
+        assert instruments.hist("op_accesses") is hist
+        assert "op_accesses" in instruments
+        assert instruments.names() == ["op_accesses"]
+
+    def test_kind_collision_raises(self):
+        instruments = InstrumentSet()
+        instruments.hist("x")
+        with pytest.raises(TypeError):
+            instruments.gauge("x")
+
+    def test_summaries_cover_all_kinds(self):
+        instruments = InstrumentSet()
+        instruments.hist("h").record(5)
+        instruments.gauge("g").set(2)
+        instruments.counter("c").inc(3)
+        summaries = instruments.summaries()
+        assert summaries["h"]["count"] == 1
+        assert summaries["g"]["value"] == 2
+        assert summaries["c"]["value"] == 3

@@ -1,0 +1,97 @@
+"""The traced-soak runner and its ``python -m repro obs`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.hwsim.stats import AccessStats
+from repro.obs.exporters import read_jsonl
+from repro.obs.runner import main, run_traced_soak
+
+
+class TestRunTracedSoak:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_soak_reconciles(self, batched):
+        run = run_traced_soak(ops=1_000, seed=5, batched=batched)
+        assert run.reconciled
+        assert run.reconciliation["traced"] == run.reconciliation["registry"]
+        assert run.served > 0
+        assert run.event_counts["insert"] > 0
+        assert run.event_counts["dequeue"] > 0
+
+    def test_event_counts_exact_after_ring_eviction(self):
+        run = run_traced_soak(ops=1_000, seed=5, buffer_size=16)
+        assert run.tracer.dropped > 0
+        assert (
+            run.event_counts["insert"] + run.event_counts["dequeue"]
+            >= 1_000
+        )
+
+    def test_report_and_document(self):
+        run = run_traced_soak(ops=500, seed=5)
+        report = run.report()
+        assert "reconciliation OK" in report
+        assert "per-structure memory traffic" in report
+        document = run.to_document()
+        assert document["reconciliation"]["exact"] is True
+        assert document["workload"]["ops"] == 500
+        json.dumps(document)  # JSON-serializable end to end
+
+
+class TestAcceptance10k:
+    """ISSUE acceptance: a traced 10k-op mixed run's JSONL summed
+    per-structure deltas reconcile exactly with the registry totals."""
+
+    def test_jsonl_deltas_reconcile_with_registry(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        run = run_traced_soak(ops=10_000, seed=20060101, trace_sink=str(trace))
+        events = read_jsonl(str(trace))
+        assert len(events) == run.tracer.emitted
+
+        summed = {}
+        for event in events:
+            for name, delta in event.deltas.items():
+                slot = summed.setdefault(name, AccessStats())
+                slot.reads += delta.reads
+                slot.writes += delta.writes
+
+        registry = run.store.circuit.registry
+        for name in registry.names():
+            stats = registry[name]
+            mine = summed.get(name, AccessStats())
+            assert (mine.reads, mine.writes) == (stats.reads, stats.writes), (
+                f"structure {name}: JSONL {mine} != registry {stats}"
+            )
+        total = registry.total()
+        assert sum(s.total for s in summed.values()) == total.total
+
+
+class TestCli:
+    def test_text_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "--ops", "400",
+                "--seed", "9",
+                "--output", str(out),
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "reconciliation OK" in out.read_text()
+        assert read_jsonl(str(trace))  # valid JSONL
+        assert "# TYPE repro_op_accesses histogram" in metrics.read_text()
+
+    def test_json_report_to_stdout(self, capsys):
+        assert main(["--ops", "300", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["reconciliation"]["exact"] is True
+
+    def test_batched_mode(self, capsys):
+        assert main(["--ops", "300", "--batched", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["workload"]["mode"] == "batched"
+        assert document["event_counts"].get("span", 0) > 0
