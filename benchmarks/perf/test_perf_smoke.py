@@ -61,7 +61,9 @@ def test_check_round_trip(tmp_path):
     assert main(["--smoke", "--output", str(baseline_path)]) == 0
     assert baseline_path.exists()
     document = json.loads(baseline_path.read_text())
-    assert document["schema"] == 2
+    assert document["schema"] == 3
+    # schema 3 writes the forensic reference trace beside the baseline
+    assert (tmp_path / "baseline.trace.jsonl").exists()
     assert main(["--smoke", "--check", "--output", str(baseline_path)]) == 0
 
 

@@ -22,6 +22,14 @@ separate **untimed** instrumented pass adds per-phase distribution data
 ``BENCH_sort_retrieve.json``; ``--check`` re-runs the suite and fails
 when throughput drops more than 20% below the committed baseline or
 when the access counts grow beyond the same tolerance.
+
+Baselines also carry a **forensic reference trace**
+(``BENCH_sort_retrieve.trace.jsonl``): the full framed event stream of
+a short deterministic per-op soak.  When ``--check`` finds a
+regression, the same workload is re-traced and diffed against the
+reference (:mod:`repro.obs.diff`), so the failure report pinpoints the
+first diverging logical operation and the per-kind access deltas —
+not just "it got slower".
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ from ..core.matching import ALL_MATCHERS, DEFAULT_MATCHER
 from ..core.sort_retrieve import TagSortRetrieveCircuit
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..net.hardware_store import HardwareTagStore
+from ..obs.diff import TraceCompatibilityError, diff_traces
+from ..obs.events import build_trace_header
+from ..obs.exporters import read_trace
 from ..obs.instruments import Histogram
 from ..obs.probes import StandardProbes
 from ..obs.tracer import Tracer
@@ -62,8 +73,12 @@ SIZE_SWEEP: Tuple[Tuple[str, WordFormat], ...] = (
     ("w16", WordFormat(levels=4, literal_bits=4)),
 )
 
-#: Document schema: 2 added the per-phase ``distributions`` block.
-_SCHEMA = 2
+#: Document schema: 2 added the per-phase ``distributions`` block;
+#: 3 pairs the baseline with a committed forensic reference trace.
+_SCHEMA = 3
+
+#: Operations in the committed forensic reference trace.
+REFERENCE_TRACE_OPS = 2_000
 
 
 def _sorted_tags(fmt: WordFormat, count: int, seed: int) -> List[int]:
@@ -232,6 +247,78 @@ def _drive_batched(store: HardwareTagStore, ops: List) -> List:
     if pending_pop:
         served.extend(store.pop_batch(pending_pop))
     return served
+
+
+def reference_trace_path(baseline_path: str) -> str:
+    """``BENCH_sort_retrieve.json`` → ``BENCH_sort_retrieve.trace.jsonl``."""
+    if baseline_path.endswith(".json"):
+        return baseline_path[: -len(".json")] + ".trace.jsonl"
+    return baseline_path + ".trace.jsonl"
+
+
+def record_reference_trace(
+    destination: Optional[str] = None,
+    *,
+    seed: int = 20060101,
+    ops: int = REFERENCE_TRACE_OPS,
+) -> Tuple[List, Dict]:
+    """Drive the deterministic forensic workload with a live tracer.
+
+    A short per-op mixed soak (same generator as the headline scenario)
+    whose full event stream is the *forensic reference*: committed
+    alongside the baseline JSON so that a ``--check`` regression can be
+    diffed operation-by-operation against the exact run that set the
+    bar.  Returns ``(events, header)``; when ``destination`` is given
+    the framed JSONL trace is also streamed there.
+
+    Built directly on the tracer rather than :mod:`repro.obs.runner`
+    (which imports this module — the dependency must stay one-way).
+    """
+    tracer = Tracer(buffer_size=max(ops * 4, 4096), sink=destination)
+    store = HardwareTagStore(granularity=8.0, tracer=tracer)
+    tracer.write_header(
+        build_trace_header(
+            seed=seed,
+            mode="per_op",
+            config=store.describe(),
+            ops=ops,
+            purpose="bench_reference",
+        )
+    )
+    _drive_per_op(store, make_mixed_ops(ops, seed))
+    tracer.flush()
+    tracer.close()
+    return tracer.events(), tracer.header
+
+
+def _forensic_diff(baseline_path: str, seed: int) -> None:
+    """On a ``--check`` regression, diff reference traces to stderr."""
+    trace_path = reference_trace_path(baseline_path)
+    try:
+        reference = read_trace(trace_path)
+    except FileNotFoundError:
+        print(
+            f"  (no reference trace at {trace_path} — schema-2 era "
+            f"baseline; rerun 'python -m repro bench' to record one and "
+            f"enable forensic diffs)",
+            file=sys.stderr,
+        )
+        return
+    events, header = record_reference_trace(seed=seed)
+    try:
+        diff = diff_traces(
+            reference.events,
+            events,
+            header_a=reference.header,
+            header_b=header,
+            labels=(trace_path, "current run"),
+        )
+    except TraceCompatibilityError as error:
+        print(f"  (forensic diff skipped: {error})", file=sys.stderr)
+        return
+    print("\nforensic trace diff (baseline vs current):", file=sys.stderr)
+    for line in diff.report().splitlines():
+        print(f"  {line}", file=sys.stderr)
 
 
 def _bench_headline(count: int, seed: int) -> Dict:
@@ -534,6 +621,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("\nFAIL: performance regressed:", file=sys.stderr)
             for problem in problems:
                 print(f"  - {problem}", file=sys.stderr)
+            _forensic_diff(args.output, args.seed)
             return 1
         print(f"\nOK: within {REGRESSION_TOLERANCE:.0%} of {args.output}")
         return 0
@@ -542,6 +630,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(f"\nbaseline written to {args.output}")
+    trace_path = reference_trace_path(args.output)
+    record_reference_trace(trace_path, seed=args.seed)
+    print(f"reference trace written to {trace_path}")
     return 0
 
 

@@ -11,10 +11,12 @@ Regenerates any of the paper's evaluation artifacts without pytest:
 
 ``python -m repro bench`` runs the perf-regression suite instead (see
 :mod:`repro.bench.perf` for its own flags: ``--smoke``, ``--check``),
-and ``python -m repro obs`` runs a traced telemetry soak (see
-:mod:`repro.obs.runner`).  All three subsystems share one output
-convention: ``--output FILE`` writes where you say, ``--format
-{text,json}`` picks the representation.
+``python -m repro obs`` runs a traced telemetry soak (see
+:mod:`repro.obs.runner`), and ``python -m repro analyze`` runs trace
+forensics over archived JSONL traces (see :mod:`repro.obs.analyze`:
+``profile``, ``check``, ``diff``, ``timeline``).  All four subsystems
+share one output convention: ``--output FILE`` writes where you say,
+``--format {text,json}`` picks the representation.
 """
 
 from __future__ import annotations
@@ -109,6 +111,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.runner import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Trace forensics: profile / check / diff / timeline.
+        from .obs.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)

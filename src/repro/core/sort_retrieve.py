@@ -85,8 +85,61 @@ class ServedTag:
     address: int
 
 
+@dataclass
+class FaultInjection:
+    """Seeded faults for exercising the online invariant monitors.
+
+    A test hook, consulted **only by the traced wrappers** — an untraced
+    circuit never looks at it, so the production hot paths carry no
+    guard.  Every fault perturbs the *telemetry* (accounting deltas or
+    reported tags), never the circuit's actual linked-list state, so a
+    faulted run still serves the correct sequence; what breaks is the
+    evidence stream the monitors screen, which is exactly what each
+    monitor must catch:
+
+    * ``extra_insert_writes`` — phantom tag-storage writes charged to
+      every insert (breaks the Fig. 9 2R+2W budget).
+    * ``extra_dequeue_reads`` — phantom tag-storage reads charged to
+      every dequeue (breaks the fixed head-removal bound).
+    * ``skip_free_release`` — un-counts the empty-list threading write
+      of every dequeue (breaks Fig. 10 free-list conservation).
+    * ``misreport_serve_offset`` — shifts every *reported* served tag by
+      the offset (wrapped in modular mode).  A large negative offset
+      makes service appear to go backwards (breaks WFQ monotonicity); a
+      positive offset lands on values that were never inserted (breaks
+      translation/marker coverage).
+    """
+
+    extra_insert_writes: int = 0
+    extra_dequeue_reads: int = 0
+    skip_free_release: bool = False
+    misreport_serve_offset: int = 0
+
+    def _after_insert(self, circuit: "TagSortRetrieveCircuit", count: int = 1) -> None:
+        if self.extra_insert_writes:
+            circuit.storage.stats.record_write(self.extra_insert_writes * count)
+
+    def _after_dequeue(self, circuit: "TagSortRetrieveCircuit", count: int = 1) -> None:
+        if self.extra_dequeue_reads:
+            circuit.storage.stats.record_read(self.extra_dequeue_reads * count)
+        if self.skip_free_release:
+            circuit.storage.stats.writes -= count
+
+    def _reported_tag(self, circuit: "TagSortRetrieveCircuit", tag: int) -> int:
+        if not self.misreport_serve_offset:
+            return tag
+        if circuit.modular:
+            return (tag + self.misreport_serve_offset) % circuit.fmt.capacity
+        return tag + self.misreport_serve_offset
+
+
 class TagSortRetrieveCircuit:
     """The complete tag sort/retrieve circuit of paper Fig. 3."""
+
+    #: Seeded telemetry faults (:class:`FaultInjection`) — a test hook
+    #: read only by the traced wrappers; ``None`` (the class default)
+    #: costs nothing on any path.
+    fault_injection: Optional[FaultInjection] = None
 
     def __init__(
         self,
@@ -181,6 +234,25 @@ class TagSortRetrieveCircuit:
     def total_stats(self) -> AccessStats:
         """Summed memory traffic across every internal structure."""
         return self.registry.total()
+
+    def describe(self) -> dict:
+        """Machine-readable configuration snapshot.
+
+        The canonical ``config`` block of a JSONL trace header, and the
+        source the invariant monitors derive their architectural bounds
+        from (tree depth, tag-space size, marker mode).
+        """
+        return {
+            "levels": self.fmt.levels,
+            "literal_bits": self.fmt.literal_bits,
+            "word_bits": self.fmt.word_bits,
+            "branching_factor": self.fmt.branching_factor,
+            "tag_space": self.fmt.capacity,
+            "capacity": self.storage.capacity,
+            "modular": self.modular,
+            "eager_marker_removal": self.eager_marker_removal,
+            "fast_mode": self._fast_mode,
+        }
 
     def _spend_operation(self) -> None:
         self.cycles += FIXED_OP_CYCLES
@@ -581,6 +653,9 @@ class TagSortRetrieveCircuit:
             )
             raise
         outcome = self.tree.last_outcome
+        fault = self.fault_injection
+        if fault is not None:
+            fault._after_insert(self)
         tracer.event(
             "insert",
             deltas=self.registry.deltas_since(before),
@@ -604,10 +679,17 @@ class TagSortRetrieveCircuit:
                 error=type(error).__name__,
             )
             raise
+        fault = self.fault_injection
+        if fault is not None:
+            fault._after_dequeue(self)
         tracer.event(
             "dequeue",
             deltas=self.registry.deltas_since(before),
-            tag=served.tag,
+            tag=(
+                served.tag
+                if fault is None
+                else fault._reported_tag(self, served.tag)
+            ),
             address=served.address,
             **self._op_attrs(),
         )
@@ -633,12 +715,19 @@ class TagSortRetrieveCircuit:
             )
             raise
         outcome = self.tree.last_outcome
+        fault = self.fault_injection
+        if fault is not None:
+            fault._after_insert(self)
         tracer.event(
             "insert_dequeue",
             deltas=self.registry.deltas_since(before),
             tag=tag,
             address=address,
-            served_tag=served.tag,
+            served_tag=(
+                served.tag
+                if fault is None
+                else fault._reported_tag(self, served.tag)
+            ),
             served_address=served.address,
             used_backup=bool(outcome.used_backup) if outcome else False,
             **self._op_attrs(),
@@ -664,6 +753,9 @@ class TagSortRetrieveCircuit:
             addresses = TagSortRetrieveCircuit.insert_batch(
                 self, tags, payloads
             )
+            fault = self.fault_injection
+            if fault is not None:
+                fault._after_insert(self, count=len(tags))
             outcome = self.tree.last_outcome
             used_backup = bool(outcome.used_backup) if outcome else False
             # One event per logical operation, in input order, so the
@@ -689,10 +781,17 @@ class TagSortRetrieveCircuit:
             "dequeue_batch", registry=self.registry, count=count
         ):
             served = TagSortRetrieveCircuit.dequeue_batch(self, count)
+            fault = self.fault_injection
+            if fault is not None:
+                fault._after_dequeue(self, count=count)
             for index, entry in enumerate(served):
                 tracer.event(
                     "dequeue",
-                    tag=entry.tag,
+                    tag=(
+                        entry.tag
+                        if fault is None
+                        else fault._reported_tag(self, entry.tag)
+                    ),
                     address=entry.address,
                     cycles=FIXED_OP_CYCLES,
                     occupancy=start - index - 1,

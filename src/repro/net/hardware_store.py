@@ -67,6 +67,16 @@ class HardwareTagStore:
         self.clamped_inserts = 0
         self.clamp_error_quanta = 0
 
+    def describe(self) -> dict:
+        """Machine-readable configuration (circuit config + granularity).
+
+        The canonical ``config`` block for JSONL trace headers produced
+        by runs driven through this store.
+        """
+        config = self.circuit.describe()
+        config["granularity"] = self.granularity
+        return config
+
     # ------------------------------------------------------------------
     # quantization and wrap management
 

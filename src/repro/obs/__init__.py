@@ -13,9 +13,17 @@ The software equivalent of logic-analyzer probes on the paper's circuit:
   human-readable run report;
 * :mod:`repro.obs.probes` — observers wiring op events into standard
   instruments;
-* :mod:`repro.obs.runner` — the traced-soak driver behind
-  ``python -m repro obs`` (imported lazily by the CLI; not re-exported
-  here to keep this package importable from :mod:`repro.core`).
+* :mod:`repro.obs.monitors` — online invariant monitors verifying the
+  paper's guarantees against the live event stream;
+* :mod:`repro.obs.profiler` — cost-attribution rollups and worst-case
+  forensics over span-attributed deltas;
+* :mod:`repro.obs.diff` — differential trace analysis (logical-op
+  alignment, first divergence, per-kind cost deltas);
+* :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export;
+* :mod:`repro.obs.runner` / :mod:`repro.obs.analyze` — the drivers
+  behind ``python -m repro obs`` and ``python -m repro analyze``
+  (imported lazily by the CLI; not re-exported here to keep this
+  package importable from :mod:`repro.core`).
 
 Attach a tracer with
 :meth:`repro.core.sort_retrieve.TagSortRetrieveCircuit.attach_tracer`
@@ -24,32 +32,66 @@ or by passing ``tracer=`` to the circuit, the
 :class:`~repro.net.scheduler_system.HardwareWFQSystem`.
 """
 
-from .events import MAINTENANCE_KINDS, OP_KINDS, SPAN_KIND, TraceEvent
+from .diff import TraceCompatibilityError, TraceDiff, diff_traces
+from .events import (
+    FOOTER_KIND,
+    HEADER_KIND,
+    INVARIANT_KIND,
+    MAINTENANCE_KINDS,
+    OP_KINDS,
+    SPAN_KIND,
+    TRACE_SCHEMA,
+    TraceEvent,
+    build_trace_header,
+)
 from .exporters import (
+    TraceDocument,
     prometheus_snapshot,
     read_jsonl,
+    read_trace,
     run_report,
     write_jsonl,
 )
 from .instruments import Counter, Gauge, Histogram, InstrumentSet
+from .monitors import MonitorConfig, MonitorSuite, Violation, check_trace
 from .probes import StandardProbes
+from .profiler import Profile, profile_events
+from .timeline import build_timeline, write_timeline
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "Counter",
+    "FOOTER_KIND",
     "Gauge",
+    "HEADER_KIND",
     "Histogram",
+    "INVARIANT_KIND",
     "InstrumentSet",
     "MAINTENANCE_KINDS",
+    "MonitorConfig",
+    "MonitorSuite",
     "NULL_TRACER",
     "NullTracer",
     "OP_KINDS",
+    "Profile",
     "SPAN_KIND",
     "StandardProbes",
+    "TRACE_SCHEMA",
+    "TraceCompatibilityError",
+    "TraceDiff",
+    "TraceDocument",
     "TraceEvent",
     "Tracer",
+    "Violation",
+    "build_timeline",
+    "build_trace_header",
+    "check_trace",
+    "diff_traces",
     "prometheus_snapshot",
+    "profile_events",
     "read_jsonl",
+    "read_trace",
     "run_report",
     "write_jsonl",
+    "write_timeline",
 ]

@@ -1,0 +1,239 @@
+"""Trace forensics CLI: the machinery behind ``python -m repro analyze``.
+
+Four subcommands over archived JSONL traces:
+
+* ``profile TRACE`` — per-component / per-kind / flamegraph cost
+  rollups plus top-K worst-case forensics (:mod:`repro.obs.profiler`);
+* ``check TRACE`` — replay the trace through the online invariant
+  monitors (:mod:`repro.obs.monitors`); nonzero exit on any violation;
+* ``diff A B`` — logical-op alignment and per-kind cost deltas
+  (:mod:`repro.obs.diff`); nonzero exit on divergence;
+* ``timeline TRACE -o OUT.json`` — Perfetto-loadable Chrome trace-event
+  export (:mod:`repro.obs.timeline`).
+
+**Lossy traces fail loudly.**  Every subcommand refuses a trace whose
+footer records ring-buffer drops or whose event count falls short of the
+footer's emitted total (a truncated file), unless ``--allow-lossy``
+downgrades the refusal to a stderr warning.  Unframed traces (no
+header/footer — PR 2 era) are accepted with a note; they carry no drop
+evidence either way.
+
+Kept out of :mod:`repro.obs`'s eager imports — the CLI dispatches here
+lazily, mirroring ``repro obs`` / ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .diff import TraceCompatibilityError, diff_traces
+from .exporters import TraceDocument, read_trace
+from .monitors import check_trace
+from .profiler import profile_events
+from .timeline import build_timeline
+
+
+class LossyTraceError(RuntimeError):
+    """The trace is incomplete and the caller did not allow that."""
+
+
+def _gate_lossy(
+    document: TraceDocument, path: str, *, allow_lossy: bool
+) -> None:
+    """Enforce the lossy-trace policy (refuse, or warn to stderr)."""
+    problems: List[str] = []
+    if document.missing:
+        problems.append(
+            f"{path}: file holds {len(document.events)} events but the "
+            f"footer promises {document.footer.get('emitted')} — "
+            f"truncated or buffer-evicted before the sink"
+        )
+    if document.dropped:
+        problems.append(
+            f"{path}: writer reported {document.dropped} ring-buffer drops"
+        )
+    if document.header is None:
+        print(
+            f"note: {path} is unframed (no trace_header record); "
+            f"completeness cannot be verified",
+            file=sys.stderr,
+        )
+    for problem in problems:
+        if allow_lossy:
+            print(f"WARNING (lossy trace): {problem}", file=sys.stderr)
+        else:
+            raise LossyTraceError(
+                f"{problem}\n(re-run with --allow-lossy to analyze anyway)"
+            )
+
+
+def _load(path: str, *, allow_lossy: bool) -> TraceDocument:
+    document = read_trace(path)
+    _gate_lossy(document, path, allow_lossy=allow_lossy)
+    return document
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    document = _load(args.trace, allow_lossy=args.allow_lossy)
+    profile = profile_events(document.events)
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            for line in profile.flamegraph_lines():
+                handle.write(line + "\n")
+    if args.format == "json":
+        payload = profile.to_dict()
+        payload["trace_header"] = document.header
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        sys.stdout.write(profile.report(top_k=args.top, window=args.window))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    document = _load(args.trace, allow_lossy=args.allow_lossy)
+    suite = check_trace(document.events, header=document.header)
+    if args.format == "json":
+        payload = {
+            "trace": args.trace,
+            "events": len(document.events),
+            "checked": suite.checked,
+            "ok": suite.ok,
+            "violations": [v.to_dict() for v in suite.violations],
+            "dropped": document.dropped,
+        }
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        sys.stdout.write(suite.summary() + "\n")
+    return 0 if suite.ok else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    document_a = _load(args.trace_a, allow_lossy=args.allow_lossy)
+    document_b = _load(args.trace_b, allow_lossy=args.allow_lossy)
+    try:
+        diff = diff_traces(
+            document_a.events,
+            document_b.events,
+            header_a=document_a.header,
+            header_b=document_b.header,
+            labels=(args.trace_a, args.trace_b),
+            force=args.force,
+        )
+    except TraceCompatibilityError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        sys.stdout.write(json.dumps(diff.to_dict(), indent=2) + "\n")
+    else:
+        sys.stdout.write(diff.report())
+    return 0 if diff.aligned else 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    document = _load(args.trace, allow_lossy=args.allow_lossy)
+    timeline = build_timeline(document.events, header=document.header)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(timeline, handle, separators=(",", ":"))
+        handle.write("\n")
+    print(
+        f"wrote {len(timeline['traceEvents'])} trace events to "
+        f"{args.output} (load in https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Forensic analyses over archived JSONL traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--allow-lossy",
+            action="store_true",
+            help="warn instead of refusing on an incomplete trace",
+        )
+        sub.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output format",
+        )
+
+    profile = subparsers.add_parser(
+        "profile", help="cost attribution rollups + worst-case forensics"
+    )
+    profile.add_argument("trace", help="JSONL trace file")
+    profile.add_argument(
+        "--top", type=int, default=5, help="worst-case events to show"
+    )
+    profile.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="surrounding events per worst case",
+    )
+    profile.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="also write folded-stack lines here",
+    )
+    common(profile)
+    profile.set_defaults(handler=_cmd_profile)
+
+    check = subparsers.add_parser(
+        "check", help="replay the invariant monitors over a trace"
+    )
+    check.add_argument("trace", help="JSONL trace file")
+    common(check)
+    check.set_defaults(handler=_cmd_check)
+
+    diff = subparsers.add_parser(
+        "diff", help="align two traces and report the first divergence"
+    )
+    diff.add_argument("trace_a", help="baseline JSONL trace")
+    diff.add_argument("trace_b", help="candidate JSONL trace")
+    diff.add_argument(
+        "--force",
+        action="store_true",
+        help="diff even when seeds/configs mismatch",
+    )
+    common(diff)
+    diff.set_defaults(handler=_cmd_diff)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="export a Perfetto-loadable Chrome trace"
+    )
+    timeline.add_argument("trace", help="JSONL trace file")
+    timeline.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="timeline JSON destination",
+    )
+    common(timeline)
+    timeline.set_defaults(handler=_cmd_timeline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except LossyTraceError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

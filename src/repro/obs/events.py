@@ -14,6 +14,7 @@ output: stable keys, no nesting deeper than the ``deltas`` map.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -26,6 +27,49 @@ OP_KINDS = ("insert", "dequeue", "insert_dequeue")
 MAINTENANCE_KINDS = ("section_clear", "marker_flush", "clamp")
 #: Structural kind closing a nested span:
 SPAN_KIND = "span"
+#: Kind emitted by the online invariant monitors when a paper guarantee
+#: is observed broken (:mod:`repro.obs.monitors`).
+INVARIANT_KIND = "invariant_violation"
+
+#: JSONL trace framing records (not :class:`TraceEvent` samples): the
+#: header is the first line of a versioned trace and carries the schema
+#: version, workload seed, circuit config, and drive mode; the footer is
+#: the last line and carries the emitted/dropped totals a reader needs
+#: to detect a lossy or truncated file.
+HEADER_KIND = "trace_header"
+FOOTER_KIND = "trace_footer"
+FRAMING_KINDS = (HEADER_KIND, FOOTER_KIND)
+
+#: Version of the JSONL trace framing (header/footer records).  Bump on
+#: any incompatible change to the header layout; event records carry no
+#: per-line version (readers must tolerate unknown fields instead).
+TRACE_SCHEMA = 1
+
+
+def build_trace_header(
+    *,
+    seed: int,
+    mode: str,
+    config: Dict[str, Any],
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The JSONL trace header record (first line of a versioned trace).
+
+    ``mode`` is ``"per_op"`` or ``"batched"``; ``config`` describes the
+    traced circuit (word format, capacity, granularity, marker mode) —
+    :meth:`repro.net.hardware_store.HardwareTagStore.describe` produces
+    the canonical form.  ``extra`` lands verbatim in the record (ops,
+    labels); readers must tolerate fields they do not know.
+    """
+    record: Dict[str, Any] = {
+        "kind": HEADER_KIND,
+        "schema": TRACE_SCHEMA,
+        "seed": seed,
+        "mode": mode,
+        "config": dict(config),
+    }
+    record.update(extra)
+    return record
 
 
 @dataclass
@@ -87,16 +131,33 @@ class TraceEvent:
 
     @classmethod
     def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
-        """Rebuild an event from its :meth:`to_dict` form (JSONL replay)."""
+        """Rebuild an event from its :meth:`to_dict` form (JSONL replay).
+
+        Tolerant by design: unknown top-level or delta fields are
+        ignored and missing delta counters default to zero, so a reader
+        at trace schema N can load traces written at schema N+1.
+        """
         deltas = {
-            name: AccessStats(reads=entry["reads"], writes=entry["writes"])
+            name: AccessStats(
+                reads=int(entry.get("reads", 0)),
+                writes=int(entry.get("writes", 0)),
+            )
             for name, entry in record.get("deltas", {}).items()
         }
         return cls(
-            seq=record["seq"],
+            seq=int(record.get("seq", 0)),
             kind=record["kind"],
-            name=record["name"],
+            name=record.get("name", record["kind"]),
             span_id=record.get("span_id"),
             deltas=deltas,
             attrs=dict(record.get("attrs", {})),
         )
+
+    def to_json(self) -> str:
+        """One compact JSON line (the JSONL wire form)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Inverse of :meth:`to_json`, with :meth:`from_dict` tolerance."""
+        return cls.from_dict(json.loads(line))

@@ -15,10 +15,11 @@ Three output shapes for the same telemetry:
 from __future__ import annotations
 
 import json
-from typing import Dict, IO, Iterable, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
 from ..hwsim.stats import AccessStats
-from .events import TraceEvent
+from .events import FRAMING_KINDS, TraceEvent
 from .instruments import Counter, Gauge, Histogram, InstrumentSet
 
 
@@ -40,18 +41,66 @@ def write_jsonl(
 
 
 def read_jsonl(source: Union[str, IO[str]]) -> List[TraceEvent]:
-    """Load a JSONL trace back into events (skips blank lines)."""
+    """Load a JSONL trace back into events.
+
+    Skips blank lines and the header/footer framing records — use
+    :func:`read_trace` when the framing metadata matters.
+    """
+    return read_trace(source).events
+
+
+@dataclass
+class TraceDocument:
+    """A fully loaded JSONL trace: framing records plus the event list.
+
+    ``header``/``footer`` are ``None`` for PR 2-era unframed traces.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    header: Optional[Dict[str, Any]] = None
+    footer: Optional[Dict[str, Any]] = None
+
+    @property
+    def dropped(self) -> int:
+        """Ring-buffer drops the writing tracer reported (0 if unframed)."""
+        return int(self.footer.get("dropped", 0)) if self.footer else 0
+
+    @property
+    def missing(self) -> int:
+        """Events the footer promised but the file does not contain.
+
+        Nonzero means the file itself is lossy or truncated (a sink-less
+        buffer dump after eviction, or a cut-short write) — distinct
+        from :attr:`dropped`, which only counts in-memory ring evictions
+        that a streaming sink still captured.
+        """
+        if self.footer is None:
+            return 0
+        return max(0, int(self.footer.get("emitted", 0)) - len(self.events))
+
+
+def read_trace(source: Union[str, IO[str]]) -> TraceDocument:
+    """Load a JSONL trace, separating framing records from events."""
     own = not hasattr(source, "read")
     handle = open(source, "r", encoding="utf-8") if own else source
+    document = TraceDocument()
     try:
-        return [
-            TraceEvent.from_dict(json.loads(line))
-            for line in handle
-            if line.strip()
-        ]
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind in FRAMING_KINDS:
+                if kind == FRAMING_KINDS[0]:
+                    document.header = record
+                else:
+                    document.footer = record
+                continue
+            document.events.append(TraceEvent.from_dict(record))
     finally:
         if own:
             handle.close()
+    return document
 
 
 def prometheus_snapshot(
@@ -101,6 +150,7 @@ def run_report(
     instruments: Optional[InstrumentSet] = None,
     event_counts: Optional[Dict[str, int]] = None,
     reconciliation: Optional[Dict[str, int]] = None,
+    dropped: Optional[int] = None,
     notes: Iterable[str] = (),
 ) -> str:
     """The human-readable post-run report.
@@ -112,6 +162,9 @@ def run_report(
         event_counts: events emitted per kind.
         reconciliation: ``{"traced": ..., "registry": ...}`` totals; a
             mismatch is flagged loudly.
+        dropped: ring-buffer drop count; nonzero is flagged loudly (a
+            lossy in-memory view — analyses over the buffer are suspect
+            even though a streaming sink captured every event).
         notes: free-form trailing lines.
     """
     lines = [title, "=" * len(title), ""]
@@ -176,6 +229,17 @@ def run_report(
                 f"reconciliation MISMATCH: traced {traced} != registry "
                 f"{registry} ({registry - traced} unattributed)"
             )
+
+    if dropped is not None:
+        lines.append("")
+        if dropped:
+            lines.append(
+                f"trace LOSSY: {dropped} events dropped from the ring "
+                f"buffer (in-memory analyses are incomplete; a streaming "
+                f"sink, if configured, still holds the full trace)"
+            )
+        else:
+            lines.append("trace complete: 0 events dropped")
 
     for note in notes:
         lines.append("")

@@ -22,8 +22,10 @@ from typing import Dict, List, Optional
 
 from ..bench.perf import _drive_batched, _drive_per_op, make_mixed_ops
 from ..net.hardware_store import HardwareTagStore
+from .events import build_trace_header
 from .exporters import prometheus_snapshot, run_report
 from .instruments import InstrumentSet
+from .monitors import MonitorSuite
 from .probes import StandardProbes
 from .tracer import Tracer
 
@@ -39,6 +41,7 @@ class TracedRun:
     seed: int
     batched: bool
     served: int
+    monitors: Optional[MonitorSuite] = None
 
     @property
     def event_counts(self) -> Dict[str, int]:
@@ -75,6 +78,12 @@ class TracedRun:
     def report(self) -> str:
         """The human-readable run report."""
         mode = "batched fast-mode" if self.batched else "per-op"
+        notes = [
+            f"tracer: {self.tracer.emitted} events emitted, "
+            f"{self.tracer.dropped} evicted from the ring buffer",
+        ]
+        if self.monitors is not None:
+            notes.append(self.monitors.summary())
         return run_report(
             title=(
                 f"traced mixed soak: {self.ops} ops ({mode}), "
@@ -87,10 +96,8 @@ class TracedRun:
             instruments=self.instruments,
             event_counts=self.event_counts,
             reconciliation=self.reconciliation,
-            notes=(
-                f"tracer: {self.tracer.emitted} events emitted, "
-                f"{self.tracer.dropped} evicted from the ring buffer",
-            ),
+            dropped=self.tracer.dropped,
+            notes=notes,
         )
 
     def to_document(self) -> Dict:
@@ -118,6 +125,18 @@ class TracedRun:
                 "emitted": self.tracer.emitted,
                 "dropped": self.tracer.dropped,
             },
+            "monitors": (
+                None
+                if self.monitors is None
+                else {
+                    "checked": self.monitors.checked,
+                    "ok": self.monitors.ok,
+                    "violations": [
+                        violation.to_dict()
+                        for violation in self.monitors.violations
+                    ],
+                }
+            ),
         }
 
 
@@ -129,13 +148,22 @@ def run_traced_soak(
     batched: bool = False,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
+    monitor: bool = False,
 ) -> TracedRun:
     """Drive a traced mixed push/pop soak and return its telemetry.
 
     ``batched=True`` exercises the coalesced fast paths (span-attributed
     deltas); the default per-op mode attributes every access to its
     exact operation.  ``trace_sink`` streams the full JSONL trace to a
-    file even when the ring buffer is smaller than the run.
+    file even when the ring buffer is smaller than the run.  The trace
+    is framed: a header record (schema/seed/config/mode) leads the
+    JSONL stream and a footer (emitted/dropped) closes it.
+
+    ``monitor=True`` additionally screens every event through the
+    online invariant monitors (:class:`~repro.obs.monitors.MonitorSuite`)
+    while the soak runs; violations land in the returned run's
+    ``monitors`` suite and, as ``invariant_violation`` events, in the
+    trace itself.
     """
     probes = StandardProbes()
     tracer = Tracer(
@@ -144,6 +172,19 @@ def run_traced_soak(
     store = HardwareTagStore(
         granularity=granularity, fast_mode=batched, tracer=tracer
     )
+    tracer.write_header(
+        build_trace_header(
+            seed=seed,
+            mode="batched" if batched else "per_op",
+            config=store.describe(),
+            ops=ops,
+            buffer_size=buffer_size,
+        )
+    )
+    suite: Optional[MonitorSuite] = None
+    if monitor:
+        suite = MonitorSuite.for_circuit(store.circuit, tracer=tracer)
+        tracer.add_observer(suite)
     stream = make_mixed_ops(ops, seed)
     drive = _drive_batched if batched else _drive_per_op
     served = drive(store, stream)
@@ -157,6 +198,7 @@ def run_traced_soak(
         seed=seed,
         batched=batched,
         served=len(served),
+        monitors=suite,
     )
 
 
@@ -207,6 +249,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=65536,
         help="tracer ring-buffer capacity",
     )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "screen every event through the online invariant monitors; "
+            "exit 1 on any violated paper guarantee"
+        ),
+    )
+    parser.add_argument(
+        "--allow-lossy",
+        action="store_true",
+        help=(
+            "exit 0 even when the ring buffer evicted events (a "
+            "streaming --trace sink still captures the full stream)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     run = run_traced_soak(
@@ -216,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batched=args.batched,
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
+        monitor=args.monitor,
     )
 
     if args.format == "json":
@@ -232,13 +291,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.metrics, "w", encoding="utf-8") as handle:
             handle.write(prometheus_snapshot(run.instruments))
 
+    status = 0
     if not run.reconciled:
         print(
             "FAIL: trace deltas do not reconcile with the stats registry",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if run.monitors is not None and not run.monitors.ok:
+        print(
+            f"FAIL: {len(run.monitors.violations)} invariant "
+            f"violation(s) — see the run report",
+            file=sys.stderr,
+        )
+        status = 1
+    if run.tracer.dropped and not args.allow_lossy:
+        print(
+            f"FAIL: {run.tracer.dropped} events evicted from the ring "
+            f"buffer (raise --buffer-size, or pass --allow-lossy if a "
+            f"--trace sink captured the stream)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -27,7 +27,7 @@ from collections import deque
 from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Union
 
 from ..hwsim.stats import AccessStats, StatsRegistry
-from .events import SPAN_KIND, TraceEvent
+from .events import FOOTER_KIND, SPAN_KIND, TraceEvent
 
 
 class _NullSpan:
@@ -77,6 +77,9 @@ class NullTracer:
 
     def attributed_totals(self) -> Dict[str, AccessStats]:
         return {}
+
+    def write_header(self, header: Dict[str, Any]) -> None:
+        """Discard the header."""
 
     def flush(self) -> None:
         """Nothing to flush."""
@@ -182,6 +185,8 @@ class Tracer:
         self._next_span_id = 0
         self._stack: List[_Span] = []
         self._totals: Dict[str, AccessStats] = {}
+        self._header: Optional[Dict[str, Any]] = None
+        self._footer_written = False
 
     # ------------------------------------------------------------------
     # emission
@@ -248,6 +253,10 @@ class Tracer:
         parent_id = self._stack[-1].span_id if self._stack else None
         if propagate and self._stack:
             self._stack[-1]._absorb(propagate)
+        # The close event's span_id points at the *parent* (nesting), so
+        # record the span's own id in attrs for analyses that must map
+        # child events (matching span_id) back to their enclosing span.
+        attrs["span"] = span.span_id
         self._emit(
             TraceEvent(
                 seq=self._seq,
@@ -278,14 +287,40 @@ class Tracer:
     # ------------------------------------------------------------------
     # sink management
 
-    def _sink_write(self, event: TraceEvent) -> None:
-        if self._sink is None:
+    def _ensure_sink(self) -> Optional[IO[str]]:
+        if self._sink is None and self._sink_spec is not None:
             if hasattr(self._sink_spec, "write"):
                 self._sink = self._sink_spec  # type: ignore[assignment]
             else:
                 self._sink = open(self._sink_spec, "w", encoding="utf-8")
                 self._owns_sink = True
-        self._sink.write(json.dumps(event.to_dict(), sort_keys=False) + "\n")
+        return self._sink
+
+    def _sink_write(self, event: TraceEvent) -> None:
+        sink = self._ensure_sink()
+        if sink is not None:
+            sink.write(json.dumps(event.to_dict(), sort_keys=False) + "\n")
+
+    def write_header(self, header: Dict[str, Any]) -> None:
+        """Record the trace header and stream it as the sink's first line.
+
+        Build the record with
+        :func:`repro.obs.events.build_trace_header`.  Must be called
+        before the first event reaches the sink; setting a header also
+        arms the matching ``trace_footer`` record (emitted/dropped
+        totals), written when the tracer is closed.
+        """
+        if self._seq:
+            raise RuntimeError("write_header must precede the first event")
+        self._header = dict(header)
+        sink = self._ensure_sink()
+        if sink is not None:
+            sink.write(json.dumps(self._header, sort_keys=False) + "\n")
+
+    @property
+    def header(self) -> Optional[Dict[str, Any]]:
+        """The trace header set via :meth:`write_header`, if any."""
+        return dict(self._header) if self._header is not None else None
 
     def flush(self) -> None:
         """Flush the JSONL sink, if open."""
@@ -293,7 +328,19 @@ class Tracer:
             self._sink.flush()
 
     def close(self) -> None:
-        """Close the JSONL sink if this tracer opened it."""
+        """Write the footer (headered traces), then close an owned sink."""
+        if (
+            self._header is not None
+            and not self._footer_written
+            and self._sink is not None
+        ):
+            footer = {
+                "kind": FOOTER_KIND,
+                "emitted": self._seq,
+                "dropped": self.dropped,
+            }
+            self._sink.write(json.dumps(footer, sort_keys=False) + "\n")
+            self._footer_written = True
         if self._sink is not None and self._owns_sink:
             self._sink.close()
         self._sink = None

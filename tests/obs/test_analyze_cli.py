@@ -1,0 +1,184 @@
+"""``python -m repro analyze`` end to end: subcommands, exit codes, and
+the fail-loudly-on-lossy-traces policy."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.analyze import main as analyze_main
+from repro.obs.runner import run_traced_soak
+
+SEED = 20060101
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """One per-op and one batched framed trace of the same workload."""
+    root = tmp_path_factory.mktemp("traces")
+    per_op = root / "per_op.jsonl"
+    batched = root / "batched.jsonl"
+    run_traced_soak(ops=1_200, seed=SEED, trace_sink=str(per_op))
+    run_traced_soak(
+        ops=1_200, seed=SEED, batched=True, trace_sink=str(batched)
+    )
+    return per_op, batched
+
+
+class TestCheck:
+    def test_clean_trace_exits_zero(self, traces, capsys):
+        per_op, _ = traces
+        assert analyze_main(["check", str(per_op)]) == 0
+        assert "invariants OK" in capsys.readouterr().out
+
+    def test_json_payload(self, traces, capsys):
+        per_op, _ = traces
+        assert analyze_main(["check", str(per_op), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["dropped"] == 0
+
+    def test_violating_trace_exits_one(self, tmp_path, capsys):
+        # hand-frame a trace whose serve goes backwards
+        trace = tmp_path / "bad.jsonl"
+        records = [
+            {"kind": "trace_header", "schema": 1, "seed": 1,
+             "mode": "per_op", "config": {}},
+            {"seq": 0, "kind": "insert", "name": "insert",
+             "attrs": {"tag": 1000, "occupancy": 1}},
+            {"seq": 1, "kind": "insert", "name": "insert",
+             "attrs": {"tag": 3000, "occupancy": 2}},
+            {"seq": 2, "kind": "dequeue", "name": "dequeue",
+             "attrs": {"tag": 3000, "occupancy": 1},
+             "deltas": {"tag_storage": {"reads": 1, "writes": 1}}},
+            {"seq": 3, "kind": "dequeue", "name": "dequeue",
+             "attrs": {"tag": 1000, "occupancy": 0},
+             "deltas": {"tag_storage": {"reads": 1, "writes": 1}}},
+            {"kind": "trace_footer", "emitted": 4, "dropped": 0},
+        ]
+        trace.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert analyze_main(["check", str(trace)]) == 1
+        assert "serve_monotonic" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_text_report_and_flamegraph(self, traces, tmp_path, capsys):
+        per_op, _ = traces
+        folded = tmp_path / "folded.txt"
+        code = analyze_main(
+            ["profile", str(per_op), "--top", "2", "--flamegraph",
+             str(folded)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-component memory traffic" in out
+        assert "worst-case forensics" in out
+        lines = folded.read_text().splitlines()
+        assert lines and all(" " in line for line in lines)
+
+    def test_json_carries_the_trace_header(self, traces, capsys):
+        per_op, _ = traces
+        assert analyze_main(
+            ["profile", str(per_op), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_header"]["seed"] == SEED
+
+
+class TestDiff:
+    def test_per_op_vs_batched_aligns(self, traces, capsys):
+        per_op, batched = traces
+        assert analyze_main(["diff", str(per_op), str(batched)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_seed_mismatch_exits_two(self, traces, tmp_path, capsys):
+        per_op, _ = traces
+        other = tmp_path / "other.jsonl"
+        run_traced_soak(ops=300, seed=99, trace_sink=str(other))
+        assert analyze_main(["diff", str(per_op), str(other)]) == 2
+        assert "seed mismatch" in capsys.readouterr().err
+
+    def test_forced_diff_of_diverging_traces_exits_one(
+        self, traces, tmp_path, capsys
+    ):
+        per_op, _ = traces
+        other = tmp_path / "other.jsonl"
+        run_traced_soak(ops=300, seed=99, trace_sink=str(other))
+        assert analyze_main(
+            ["diff", str(per_op), str(other), "--force"]
+        ) == 1
+        assert "DIVERGE" in capsys.readouterr().out
+
+
+class TestTimeline:
+    def test_export(self, traces, tmp_path, capsys):
+        per_op, _ = traces
+        out = tmp_path / "timeline.json"
+        assert analyze_main(
+            ["timeline", str(per_op), "-o", str(out)]
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        assert "perfetto" in capsys.readouterr().out
+
+
+class TestLossyGate:
+    @pytest.fixture()
+    def lossy_trace(self, tmp_path):
+        """A sink-backed trace whose writer evicted ring events."""
+        trace = tmp_path / "lossy.jsonl"
+        run = run_traced_soak(
+            ops=800, seed=SEED, trace_sink=str(trace), buffer_size=16
+        )
+        assert run.tracer.dropped > 0
+        return trace
+
+    def test_lossy_trace_refused(self, lossy_trace, capsys):
+        assert analyze_main(["check", str(lossy_trace)]) == 2
+        err = capsys.readouterr().err
+        assert "ring-buffer drops" in err
+        assert "--allow-lossy" in err
+
+    def test_allow_lossy_downgrades_to_warning(self, lossy_trace, capsys):
+        assert analyze_main(
+            ["check", str(lossy_trace), "--allow-lossy"]
+        ) == 0
+        assert "WARNING (lossy trace)" in capsys.readouterr().err
+
+    def test_truncated_file_refused(self, traces, tmp_path, capsys):
+        per_op, _ = traces
+        lines = per_op.read_text().splitlines(keepends=True)
+        clipped = tmp_path / "clipped.jsonl"
+        # drop a run of mid-file event lines, keep header + footer
+        clipped.write_text("".join(lines[:10] + lines[20:]))
+        assert analyze_main(["check", str(clipped)]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+    def test_unframed_trace_noted_but_analyzed(self, traces, capsys):
+        per_op, _ = traces
+        import json as _json
+
+        unframed_lines = [
+            line
+            for line in per_op.read_text().splitlines()
+            if _json.loads(line)["kind"]
+            not in ("trace_header", "trace_footer")
+        ]
+        unframed = per_op.parent / "unframed.jsonl"
+        unframed.write_text("\n".join(unframed_lines) + "\n")
+        assert analyze_main(["check", str(unframed)]) == 0
+        assert "unframed" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, capsys):
+        assert analyze_main(["check", "/nonexistent/trace.jsonl"]) == 2
+        assert "ERROR" in capsys.readouterr().err
+
+
+class TestTopLevelDispatch:
+    def test_repro_analyze_routes_here(self, traces, capsys):
+        per_op, _ = traces
+        assert repro_main(["analyze", "check", str(per_op)]) == 0
+        assert "invariants OK" in capsys.readouterr().out

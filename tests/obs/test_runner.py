@@ -95,3 +95,39 @@ class TestCli:
         document = json.loads(capsys.readouterr().out)
         assert document["workload"]["mode"] == "batched"
         assert document["event_counts"].get("span", 0) > 0
+
+    def test_monitor_flag_reports_clean_verdict(self, capsys):
+        assert main(["--ops", "300", "--monitor", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["monitors"]["ok"] is True
+        assert document["monitors"]["violations"] == []
+        assert document["monitors"]["checked"] > 300
+
+    def test_without_monitor_flag_block_is_null(self, capsys):
+        assert main(["--ops", "200", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["monitors"] is None
+
+    def test_ring_eviction_fails_unless_allowed(self, capsys):
+        args = ["--ops", "400", "--buffer-size", "16"]
+        assert main(args) == 1
+        assert "evicted from the ring buffer" in capsys.readouterr().err
+        assert main(args + ["--allow-lossy"]) == 0
+
+    def test_report_surfaces_dropped_count(self):
+        run = run_traced_soak(ops=400, seed=5, buffer_size=16)
+        report = run.report()
+        assert f"trace LOSSY: {run.tracer.dropped} events dropped" in report
+
+    def test_trace_is_framed_with_header_and_footer(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        run_traced_soak(ops=200, seed=5, trace_sink=str(trace))
+        lines = trace.read_text().splitlines()
+        first, last = json.loads(lines[0]), json.loads(lines[-1])
+        assert first["kind"] == "trace_header"
+        assert first["seed"] == 5
+        assert first["mode"] == "per_op"
+        assert first["config"]["word_bits"] == 12
+        assert last["kind"] == "trace_footer"
+        assert last["dropped"] == 0
+        assert last["emitted"] == len(lines) - 2

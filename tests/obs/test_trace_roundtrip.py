@@ -1,0 +1,126 @@
+"""TraceEvent JSONL round-trip: property-tested over every kind.
+
+The JSONL sink is the only durable form of a trace, so serialization
+must be lossless for every event kind — including the monitor-emitted
+``invariant_violation`` reports — and *tolerant* on the way back in: a
+reader at trace schema N loads traces written at schema N+1 by ignoring
+fields it does not know.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwsim.stats import AccessStats
+from repro.obs.events import (
+    FOOTER_KIND,
+    HEADER_KIND,
+    INVARIANT_KIND,
+    MAINTENANCE_KINDS,
+    OP_KINDS,
+    SPAN_KIND,
+    TRACE_SCHEMA,
+    TraceEvent,
+    build_trace_header,
+)
+
+ALL_EVENT_KINDS = (
+    list(OP_KINDS) + list(MAINTENANCE_KINDS) + [SPAN_KIND, INVARIANT_KIND]
+)
+
+#: JSON-safe attr values (floats excluded: NaN has no JSON identity).
+attr_values = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.booleans(),
+    st.text(max_size=40),
+    st.none(),
+)
+
+events = st.builds(
+    TraceEvent,
+    seq=st.integers(min_value=0, max_value=2**40),
+    kind=st.sampled_from(ALL_EVENT_KINDS),
+    name=st.text(min_size=1, max_size=30),
+    span_id=st.one_of(st.none(), st.integers(min_value=0, max_value=2**20)),
+    deltas=st.dictionaries(
+        st.sampled_from(
+            ["tag_storage", "translation_table", "tree_level_0", "free_list"]
+        ),
+        st.builds(
+            AccessStats,
+            reads=st.integers(min_value=0, max_value=2**20),
+            writes=st.integers(min_value=0, max_value=2**20),
+        ),
+        max_size=4,
+    ),
+    attrs=st.dictionaries(
+        st.text(min_size=1, max_size=20), attr_values, max_size=6
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(event=events)
+    @settings(max_examples=200, deadline=None)
+    def test_to_json_from_json_is_identity(self, event):
+        line = event.to_json()
+        assert "\n" not in line  # one JSONL line
+        restored = TraceEvent.from_json(line)
+        assert restored == event
+
+    @given(event=events)
+    @settings(max_examples=100, deadline=None)
+    def test_unknown_fields_are_tolerated(self, event):
+        record = event.to_dict()
+        record["future_field"] = {"nested": [1, 2, 3]}
+        for entry in record.get("deltas", {}).values():
+            entry["bank_conflicts"] = 7  # schema-N+1 delta counter
+        restored = TraceEvent.from_dict(record)
+        assert restored == event
+
+    def test_missing_optional_fields_default(self):
+        restored = TraceEvent.from_dict({"kind": "insert"})
+        assert restored.seq == 0
+        assert restored.name == "insert"
+        assert restored.span_id is None
+        assert restored.deltas == {}
+        assert restored.attrs == {}
+
+    def test_invariant_violation_event_round_trips(self):
+        event = TraceEvent(
+            seq=42,
+            kind=INVARIANT_KIND,
+            name="insert_budget",
+            attrs={
+                "monitor": "insert_budget",
+                "offender_seq": 41,
+                "offender_kind": "insert",
+                "message": "insert cost 3R+2W ... exceeds ... (Fig. 9)",
+            },
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+
+class TestTraceFraming:
+    def test_header_record_layout(self):
+        header = build_trace_header(
+            seed=7, mode="per_op", config={"levels": 3}, ops=100
+        )
+        assert header["kind"] == HEADER_KIND
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["seed"] == 7
+        assert header["mode"] == "per_op"
+        assert header["config"] == {"levels": 3}
+        assert header["ops"] == 100  # extras land verbatim
+        json.dumps(header)  # wire-ready
+
+    def test_header_copies_config(self):
+        config = {"levels": 3}
+        header = build_trace_header(seed=1, mode="batched", config=config)
+        config["levels"] = 99
+        assert header["config"]["levels"] == 3
+
+    def test_framing_kinds_never_collide_with_event_kinds(self):
+        assert HEADER_KIND not in ALL_EVENT_KINDS
+        assert FOOTER_KIND not in ALL_EVENT_KINDS
