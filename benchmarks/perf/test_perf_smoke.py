@@ -35,8 +35,13 @@ def test_smoke_preset_structure(report):
         assert scenario["ops"] > 0
         assert scenario["ops_per_second"] > 0
         assert scenario["accesses_per_op"] > 0
-        # Every circuit operation costs exactly FIXED_OP_CYCLES.
-        assert scenario["cycles_per_op"] == 4.0
+        if scenario.get("shards", 1) > 1:
+            # Fabric scenarios report makespan cycles: parallel shards
+            # amortize the fixed cost below 4 cycles per op.
+            assert 0 < scenario["cycles_per_op"] < 4.0
+        else:
+            # Every circuit operation costs exactly FIXED_OP_CYCLES.
+            assert scenario["cycles_per_op"] == 4.0
     headline = document["headline"]
     assert headline["served_orders_identical"] is True
     assert headline["per_op"]["ops"] == headline["batched"]["ops"]
@@ -61,8 +66,8 @@ def test_check_round_trip(tmp_path):
     assert main(["--smoke", "--output", str(baseline_path)]) == 0
     assert baseline_path.exists()
     document = json.loads(baseline_path.read_text())
-    assert document["schema"] == 3
-    # schema 3 writes the forensic reference trace beside the baseline
+    assert document["schema"] == 4
+    # since schema 3 the forensic reference trace sits beside the baseline
     assert (tmp_path / "baseline.trace.jsonl").exists()
     assert main(["--smoke", "--check", "--output", str(baseline_path)]) == 0
 

@@ -12,7 +12,14 @@ Three scenario families, all deterministic per seed:
   :class:`~repro.net.hardware_store.HardwareTagStore` (paper word
   format, default matcher), per-op versus the batched fast-mode path,
   with the served sequences compared element-wise before any timing is
-  trusted.
+  trusted;
+* the **fabric scale-out phase** — the flow-attributed mixed workload
+  through :class:`~repro.fabric.fabric.ScheduleFabric` at 1/4/16
+  shards versus one circuit, reporting modeled (makespan-cycle)
+  speedup and tournament-aggregation overhead; the full preset gates
+  on the largest fabric reaching
+  :data:`FABRIC_MIN_MODELED_SPEEDUP`× one circuit's enqueue
+  throughput.
 
 Each scenario records wall throughput (machine-dependent) and memory
 accesses and circuit cycles per operation (machine-independent).  A
@@ -74,8 +81,16 @@ SIZE_SWEEP: Tuple[Tuple[str, WordFormat], ...] = (
 )
 
 #: Document schema: 2 added the per-phase ``distributions`` block;
-#: 3 pairs the baseline with a committed forensic reference trace.
-_SCHEMA = 3
+#: 3 pairs the baseline with a committed forensic reference trace;
+#: 4 adds the ``fabric`` scale-out phase (shard sweep + modeled speedup).
+_SCHEMA = 4
+
+#: Shard counts swept by the fabric scale-out phase.
+FABRIC_SHARD_SWEEP: Tuple[int, ...] = (1, 4, 16)
+
+#: Modeled (makespan-cycle) enqueue speedup the largest fabric in the
+#: sweep must reach over one circuit, full preset only.
+FABRIC_MIN_MODELED_SPEEDUP = 4.0
 
 #: Operations in the committed forensic reference trace.
 REFERENCE_TRACE_OPS = 2_000
@@ -205,6 +220,46 @@ def make_mixed_ops(count: int, seed: int, *, max_backlog: int = 512) -> List:
             vt += rng.random() * 30
             finish = max(0.0, vt + rng.random() * 200 - 20)
             ops.append(("push", finish, len(ops)))
+            live += 1
+        pops = rng.randint(1, 12)
+        if live > max_backlog:
+            pops = live - max_backlog // 2
+        for _ in range(min(pops, live)):
+            if len(ops) >= count:
+                break
+            ops.append(("pop",))
+            live -= 1
+    return ops
+
+
+def make_flow_ops(
+    count: int,
+    seed: int,
+    *,
+    flows: int = 256,
+    max_backlog: int = 512,
+) -> List:
+    """A flow-attributed variant of :func:`make_mixed_ops`.
+
+    Same bursty, drifting-virtual-time shape, but every push carries a
+    flow id from a bounded population instead of a sequence number —
+    the routing key the scheduling fabric partitions on.  Bursts stick
+    to a handful of flows (arrivals are per-session trains in a real
+    scheduler), so spill and rebalance pressure is realistic rather
+    than perfectly pre-mixed.
+    """
+    rng = random.Random(seed)
+    ops: List = []
+    live = 0
+    vt = 0.0
+    while len(ops) < count:
+        burst_flows = [rng.randrange(flows) for _ in range(rng.randint(1, 4))]
+        for _ in range(rng.randint(1, 12)):
+            if len(ops) >= count:
+                break
+            vt += rng.random() * 30
+            finish = max(0.0, vt + rng.random() * 200 - 20)
+            ops.append(("push", finish, rng.choice(burst_flows)))
             live += 1
         pops = rng.randint(1, 12)
         if live > max_backlog:
@@ -363,6 +418,102 @@ def _bench_headline(count: int, seed: int) -> Dict:
     }
 
 
+def _bench_fabric(count: int, seed: int) -> Tuple[Dict, List[Dict]]:
+    """The scale-out phase: shard sweep vs one circuit, batched paths.
+
+    Drives the same flow-attributed mixed workload through a single
+    :class:`HardwareTagStore` and through
+    :class:`~repro.fabric.fabric.ScheduleFabric` at each sweep size.
+    Two speed measures per fabric:
+
+    * wall throughput — honest about the Python facade's routing cost
+      (regression-checked like every scenario);
+    * **modeled speedup** — single-circuit cycles over fabric *makespan*
+      cycles.  The shards are independent parallel hardware, so makespan
+      is the fabric's busy time; this is the paper-units scale-out claim
+      the full preset gates on (:data:`FABRIC_MIN_MODELED_SPEEDUP`).
+
+    The one-shard fabric must serve the exact single-circuit sequence
+    (the degenerate-fabric equivalence) before any number is reported.
+    Also records tournament comparisons per op — the aggregation
+    overhead, which grows O(log shards) while modeled speedup grows
+    ~linearly.
+    """
+    from ..fabric.fabric import ScheduleFabric
+
+    granularity = 8.0
+    ops = make_flow_ops(count, seed)
+
+    store = HardwareTagStore(granularity=granularity, fast_mode=True)
+    seconds, served_single = _timed(lambda: _drive_batched(store, ops))
+    single_cycles = store.cycles
+    scenarios = [
+        _scenario(
+            "fabric_single_circuit:batched",
+            ops=count,
+            seconds=seconds,
+            accesses=store.circuit.registry.total().total,
+            cycles=single_cycles,
+        )
+    ]
+
+    sweep: List[Dict] = []
+    for shards in FABRIC_SHARD_SWEEP:
+        fabric = ScheduleFabric(
+            shards=shards, granularity=granularity, fast_mode=True
+        )
+        seconds, served = _timed(lambda: _drive_batched(fabric, ops))
+        if shards == 1 and served != served_single:
+            raise AssertionError(
+                "one-shard fabric served a different sequence than the "
+                "bare circuit: the sweep is not measuring the same work, "
+                "refusing to report it"
+            )
+        accesses = sum(
+            shard_store.circuit.registry.total().total
+            for shard_store in fabric.stores
+        )
+        scenario = _scenario(
+            f"fabric_batched:shards={shards}",
+            ops=count,
+            seconds=seconds,
+            accesses=accesses,
+            # _scenario's cycles_per_op uses modeled (makespan) time —
+            # the quantity that shrinks as the fabric widens.
+            cycles=fabric.cycles,
+            shards=shards,
+            cycles_total=fabric.cycles_total,
+            modeled_speedup=round(single_cycles / fabric.cycles, 2),
+            comparisons_per_op=round(
+                fabric.tournament.comparisons / count, 4
+            ),
+            spills=fabric.manager.spill_count,
+            rebalances=fabric.manager.rebalance_count,
+        )
+        scenarios.append(scenario)
+        sweep.append(
+            {
+                "shards": shards,
+                "modeled_speedup": scenario["modeled_speedup"],
+                "comparisons_per_op": scenario["comparisons_per_op"],
+                "ops_per_second": scenario["ops_per_second"],
+            }
+        )
+
+    summary = {
+        "name": "fabric_shard_sweep",
+        "ops": count,
+        "granularity": granularity,
+        "single_circuit_cycles": single_cycles,
+        "sweep": sweep,
+        "max_shards": FABRIC_SHARD_SWEEP[-1],
+        "modeled_speedup": sweep[-1]["modeled_speedup"],
+        "min_modeled_speedup": FABRIC_MIN_MODELED_SPEEDUP,
+        "one_shard_order_identical": True,
+    }
+    return summary, scenarios
+
+
 def _bench_distributions(count: int, mixed_count: int, seed: int) -> Dict:
     """Per-phase distribution data (machine-independent, untimed).
 
@@ -421,10 +572,12 @@ def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
         matcher_count = 4096
         size_count = {"w8": 256, "w12": 4096, "w16": 8192}
         headline_count = 100_000
+        fabric_count = 40_000
     elif preset == "smoke":
         matcher_count = 256
         size_count = {"w8": 128, "w12": 256, "w16": 256}
         headline_count = 2_000
+        fabric_count = 2_000
     else:
         raise ValueError(f"unknown preset {preset!r}")
 
@@ -446,6 +599,8 @@ def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
             )
         )
     headline = _bench_headline(headline_count, seed)
+    fabric, fabric_scenarios = _bench_fabric(fabric_count, seed)
+    scenarios.extend(fabric_scenarios)
     distributions = _bench_distributions(
         size_count["w12"], min(headline_count, 10_000), seed
     )
@@ -454,6 +609,7 @@ def run_bench(*, preset: str = "full", seed: int = 20060101) -> Dict:
         "preset": preset,
         "seed": seed,
         "headline": headline,
+        "fabric": fabric,
         "scenarios": scenarios,
         "distributions": distributions,
     }
@@ -523,6 +679,20 @@ def check_against_baseline(
                 f"headline batched speedup {new_head.get('speedup')}x fell "
                 f">{tolerance:.0%} below baseline {old_head.get('speedup')}x"
             )
+    old_fabric = baseline.get("fabric", {})
+    new_fabric = current.get("fabric", {})
+    if old_fabric and new_fabric:
+        # Modeled speedup is cycle-count arithmetic — deterministic per
+        # seed — so unlike wall numbers it needs no timing floor.
+        floor = old_fabric.get("modeled_speedup", 0.0) * (1.0 - tolerance)
+        if new_fabric.get("modeled_speedup", 0.0) < floor:
+            problems.append(
+                f"fabric modeled speedup "
+                f"{new_fabric.get('modeled_speedup')}x at "
+                f"{new_fabric.get('max_shards')} shards fell "
+                f">{tolerance:.0%} below baseline "
+                f"{old_fabric.get('modeled_speedup')}x"
+            )
     return problems
 
 
@@ -546,6 +716,19 @@ def _format_summary(document: Dict) -> str:
         f"{headline['batched']['ops_per_second']:,.0f} ops/s batched "
         f"({headline['speedup']}x)",
     ]
+    fabric = document.get("fabric")
+    if fabric:
+        lines += [
+            "",
+            "  fabric shard sweep (modeled speedup / tournament cmp per op):",
+        ]
+        for entry in fabric["sweep"]:
+            lines.append(
+                f"    shards={entry['shards']:<3} "
+                f"{entry['modeled_speedup']:>6.2f}x  "
+                f"{entry['comparisons_per_op']:.2f} cmp/op  "
+                f"{entry['ops_per_second']:,.0f} ops/s wall"
+            )
     distributions = document.get("distributions")
     if distributions:
         lines += ["", "  per-phase access distributions (p50/p99/max):"]
@@ -601,6 +784,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"\nFAIL: headline batched speedup {headline['speedup']}x is "
             f"below the required {HEADLINE_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    fabric = document["fabric"]
+    if (
+        preset == "full"
+        and fabric["modeled_speedup"] < FABRIC_MIN_MODELED_SPEEDUP
+    ):
+        print(
+            f"\nFAIL: fabric modeled speedup {fabric['modeled_speedup']}x "
+            f"at {fabric['max_shards']} shards is below the required "
+            f"{FABRIC_MIN_MODELED_SPEEDUP}x",
             file=sys.stderr,
         )
         return 1

@@ -12,11 +12,14 @@ Regenerates any of the paper's evaluation artifacts without pytest:
 ``python -m repro bench`` runs the perf-regression suite instead (see
 :mod:`repro.bench.perf` for its own flags: ``--smoke``, ``--check``),
 ``python -m repro obs`` runs a traced telemetry soak (see
-:mod:`repro.obs.runner`), and ``python -m repro analyze`` runs trace
-forensics over archived JSONL traces (see :mod:`repro.obs.analyze`:
-``profile``, ``check``, ``diff``, ``timeline``).  All four subsystems
-share one output convention: ``--output FILE`` writes where you say,
-``--format {text,json}`` picks the representation.
+:mod:`repro.obs.runner`), ``python -m repro fabric`` runs a traced soak
+through the sharded scheduling fabric (see :mod:`repro.fabric.runner`:
+``--shards``, ``--workers``, ``--monitor``, ``--checkpoint``), and
+``python -m repro analyze`` runs trace forensics over archived JSONL
+traces (see :mod:`repro.obs.analyze`: ``profile``, ``check``, ``diff``,
+``timeline``).  All five subsystems share one output convention:
+``--output FILE`` writes where you say, ``--format {text,json}`` picks
+the representation.
 """
 
 from __future__ import annotations
@@ -111,6 +114,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.runner import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "fabric":
+        # Sharded-fabric soak runner (same lazy-import rationale).
+        from .fabric.runner import main as fabric_main
+
+        return fabric_main(argv[1:])
     if argv and argv[0] == "analyze":
         # Trace forensics: profile / check / diff / timeline.
         from .obs.analyze import main as analyze_main

@@ -886,6 +886,91 @@ class TagSortRetrieveCircuit:
         return self.tree.clear_root_section(root_literal)
 
     # ------------------------------------------------------------------
+    # checkpoint / restore (shard migration, process-parallel backends)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot of the whole circuit.
+
+        Bundles the three structures' snapshots (tree markers,
+        translation entries, linked-list storage including the threaded
+        free list) with the circuit-level registers: cycle/operation
+        accounting, the verification shadow, and the Fig. 6 per-section
+        occupancy counters.  Restoring the snapshot — into this process
+        or another — resumes the exact service order, accounting, and
+        invariant state.  Tracer attachment is deliberately *not* part
+        of the state: telemetry is a property of the hosting process.
+        """
+        return {
+            "kind": "sort_retrieve_circuit",
+            "config": self.describe(),
+            "cycles": self.cycles,
+            "operations": self.operations,
+            "live_tags": sorted(self._live_tags.items()),
+            "section_live": list(self._section_live),
+            "tree": self.tree.to_state(),
+            "translation": self.translation.to_state(),
+            "storage": self.storage.to_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance.
+
+        The circuit must have been constructed with the same
+        configuration (:meth:`describe` must match the snapshot's).
+        Internal :class:`AccessStats` objects are mutated in place, so
+        the stats registry and any attached tracer stay live.
+        """
+        if state.get("kind") != "sort_retrieve_circuit":
+            raise ConfigurationError(
+                f"not a circuit snapshot: kind={state.get('kind')!r}"
+            )
+        if dict(state["config"]) != self.describe():
+            raise ConfigurationError(
+                f"snapshot config {state['config']} does not match this "
+                f"circuit's {self.describe()}"
+            )
+        self.tree.load_state(state["tree"])
+        self.translation.load_state(state["translation"])
+        self.storage.load_state(state["storage"])
+        self.cycles = state["cycles"]
+        self.operations = state["operations"]
+        self._live_tags = Counter(dict(
+            (tag, count) for tag, count in state["live_tags"]
+        ))
+        self._section_live = list(state["section_live"])
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        matcher_factory=DEFAULT_MATCHER,
+        tracer=None,
+    ) -> "TagSortRetrieveCircuit":
+        """Reconstruct a circuit from a :meth:`to_state` snapshot.
+
+        ``matcher_factory`` is behaviour, not state, so the caller
+        supplies it (the default matches the default constructor); a
+        ``tracer`` may be attached to the restored circuit directly.
+        """
+        config = state["config"]
+        fmt = WordFormat(
+            levels=config["levels"], literal_bits=config["literal_bits"]
+        )
+        circuit = cls(
+            fmt,
+            capacity=config["capacity"],
+            matcher_factory=matcher_factory,
+            eager_marker_removal=config["eager_marker_removal"],
+            modular=config["modular"],
+            fast_mode=config["fast_mode"],
+        )
+        circuit.load_state(state)
+        if tracer is not None:
+            circuit.attach_tracer(tracer)
+        return circuit
+
+    # ------------------------------------------------------------------
     # verification
 
     def check_invariants(self) -> None:

@@ -522,6 +522,98 @@ class TagStorageMemory:
         return served[0], served[1], served[2], head_address
 
     # ------------------------------------------------------------------
+    # checkpoint / restore
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot of the storage memory.
+
+        Captures everything needed to resume mid-stream with identical
+        behaviour *and* identical accounting: the full cell array (live
+        links and the threaded empty list, Fig. 10), the initialization
+        counter, the head registers, and the SRAM access stats.  The
+        result is a plain dict of JSON-compatible values (payloads that
+        are themselves JSON-compatible survive a JSON round trip; any
+        picklable payload survives pickling, which is what the fabric's
+        process-parallel backend uses).
+        """
+        cells: List[Optional[list]] = []
+        for cell in self._memory._cells:
+            if cell is None:
+                cells.append(None)
+            else:
+                cells.append(
+                    [cell.tag, cell.next_address, cell.next_tag, cell.payload]
+                )
+        return {
+            "kind": "tag_storage",
+            "capacity": self.capacity,
+            "modular": self.modular,
+            "word_bits": self._memory.word_bits,
+            "cells": cells,
+            "init_counter": self._init_counter.value,
+            "empty_head": self._empty_head,
+            "head_address": self._head_address,
+            "head_tag": self._head_tag,
+            "count": self._count,
+            "stats": self._memory.stats.to_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance.
+
+        The instance must have been constructed with the same capacity
+        and mode; the existing :class:`AccessStats` object is mutated in
+        place so external registrations (a circuit's stats registry)
+        stay live across the restore.
+        """
+        if state.get("kind") != "tag_storage":
+            raise ConfigurationError(
+                f"not a tag storage snapshot: kind={state.get('kind')!r}"
+            )
+        if state["capacity"] != self.capacity:
+            raise ConfigurationError(
+                f"snapshot capacity {state['capacity']} != {self.capacity}"
+            )
+        if bool(state["modular"]) != self.modular:
+            raise ConfigurationError("snapshot modular mode mismatch")
+        counter_value = state["init_counter"]
+        if not 0 <= counter_value <= self.capacity:
+            raise ConfigurationError(
+                f"init counter value {counter_value} outside "
+                f"[0, {self.capacity}]"
+            )
+        cells = self._memory._cells
+        for address, cell in enumerate(state["cells"]):
+            if cell is None:
+                cells[address] = None
+            else:
+                tag, next_address, next_tag, payload = cell
+                cells[address] = Link(
+                    tag=tag,
+                    next_address=next_address,
+                    next_tag=next_tag,
+                    payload=payload,
+                )
+        self._init_counter.value = counter_value
+        self._empty_head = state["empty_head"]
+        self._head_address = state["head_address"]
+        self._head_tag = state["head_tag"]
+        self._count = state["count"]
+        self._memory.stats.reads = state["stats"]["reads"]
+        self._memory.stats.writes = state["stats"]["writes"]
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TagStorageMemory":
+        """Reconstruct a storage memory from a :meth:`to_state` snapshot."""
+        memory = cls(
+            state["capacity"],
+            word_bits=state.get("word_bits", 64),
+            modular=bool(state["modular"]),
+        )
+        memory.load_state(state)
+        return memory
+
+    # ------------------------------------------------------------------
     # verification helpers
 
     def walk(self) -> List[Tuple[int, int]]:

@@ -73,6 +73,52 @@ class TranslationTable:
         self.fmt.check_value(tag_value)
         self._memory.write(tag_value, None)
 
+    def to_state(self) -> dict:
+        """Exact serializable snapshot: every entry plus accounting."""
+        return {
+            "kind": "translation_table",
+            "levels": self.fmt.levels,
+            "literal_bits": self.fmt.literal_bits,
+            "address_bits": self._memory.word_bits,
+            "cells": list(self._memory._cells),
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "translation_table":
+            raise ConfigurationError(
+                f"not a translation snapshot: kind={state.get('kind')!r}"
+            )
+        if (
+            state["levels"] != self.fmt.levels
+            or state["literal_bits"] != self.fmt.literal_bits
+        ):
+            raise ConfigurationError(
+                f"snapshot format L={state['levels']}/k="
+                f"{state['literal_bits']} != L={self.fmt.levels}/k="
+                f"{self.fmt.literal_bits}"
+            )
+        cells = state["cells"]
+        if len(cells) != self._memory.size:
+            raise ConfigurationError(
+                f"snapshot holds {len(cells)} entries, table holds "
+                f"{self._memory.size}"
+            )
+        self._memory._cells[:] = cells
+        self.stats.reads = state["stats"]["reads"]
+        self.stats.writes = state["stats"]["writes"]
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TranslationTable":
+        """Reconstruct a table from a :meth:`to_state` snapshot."""
+        fmt = WordFormat(
+            levels=state["levels"], literal_bits=state["literal_bits"]
+        )
+        table = cls(fmt, address_bits=state.get("address_bits", 24))
+        table.load_state(state)
+        return table
+
     def invalidate_if_points_to(self, tag_value: int, address: int) -> bool:
         """Invalidate only if the entry still points at ``address``.
 

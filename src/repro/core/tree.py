@@ -413,6 +413,60 @@ class MultiBitTree:
         return self.fmt.combine(path)
 
     # ------------------------------------------------------------------
+    # checkpoint / restore
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot: every node word plus accounting."""
+        return {
+            "kind": "multi_bit_tree",
+            "levels": self.fmt.levels,
+            "literal_bits": self.fmt.literal_bits,
+            "nodes": [list(level._cells) for level in self._levels],
+            "count": self._count,
+            "stats": [level.stats.to_dict() for level in self._levels],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "multi_bit_tree":
+            raise ConfigurationError(
+                f"not a tree snapshot: kind={state.get('kind')!r}"
+            )
+        if (
+            state["levels"] != self.fmt.levels
+            or state["literal_bits"] != self.fmt.literal_bits
+        ):
+            raise ConfigurationError(
+                f"snapshot format L={state['levels']}/k="
+                f"{state['literal_bits']} != L={self.fmt.levels}/k="
+                f"{self.fmt.literal_bits}"
+            )
+        for level, nodes in zip(self._levels, state["nodes"]):
+            if len(nodes) != level.size:
+                raise ConfigurationError(
+                    f"{level.name}: snapshot holds {len(nodes)} nodes, "
+                    f"memory holds {level.size}"
+                )
+            level._cells[:] = nodes
+        self._count = state["count"]
+        for level, stats in zip(self._levels, state["stats"]):
+            level.stats.reads = stats["reads"]
+            level.stats.writes = stats["writes"]
+        self.last_outcome = None
+
+    @classmethod
+    def from_state(
+        cls, state: dict, *, matcher_factory=DEFAULT_MATCHER
+    ) -> "MultiBitTree":
+        """Reconstruct a tree from a :meth:`to_state` snapshot."""
+        fmt = WordFormat(
+            levels=state["levels"], literal_bits=state["literal_bits"]
+        )
+        tree = cls(fmt, matcher_factory=matcher_factory)
+        tree.load_state(state)
+        return tree
+
+    # ------------------------------------------------------------------
     # whole-tree queries (used by experiments and invariant checks)
 
     def min_marked(self) -> Optional[int]:

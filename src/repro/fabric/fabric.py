@@ -1,0 +1,533 @@
+"""`ScheduleFabric`: N sort/retrieve circuits behind one tag store.
+
+The facade presents the same push/pop contract as a single
+:class:`~repro.net.hardware_store.HardwareTagStore`, but spreads flows
+across ``shards`` independent circuits:
+
+* enqueue — :class:`~repro.fabric.partitioner.FlowPartitioner` pins the
+  flow to a shard, :class:`~repro.fabric.manager.ShardManager` may spill
+  the tag to a roomier neighbour near overflow, and the shard's circuit
+  inserts it;
+* dequeue — the :class:`~repro.fabric.tournament.TournamentAggregator`
+  names the shard holding the global minimum in O(log N) register
+  comparisons, that shard's circuit serves its head, and only the
+  winner's leaf-to-root tournament path refreshes.
+
+**Global service order.**  Each circuit serves its own tags in
+non-decreasing (wrap-aware) order, and the tournament always serves the
+minimum over all shard heads, so the merged stream is exactly the
+sequence one big circuit would produce — the k-way merge argument —
+provided all live tags fit a half-tag-space window.  Every shard's own
+span guard enforces its local window; the shards share one virtual-time
+base (the WFQ tag computation), so the global span obeys the same bound
+whenever any single circuit's would.
+
+**Modeled parallel time.**  The shards are independent hardware, so
+fabric busy time is the *makespan* — the maximum per-shard cycle count
+— not the sum (:attr:`ScheduleFabric.cycles`).  An N-way balanced
+fabric therefore enqueues ~N× faster in modeled time than one circuit,
+which is the scale-out claim the fabric benchmark phase measures.
+
+Batched dequeues drain the winner shard in *runs*: the runner-up fence
+(second-best head) bounds how far the winner may drain before any other
+shard could hold the minimum, so a k-entry run costs one tournament
+refresh instead of k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.words import PAPER_FORMAT, WordFormat
+from ..hwsim.errors import ConfigurationError, ProtocolError
+from ..net.hardware_store import HardwareTagStore
+from ..obs.tracer import NULL_TRACER, ComponentTracer
+from .manager import FabricPolicy, ShardManager
+from .partitioner import FlowPartitioner
+from .tournament import TournamentAggregator
+
+
+def shard_component(shard: int) -> str:
+    """The canonical ``component`` label for shard ``shard``'s events."""
+    return f"shard{shard}"
+
+
+#: The ``component`` label on fabric-level events (routing, tournament,
+#: rebalance) as opposed to shard-local circuit events.
+FABRIC_COMPONENT = "fabric"
+
+
+class ScheduleFabric:
+    """Sharded multi-circuit tag store with tournament aggregation."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 4,
+        fmt: WordFormat = PAPER_FORMAT,
+        granularity: float = 1.0,
+        capacity_per_shard: int = 4096,
+        fast_mode: bool = False,
+        partition_policy: str = "hash",
+        flow_space: int = 1024,
+        policy: Optional[FabricPolicy] = None,
+        tracer=None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("fabric needs at least one shard")
+        self.shards = shards
+        self.fmt = fmt
+        self.granularity = granularity
+        self.capacity_per_shard = capacity_per_shard
+        self.fast_mode = fast_mode
+        self.stores: List[HardwareTagStore] = [
+            HardwareTagStore(
+                fmt=fmt,
+                granularity=granularity,
+                capacity=capacity_per_shard,
+                fast_mode=fast_mode,
+            )
+            for _ in range(shards)
+        ]
+        self.partitioner = FlowPartitioner(
+            shards, policy=partition_policy, flow_space=flow_space
+        )
+        self.manager = ShardManager(
+            self.partitioner,
+            shard_capacity=capacity_per_shard,
+            policy=policy,
+        )
+        self.tournament = TournamentAggregator(shards, space=fmt.capacity)
+        #: live tag count per flow id (drives rebalance planning)
+        self._flow_live: Dict[int, int] = {}
+        self.pushes = 0
+        self.pops = 0
+        self._tracer = NULL_TRACER
+        self._pool = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def occupancies(self) -> List[int]:
+        """Live tag count per shard (index-aligned with ``stores``)."""
+        return [len(store) for store in self.stores]
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self.stores)
+
+    @property
+    def operations(self) -> int:
+        """Circuit operations summed over all shards (total work)."""
+        return sum(store.operations for store in self.stores)
+
+    @property
+    def cycles(self) -> int:
+        """Modeled busy time: the *makespan* over the parallel shards.
+
+        Each shard is independent hardware clocked in parallel, so the
+        fabric is busy for as long as its busiest shard — the scale-out
+        quantity the benchmarks compare against one circuit's cycles.
+        """
+        return max(store.cycles for store in self.stores)
+
+    @property
+    def cycles_total(self) -> int:
+        """Cycles summed over all shards (total energy/work, not time)."""
+        return sum(store.cycles for store in self.stores)
+
+    def describe(self) -> dict:
+        """Machine-readable configuration and counters."""
+        config = self.stores[0].describe()
+        config.update(
+            {
+                "shards": self.shards,
+                "capacity_per_shard": self.capacity_per_shard,
+                "partition": self.partitioner.describe(),
+                "manager": self.manager.describe(),
+                "tournament": self.tournament.describe(),
+                "pushes": self.pushes,
+                "pops": self.pops,
+                "workers": self._pool.workers if self._pool else 0,
+            }
+        )
+        return config
+
+    @property
+    def flow_live(self) -> Dict[int, int]:
+        """A copy of the per-flow live tag counts."""
+        return dict(self._flow_live)
+
+    # ------------------------------------------------------------------
+    # enqueue path
+
+    def _sync_head(self, shard: int) -> int:
+        """Refresh one shard's tournament leaf from its head register."""
+        return self.tournament.update(
+            shard, self.stores[shard].circuit.peek_min()
+        )
+
+    def _track_push(self, flow_id: int) -> None:
+        self._flow_live[flow_id] = self._flow_live.get(flow_id, 0) + 1
+
+    def _track_pop(self, flow_id: int) -> None:
+        live = self._flow_live.get(flow_id, 0) - 1
+        if live > 0:
+            self._flow_live[flow_id] = live
+        else:
+            self._flow_live.pop(flow_id, None)
+
+    def _maybe_rebalance(self) -> None:
+        occupancies = self.occupancies()
+        plan = self.manager.plan_rebalance(
+            occupancies, self._flow_live, self.pushes + self.pops
+        )
+        if plan is not None and self._tracer.enabled:
+            self._tracer.event(
+                "rebalance",
+                component=FABRIC_COMPONENT,
+                occupancies=occupancies,
+                **plan.to_dict(),
+            )
+
+    def push(self, finish_tag: float, flow_id: int, payload=None) -> None:
+        """Route and insert one tag.
+
+        ``payload`` defaults to ``flow_id`` (the bare
+        :class:`~repro.sched.wfq.TagStore` contract); the scheduler
+        facade passes the packet-buffer pointer instead.
+        """
+        if payload is None:
+            payload = flow_id
+        shard, spilled = self.manager.route(flow_id, self.occupancies())
+        self.stores[shard].push(finish_tag, (flow_id, payload))
+        self._track_push(flow_id)
+        self.pushes += 1
+        self._sync_head(shard)
+        if self._tracer.enabled:
+            if spilled:
+                self._tracer.event(
+                    "spill",
+                    component=FABRIC_COMPONENT,
+                    flow=flow_id,
+                    home=self.partitioner.shard_for(flow_id),
+                    shard=shard,
+                )
+            self._tracer.event(
+                "shard_enqueue",
+                component=FABRIC_COMPONENT,
+                shard=shard,
+                flow=flow_id,
+                count=1,
+                spilled=1 if spilled else 0,
+            )
+        self._maybe_rebalance()
+
+    def push_batch(self, items: Iterable[Sequence]) -> None:
+        """Route and insert a run of tags in one pass.
+
+        Items are ``(finish_tag, flow_id)`` or
+        ``(finish_tag, flow_id, payload)``.  Routing is a scalar pass
+        with in-batch occupancy estimates (so spill decisions see the
+        batch's own fill-up), then each touched shard takes its group as
+        one :meth:`HardwareTagStore.push_batch` — or, with a worker pool
+        attached, the groups run in parallel processes via the circuit
+        state snapshots.
+        """
+        items = list(items)
+        if not items:
+            return
+        occupancies = self.occupancies()
+        groups: List[List[Tuple[float, Tuple[int, object]]]] = [
+            [] for _ in range(self.shards)
+        ]
+        spilled_counts = [0] * self.shards
+        traced = self._tracer.enabled
+        for item in items:
+            if len(item) == 3:
+                finish_tag, flow_id, payload = item
+            else:
+                finish_tag, flow_id = item
+                payload = flow_id
+            shard, spilled = self.manager.route(flow_id, occupancies)
+            occupancies[shard] += 1
+            groups[shard].append((finish_tag, (flow_id, payload)))
+            self._track_push(flow_id)
+            if spilled:
+                spilled_counts[shard] += 1
+                if traced:
+                    self._tracer.event(
+                        "spill",
+                        component=FABRIC_COMPONENT,
+                        flow=flow_id,
+                        home=self.partitioner.shard_for(flow_id),
+                        shard=shard,
+                    )
+        self.pushes += len(items)
+        if self._pool is not None:
+            self._push_groups_parallel(groups, spilled_counts)
+        else:
+            for shard, group in enumerate(groups):
+                if not group:
+                    continue
+                self.stores[shard].push_batch(group)
+                self._sync_head(shard)
+                if traced:
+                    self._tracer.event(
+                        "shard_enqueue",
+                        component=FABRIC_COMPONENT,
+                        shard=shard,
+                        count=len(group),
+                        spilled=spilled_counts[shard],
+                    )
+        self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # dequeue path
+
+    def peek_min_exact(self) -> Optional[Tuple[float, object]]:
+        """The global head's exact ``(finish_tag, payload)``, if any."""
+        winner = self.tournament.winner
+        if winner is None:
+            return None
+        head = self.stores[winner].peek_min_exact()
+        if head is None:  # pragma: no cover - tournament/head desync guard
+            raise ProtocolError(f"tournament winner shard{winner} is empty")
+        finish_tag, (_flow_id, payload) = head
+        return finish_tag, payload
+
+    def pop_min(self) -> Tuple[float, object]:
+        """Serve the global minimum tag; ``(finish_tag, payload)`` back."""
+        winner = self.tournament.winner
+        if winner is None:
+            raise ProtocolError("pop_min from an empty fabric")
+        comparisons_before = self.tournament.comparisons
+        finish_tag, (flow_id, payload) = self.stores[winner].pop_min()
+        self._track_pop(flow_id)
+        self.pops += 1
+        self._sync_head(winner)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "tournament_select",
+                component=FABRIC_COMPONENT,
+                shard=winner,
+                chunk=1,
+                comparisons=self.tournament.comparisons - comparisons_before,
+            )
+        return finish_tag, payload
+
+    def pop_batch(self, count: int) -> List[Tuple[float, object]]:
+        """Serve the ``count`` globally smallest tags, in service order.
+
+        Identical sequence to ``count`` :meth:`pop_min` calls.  The
+        winner shard drains in a run bounded by the **runner-up fence**:
+        while its new head still precedes the second-best shard's head
+        (ties included only when the winner has the lower index — the
+        tournament's tie rule), no other shard can hold the global
+        minimum, so the run costs one tournament refresh total.
+        """
+        if count < 0:
+            raise ConfigurationError("pop_batch count must be non-negative")
+        held = len(self)
+        if count > held:
+            raise ProtocolError(
+                f"pop_batch({count}) from a fabric holding {held}"
+            )
+        out: List[Tuple[float, object]] = []
+        remaining = count
+        while remaining > 0:
+            winner = self.tournament.winner
+            if winner is None:  # pragma: no cover - guarded by held check
+                raise ProtocolError("fabric drained mid pop_batch")
+            comparisons_before = self.tournament.comparisons
+            fence_shard = self.tournament.runner_up()
+            fence_tag = (
+                None
+                if fence_shard is None
+                else self.tournament.leaf_tag(fence_shard)
+            )
+            store = self.stores[winner]
+            chunk = 0
+            while remaining > 0:
+                finish_tag, (flow_id, payload) = store.pop_min()
+                self._track_pop(flow_id)
+                out.append((finish_tag, payload))
+                remaining -= 1
+                chunk += 1
+                head = store.circuit.peek_min()
+                if head is None:
+                    break
+                if fence_tag is not None:
+                    if head == fence_tag:
+                        if winner > fence_shard:
+                            break
+                    elif not self.tournament.precedes(head, fence_tag):
+                        break
+            self.pops += chunk
+            self._sync_head(winner)
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "tournament_select",
+                    component=FABRIC_COMPONENT,
+                    shard=winner,
+                    chunk=chunk,
+                    comparisons=(
+                        self.tournament.comparisons - comparisons_before
+                    ),
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # worker backend (process-parallel enqueue built on checkpoints)
+
+    def use_workers(self, workers: int) -> None:
+        """Attach a process pool; batched enqueues fan out across it.
+
+        Built entirely on the checkpoint API: each worker restores its
+        shard from a state snapshot, runs the group, and ships the new
+        snapshot back.  The returned per-structure deltas ride on the
+        ``shard_enqueue`` events so traced runs still reconcile exactly
+        against the (snapshot-restored) registry totals.
+        """
+        from .workers import FabricWorkerPool
+
+        self.close_workers()
+        self._pool = FabricWorkerPool(workers)
+
+    def close_workers(self) -> None:
+        """Shut the worker pool down (no-op when none is attached)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    @property
+    def workers(self) -> int:
+        """Attached worker process count (0 = in-process backend)."""
+        return self._pool.workers if self._pool is not None else 0
+
+    def _push_groups_parallel(
+        self,
+        groups: List[List[Tuple[float, Tuple[int, object]]]],
+        spilled_counts: List[int],
+    ) -> None:
+        jobs = [
+            (shard, self.stores[shard].to_state(), group)
+            for shard, group in enumerate(groups)
+            if group
+        ]
+        results = self._pool.push_batches(
+            [(state, group) for _shard, state, group in jobs]
+        )
+        traced = self._tracer.enabled
+        for (shard, _state, group), (new_state, deltas) in zip(jobs, results):
+            self.stores[shard].load_state(new_state)
+            self._sync_head(shard)
+            if traced:
+                self._tracer.event(
+                    "shard_enqueue",
+                    component=FABRIC_COMPONENT,
+                    shard=shard,
+                    count=len(group),
+                    spilled=spilled_counts[shard],
+                    deltas=deltas,
+                    worker=True,
+                )
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    @property
+    def tracer(self):
+        """The fabric-level tracer (:data:`NULL_TRACER` when off)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Trace the fabric: shard circuits get per-component views."""
+        self._tracer = tracer
+        for shard, store in enumerate(self.stores):
+            store.attach_tracer(ComponentTracer(tracer, shard_component(shard)))
+
+    def detach_tracer(self) -> None:
+        """Stop tracing fabric and shards."""
+        for store in self.stores:
+            store.detach_tracer()
+        self._tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot of the whole fabric.
+
+        Includes every shard's full circuit snapshot plus the routing
+        state (partitioner overrides, manager counters, per-flow live
+        counts).  The tournament is *not* serialized — it is a pure
+        function of the shard head registers and is rebuilt on load.
+        """
+        return {
+            "kind": "schedule_fabric",
+            "shards": self.shards,
+            "granularity": self.granularity,
+            "capacity_per_shard": self.capacity_per_shard,
+            "fast_mode": self.fast_mode,
+            "levels": self.fmt.levels,
+            "literal_bits": self.fmt.literal_bits,
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "flow_live": sorted(self._flow_live.items()),
+            "stores": [store.to_state() for store in self.stores],
+            "partitioner": self.partitioner.to_state(),
+            "manager": self.manager.to_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "schedule_fabric":
+            raise ConfigurationError(
+                f"not a fabric snapshot: kind={state.get('kind')!r}"
+            )
+        if state["shards"] != self.shards:
+            raise ConfigurationError(
+                f"snapshot has {state['shards']} shards, fabric has "
+                f"{self.shards}"
+            )
+        for store, store_state in zip(self.stores, state["stores"]):
+            store.load_state(store_state)
+        self.partitioner.load_state(state["partitioner"])
+        self.manager.load_state(state["manager"])
+        self.pushes = state["pushes"]
+        self.pops = state["pops"]
+        self._flow_live = {
+            int(flow_id): int(live) for flow_id, live in state["flow_live"]
+        }
+        self.tournament.rebuild(
+            [store.circuit.peek_min() for store in self.stores]
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        *,
+        policy: Optional[FabricPolicy] = None,
+        tracer=None,
+    ) -> "ScheduleFabric":
+        """Reconstruct a fabric from a :meth:`to_state` snapshot."""
+        partitioner_state = state["partitioner"]
+        fabric = cls(
+            shards=state["shards"],
+            fmt=WordFormat(
+                levels=state["levels"], literal_bits=state["literal_bits"]
+            ),
+            granularity=state["granularity"],
+            capacity_per_shard=state["capacity_per_shard"],
+            fast_mode=state["fast_mode"],
+            partition_policy=partitioner_state["policy"],
+            flow_space=partitioner_state["flow_space"],
+            policy=policy,
+        )
+        fabric.load_state(state)
+        if tracer is not None:
+            fabric.attach_tracer(tracer)
+        return fabric

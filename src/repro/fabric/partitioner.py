@@ -1,0 +1,155 @@
+"""Flow-to-shard pinning policies.
+
+WFQ service order must stay FCFS *within* a flow, so a flow's tags must
+all land in circuits whose relative order is stable — the simplest
+sufficient discipline is pinning each flow to one shard.  Two base
+policies cover the common cases:
+
+* ``hash`` — a multiplicative (Knuth) hash of the flow id, spreading
+  arbitrary id spaces evenly without coordination;
+* ``range`` — contiguous blocks of a known flow-id space, keeping
+  neighbouring flows co-located (useful when ids encode locality).
+
+On top of the base policy sits an **override map**: the rebalancer pins
+individual flows to explicit shards (future arrivals only; live tags
+drain from wherever they already are).  Overrides are part of the
+fabric checkpoint so a restored fabric routes identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hwsim.errors import ConfigurationError
+
+#: Knuth's multiplicative hash constant (2**32 / golden ratio).
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+#: Supported base policies.
+POLICIES = ("hash", "range")
+
+
+class FlowPartitioner:
+    """Deterministic flow-id → shard-index mapping with overrides."""
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        policy: str = "hash",
+        flow_space: int = 1024,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("partitioner needs at least one shard")
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown partition policy {policy!r} (choose from {POLICIES})"
+            )
+        if flow_space < 1:
+            raise ConfigurationError("flow_space must be positive")
+        self.shards = shards
+        self.policy = policy
+        self.flow_space = flow_space
+        self._overrides: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def home_shard(self, flow_id: int) -> int:
+        """The base-policy shard, ignoring overrides."""
+        if flow_id < 0:
+            raise ConfigurationError("flow ids must be non-negative")
+        if self.policy == "hash":
+            return ((flow_id * _HASH_MULTIPLIER) & _HASH_MASK) % self.shards
+        # range: contiguous blocks of [0, flow_space); ids beyond the
+        # declared space clamp into the last shard.
+        return min(
+            flow_id * self.shards // self.flow_space, self.shards - 1
+        )
+
+    def shard_for(self, flow_id: int) -> int:
+        """The effective shard: an override if pinned, else the home."""
+        override = self._overrides.get(flow_id)
+        if override is not None:
+            return override
+        return self.home_shard(flow_id)
+
+    # ------------------------------------------------------------------
+    # overrides (the rebalancer's lever)
+
+    def assign(self, flow_id: int, shard: int) -> None:
+        """Pin ``flow_id`` to ``shard`` for all future arrivals.
+
+        Assigning a flow back to its home shard clears the override, so
+        the override map only ever holds genuine exceptions.
+        """
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(
+                f"shard {shard} outside [0, {self.shards})"
+            )
+        if shard == self.home_shard(flow_id):
+            self._overrides.pop(flow_id, None)
+        else:
+            self._overrides[flow_id] = shard
+
+    def clear(self, flow_id: int) -> None:
+        """Drop any override for ``flow_id`` (return to the base policy)."""
+        self._overrides.pop(flow_id, None)
+
+    @property
+    def overrides(self) -> Dict[int, int]:
+        """A copy of the current override map."""
+        return dict(self._overrides)
+
+    def describe(self) -> dict:
+        """Machine-readable configuration snapshot."""
+        return {
+            "shards": self.shards,
+            "policy": self.policy,
+            "flow_space": self.flow_space,
+            "overrides": len(self._overrides),
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+
+    def to_state(self) -> dict:
+        """Serializable snapshot (config + override map)."""
+        return {
+            "kind": "flow_partitioner",
+            "shards": self.shards,
+            "policy": self.policy,
+            "flow_space": self.flow_space,
+            "overrides": sorted(self._overrides.items()),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "flow_partitioner":
+            raise ConfigurationError(
+                f"not a partitioner snapshot: kind={state.get('kind')!r}"
+            )
+        if (
+            state["shards"] != self.shards
+            or state["policy"] != self.policy
+            or state["flow_space"] != self.flow_space
+        ):
+            raise ConfigurationError(
+                "partitioner snapshot config does not match this instance"
+            )
+        self._overrides = {
+            int(flow_id): int(shard)
+            for flow_id, shard in state["overrides"]
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlowPartitioner":
+        """Reconstruct a partitioner from a :meth:`to_state` snapshot."""
+        partitioner = cls(
+            state["shards"],
+            policy=state["policy"],
+            flow_space=state["flow_space"],
+        )
+        partitioner.load_state(state)
+        return partitioner

@@ -1,0 +1,464 @@
+"""Fabric-soak driver: the machinery behind ``python -m repro fabric``.
+
+Runs the bench harness's flow-attributed mixed workload (the same
+generator the fabric benchmark phase times) through a
+:class:`~repro.fabric.fabric.ScheduleFabric` with a live
+:class:`~repro.obs.tracer.Tracer` attached, and verifies the telemetry
+acceptance invariant *across shards*: the summed per-structure deltas of
+the event stream reconcile exactly with the per-structure totals summed
+over every shard's ``StatsRegistry``.
+
+Beyond the :mod:`repro.obs.runner` contract it adds the fabric-specific
+switches: ``--shards``/``--flows`` shape the partition, ``--workers``
+fans batched enqueues out to a process pool, ``--monitor`` screens the
+interleaved multi-store trace through the per-component invariant
+monitors, and ``--checkpoint FILE`` snapshots the whole fabric mid-soak,
+restores a second fabric from the JSON file, and replays the remaining
+operations on both — the run fails unless the service sequences match
+element for element.
+
+Kept out of :mod:`repro.fabric`'s eager imports (it pulls in the bench
+layer) — the CLI imports it lazily.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..bench.perf import _drive_batched, _drive_per_op, make_flow_ops
+from ..hwsim.stats import AccessStats
+from ..obs.events import build_trace_header
+from ..obs.exporters import prometheus_snapshot, run_report
+from ..obs.instruments import InstrumentSet
+from ..obs.monitors import MonitorSuite
+from ..obs.probes import StandardProbes
+from ..obs.tracer import Tracer
+from .fabric import ScheduleFabric
+
+
+@dataclass
+class FabricRun:
+    """Everything a traced fabric soak produced."""
+
+    tracer: Tracer
+    fabric: ScheduleFabric
+    instruments: InstrumentSet
+    ops: int
+    seed: int
+    batched: bool
+    served: int
+    workers: int = 0
+    monitors: Optional[MonitorSuite] = None
+    checkpoint: Optional[Dict] = None
+
+    @property
+    def event_counts(self) -> Dict[str, int]:
+        """Events emitted per kind (from the probe counters, so exact
+        even after ring-buffer eviction)."""
+        counts: Dict[str, int] = {}
+        prefix = "events_"
+        for name in self.instruments.names():
+            if name.startswith(prefix):
+                counts[name[len(prefix):]] = self.instruments.counter(name).value
+        return counts
+
+    @property
+    def registry_totals(self) -> Dict[str, AccessStats]:
+        """Per-structure access totals summed over every shard.
+
+        Structure names collide across shards by design (every shard is
+        the same circuit), and the tracer's attribution sums the same
+        way — per name, over all components — so these are the
+        reconciliation reference.
+        """
+        totals: Dict[str, AccessStats] = {}
+        for store in self.fabric.stores:
+            registry = store.circuit.registry
+            for name in registry.names():
+                stats = registry[name]
+                merged = totals.setdefault(name, AccessStats())
+                merged.record_bulk(reads=stats.reads, writes=stats.writes)
+        return totals
+
+    @property
+    def reconciliation(self) -> Dict[str, int]:
+        """Traced-vs-registry access totals (equal on a correct trace)."""
+        return {
+            "traced": self.tracer.attributed_grand_total().total,
+            "registry": sum(
+                stats.total for stats in self.registry_totals.values()
+            ),
+        }
+
+    @property
+    def reconciled(self) -> bool:
+        """True when every shard-registry access is attributed to an
+        event — including those performed in worker processes, whose
+        deltas ride home on the ``shard_enqueue`` events."""
+        traced = self.tracer.attributed_totals()
+        for name, stats in self.registry_totals.items():
+            mine = traced.get(name)
+            got = (mine.reads, mine.writes) if mine else (0, 0)
+            if got != (stats.reads, stats.writes):
+                return False
+        return True
+
+    def report(self) -> str:
+        """The human-readable run report."""
+        mode = "batched fast-mode" if self.batched else "per-op"
+        manager = self.fabric.manager
+        notes = [
+            f"tracer: {self.tracer.emitted} events emitted, "
+            f"{self.tracer.dropped} evicted from the ring buffer",
+            f"fabric: occupancies {self.fabric.occupancies()}, "
+            f"{manager.spill_count} spills, "
+            f"{manager.rebalance_count} rebalances "
+            f"({manager.flows_moved} flows moved), "
+            f"{self.fabric.tournament.comparisons} tournament comparisons",
+        ]
+        if self.workers:
+            notes.append(f"workers: {self.workers}-process enqueues")
+        if self.checkpoint is not None:
+            verdict = (
+                "identical"
+                if self.checkpoint["resumed_match"]
+                else "DIVERGED"
+            )
+            notes.append(
+                f"checkpoint: snapshot at op "
+                f"{self.checkpoint['ops_at_checkpoint']} -> "
+                f"{self.checkpoint['path']}; restored replay {verdict} "
+                f"over {self.checkpoint['resumed_ops']} ops"
+            )
+        if self.monitors is not None:
+            notes.append(self.monitors.summary())
+        return run_report(
+            title=(
+                f"fabric soak: {self.ops} ops over {self.fabric.shards} "
+                f"shard(s) ({mode}), seed {self.seed}"
+            ),
+            totals=self.registry_totals,
+            instruments=self.instruments,
+            event_counts=self.event_counts,
+            reconciliation=self.reconciliation,
+            dropped=self.tracer.dropped,
+            notes=notes,
+        )
+
+    def to_document(self) -> Dict:
+        """The JSON-format report (one output convention with the
+        artifact CLI's ``--format json``)."""
+        manager = self.fabric.manager
+        return {
+            "workload": {
+                "ops": self.ops,
+                "seed": self.seed,
+                "mode": "batched" if self.batched else "per_op",
+                "granularity": self.fabric.granularity,
+                "served": self.served,
+            },
+            "fabric": {
+                "shards": self.fabric.shards,
+                "occupancies": self.fabric.occupancies(),
+                "pushes": self.fabric.pushes,
+                "pops": self.fabric.pops,
+                "spills": manager.spill_count,
+                "rebalances": manager.rebalance_count,
+                "flows_moved": manager.flows_moved,
+                "tournament_comparisons": self.fabric.tournament.comparisons,
+                "workers": self.workers,
+                "cycles_makespan": self.fabric.cycles,
+                "cycles_total": self.fabric.cycles_total,
+            },
+            "totals": {
+                name: stats.to_dict()
+                for name, stats in self.registry_totals.items()
+            },
+            "event_counts": self.event_counts,
+            "instruments": self.instruments.summaries(),
+            "reconciliation": {
+                **self.reconciliation,
+                "exact": self.reconciled,
+            },
+            "tracer": {
+                "emitted": self.tracer.emitted,
+                "dropped": self.tracer.dropped,
+            },
+            "checkpoint": self.checkpoint,
+            "monitors": (
+                None
+                if self.monitors is None
+                else {
+                    "checked": self.monitors.checked,
+                    "ok": self.monitors.ok,
+                    "violations": [
+                        violation.to_dict()
+                        for violation in self.monitors.violations
+                    ],
+                }
+            ),
+        }
+
+
+def run_fabric_soak(
+    *,
+    ops: int = 10_000,
+    seed: int = 20060101,
+    shards: int = 4,
+    flows: int = 256,
+    granularity: float = 8.0,
+    batched: bool = False,
+    workers: int = 0,
+    trace_sink: Optional[str] = None,
+    buffer_size: int = 65536,
+    monitor: bool = False,
+    checkpoint_path: Optional[str] = None,
+) -> FabricRun:
+    """Drive a traced fabric soak and return its telemetry.
+
+    ``batched=True`` exercises the coalesced paths (grouped per-shard
+    inserts, fence-bounded tournament drains); ``workers`` additionally
+    fans the batched enqueue groups out to that many processes via the
+    checkpoint API.  ``monitor=True`` screens the interleaved
+    multi-store event stream through the per-component invariant
+    monitors (every shard's config is identical, so shard 0's circuit
+    parameterizes the suite).
+
+    ``checkpoint_path`` splits the soak in half: the fabric is
+    snapshotted to that file mid-run, a second fabric is restored from
+    the JSON on disk, and both serve the remaining operations — the
+    returned run's ``checkpoint["resumed_match"]`` records whether the
+    two service sequences were identical (the restore-fidelity
+    acceptance check, and the mechanism shard migration relies on).
+    """
+    probes = StandardProbes()
+    tracer = Tracer(
+        buffer_size=buffer_size, sink=trace_sink, observers=[probes]
+    )
+    fabric = ScheduleFabric(
+        shards=shards,
+        granularity=granularity,
+        fast_mode=batched,
+        tracer=tracer,
+    )
+    tracer.write_header(
+        build_trace_header(
+            seed=seed,
+            mode="batched" if batched else "per_op",
+            config=fabric.describe(),
+            ops=ops,
+            buffer_size=buffer_size,
+        )
+    )
+    suite: Optional[MonitorSuite] = None
+    if monitor:
+        suite = MonitorSuite.for_circuit(
+            fabric.stores[0].circuit, tracer=tracer
+        )
+        tracer.add_observer(suite)
+    if workers:
+        fabric.use_workers(workers)
+    stream = make_flow_ops(ops, seed, flows=flows)
+    drive = _drive_batched if batched else _drive_per_op
+    checkpoint_doc: Optional[Dict] = None
+    try:
+        if checkpoint_path:
+            split = len(stream) // 2
+            served = drive(fabric, stream[:split])
+            state = fabric.to_state()
+            with open(checkpoint_path, "w", encoding="utf-8") as handle:
+                json.dump(state, handle)
+                handle.write("\n")
+            with open(checkpoint_path, "r", encoding="utf-8") as handle:
+                restored = ScheduleFabric.from_state(json.load(handle))
+            tail = stream[split:]
+            resumed = drive(fabric, tail)
+            served.extend(resumed)
+            replayed = drive(restored, tail)
+            checkpoint_doc = {
+                "path": checkpoint_path,
+                "ops_at_checkpoint": split,
+                "resumed_ops": len(tail),
+                "resumed_match": replayed == resumed,
+            }
+        else:
+            served = drive(fabric, stream)
+    finally:
+        fabric.close_workers()
+        tracer.flush()
+        tracer.close()
+    return FabricRun(
+        tracer=tracer,
+        fabric=fabric,
+        instruments=probes.instruments,
+        ops=ops,
+        seed=seed,
+        batched=batched,
+        served=len(served),
+        workers=workers,
+        monitors=suite,
+        checkpoint=checkpoint_doc,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fabric",
+        description=(
+            "Run a traced mixed soak through the sharded scheduling "
+            "fabric and export its telemetry (JSONL trace, metrics, "
+            "run report, optional mid-run checkpoint/restore check)."
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="independent circuits"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=10_000, help="operations in the soak"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20060101, help="workload seed"
+    )
+    parser.add_argument(
+        "--flows",
+        type=int,
+        default=256,
+        help="flow-id population the workload draws from",
+    )
+    parser.add_argument(
+        "--granularity", type=float, default=8.0, help="tag quantum"
+    )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="use the coalesced paths (grouped inserts, fenced drains)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "fan batched enqueues out to this many processes "
+            "(0 = in-process; implies --batched semantics for enqueues)"
+        ),
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="stream the JSONL event trace here"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a Prometheus-style metrics snapshot here",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help=(
+            "snapshot the fabric to this JSON file mid-soak, restore a "
+            "second fabric from it, replay the rest on both, and exit 1 "
+            "unless the service sequences match"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the run report here (default: stdout)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="run-report format",
+    )
+    parser.add_argument(
+        "--buffer-size",
+        type=int,
+        default=65536,
+        help="tracer ring-buffer capacity",
+    )
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "screen every event through the per-component invariant "
+            "monitors; exit 1 on any violated fabric guarantee"
+        ),
+    )
+    parser.add_argument(
+        "--allow-lossy",
+        action="store_true",
+        help=(
+            "exit 0 even when the ring buffer evicted events (a "
+            "streaming --trace sink still captures the full stream)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    batched = args.batched or args.workers > 0
+    run = run_fabric_soak(
+        ops=args.ops,
+        seed=args.seed,
+        shards=args.shards,
+        flows=args.flows,
+        granularity=args.granularity,
+        batched=batched,
+        workers=args.workers,
+        trace_sink=args.trace,
+        buffer_size=args.buffer_size,
+        monitor=args.monitor,
+        checkpoint_path=args.checkpoint,
+    )
+
+    if args.format == "json":
+        report = json.dumps(run.to_document(), indent=2) + "\n"
+    else:
+        report = run.report()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_snapshot(run.instruments))
+
+    status = 0
+    if not run.reconciled:
+        print(
+            "FAIL: trace deltas do not reconcile with the summed "
+            "per-shard stats registries",
+            file=sys.stderr,
+        )
+        status = 1
+    if run.monitors is not None and not run.monitors.ok:
+        print(
+            f"FAIL: {len(run.monitors.violations)} invariant "
+            f"violation(s) — see the run report",
+            file=sys.stderr,
+        )
+        status = 1
+    if run.checkpoint is not None and not run.checkpoint["resumed_match"]:
+        print(
+            "FAIL: the fabric restored from the checkpoint served a "
+            "different sequence than the original",
+            file=sys.stderr,
+        )
+        status = 1
+    if run.tracer.dropped and not args.allow_lossy:
+        print(
+            f"FAIL: {run.tracer.dropped} events evicted from the ring "
+            f"buffer (raise --buffer-size, or pass --allow-lossy if a "
+            f"--trace sink captured the stream)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

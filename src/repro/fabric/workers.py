@@ -1,0 +1,100 @@
+"""Process-parallel batch enqueue, built on the checkpoint API.
+
+The shards of a :class:`~repro.fabric.fabric.ScheduleFabric` are
+independent circuits, so a batched enqueue's per-shard groups have no
+shared state — they can run in separate OS processes.  Each job ships a
+shard's full :meth:`~repro.net.hardware_store.HardwareTagStore.to_state`
+snapshot (plain dicts and lists: picklable by construction) to a worker,
+which restores the store, runs the group as one ordinary
+``push_batch``, and ships the post-batch snapshot back.  The parent
+then :meth:`load_state`\\ s the result — the in-place stats restore
+means the parent's registries and any attached tracer views stay live.
+
+Workers run untraced (a tracer cannot cross the process boundary), so
+each job also returns the per-structure read/write deltas its batch
+produced; the fabric attaches them to the ``shard_enqueue`` event so a
+traced run still reconciles event deltas against registry totals
+exactly.
+
+This backend demonstrates shard *migration* more than wall-clock speed:
+snapshot shipping costs more than the simulated insert work it
+parallelizes for all but very large batches.  The modeled (cycle-count)
+scale-out is identical to the in-process backend's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from ..hwsim.stats import AccessStats
+from ..net.hardware_store import HardwareTagStore
+
+
+def _push_batch_worker(job) -> Tuple[dict, Dict[str, dict]]:
+    """One worker job: restore a shard, push its group, snapshot back.
+
+    Module-level (not a closure) so every multiprocessing start method
+    can pickle it.  Returns ``(new_state, deltas)`` where ``deltas``
+    maps structure name → ``{"reads": int, "writes": int}`` for the
+    batch's memory traffic (the parent re-wraps them as
+    :class:`~repro.hwsim.stats.AccessStats`).
+    """
+    state, items = job
+    store = HardwareTagStore.from_state(state)
+    before = store.circuit.registry.snapshot_all()
+    store.push_batch(items)
+    deltas = store.circuit.registry.deltas_since(before)
+    return store.to_state(), {
+        name: {"reads": delta.reads, "writes": delta.writes}
+        for name, delta in deltas.items()
+    }
+
+
+class FabricWorkerPool:
+    """A small multiprocessing pool running :func:`_push_batch_worker`.
+
+    Prefers the ``fork`` start method (cheap, inherits ``sys.path``) and
+    falls back to the platform default where fork is unavailable.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError("worker pool needs at least 1 process")
+        self.workers = workers
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        self._pool = context.Pool(processes=workers)
+
+    def push_batches(
+        self, jobs: List[Tuple[dict, list]]
+    ) -> List[Tuple[dict, Dict[str, AccessStats]]]:
+        """Run the jobs across the pool, preserving job order."""
+        results = self._pool.map(_push_batch_worker, jobs)
+        return [
+            (
+                state,
+                {
+                    name: AccessStats(
+                        reads=entry["reads"], writes=entry["writes"]
+                    )
+                    for name, entry in deltas.items()
+                },
+            )
+            for state, deltas in results
+        ]
+
+    def close(self) -> None:
+        """Shut the pool down and reap the worker processes."""
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "FabricWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

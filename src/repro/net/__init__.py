@@ -7,6 +7,7 @@ from .admission import (
 )
 from .buffer import SharedPacketBuffer
 from .dual_circuit import HardwareWF2QPlusSystem
+from .fabric_system import FabricSchedulerSystem
 from .hardware_store import HardwareTagStore
 from .metrics import (
     DelayStats,
@@ -37,6 +38,7 @@ __all__ = [
     "ServiceLevelAgreement",
     "SharedPacketBuffer",
     "HardwareWF2QPlusSystem",
+    "FabricSchedulerSystem",
     "HardwareTagStore",
     "DelayStats",
     "gps_lag",

@@ -352,6 +352,68 @@ class HardwareTagStore:
         return self.circuit.count
 
     # ------------------------------------------------------------------
+    # checkpoint / restore (shard migration, process-parallel backends)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot: circuit state + wrap bookkeeping.
+
+        Everything the Fig. 6 wrap discipline tracks outside the circuit
+        — clear frontier, unwrapped service floor, clamp counters — is
+        captured alongside the full circuit snapshot, so a restored
+        store resumes mid-lap with identical behaviour and accounting.
+        """
+        return {
+            "kind": "hardware_tag_store",
+            "granularity": self.granularity,
+            "frontier": self._frontier,
+            "last_served_unwrapped": self._last_served_unwrapped,
+            "min_inserted_unwrapped": self._min_inserted_unwrapped,
+            "sections_cleared": self.sections_cleared,
+            "markers_purged": self.markers_purged,
+            "clamped_inserts": self.clamped_inserts,
+            "clamp_error_quanta": self.clamp_error_quanta,
+            "circuit": self.circuit.to_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "hardware_tag_store":
+            raise ConfigurationError(
+                f"not a tag store snapshot: kind={state.get('kind')!r}"
+            )
+        if state["granularity"] != self.granularity:
+            raise ConfigurationError(
+                f"snapshot granularity {state['granularity']} != "
+                f"{self.granularity}"
+            )
+        self.circuit.load_state(state["circuit"])
+        self._frontier = state["frontier"]
+        self._last_served_unwrapped = state["last_served_unwrapped"]
+        self._min_inserted_unwrapped = state["min_inserted_unwrapped"]
+        self.sections_cleared = state["sections_cleared"]
+        self.markers_purged = state["markers_purged"]
+        self.clamped_inserts = state["clamped_inserts"]
+        self.clamp_error_quanta = state["clamp_error_quanta"]
+
+    @classmethod
+    def from_state(cls, state: dict, *, tracer=None) -> "HardwareTagStore":
+        """Reconstruct a store from a :meth:`to_state` snapshot."""
+        config = state["circuit"]["config"]
+        fmt = WordFormat(
+            levels=config["levels"], literal_bits=config["literal_bits"]
+        )
+        store = cls(
+            fmt=fmt,
+            granularity=state["granularity"],
+            capacity=config["capacity"],
+            fast_mode=config["fast_mode"],
+        )
+        store.load_state(state)
+        if tracer is not None:
+            store.attach_tracer(tracer)
+        return store
+
+    # ------------------------------------------------------------------
     # telemetry
 
     @property

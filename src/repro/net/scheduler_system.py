@@ -84,26 +84,23 @@ class HardwareWFQSystem(PacketScheduler):
         needs.
         """
         if self._store is None:
-            granularity = self._explicit_granularity
-            if granularity is None:
-                min_weight = min(
-                    (flow.weight for flow in self.flows), default=1.0
-                )
-                worst_increment = (
-                    self.AUTO_GRANULARITY_MAX_BYTES * 8 / min_weight
-                )
-                half_space = self._fmt.capacity // 2
-                granularity = (
-                    self.AUTO_GRANULARITY_HEADROOM * worst_increment / half_space
-                )
             self._store = HardwareTagStore(
                 fmt=self._fmt,
-                granularity=granularity,
+                granularity=self._resolve_granularity(),
                 capacity=self._buffer_capacity,
                 fast_mode=self._fast_mode,
                 tracer=self._tracer,
             )
         return self._store
+
+    def _resolve_granularity(self) -> float:
+        """The tag quantum: explicit, or auto-sized from the flow table."""
+        if self._explicit_granularity is not None:
+            return self._explicit_granularity
+        min_weight = min((flow.weight for flow in self.flows), default=1.0)
+        worst_increment = self.AUTO_GRANULARITY_MAX_BYTES * 8 / min_weight
+        half_space = self._fmt.capacity // 2
+        return self.AUTO_GRANULARITY_HEADROOM * worst_increment / half_space
 
     def attach_tracer(self, tracer) -> None:
         """Trace the underlying store/circuit (applies on store creation

@@ -34,6 +34,7 @@ or by passing ``tracer=`` to the circuit, the
 
 from .diff import TraceCompatibilityError, TraceDiff, diff_traces
 from .events import (
+    FABRIC_KINDS,
     FOOTER_KIND,
     HEADER_KIND,
     INVARIANT_KIND,
@@ -57,10 +58,12 @@ from .monitors import MonitorConfig, MonitorSuite, Violation, check_trace
 from .probes import StandardProbes
 from .profiler import Profile, profile_events
 from .timeline import build_timeline, write_timeline
-from .tracer import NULL_TRACER, NullTracer, Tracer
+from .tracer import NULL_TRACER, ComponentTracer, NullTracer, Tracer
 
 __all__ = [
+    "ComponentTracer",
     "Counter",
+    "FABRIC_KINDS",
     "FOOTER_KIND",
     "Gauge",
     "HEADER_KIND",

@@ -30,6 +30,12 @@ SPAN_KIND = "span"
 #: Kind emitted by the online invariant monitors when a paper guarantee
 #: is observed broken (:mod:`repro.obs.monitors`).
 INVARIANT_KIND = "invariant_violation"
+#: Kinds emitted by the sharded scheduling fabric (:mod:`repro.fabric`):
+#: flow-to-shard routing, tournament winner selection, online
+#: rebalancing, and overflow spill-to-neighbor.  Shard-local circuit
+#: events keep the :data:`OP_KINDS` above and carry a ``component``
+#: attribute naming their shard.
+FABRIC_KINDS = ("shard_enqueue", "tournament_select", "rebalance", "spill")
 
 #: JSONL trace framing records (not :class:`TraceEvent` samples): the
 #: header is the first line of a versioned trace and carries the schema

@@ -35,7 +35,21 @@ monitor                      paper guarantee
                              stale-section clear never hits a section
                              holding live tags, and a marker flush only
                              happens with the storage empty.
+``fabric_tournament_order``  Fabric (``repro.fabric``) k-way merge: a
+                             shard serves only while no other shard
+                             holds a live tag preceding it (ties to the
+                             lower shard index).  Inert outside fabric
+                             traces.
+``fabric_balance``           Fabric routing bookkeeping: the occupancy
+                             vector each ``rebalance`` event reports
+                             matches the per-shard event streams.
 ===========================  ========================================
+
+Stateful monitors key their reference state by the event's
+``component`` attribute, so a fabric trace interleaving N shards is
+screened as N independent stores plus the two cross-shard checks; a
+single-circuit trace (no ``component``) collapses to one key and
+behaves exactly as before.
 
 A :class:`MonitorSuite` is a :class:`~repro.obs.tracer.Tracer` observer:
 attach it and every emitted event is screened *while the soak runs*.
@@ -69,6 +83,29 @@ from .events import INVARIANT_KIND, SPAN_KIND, TraceEvent
 
 #: Registry name of the linked-list tag storage (paper Figs. 9/10).
 STORAGE = "tag_storage"
+
+#: Component label prefix of shard-local events in fabric traces.
+_SHARD_PREFIX = "shard"
+
+
+def _component(event: TraceEvent) -> str:
+    """The emitting component: ``"shardN"`` in fabric traces, else ``""``.
+
+    Stateful monitors key their reference state (occupancy ledger,
+    serve watermark, live-tag sets) by component, so interleaved
+    multi-store traces are screened per store — a single-circuit trace
+    collapses to the one ``""`` key and behaves exactly as before.
+    """
+    return event.attrs.get("component", "")
+
+
+def _shard_index(component: str) -> Optional[int]:
+    """Parse ``"shardN"`` → ``N`` (None for non-shard components)."""
+    if component.startswith(_SHARD_PREFIX):
+        suffix = component[len(_SHARD_PREFIX):]
+        if suffix.isdigit():
+            return int(suffix)
+    return None
 
 
 @dataclass(frozen=True)
@@ -243,20 +280,23 @@ class FreeListConservationMonitor(_Monitor):
 
     def __init__(self, config: MonitorConfig) -> None:
         super().__init__(config)
-        self._expected: Optional[int] = None
+        #: per-component occupancy ledger (fabric traces interleave
+        #: shards; each shard's slots are conserved independently)
+        self._expected: Dict[str, int] = {}
 
     def check(self, event: TraceEvent) -> Optional[str]:
         step = self._OCCUPANCY_STEP.get(event.kind)
         if step is not None:
             occupancy = event.attrs.get("occupancy")
+            expected = self._expected.get(_component(event))
             if (
                 occupancy is not None
-                and self._expected is not None
-                and occupancy != self._expected + step
+                and expected is not None
+                and occupancy != expected + step
             ):
                 return (
                     f"occupancy {occupancy} after {event.kind}, expected "
-                    f"{self._expected + step} (allocations − releases must "
+                    f"{expected + step} (allocations − releases must "
                     f"equal the occupancy delta, Fig. 10)"
                 )
         if event.kind == "dequeue" and event.deltas:
@@ -285,7 +325,7 @@ class FreeListConservationMonitor(_Monitor):
             return
         occupancy = event.attrs.get("occupancy")
         if occupancy is not None:
-            self._expected = occupancy
+            self._expected[_component(event)] = occupancy
 
     def on_violation(self, event: TraceEvent) -> None:
         # Re-anchor the ledger to the observed occupancy so each later
@@ -293,7 +333,7 @@ class FreeListConservationMonitor(_Monitor):
         # mismatches descending from one bad op.
         occupancy = event.attrs.get("occupancy")
         if occupancy is not None:
-            self._expected = occupancy
+            self._expected[_component(event)] = occupancy
 
 
 class MonotonicityMonitor(_Monitor):
@@ -303,7 +343,10 @@ class MonotonicityMonitor(_Monitor):
 
     def __init__(self, config: MonitorConfig) -> None:
         super().__init__(config)
-        self._last: Optional[int] = None
+        #: per-component serve watermark (each store in a multi-store
+        #: trace serves monotonically on its own; the cross-shard order
+        #: is the fabric-order monitor's job)
+        self._last: Dict[str, int] = {}
         #: inactive for a non-modular eager circuit: that is the
         #: general-purpose priority-queue configuration, which drops the
         #: WFQ monotonicity requirement by design.
@@ -320,20 +363,23 @@ class MonotonicityMonitor(_Monitor):
         if not self._active:
             return None
         tag = self._served_tag(event)
-        if tag is None or self._last is None:
+        if tag is None:
+            return None
+        last = self._last.get(_component(event))
+        if last is None:
             return None
         if self.config.modular:
             space = self.config.tag_space
-            distance = (tag - self._last) % space
+            distance = (tag - last) % space
             if distance >= space // 2:
                 return (
                     f"served tag {tag} is behind the previous serve "
-                    f"{self._last} (wrapped distance {distance} ≥ "
+                    f"{last} (wrapped distance {distance} ≥ "
                     f"{space // 2}): min-tag service went backwards"
                 )
-        elif tag < self._last:
+        elif tag < last:
             return (
-                f"served tag {tag} below the previous serve {self._last}: "
+                f"served tag {tag} below the previous serve {last}: "
                 f"min-tag service went backwards"
             )
         return None
@@ -341,17 +387,18 @@ class MonotonicityMonitor(_Monitor):
     def update(self, event: TraceEvent) -> None:
         if not self._active:
             return
+        component = _component(event)
         if event.kind == "marker_flush":
             # A flush marks a drained circuit; the next busy period may
             # restart at lower tags.
-            self._last = None
+            self._last.pop(component, None)
             return
         tag = self._served_tag(event)
         if tag is not None:
-            self._last = tag
+            self._last[component] = tag
             if event.attrs.get("occupancy") == 0:
                 # Drained: the watermark no longer binds future serves.
-                self._last = None
+                self._last.pop(component, None)
 
 
 class CoverageMonitor(_Monitor):
@@ -361,19 +408,28 @@ class CoverageMonitor(_Monitor):
 
     def __init__(self, config: MonitorConfig) -> None:
         super().__init__(config)
-        self._live: Counter = Counter()
+        #: per-component live-tag multiset (shards hold disjoint storage)
+        self._live: Dict[str, Counter] = {}
+
+    def _live_for(self, event: TraceEvent) -> Counter:
+        component = _component(event)
+        live = self._live.get(component)
+        if live is None:
+            live = self._live[component] = Counter()
+        return live
 
     def check(self, event: TraceEvent) -> Optional[str]:
+        live_tags = self._live_for(event)
         if event.kind == "dequeue":
             tag = event.attrs.get("tag")
-            if tag is not None and self._live[tag] <= 0:
+            if tag is not None and live_tags[tag] <= 0:
                 return (
                     f"served tag {tag} has no live insert: the head link "
                     f"or its translation entry points at a dead value"
                 )
         elif event.kind == "insert_dequeue":
             tag = event.attrs.get("served_tag")
-            if tag is not None and self._live[tag] <= 0:
+            if tag is not None and live_tags[tag] <= 0:
                 return (
                     f"served tag {tag} has no live insert: the head link "
                     f"or its translation entry points at a dead value"
@@ -385,8 +441,8 @@ class CoverageMonitor(_Monitor):
                 high = low + (1 << self.config.section_bits)
                 live = [
                     value
-                    for value in self._live
-                    if low <= value < high and self._live[value] > 0
+                    for value in live_tags
+                    if low <= value < high and live_tags[value] > 0
                 ]
                 if live:
                     return (
@@ -395,7 +451,7 @@ class CoverageMonitor(_Monitor):
                         f"the Fig. 6 wrap discipline was broken"
                     )
         elif event.kind == "marker_flush":
-            live = sum(self._live.values())
+            live = sum(live_tags.values())
             if live:
                 return (
                     f"marker flush with {live} live tag(s) in storage: "
@@ -404,25 +460,162 @@ class CoverageMonitor(_Monitor):
         return None
 
     def update(self, event: TraceEvent) -> None:
+        live_tags = self._live_for(event)
         if event.kind == "insert":
             tag = event.attrs.get("tag")
             if tag is not None:
-                self._live[tag] += 1
+                live_tags[tag] += 1
         elif event.kind == "dequeue":
             tag = event.attrs.get("tag")
             if tag is not None:
-                self._live[tag] -= 1
-                if self._live[tag] <= 0:
-                    del self._live[tag]
+                live_tags[tag] -= 1
+                if live_tags[tag] <= 0:
+                    del live_tags[tag]
         elif event.kind == "insert_dequeue":
             tag = event.attrs.get("tag")
             served = event.attrs.get("served_tag")
             if tag is not None:
-                self._live[tag] += 1
+                live_tags[tag] += 1
             if served is not None:
-                self._live[served] -= 1
-                if self._live[served] <= 0:
-                    del self._live[served]
+                live_tags[served] -= 1
+                if live_tags[served] <= 0:
+                    del live_tags[served]
+
+
+class FabricOrderMonitor(_Monitor):
+    """Fabric tournament correctness: every serve is the global minimum.
+
+    Cross-shard counterpart of ``serve_monotonic``: a dequeue from shard
+    X with tag T is legal only when no other shard holds a live tag that
+    precedes T — ties allowed only when X has the lower shard index (the
+    tournament's deterministic tie rule).  Inert outside fabric traces
+    (it watches only events whose ``component`` is a ``shardN`` label),
+    and no false positives from late low tags: an insert behind the
+    global watermark raises each shard's *live set*, which is exactly
+    what the check consults.
+    """
+
+    name = "fabric_tournament_order"
+
+    def __init__(self, config: MonitorConfig) -> None:
+        super().__init__(config)
+        self._live: Dict[str, Counter] = {}
+
+    def _precedes(self, a: int, b: int) -> bool:
+        if self.config.modular:
+            space = self.config.tag_space
+            return (a - b) % space >= space // 2
+        return a < b
+
+    def check(self, event: TraceEvent) -> Optional[str]:
+        if event.kind != "dequeue":
+            return None
+        component = _component(event)
+        shard = _shard_index(component)
+        tag = event.attrs.get("tag")
+        if shard is None or tag is None:
+            return None
+        for other, live in self._live.items():
+            other_shard = _shard_index(other)
+            if other_shard is None or other_shard == shard:
+                continue
+            for value, count in live.items():
+                if count <= 0:
+                    continue
+                if self._precedes(value, tag) or (
+                    value == tag and other_shard < shard
+                ):
+                    return (
+                        f"shard{shard} served tag {tag} while {other} "
+                        f"held live tag {value}: the tournament did not "
+                        f"select the global minimum"
+                    )
+        return None
+
+    def update(self, event: TraceEvent) -> None:
+        component = _component(event)
+        if _shard_index(component) is None:
+            return
+        live = self._live.get(component)
+        if live is None:
+            live = self._live[component] = Counter()
+        tag = event.attrs.get("tag")
+        if event.kind == "insert":
+            if tag is not None:
+                live[tag] += 1
+        elif event.kind == "dequeue":
+            if tag is not None:
+                live[tag] -= 1
+                if live[tag] <= 0:
+                    del live[tag]
+        elif event.kind == "insert_dequeue":
+            served = event.attrs.get("served_tag")
+            if tag is not None:
+                live[tag] += 1
+            if served is not None:
+                live[served] -= 1
+                if live[served] <= 0:
+                    del live[served]
+
+
+class FabricBalanceMonitor(_Monitor):
+    """Fabric occupancy-balance bookkeeping stays consistent.
+
+    Maintains a per-shard occupancy ledger from the shard-local op
+    events (worker-mode batches, which emit no per-op events, advance
+    the ledger via their ``shard_enqueue`` counts) and cross-checks the
+    occupancy vector every ``rebalance`` event reports.  A mismatch
+    means the fabric's balance decisions were taken on occupancies that
+    do not match what the shards actually did — routing state drift.
+    Inert outside fabric traces.
+    """
+
+    name = "fabric_balance"
+
+    _STEP_KINDS = ("insert", "dequeue", "insert_dequeue")
+
+    def __init__(self, config: MonitorConfig) -> None:
+        super().__init__(config)
+        self._ledger: Dict[int, int] = {}
+
+    def check(self, event: TraceEvent) -> Optional[str]:
+        if event.kind != "rebalance":
+            return None
+        occupancies = event.attrs.get("occupancies")
+        if not occupancies:
+            return None
+        for shard, occupancy in enumerate(occupancies):
+            known = self._ledger.get(shard)
+            if known is not None and known != occupancy:
+                return (
+                    f"rebalance reported occupancy {occupancy} for "
+                    f"shard{shard} but its event stream accounts for "
+                    f"{known}: balance decisions drifted from shard state"
+                )
+        return None
+
+    def update(self, event: TraceEvent) -> None:
+        if event.kind in self._STEP_KINDS:
+            shard = _shard_index(_component(event))
+            occupancy = event.attrs.get("occupancy")
+            if shard is not None and occupancy is not None:
+                self._ledger[shard] = occupancy
+        elif event.kind == "shard_enqueue" and event.attrs.get("worker"):
+            # Worker-mode batches run out of process: no per-op events,
+            # so the batch count advances the ledger instead.  A shard
+            # never seen before stays unknown (we cannot assume it was
+            # empty — the fabric may have been restored mid-run).
+            shard = event.attrs.get("shard")
+            count = event.attrs.get("count")
+            if shard in self._ledger and count is not None:
+                self._ledger[shard] += int(count)
+
+    def on_violation(self, event: TraceEvent) -> None:
+        # Resync to the reported vector so one drift is one violation.
+        occupancies = event.attrs.get("occupancies") or []
+        for shard, occupancy in enumerate(occupancies):
+            if shard in self._ledger:
+                self._ledger[shard] = occupancy
 
 
 #: Evaluation order: the most specific diagnosis claims the event.
@@ -432,11 +625,13 @@ MONITOR_CLASSES = (
     FreeListConservationMonitor,
     MonotonicityMonitor,
     CoverageMonitor,
+    FabricOrderMonitor,
+    FabricBalanceMonitor,
 )
 
 
 class MonitorSuite:
-    """All five invariant monitors behind one tracer-observer callable.
+    """All invariant monitors behind one tracer-observer callable.
 
     Attach to a :class:`~repro.obs.tracer.Tracer` via ``observers=`` (or
     :meth:`Tracer.add_observer`); pass the tracer back via ``tracer=``
@@ -512,12 +707,23 @@ class MonitorSuite:
             message=message,
             attrs={
                 key: event.attrs[key]
-                for key in ("tag", "served_tag", "root_literal", "count")
+                for key in (
+                    "tag",
+                    "served_tag",
+                    "root_literal",
+                    "count",
+                    "component",
+                    "shard",
+                )
                 if key in event.attrs
             },
         )
         self.violations.append(violation)
         if self._tracer is not None:
+            extra = {}
+            component = event.attrs.get("component")
+            if component is not None:
+                extra["component"] = component
             self._tracer.event(
                 INVARIANT_KIND,
                 name=monitor.name,
@@ -525,6 +731,7 @@ class MonitorSuite:
                 offender_seq=event.seq,
                 offender_kind=event.kind,
                 message=message,
+                **extra,
             )
 
     @property

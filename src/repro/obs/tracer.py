@@ -92,6 +92,68 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+class ComponentTracer:
+    """A tracer view that stamps every event with a ``component`` attr.
+
+    The sharded fabric attaches one of these per shard, all sharing a
+    single inner :class:`Tracer`: shard-local circuit events keep their
+    ordinary kinds and delta structure (so reconciliation, profiling,
+    and monitoring work unchanged) but gain ``component="shardN"`` for
+    per-shard attribution.  Spans are stamped the same way.  The adapter
+    is intentionally thin — buffering, sinks, observers, and attributed
+    totals all live on the shared inner tracer.
+    """
+
+    __slots__ = ("_inner", "component")
+
+    def __init__(self, inner, component: str) -> None:
+        self._inner = inner
+        self.component = component
+
+    @property
+    def enabled(self) -> bool:
+        """Mirrors the inner tracer (a disabled inner disables the view)."""
+        return getattr(self._inner, "enabled", False)
+
+    @property
+    def inner(self):
+        """The shared underlying tracer."""
+        return self._inner
+
+    def event(self, kind: str, **kwargs: Any) -> Any:
+        """Emit via the inner tracer with the component stamped in."""
+        kwargs.setdefault("component", self.component)
+        return self._inner.event(kind, **kwargs)
+
+    def span(self, name: str, **kwargs: Any) -> Any:
+        """Open a span on the inner tracer with the component stamped in."""
+        kwargs.setdefault("component", self.component)
+        return self._inner.span(name, **kwargs)
+
+    # Passthroughs for duck-typed callers that treat the view as a full
+    # tracer (flush/close are shared-resource operations and therefore
+    # deliberately NOT forwarded — the owner of the inner tracer closes it).
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        return self._inner.events(kind)
+
+    @property
+    def emitted(self) -> int:
+        return self._inner.emitted
+
+    @property
+    def dropped(self) -> int:
+        return self._inner.dropped
+
+    def attributed_totals(self) -> Dict[str, AccessStats]:
+        return self._inner.attributed_totals()
+
+    def flush(self) -> None:
+        """No-op: the inner tracer's owner flushes it."""
+
+    def close(self) -> None:
+        """No-op: the inner tracer's owner closes it."""
+
+
 class _Span:
     """One open span: snapshot on entry, self-delta attribution on exit."""
 

@@ -1,0 +1,50 @@
+"""The bench suite's fabric scale-out phase."""
+
+from repro.bench.perf import (
+    FABRIC_SHARD_SWEEP,
+    _bench_fabric,
+    check_against_baseline,
+    make_flow_ops,
+)
+
+
+def test_flow_ops_shape():
+    ops = make_flow_ops(1_000, 42, flows=32)
+    assert len(ops) == 1_000
+    pushes = [op for op in ops if op[0] == "push"]
+    assert pushes and all(0 <= op[2] < 32 for op in pushes)
+    # Deterministic per seed.
+    assert ops == make_flow_ops(1_000, 42, flows=32)
+    assert ops != make_flow_ops(1_000, 43, flows=32)
+
+
+def test_fabric_phase_reports_sweep_and_speedup():
+    summary, scenarios = _bench_fabric(1_500, 20060101)
+    assert [entry["shards"] for entry in summary["sweep"]] == list(
+        FABRIC_SHARD_SWEEP
+    )
+    assert summary["one_shard_order_identical"] is True
+    # One shard adds no modeled parallelism...
+    assert summary["sweep"][0]["modeled_speedup"] == 1.0
+    # ...wider fabrics shrink the makespan.
+    speedups = [entry["modeled_speedup"] for entry in summary["sweep"]]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0
+    # Single-circuit scenario + one per sweep size.
+    assert len(scenarios) == 1 + len(FABRIC_SHARD_SWEEP)
+
+
+def test_baseline_check_flags_fabric_speedup_regression():
+    baseline = {
+        "preset": "smoke",
+        "scenarios": [],
+        "fabric": {"modeled_speedup": 10.0, "max_shards": 16},
+    }
+    current = {
+        "preset": "smoke",
+        "scenarios": [],
+        "fabric": {"modeled_speedup": 5.0, "max_shards": 16},
+    }
+    problems = check_against_baseline(current, baseline)
+    assert any("fabric modeled speedup" in problem for problem in problems)
+    assert not check_against_baseline(baseline, baseline)

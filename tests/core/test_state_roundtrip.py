@@ -1,0 +1,110 @@
+"""Checkpoint/restore fidelity for the circuit and the tag store.
+
+The contract shard migration relies on: a snapshot restored elsewhere
+must serve the exact sequence the original would have served, and a
+traced continuation must emit the exact event stream — not just the
+same totals — because trace forensics diff restored runs against
+originals operation by operation.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.perf import make_mixed_ops
+from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.words import PAPER_FORMAT
+from repro.net.hardware_store import HardwareTagStore
+from repro.obs.tracer import Tracer
+
+
+def event_fingerprint(event):
+    """Everything observable about one event except emission identity.
+
+    Slot addresses are *included*: a faithful restore reproduces the
+    storage layout exactly, so even the address-bearing attrs match.
+    """
+    deltas = {
+        name: (stats.reads, stats.writes)
+        for name, stats in sorted(event.deltas.items())
+    }
+    return (event.kind, event.name, tuple(sorted(event.attrs.items())), deltas)
+
+
+def test_store_snapshot_resumes_with_identical_service_and_trace():
+    """5k-op soak: snapshot at the midpoint, restore, and require the
+    continued service order AND the continued event stream to match."""
+    ops = make_mixed_ops(5_000, 20060101)
+    split = len(ops) // 2
+    store = HardwareTagStore(granularity=8.0)
+    for op in ops[:split]:
+        if op[0] == "push":
+            store.push(op[1], op[2])
+        else:
+            store.pop_min()
+
+    # Canonicalize through JSON — checkpoints cross process boundaries.
+    state = json.loads(json.dumps(store.to_state()))
+    restored = HardwareTagStore.from_state(state)
+
+    tracer_a = Tracer(buffer_size=200_000)
+    tracer_b = Tracer(buffer_size=200_000)
+    store.attach_tracer(tracer_a)
+    restored.attach_tracer(tracer_b)
+
+    served_a, served_b = [], []
+    for op in ops[split:]:
+        if op[0] == "push":
+            store.push(op[1], op[2])
+            restored.push(op[1], op[2])
+        else:
+            served_a.append(store.pop_min())
+            served_b.append(restored.pop_min())
+
+    assert served_a == served_b
+    assert store.operations == restored.operations
+    assert store.cycles == restored.cycles
+    events_a = [event_fingerprint(e) for e in tracer_a.events()]
+    events_b = [event_fingerprint(e) for e in tracer_b.events()]
+    assert events_a == events_b
+
+
+def test_circuit_snapshot_preserves_drain_order():
+    # The bare circuit enforces at-or-above-minimum inserts (clamping
+    # is the HardwareTagStore layer), so feed it a sorted load.
+    circuit = TagSortRetrieveCircuit(PAPER_FORMAT, capacity=256)
+    for tag in sorted([9, 3, 3, 200, 77, 15, 3, 9]):
+        circuit.insert(tag)
+    circuit.dequeue_min()
+    state = json.loads(json.dumps(circuit.to_state()))
+    restored = TagSortRetrieveCircuit.from_state(state)
+    drained_a = [circuit.dequeue_min() for _ in range(circuit.count)]
+    drained_b = [restored.dequeue_min() for _ in range(restored.count)]
+    assert drained_a == drained_b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tags=st.lists(
+        st.integers(min_value=0, max_value=PAPER_FORMAT.capacity // 2 - 1),
+        min_size=1,
+        max_size=60,
+    ),
+    drains=st.integers(min_value=0, max_value=20),
+)
+def test_circuit_roundtrip_property(tags, drains):
+    """Any reachable circuit state survives snapshot → JSON → restore
+    with an identical remaining service order."""
+    circuit = TagSortRetrieveCircuit(PAPER_FORMAT, capacity=128)
+    for tag in sorted(tags):
+        circuit.insert(tag)
+    for _ in range(min(drains, circuit.count)):
+        circuit.dequeue_min()
+    state = json.loads(json.dumps(circuit.to_state()))
+    restored = TagSortRetrieveCircuit.from_state(state)
+    assert restored.count == circuit.count
+    remaining = circuit.count
+    assert [circuit.dequeue_min() for _ in range(remaining)] == [
+        restored.dequeue_min() for _ in range(remaining)
+    ]

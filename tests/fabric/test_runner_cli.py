@@ -1,0 +1,76 @@
+"""``python -m repro fabric``: the traced fabric-soak driver."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.fabric.runner import main as runner_main, run_fabric_soak
+
+
+def test_soak_reconciles_and_reports(tmp_path):
+    run = run_fabric_soak(ops=2_000, shards=4, batched=True)
+    assert run.reconciled
+    assert run.served > 0
+    report = run.report()
+    assert "fabric soak" in report
+    document = run.to_document()
+    json.dumps(document)
+    assert document["reconciliation"]["exact"] is True
+    assert document["fabric"]["shards"] == 4
+
+
+def test_checkpoint_flow_via_main(tmp_path):
+    checkpoint = tmp_path / "fabric.ckpt.json"
+    output = tmp_path / "report.json"
+    trace = tmp_path / "trace.jsonl"
+    status = runner_main(
+        [
+            "--ops", "2000",
+            "--shards", "4",
+            "--batched",
+            "--monitor",
+            "--checkpoint", str(checkpoint),
+            "--trace", str(trace),
+            "--output", str(output),
+            "--format", "json",
+        ]
+    )
+    assert status == 0
+    assert checkpoint.exists()
+    state = json.loads(checkpoint.read_text().strip())
+    assert state["kind"] == "schedule_fabric"
+    document = json.loads(output.read_text())
+    assert document["checkpoint"]["resumed_match"] is True
+    assert document["monitors"]["ok"] is True
+    assert document["reconciliation"]["exact"] is True
+    assert trace.exists()
+
+
+def test_cli_dispatches_fabric_subcommand(tmp_path, capsys):
+    output = tmp_path / "report.txt"
+    status = cli_main(
+        ["fabric", "--ops", "500", "--shards", "2", "--output", str(output)]
+    )
+    assert status == 0
+    assert "fabric soak" in output.read_text()
+
+
+def test_monitor_flags_seeded_fault(tmp_path, monkeypatch):
+    """A faulty shard must drive the runner to a nonzero exit."""
+    import repro.fabric.runner as runner_module
+    from repro.core.sort_retrieve import FaultInjection
+    from repro.fabric.fabric import ScheduleFabric
+
+    original_init = ScheduleFabric.__init__
+
+    def faulty_init(self, **kwargs):
+        original_init(self, **kwargs)
+        self.stores[1].circuit.fault_injection = FaultInjection(
+            misreport_serve_offset=-2048
+        )
+
+    monkeypatch.setattr(ScheduleFabric, "__init__", faulty_init)
+    status = runner_module.main(
+        ["--ops", "2000", "--shards", "4", "--monitor",
+         "--output", str(tmp_path / "r.txt")]
+    )
+    assert status == 1

@@ -1,0 +1,67 @@
+"""Process-parallel enqueue backend: parity and reconciliation."""
+
+import pytest
+
+from repro.bench.perf import _drive_batched, make_flow_ops
+from repro.fabric.fabric import ScheduleFabric
+from repro.obs.tracer import Tracer
+
+
+def test_workers_match_in_process_backend():
+    """The pool is a pure execution strategy: identical service order,
+    identical operation and cycle counts."""
+    ops = make_flow_ops(2_000, 13)
+    reference = ScheduleFabric(shards=4, granularity=8.0, fast_mode=True)
+    served_reference = _drive_batched(reference, ops)
+
+    fabric = ScheduleFabric(shards=4, granularity=8.0, fast_mode=True)
+    fabric.use_workers(2)
+    try:
+        served = _drive_batched(fabric, ops)
+    finally:
+        fabric.close_workers()
+
+    assert served == served_reference
+    assert fabric.operations == reference.operations
+    assert fabric.cycles == reference.cycles
+    assert fabric.occupancies() == reference.occupancies()
+
+
+def test_worker_deltas_keep_traced_runs_reconciled():
+    """Worker-side registry deltas ride home on shard_enqueue events, so
+    attribution still covers every access in the restored registries."""
+    tracer = Tracer(buffer_size=200_000)
+    fabric = ScheduleFabric(
+        shards=4, granularity=8.0, fast_mode=True, tracer=tracer
+    )
+    fabric.use_workers(2)
+    try:
+        _drive_batched(fabric, make_flow_ops(1_500, 3))
+    finally:
+        fabric.close_workers()
+    traced = tracer.attributed_totals()
+    merged = {}
+    for store in fabric.stores:
+        registry = store.circuit.registry
+        for name in registry.names():
+            stats = registry[name]
+            reads, writes = merged.get(name, (0, 0))
+            merged[name] = (reads + stats.reads, writes + stats.writes)
+    for name, (reads, writes) in merged.items():
+        mine = traced.get(name)
+        got = (mine.reads, mine.writes) if mine else (0, 0)
+        assert got == (reads, writes), name
+    worker_events = tracer.events("shard_enqueue")
+    assert any(event.attrs.get("worker") for event in worker_events)
+
+
+def test_close_workers_is_idempotent():
+    fabric = ScheduleFabric(shards=2, granularity=8.0, fast_mode=True)
+    fabric.use_workers(2)
+    assert fabric.workers == 2
+    fabric.close_workers()
+    fabric.close_workers()
+    assert fabric.workers == 0
+    # In-process path still works after the pool is gone.
+    fabric.push_batch([(1.0, 1), (2.0, 2)])
+    assert len(fabric) == 2

@@ -60,6 +60,13 @@ class TestExamples:
         assert "reject" in out
         assert "NO" not in out.split("within bound")[-1]
 
+    def test_fabric_scaleout(self, capsys):
+        out = run_example("fabric_scaleout", capsys)
+        assert "modeled speedup" in out
+        assert "multiset conserved" in out
+        assert "identical after restore" in out
+        assert "DIVERGED" not in out
+
     def test_every_example_has_a_test(self):
         """Adding an example without a smoke test fails this meta-check."""
         scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
