@@ -14,12 +14,16 @@ import time
 from repro.bench.perf import (
     _sorted_tags,
     check_against_baseline,
+    machine_mismatch_warnings,
     main,
     run_bench,
 )
 from repro.core.matching import ALL_MATCHERS
-from repro.core.sort_retrieve import TagSortRetrieveCircuit
+from repro.core.matching.base import MatchResult
+from repro.core.sort_retrieve import ServedTag, TagSortRetrieveCircuit
+from repro.core.tree import SearchOutcome
 from repro.core.words import PAPER_FORMAT
+from repro.obs.events import TraceEvent
 
 
 def test_smoke_preset_structure(report):
@@ -45,9 +49,24 @@ def test_smoke_preset_structure(report):
     headline = document["headline"]
     assert headline["served_orders_identical"] is True
     assert headline["per_op"]["ops"] == headline["batched"]["ops"]
+    turbo = document["turbo"]
+    assert turbo["served_orders_identical"] is True
+    assert turbo["accounting_identical"] is True
+    # Exact parity: the turbo engine's per-op accounting is the gate
+    # engine's, to the fourth decimal the document rounds to.
+    for metric in ("accesses_per_op", "cycles_per_op"):
+        assert turbo["turbo_per_op"][metric] == turbo["gate_per_op"][metric]
+        assert turbo["turbo_batched"][metric] == turbo["gate_batched"][metric]
+    assert turbo["head_cache_hits"] >= 0
+    assert document["mode"] == "gate"
+    machine = document["machine"]
+    assert machine["python"] and machine["platform"]
+    assert machine["cpu_count"] >= 1
+    assert machine["calibration_ops_per_second"] > 0
     report(
         f"smoke headline speedup: {headline['speedup']}x "
-        f"({headline['batched']['ops_per_second']:,.0f} ops/s batched)"
+        f"({headline['batched']['ops_per_second']:,.0f} ops/s batched); "
+        f"turbo {turbo['speedup']}x over gate per-op"
     )
 
 
@@ -66,7 +85,7 @@ def test_check_round_trip(tmp_path):
     assert main(["--smoke", "--output", str(baseline_path)]) == 0
     assert baseline_path.exists()
     document = json.loads(baseline_path.read_text())
-    assert document["schema"] == 4
+    assert document["schema"] == 5
     # since schema 3 the forensic reference trace sits beside the baseline
     assert (tmp_path / "baseline.trace.jsonl").exists()
     assert main(["--smoke", "--check", "--output", str(baseline_path)]) == 0
@@ -92,6 +111,80 @@ def test_check_flags_missing_scenario_and_preset_mismatch():
     mismatched["preset"] = "full"
     problems = check_against_baseline(document, mismatched)
     assert any("preset" in problem for problem in problems)
+    cross_mode = json.loads(json.dumps(document))
+    cross_mode["mode"] = "turbo"
+    problems = check_against_baseline(document, cross_mode)
+    assert any("mode" in problem for problem in problems)
+
+
+def test_machine_header_warns_not_fails():
+    """A cross-machine comparison warns; it never lands in problems."""
+    document = run_bench(preset="smoke", seed=3)
+    moved = json.loads(json.dumps(document))
+    moved["machine"]["platform"] = "somewhere-else"
+    moved["machine"]["cpu_count"] = (document["machine"]["cpu_count"] or 0) + 1
+    assert not check_against_baseline(document, moved)
+    warnings = machine_mismatch_warnings(document, moved)
+    assert any("platform" in w for w in warnings)
+    assert any("cpu_count" in w for w in warnings)
+    assert not machine_mismatch_warnings(document, document)
+
+
+def _wall_doc(ops_per_second, calibration):
+    """A minimal schema-5 document with one long-enough timed scenario."""
+    return {
+        "preset": "smoke",
+        "mode": "gate",
+        "machine": {"calibration_ops_per_second": calibration},
+        "scenarios": [
+            {
+                "name": "mixed_per_op:synthetic",
+                "ops": 100_000,
+                "seconds": 1.0,
+                "ops_per_second": ops_per_second,
+                "accesses_per_op": 7.0,
+                "cycles_per_op": 4.0,
+            }
+        ],
+    }
+
+
+def test_check_normalizes_wall_floors_by_machine_speed():
+    """Same code on a slower machine state passes; a genuine code
+    regression fails even when the machine got faster."""
+    baseline = _wall_doc(100_000.0, calibration=1_000_000.0)
+
+    # Host uniformly 40% slower: throughput and calibration drop together.
+    slow_machine = _wall_doc(60_000.0, calibration=600_000.0)
+    assert not check_against_baseline(slow_machine, baseline)
+
+    # Code 40% slower, machine unchanged: still a regression.
+    code_regression = _wall_doc(60_000.0, calibration=1_000_000.0)
+    problems = check_against_baseline(code_regression, baseline)
+    assert any("fell" in p for p in problems)
+
+    # A faster machine must not mask a code regression: raw throughput
+    # is within tolerance, but normalized it is 40% down.
+    masked = _wall_doc(90_000.0, calibration=1_500_000.0)
+    problems = check_against_baseline(masked, baseline)
+    assert any("machine-normalized" in p for p in problems)
+
+    # Pre-calibration baselines (no score) fall back to raw comparison,
+    # so a slow machine state is indistinguishable from a regression.
+    legacy = _wall_doc(100_000.0, calibration=None)
+    legacy["machine"] = {}
+    assert check_against_baseline(slow_machine, legacy)
+    assert check_against_baseline(code_regression, legacy)
+
+
+def test_machine_speed_warning_on_large_calibration_shift():
+    document = run_bench(preset="smoke", seed=3)
+    shifted = json.loads(json.dumps(document))
+    shifted["machine"]["calibration_ops_per_second"] = (
+        document["machine"]["calibration_ops_per_second"] * 3
+    )
+    warnings = machine_mismatch_warnings(document, shifted)
+    assert any("renormalized" in w for w in warnings)
 
 
 def test_distributions_block_present_and_sane():
@@ -106,6 +199,54 @@ def test_distributions_block_present_and_sane():
         assert mixed[name]["count"] > 0
     # Every mixed op touches memory, so the access floor is positive.
     assert mixed["op_accesses"]["min"] > 0
+
+
+def test_hot_records_are_slotted(report):
+    """The hot per-op record types carry no per-instance ``__dict__``.
+
+    Also measures what the slots buy: allocation throughput of the
+    slotted :class:`SearchOutcome` against a ``__dict__``-backed
+    stand-in with the same fields (reported, not asserted — the win is
+    machine-dependent; the structural property is the contract).
+    """
+    samples = (
+        MatchResult(3, 1),
+        SearchOutcome(key=5, result=5),
+        ServedTag(tag=1, payload=None, address=0),
+        TraceEvent(0, "insert", "insert"),
+    )
+    for instance in samples:
+        assert not hasattr(instance, "__dict__"), type(instance).__name__
+
+    class DictOutcome:  # the shape SearchOutcome would have un-slotted
+        def __init__(self, key, result):
+            self.key = key
+            self.result = result
+            self.exact = False
+            self.used_backup = False
+            self.fail_level = None
+            self.path_literals = []
+            self.sequential_node_reads = 0
+            self.parallel_node_reads = 0
+
+    count = 20_000
+
+    def alloc_loop(factory):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for i in range(count):
+                factory(key=i, result=i)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    slotted = alloc_loop(SearchOutcome)
+    dict_backed = alloc_loop(DictOutcome)
+    report(
+        f"slotted SearchOutcome alloc: {slotted * 1e6:.0f}us vs "
+        f"{dict_backed * 1e6:.0f}us dict-backed for {count} allocs "
+        f"({dict_backed / slotted:.2f}x)"
+    )
 
 
 def _time_inserts(invoke, circuit_factory, tags, repeats=5):

@@ -22,16 +22,19 @@ against :func:`reference_search` in the test suite.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import Optional
 
 from ...hwsim.errors import ConfigurationError
 from ...hwsim.gates import Cost, gates_to_luts
 
 
-@dataclass(frozen=True)
 class MatchResult:
     """Outcome of one node search.
+
+    A frozen value object.  Hand-rolled (rather than a frozen dataclass)
+    so ``__slots__`` keeps the per-search allocation to the two fields —
+    one of these is created per tree level per operation, making it one
+    of the hottest allocations in the simulator.
 
     Attributes:
         primary: highest set bit position <= target, or None if no set bit
@@ -40,8 +43,29 @@ class MatchResult:
         backup: highest set bit strictly below ``primary``, or None.
     """
 
-    primary: Optional[int]
-    backup: Optional[int]
+    __slots__ = ("primary", "backup")
+
+    def __init__(
+        self, primary: Optional[int], backup: Optional[int]
+    ) -> None:
+        object.__setattr__(self, "primary", primary)
+        object.__setattr__(self, "backup", backup)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MatchResult is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchResult):
+            return NotImplemented
+        return self.primary == other.primary and self.backup == other.backup
+
+    def __hash__(self) -> int:
+        return hash((self.primary, self.backup))
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchResult(primary={self.primary!r}, backup={self.backup!r})"
+        )
 
     @property
     def exact(self) -> bool:
@@ -105,6 +129,28 @@ class MatchingCircuit(ABC):
     @abstractmethod
     def search(self, word_mask: int, target: int) -> MatchResult:
         """Compute the primary and backup matches for ``target``."""
+
+    def search_fast(self, word_mask: int, target: int) -> MatchResult:
+        """Bit-parallel kernel computing the same function as :meth:`search`.
+
+        The hardware completes both priority encodes within the node's
+        fixed access slot regardless of word length; a per-bit Python
+        loop does not.  This kernel reaches the same answer with O(1)
+        machine-word operations: mask off everything above the target,
+        take the highest remaining set bit (the primary), strip it, and
+        take the next highest (the backup).  Every topology inherits it
+        unchanged — the function is topology-independent, only the
+        delay/area cost model differs — and the differential test suite
+        holds it equal to each topology's structural :meth:`search` over
+        the full (word_mask, target) space.
+        """
+        self._validate(word_mask, target)
+        masked = word_mask & ((2 << target) - 1)
+        if not masked:
+            return MatchResult(None, None)
+        primary = masked.bit_length() - 1
+        below = masked ^ (1 << primary)
+        return MatchResult(primary, below.bit_length() - 1 if below else None)
 
     @abstractmethod
     def cost(self) -> Cost:

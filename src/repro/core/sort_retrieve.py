@@ -69,20 +69,48 @@ from ..obs.tracer import NULL_TRACER
 from .matching import DEFAULT_MATCHER
 from .tag_storage import TagStorageMemory
 from .translation import TranslationTable
-from .tree import MultiBitTree
+from .tree import MultiBitTree, SearchOutcome
 from .words import PAPER_FORMAT, WordFormat
 
 #: Clock cycles consumed by any single circuit operation (Section III-A).
 FIXED_OP_CYCLES = 4
 
 
-@dataclass(frozen=True)
 class ServedTag:
-    """A tag retrieved from the circuit."""
+    """A tag retrieved from the circuit.
 
-    tag: int
-    payload: Any
-    address: int
+    A frozen-dataclass-shaped ``__slots__`` class: one is allocated per
+    dequeue, so the per-instance ``__dict__`` and the frozen dataclass's
+    checked ``__setattr__`` are measurable hot-path overhead.
+    """
+
+    __slots__ = ("tag", "payload", "address")
+
+    def __init__(self, tag: int, payload: Any = None, address: int = 0) -> None:
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "address", address)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"ServedTag is immutable (tried to set {name!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServedTag):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.payload == other.payload
+            and self.address == other.address
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.payload, self.address))
+
+    def __repr__(self) -> str:
+        return (
+            f"ServedTag(tag={self.tag!r}, payload={self.payload!r}, "
+            f"address={self.address!r})"
+        )
 
 
 @dataclass
@@ -150,6 +178,7 @@ class TagSortRetrieveCircuit:
         eager_marker_removal: bool = False,
         modular: bool = False,
         fast_mode: bool = False,
+        turbo: bool = False,
         tracer=None,
     ) -> None:
         if capacity < 1:
@@ -161,12 +190,25 @@ class TagSortRetrieveCircuit:
         self.fmt = fmt
         self.eager_marker_removal = eager_marker_removal
         self.modular = modular
+        # Tag-space scalars cached off the word-format property chain
+        # (consulted on every insert's monotonicity check).
+        self._tag_space = fmt.capacity
+        self._half_space = fmt.capacity // 2
         self.tree = MultiBitTree(fmt, matcher_factory=matcher_factory)
         self.translation = TranslationTable(fmt)
         self.storage = TagStorageMemory(capacity, modular=modular)
         self.cycles = 0
         self.operations = 0
         self._fast_mode = bool(fast_mode)
+        self._turbo = bool(turbo)
+        #: head-path cache (turbo engine): literal decomposition of the
+        #: current minimum's root-to-leaf path, so head-local operations
+        #: skip the trie walk.  ``_head_cache_tag`` keys the memo;
+        #: validity itself is re-derived from the head register on every
+        #: use (see :meth:`_turbo_locate_predecessor`).
+        self._head_cache_tag: Optional[int] = None
+        self._head_cache_literals: Optional[List[int]] = None
+        self.head_cache_hits = 0
         self._live_tags: Counter = Counter()  # verification shadow only
         #: live tags per root-literal section; backs the Fig. 6
         #: stale-section guard even when the shadow is disabled.
@@ -180,6 +222,7 @@ class TagSortRetrieveCircuit:
                 f"tree_level_{level}", self.tree.level_stats(level)
             )
         self.tracer = NULL_TRACER
+        self._rebind_hot_paths()
         if tracer is not None:
             self.attach_tracer(tracer)
 
@@ -231,6 +274,20 @@ class TagSortRetrieveCircuit:
             self._live_tags = Counter(tag for tag, _ in self.storage.walk())
         self._fast_mode = enabled
 
+    @property
+    def turbo(self) -> bool:
+        """Whether the access-fused turbo engine drives the per-op paths."""
+        return self._turbo
+
+    @turbo.setter
+    def turbo(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled == self._turbo:
+            return
+        self._turbo = enabled
+        self._invalidate_head_cache()
+        self._rebind_hot_paths()
+
     def total_stats(self) -> AccessStats:
         """Summed memory traffic across every internal structure."""
         return self.registry.total()
@@ -252,6 +309,7 @@ class TagSortRetrieveCircuit:
             "modular": self.modular,
             "eager_marker_removal": self.eager_marker_removal,
             "fast_mode": self._fast_mode,
+            "turbo": self._turbo,
         }
 
     def _spend_operation(self) -> None:
@@ -266,12 +324,12 @@ class TagSortRetrieveCircuit:
         under half the tag space, the standard serial-number rule that
         makes the wrapped window unambiguous.
         """
-        minimum = self.storage.min_tag
+        minimum = self.storage._head_tag  # min_tag, skipping the property
         if minimum is None:
             return
         if self.modular:
-            distance = (tag - minimum) % self.fmt.capacity
-            if distance >= self.fmt.capacity // 2:
+            distance = (tag - minimum) % self._tag_space
+            if distance >= self._half_space:
                 raise ProtocolError(
                     f"tag {tag} is behind the window minimum {minimum} "
                     f"(wrapped distance {distance})"
@@ -478,7 +536,7 @@ class TagSortRetrieveCircuit:
             self.flush_stale_markers()
             predecessor = None
         else:
-            predecessor = self._locate_predecessor(entries[0][0])
+            predecessor = self._op_locate_predecessor(entries[0][0])
             if predecessor is None and self.modular:
                 raise ProtocolError(
                     f"no predecessor for wrapped tag {entries[0][0]}: the "
@@ -577,6 +635,181 @@ class TagSortRetrieveCircuit:
         return served
 
     # ------------------------------------------------------------------
+    # turbo engine (access-fused per-op paths; exact accounting parity)
+    #
+    # Turbo mode swaps the per-op hot paths for variants that compute
+    # the same answers with machine-word bit tricks and raw-cell access:
+    # the tree search runs the bit-parallel `search_fast` kernel, the
+    # marker insert and the storage splice mutate cells directly, and
+    # every access is charged to the *same* per-structure AccessStats
+    # counters the gate-accurate memory objects use — so cycles_per_op,
+    # accesses_per_op, served order, and the structure state all come
+    # out identical, not approximated.  Dispatch is via the `_op_*`
+    # instance attributes (see `_rebind_hot_paths`), which the traced
+    # wrappers also route through so telemetry composes with turbo.
+
+    def _rebind_hot_paths(self) -> None:
+        """Point the engine dispatch attributes at the active engine.
+
+        The ``_op_*`` attributes always exist (both engines, traced or
+        not); the *public* method names are shadowed only when turbo is
+        on and no tracer is attached — a default circuit keeps clean
+        class-method resolution on its hot paths (asserted by the perf
+        smoke), and a traced circuit keeps its traced wrappers, which
+        dispatch through ``_op_*`` themselves.
+        """
+        cls = TagSortRetrieveCircuit
+        if self._turbo:
+            self._op_insert = self._turbo_insert
+            self._op_dequeue_min = self._turbo_dequeue_min
+            self._op_insert_and_dequeue = self._turbo_insert_and_dequeue
+            self._op_locate_predecessor = self._turbo_locate_predecessor
+        else:
+            self._op_insert = cls.insert.__get__(self)
+            self._op_dequeue_min = cls.dequeue_min.__get__(self)
+            self._op_insert_and_dequeue = cls.insert_and_dequeue.__get__(self)
+            self._op_locate_predecessor = cls._locate_predecessor.__get__(self)
+        if not getattr(self.tracer, "enabled", False):
+            if self._turbo:
+                self.insert = self._op_insert
+                self.dequeue_min = self._op_dequeue_min
+                self.insert_and_dequeue = self._op_insert_and_dequeue
+            else:
+                for name in ("insert", "dequeue_min", "insert_and_dequeue"):
+                    self.__dict__.pop(name, None)
+
+    def _invalidate_head_cache(self) -> None:
+        """Drop the head-path cache (section clear, marker flush, restore).
+
+        Hits are additionally gated on ``tag == head register`` at use
+        time, so invalidation here is defense in depth: the cache can
+        never serve a path whose markers were bulk-deleted, because a
+        section holding the live minimum refuses to clear and a marker
+        flush requires an empty storage.
+        """
+        self._head_cache_tag = None
+        self._head_cache_literals = None
+
+    def _turbo_locate_predecessor(self, tag: int) -> Optional[int]:
+        """Turbo twin of :meth:`_locate_predecessor`.
+
+        Head-path cache: when ``tag`` equals the current minimum (the
+        head register; zero-cost to consult), the gate-accurate search
+        is known in advance — the minimum's marker path is always
+        intact, so the search exact-matches at every level, costing one
+        sequential read per level and never touching the backup path.
+        The cache synthesizes that exact outcome (charging the identical
+        per-level reads) without walking the trie.  Dominant hit source:
+        clamped inserts and head-local insert+dequeue ops.
+        """
+        tree = self.tree
+        probed = self.tracer.enabled
+        if tag == self.storage._head_tag:
+            if probed:
+                literals = self._head_cache_literals
+                if literals is None or self._head_cache_tag != tag:
+                    literals = self.fmt.literals(tag)
+                    self._head_cache_tag = tag
+                    self._head_cache_literals = literals
+                tree.last_outcome = SearchOutcome(
+                    key=tag,
+                    result=tag,
+                    exact=True,
+                    path_literals=list(literals),
+                    sequential_node_reads=len(literals),
+                )
+            else:
+                tree.last_outcome = None
+            for _, stats in tree._turbo_walk:
+                stats.reads += 1
+            self.head_cache_hits += 1
+            closest = tag
+        else:
+            if probed:
+                closest = tree.search_fast(tag).result
+            else:
+                closest = tree.closest_fast(tag)
+            if closest is None and self.modular and not tree.is_empty:
+                closest = tree.max_marked()
+            if closest is None:
+                return None
+        address = self.translation.turbo_lookup(closest)
+        if address is None:
+            raise ProtocolError(
+                f"tree returned value {closest} with no translation entry"
+            )
+        return address
+
+    def _turbo_insert(self, tag: int, payload: Any = None) -> int:
+        """Turbo twin of :meth:`insert` (same order of checks and state)."""
+        if not (isinstance(tag, int) and 0 <= tag <= self.tree._turbo_max):
+            self.fmt.check_value(tag)  # raises the canonical error
+        if not self.eager_marker_removal:
+            self._check_monotone(tag)
+        storage = self.storage
+        if storage.is_empty:
+            if not self.eager_marker_removal and not self.tree.is_empty:
+                self.tree.clear_all()
+                self._invalidate_head_cache()
+            address = storage.insert_first(tag, payload)
+        else:
+            predecessor = self._turbo_locate_predecessor(tag)
+            if predecessor is None:
+                if self.modular:
+                    raise ProtocolError(
+                        f"no predecessor for wrapped tag {tag}: the sections "
+                        "below it were not cleared before reuse"
+                    )
+                address = storage.insert_at_head(tag, payload)
+            else:
+                address = storage.turbo_insert_after(predecessor, tag, payload)
+        self.tree.insert_marker_fast(tag)
+        self.translation.turbo_record(tag, address)
+        if not self._fast_mode:
+            self._live_tags[tag] += 1
+        self._section_live[tag >> self._section_bits] += 1
+        self.cycles += FIXED_OP_CYCLES
+        self.operations += 1
+        return address
+
+    def _turbo_dequeue_min(self) -> ServedTag:
+        """Turbo twin of :meth:`dequeue_min` (fixed-time head removal)."""
+        if self.storage.is_empty:
+            raise EmptyStructureError("dequeue from an empty circuit")
+        tag, payload, address = self.storage.turbo_dequeue_min()
+        self._retire(tag, address)
+        self.cycles += FIXED_OP_CYCLES
+        self.operations += 1
+        return ServedTag(tag=tag, payload=payload, address=address)
+
+    def _turbo_insert_and_dequeue(
+        self, tag: int, payload: Any = None
+    ) -> Tuple[ServedTag, int]:
+        """Turbo twin of :meth:`insert_and_dequeue` (slot-reusing op)."""
+        if not (isinstance(tag, int) and 0 <= tag <= self.tree._turbo_max):
+            self.fmt.check_value(tag)  # raises the canonical error
+        if self.is_empty:
+            raise EmptyStructureError("insert_and_dequeue on an empty circuit")
+        if not self.eager_marker_removal:
+            self._check_monotone(tag)
+        predecessor = self._turbo_locate_predecessor(tag)
+        served_tag, served_payload, served_address, new_address = (
+            self.storage.turbo_replace_min(predecessor, tag, payload)
+        )
+        self._retire(served_tag, served_address)
+        self.tree.insert_marker_fast(tag)
+        self.translation.turbo_record(tag, new_address)
+        if not self._fast_mode:
+            self._live_tags[tag] += 1
+        self._section_live[tag >> self._section_bits] += 1
+        self.cycles += FIXED_OP_CYCLES
+        self.operations += 1
+        served = ServedTag(
+            tag=served_tag, payload=served_payload, address=served_address
+        )
+        return served, new_address
+
+    # ------------------------------------------------------------------
     # telemetry (opt-in; zero-cost when disabled)
 
     @property
@@ -628,6 +861,9 @@ class TagSortRetrieveCircuit:
             "flush_stale_markers",
         ):
             self.__dict__.pop(name, None)
+        # Restore the active engine's public bindings (turbo shadows the
+        # per-op names; gate mode leaves them to class resolution).
+        self._rebind_hot_paths()
 
     def _op_attrs(self) -> dict:
         """Shared register-derived attributes of a per-op event."""
@@ -642,7 +878,7 @@ class TagSortRetrieveCircuit:
         before = self.registry.snapshot_all()
         self.tree.last_outcome = None
         try:
-            address = TagSortRetrieveCircuit.insert(self, tag, payload)
+            address = self._op_insert(tag, payload)
         except BaseException as error:
             tracer.event(
                 "insert",
@@ -670,7 +906,7 @@ class TagSortRetrieveCircuit:
         tracer = self.tracer
         before = self.registry.snapshot_all()
         try:
-            served = TagSortRetrieveCircuit.dequeue_min(self)
+            served = self._op_dequeue_min()
         except BaseException as error:
             tracer.event(
                 "dequeue",
@@ -702,9 +938,7 @@ class TagSortRetrieveCircuit:
         before = self.registry.snapshot_all()
         self.tree.last_outcome = None
         try:
-            served, address = TagSortRetrieveCircuit.insert_and_dequeue(
-                self, tag, payload
-            )
+            served, address = self._op_insert_and_dequeue(tag, payload)
         except BaseException as error:
             tracer.event(
                 "insert_dequeue",
@@ -853,6 +1087,7 @@ class TagSortRetrieveCircuit:
             )
         if not self.eager_marker_removal and not self.tree.is_empty:
             self.tree.clear_all()
+        self._invalidate_head_cache()
 
     def clear_stale_section(self, root_literal: int) -> int:
         """Bulk-delete the markers of one vacated sixteenth of tag space.
@@ -883,6 +1118,7 @@ class TagSortRetrieveCircuit:
                 f"{self._section_live[root_literal]} live "
                 f"tags{example}; cannot clear"
             )
+        self._invalidate_head_cache()
         return self.tree.clear_root_section(root_literal)
 
     # ------------------------------------------------------------------
@@ -924,7 +1160,15 @@ class TagSortRetrieveCircuit:
             raise ConfigurationError(
                 f"not a circuit snapshot: kind={state.get('kind')!r}"
             )
-        if dict(state["config"]) != self.describe():
+        snapshot_config = dict(state["config"])
+        mine = self.describe()
+        # The turbo engine is a hosting-process choice (like tracer
+        # attachment), not circuit identity: a gate-recorded checkpoint
+        # may resume under turbo and vice versa.  Pre-turbo snapshots
+        # lack the key entirely.
+        snapshot_config.pop("turbo", None)
+        mine.pop("turbo", None)
+        if snapshot_config != mine:
             raise ConfigurationError(
                 f"snapshot config {state['config']} does not match this "
                 f"circuit's {self.describe()}"
@@ -938,6 +1182,7 @@ class TagSortRetrieveCircuit:
             (tag, count) for tag, count in state["live_tags"]
         ))
         self._section_live = list(state["section_live"])
+        self._invalidate_head_cache()
 
     @classmethod
     def from_state(
@@ -964,6 +1209,7 @@ class TagSortRetrieveCircuit:
             eager_marker_removal=config["eager_marker_removal"],
             modular=config["modular"],
             fast_mode=config["fast_mode"],
+            turbo=config.get("turbo", False),
         )
         circuit.load_state(state)
         if tracer is not None:

@@ -522,6 +522,157 @@ class TagStorageMemory:
         return served[0], served[1], served[2], head_address
 
     # ------------------------------------------------------------------
+    # turbo hot paths (access-fused, accounting-identical)
+    #
+    # Each turbo_* method performs the exact same link-list transition as
+    # its gate-accurate twin above and charges the exact same reads and
+    # writes to the same AccessStats counters — it just skips the
+    # per-access memory-object indirection (check_address, port claims,
+    # record_read/record_write calls) and mutates resident Link objects
+    # in place instead of allocating fresh ones.  Nothing aliases the
+    # cell-resident links (peek/walk return or copy fields, and the gate
+    # paths always *replace* cells with fresh Links), so in-place
+    # mutation is observationally identical.
+
+    def turbo_insert_after(
+        self, predecessor_address: int, tag: int, payload: Any = None
+    ) -> int:
+        """Access-fused :meth:`insert_after` (same Fig. 9 accounting)."""
+        if self._count >= self.capacity:
+            raise CapacityError(
+                f"tag storage full ({self.capacity} links in use)"
+            )
+        cells = self._memory._cells
+        reads = 1  # the predecessor read (access 2)
+        recycled = None
+        if not self._init_counter.saturated:
+            address = self._init_counter.take()  # access 1: counter, free
+        else:
+            address = self._empty_head
+            if address is None:
+                raise StorageCorruptionError(
+                    "counter exhausted and empty list empty, "
+                    "but count < capacity"
+                )
+            reads += 1  # access 1: read a free location
+            recycled = cells[address]
+            self._empty_head = recycled.next_address
+        predecessor = cells[predecessor_address]
+        if predecessor.tag > tag and not self.modular:
+            raise ConfigurationError(
+                f"sorted-order violation: inserting {tag} after "
+                f"{predecessor.tag}"
+            )
+        if recycled is None:
+            cells[address] = Link(
+                tag=tag,
+                next_address=predecessor.next_address,
+                next_tag=predecessor.next_tag,
+                payload=payload,
+            )
+        else:
+            # Free-list slots keep their resident Link object: nothing
+            # aliases a freed link, so rewriting it in place is the
+            # hardware's access-4 cell write without an allocation.
+            recycled.tag = tag
+            recycled.next_address = predecessor.next_address
+            recycled.next_tag = predecessor.next_tag
+            recycled.payload = payload
+        predecessor.next_address = address  # access 3 (in-place rewrite)
+        predecessor.next_tag = tag
+        stats = self._memory.stats
+        stats.reads += reads
+        stats.writes += 2  # accesses 3 and 4
+        self._count += 1
+        return address
+
+    def turbo_dequeue_min(self) -> Tuple[int, Any, int]:
+        """Access-fused :meth:`dequeue_min` (one read + one write)."""
+        if self._count == 0:
+            raise EmptyStructureError("dequeue from an empty tag storage")
+        address = self._head_address
+        link = self._memory._cells[address]
+        served = (link.tag, link.payload, address)
+        self._head_address = link.next_address
+        self._head_tag = link.next_tag
+        # Thread the freed slot onto the empty list by rewriting the
+        # departing link in place (the gate path writes a fresh Link).
+        link.tag = -1
+        link.next_address = self._empty_head
+        link.next_tag = None
+        link.payload = None
+        self._empty_head = address
+        stats = self._memory.stats
+        stats.reads += 1
+        stats.writes += 1
+        self._count -= 1
+        return served
+
+    def turbo_replace_min(
+        self, predecessor_address: Optional[int], tag: int, payload: Any = None
+    ) -> Tuple[int, Any, int, int]:
+        """Access-fused :meth:`replace_min` (same branch-by-branch costs)."""
+        if self._count == 0:
+            raise EmptyStructureError("replace_min on an empty tag storage")
+        cells = self._memory._cells
+        stats = self._memory.stats
+        head_address = self._head_address
+        head = cells[head_address]
+        stats.reads += 1  # access 1: serves + frees
+        served = (head.tag, head.payload, head_address)
+        self._head_address = head.next_address
+        self._head_tag = head.next_tag
+        self._count -= 1
+
+        if self._count == 0:
+            # The memory emptied; the incoming tag restarts the list in
+            # the reused slot.
+            head.tag = tag
+            head.next_address = None
+            head.next_tag = None
+            head.payload = payload
+            stats.writes += 1
+            self._head_address = head_address
+            self._head_tag = tag
+            self._count += 1
+            return served[0], served[1], served[2], head_address
+
+        if predecessor_address == head_address or predecessor_address is None:
+            if self._head_tag is not None and tag <= self._head_tag:
+                # New head in the reused slot.
+                head.tag = tag
+                head.next_address = self._head_address
+                head.next_tag = self._head_tag
+                head.payload = payload
+                stats.writes += 1
+                self._head_address = head_address
+                self._head_tag = tag
+                self._count += 1
+                return served[0], served[1], served[2], head_address
+            # The served head was the predecessor; the new tag now follows
+            # the new head instead.
+            predecessor_address = self._head_address
+
+        predecessor = cells[predecessor_address]
+        stats.reads += 1  # access 2
+        if predecessor.tag > tag and not self.modular:
+            raise ConfigurationError(
+                f"sorted-order violation: inserting {tag} after "
+                f"{predecessor.tag}"
+            )
+        # Reuse the departing head's slot for the new link (access 4),
+        # then splice the predecessor onto it (access 3).
+        head.tag = tag
+        head.next_address = predecessor.next_address
+        head.next_tag = predecessor.next_tag
+        head.payload = payload
+        predecessor.next_address = head_address
+        predecessor.next_tag = tag
+        stats.writes += 2
+        self._count += 1
+        return served[0], served[1], served[2], head_address
+
+    # ------------------------------------------------------------------
     # checkpoint / restore
 
     def to_state(self) -> dict:

@@ -68,6 +68,21 @@ class TranslationTable:
             raise ConfigurationError("linked-list address must be non-negative")
         self._memory.write(tag_value, address)
 
+    def turbo_lookup(self, tag_value: int) -> Optional[int]:
+        """Access-fused :meth:`lookup` (one read, same counter).
+
+        The caller has already validated ``tag_value`` (turbo callers
+        only look up values the tree itself produced), so the fused path
+        is the raw cell fetch plus the read charge.
+        """
+        self._memory.stats.reads += 1
+        return self._memory._cells[tag_value]
+
+    def turbo_record(self, tag_value: int, address: int) -> None:
+        """Access-fused :meth:`record` (one write, same counter)."""
+        self._memory._cells[tag_value] = address
+        self._memory.stats.writes += 1
+
     def invalidate(self, tag_value: int) -> None:
         """Drop the entry for ``tag_value`` (its last duplicate departed)."""
         self.fmt.check_value(tag_value)

@@ -68,6 +68,7 @@ class ScheduleFabric:
         granularity: float = 1.0,
         capacity_per_shard: int = 4096,
         fast_mode: bool = False,
+        turbo: bool = False,
         partition_policy: str = "hash",
         flow_space: int = 1024,
         policy: Optional[FabricPolicy] = None,
@@ -80,12 +81,14 @@ class ScheduleFabric:
         self.granularity = granularity
         self.capacity_per_shard = capacity_per_shard
         self.fast_mode = fast_mode
+        self.turbo = turbo
         self.stores: List[HardwareTagStore] = [
             HardwareTagStore(
                 fmt=fmt,
                 granularity=granularity,
                 capacity=capacity_per_shard,
                 fast_mode=fast_mode,
+                turbo=turbo,
             )
             for _ in range(shards)
         ]
@@ -471,6 +474,7 @@ class ScheduleFabric:
             "granularity": self.granularity,
             "capacity_per_shard": self.capacity_per_shard,
             "fast_mode": self.fast_mode,
+            "turbo": self.turbo,
             "levels": self.fmt.levels,
             "literal_bits": self.fmt.literal_bits,
             "pushes": self.pushes,
@@ -523,6 +527,7 @@ class ScheduleFabric:
             granularity=state["granularity"],
             capacity_per_shard=state["capacity_per_shard"],
             fast_mode=state["fast_mode"],
+            turbo=state.get("turbo", False),
             partition_policy=partitioner_state["policy"],
             flow_space=partitioner_state["flow_space"],
             policy=policy,

@@ -212,6 +212,7 @@ def run_fabric_soak(
     flows: int = 256,
     granularity: float = 8.0,
     batched: bool = False,
+    turbo: bool = False,
     workers: int = 0,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
@@ -243,6 +244,7 @@ def run_fabric_soak(
         shards=shards,
         granularity=granularity,
         fast_mode=batched,
+        turbo=turbo,
         tracer=tracer,
     )
     tracer.write_header(
@@ -252,6 +254,7 @@ def run_fabric_soak(
             config=fabric.describe(),
             ops=ops,
             buffer_size=buffer_size,
+            engine="turbo" if turbo else "gate",
         )
     )
     suite: Optional[MonitorSuite] = None
@@ -338,6 +341,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="use the coalesced paths (grouped inserts, fenced drains)",
     )
     parser.add_argument(
+        "--turbo",
+        action="store_true",
+        help=(
+            "run every shard circuit on the access-fused turbo engine "
+            "(identical service order and accounting, faster wall clock)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -406,6 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         flows=args.flows,
         granularity=args.granularity,
         batched=batched,
+        turbo=args.turbo,
         workers=args.workers,
         trace_sink=args.trace,
         buffer_size=args.buffer_size,

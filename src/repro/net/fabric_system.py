@@ -53,6 +53,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
         buffer_capacity: int = 8192,
         clock_hz: float = DEFAULT_CLOCK_HZ,
         fast_mode: bool = False,
+        turbo: bool = False,
         partition_policy: str = "hash",
         flow_space: int = 1024,
         policy: Optional["FabricPolicy"] = None,
@@ -68,6 +69,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
             buffer_capacity=buffer_capacity,
             clock_hz=clock_hz,
             fast_mode=fast_mode,
+            turbo=turbo,
             tracer=tracer,
         )
         self.shards = shards
@@ -101,6 +103,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
                 granularity=self._resolve_granularity(),
                 capacity_per_shard=capacity,
                 fast_mode=self._fast_mode,
+                turbo=self._turbo,
                 partition_policy=self._partition_policy,
                 flow_space=self._flow_space,
                 policy=self._policy,

@@ -44,6 +44,7 @@ class HardwareTagStore:
         granularity: float = 1.0,
         capacity: int = 4096,
         fast_mode: bool = False,
+        turbo: bool = False,
         tracer=None,
     ) -> None:
         if granularity <= 0:
@@ -55,9 +56,15 @@ class HardwareTagStore:
             capacity=capacity,
             modular=True,
             fast_mode=fast_mode,
+            turbo=turbo,
             tracer=tracer,
         )
         self._section_span = fmt.capacity // fmt.branching_factor
+        # Tag-space scalars cached off the word-format property chain:
+        # the per-op adapter paths consult them several times per push.
+        self._tag_space = fmt.capacity
+        self._half_space = fmt.capacity // 2
+        self._branching = fmt.branching_factor
         #: highest unwrapped section index ever prepared for inserts
         self._frontier: Optional[int] = None
         self._last_served_unwrapped: Optional[int] = None
@@ -98,10 +105,10 @@ class HardwareTagStore:
         floor = self._span_floor()
         if floor is None:
             return
-        if unwrapped - floor >= self.fmt.capacity // 2:
+        if unwrapped - floor >= self._half_space:
             raise ProtocolError(
                 f"live tag span {unwrapped - floor} quanta exceeds half the "
-                f"{self.fmt.capacity}-value tag space; increase granularity "
+                f"{self._tag_space}-value tag space; increase granularity "
                 f"(currently {self.granularity}) or widen the word format"
             )
 
@@ -118,18 +125,18 @@ class HardwareTagStore:
             return
         while self._frontier < target:
             self._frontier += 1
-            section = self._frontier % self.fmt.branching_factor
+            section = self._frontier % self._branching
             purged = self.circuit.clear_stale_section(section)
             if purged:
                 self.markers_purged += purged
                 self.sections_cleared += 1
 
     def _is_behind_minimum(self, raw: int) -> bool:
-        minimum = self.circuit.peek_min()
+        minimum = self.circuit.storage._head_tag  # peek_min register
         if minimum is None:
             return False
-        distance = (raw - minimum) % self.fmt.capacity
-        return distance >= self.fmt.capacity // 2
+        distance = (raw - minimum) % self._tag_space
+        return distance >= self._half_space
 
     # ------------------------------------------------------------------
     # TagStore protocol
@@ -153,20 +160,20 @@ class HardwareTagStore:
         stale markers unreachable (they are all at or below the last
         served value).
         """
-        if len(self) == 0:
+        if self.circuit.storage._count == 0:  # len(self), minus two hops
             # The scheduler drained: the circuit re-enters initialization
             # mode (stale markers flush), so lap/frontier bookkeeping
             # restarts as a fresh epoch.
             self._frontier = None
             self._last_served_unwrapped = None
             self._min_inserted_unwrapped = None
-        unwrapped = self.quantize(finish_tag)
+        unwrapped = int(finish_tag / self.granularity)  # quantize()
         # The span guard must precede the behind-minimum test: a raw
         # value more than half the space *ahead* is indistinguishable
         # from one behind under serial-number comparison, and only the
         # unwrapped value can tell the two apart.
         self._guard_span(unwrapped)
-        raw = unwrapped % self.fmt.capacity
+        raw = unwrapped % self._tag_space
         floor = self._span_floor()
         regressed = floor is not None and unwrapped < floor
         # A regression bigger than half the space aliases as "forward"
@@ -326,7 +333,7 @@ class HardwareTagStore:
         base = self._span_floor()
         if base is None:
             base = 0
-        unwrapped = base + ((served.tag - base) % self.fmt.capacity)
+        unwrapped = base + ((served.tag - base) % self._tag_space)
         if (
             self._last_served_unwrapped is None
             or unwrapped > self._last_served_unwrapped
@@ -407,6 +414,7 @@ class HardwareTagStore:
             granularity=state["granularity"],
             capacity=config["capacity"],
             fast_mode=config["fast_mode"],
+            turbo=config.get("turbo", False),
         )
         store.load_state(state)
         if tracer is not None:
@@ -431,6 +439,11 @@ class HardwareTagStore:
 
     # ------------------------------------------------------------------
     # introspection for experiments
+
+    @property
+    def turbo(self) -> bool:
+        """Whether the circuit runs the access-fused turbo engine."""
+        return self.circuit.turbo
 
     @property
     def cycles(self) -> int:

@@ -51,6 +51,7 @@ class HardwareWFQSystem(PacketScheduler):
         buffer_capacity: int = 8192,
         clock_hz: float = DEFAULT_CLOCK_HZ,
         fast_mode: bool = False,
+        turbo: bool = False,
         tracer=None,
     ) -> None:
         super().__init__(rate_bps)
@@ -63,6 +64,7 @@ class HardwareWFQSystem(PacketScheduler):
         self._buffer_capacity = buffer_capacity
         self._explicit_granularity = granularity
         self._fast_mode = fast_mode
+        self._turbo = turbo
         self._tracer = tracer
         self._store: Optional[HardwareTagStore] = None
         self.dropped = 0
@@ -89,6 +91,7 @@ class HardwareWFQSystem(PacketScheduler):
                 granularity=self._resolve_granularity(),
                 capacity=self._buffer_capacity,
                 fast_mode=self._fast_mode,
+                turbo=self._turbo,
                 tracer=self._tracer,
             )
         return self._store

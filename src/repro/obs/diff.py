@@ -41,7 +41,10 @@ _SPAN_FOLD = {"insert_batch": "insert", "dequeue_batch": "dequeue"}
 
 #: Header/config keys that must match for a meaningful diff.  ``mode``
 #: is deliberately absent; ``fast_mode`` only disables a software-side
-#: verification shadow, so it may differ too.
+#: verification shadow and ``turbo`` only swaps the engine (identical
+#: service order and accounting), so both may differ too — diffing a
+#: turbo trace against a gate trace of the same seed is exactly how CI
+#: proves the engines are logically equivalent.
 _GATED_CONFIG_KEYS = (
     "levels",
     "literal_bits",

@@ -15,7 +15,6 @@ output: stable keys, no nesting deeper than the ``deltas`` map.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..hwsim.stats import AccessStats
@@ -78,9 +77,13 @@ def build_trace_header(
     return record
 
 
-@dataclass
 class TraceEvent:
     """One telemetry sample.
+
+    A ``__slots__`` plain class rather than a dataclass: one instance is
+    allocated per traced circuit operation, so the per-event ``__dict__``
+    is measurable overhead on the hot path (and 3.9-compatible
+    dataclasses cannot drop it).
 
     Attributes:
         seq: monotone emission index (0-based, per tracer).
@@ -96,12 +99,37 @@ class TraceEvent:
             used_backup, purged, ...).
     """
 
-    seq: int
-    kind: str
-    name: str
-    span_id: Optional[int] = None
-    deltas: Dict[str, AccessStats] = field(default_factory=dict)
-    attrs: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("seq", "kind", "name", "span_id", "deltas", "attrs")
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        name: str,
+        span_id: Optional[int] = None,
+        deltas: Optional[Dict[str, AccessStats]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.name = name
+        self.span_id = span_id
+        self.deltas = {} if deltas is None else deltas
+        self.attrs = {} if attrs is None else attrs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+        )
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{slot}={getattr(self, slot)!r}" for slot in self.__slots__
+        )
+        return f"TraceEvent({body})"
 
     @property
     def delta_reads(self) -> int:

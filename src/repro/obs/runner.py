@@ -41,6 +41,7 @@ class TracedRun:
     seed: int
     batched: bool
     served: int
+    turbo: bool = False
     monitors: Optional[MonitorSuite] = None
 
     @property
@@ -78,6 +79,8 @@ class TracedRun:
     def report(self) -> str:
         """The human-readable run report."""
         mode = "batched fast-mode" if self.batched else "per-op"
+        if self.turbo:
+            mode += ", turbo engine"
         notes = [
             f"tracer: {self.tracer.emitted} events emitted, "
             f"{self.tracer.dropped} evicted from the ring buffer",
@@ -108,6 +111,7 @@ class TracedRun:
                 "ops": self.ops,
                 "seed": self.seed,
                 "mode": "batched" if self.batched else "per_op",
+                "engine": "turbo" if self.turbo else "gate",
                 "granularity": self.store.granularity,
                 "served": self.served,
             },
@@ -146,6 +150,7 @@ def run_traced_soak(
     seed: int = 20060101,
     granularity: float = 8.0,
     batched: bool = False,
+    turbo: bool = False,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
     monitor: bool = False,
@@ -159,7 +164,10 @@ def run_traced_soak(
     is framed: a header record (schema/seed/config/mode) leads the
     JSONL stream and a footer (emitted/dropped) closes it.
 
-    ``monitor=True`` additionally screens every event through the
+    ``turbo=True`` runs the store on the access-fused turbo engine
+    (identical service order and accounting; the trace must diff clean
+    against a gate run of the same seed — the CI soak asserts exactly
+    that).  ``monitor=True`` additionally screens every event through the
     online invariant monitors (:class:`~repro.obs.monitors.MonitorSuite`)
     while the soak runs; violations land in the returned run's
     ``monitors`` suite and, as ``invariant_violation`` events, in the
@@ -170,7 +178,8 @@ def run_traced_soak(
         buffer_size=buffer_size, sink=trace_sink, observers=[probes]
     )
     store = HardwareTagStore(
-        granularity=granularity, fast_mode=batched, tracer=tracer
+        granularity=granularity, fast_mode=batched, turbo=turbo,
+        tracer=tracer,
     )
     tracer.write_header(
         build_trace_header(
@@ -179,6 +188,7 @@ def run_traced_soak(
             config=store.describe(),
             ops=ops,
             buffer_size=buffer_size,
+            engine="turbo" if turbo else "gate",
         )
     )
     suite: Optional[MonitorSuite] = None
@@ -198,6 +208,7 @@ def run_traced_soak(
         seed=seed,
         batched=batched,
         served=len(served),
+        turbo=turbo,
         monitors=suite,
     )
 
@@ -223,6 +234,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--batched",
         action="store_true",
         help="use the coalesced fast paths (span-attributed deltas)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("gate", "turbo"),
+        default="gate",
+        help=(
+            "circuit engine: 'gate' walks the gate-accurate model, "
+            "'turbo' uses the access-fused hot paths (identical service "
+            "order and accounting, faster wall clock)"
+        ),
     )
     parser.add_argument(
         "--trace", metavar="FILE", help="stream the JSONL event trace here"
@@ -272,6 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         granularity=args.granularity,
         batched=args.batched,
+        turbo=args.mode == "turbo",
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
         monitor=args.monitor,

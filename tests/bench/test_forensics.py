@@ -62,12 +62,12 @@ class TestRecordReferenceTrace:
 
 
 class TestCommittedBaseline:
-    def test_baseline_is_schema_4_with_reference_trace(self):
-        assert _SCHEMA == 4
+    def test_baseline_is_current_schema_with_reference_trace(self):
+        assert _SCHEMA == 5
         baseline_path = REPO_ROOT / "BENCH_sort_retrieve.json"
         with open(baseline_path, encoding="utf-8") as handle:
             baseline = json.load(handle)
-        assert baseline["schema"] == 4
+        assert baseline["schema"] == 5
         document = read_trace(reference_trace_path(str(baseline_path)))
         assert document.header is not None
         assert document.header["seed"] == baseline["seed"]

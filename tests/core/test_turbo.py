@@ -1,0 +1,243 @@
+"""Gate-vs-turbo equivalence for the access-fused turbo engine.
+
+The turbo engine promises *exact* parity with the gate-accurate model:
+identical served order, identical cycle and per-structure access
+accounting, identical structure state — only the Python work to get
+there is fused.  These tests drive both engines with the same
+WFQ-legal operation streams (a ``heapq`` shadow keeps every generated
+tag ahead of the live minimum) and compare everything observable.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.core.sort_retrieve import ServedTag, TagSortRetrieveCircuit
+from repro.core.tree import MultiBitTree
+from repro.core.words import PAPER_FORMAT
+from repro.obs.tracer import Tracer
+
+
+def _registry_snapshot(circuit):
+    """Per-structure (reads, writes) — the exact-parity accounting unit."""
+    return {
+        name: (stats.reads, stats.writes)
+        for name, stats in circuit.registry.snapshot_all().items()
+    }
+
+
+def make_wfq_ops(count, seed, *, drift=48):
+    """A WFQ-legal op stream for the *non-modular* circuit.
+
+    A ``heapq`` shadow tracks the live minimum so every generated tag is
+    clamped to ``max(candidate, current_min)`` — the monotonicity rule
+    the circuit enforces — and capped at the word format's maximum.
+    """
+    rng = random.Random(seed)
+    top = PAPER_FORMAT.max_value
+    shadow = []
+    ops = []
+    vt = 0
+    while len(ops) < count:
+        roll = rng.random()
+        if not shadow or (roll < 0.55 and vt < top):
+            vt = min(top, vt + rng.randint(0, 6))
+            floor = shadow[0] if shadow else 0
+            tag = min(top, max(vt + rng.randint(0, drift), floor))
+            ops.append(("insert", tag))
+            heapq.heappush(shadow, tag)
+        elif roll < 0.90 or len(shadow) < 2:
+            ops.append(("dequeue",))
+            heapq.heappop(shadow)
+        else:
+            floor = shadow[0]
+            tag = min(top, max(floor + rng.randint(0, drift), floor))
+            ops.append(("replace", tag))
+            heapq.heappop(shadow)
+            heapq.heappush(shadow, tag)
+    return ops
+
+
+def _drive(circuit, ops):
+    served = []
+    for op in ops:
+        if op[0] == "insert":
+            circuit.insert(op[1], payload=("p", op[1]))
+        elif op[0] == "dequeue":
+            served.append(circuit.dequeue_min())
+        else:
+            head, _ = circuit.insert_and_dequeue(op[1], payload=("r", op[1]))
+            served.append(head)
+    return served
+
+
+def _fresh(**kwargs):
+    return TagSortRetrieveCircuit(PAPER_FORMAT, capacity=1024, **kwargs)
+
+
+@pytest.mark.parametrize("seed", [1, 17, 20060101])
+def test_turbo_parity_full_observables(seed):
+    """Served order, cycles, and per-structure accounting all identical."""
+    ops = make_wfq_ops(1500, seed)
+    gate, turbo = _fresh(), _fresh(turbo=True)
+    gate_served = _drive(gate, ops)
+    turbo_served = _drive(turbo, ops)
+    assert gate_served == turbo_served  # tags, payloads, and addresses
+    assert turbo.cycles == gate.cycles
+    assert turbo.operations == gate.operations
+    assert _registry_snapshot(turbo) == _registry_snapshot(gate)
+    assert turbo.peek_min() == gate.peek_min()
+    assert turbo.count == gate.count
+    # The whole structure state matches, not just the outputs.
+    gate_state, turbo_state = gate.to_state(), turbo.to_state()
+    assert gate_state["config"].pop("turbo") is False
+    assert turbo_state["config"].pop("turbo") is True
+    assert turbo_state == gate_state
+    turbo.check_invariants()
+
+
+def test_turbo_drains_identically():
+    ops = make_wfq_ops(800, 5)
+    gate, turbo = _fresh(), _fresh(turbo=True)
+    _drive(gate, ops)
+    _drive(turbo, ops)
+    while not gate.is_empty:
+        assert turbo.dequeue_min() == gate.dequeue_min()
+    assert turbo.is_empty
+    assert _registry_snapshot(turbo) == _registry_snapshot(gate)
+
+
+def test_head_cache_hits_on_head_local_ops():
+    circuit = _fresh(turbo=True)
+    circuit.insert(100)
+    circuit.insert(200)
+    assert circuit.head_cache_hits == 0
+    # Inserting at the current minimum is the cache's bread and butter.
+    circuit.insert(100)
+    assert circuit.head_cache_hits == 1
+    # A head-local replace hits too.
+    circuit.insert_and_dequeue(100)
+    assert circuit.head_cache_hits == 2
+    # A non-head insert walks the trie instead.
+    circuit.insert(150)
+    assert circuit.head_cache_hits == 2
+
+
+def test_head_cache_invalidated_when_tree_clears():
+    circuit = _fresh(turbo=True)
+    circuit.insert(10)
+    circuit.insert(10)  # memoizes nothing untraced, but counts the hit
+    assert circuit.head_cache_hits == 1
+    circuit.dequeue_min()
+    circuit.dequeue_min()
+    # Storage drained: the next insert flushes stale markers and must
+    # drop any memoized head path with them.
+    circuit.insert(5)
+    assert circuit._head_cache_tag is None
+    assert circuit.peek_min() == 5
+    circuit.check_invariants()
+
+
+def test_turbo_toggle_mid_stream_preserves_parity():
+    ops = make_wfq_ops(1000, 23)
+    reference = _fresh()
+    toggled = _fresh()
+    ref_served = _drive(reference, ops)
+    served = _drive(toggled, ops[:400])
+    toggled.turbo = True
+    assert toggled.turbo is True
+    served += _drive(toggled, ops[400:700])
+    toggled.turbo = False
+    served += _drive(toggled, ops[700:])
+    assert served == ref_served
+    assert toggled.cycles == reference.cycles
+    assert _registry_snapshot(toggled) == _registry_snapshot(reference)
+
+
+def test_turbo_engine_choice_survives_checkpoint_crossing():
+    """A gate checkpoint restores into a turbo host and vice versa."""
+    ops = make_wfq_ops(900, 31)
+    gate, turbo = _fresh(), _fresh(turbo=True)
+    _drive(gate, ops[:500])
+    _drive(turbo, ops[:500])
+    # Cross-load: each engine resumes from the *other* engine's snapshot.
+    crossed_turbo = _fresh(turbo=True)
+    crossed_turbo.load_state(gate.to_state())
+    crossed_gate = _fresh()
+    crossed_gate.load_state(turbo.to_state())
+    tail = ops[500:]
+    want = _drive(gate, tail)
+    assert _drive(crossed_turbo, tail) == want
+    assert _drive(crossed_gate, tail) == want
+    assert crossed_turbo.cycles == gate.cycles
+    assert _registry_snapshot(crossed_turbo) == _registry_snapshot(gate)
+    # from_state honors the snapshot's engine flag.
+    revived = TagSortRetrieveCircuit.from_state(turbo.to_state())
+    assert revived.turbo is True
+
+
+def test_traced_turbo_matches_traced_gate_event_for_event():
+    ops = make_wfq_ops(600, 41)
+    gate_tracer, turbo_tracer = Tracer(), Tracer()
+    gate = _fresh(tracer=gate_tracer)
+    turbo = _fresh(turbo=True, tracer=turbo_tracer)
+    assert _drive(turbo, ops) == _drive(gate, ops)
+    gate_events = gate_tracer.events()
+    turbo_events = turbo_tracer.events()
+    assert len(turbo_events) == len(gate_events)
+    for mine, theirs in zip(turbo_events, gate_events):
+        assert mine.kind == theirs.kind
+        assert mine.name == theirs.name
+        assert mine.deltas == theirs.deltas
+        assert mine.attrs == theirs.attrs
+    assert _registry_snapshot(turbo) == _registry_snapshot(gate)
+
+
+def test_served_tag_is_immutable_and_hashable():
+    tag = ServedTag(tag=7, payload="x", address=3)
+    with pytest.raises(AttributeError):
+        tag.tag = 8
+    assert tag == ServedTag(tag=7, payload="x", address=3)
+    assert hash(tag) == hash(ServedTag(tag=7, payload="x", address=3))
+    assert tag != ServedTag(tag=7, payload="x", address=4)
+
+
+# ----------------------------------------------------------------------
+# tree-level kernels
+
+
+def test_closest_fast_matches_search_fast_and_charges_identically():
+    rng = random.Random(99)
+    values = sorted(rng.sample(range(PAPER_FORMAT.capacity), 200))
+    lean, probed = (
+        MultiBitTree(PAPER_FORMAT),
+        MultiBitTree(PAPER_FORMAT),
+    )
+    for value in values:
+        lean.insert_marker_fast(value)
+        probed.insert_marker_fast(value)
+    for key in range(0, PAPER_FORMAT.capacity, 7):
+        lean_reads = [lean.level_stats(i).reads for i in range(3)]
+        probed_reads = [probed.level_stats(i).reads for i in range(3)]
+        outcome = probed.search_fast(key)
+        closest = lean.closest_fast(key)
+        assert closest == outcome.result
+        assert lean.last_outcome is None  # the lean path allocates nothing
+        # Identical per-level read accounting on both variants.
+        assert [
+            lean.level_stats(i).reads - lean_reads[i] for i in range(3)
+        ] == [
+            probed.level_stats(i).reads - probed_reads[i] for i in range(3)
+        ]
+
+
+def test_fast_marker_insert_matches_gate_insert():
+    gate, fast = MultiBitTree(PAPER_FORMAT), MultiBitTree(PAPER_FORMAT)
+    rng = random.Random(3)
+    for value in rng.sample(range(PAPER_FORMAT.capacity), 300):
+        assert fast.insert_marker_fast(value) == gate.insert_marker(value)
+    assert fast.to_state() == gate.to_state()
+    for name in ("search", "search_fast"):
+        for key in rng.sample(range(PAPER_FORMAT.capacity), 64):
+            assert getattr(fast, name)(key).result == gate.search(key).result
