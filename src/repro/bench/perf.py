@@ -26,12 +26,17 @@ Three scenario families, all deterministic per seed:
   accounting asserted *exactly equal* across engines before any
   speedup is reported; the full preset gates on turbo reaching
   :data:`TURBO_MIN_SPEEDUP`× the gate per-op baseline, and every
-  preset gates on turbo per-op beating the batched gate path.
+  preset gates on turbo per-op beating the batched gate path;
+* the **timer dynamic-update phase** — the :mod:`repro.net.timer`
+  churn scenario (insert/cancel/repin-heavy, most entries never reach
+  service) on both engines, with fired sequences, cycle totals, and
+  per-structure accounting asserted exactly equal; the regression
+  fence for the remove/retag cost model.
 
 The ``--mode {gate,turbo}`` flag selects which engine the matcher,
-size, headline, fabric, and distribution phases run on (the turbo
-phase always measures both); the mode is recorded in the document and
-``--check`` refuses to compare baselines across modes.
+size, headline, fabric, and distribution phases run on (the turbo and
+timer phases always measure both); the mode is recorded in the
+document and ``--check`` refuses to compare baselines across modes.
 
 Each scenario records wall throughput (machine-dependent, best of
 :data:`BENCH_REPEATS` timed passes) and memory accesses and circuit
@@ -109,8 +114,10 @@ SIZE_SWEEP: Tuple[Tuple[str, WordFormat], ...] = (
 #: 5 adds the ``turbo`` engine phase, the run ``mode``, and the
 #: ``machine`` header (python/platform/CPU count plus a calibration
 #: speed score; identity fields warn-only in --check, the score
-#: renormalizes wall floors).
-_SCHEMA = 5
+#: renormalizes wall floors);
+#: 6 adds the ``timer`` dynamic-update phase (timer-wheel churn through
+#: remove/retag on both engines, exact parity).
+_SCHEMA = 6
 
 #: Every timed section runs this many times and reports its fastest
 #: wall clock.  Min-of-N filters scheduler bursts on shared hosts (a
@@ -787,6 +794,103 @@ def _bench_turbo(count: int, seed: int) -> Tuple[Dict, List[Dict]]:
     return summary, scenarios
 
 
+def _bench_timer(count: int, seed: int) -> Tuple[Dict, List[Dict]]:
+    """The timer-churn phase: dynamic updates (remove/retag) under load.
+
+    Runs the :mod:`repro.net.timer` churn scenario — an insert/cancel/
+    repin-heavy workload where most entries never reach service — on
+    both engines, best-of-:data:`BENCH_REPEATS` each.  Before timings
+    are reported the phase asserts exact parity: identical fired
+    sequences and per-structure read/write counters, identical cycle
+    totals, and the workload's own checks (deadline-ordered firing,
+    armed = fired + cancelled + pending conservation) must hold.  This
+    is the regression fence for the removal/retag cost model: any
+    change to the unlink path, the marker-clear discipline, or the
+    head-path cache invalidation shows up in ``cycles_per_op`` /
+    ``accesses_per_op`` here.
+    """
+    from ..net.timer import run_timer_soak
+
+    variants: Dict[str, Tuple[float, object]] = {}
+    scenarios: List[Dict] = []
+    for key, turbo in (("gate", False), ("turbo", True)):
+        best = None
+        for _ in range(BENCH_REPEATS):
+            seconds, run = _timed(
+                lambda: run_timer_soak(
+                    pattern="churn", events=count, seed=seed, turbo=turbo
+                )
+            )
+            if best is None or seconds < best[0]:
+                best = (seconds, run)
+        seconds, run = best
+        if not run.served_in_order:
+            raise AssertionError(
+                f"timer phase ({key}): timers fired out of deadline order"
+            )
+        if not run.conserved:
+            raise AssertionError(
+                f"timer phase ({key}): timer conservation broken"
+            )
+        variants[key] = best
+        scenario = _scenario(
+            f"timer_churn_{key}:dynamic",
+            ops=run.operations,
+            seconds=seconds,
+            accesses=run.backend.circuit.registry.total().total,
+            cycles=run.cycles,
+            engine=key,
+            events=count,
+            armed=run.armed,
+            cancelled=run.cancelled,
+            repinned=run.repinned,
+            fired=run.fired,
+        )
+        if turbo:
+            scenario["head_cache_hits"] = run.backend.circuit.head_cache_hits
+        scenarios.append(scenario)
+
+    gate_run = variants["gate"][1]
+    turbo_run = variants["turbo"][1]
+    if gate_run.fired_deadlines != turbo_run.fired_deadlines:
+        raise AssertionError(
+            "timer phase: turbo fired a different sequence than gate — "
+            "engines are not equivalent, refusing to report timings"
+        )
+    if gate_run.cycles != turbo_run.cycles:
+        raise AssertionError(
+            f"timer phase: turbo cycles {turbo_run.cycles} != gate "
+            f"cycles {gate_run.cycles}"
+        )
+    if _registry_snapshot(gate_run.backend) != _registry_snapshot(
+        turbo_run.backend
+    ):
+        raise AssertionError(
+            "timer phase: per-structure access counters diverge between "
+            "engines"
+        )
+
+    gate_seconds = variants["gate"][0]
+    turbo_seconds = variants["turbo"][0]
+    summary = {
+        "name": "timer_churn",
+        "pattern": "churn",
+        "events": count,
+        "armed": gate_run.armed,
+        "cancelled": gate_run.cancelled,
+        "repinned": gate_run.repinned,
+        "fired": gate_run.fired,
+        "gate": scenarios[0],
+        "turbo": scenarios[1],
+        "speedup": round(
+            gate_seconds / turbo_seconds if turbo_seconds > 0 else 0.0, 2
+        ),
+        "served_orders_identical": True,
+        "accounting_identical": True,
+    }
+    return summary, scenarios
+
+
 def _bench_distributions(
     count: int, mixed_count: int, seed: int, turbo: bool = False
 ) -> Dict:
@@ -858,11 +962,13 @@ def run_bench(
         size_count = {"w8": 256, "w12": 4096, "w16": 8192}
         headline_count = 100_000
         fabric_count = 40_000
+        timer_count = 40_000
     elif preset == "smoke":
         matcher_count = 256
         size_count = {"w8": 128, "w12": 256, "w16": 256}
         headline_count = 2_000
         fabric_count = 2_000
+        timer_count = 2_000
     else:
         raise ValueError(f"unknown preset {preset!r}")
 
@@ -890,6 +996,8 @@ def run_bench(
     scenarios.extend(fabric_scenarios)
     turbo_phase, turbo_scenarios = _bench_turbo(headline_count, seed)
     scenarios.extend(turbo_scenarios)
+    timer_phase, timer_scenarios = _bench_timer(timer_count, seed)
+    scenarios.extend(timer_scenarios)
     distributions = _bench_distributions(
         size_count["w12"], min(headline_count, 10_000), seed, turbo=turbo
     )
@@ -902,6 +1010,7 @@ def run_bench(
         "headline": headline,
         "fabric": fabric,
         "turbo": turbo_phase,
+        "timer": timer_phase,
         "scenarios": scenarios,
         "distributions": distributions,
     }
@@ -1024,6 +1133,28 @@ def check_against_baseline(
                 f"turbo engine speedup {new_turbo.get('speedup')}x fell "
                 f">{tolerance:.0%} below baseline {old_turbo.get('speedup')}x"
             )
+    old_timer = baseline.get("timer", {})
+    new_timer = current.get("timer", {})
+    if old_timer and new_timer:
+        # The timer scenarios' deterministic metrics (cycles/accesses
+        # per op) are covered by the generic scenario loop above; here
+        # only the engine-speedup ratio needs a fenced floor.
+        timed = all(
+            side.get("seconds", 0.0) >= MIN_TIMED_WALL_SECONDS
+            for side in (
+                old_timer.get("gate", {}),
+                old_timer.get("turbo", {}),
+                new_timer.get("gate", {}),
+                new_timer.get("turbo", {}),
+            )
+        )
+        floor = old_timer.get("speedup", 0.0) * (1.0 - tolerance)
+        if timed and new_timer.get("speedup", 0.0) < floor:
+            problems.append(
+                f"timer-churn turbo speedup {new_timer.get('speedup')}x "
+                f"fell >{tolerance:.0%} below baseline "
+                f"{old_timer.get('speedup')}x"
+            )
     return problems
 
 
@@ -1071,6 +1202,17 @@ def _format_summary(document: Dict) -> str:
             f"({turbo['speedup']}x; {turbo['turbo_vs_batched']}x over the "
             f"batched gate path; {turbo['head_cache_hits']} head-cache hits; "
             f"parity exact)",
+        ]
+    timer = document.get("timer")
+    if timer:
+        lines += [
+            "",
+            f"  timer churn ({timer['events']} events: {timer['armed']} "
+            f"armed, {timer['cancelled']} cancelled, {timer['repinned']} "
+            f"repinned, {timer['fired']} fired): "
+            f"{timer['turbo']['ops_per_second']:,.0f} ops/s turbo vs "
+            f"{timer['gate']['ops_per_second']:,.0f} ops/s gate "
+            f"({timer['speedup']}x; parity exact)",
         ]
     distributions = document.get("distributions")
     if distributions:

@@ -17,9 +17,11 @@ through the sharded scheduling fabric (see :mod:`repro.fabric.runner`:
 ``--shards``, ``--workers``, ``--monitor``, ``--checkpoint``), and
 ``python -m repro analyze`` runs trace forensics over archived JSONL
 traces (see :mod:`repro.obs.analyze`: ``profile``, ``check``, ``diff``,
-``timeline``).  All five subsystems share one output convention:
-``--output FILE`` writes where you say, ``--format {text,json}`` picks
-the representation.
+``timeline``), and ``python -m repro timer`` runs a timer-wheel workload
+over the circuit's remove/retag primitives (see :mod:`repro.net.timer`:
+``--pattern {churn,retransmit,expiry}``, ``--shards``, ``--monitor``).
+All six subsystems share one output convention: ``--output FILE`` writes
+where you say, ``--format {text,json}`` picks the representation.
 """
 
 from __future__ import annotations
@@ -124,6 +126,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.analyze import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "timer":
+        # Timer-wheel workloads over the remove/retag primitives.
+        from .net.timer import main as timer_main
+
+        return timer_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)

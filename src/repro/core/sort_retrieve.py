@@ -56,7 +56,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..hwsim.errors import (
     CapacityError,
@@ -136,12 +136,21 @@ class FaultInjection:
       makes service appear to go backwards (breaks WFQ monotonicity); a
       positive offset lands on values that were never inserted (breaks
       translation/marker coverage).
+    * ``misreport_remove_handle`` — shifts the *reported* handle of
+      every remove/retag event by the offset, so the event names an
+      address that is dead or holds a different tag (breaks handle
+      liveness).
+    * ``skip_removal_release`` — un-counts the empty-list threading
+      write of every remove (breaks Fig. 10 slot conservation under
+      removal).
     """
 
     extra_insert_writes: int = 0
     extra_dequeue_reads: int = 0
     skip_free_release: bool = False
     misreport_serve_offset: int = 0
+    misreport_remove_handle: int = 0
+    skip_removal_release: bool = False
 
     def _after_insert(self, circuit: "TagSortRetrieveCircuit", count: int = 1) -> None:
         if self.extra_insert_writes:
@@ -159,6 +168,13 @@ class FaultInjection:
         if circuit.modular:
             return (tag + self.misreport_serve_offset) % circuit.fmt.capacity
         return tag + self.misreport_serve_offset
+
+    def _after_remove(self, circuit: "TagSortRetrieveCircuit", count: int = 1) -> None:
+        if self.skip_removal_release:
+            circuit.storage.stats.writes -= count
+
+    def _reported_handle(self, handle: int) -> int:
+        return handle + self.misreport_remove_handle
 
 
 class TagSortRetrieveCircuit:
@@ -210,6 +226,12 @@ class TagSortRetrieveCircuit:
         self._head_cache_literals: Optional[List[int]] = None
         self.head_cache_hits = 0
         self._live_tags: Counter = Counter()  # verification shadow only
+        #: handle registry: live storage address -> tag.  Hardware keeps
+        #: a valid bit per slot; this map is that bit plus the tag the
+        #: handle was issued for, and is what makes :meth:`remove` /
+        #: :meth:`retag` safe against stale handles.  Always on (unlike
+        #: the ``_live_tags`` shadow) — dynamic updates depend on it.
+        self._handles: Dict[int, int] = {}
         #: live tags per root-literal section; backs the Fig. 6
         #: stale-section guard even when the shadow is disabled.
         self._section_bits = fmt.word_bits - fmt.literal_bits
@@ -324,7 +346,15 @@ class TagSortRetrieveCircuit:
         under half the tag space, the standard serial-number rule that
         makes the wrapped window unambiguous.
         """
-        minimum = self.storage._head_tag  # min_tag, skipping the property
+        # min_tag, skipping the property
+        self._check_monotone_against(tag, self.storage._head_tag)
+
+    def _check_monotone_against(self, tag: int, minimum: Optional[int]) -> None:
+        """:meth:`_check_monotone` against an explicit minimum.
+
+        :meth:`retag` uses this with the *post-removal* minimum so an
+        illegal new tag is rejected before the old entry is unlinked.
+        """
         if minimum is None:
             return
         if self.modular:
@@ -358,6 +388,7 @@ class TagSortRetrieveCircuit:
         address = self._insert_link(tag, payload)
         self.tree.insert_marker(tag)
         self.translation.record(tag, address)
+        self._handles[address] = tag
         if not self._fast_mode:
             self._live_tags[tag] += 1
         self._section_live[tag >> self._section_bits] += 1
@@ -438,6 +469,7 @@ class TagSortRetrieveCircuit:
         self._retire(served_tag, served_address)
         self.tree.insert_marker(tag)
         self.translation.record(tag, new_address)
+        self._handles[new_address] = tag
         if not self._fast_mode:
             self._live_tags[tag] += 1
         self._section_live[tag >> self._section_bits] += 1
@@ -448,6 +480,7 @@ class TagSortRetrieveCircuit:
         return served, new_address
 
     def _retire(self, tag: int, address: int) -> None:
+        self._handles.pop(address, None)
         if not self._fast_mode:
             self._live_tags[tag] -= 1
             if self._live_tags[tag] == 0:
@@ -546,8 +579,10 @@ class TagSortRetrieveCircuit:
             entries, predecessor, key=key
         )
         self.tree.insert_markers(tag for tag, _ in entries)
+        handles = self._handles
         for index in range(count):
             tag = entries[index][0]
+            handles[sorted_addresses[index]] = tag
             if index + 1 == count or entries[index + 1][0] != tag:
                 # Only the newest duplicate's address must be recorded.
                 self.translation.record(tag, sorted_addresses[index])
@@ -568,9 +603,19 @@ class TagSortRetrieveCircuit:
     def dequeue_batch(self, count: int) -> List[ServedTag]:
         """Serve the ``count`` smallest tags with amortized bookkeeping.
 
-        Equivalent to ``count`` calls of :meth:`dequeue_min` — same
-        service order, same empty-list state, same cycle accounting —
-        with the storage reads/writes flushed once per batch.
+        For ``count`` within the current occupancy this matches
+        ``count`` calls of :meth:`dequeue_min` — same service order,
+        same empty-list state, same cycle accounting — with the storage
+        reads/writes flushed once per batch.
+
+        **Over-ask contract (raise-before-mutate):** when ``count``
+        exceeds the occupancy the call raises
+        :class:`EmptyStructureError` *before serving anything* — the
+        circuit is left untouched.  This deliberately differs from the
+        per-op loop, which would serve the remaining entries before
+        raising on the first empty pop; the storage layer
+        (:meth:`TagStorageMemory.dequeue_batch`) shares the same
+        all-or-nothing contract.
         """
         if count < 0:
             raise ConfigurationError("dequeue count must be non-negative")
@@ -591,21 +636,51 @@ class TagSortRetrieveCircuit:
         self.operations += count
         return served
 
+    _MIXED_KINDS = frozenset(("insert", "dequeue", "remove", "retag"))
+
     def run_mixed(self, operations: Iterable[Tuple]) -> List[ServedTag]:
         """Execute a mixed op stream, coalescing runs into batch calls.
 
-        ``operations`` yields ``("insert", tag[, payload])`` and
-        ``("dequeue",)`` tuples.  Consecutive operations of the same
-        kind are grouped into one :meth:`insert_batch` /
+        ``operations`` yields ``("insert", tag[, payload])``,
+        ``("dequeue",)``, ``("remove", handle)``, and ``("retag",
+        handle, new_tag)`` tuples.  Consecutive inserts and dequeues
+        are grouped into one :meth:`insert_batch` /
         :meth:`dequeue_batch` call, so bursty streams (the common WFQ
-        arrival pattern) pay per-batch instead of per-op overhead.
-        Returns every served tag in service order — identical to
-        executing the stream one operation at a time.
+        arrival pattern) pay per-batch instead of per-op overhead;
+        dynamic updates flush any pending batch (stream order is
+        preserved) and execute per-op.  Returns every *served* tag in
+        service order — identical to executing the stream one operation
+        at a time; removed entries are not served and are not returned.
+
+        The whole stream is validated for known op kinds **before any
+        operation executes**, so an invalid stream raises
+        :class:`ConfigurationError` with the circuit untouched — no
+        partially applied prefix.
         """
+        ops = [tuple(operation) for operation in operations]
+        for operation in ops:
+            if not operation or operation[0] not in self._MIXED_KINDS:
+                kind = operation[0] if operation else None
+                raise ConfigurationError(
+                    f"unknown mixed operation kind {kind!r}"
+                )
         served: List[ServedTag] = []
         pending_inserts: List[Tuple[int, Any]] = []
         pending_dequeues = 0
-        for operation in operations:
+
+        def flush() -> None:
+            nonlocal pending_inserts, pending_dequeues
+            if pending_inserts:
+                self.insert_batch(
+                    [tag for tag, _ in pending_inserts],
+                    [payload for _, payload in pending_inserts],
+                )
+                pending_inserts = []
+            if pending_dequeues:
+                served.extend(self.dequeue_batch(pending_dequeues))
+                pending_dequeues = 0
+
+        for operation in ops:
             kind = operation[0]
             if kind == "insert":
                 if pending_dequeues:
@@ -621,18 +696,211 @@ class TagSortRetrieveCircuit:
                     )
                     pending_inserts = []
                 pending_dequeues += 1
-            else:
-                raise ConfigurationError(
-                    f"unknown mixed operation kind {kind!r}"
-                )
-        if pending_inserts:
-            self.insert_batch(
-                [tag for tag, _ in pending_inserts],
-                [payload for _, payload in pending_inserts],
-            )
-        if pending_dequeues:
-            served.extend(self.dequeue_batch(pending_dequeues))
+            elif kind == "remove":
+                flush()
+                self.remove(operation[1])
+            else:  # retag
+                flush()
+                self.retag(operation[1], operation[2])
+        flush()
         return served
+
+    # ------------------------------------------------------------------
+    # dynamic updates (remove-by-handle, retag)
+
+    def is_live_handle(self, handle: int) -> bool:
+        """Whether ``handle`` names a live (not yet retired) entry."""
+        return handle in self._handles
+
+    def handle_tag(self, handle: int) -> Optional[int]:
+        """The tag a live handle was issued for (None when stale)."""
+        return self._handles.get(handle)
+
+    def handle_payload(self, handle: int) -> Any:
+        """A live handle's payload (debug peek, no access accounting)."""
+        if handle not in self._handles:
+            raise ProtocolError(
+                f"handle {handle} does not name a live entry"
+            )
+        return self.storage._memory.peek(handle).payload
+
+    @property
+    def live_handles(self) -> int:
+        """Number of live handles (equals :attr:`count` by invariant)."""
+        return len(self._handles)
+
+    def remove(self, handle: int) -> ServedTag:
+        """Unlink the live entry at ``handle``, wherever it sits.
+
+        ``handle`` is the storage address an insert returned.  The entry
+        is spliced out of the linked list and its slot returned to the
+        Fig. 10 empty list; the value's tree marker and translation
+        entry are cleaned up eagerly when (and only when) the removed
+        link was the last of its value — a removed value must never be
+        findable again, in either marker mode.  A stale handle (already
+        served, removed, or never issued) raises :class:`ProtocolError`
+        without touching anything.
+
+        Access budget: removing the head is exactly a head removal
+        (1R + 1W); removing mid-list costs one tree search (one read
+        per level) plus one translation read to anchor the walk, one
+        read per link walked through the duplicate run, and the
+        four-access unlink window (2R + 2W when the anchor is the
+        immediate predecessor).  Cycles: :data:`FIXED_OP_CYCLES` plus
+        one per extra duplicate-run read beyond the fixed window.
+        Returns the removed entry as a :class:`ServedTag`.
+        """
+        return self._remove_core(handle, turbo=False)
+
+    def _turbo_remove(self, handle: int) -> ServedTag:
+        """Turbo twin of :meth:`remove` (same costs, fused accesses)."""
+        return self._remove_core(handle, turbo=True)
+
+    def retag(self, handle: int, new_tag: int) -> int:
+        """Move the live entry at ``handle`` to ``new_tag`` (repin).
+
+        A compound remove + insert: the entry keeps its payload, the
+        old handle dies, and the returned address is the new handle.
+        Costs and accounting are exactly one :meth:`remove` plus one
+        :meth:`insert` (two operations).  Validation — value range and,
+        in deferred-marker mode, WFQ monotonicity against the
+        *post-removal* minimum — runs before anything mutates, so a
+        rejected retag leaves the circuit untouched.
+        """
+        self._validate_retag(handle, new_tag)
+        removed = self._remove_core(handle, turbo=False)
+        return TagSortRetrieveCircuit.insert(self, new_tag, removed.payload)
+
+    def _turbo_retag(self, handle: int, new_tag: int) -> int:
+        """Turbo twin of :meth:`retag` (remove + insert, fused paths)."""
+        self._validate_retag(handle, new_tag)
+        removed = self._remove_core(handle, turbo=True)
+        return self._turbo_insert(new_tag, removed.payload)
+
+    def _validate_retag(self, handle: int, new_tag: int) -> None:
+        """Reject an illegal retag before any state changes."""
+        if handle not in self._handles:
+            raise ProtocolError(
+                f"handle {handle} does not name a live entry"
+            )
+        self.fmt.check_value(new_tag)
+        if not self.eager_marker_removal:
+            storage = self.storage
+            minimum = storage._head_tag
+            if handle == storage._head_address:
+                # Removing the head promotes its successor; the head
+                # link (and its successor tag) is latched in registers.
+                minimum = storage._memory.peek(handle).next_tag
+            self._check_monotone_against(new_tag, minimum)
+
+    def _remove_core(self, handle: int, *, turbo: bool) -> ServedTag:
+        """Shared remove path; ``turbo`` switches the fused primitives."""
+        tag = self._handles.get(handle)
+        if tag is None:
+            raise ProtocolError(
+                f"handle {handle} does not name a live entry"
+            )
+        storage = self.storage
+        translation = self.translation
+        extra_cycles = 0
+        predecessor_address: Optional[int] = None
+        predecessor_tag: Optional[int] = None
+        if handle == storage._head_address:
+            if turbo:
+                removed_tag, payload = storage.turbo_remove_at(handle, None)
+            else:
+                removed_tag, payload = storage.remove_at(handle, None)
+        else:
+            if tag == storage._head_tag:
+                # The victim shares the minimum tag: its run starts at
+                # the head, so the walk anchors there (a register; no
+                # tree search — a search below the minimum could land
+                # on a stale marker in deferred mode).
+                start = storage._head_address
+            else:
+                tree = self.tree
+                if tag > 0:
+                    closest = (
+                        tree.closest_fast(tag - 1)
+                        if turbo
+                        else tree.closest_at_most(tag - 1)
+                    )
+                else:
+                    closest = None
+                if closest is None and self.modular and not tree.is_empty:
+                    closest = tree.max_marked()
+                if closest is None:
+                    raise ProtocolError(
+                        f"no predecessor value below live tag {tag}"
+                    )
+                start = (
+                    translation.turbo_lookup(closest)
+                    if turbo
+                    else translation.lookup(closest)
+                )
+                if start is None:
+                    raise ProtocolError(
+                        f"tree returned value {closest} with no "
+                        f"translation entry"
+                    )
+            if turbo:
+                (
+                    removed_tag,
+                    payload,
+                    predecessor_address,
+                    predecessor_tag,
+                    reads,
+                ) = storage.turbo_unlink(handle, start)
+            else:
+                (
+                    removed_tag,
+                    payload,
+                    predecessor_address,
+                    predecessor_tag,
+                    reads,
+                ) = storage.unlink(handle, start)
+            # The fixed window covers two reads (anchor + victim); each
+            # extra duplicate walked costs one more cycle.
+            extra_cycles = max(0, reads - 2)
+        if removed_tag != tag:
+            raise ProtocolError(
+                f"handle {handle} registered tag {tag} but storage held "
+                f"{removed_tag}"
+            )
+        del self._handles[handle]
+        if not self._fast_mode:
+            self._live_tags[tag] -= 1
+            if self._live_tags[tag] == 0:
+                del self._live_tags[tag]
+        self._section_live[tag >> self._section_bits] -= 1
+        # Translation/marker maintenance is eager in *both* marker
+        # modes: unlike a dequeue (whose stale markers stay shadowed by
+        # the live minimum), an arbitrary removal can leave a stale
+        # marker above the minimum, where a later search would find it.
+        points_here = (
+            translation.turbo_lookup(tag)
+            if turbo
+            else translation.lookup(tag)
+        ) == handle
+        if points_here:
+            if predecessor_tag == tag:
+                # Older duplicates remain: the immediate predecessor is
+                # the new newest link of this value.
+                if turbo:
+                    translation.turbo_record(tag, predecessor_address)
+                else:
+                    translation.record(tag, predecessor_address)
+            else:
+                # Last link of its value: entry and marker both go.
+                if turbo:
+                    translation.turbo_record(tag, None)
+                else:
+                    translation.invalidate(tag)
+                self.tree.remove_marker(tag)
+        self._invalidate_head_cache()
+        self.cycles += FIXED_OP_CYCLES + extra_cycles
+        self.operations += 1
+        return ServedTag(tag=tag, payload=payload, address=handle)
 
     # ------------------------------------------------------------------
     # turbo engine (access-fused per-op paths; exact accounting parity)
@@ -664,18 +932,30 @@ class TagSortRetrieveCircuit:
             self._op_dequeue_min = self._turbo_dequeue_min
             self._op_insert_and_dequeue = self._turbo_insert_and_dequeue
             self._op_locate_predecessor = self._turbo_locate_predecessor
+            self._op_remove = self._turbo_remove
+            self._op_retag = self._turbo_retag
         else:
             self._op_insert = cls.insert.__get__(self)
             self._op_dequeue_min = cls.dequeue_min.__get__(self)
             self._op_insert_and_dequeue = cls.insert_and_dequeue.__get__(self)
             self._op_locate_predecessor = cls._locate_predecessor.__get__(self)
+            self._op_remove = cls.remove.__get__(self)
+            self._op_retag = cls.retag.__get__(self)
         if not getattr(self.tracer, "enabled", False):
             if self._turbo:
                 self.insert = self._op_insert
                 self.dequeue_min = self._op_dequeue_min
                 self.insert_and_dequeue = self._op_insert_and_dequeue
+                self.remove = self._op_remove
+                self.retag = self._op_retag
             else:
-                for name in ("insert", "dequeue_min", "insert_and_dequeue"):
+                for name in (
+                    "insert",
+                    "dequeue_min",
+                    "insert_and_dequeue",
+                    "remove",
+                    "retag",
+                ):
                     self.__dict__.pop(name, None)
 
     def _invalidate_head_cache(self) -> None:
@@ -765,6 +1045,7 @@ class TagSortRetrieveCircuit:
                 address = storage.turbo_insert_after(predecessor, tag, payload)
         self.tree.insert_marker_fast(tag)
         self.translation.turbo_record(tag, address)
+        self._handles[address] = tag
         if not self._fast_mode:
             self._live_tags[tag] += 1
         self._section_live[tag >> self._section_bits] += 1
@@ -799,6 +1080,7 @@ class TagSortRetrieveCircuit:
         self._retire(served_tag, served_address)
         self.tree.insert_marker_fast(tag)
         self.translation.turbo_record(tag, new_address)
+        self._handles[new_address] = tag
         if not self._fast_mode:
             self._live_tags[tag] += 1
         self._section_live[tag >> self._section_bits] += 1
@@ -845,6 +1127,8 @@ class TagSortRetrieveCircuit:
         self.insert_and_dequeue = self._traced_insert_and_dequeue
         self.insert_batch = self._traced_insert_batch
         self.dequeue_batch = self._traced_dequeue_batch
+        self.remove = self._traced_remove
+        self.retag = self._traced_retag
         self.clear_stale_section = self._traced_clear_stale_section
         self.flush_stale_markers = self._traced_flush_stale_markers
 
@@ -857,6 +1141,8 @@ class TagSortRetrieveCircuit:
             "insert_and_dequeue",
             "insert_batch",
             "dequeue_batch",
+            "remove",
+            "retag",
             "clear_stale_section",
             "flush_stale_markers",
         ):
@@ -1033,6 +1319,74 @@ class TagSortRetrieveCircuit:
                 )
         return served
 
+    def _traced_remove(self, handle: int) -> ServedTag:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        cycles_before = self.cycles
+        was_head = handle == self.storage._head_address
+        try:
+            removed = self._op_remove(handle)
+        except BaseException as error:
+            tracer.event(
+                "remove",
+                deltas=self.registry.deltas_since(before),
+                address=handle,
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        fault = self.fault_injection
+        if fault is not None:
+            fault._after_remove(self)
+        tracer.event(
+            "remove",
+            deltas=self.registry.deltas_since(before),
+            tag=removed.tag,
+            address=(
+                handle if fault is None else fault._reported_handle(handle)
+            ),
+            head=was_head,
+            cycles=self.cycles - cycles_before,
+            occupancy=self.count,
+            free_list_depth=self.free_list_depth,
+        )
+        return removed
+
+    def _traced_retag(self, handle: int, new_tag: int) -> int:
+        tracer = self.tracer
+        before = self.registry.snapshot_all()
+        cycles_before = self.cycles
+        old_tag = self._handles.get(handle)
+        try:
+            address = self._op_retag(handle, new_tag)
+        except BaseException as error:
+            tracer.event(
+                "retag",
+                deltas=self.registry.deltas_since(before),
+                address=handle,
+                new_tag=new_tag,
+                failed=True,
+                error=type(error).__name__,
+            )
+            raise
+        fault = self.fault_injection
+        if fault is not None:
+            fault._after_remove(self)
+        tracer.event(
+            "retag",
+            deltas=self.registry.deltas_since(before),
+            tag=old_tag,
+            new_tag=new_tag,
+            address=(
+                handle if fault is None else fault._reported_handle(handle)
+            ),
+            new_address=address,
+            cycles=self.cycles - cycles_before,
+            occupancy=self.count,
+            free_list_depth=self.free_list_depth,
+        )
+        return address
+
     def _traced_clear_stale_section(self, root_literal: int) -> int:
         tracer = self.tracer
         before = self.registry.snapshot_all()
@@ -1142,6 +1496,7 @@ class TagSortRetrieveCircuit:
             "cycles": self.cycles,
             "operations": self.operations,
             "live_tags": sorted(self._live_tags.items()),
+            "handles": sorted(self._handles.items()),
             "section_live": list(self._section_live),
             "tree": self.tree.to_state(),
             "translation": self.translation.to_state(),
@@ -1181,6 +1536,18 @@ class TagSortRetrieveCircuit:
         self._live_tags = Counter(dict(
             (tag, count) for tag, count in state["live_tags"]
         ))
+        handles = state.get("handles")
+        if handles is None:
+            # Pre-dynamic-update snapshot: rebuild the handle registry
+            # from the authoritative storage walk (peek-only, no
+            # accounting traffic).
+            self._handles = {
+                address: tag for tag, address in self.storage.walk()
+            }
+        else:
+            self._handles = {
+                int(address): tag for address, tag in handles
+            }
         self._section_live = list(state["section_live"])
         self._invalidate_head_cache()
 
@@ -1241,6 +1608,15 @@ class TagSortRetrieveCircuit:
                     f"shadow tag multiset diverged from storage: "
                     f"{live[:8]}... vs {stored[:8]}..."
                 )
+        expected_handles = {address: tag for tag, address in walked}
+        if self._handles != expected_handles:
+            extra = sorted(set(self._handles) - set(expected_handles))
+            missing = sorted(set(expected_handles) - set(self._handles))
+            raise ProtocolError(
+                f"handle registry diverged from storage: "
+                f"{len(self._handles)} registered vs {len(expected_handles)} "
+                f"live (stale={extra[:4]}, missing={missing[:4]})"
+            )
         stored_values = set(stored)
         marked = set(self.tree.marked_values())
         for value in stored_values:

@@ -407,10 +407,19 @@ class TagStorageMemory:
         """Remove the ``count`` smallest tags in one amortized pass.
 
         Retire discipline and costs match ``count`` per-op head removals
-        exactly — one read (the departing link) plus one write (threading
-        the empty list) each, and freed links join the empty list in the
+        — one read (the departing link) plus one write (threading the
+        empty list) each, and freed links join the empty list in the
         same LIFO order — but the accounting is flushed once per batch.
         Returns ``(tag, payload, address)`` triples in service order.
+
+        **Over-ask contract (raise-before-mutate):** when ``count``
+        exceeds the current occupancy the call raises
+        :class:`EmptyStructureError` *before touching the list* — no
+        link is served and no slot is freed.  This deliberately differs
+        from ``count`` literal :meth:`dequeue_min` calls, which would
+        serve the remaining occupancy before raising on the first empty
+        pop.  The batch layers at both storage and circuit level share
+        this all-or-nothing contract.
         """
         if count < 0:
             raise ConfigurationError("dequeue count must be non-negative")
@@ -430,9 +439,13 @@ class TagStorageMemory:
             served.append((link.tag, link.payload, address))
             next_address = link.next_address
             next_tag = link.next_tag
-            cells[address] = Link(
-                tag=-1, next_address=self._empty_head, next_tag=None
-            )
+            # Recycle the resident Link in place — the same free-list
+            # discipline as ``_free`` / ``turbo_dequeue_min`` — so batch
+            # and per-op retire paths thread identical cell objects.
+            link.tag = -1
+            link.next_address = self._empty_head
+            link.next_tag = None
+            link.payload = None
             self._empty_head = address
             address = next_address
         self._head_address = next_address
@@ -520,6 +533,106 @@ class TagStorageMemory:
         self._memory.write(head_address, new_link)  # access 4 (slot reuse)
         self._count += 1
         return served[0], served[1], served[2], head_address
+
+    # ------------------------------------------------------------------
+    # dynamic updates (unlink by address)
+
+    def remove_at(
+        self, address: int, predecessor_address: Optional[int]
+    ) -> Tuple[int, Any]:
+        """Unlink the link at ``address`` and return its slot to the
+        empty list.
+
+        ``predecessor_address`` names the link immediately before the
+        victim; pass None when the victim *is* the head.  Head removal
+        is exactly :meth:`dequeue_min` (one read + one write); mid-list
+        removal costs two reads (predecessor + victim) and two writes
+        (splicing the predecessor past the victim, then threading the
+        empty list) — the same four-access budget as a Fig. 9 insert.
+        The predecessor's ``next_tag`` is rewritten from the victim's,
+        so the successor-tag channel stays exact.  Returns
+        ``(tag, payload)``.
+        """
+        if self.is_empty:
+            raise EmptyStructureError("remove from an empty tag storage")
+        if predecessor_address is None:
+            if address != self._head_address:
+                raise ConfigurationError(
+                    f"remove_at: address {address} is not the head but no "
+                    "predecessor was supplied"
+                )
+            tag, payload, _ = self.dequeue_min()
+            return tag, payload
+        predecessor = self._memory.read(predecessor_address)  # access 1
+        if predecessor.next_address != address:
+            raise ConfigurationError(
+                f"remove_at: link {predecessor_address} does not precede "
+                f"{address}"
+            )
+        victim = self._memory.read(address)  # access 2
+        self._memory.write(  # access 3: splice past the victim
+            predecessor_address,
+            Link(
+                tag=predecessor.tag,
+                next_address=victim.next_address,
+                next_tag=victim.next_tag,
+                payload=predecessor.payload,
+            ),
+        )
+        self._free(address)  # access 4: thread the empty list
+        self._count -= 1
+        return victim.tag, victim.payload
+
+    def unlink(
+        self, address: int, start_address: int
+    ) -> Tuple[int, Any, int, int, int]:
+        """Walk from ``start_address`` to the link preceding ``address``,
+        splice the victim out, and thread its slot onto the empty list.
+
+        The caller supplies a walk anchor at or before the victim's
+        position — the newest link of the closest smaller value, or the
+        head when the victim shares the minimum tag.  Each walked link
+        costs one read; the unlink then adds the victim read plus two
+        writes, so an immediate predecessor lands exactly on the Fig. 9
+        four-access budget (2R + 2W) and each extra duplicate walked
+        adds one read.  The head cannot be removed this way (it has no
+        predecessor); use :meth:`remove_at` with ``predecessor_address=
+        None``.  Returns ``(tag, payload, predecessor_address,
+        predecessor_tag, reads)``.
+        """
+        if self.is_empty:
+            raise EmptyStructureError("remove from an empty tag storage")
+        if address == self._head_address or address == start_address:
+            raise ConfigurationError(
+                f"unlink needs a strict predecessor anchor for address "
+                f"{address} (got start {start_address})"
+            )
+        reads = 0
+        cursor = start_address
+        predecessor = self._memory.read(cursor)
+        reads += 1
+        while predecessor.next_address != address:
+            if predecessor.next_address is None or reads > self.capacity:
+                raise StorageCorruptionError(
+                    f"address {address} not reachable from {start_address}"
+                )
+            cursor = predecessor.next_address
+            predecessor = self._memory.read(cursor)
+            reads += 1
+        victim = self._memory.read(address)
+        reads += 1
+        self._memory.write(
+            cursor,
+            Link(
+                tag=predecessor.tag,
+                next_address=victim.next_address,
+                next_tag=victim.next_tag,
+                payload=predecessor.payload,
+            ),
+        )
+        self._free(address)
+        self._count -= 1
+        return victim.tag, victim.payload, cursor, predecessor.tag, reads
 
     # ------------------------------------------------------------------
     # turbo hot paths (access-fused, accounting-identical)
@@ -671,6 +784,86 @@ class TagStorageMemory:
         stats.writes += 2
         self._count += 1
         return served[0], served[1], served[2], head_address
+
+    def turbo_remove_at(
+        self, address: int, predecessor_address: Optional[int]
+    ) -> Tuple[int, Any]:
+        """Access-fused :meth:`remove_at` (same branch-by-branch costs)."""
+        if self._count == 0:
+            raise EmptyStructureError("remove from an empty tag storage")
+        if predecessor_address is None:
+            if address != self._head_address:
+                raise ConfigurationError(
+                    f"remove_at: address {address} is not the head but no "
+                    "predecessor was supplied"
+                )
+            tag, payload, _ = self.turbo_dequeue_min()
+            return tag, payload
+        cells = self._memory._cells
+        stats = self._memory.stats
+        predecessor = cells[predecessor_address]
+        if predecessor.next_address != address:
+            raise ConfigurationError(
+                f"remove_at: link {predecessor_address} does not precede "
+                f"{address}"
+            )
+        victim = cells[address]
+        removed = (victim.tag, victim.payload)
+        predecessor.next_address = victim.next_address  # access 3
+        predecessor.next_tag = victim.next_tag
+        # Access 4: recycle the victim's resident Link onto the empty list.
+        victim.tag = -1
+        victim.next_address = self._empty_head
+        victim.next_tag = None
+        victim.payload = None
+        self._empty_head = address
+        stats.reads += 2  # accesses 1 and 2
+        stats.writes += 2
+        self._count -= 1
+        return removed
+
+    def turbo_unlink(
+        self, address: int, start_address: int
+    ) -> Tuple[int, Any, int, int, int]:
+        """Access-fused :meth:`unlink` (same walk and splice costs)."""
+        if self._count == 0:
+            raise EmptyStructureError("remove from an empty tag storage")
+        if address == self._head_address or address == start_address:
+            raise ConfigurationError(
+                f"unlink needs a strict predecessor anchor for address "
+                f"{address} (got start {start_address})"
+            )
+        cells = self._memory._cells
+        stats = self._memory.stats
+        reads = 0
+        cursor = start_address
+        predecessor = cells[cursor]
+        reads += 1
+        while predecessor.next_address != address:
+            if predecessor.next_address is None or reads > self.capacity:
+                raise StorageCorruptionError(
+                    f"address {address} not reachable from {start_address}"
+                )
+            cursor = predecessor.next_address
+            predecessor = cells[cursor]
+            reads += 1
+        victim = cells[address]
+        reads += 1
+        removed_tag = victim.tag
+        removed_payload = victim.payload
+        predecessor_tag = predecessor.tag
+        predecessor.next_address = victim.next_address
+        predecessor.next_tag = victim.next_tag
+        # Recycle the victim's resident Link onto the empty list.
+        victim.tag = -1
+        victim.next_address = self._empty_head
+        victim.next_tag = None
+        victim.payload = None
+        self._empty_head = address
+        stats.reads += reads
+        stats.writes += 2
+        self._count -= 1
+        return removed_tag, removed_payload, cursor, predecessor_tag, reads
 
     # ------------------------------------------------------------------
     # checkpoint / restore

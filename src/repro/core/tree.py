@@ -319,6 +319,13 @@ class MultiBitTree:
     def remove_marker(self, value: int) -> bool:
         """Unmark ``value``; prunes now-empty ancestors bottom-up.
 
+        The downward verify pass latches each level's node word in a
+        path register, so the upward clear phase is write-only: one read
+        plus at most one write per level, never a re-read.  (Each word
+        on the path is read exactly once, before any word is modified,
+        and clearing a bit at level ``d`` only changes level ``d``'s
+        word — the latched parents stay valid.)
+
         Returns True if a marker was removed, False if ``value`` was not
         marked.
         """
@@ -327,19 +334,17 @@ class MultiBitTree:
         literals = self.fmt.literals(value)
         # Collect the path (and verify presence) top-down first.
         prefix = 0
-        path: List[Tuple[int, int, int]] = []  # (level, prefix, literal)
+        path: List[Tuple[int, int, int, int]] = []
         for level, literal in enumerate(literals):
             node = self._levels[level].read(prefix)
             if not node >> literal & 1:
                 return False
-            path.append((level, prefix, literal))
+            path.append((level, prefix, literal, node))
             prefix = prefix * b + literal
         # Clear bottom-up, stopping once a node stays non-empty.
-        for level, node_prefix, literal in reversed(path):
-            memory = self._levels[level]
-            node = memory.read(node_prefix)
+        for level, node_prefix, literal, node in reversed(path):
             node &= ~(1 << literal)
-            memory.write(node_prefix, node)
+            self._levels[level].write(node_prefix, node)
             if node != 0:
                 break
         self._count -= 1

@@ -105,6 +105,8 @@ class ScheduleFabric:
         self._flow_live: Dict[int, int] = {}
         self.pushes = 0
         self.pops = 0
+        self.cancels = 0
+        self.repins = 0
         self._tracer = NULL_TRACER
         self._pool = None
         if tracer is not None:
@@ -152,6 +154,8 @@ class ScheduleFabric:
                 "tournament": self.tournament.describe(),
                 "pushes": self.pushes,
                 "pops": self.pops,
+                "cancels": self.cancels,
+                "repins": self.repins,
                 "workers": self._pool.workers if self._pool else 0,
             }
         )
@@ -194,17 +198,20 @@ class ScheduleFabric:
                 **plan.to_dict(),
             )
 
-    def push(self, finish_tag: float, flow_id: int, payload=None) -> None:
-        """Route and insert one tag.
+    def push(self, finish_tag: float, flow_id: int, payload=None) -> int:
+        """Route and insert one tag; returns its fabric handle.
 
         ``payload`` defaults to ``flow_id`` (the bare
         :class:`~repro.sched.wfq.TagStore` contract); the scheduler
-        facade passes the packet-buffer pointer instead.
+        facade passes the packet-buffer pointer instead.  The handle
+        encodes the routed shard and the shard-local circuit handle
+        (``shard * capacity_per_shard + address``), and stays valid for
+        :meth:`remove` / :meth:`retag` until the entry is served.
         """
         if payload is None:
             payload = flow_id
         shard, spilled = self.manager.route(flow_id, self.occupancies())
-        self.stores[shard].push(finish_tag, (flow_id, payload))
+        local = self.stores[shard].push(finish_tag, (flow_id, payload))
         self._track_push(flow_id)
         self.pushes += 1
         self._sync_head(shard)
@@ -226,6 +233,7 @@ class ScheduleFabric:
                 spilled=1 if spilled else 0,
             )
         self._maybe_rebalance()
+        return shard * self.capacity_per_shard + local
 
     def push_batch(self, items: Iterable[Sequence]) -> None:
         """Route and insert a run of tags in one pass.
@@ -382,6 +390,61 @@ class ScheduleFabric:
         return out
 
     # ------------------------------------------------------------------
+    # dynamic updates (cancel / repin without drain-and-refill)
+
+    def handle_location(self, handle: int) -> Tuple[int, int]:
+        """Decode a fabric handle into ``(shard, local handle)``."""
+        if not 0 <= handle < self.shards * self.capacity_per_shard:
+            raise ProtocolError(
+                f"fabric handle {handle} outside the "
+                f"{self.shards}×{self.capacity_per_shard} handle space"
+            )
+        return divmod(handle, self.capacity_per_shard)
+
+    def remove(self, handle: int) -> Tuple[float, object]:
+        """Cancel a live entry by its :meth:`push` handle, in place.
+
+        Only the owning shard is touched — no drain-and-refill, no
+        tournament rebuild beyond that shard's head refresh.  Returns
+        the cancelled entry's exact ``(finish_tag, payload)``.
+        """
+        shard, local = self.handle_location(handle)
+        finish_tag, (flow_id, payload) = self.stores[shard].remove(local)
+        self._track_pop(flow_id)
+        self.cancels += 1
+        self._sync_head(shard)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "shard_cancel",
+                component=FABRIC_COMPONENT,
+                shard=shard,
+                flow=flow_id,
+            )
+        self._maybe_rebalance()
+        return finish_tag, payload
+
+    def retag(self, handle: int, new_finish_tag: float) -> int:
+        """Repin a live entry to a new finishing tag; new handle back.
+
+        The entry stays on its shard (flow-to-shard pinning is what
+        keeps per-flow service order intact), moving only inside that
+        shard's circuit under the full wrap discipline.  The other
+        shards keep serving throughout — repin never drains anything.
+        """
+        shard, local = self.handle_location(handle)
+        new_local = self.stores[shard].retag(local, new_finish_tag)
+        self.repins += 1
+        self._sync_head(shard)
+        if self._tracer.enabled:
+            self._tracer.event(
+                "shard_repin",
+                component=FABRIC_COMPONENT,
+                shard=shard,
+            )
+        self._maybe_rebalance()
+        return shard * self.capacity_per_shard + new_local
+
+    # ------------------------------------------------------------------
     # worker backend (process-parallel enqueue built on checkpoints)
 
     def use_workers(self, workers: int) -> None:
@@ -479,6 +542,8 @@ class ScheduleFabric:
             "literal_bits": self.fmt.literal_bits,
             "pushes": self.pushes,
             "pops": self.pops,
+            "cancels": self.cancels,
+            "repins": self.repins,
             "flow_live": sorted(self._flow_live.items()),
             "stores": [store.to_state() for store in self.stores],
             "partitioner": self.partitioner.to_state(),
@@ -502,6 +567,9 @@ class ScheduleFabric:
         self.manager.load_state(state["manager"])
         self.pushes = state["pushes"]
         self.pops = state["pops"]
+        # Absent in pre-dynamic-update snapshots.
+        self.cancels = state.get("cancels", 0)
+        self.repins = state.get("repins", 0)
         self._flow_live = {
             int(flow_id): int(live) for flow_id, live in state["flow_live"]
         }

@@ -117,15 +117,35 @@ class FabricSchedulerSystem(HardwareWFQSystem):
     # ------------------------------------------------------------------
     # enqueue paths (the fabric routes on flow id; pointer is payload)
 
-    def enqueue(self, packet: Packet, now: float) -> None:
+    def enqueue(self, packet: Packet, now: float) -> Optional[int]:
+        """Admit one arrival; returns its fabric cancel handle.
+
+        The handle encodes the routed shard and the shard-local circuit
+        address, and works with the inherited :meth:`cancel` and the
+        fabric-aware :meth:`reschedule` until the packet is served.
+        """
         tags = self.clock.on_arrival(packet.flow_id, packet.size_bits, now)
         packet.start_tag = tags.start_tag
         packet.finish_tag = tags.finish_tag
         pointer = self.buffer.try_store(packet)
         if pointer is None:
             self.dropped += 1
-            return
-        self.store.push(tags.finish_tag, packet.flow_id, pointer)
+            return None
+        return self.store.push(tags.finish_tag, packet.flow_id, pointer)
+
+    # cancel() is inherited: ScheduleFabric.remove matches the store
+    # contract, handing back (finish_tag, pointer) for the buffer fetch.
+
+    def reschedule(self, handle: int, new_finish_tag: float) -> int:
+        """Repin a queued packet on its shard; returns the new handle."""
+        new_handle = self.store.retag(handle, new_finish_tag)
+        shard, local = self.store.handle_location(new_handle)
+        circuit = self.store.stores[shard].circuit
+        _, (_flow_id, pointer) = circuit.handle_payload(local)
+        packet = self.buffer.peek(pointer)
+        if packet is not None:
+            packet.finish_tag = new_finish_tag
+        return new_handle
 
     def enqueue_batch(self, packets: Iterable[Packet]) -> int:
         """Batched arrivals; service order matches per-packet enqueues."""

@@ -141,8 +141,13 @@ class HardwareTagStore:
     # ------------------------------------------------------------------
     # TagStore protocol
 
-    def push(self, finish_tag: float, flow_id: int) -> None:
+    def push(self, finish_tag: float, flow_id: int) -> int:
         """Quantize and insert one tag; payload carries the exact tag.
+
+        Returns the circuit handle (storage address) of the inserted
+        entry, usable with :meth:`remove` / :meth:`retag` until the
+        entry is served.  Callers driving the plain
+        :class:`~repro.sched.wfq.TagStore` protocol may ignore it.
 
         The paper asserts that "the WFQ algorithm always produces tags
         larger than, or equal to, the smallest tag already in the system"
@@ -192,15 +197,14 @@ class HardwareTagStore:
                 tracer.event(
                     "clamp", unwrapped=unwrapped, raw=raw, quanta=quanta
                 )
-            self.circuit.insert(raw, payload=(finish_tag, flow_id))
-            return
+            return self.circuit.insert(raw, payload=(finish_tag, flow_id))
         self._prepare_sections(unwrapped)
         if (
             self._min_inserted_unwrapped is None
             or unwrapped < self._min_inserted_unwrapped
         ):
             self._min_inserted_unwrapped = unwrapped
-        self.circuit.insert(raw, payload=(finish_tag, flow_id))
+        return self.circuit.insert(raw, payload=(finish_tag, flow_id))
 
     def push_batch(self, items: List[Tuple[float, int]]) -> None:
         """Quantize and insert a run of ``(finish_tag, payload)`` pairs.
@@ -340,6 +344,37 @@ class HardwareTagStore:
         ):
             self._last_served_unwrapped = unwrapped
         return finish_tag, flow_id
+
+    # ------------------------------------------------------------------
+    # dynamic updates (timer cancel / deadline repin)
+
+    def remove(self, handle: int) -> Tuple[float, int]:
+        """Cancel the live entry at ``handle``; exact (tag, flow) back.
+
+        ``handle`` is the value :meth:`push` returned.  The entry is
+        unlinked wherever it sits (no drain-and-refill) and its exact
+        payload returned.  Wrap bookkeeping is untouched: the service
+        floor only tracks *served* tags, and a cancelled entry was never
+        served.  A stale handle raises
+        :class:`~repro.hwsim.errors.ProtocolError` without touching
+        anything.
+        """
+        removed = self.circuit.remove(handle)
+        return removed.payload
+
+    def retag(self, handle: int, new_finish_tag: float) -> int:
+        """Repin the live entry at ``handle`` to a new finishing tag.
+
+        A cancel plus a re-push under the full wrap discipline — span
+        guard, behind-minimum clamping, frontier advance — so the moved
+        entry lands exactly where a fresh :meth:`push` of
+        ``new_finish_tag`` for the same flow would.  The span guard runs
+        *before* the removal, so a rejected repin leaves the store
+        untouched.  Returns the entry's new handle.
+        """
+        self._guard_span(self.quantize(new_finish_tag))
+        _, flow_id = self.circuit.remove(handle).payload
+        return self.push(new_finish_tag, flow_id)
 
     def peek_min_exact(self) -> Optional[Tuple[float, int]]:
         """The head entry's exact (tag, payload) without dequeuing.

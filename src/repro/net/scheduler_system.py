@@ -143,15 +143,20 @@ class HardwareWFQSystem(PacketScheduler):
     def backlog(self) -> int:
         return len(self.store)
 
-    def enqueue(self, packet: Packet, now: float) -> None:
+    def enqueue(self, packet: Packet, now: float) -> Optional[int]:
+        """Admit one arrival; returns its cancel handle (None if dropped).
+
+        The handle is the sort/retrieve circuit's storage address and
+        stays valid until the packet is served, cancelled, or repinned.
+        """
         tags = self.clock.on_arrival(packet.flow_id, packet.size_bits, now)
         packet.start_tag = tags.start_tag
         packet.finish_tag = tags.finish_tag
         pointer = self.buffer.try_store(packet)
         if pointer is None:
             self.dropped += 1
-            return
-        self.store.push(tags.finish_tag, pointer)
+            return None
+        return self.store.push(tags.finish_tag, pointer)
 
     def select_next(self, now: float) -> Optional[Packet]:
         if len(self.store) == 0:
@@ -159,6 +164,35 @@ class HardwareWFQSystem(PacketScheduler):
         self.clock.advance_to(now)
         _, pointer = self.store.pop_min()
         return self.buffer.fetch(pointer)
+
+    # ------------------------------------------------------------------
+    # dynamic updates
+
+    def cancel(self, handle: int) -> Packet:
+        """Withdraw a queued packet by its :meth:`enqueue` handle.
+
+        The (tag, pointer) pair is unlinked from the sort/retrieve
+        circuit in place — the rest of the schedule is untouched — and
+        the packet's buffer slot is released.  Returns the withdrawn
+        packet.  A stale handle (already served or cancelled) raises
+        :class:`~repro.hwsim.errors.ProtocolError`.
+        """
+        _, pointer = self.store.remove(handle)
+        return self.buffer.fetch(pointer)
+
+    def reschedule(self, handle: int, new_finish_tag: float) -> int:
+        """Move a queued packet to a new finishing tag (repin).
+
+        The packet stays parked in the buffer; only its (tag, pointer)
+        pair moves inside the circuit, under the same quantization and
+        wrap discipline as a fresh enqueue.  Returns the new handle.
+        """
+        new_handle = self.store.retag(handle, new_finish_tag)
+        pointer = self.store.circuit.handle_payload(new_handle)[1]
+        packet = self.buffer.peek(pointer)
+        if packet is not None:
+            packet.finish_tag = new_finish_tag
+        return new_handle
 
     # ------------------------------------------------------------------
     # batched soak paths

@@ -25,6 +25,18 @@ monitor                      paper guarantee
                              its freed link back onto the empty list
                              (an explicit storage write; the combined
                              op reuses the slot instead).
+``handle_liveness``          Dynamic updates: a remove/retag names a
+                             handle that is live per the event stream —
+                             issued by an insert, not yet served,
+                             removed, or retagged — and the tag it
+                             reports matches the tag the handle was
+                             issued for.
+``free_list_removal``        Fig. 10 under removal: an arbitrary unlink
+                             returns exactly one slot to the empty list
+                             (occupancy −1, free-list depth +1) and
+                             performs the empty-list threading write
+                             (two storage writes mid-list: the splice
+                             and the release; one at the head).
 ``serve_monotonic``          Section II-B WFQ invariant: served tags
                              are non-decreasing (wrap-aware in modular
                              mode) until the circuit drains and a new
@@ -271,12 +283,163 @@ class DequeueBoundMonitor(_Monitor):
         return None
 
 
+class HandleLivenessMonitor(_Monitor):
+    """Dynamic updates only touch handles the event stream says are live.
+
+    Tracks the live handle set per component from the op stream (an
+    insert issues its address as a handle; a serve, remove, or retag
+    retires it; a retag issues the new address).  A remove/retag naming
+    an address outside that set is a stale or double-freed handle; one
+    whose reported tag differs from the issuing insert's is aliasing a
+    reused slot.  A component with no observed inserts yet is left
+    unjudged (the trace may have started mid-stream from a restored
+    checkpoint).
+    """
+
+    name = "handle_liveness"
+
+    def __init__(self, config: MonitorConfig) -> None:
+        super().__init__(config)
+        #: per-component handle ledger: address -> tag at issue time
+        self._handles: Dict[str, Dict[int, int]] = {}
+
+    def check(self, event: TraceEvent) -> Optional[str]:
+        if event.kind not in ("remove", "retag"):
+            return None
+        address = event.attrs.get("address")
+        if address is None:
+            return None
+        ledger = self._handles.get(_component(event))
+        if ledger is None:
+            return None
+        if address not in ledger:
+            return (
+                f"{event.kind} named handle {address} with no live "
+                f"entry: the handle is stale, double-freed, or was "
+                f"never issued"
+            )
+        tag = event.attrs.get("tag")
+        if tag is not None and ledger[address] != tag:
+            return (
+                f"{event.kind} of handle {address} reported tag {tag} "
+                f"but the handle was issued for tag {ledger[address]}: "
+                f"a reused slot is being aliased"
+            )
+        return None
+
+    def _ledger_for(self, event: TraceEvent) -> Dict[int, int]:
+        component = _component(event)
+        ledger = self._handles.get(component)
+        if ledger is None:
+            ledger = self._handles[component] = {}
+        return ledger
+
+    def update(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind not in (
+            "insert",
+            "dequeue",
+            "insert_dequeue",
+            "remove",
+            "retag",
+        ):
+            return
+        address = event.attrs.get("address")
+        if kind == "insert":
+            tag = event.attrs.get("tag")
+            if address is not None and tag is not None:
+                self._ledger_for(event)[address] = tag
+        elif kind == "dequeue":
+            if address is not None:
+                self._ledger_for(event).pop(address, None)
+        elif kind == "insert_dequeue":
+            ledger = self._ledger_for(event)
+            served_address = event.attrs.get("served_address")
+            if served_address is not None:
+                ledger.pop(served_address, None)
+            tag = event.attrs.get("tag")
+            if address is not None and tag is not None:
+                ledger[address] = tag
+        elif kind == "remove":
+            if address is not None:
+                self._ledger_for(event).pop(address, None)
+        else:  # retag
+            ledger = self._ledger_for(event)
+            if address is not None:
+                ledger.pop(address, None)
+            new_address = event.attrs.get("new_address")
+            new_tag = event.attrs.get("new_tag")
+            if new_address is not None and new_tag is not None:
+                ledger[new_address] = new_tag
+
+
+class RemovalConservationMonitor(_Monitor):
+    """Fig. 10 under removal: one slot freed, threading write performed."""
+
+    name = "free_list_removal"
+
+    def __init__(self, config: MonitorConfig) -> None:
+        super().__init__(config)
+        #: per-component (occupancy, free_list_depth) after the last
+        #: event that reported both; None-dropped when a batched run
+        #: (which reports no free-list depth) makes the depth unknown.
+        self._state: Dict[str, tuple] = {}
+
+    def check(self, event: TraceEvent) -> Optional[str]:
+        if event.kind != "remove":
+            return None
+        if event.deltas:
+            delta = _storage_delta(event)
+            # Mid-list: splice + release; head: release only (the
+            # departing link itself carries the new head).
+            floor = 1 if event.attrs.get("head") else 2
+            if delta is not None and delta.writes < floor:
+                return (
+                    f"remove made {delta.writes} storage write(s), "
+                    f"under the {floor} required: the empty-list "
+                    f"release was skipped (Fig. 10)"
+                )
+        previous = self._state.get(_component(event))
+        occupancy = event.attrs.get("occupancy")
+        depth = event.attrs.get("free_list_depth")
+        if previous is not None and occupancy is not None and depth is not None:
+            prev_occupancy, prev_depth = previous
+            if occupancy != prev_occupancy - 1 or depth != prev_depth + 1:
+                return (
+                    f"remove moved occupancy {prev_occupancy}→{occupancy} "
+                    f"and free-list depth {prev_depth}→{depth}; slot "
+                    f"conservation requires −1/+1 (Fig. 10)"
+                )
+        return None
+
+    def update(self, event: TraceEvent) -> None:
+        occupancy = event.attrs.get("occupancy")
+        depth = event.attrs.get("free_list_depth")
+        component = _component(event)
+        if occupancy is not None and depth is not None:
+            self._state[component] = (occupancy, depth)
+        elif occupancy is not None:
+            # Occupancy moved but the free-list depth was not reported
+            # (batched per-op events): the depth reference is stale.
+            self._state.pop(component, None)
+
+    def on_violation(self, event: TraceEvent) -> None:
+        # Resync to the reported pair so one fault is one violation.
+        self.update(event)
+
+
 class FreeListConservationMonitor(_Monitor):
     """Fig. 10: slots conserved; every dequeue releases onto the empty list."""
 
     name = "free_list_conservation"
 
-    _OCCUPANCY_STEP = {"insert": 1, "dequeue": -1, "insert_dequeue": 0}
+    _OCCUPANCY_STEP = {
+        "insert": 1,
+        "dequeue": -1,
+        "insert_dequeue": 0,
+        "remove": -1,
+        "retag": 0,
+    }
 
     def __init__(self, config: MonitorConfig) -> None:
         super().__init__(config)
@@ -393,6 +556,11 @@ class MonotonicityMonitor(_Monitor):
             # restart at lower tags.
             self._last.pop(component, None)
             return
+        if event.kind == "remove" and event.attrs.get("occupancy") == 0:
+            # A removal drained the circuit; like a served drain, the
+            # next busy period may legitimately restart lower.
+            self._last.pop(component, None)
+            return
         tag = self._served_tag(event)
         if tag is not None:
             self._last[component] = tag
@@ -480,6 +648,21 @@ class CoverageMonitor(_Monitor):
                 live_tags[served] -= 1
                 if live_tags[served] <= 0:
                     del live_tags[served]
+        elif event.kind == "remove":
+            tag = event.attrs.get("tag")
+            if tag is not None:
+                live_tags[tag] -= 1
+                if live_tags[tag] <= 0:
+                    del live_tags[tag]
+        elif event.kind == "retag":
+            tag = event.attrs.get("tag")
+            new_tag = event.attrs.get("new_tag")
+            if tag is not None:
+                live_tags[tag] -= 1
+                if live_tags[tag] <= 0:
+                    del live_tags[tag]
+            if new_tag is not None:
+                live_tags[new_tag] += 1
 
 
 class FabricOrderMonitor(_Monitor):
@@ -556,6 +739,19 @@ class FabricOrderMonitor(_Monitor):
                 live[served] -= 1
                 if live[served] <= 0:
                     del live[served]
+        elif event.kind == "remove":
+            if tag is not None:
+                live[tag] -= 1
+                if live[tag] <= 0:
+                    del live[tag]
+        elif event.kind == "retag":
+            new_tag = event.attrs.get("new_tag")
+            if tag is not None:
+                live[tag] -= 1
+                if live[tag] <= 0:
+                    del live[tag]
+            if new_tag is not None:
+                live[new_tag] += 1
 
 
 class FabricBalanceMonitor(_Monitor):
@@ -572,7 +768,7 @@ class FabricBalanceMonitor(_Monitor):
 
     name = "fabric_balance"
 
-    _STEP_KINDS = ("insert", "dequeue", "insert_dequeue")
+    _STEP_KINDS = ("insert", "dequeue", "insert_dequeue", "remove", "retag")
 
     def __init__(self, config: MonitorConfig) -> None:
         super().__init__(config)
@@ -622,6 +818,8 @@ class FabricBalanceMonitor(_Monitor):
 MONITOR_CLASSES = (
     InsertBudgetMonitor,
     DequeueBoundMonitor,
+    HandleLivenessMonitor,
+    RemovalConservationMonitor,
     FreeListConservationMonitor,
     MonotonicityMonitor,
     CoverageMonitor,
@@ -714,6 +912,10 @@ class MonitorSuite:
                     "count",
                     "component",
                     "shard",
+                    "address",
+                    "new_tag",
+                    "new_address",
+                    "head",
                 )
                 if key in event.attrs
             },

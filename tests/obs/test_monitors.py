@@ -7,6 +7,8 @@ observability check: did the right monitor notice, and did no other
 monitor false-positive through the fault?
 """
 
+import random
+
 import pytest
 
 from repro.bench.perf import _drive_batched, _drive_per_op, make_mixed_ops
@@ -123,6 +125,37 @@ class TestSeededFaultCoverage:
         assert report.attrs["offender_seq"] == violation.seq
         assert report.attrs["offender_kind"] == "insert"
 
+    def test_dynamic_fault_does_not_corrupt_served_sequence(self):
+        """The remove/retag faults, too, are telemetry-only."""
+
+        def drive(store):
+            served = []
+            live = []
+            tag = 0.0
+            rng = random.Random(SEED)
+            for step in range(400):
+                roll = rng.random()
+                if roll < 0.5 or not live:
+                    tag += rng.random() * 16.0
+                    live.append(store.push(tag, step))
+                elif roll < 0.75:
+                    store.remove(live.pop(rng.randrange(len(live))))
+                else:
+                    served.append(store.pop_min())
+                    live = [
+                        handle
+                        for handle in live
+                        if store.circuit.is_live_handle(handle)
+                    ]
+            return served
+
+        clean = drive(HardwareTagStore(granularity=8.0))
+        store = HardwareTagStore(granularity=8.0, tracer=Tracer())
+        store.circuit.fault_injection = FaultInjection(
+            misreport_remove_handle=3, skip_removal_release=True
+        )
+        assert drive(store) == clean
+
     def test_fault_does_not_corrupt_served_sequence(self):
         """Faults are telemetry-only: the circuit still serves
         correctly, which is what makes clean-mode comparisons valid."""
@@ -137,6 +170,89 @@ class TestSeededFaultCoverage:
         )
         faulted = _drive_per_op(store, stream)
         assert clean == faulted
+
+
+def faulted_dynamic_suite(fault, *, ops=1_200, warmup=200, seed=SEED):
+    """Like :func:`faulted_suite`, but the churn includes remove/retag.
+
+    The dynamic-update monitors only judge ``remove``/``retag`` events,
+    which the bench mixed stream never emits — this driver interleaves
+    all four verbs so the handle ledger and the removal conservation
+    state actually accumulate before the fault turns on.
+    """
+    tracer = Tracer()
+    store = HardwareTagStore(granularity=8.0, tracer=tracer)
+    suite = MonitorSuite.for_circuit(store.circuit, tracer=tracer)
+    tracer.add_observer(suite)
+    rng = random.Random(seed)
+    live = []
+    tag = 0.0
+
+    def step(index):
+        nonlocal tag, live
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            tag += rng.random() * 16.0
+            live.append(store.push(tag, index))
+        elif roll < 0.7:
+            store.remove(live.pop(rng.randrange(len(live))))
+        elif roll < 0.85:
+            slot = rng.randrange(len(live))
+            live[slot] = store.retag(
+                live[slot],
+                store.peek_min_exact()[0] + rng.random() * 32.0,
+            )
+        else:
+            store.pop_min()
+            live = [
+                handle
+                for handle in live
+                if store.circuit.is_live_handle(handle)
+            ]
+
+    for index in range(warmup):
+        step(index)
+    assert suite.ok, "warmup must be violation-free"
+    store.circuit.fault_injection = fault
+    for index in range(warmup, ops):
+        step(index)
+        if suite.violations:
+            break
+    return suite, tracer
+
+
+#: the dynamic-update pair: (fault, the one monitor that must claim it)
+DYNAMIC_FAULT_MATRIX = [
+    (FaultInjection(misreport_remove_handle=3), "handle_liveness"),
+    (FaultInjection(skip_removal_release=True), "free_list_removal"),
+]
+
+
+class TestDynamicUpdateFaultCoverage:
+    """The remove/retag monitors each catch exactly their fault."""
+
+    @pytest.mark.parametrize(
+        "fault,expected",
+        DYNAMIC_FAULT_MATRIX,
+        ids=[expected for _, expected in DYNAMIC_FAULT_MATRIX],
+    )
+    def test_fault_caught_by_exactly_one_monitor(self, fault, expected):
+        suite, tracer = faulted_dynamic_suite(fault)
+        counts = suite.counts_by_monitor()
+        assert counts, f"fault {fault} went unnoticed"
+        assert set(counts) == {expected}, (
+            f"expected only {expected} to fire, got {counts}"
+        )
+        reports = tracer.events(INVARIANT_KIND)
+        assert len(reports) == len(suite.violations)
+        assert all(
+            event.attrs["monitor"] == expected for event in reports
+        )
+
+    def test_clean_dynamic_churn_is_silent(self):
+        suite, _ = faulted_dynamic_suite(FaultInjection(), ops=1_200)
+        assert suite.ok
+        assert suite.checked > 1_000
 
 
 class TestMonitorConfig:
