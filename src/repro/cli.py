@@ -22,6 +22,15 @@ over the circuit's remove/retag primitives (see :mod:`repro.net.timer`:
 ``--pattern {churn,retransmit,expiry}``, ``--shards``, ``--monitor``).
 All six subsystems share one output convention: ``--output FILE`` writes
 where you say, ``--format {text,json}`` picks the representation.
+
+The soak runners (``obs``, ``fabric``, ``timer``) additionally accept
+``--serve PORT`` to expose the live observability plane (``/metrics``
+Prometheus text, ``/health`` JSON status, ``/snapshot`` full instrument
+dump) over HTTP while the soak runs, ``--watchdog SECONDS`` to arm the
+progress-based stall watchdog, and — for ``obs`` and ``fabric`` —
+``--flight FILE`` to auto-dump an analyze-loadable flight-recorder
+window around the first invariant violation (see :mod:`repro.obs.live`,
+:mod:`repro.obs.flight`).
 """
 
 from __future__ import annotations

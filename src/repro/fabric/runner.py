@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -33,9 +34,12 @@ from ..bench.perf import _drive_batched, _drive_per_op, make_flow_ops
 from ..hwsim.stats import AccessStats
 from ..obs.events import build_trace_header
 from ..obs.exporters import prometheus_snapshot, run_report
+from ..obs.flight import FlightRecorder
 from ..obs.instruments import InstrumentSet
-from ..obs.monitors import MonitorSuite
+from ..obs.live import LivePlane
+from ..obs.monitors import MonitorConfig, MonitorSuite
 from ..obs.probes import StandardProbes
+from ..obs.slo import ServeStreamAuditor
 from ..obs.tracer import Tracer
 from .fabric import ScheduleFabric
 
@@ -54,6 +58,10 @@ class FabricRun:
     workers: int = 0
     monitors: Optional[MonitorSuite] = None
     checkpoint: Optional[Dict] = None
+    live: Optional[Dict] = None
+    live_instruments: Optional[InstrumentSet] = None
+    flight: Optional[FlightRecorder] = None
+    auditor: Optional[ServeStreamAuditor] = None
 
     @property
     def event_counts(self) -> Dict[str, int]:
@@ -136,6 +144,32 @@ class FabricRun:
             )
         if self.monitors is not None:
             notes.append(self.monitors.summary())
+        if self.live is not None:
+            port = self.live.get("port")
+            served_at = f" on port {port}" if port else ""
+            notes.append(
+                f"live plane{served_at}: {self.live['windows']} windows "
+                f"({self.live['skipped_ticks']} skipped), "
+                f"{self.live['uptime_seconds']}s up"
+            )
+            watchdog = self.live.get("watchdog")
+            if watchdog and watchdog["stall_count"]:
+                notes.append(
+                    f"watchdog: {watchdog['stall_count']} stall(s) "
+                    f"declared (timeout {watchdog['timeout']}s)"
+                )
+        if self.auditor is not None:
+            audit = self.auditor.summary()
+            notes.append(
+                f"serve audit: {audit['serves']} serves, "
+                f"{audit['inversions']} rank inversions"
+            )
+        if self.flight is not None and self.flight.dumped:
+            trigger = self.flight.summary()["trigger"] or {}
+            notes.append(
+                f"flight recorder: dumped {self.flight.path} around "
+                f"{trigger.get('monitor') or trigger.get('kind')}"
+            )
         return run_report(
             title=(
                 f"fabric soak: {self.ops} ops over {self.fabric.shards} "
@@ -201,7 +235,21 @@ class FabricRun:
                     ],
                 }
             ),
+            "live": self.live,
+            "serve_audit": (
+                None if self.auditor is None else self.auditor.summary()
+            ),
+            "flight": (
+                None if self.flight is None else self.flight.summary()
+            ),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition: run instruments plus live rollups."""
+        text = prometheus_snapshot(self.instruments)
+        if self.live_instruments is not None:
+            text += prometheus_snapshot(self.live_instruments)
+        return text
 
 
 def run_fabric_soak(
@@ -218,6 +266,12 @@ def run_fabric_soak(
     buffer_size: int = 65536,
     monitor: bool = False,
     checkpoint_path: Optional[str] = None,
+    serve_port: Optional[int] = None,
+    serve_host: str = "127.0.0.1",
+    serve_linger: float = 0.0,
+    live_interval: float = 0.5,
+    watchdog_timeout: Optional[float] = None,
+    flight_path: Optional[str] = None,
 ) -> FabricRun:
     """Drive a traced fabric soak and return its telemetry.
 
@@ -235,6 +289,14 @@ def run_fabric_soak(
     returned run's ``checkpoint["resumed_match"]`` records whether the
     two service sequences were identical (the restore-fidelity
     acceptance check, and the mechanism shard migration relies on).
+
+    ``serve_port`` attaches the live observability plane: the windowed
+    collector plus HTTP ``/metrics`` / ``/health`` / ``/snapshot``
+    while the soak runs, and the tag-domain serve auditor.
+    ``watchdog_timeout`` arms a progress watchdog — with a worker pool,
+    a hung ``pool.map`` stops the summed-registry progress reading and
+    the collector thread declares the stall (no per-op heartbeat on the
+    hot path).  ``flight_path`` arms the flight recorder.
     """
     probes = StandardProbes()
     tracer = Tracer(
@@ -265,9 +327,62 @@ def run_fabric_soak(
         tracer.add_observer(suite)
     if workers:
         fabric.use_workers(workers)
+
+    flight: Optional[FlightRecorder] = None
+    if flight_path is not None:
+        flight = FlightRecorder(flight_path, header=tracer.header)
+        tracer.add_observer(flight)
+    auditor: Optional[ServeStreamAuditor] = None
+    plane: Optional[LivePlane] = None
+    if serve_port is not None:
+        monitor_config = MonitorConfig.from_circuit_config(
+            fabric.stores[0].describe()
+        )
+        auditor = ServeStreamAuditor(
+            instruments=probes.instruments,
+            modular=monitor_config.modular,
+            tag_space=monitor_config.tag_space,
+        )
+        tracer.add_observer(auditor)
+        stores = fabric.stores
+
+        def fabric_progress() -> float:
+            return float(
+                sum(
+                    store.circuit.registry.total().total
+                    for store in stores
+                )
+            )
+
+        plane = LivePlane(
+            instruments=probes.instruments,
+            progress=fabric_progress,
+            occupancy=lambda: sum(fabric.occupancies()),
+            free_list_depth=lambda: sum(
+                store.circuit.free_list_depth for store in stores
+            ),
+            monitors=suite,
+            tracer=tracer,
+            flight=flight,
+            serve_port=serve_port,
+            serve_host=serve_host,
+            interval=live_interval,
+            watchdog_timeout=watchdog_timeout,
+            extra_status=lambda: {
+                "fabric": {
+                    "shards": fabric.shards,
+                    "pushes": fabric.pushes,
+                    "pops": fabric.pops,
+                    "workers": workers,
+                }
+            },
+        )
+        plane.start()
+
     stream = make_flow_ops(ops, seed, flows=flows)
     drive = _drive_batched if batched else _drive_per_op
     checkpoint_doc: Optional[Dict] = None
+    live_summary: Optional[Dict] = None
     try:
         if checkpoint_path:
             split = len(stream) // 2
@@ -292,8 +407,14 @@ def run_fabric_soak(
             served = drive(fabric, stream)
     finally:
         fabric.close_workers()
+        if plane is not None:
+            if serve_linger > 0:
+                time.sleep(serve_linger)
+            live_summary = plane.finish()
         tracer.flush()
         tracer.close()
+        if flight is not None:
+            flight.close()
     return FabricRun(
         tracer=tracer,
         fabric=fabric,
@@ -305,6 +426,12 @@ def run_fabric_soak(
         workers=workers,
         monitors=suite,
         checkpoint=checkpoint_doc,
+        live=live_summary,
+        live_instruments=(
+            plane.collector.live if plane is not None else None
+        ),
+        flight=flight,
+        auditor=auditor,
     )
 
 
@@ -381,7 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "prometheus"),
         default="text",
         help="run-report format",
     )
@@ -397,6 +524,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=(
             "screen every event through the per-component invariant "
             "monitors; exit 1 on any violated fabric guarantee"
+        ),
+    )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        help=(
+            "serve /metrics /health /snapshot on this port while the "
+            "soak runs (0 = ephemeral port)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-host",
+        default="127.0.0.1",
+        help="bind address for --serve (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the endpoints up this long after the soak finishes",
+    )
+    parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="windowed-collector rollup interval",
+    )
+    parser.add_argument(
+        "--watchdog",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "declare a stall when the summed per-shard progress "
+            "reading stops for this long (catches hung worker pools)"
+        ),
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="FILE",
+        help=(
+            "arm the flight recorder: auto-dump an analyze-loadable "
+            "context window here on the first invariant violation"
         ),
     )
     parser.add_argument(
@@ -423,10 +595,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         buffer_size=args.buffer_size,
         monitor=args.monitor,
         checkpoint_path=args.checkpoint,
+        serve_port=args.serve,
+        serve_host=args.serve_host,
+        serve_linger=args.serve_linger,
+        live_interval=args.live_interval,
+        watchdog_timeout=args.watchdog,
+        flight_path=args.flight,
     )
 
     if args.format == "json":
         report = json.dumps(run.to_document(), indent=2) + "\n"
+    elif args.format == "prometheus":
+        report = run.metrics_text()
     else:
         report = run.report()
     if args.output:

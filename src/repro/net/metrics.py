@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..hwsim.errors import ConfigurationError
+from ..obs.slo import RankInversionCounter
 from ..sched.base import SimulationResult
 from ..sched.gps import GpsDeparture
 from ..sched.packet import Packet
@@ -212,9 +213,12 @@ def out_of_order_service(result: SimulationResult) -> int:
 
     Measures sorting inaccuracy end to end: zero for exact WFQ, positive
     for binning/TCQ-style aggregation or for coarse hardware quantization.
+
+    This is the batch driver over the streaming
+    :class:`repro.obs.slo.RankInversionCounter` — the online fairness
+    auditor counts the same quantity live, through the same code.
     """
-    inversions = 0
-    best_seen = float("-inf")
+    counter = RankInversionCounter()
     # Only packets that were actually served define the service order;
     # undelivered ones have no departure time to sort by.
     delivered = (
@@ -225,8 +229,5 @@ def out_of_order_service(result: SimulationResult) -> int:
     ):
         if packet.finish_tag is None:
             continue
-        if packet.finish_tag < best_seen - 1e-12:
-            inversions += 1
-        else:
-            best_seen = max(best_seen, packet.finish_tag)
-    return inversions
+        counter.observe(packet.finish_tag)
+    return counter.inversions

@@ -36,6 +36,7 @@ import argparse
 import json
 import random
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -203,6 +204,8 @@ class TimerRun:
     fired_deadlines: List[float] = field(default_factory=list, repr=False)
     monitors: Optional[object] = None
     backend: Optional[object] = None
+    live: Optional[Dict] = None
+    auditor: Optional[object] = None
 
     @property
     def served_in_order(self) -> bool:
@@ -259,6 +262,10 @@ class TimerRun:
                     for violation in self.monitors.violations
                 ],
             }
+        if self.live is not None:
+            document["live"] = self.live
+        if self.auditor is not None:
+            document["serve_audit"] = self.auditor.summary()
         return document
 
     def report(self) -> str:
@@ -281,6 +288,20 @@ class TimerRun:
         ]
         if self.monitors is not None:
             lines.append(f"  {self.monitors.summary()}")
+        if self.live is not None:
+            port = self.live.get("port")
+            served_at = f" on port {port}" if port else ""
+            lines.append(
+                f"  live plane{served_at}: {self.live['windows']} windows "
+                f"({self.live['skipped_ticks']} skipped), "
+                f"{self.live['uptime_seconds']}s up"
+            )
+        if self.auditor is not None:
+            summary = self.auditor.summary()
+            lines.append(
+                f"  serve audit: {summary['serves']} serves, "
+                f"{summary['inversions']} rank inversions"
+            )
         return "\n".join(lines) + "\n"
 
 
@@ -394,6 +415,11 @@ def run_timer_soak(
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
     monitor: bool = False,
+    serve_port: Optional[int] = None,
+    serve_host: str = "127.0.0.1",
+    serve_linger: float = 0.0,
+    live_interval: float = 0.5,
+    watchdog_timeout: Optional[float] = None,
 ) -> TimerRun:
     """Drive one timer scenario; returns its telemetry and checks.
 
@@ -402,7 +428,11 @@ def run_timer_soak(
     shard-local — the shard-drain-free property the fabric tests pin).
     ``monitor=True`` screens the event stream through the online
     invariant monitors, including the dynamic-update pair
-    (``handle_liveness``, ``free_list_removal``).
+    (``handle_liveness``, ``free_list_removal``).  ``serve_port``
+    attaches the live observability plane (``/metrics`` ``/health``
+    ``/snapshot`` plus the tag-domain serve auditor) for the duration
+    of the soak; it implies a tracer even without ``monitor`` or
+    ``trace_sink``.
     """
     if pattern not in PATTERNS:
         raise ValueError(f"unknown timer pattern {pattern!r}")
@@ -412,7 +442,7 @@ def run_timer_soak(
 
     tracer = None
     suite = None
-    if monitor or trace_sink is not None:
+    if monitor or trace_sink is not None or serve_port is not None:
         tracer = Tracer(buffer_size=buffer_size, sink=trace_sink)
     if shards > 1:
         from ..fabric.fabric import ScheduleFabric
@@ -446,18 +476,80 @@ def run_timer_soak(
             suite = MonitorSuite.for_circuit(circuit_for_config, tracer=tracer)
             tracer.add_observer(suite)
 
+    plane = None
+    auditor = None
+    if serve_port is not None:
+        from ..obs.live import LivePlane
+        from ..obs.monitors import MonitorConfig
+        from ..obs.probes import StandardProbes
+        from ..obs.slo import ServeStreamAuditor
+
+        probes = StandardProbes()
+        tracer.add_observer(probes)
+        monitor_config = MonitorConfig.from_circuit_config(describe())
+        auditor = ServeStreamAuditor(
+            instruments=probes.instruments,
+            modular=monitor_config.modular,
+            tag_space=monitor_config.tag_space,
+        )
+        tracer.add_observer(auditor)
+        if shards > 1:
+            stores = backend.stores
+        else:
+            stores = [backend]
+
+        def timer_progress() -> float:
+            return float(
+                sum(
+                    store.circuit.registry.total().total
+                    for store in stores
+                )
+            )
+
+        plane = LivePlane(
+            instruments=probes.instruments,
+            progress=timer_progress,
+            occupancy=lambda: sum(len(store) for store in stores),
+            free_list_depth=lambda: sum(
+                store.circuit.free_list_depth for store in stores
+            ),
+            monitors=suite,
+            tracer=tracer,
+            serve_port=serve_port,
+            serve_host=serve_host,
+            interval=live_interval,
+            watchdog_timeout=watchdog_timeout,
+            extra_status=lambda: {
+                "timer": {
+                    "pattern": pattern,
+                    "armed": wheel.armed,
+                    "fired": wheel.fired,
+                    "cancelled": wheel.cancelled,
+                    "pending": wheel.pending,
+                }
+            },
+        )
+
     wheel = TimerWheel(backend)
     rng = random.Random(seed)
-    if pattern == "churn":
-        due = _drive_churn(wheel, events, rng, cancel_ratio=cancel_ratio)
-    elif pattern == "retransmit":
-        due = _drive_retransmit(wheel, events, rng, connections=256)
-    else:
-        due = _drive_expiry(wheel, events, rng, flows=512)
-
-    if tracer is not None:
-        tracer.flush()
-        tracer.close()
+    live_summary = None
+    if plane is not None:
+        plane.start()
+    try:
+        if pattern == "churn":
+            due = _drive_churn(wheel, events, rng, cancel_ratio=cancel_ratio)
+        elif pattern == "retransmit":
+            due = _drive_retransmit(wheel, events, rng, connections=256)
+        else:
+            due = _drive_expiry(wheel, events, rng, flows=512)
+    finally:
+        if plane is not None:
+            if serve_linger > 0:
+                time.sleep(serve_linger)
+            live_summary = plane.finish()
+        if tracer is not None:
+            tracer.flush()
+            tracer.close()
     return TimerRun(
         pattern=pattern,
         events=events,
@@ -475,6 +567,8 @@ def run_timer_soak(
         fired_deadlines=wheel.fired_effective,
         monitors=suite,
         backend=backend,
+        live=live_summary,
+        auditor=auditor,
     )
 
 
@@ -538,6 +632,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        help=(
+            "serve /metrics /health /snapshot on this port while the "
+            "soak runs (0 = ephemeral port); implies a tracer"
+        ),
+    )
+    parser.add_argument(
+        "--serve-host",
+        default="127.0.0.1",
+        help="bind address for --serve (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the endpoints up this long after the soak finishes",
+    )
+    parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="windowed-collector rollup interval",
+    )
+    parser.add_argument(
+        "--watchdog",
+        type=float,
+        metavar="SECONDS",
+        help="declare a stall after this long without circuit progress",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="write the run report here (default: stdout)",
@@ -561,6 +689,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
         monitor=args.monitor,
+        serve_port=args.serve,
+        serve_host=args.serve_host,
+        serve_linger=args.serve_linger,
+        live_interval=args.live_interval,
+        watchdog_timeout=args.watchdog,
     )
 
     if args.format == "json":

@@ -20,6 +20,16 @@ The software equivalent of logic-analyzer probes on the paper's circuit:
 * :mod:`repro.obs.diff` — differential trace analysis (logical-op
   alignment, first divergence, per-kind cost deltas);
 * :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export;
+* :mod:`repro.obs.live` — the live observability plane: the
+  :class:`MetricsServer` (``/metrics`` ``/health`` ``/snapshot`` from a
+  running soak), the windowed collector, and the :class:`LivePlane`
+  bundle the runners attach;
+* :mod:`repro.obs.slo` — online fairness/SLO auditing: the streaming
+  :class:`FairnessAuditor` over the incremental GPS core, the shared
+  :class:`RankInversionCounter`, and :class:`SloRule` burn accounting;
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` (auto-dumped
+  context window around the first invariant violation) and the
+  :class:`StallWatchdog`;
 * :mod:`repro.obs.runner` / :mod:`repro.obs.analyze` — the drivers
   behind ``python -m repro obs`` and ``python -m repro analyze``
   (imported lazily by the CLI; not re-exported here to keep this
@@ -38,10 +48,13 @@ from .events import (
     FOOTER_KIND,
     HEADER_KIND,
     INVARIANT_KIND,
+    LIVE_KINDS,
     MAINTENANCE_KINDS,
     OP_KINDS,
+    SLO_KIND,
     SPAN_KIND,
     TRACE_SCHEMA,
+    WATCHDOG_KIND,
     TraceEvent,
     build_trace_header,
 )
@@ -51,12 +64,21 @@ from .exporters import (
     read_jsonl,
     read_trace,
     run_report,
+    sanitize_metric_name,
     write_jsonl,
 )
+from .flight import FlightRecorder, StallWatchdog
 from .instruments import Counter, Gauge, Histogram, InstrumentSet
+from .live import LivePlane, MetricsServer, WindowedCollector
 from .monitors import MonitorConfig, MonitorSuite, Violation, check_trace
 from .probes import StandardProbes
 from .profiler import Profile, profile_events
+from .slo import (
+    FairnessAuditor,
+    RankInversionCounter,
+    ServeStreamAuditor,
+    SloRule,
+)
 from .timeline import build_timeline, write_timeline
 from .tracer import NULL_TRACER, ComponentTracer, NullTracer, Tracer
 
@@ -65,19 +87,29 @@ __all__ = [
     "Counter",
     "FABRIC_KINDS",
     "FOOTER_KIND",
+    "FairnessAuditor",
+    "FlightRecorder",
     "Gauge",
     "HEADER_KIND",
     "Histogram",
     "INVARIANT_KIND",
     "InstrumentSet",
+    "LIVE_KINDS",
+    "LivePlane",
     "MAINTENANCE_KINDS",
+    "MetricsServer",
     "MonitorConfig",
     "MonitorSuite",
     "NULL_TRACER",
     "NullTracer",
     "OP_KINDS",
     "Profile",
+    "RankInversionCounter",
+    "SLO_KIND",
     "SPAN_KIND",
+    "ServeStreamAuditor",
+    "SloRule",
+    "StallWatchdog",
     "StandardProbes",
     "TRACE_SCHEMA",
     "TraceCompatibilityError",
@@ -86,6 +118,8 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "Violation",
+    "WATCHDOG_KIND",
+    "WindowedCollector",
     "build_timeline",
     "build_trace_header",
     "check_trace",
@@ -95,6 +129,7 @@ __all__ = [
     "read_jsonl",
     "read_trace",
     "run_report",
+    "sanitize_metric_name",
     "write_jsonl",
     "write_timeline",
 ]

@@ -35,6 +35,13 @@ INVARIANT_KIND = "invariant_violation"
 #: events keep the :data:`OP_KINDS` above and carry a ``component``
 #: attribute naming their shard.
 FABRIC_KINDS = ("shard_enqueue", "tournament_select", "rebalance", "spill")
+#: Kinds emitted by the live observability plane: an SLO rule breached
+#: for the first time (:mod:`repro.obs.slo`) and a stall detected by the
+#: progress watchdog (:mod:`repro.obs.flight`).  Both are telemetry
+#: verdicts like :data:`INVARIANT_KIND` — monitors skip them on replay.
+SLO_KIND = "slo_violation"
+WATCHDOG_KIND = "watchdog_stall"
+LIVE_KINDS = (SLO_KIND, WATCHDOG_KIND)
 
 #: JSONL trace framing records (not :class:`TraceEvent` samples): the
 #: header is the first line of a versioned trace and carries the schema

@@ -15,6 +15,7 @@ Three output shapes for the same telemetry:
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
@@ -103,19 +104,43 @@ def read_trace(source: Union[str, IO[str]]) -> TraceDocument:
     return document
 
 
+#: The Prometheus exposition-format metric-name grammar.
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_METRIC_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an instrument name into the Prometheus name charset.
+
+    Instrument names may carry dots (``circuit.insert.cycles``) or other
+    punctuation that the exposition format forbids; every disallowed
+    character becomes an underscore, and a leading digit gets an
+    underscore prefix.  Idempotent, and the identity on names that are
+    already valid.
+    """
+    cleaned = _METRIC_BAD_CHARS.sub("_", name)
+    if not cleaned or not _METRIC_NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
 def prometheus_snapshot(
     instruments: InstrumentSet, *, prefix: str = "repro"
 ) -> str:
     """Prometheus-style text exposition of every instrument.
 
     Histograms use the cumulative ``_bucket{le=...}`` convention plus
-    ``_sum``/``_count``; gauges export value/min/max; counters export
-    their total.  The output is a snapshot, not a live endpoint — good
-    enough for scrape emulation and diffing in CI.
+    ``_sum``/``_count``; gauges export value/min/max (each series under
+    its own ``# TYPE`` line so strict parsers accept the output);
+    counters export their ``_total``.  Instrument names are sanitized
+    into the exposition-format charset via :func:`sanitize_metric_name`.
+    The output is a snapshot, not a live endpoint — good enough for
+    scrape emulation and diffing in CI; :mod:`repro.obs.live` serves it
+    from a running soak.
     """
     lines: List[str] = []
     for name, instrument in instruments.items():
-        metric = f"{prefix}_{name}"
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
         if isinstance(instrument, Histogram):
             lines.append(f"# TYPE {metric} histogram")
             for bound, cumulative in instrument.cumulative_buckets():
@@ -128,11 +153,17 @@ def prometheus_snapshot(
         elif isinstance(instrument, Gauge):
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {_fmt(instrument.value)}")
+            lines.append(f"# TYPE {metric}_min gauge")
             lines.append(f"{metric}_min {_fmt(instrument.min)}")
+            lines.append(f"# TYPE {metric}_max gauge")
             lines.append(f"{metric}_max {_fmt(instrument.max)}")
         elif isinstance(instrument, Counter):
+            # Counters expose the conventional `_total` suffix; don't
+            # double it for instruments already named that way.
+            if not metric.endswith("_total"):
+                metric = f"{metric}_total"
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric}_total {instrument.value}")
+            lines.append(f"{metric} {instrument.value}")
     return "\n".join(lines) + "\n"
 
 

@@ -63,6 +63,14 @@ class Histogram:
         mantissa = (index & (self._sub_count - 1)) + self._sub_count
         return ((mantissa + 1) << exp) - 1
 
+    def _bucket_low(self, index: int) -> int:
+        """Smallest raw value mapping to ``index``."""
+        if index < self._sub_count:
+            return index
+        exp = (index >> self._sub_bits) - 1
+        mantissa = (index & (self._sub_count - 1)) + self._sub_count
+        return mantissa << exp
+
     def record(self, value: float, count: int = 1) -> None:
         """Record ``value`` (``count`` times)."""
         if count <= 0:
@@ -93,6 +101,52 @@ class Histogram:
         for theirs in (other._max,):
             if theirs is not None and (self._max is None or theirs > self._max):
                 self._max = theirs
+
+    def snapshot(self) -> "Histogram":
+        """An independent copy (same shape) for later delta computation.
+
+        Safe to call from a collector thread while the owning thread
+        keeps recording: the bucket dict is copied in one pass and a
+        concurrent resize simply surfaces as a retryable
+        :class:`RuntimeError` (the windowed collector skips that tick).
+        """
+        clone = Histogram(subbucket_bits=self._sub_bits, scale=self._scale)
+        clone._buckets = dict(self._buckets)
+        clone.count = self.count
+        clone._sum = self._sum
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    def delta_since(self, earlier: "Histogram") -> "Histogram":
+        """The histogram of values recorded *after* ``earlier``.
+
+        ``earlier`` must be a previous :meth:`snapshot` of this
+        histogram (same shape, subset counts).  The delta's bucket
+        counts are exact; its min/max are the covering bucket bounds of
+        the delta mass (within the sketch's relative-error contract),
+        which is what windowed percentile rollups need.
+        """
+        if (earlier._sub_bits, earlier._scale) != (
+            self._sub_bits,
+            self._scale,
+        ):
+            raise ValueError("histogram shapes differ; cannot diff")
+        delta = Histogram(subbucket_bits=self._sub_bits, scale=self._scale)
+        buckets: Dict[int, int] = {}
+        for index, count in list(self._buckets.items()):
+            grown = count - earlier._buckets.get(index, 0)
+            if grown > 0:
+                buckets[index] = grown
+        delta._buckets = buckets
+        delta.count = sum(buckets.values())
+        delta._sum = max(0, self._sum - earlier._sum)
+        if buckets:
+            delta._min = self._bucket_low(min(buckets))
+            delta._max = self._bucket_high(max(buckets))
+            if self._max is not None and delta._max > self._max:
+                delta._max = self._max
+        return delta
 
     # ------------------------------------------------------------------
     # statistics

@@ -1,0 +1,575 @@
+"""Live observability plane: metrics server + windowed collector.
+
+Everything in :mod:`repro.obs` so far is post-hoc — inspectable only
+after a batch soak finishes.  This module makes the same telemetry
+*scrapeable while the run is in flight*:
+
+* :class:`MetricsServer` — a stdlib :mod:`http.server` background
+  thread serving three endpoints from any running soak / system /
+  fabric:
+
+  - ``/metrics`` — Prometheus text exposition
+    (:func:`~repro.obs.exporters.prometheus_snapshot` over the run's
+    instruments plus the live rollup gauges);
+  - ``/health`` — JSON liveness: monitor status, occupancy, free-list
+    depth, uptime, watchdog heartbeat (HTTP 503 once a violation or
+    stall is latched);
+  - ``/snapshot`` — JSON dump of instrument summaries, registry
+    totals, and recent windows.
+
+* :class:`WindowedCollector` — a periodic sampler turning instrument
+  deltas into per-interval rollups (ops/s, p50/p99 op cycles,
+  occupancy) exported as ``live_*`` time-series gauges, and feeding the
+  :class:`~repro.obs.flight.StallWatchdog` a progress reading.
+
+* :class:`LivePlane` — the bundle the runners attach: collector +
+  optional server + optional watchdog/flight-recorder wiring, with a
+  single ``start()`` / ``finish()`` lifecycle.
+
+Thread-safety model (documented, deliberate): the hot path is never
+locked.  Collector and HTTP threads only *read* shared structures under
+the GIL; a read racing a dict resize surfaces as ``RuntimeError``, which
+renders retry and the collector counts as a skipped tick.  Trace events
+are emitted from the collector thread only on a watchdog stall — safe by
+construction, because a stall means the owning thread is making no
+progress (and therefore not emitting).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .events import OP_KINDS, WATCHDOG_KIND
+from .exporters import prometheus_snapshot
+from .flight import FlightRecorder, StallWatchdog
+from .instruments import Gauge, Histogram, InstrumentSet
+
+#: Default collector cadence, seconds.
+DEFAULT_INTERVAL = 0.5
+#: Windows kept for /snapshot (the time series the gauges summarize).
+DEFAULT_HISTORY = 120
+
+
+class WindowedCollector:
+    """Periodic rollups: instrument deltas → per-interval gauges.
+
+    Runs its own daemon thread; every ``interval`` seconds it diffs the
+    watched instruments against the previous tick and publishes the
+    window's rates and percentiles into ``live`` (a separate
+    :class:`InstrumentSet`, so collector writes never contend with the
+    hot path's instrument dict).
+    """
+
+    def __init__(
+        self,
+        instruments: InstrumentSet,
+        *,
+        live: Optional[InstrumentSet] = None,
+        interval: float = DEFAULT_INTERVAL,
+        history: int = DEFAULT_HISTORY,
+        progress: Optional[Callable[[], float]] = None,
+        occupancy: Optional[Callable[[], float]] = None,
+        watchdog: Optional[StallWatchdog] = None,
+        on_stall: Optional[Callable[[StallWatchdog], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._instruments = instruments
+        self.live = live if live is not None else InstrumentSet()
+        self.interval = interval
+        self.windows: deque = deque(maxlen=history)
+        self._progress = progress
+        self._occupancy = occupancy
+        self.watchdog = watchdog
+        self._on_stall = on_stall
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._last_tick: Optional[float] = None
+        self._last_ops: Optional[float] = None
+        self._last_events: Optional[float] = None
+        self._last_progress: Optional[float] = None
+        self._cycles_snapshot: Optional[Histogram] = None
+        self.ticks = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("collector already started")
+        self._started_at = self._clock()
+        self._last_tick = self._started_at
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-collector", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def finish(self) -> None:
+        """Stop the thread and take one final closing window."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.watchdog is not None:
+            self.watchdog.disarm()
+        self.tick()
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return max(0.0, self._clock() - self._started_at)
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def _read_op_counts(self) -> Tuple[float, float]:
+        """(op events, all events) from the ``events_*`` counters."""
+        ops = 0.0
+        events = 0.0
+        for name, instrument in list(self._instruments.items()):
+            if not name.startswith("events_"):
+                continue
+            value = getattr(instrument, "value", None)
+            if value is None:
+                continue
+            events += value
+            if name[len("events_"):] in OP_KINDS:
+                ops += value
+        return ops, events
+
+    def tick(self) -> None:
+        """Take one window.  Never raises: a racy read skips the tick."""
+        try:
+            self._tick_inner()
+        except RuntimeError:
+            # A dict resized under us (hot path registered a new
+            # instrument mid-read).  Skip the window; the next one will
+            # catch up because rates are computed against absolutes.
+            self.skipped += 1
+            self.live.counter("live_ticks_skipped_total").inc()
+
+    def _tick_inner(self) -> None:
+        now = self._clock()
+        last = self._last_tick if self._last_tick is not None else now
+        duration = max(now - last, 1e-9)
+        self._last_tick = now
+
+        ops, events = self._read_op_counts()
+        ops_delta = ops - (self._last_ops if self._last_ops else 0.0)
+        events_delta = events - (
+            self._last_events if self._last_events else 0.0
+        )
+        self._last_ops = ops
+        self._last_events = events
+
+        progress_value: Optional[float] = None
+        accesses_delta = 0.0
+        if self._progress is not None:
+            progress_value = float(self._progress())
+            accesses_delta = progress_value - (
+                self._last_progress if self._last_progress else 0.0
+            )
+            self._last_progress = progress_value
+
+        p50 = p99 = 0.0
+        if "op_cycles" in self._instruments:
+            cycles = self._instruments["op_cycles"]
+            if isinstance(cycles, Histogram):
+                current = cycles.snapshot()
+                if self._cycles_snapshot is not None:
+                    delta = current.delta_since(self._cycles_snapshot)
+                    if delta.count:
+                        p50 = delta.percentile(50)
+                        p99 = delta.percentile(99)
+                self._cycles_snapshot = current
+
+        occupancy: Optional[float] = None
+        if self._occupancy is not None:
+            occupancy = float(self._occupancy())
+        elif "occupancy_now" in self._instruments:
+            gauge = self._instruments["occupancy_now"]
+            if isinstance(gauge, Gauge):
+                occupancy = gauge.value
+
+        window = {
+            "t": round(self.uptime_seconds, 6),
+            "duration": round(duration, 6),
+            "ops": ops_delta,
+            "ops_per_second": round(ops_delta / duration, 3),
+            "events": events_delta,
+            "accesses": accesses_delta,
+            "accesses_per_second": round(accesses_delta / duration, 3),
+            "p50_op_cycles": p50,
+            "p99_op_cycles": p99,
+            "occupancy": occupancy,
+        }
+        self.windows.append(window)
+        self.ticks += 1
+
+        live = self.live
+        live.counter("live_windows_total").inc()
+        live.gauge("live_window_seconds").set(round(duration, 6))
+        live.gauge("live_uptime_seconds").set(round(self.uptime_seconds, 3))
+        live.gauge("live_ops_per_second").set(window["ops_per_second"])
+        live.gauge("live_events_per_second").set(
+            round(events_delta / duration, 3)
+        )
+        live.gauge("live_accesses_per_second").set(
+            window["accesses_per_second"]
+        )
+        live.gauge("live_p50_op_cycles").set(p50)
+        live.gauge("live_p99_op_cycles").set(p99)
+        if occupancy is not None:
+            live.gauge("live_occupancy").set(occupancy)
+
+        watchdog = self.watchdog
+        if watchdog is not None and progress_value is not None:
+            newly_stalled = watchdog.observe(progress_value)
+            live.gauge("live_watchdog_idle_seconds").set(
+                round(watchdog.seconds_since_progress, 3)
+            )
+            if newly_stalled:
+                live.counter("live_watchdog_stalls_total").inc()
+                if self._on_stall is not None:
+                    self._on_stall(watchdog)
+
+
+class MetricsServer:
+    """Background HTTP endpoint trio over render callbacks.
+
+    ``render_metrics`` returns exposition text; ``render_health``
+    returns ``(http_status, payload_dict)``; ``render_snapshot`` returns
+    a JSON-ready dict.  Binding to port 0 picks an ephemeral port,
+    reported via :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        *,
+        render_metrics: Callable[[], str],
+        render_health: Callable[[], Tuple[int, Dict[str, Any]]],
+        render_snapshot: Callable[[], Dict[str, Any]],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        plane = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *_args: Any) -> None:
+                """Silence per-request stderr chatter."""
+
+            def _send(
+                self, status: int, body: bytes, content_type: str
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                try:
+                    if path == "/metrics":
+                        text = plane._retry_render(render_metrics)
+                        self._send(
+                            200,
+                            text.encode("utf-8"),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif path == "/health":
+                        status, payload = render_health()
+                        self._send(
+                            status,
+                            json.dumps(payload, sort_keys=True).encode(
+                                "utf-8"
+                            ),
+                            "application/json",
+                        )
+                    elif path == "/snapshot":
+                        payload = plane._retry_render(render_snapshot)
+                        self._send(
+                            200,
+                            json.dumps(payload, sort_keys=True).encode(
+                                "utf-8"
+                            ),
+                            "application/json",
+                        )
+                    else:
+                        self._send(
+                            404,
+                            b'{"error": "unknown path"}',
+                            "application/json",
+                        )
+                except Exception as error:  # render raced the hot path
+                    body = json.dumps(
+                        {"error": type(error).__name__}
+                    ).encode("utf-8")
+                    self._send(503, body, "application/json")
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def _retry_render(render: Callable[[], Any], attempts: int = 3) -> Any:
+        """Re-run a render that raced a concurrent dict resize."""
+        for attempt in range(attempts):
+            try:
+                return render()
+            except RuntimeError:
+                if attempt == attempts - 1:
+                    raise
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            # Tight poll so close() returns promptly: the default 0.5s
+            # poll_interval would make every short monitored run pay up
+            # to half a second of shutdown latency.
+            target=lambda: self._server.serve_forever(poll_interval=0.05),
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+class LivePlane:
+    """The runner-facing bundle: collector + server + watchdog wiring.
+
+    Args:
+        instruments: the run's hot-path :class:`InstrumentSet` (the
+            standard probes write here).
+        progress: monotone progress reading — registry grand total or
+            fabric op count; feeds rate rollups and the stall watchdog.
+        occupancy / free_list_depth: current-level callbacks for
+            ``/health``.
+        monitors: the run's :class:`~repro.obs.monitors.MonitorSuite`
+            (or anything with ``checked``/``violations``), surfaced in
+            ``/health``; any violation flips health to 503.
+        tracer: where a watchdog stall is emitted as a
+            :data:`~repro.obs.events.WATCHDOG_KIND` event (collector
+            thread; safe because a stall implies a quiescent main
+            thread).
+        flight: an attached :class:`FlightRecorder`, surfaced in
+            ``/health`` and force-dumped on a stall.
+        serve_port: ``None`` disables the HTTP server (collector only);
+            0 binds an ephemeral port.
+        watchdog_timeout: seconds without progress before a stall is
+            declared; ``None`` disables the watchdog.
+    """
+
+    def __init__(
+        self,
+        *,
+        instruments: InstrumentSet,
+        progress: Optional[Callable[[], float]] = None,
+        occupancy: Optional[Callable[[], float]] = None,
+        free_list_depth: Optional[Callable[[], float]] = None,
+        monitors=None,
+        tracer=None,
+        flight: Optional[FlightRecorder] = None,
+        serve_port: Optional[int] = None,
+        serve_host: str = "127.0.0.1",
+        interval: float = DEFAULT_INTERVAL,
+        history: int = DEFAULT_HISTORY,
+        watchdog_timeout: Optional[float] = None,
+        prefix: str = "repro",
+        extra_status: Optional[Callable[[], Dict[str, Any]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._instruments = instruments
+        self._monitors = monitors
+        self._tracer = tracer
+        self._flight = flight
+        self._free_list_depth = free_list_depth
+        self._occupancy = occupancy
+        self._prefix = prefix
+        self._extra_status = extra_status
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._finished = False
+        self.watchdog = (
+            StallWatchdog(timeout=watchdog_timeout, clock=clock)
+            if watchdog_timeout is not None
+            else None
+        )
+        self.collector = WindowedCollector(
+            instruments,
+            interval=interval,
+            history=history,
+            progress=progress,
+            occupancy=occupancy,
+            watchdog=self.watchdog,
+            on_stall=self._handle_stall,
+            clock=clock,
+        )
+        self.server: Optional[MetricsServer] = None
+        if serve_port is not None:
+            self.server = MetricsServer(
+                render_metrics=self.render_metrics,
+                render_health=self.render_health,
+                render_snapshot=self.render_snapshot,
+                port=serve_port,
+                host=serve_host,
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "LivePlane":
+        self._started_at = self._clock()
+        self.collector.start()
+        if self.server is not None:
+            self.server.start()
+        return self
+
+    def finish(self) -> Dict[str, Any]:
+        """Stop collector and server; returns a JSON-ready summary."""
+        if not self._finished:
+            self._finished = True
+            self.collector.finish()
+            if self.server is not None:
+                self.server.close()
+        return self.summary()
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.server.port if self.server is not None else None
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return max(0.0, self._clock() - self._started_at)
+
+    # ------------------------------------------------------------------
+    # stall handling
+
+    def _handle_stall(self, watchdog: StallWatchdog) -> None:
+        # Runs on the collector thread.  Safe: a stall means the owning
+        # thread has made no progress for `timeout` seconds, so nothing
+        # races the tracer's ring append.
+        if self._tracer is not None and getattr(
+            self._tracer, "enabled", False
+        ):
+            self._tracer.event(
+                WATCHDOG_KIND,
+                name="watchdog",
+                timeout=watchdog.timeout,
+                seconds_since_progress=round(
+                    watchdog.seconds_since_progress, 3
+                ),
+                stall_count=watchdog.stall_count,
+            )
+        elif self._flight is not None:
+            # No tracer to route the event through: dump directly.
+            self._flight.close()
+
+    # ------------------------------------------------------------------
+    # renders (HTTP + CLI share these)
+
+    def render_metrics(self) -> str:
+        base = prometheus_snapshot(self._instruments, prefix=self._prefix)
+        live = prometheus_snapshot(self.collector.live, prefix=self._prefix)
+        return base + live
+
+    def _monitor_status(self) -> Optional[Dict[str, Any]]:
+        monitors = self._monitors
+        if monitors is None:
+            return None
+        violations = getattr(monitors, "violations", [])
+        status: Dict[str, Any] = {
+            "checked": getattr(monitors, "checked", None),
+            "violations": len(violations),
+        }
+        if violations:
+            first = violations[0]
+            status["first_violation"] = {
+                "monitor": getattr(first, "monitor", None),
+                "message": getattr(first, "message", None),
+            }
+        return status
+
+    def render_health(self) -> Tuple[int, Dict[str, Any]]:
+        monitor_status = self._monitor_status()
+        stalled = self.watchdog.stalled if self.watchdog else False
+        violations = (
+            monitor_status["violations"] if monitor_status else 0
+        )
+        healthy = not stalled and not violations
+        payload: Dict[str, Any] = {
+            "status": "ok" if healthy else (
+                "stalled" if stalled else "violations"
+            ),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "windows": self.collector.ticks,
+            "monitors": monitor_status,
+        }
+        if self._occupancy is not None:
+            payload["occupancy"] = self._occupancy()
+        if self._free_list_depth is not None:
+            payload["free_list_depth"] = self._free_list_depth()
+        if self.watchdog is not None:
+            payload["watchdog"] = self.watchdog.summary()
+        if self._flight is not None:
+            payload["flight_recorder"] = self._flight.summary()
+        if self._tracer is not None:
+            payload["trace"] = {
+                "emitted": getattr(self._tracer, "emitted", 0),
+                "dropped": getattr(self._tracer, "dropped", 0),
+            }
+        if self._extra_status is not None:
+            payload.update(self._extra_status())
+        return (200 if healthy else 503), payload
+
+    def render_snapshot(self) -> Dict[str, Any]:
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "instruments": self._instruments.summaries(),
+            "live": self.collector.live.summaries(),
+            "windows": list(self.collector.windows),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready wrap-up for run documents."""
+        out: Dict[str, Any] = {
+            "windows": self.collector.ticks,
+            "skipped_ticks": self.collector.skipped,
+            "interval": self.collector.interval,
+            "uptime_seconds": round(self.uptime_seconds, 3),
+        }
+        if self.server is not None:
+            out["port"] = self.server.port
+        if self.watchdog is not None:
+            out["watchdog"] = self.watchdog.summary()
+        return out

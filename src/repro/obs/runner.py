@@ -18,16 +18,30 @@ import argparse
 import json
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..bench.perf import _drive_batched, _drive_per_op, make_mixed_ops
+from ..core.sort_retrieve import FaultInjection
 from ..net.hardware_store import HardwareTagStore
 from .events import build_trace_header
 from .exporters import prometheus_snapshot, run_report
+from .flight import FlightRecorder
 from .instruments import InstrumentSet
-from .monitors import MonitorSuite
+from .live import LivePlane
+from .monitors import MonitorConfig, MonitorSuite
 from .probes import StandardProbes
+from .slo import ServeStreamAuditor
 from .tracer import Tracer
+
+#: Seeded-fault presets for ``--inject-fault`` — one per monitor family,
+#: mirroring the fault matrix the monitor tests prove catches each one.
+FAULT_PRESETS: Dict[str, FaultInjection] = {
+    "insert_budget": FaultInjection(extra_insert_writes=1),
+    "dequeue_bound": FaultInjection(extra_dequeue_reads=3),
+    "free_list": FaultInjection(skip_free_release=True),
+    "monotonic": FaultInjection(misreport_serve_offset=-2048),
+    "coverage": FaultInjection(misreport_serve_offset=1024),
+}
 
 
 @dataclass
@@ -43,6 +57,11 @@ class TracedRun:
     served: int
     turbo: bool = False
     monitors: Optional[MonitorSuite] = None
+    live: Optional[Dict] = None
+    live_instruments: Optional[InstrumentSet] = None
+    flight: Optional[FlightRecorder] = None
+    auditor: Optional[ServeStreamAuditor] = None
+    fault: Optional[str] = None
 
     @property
     def event_counts(self) -> Dict[str, int]:
@@ -87,6 +106,33 @@ class TracedRun:
         ]
         if self.monitors is not None:
             notes.append(self.monitors.summary())
+        if self.live is not None:
+            port = self.live.get("port")
+            served_at = f" on port {port}" if port else ""
+            notes.append(
+                f"live plane{served_at}: {self.live['windows']} windows "
+                f"({self.live['skipped_ticks']} skipped), "
+                f"{self.live['uptime_seconds']}s up"
+            )
+        if self.auditor is not None:
+            audit = self.auditor.summary()
+            notes.append(
+                f"serve audit: {audit['serves']} serves, "
+                f"{audit['inversions']} rank inversions"
+            )
+        if self.flight is not None:
+            summary = self.flight.summary()
+            if summary["dumped"]:
+                trigger = summary["trigger"] or {}
+                notes.append(
+                    f"flight recorder: dumped {summary['path']} around "
+                    f"{trigger.get('monitor') or trigger.get('kind')}"
+                )
+            else:
+                notes.append(
+                    f"flight recorder: armed, no trigger "
+                    f"({summary['observed']} events observed)"
+                )
         return run_report(
             title=(
                 f"traced mixed soak: {self.ops} ops ({mode}), "
@@ -141,7 +187,22 @@ class TracedRun:
                     ],
                 }
             ),
+            "live": self.live,
+            "serve_audit": (
+                None if self.auditor is None else self.auditor.summary()
+            ),
+            "flight": (
+                None if self.flight is None else self.flight.summary()
+            ),
+            "fault": self.fault,
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition: run instruments plus live rollups."""
+        text = prometheus_snapshot(self.instruments)
+        if self.live_instruments is not None:
+            text += prometheus_snapshot(self.live_instruments)
+        return text
 
 
 def run_traced_soak(
@@ -154,6 +215,15 @@ def run_traced_soak(
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
     monitor: bool = False,
+    serve_port: Optional[int] = None,
+    serve_host: str = "127.0.0.1",
+    serve_linger: float = 0.0,
+    live_interval: float = 0.5,
+    watchdog_timeout: Optional[float] = None,
+    flight_path: Optional[str] = None,
+    fault: Optional[str] = None,
+    fault_after: Optional[int] = None,
+    serve_ready: Optional[Callable[[LivePlane], None]] = None,
 ) -> TracedRun:
     """Drive a traced mixed push/pop soak and return its telemetry.
 
@@ -172,7 +242,26 @@ def run_traced_soak(
     while the soak runs; violations land in the returned run's
     ``monitors`` suite and, as ``invariant_violation`` events, in the
     trace itself.
+
+    ``serve_port`` attaches the live observability plane
+    (:class:`~repro.obs.live.LivePlane`): the windowed collector plus an
+    HTTP server answering ``/metrics``, ``/health``, and ``/snapshot``
+    while the soak runs (port 0 binds ephemerally; the bound port lands
+    in the run's ``live`` summary), along with the tag-domain serve
+    auditor.  ``serve_linger`` keeps serving that long after the drive
+    finishes (CI scrapes during the window).  ``flight_path`` arms an
+    always-on :class:`~repro.obs.flight.FlightRecorder` that auto-dumps
+    an analyze-loadable mini-trace around the first invariant violation.
+    ``fault`` injects a seeded telemetry fault (a :data:`FAULT_PRESETS`
+    name) after ``fault_after`` clean warmup ops (default ``ops // 2``),
+    so monitors have true reference state to convict against — the
+    flight-recorder CI path uses exactly this.
     """
+    if fault is not None and fault not in FAULT_PRESETS:
+        raise ValueError(
+            f"unknown fault preset {fault!r}; "
+            f"expected one of {sorted(FAULT_PRESETS)}"
+        )
     probes = StandardProbes()
     tracer = Tracer(
         buffer_size=buffer_size, sink=trace_sink, observers=[probes]
@@ -195,11 +284,66 @@ def run_traced_soak(
     if monitor:
         suite = MonitorSuite.for_circuit(store.circuit, tracer=tracer)
         tracer.add_observer(suite)
+
+    live_enabled = serve_port is not None
+    flight: Optional[FlightRecorder] = None
+    if flight_path is not None:
+        flight = FlightRecorder(flight_path, header=tracer.header)
+        tracer.add_observer(flight)
+    auditor: Optional[ServeStreamAuditor] = None
+    plane: Optional[LivePlane] = None
+    if live_enabled:
+        monitor_config = MonitorConfig.from_circuit_config(store.describe())
+        auditor = ServeStreamAuditor(
+            instruments=probes.instruments,
+            modular=monitor_config.modular,
+            tag_space=monitor_config.tag_space,
+        )
+        tracer.add_observer(auditor)
+        registry = store.circuit.registry
+        plane = LivePlane(
+            instruments=probes.instruments,
+            progress=lambda: registry.total().total,
+            occupancy=lambda: store.circuit.count,
+            free_list_depth=lambda: store.circuit.free_list_depth,
+            monitors=suite,
+            tracer=tracer,
+            flight=flight,
+            serve_port=serve_port,
+            serve_host=serve_host,
+            interval=live_interval,
+            watchdog_timeout=watchdog_timeout,
+        )
+        plane.start()
+        if serve_ready is not None:
+            # Hands the bound plane (ephemeral port included) to the
+            # caller before any operation runs — tests and supervisors
+            # use this to scrape the endpoints mid-soak.
+            serve_ready(plane)
+
     stream = make_mixed_ops(ops, seed)
     drive = _drive_batched if batched else _drive_per_op
-    served = drive(store, stream)
-    tracer.flush()
-    tracer.close()
+    live_summary: Optional[Dict] = None
+    try:
+        if fault is None:
+            served = drive(store, stream)
+        else:
+            warmup = ops // 2 if fault_after is None else fault_after
+            warmup = max(0, min(warmup, len(stream)))
+            served = drive(store, stream[:warmup])
+            store.circuit.fault_injection = FAULT_PRESETS[fault]
+            served = served + drive(store, stream[warmup:])
+    finally:
+        if plane is not None:
+            if serve_linger > 0:
+                import time as _time
+
+                _time.sleep(serve_linger)
+            live_summary = plane.finish()
+        tracer.flush()
+        tracer.close()
+        if flight is not None:
+            flight.close()
     return TracedRun(
         tracer=tracer,
         store=store,
@@ -210,6 +354,13 @@ def run_traced_soak(
         served=len(served),
         turbo=turbo,
         monitors=suite,
+        live=live_summary,
+        live_instruments=(
+            plane.collector.live if plane is not None else None
+        ),
+        flight=flight,
+        auditor=auditor,
+        fault=fault,
     )
 
 
@@ -260,9 +411,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "prometheus"),
         default="text",
-        help="run-report format",
+        help=(
+            "run-report format ('prometheus' writes a scrape-shaped "
+            "metrics snapshot without starting the server)"
+        ),
     )
     parser.add_argument(
         "--buffer-size",
@@ -286,6 +440,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             "streaming --trace sink still captures the full stream)"
         ),
     )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help=(
+            "attach the live observability plane and serve /metrics, "
+            "/health, /snapshot on this port while the soak runs "
+            "(0 = ephemeral)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the live endpoints up this long after the soak",
+    )
+    parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="windowed-collector cadence",
+    )
+    parser.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a stall after this long without progress",
+    )
+    parser.add_argument(
+        "--flight",
+        metavar="FILE",
+        help=(
+            "arm the flight recorder: auto-dump an analyze-loadable "
+            "mini-trace around the first invariant violation"
+        ),
+    )
+    parser.add_argument(
+        "--inject-fault",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        help=(
+            "seed a telemetry fault halfway through the soak (pairs "
+            "with --monitor and --flight to exercise the forensics "
+            "path; the run exits 1 by design)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-after",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help="clean warmup ops before --inject-fault kicks in",
+    )
     args = parser.parse_args(argv)
 
     run = run_traced_soak(
@@ -297,10 +508,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
         monitor=args.monitor,
+        serve_port=args.serve,
+        serve_linger=args.serve_linger,
+        live_interval=args.live_interval,
+        watchdog_timeout=args.watchdog,
+        flight_path=args.flight,
+        fault=args.inject_fault,
+        fault_after=args.fault_after,
     )
 
     if args.format == "json":
         report = json.dumps(run.to_document(), indent=2) + "\n"
+    elif args.format == "prometheus":
+        report = run.metrics_text()
     else:
         report = run.report()
     if args.output:

@@ -1,0 +1,477 @@
+"""Online fairness / SLO auditing — the streaming half of `net/metrics`.
+
+The offline metrics (:mod:`repro.net.metrics`) replay a finished
+:class:`~repro.sched.base.SimulationResult` against a batch GPS run.
+This module computes the same quantities *while the system runs*:
+
+* :class:`RankInversionCounter` — the streaming inversion count.  The
+  offline :func:`repro.net.metrics.out_of_order_service` is now a thin
+  driver over this class, so online and offline counts are one code
+  path, not two implementations that can drift.
+* :class:`FairnessAuditor` — a per-flow service ledger fed arrival and
+  departure observations, backed by the *incremental*
+  :class:`~repro.sched.gps.GpsAccrualCore`.  Because the core advances
+  only at arrival instants (exactly the schedule the batch simulator
+  uses), the streaming worst GPS lag/lead per flow reconciles **exactly**
+  — same floats, not approximately — with
+  :func:`repro.net.metrics.gps_lag` recomputed offline on the same trace.
+* :class:`SloRule` / rule evaluation with burn-rate counters: each rule
+  names a metric (``max_gps_lag``, ``max_gps_lead``, ``p99_delay``,
+  ``inversions``) and a limit; every breaching evaluation burns the
+  budget (counted), and the first breach is emitted both as a
+  :data:`~repro.obs.events.SLO_KIND` trace event and as exported
+  metrics.
+* :class:`ServeStreamAuditor` — the tag-domain sibling for circuit
+  soaks (which have no packet clocks): a tracer observer counting
+  wrap-aware serve-order inversions per component, exported live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..hwsim.errors import ConfigurationError
+from ..sched.gps import GpsAccrualCore, GpsDeparture
+from .events import SLO_KIND, TraceEvent
+from .instruments import InstrumentSet
+
+#: Metrics an :class:`SloRule` may bind to.
+SLO_METRICS = ("max_gps_lag", "max_gps_lead", "p99_delay", "inversions")
+
+
+class RankInversionCounter:
+    """Streaming count of service-order rank inversions.
+
+    Feed ranks (finish tags) in *service order*; an observation counts
+    as an inversion when it sorts strictly below the best rank already
+    served (beyond ``epsilon``), matching the offline
+    :func:`repro.net.metrics.out_of_order_service` definition.
+
+    With ``modular=True`` the comparison is wrap-aware over
+    ``tag_space`` (hardware tag domain): a serve counts as an inversion
+    when its wrapped distance from the previous serve falls in the
+    backward half-space — the same half-space rule the
+    ``serve_monotonic`` monitor enforces.  A modular counter keeps its
+    watermark at the last *conforming* serve.
+    """
+
+    def __init__(
+        self,
+        *,
+        modular: bool = False,
+        tag_space: int = 0,
+        epsilon: float = 1e-12,
+    ) -> None:
+        if modular and tag_space <= 1:
+            raise ConfigurationError(
+                "modular inversion counting needs tag_space > 1"
+            )
+        self.modular = modular
+        self.tag_space = tag_space
+        self.epsilon = epsilon
+        self.observed = 0
+        self.inversions = 0
+        self._best: Optional[float] = None
+
+    def reset_watermark(self) -> None:
+        """Forget the watermark (e.g. after a circuit drain)."""
+        self._best = None
+
+    def observe(self, rank: float) -> bool:
+        """Record one served rank; True when it is an inversion."""
+        self.observed += 1
+        if self._best is None:
+            self._best = rank
+            return False
+        if self.modular:
+            distance = (int(rank) - int(self._best)) % self.tag_space
+            if distance >= self.tag_space // 2:
+                self.inversions += 1
+                return True
+            self._best = rank
+            return False
+        if rank < self._best - self.epsilon:
+            self.inversions += 1
+            return True
+        if rank > self._best:
+            self._best = rank
+        return False
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One service-level objective: ``metric`` must stay <= ``limit``.
+
+    ``metric`` is one of :data:`SLO_METRICS`; units are seconds for the
+    GPS-lag/lead and delay metrics, a count for ``inversions``.
+    """
+
+    name: str
+    metric: str
+    limit: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in SLO_METRICS:
+            raise ConfigurationError(
+                f"unknown SLO metric {self.metric!r}; "
+                f"expected one of {SLO_METRICS}"
+            )
+
+
+class _RuleState:
+    """Burn accounting for one rule."""
+
+    __slots__ = ("rule", "burn", "breached", "worst")
+
+    def __init__(self, rule: SloRule) -> None:
+        self.rule = rule
+        self.burn = 0  # breaching evaluations (budget burn rate)
+        self.breached = False
+        self.worst = float("-inf")
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "metric": self.rule.metric,
+            "limit": self.rule.limit,
+            "burn": self.burn,
+            "breached": self.breached,
+            "worst": self.worst if self.burn else None,
+        }
+
+
+class FairnessAuditor:
+    """Streaming per-flow service ledger with a fluid GPS reference.
+
+    Drive it with :meth:`on_arrival` (in arrival order) and
+    :meth:`on_departure` (in service order), then :meth:`finalize`.
+    The incremental GPS core only advances at arrival instants — actual
+    departures are *paired* with fluid departures whenever both sides of
+    a packet are known, which keeps the float schedule identical to the
+    batch simulator and makes online/offline reconciliation exact.
+    """
+
+    def __init__(
+        self,
+        rate_bps: float,
+        *,
+        weights: Optional[Mapping[int, float]] = None,
+        rules: Sequence[SloRule] = (),
+        instruments: Optional[InstrumentSet] = None,
+        tracer=None,
+        delay_scale: float = 1e6,
+    ) -> None:
+        self._core = GpsAccrualCore(rate_bps, weights=weights)
+        self._rules = [_RuleState(rule) for rule in rules]
+        self._instruments = instruments
+        self._tracer = tracer
+        self._delay_scale = delay_scale
+        #: fluid departures not yet matched to an actual serve
+        self._fluid: Dict[int, GpsDeparture] = {}
+        #: actual serves not yet matched to a fluid departure
+        self._actual: Dict[int, Tuple[int, float]] = {}
+        #: worst actual-behind-fluid / actual-ahead-of-fluid per flow
+        self.lag: Dict[int, float] = {}
+        self.lead: Dict[int, float] = {}
+        self.served_bits: Dict[int, float] = {}
+        self.arrivals = 0
+        self.departures = 0
+        self.inversion_counter = RankInversionCounter()
+        self._delays: List[float] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # observations
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        self._core.set_weight(flow_id, weight)
+
+    def on_arrival(self, packet) -> None:
+        """Admit one packet (a :class:`~repro.sched.packet.Packet`)."""
+        self.arrivals += 1
+        emitted = self._core.arrive(
+            packet.flow_id,
+            packet.packet_id,
+            packet.size_bits,
+            packet.arrival_time,
+        )
+        self._absorb_fluid(emitted)
+
+    def on_departure(self, packet) -> None:
+        """Record one served packet, in service order."""
+        if packet.departure_time is None:
+            return
+        self.departures += 1
+        flow = packet.flow_id
+        self.served_bits[flow] = (
+            self.served_bits.get(flow, 0.0) + packet.size_bits
+        )
+        if packet.finish_tag is not None:
+            inverted = self.inversion_counter.observe(packet.finish_tag)
+            if inverted and self._instruments is not None:
+                self._instruments.counter("slo_inversions_total").inc()
+        delay = packet.departure_time - packet.arrival_time
+        self._delays.append(delay)
+        if self._instruments is not None:
+            self._instruments.hist(
+                "packet_delay_seconds", scale=self._delay_scale
+            ).record(max(delay, 0.0))
+        fluid = self._fluid.pop(packet.packet_id, None)
+        if fluid is not None:
+            self._pair(packet.packet_id, flow, packet.departure_time, fluid)
+        else:
+            self._actual[packet.packet_id] = (flow, packet.departure_time)
+        self.evaluate()
+
+    def finalize(self) -> Dict[str, Any]:
+        """Drain the fluid backlog, run a final evaluation, and report."""
+        if not self._finalized:
+            self._finalized = True
+            self._absorb_fluid(self._core.finish())
+            self.evaluate()
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # pairing
+
+    def _absorb_fluid(
+        self, emitted: List[Tuple[int, GpsDeparture]]
+    ) -> None:
+        for packet_id, fluid in emitted:
+            pending = self._actual.pop(packet_id, None)
+            if pending is None:
+                self._fluid[packet_id] = fluid
+            else:
+                flow, departure_time = pending
+                self._pair(packet_id, flow, departure_time, fluid)
+
+    def _pair(
+        self,
+        packet_id: int,
+        flow: int,
+        departure_time: float,
+        fluid: GpsDeparture,
+    ) -> None:
+        lag = departure_time - fluid.departure_time
+        if lag > self.lag.get(flow, float("-inf")):
+            self.lag[flow] = lag
+        lead = fluid.departure_time - departure_time
+        if lead > self.lead.get(flow, float("-inf")):
+            self.lead[flow] = lead
+        if self._instruments is not None:
+            self._instruments.gauge("slo_max_gps_lag_seconds").set(
+                self.max_gps_lag
+            )
+            self._instruments.gauge("slo_max_gps_lead_seconds").set(
+                self.max_gps_lead
+            )
+
+    # ------------------------------------------------------------------
+    # metrics
+
+    @property
+    def max_gps_lag(self) -> float:
+        return max(self.lag.values()) if self.lag else 0.0
+
+    @property
+    def max_gps_lead(self) -> float:
+        return max(self.lead.values()) if self.lead else 0.0
+
+    @property
+    def inversions(self) -> int:
+        return self.inversion_counter.inversions
+
+    def p99_delay(self) -> float:
+        if not self._delays:
+            return 0.0
+        ordered = sorted(self._delays)
+        index = max(0, -(-99 * len(ordered) // 100) - 1)
+        return ordered[min(index, len(ordered) - 1)]
+
+    def _metric_value(self, metric: str) -> float:
+        if metric == "max_gps_lag":
+            return self.max_gps_lag
+        if metric == "max_gps_lead":
+            return self.max_gps_lead
+        if metric == "p99_delay":
+            return self.p99_delay()
+        return float(self.inversions)
+
+    # ------------------------------------------------------------------
+    # SLO evaluation
+
+    def evaluate(self) -> None:
+        """Check every rule against current values; count burn."""
+        for state in self._rules:
+            value = self._metric_value(state.rule.metric)
+            if value <= state.rule.limit:
+                continue
+            state.burn += 1
+            if value > state.worst:
+                state.worst = value
+            if self._instruments is not None:
+                self._instruments.counter(
+                    f"slo_burn_{state.rule.name}_total"
+                ).inc()
+            if not state.breached:
+                state.breached = True
+                self._emit_violation(state, value)
+
+    def _emit_violation(self, state: _RuleState, value: float) -> None:
+        if self._instruments is not None:
+            self._instruments.counter("slo_violations_total").inc()
+        if self._tracer is not None:
+            self._tracer.event(
+                SLO_KIND,
+                name=state.rule.name,
+                rule=state.rule.name,
+                metric=state.rule.metric,
+                value=value,
+                limit=state.rule.limit,
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready audit summary."""
+        return {
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "max_gps_lag": self.max_gps_lag,
+            "max_gps_lead": self.max_gps_lead,
+            "gps_lag": dict(sorted(self.lag.items())),
+            "gps_lead": dict(sorted(self.lead.items())),
+            "inversions": self.inversions,
+            "p99_delay": self.p99_delay(),
+            "unmatched_fluid": len(self._fluid),
+            "unmatched_actual": len(self._actual),
+            "rules": {
+                state.rule.name: state.summary() for state in self._rules
+            },
+        }
+
+
+class ServeStreamAuditor:
+    """Tag-domain serve auditor for circuit soaks (a tracer observer).
+
+    Soak workloads carry hardware tags, not packet clocks, so the GPS
+    ledger does not apply; what *can* be watched live is the serve
+    stream itself.  Attached as a tracer observer, this counts serves
+    and wrap-aware rank inversions per component (shard), exports them
+    as live instruments, and optionally enforces an ``inversions`` SLO
+    rule.
+    """
+
+    def __init__(
+        self,
+        *,
+        instruments: InstrumentSet,
+        modular: bool = False,
+        tag_space: int = 0,
+        rules: Sequence[SloRule] = (),
+        tracer=None,
+    ) -> None:
+        for rule in rules:
+            if rule.metric != "inversions":
+                raise ConfigurationError(
+                    "tag-domain serve auditing supports only "
+                    f"'inversions' rules, got {rule.metric!r}"
+                )
+        self._instruments = instruments
+        self._modular = modular
+        self._tag_space = tag_space
+        self._rules = [_RuleState(rule) for rule in rules]
+        self._tracer = tracer
+        self._counters: Dict[str, RankInversionCounter] = {}
+        self.serves = 0
+        self.inversions = 0
+        # Resolved once: the observer runs on every traced event, and
+        # per-serve get-or-create lookups are measurable there.
+        self._serves_total = instruments.counter("live_serves_total")
+        self._inversions_total = instruments.counter(
+            "live_serve_inversions_total"
+        )
+        self._last_served = instruments.gauge("live_last_served_tag")
+
+    def _counter_for(self, component: str) -> RankInversionCounter:
+        counter = self._counters.get(component)
+        if counter is None:
+            counter = RankInversionCounter(
+                modular=self._modular,
+                tag_space=self._tag_space if self._modular else 0,
+            )
+            self._counters[component] = counter
+        return counter
+
+    def __call__(self, event: TraceEvent) -> None:
+        # Hot path: runs on every traced event; keep the non-serve exit
+        # to two attribute loads and the serve path free of per-call
+        # instrument lookups (everything is pre-bound in __init__).
+        kind = event.kind
+        attrs = event.attrs
+        if kind == "dequeue":
+            tag = attrs.get("tag")
+        elif kind == "insert_dequeue":
+            tag = attrs.get("served_tag")
+        else:
+            if kind == "marker_flush":
+                counter = self._counters.get(attrs.get("component", ""))
+                if counter is not None:
+                    counter.reset_watermark()
+            return
+        if tag is None or attrs.get("failed"):
+            return
+        component = attrs.get("component", "")
+        counter = self._counters.get(component)
+        if counter is None:
+            counter = self._counter_for(component)
+        inverted = counter.observe(tag)
+        self.serves += 1
+        self._serves_total.value += 1
+        self._last_served.set(tag)
+        if inverted:
+            self.inversions += 1
+            self._inversions_total.inc()
+            if self._rules:
+                self._evaluate()
+        if attrs.get("occupancy") == 0:
+            # Drained: the next busy period may restart at lower tags.
+            counter.reset_watermark()
+
+    def _evaluate(self) -> None:
+        for state in self._rules:
+            if self.inversions <= state.rule.limit:
+                continue
+            state.burn += 1
+            self._instruments.counter(
+                f"slo_burn_{state.rule.name}_total"
+            ).inc()
+            if not state.breached:
+                state.breached = True
+                self._instruments.counter("slo_violations_total").inc()
+                if self._tracer is not None:
+                    self._tracer.event(
+                        SLO_KIND,
+                        name=state.rule.name,
+                        rule=state.rule.name,
+                        metric=state.rule.metric,
+                        value=float(self.inversions),
+                        limit=state.rule.limit,
+                    )
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "serves": self.serves,
+            "inversions": self.inversions,
+            "components": {
+                name: {
+                    "observed": counter.observed,
+                    "inversions": counter.inversions,
+                }
+                for name, counter in sorted(self._counters.items())
+            },
+            "rules": {
+                state.rule.name: state.summary() for state in self._rules
+            },
+        }

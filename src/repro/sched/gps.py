@@ -13,13 +13,22 @@ The classic Parekh–Gallager bound ties WFQ to this reference::
     depart_WFQ(p) <= depart_GPS(p) + L_max / rate
 
 and is verified as a property test over random traffic.
+
+The accrual engine itself lives in :class:`GpsAccrualCore`, an
+*incremental* form of the same relation: arrivals are fed one at a time
+and fluid departures are emitted as soon as they are determined.  The
+batch :class:`GPSFluidSimulator` and the online fairness auditor
+(:mod:`repro.obs.slo`) share this single core, so a streaming audit and
+an offline :mod:`repro.net.metrics` computation over the same trace
+agree bit-for-bit — the float operations happen in the same order in
+both drivers.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..hwsim.errors import ConfigurationError
 from .packet import Packet
@@ -33,6 +42,166 @@ class GpsDeparture:
     departure_time: float
 
 
+def interpolate_curve(
+    curve: Optional[List[Tuple[float, float]]], time_s: float
+) -> float:
+    """Linear interpolation over ``(time, cumulative_bits)`` breakpoints.
+
+    Constant before the first breakpoint and after the last; ``0.0`` for
+    an empty or missing curve.
+    """
+    if not curve:
+        return 0.0
+    if time_s <= curve[0][0]:
+        return curve[0][1]
+    for (t0, w0), (t1, w1) in zip(curve, curve[1:]):
+        if t0 <= time_s <= t1:
+            if t1 == t0:
+                return w1
+            return w0 + (w1 - w0) * (time_s - t0) / (t1 - t0)
+    return curve[-1][1]
+
+
+class GpsAccrualCore:
+    """Incremental fluid-GPS accrual over one link.
+
+    Feed arrivals in nondecreasing time order via :meth:`arrive`; each
+    call advances real/virtual time to the arrival instant and returns
+    the fluid departures that became determined along the way.  Call
+    :meth:`finish` once the trace ends to drain the remaining backlog.
+
+    The core only ever advances at *arrival* instants (and at drain):
+    that is exactly the schedule of float operations the batch simulator
+    performs, which is what makes online results reconcile exactly with
+    offline recomputation.  Callers must not advance it at observed
+    *actual* departure times.
+    """
+
+    def __init__(
+        self,
+        rate_bps: float,
+        weights: Optional[Mapping[int, float]] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self._weights: Dict[int, float] = dict(weights) if weights else {}
+        self.now = 0.0
+        self.virtual = 0.0
+        self.busy_weight = 0.0
+        self._outstanding: Dict[int, int] = {}
+        self._last_finish: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int, int]] = []  # (finish, pkt, flow)
+        self._work: Dict[int, float] = {}
+        self._last_arrival = float("-inf")
+        self._closed = False
+        #: per-flow fluid service breakpoints ``(time, cumulative_bits)``
+        self.curves: Dict[int, List[Tuple[float, float]]] = {}
+        #: every departure emitted so far, by packet id
+        self.results: Dict[int, GpsDeparture] = {}
+
+    @property
+    def backlog(self) -> int:
+        """Packets still in the fluid system."""
+        return len(self._heap)
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Declare phi for a flow (before its first arrival)."""
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self._weights[flow_id] = weight
+
+    def _accrue(self, to_time: float) -> None:
+        """Credit fluid service over [now, to_time] to busy flows."""
+        elapsed = to_time - self.now
+        if elapsed <= 0 or self.busy_weight <= 0:
+            return
+        for flow, count in self._outstanding.items():
+            if count <= 0:
+                continue
+            share = self._weights.get(flow, 1.0) / self.busy_weight
+            self._work[flow] = self._work.get(flow, 0.0) + (
+                elapsed * self.rate_bps * share
+            )
+            self.curves.setdefault(flow, [(0.0, 0.0)]).append(
+                (to_time, self._work[flow])
+            )
+
+    def _advance(
+        self, to_time: float, emitted: List[Tuple[int, GpsDeparture]]
+    ) -> None:
+        """Move real time forward, emitting fluid departures."""
+        while self._heap:
+            finish, packet_id, flow = self._heap[0]
+            departure = self.now + (
+                (finish - self.virtual) * self.busy_weight / self.rate_bps
+            )
+            if departure > to_time + 1e-15:
+                break
+            heapq.heappop(self._heap)
+            self._accrue(departure)
+            self.now = departure
+            self.virtual = finish
+            record = GpsDeparture(finish_tag=finish, departure_time=departure)
+            self.results[packet_id] = record
+            emitted.append((packet_id, record))
+            self._outstanding[flow] -= 1
+            if self._outstanding[flow] == 0:
+                self.busy_weight -= self._weights.get(flow, 1.0)
+                if self.busy_weight < 1e-12:
+                    self.busy_weight = 0.0
+        if self.busy_weight > 0:
+            self.virtual += (
+                (to_time - self.now) * self.rate_bps / self.busy_weight
+            )
+            self._accrue(to_time)
+        self.now = max(self.now, to_time)
+
+    def arrive(
+        self,
+        flow_id: int,
+        packet_id: int,
+        size_bits: float,
+        arrival_time: float,
+    ) -> List[Tuple[int, GpsDeparture]]:
+        """Admit one packet; return departures determined by its arrival."""
+        if self._closed:
+            raise ConfigurationError("accrual core already finished")
+        if arrival_time < self._last_arrival:
+            raise ConfigurationError(
+                "arrivals must be fed in nondecreasing time order"
+            )
+        self._last_arrival = arrival_time
+        emitted: List[Tuple[int, GpsDeparture]] = []
+        self._advance(arrival_time, emitted)
+        weight = self._weights.get(flow_id, 1.0)
+        start = max(self.virtual, self._last_finish.get(flow_id, 0.0))
+        finish = start + size_bits / weight
+        self._last_finish[flow_id] = finish
+        if self._outstanding.get(flow_id, 0) == 0:
+            self.busy_weight += weight
+            # Pin the curve flat across the preceding idle period.
+            self.curves.setdefault(flow_id, [(0.0, 0.0)]).append(
+                (arrival_time, self._work.get(flow_id, 0.0))
+            )
+        self._outstanding[flow_id] = self._outstanding.get(flow_id, 0) + 1
+        heapq.heappush(self._heap, (finish, packet_id, flow_id))
+        return emitted
+
+    def finish(self) -> List[Tuple[int, GpsDeparture]]:
+        """Drain the backlog; returns the remaining fluid departures."""
+        if self._closed:
+            return []
+        self._closed = True
+        emitted: List[Tuple[int, GpsDeparture]] = []
+        self._advance(float("inf"), emitted)
+        return emitted
+
+    def work_at(self, flow_id: int, time_s: float) -> float:
+        """Fluid bits served to ``flow_id`` by ``time_s``."""
+        return interpolate_curve(self.curves.get(flow_id), time_s)
+
+
 class GPSFluidSimulator:
     """Event-exact fluid GPS over one link.
 
@@ -41,6 +210,10 @@ class GPSFluidSimulator:
     between them), and :meth:`work_at` interpolates it — the reference
     for work-based fairness metrics such as
     :func:`repro.net.metrics.worst_work_lead`.
+
+    This is the batch driver over :class:`GpsAccrualCore`: it sorts the
+    trace by ``(arrival_time, packet_id)`` and replays it through the
+    incremental core.
     """
 
     def __init__(self, rate_bps: float) -> None:
@@ -65,78 +238,17 @@ class GPSFluidSimulator:
         left untouched (the WFQ scheduler owns those).
         """
         trace = sorted(arrivals, key=lambda p: (p.arrival_time, p.packet_id))
-        results: Dict[int, GpsDeparture] = {}
-
-        now = 0.0
-        virtual = 0.0
-        busy_weight = 0.0
-        outstanding: Dict[int, int] = {}
-        last_finish: Dict[int, float] = {}
-        heap: List[Tuple[float, int, int]] = []  # (finish, packet_id, flow)
-        index = 0
-        work: Dict[int, float] = {}
-        self.curves = {}
-
-        def accrue(to_time: float) -> None:
-            """Credit fluid service over [now, to_time] to busy flows."""
-            elapsed = to_time - now
-            if elapsed <= 0 or busy_weight <= 0:
-                return
-            for flow, count in outstanding.items():
-                if count <= 0:
-                    continue
-                share = self._weights.get(flow, 1.0) / busy_weight
-                work[flow] = work.get(flow, 0.0) + (
-                    elapsed * self.rate_bps * share
-                )
-                self.curves.setdefault(flow, [(0.0, 0.0)]).append(
-                    (to_time, work[flow])
-                )
-
-        def advance(to_time: float) -> None:
-            """Move real time forward, emitting fluid departures."""
-            nonlocal now, virtual, busy_weight
-            while heap:
-                finish, packet_id, flow = heap[0]
-                departure = now + (finish - virtual) * busy_weight / self.rate_bps
-                if departure > to_time + 1e-15:
-                    break
-                heapq.heappop(heap)
-                accrue(departure)
-                now = departure
-                virtual = finish
-                results[packet_id] = GpsDeparture(
-                    finish_tag=finish, departure_time=departure
-                )
-                outstanding[flow] -= 1
-                if outstanding[flow] == 0:
-                    busy_weight -= self._weights.get(flow, 1.0)
-                    if busy_weight < 1e-12:
-                        busy_weight = 0.0
-            if busy_weight > 0:
-                virtual += (to_time - now) * self.rate_bps / busy_weight
-                accrue(to_time)
-            now = max(now, to_time)
-
-        while index < len(trace):
-            packet = trace[index]
-            advance(packet.arrival_time)
-            index += 1
-            weight = self._weights.get(packet.flow_id, 1.0)
-            start = max(virtual, last_finish.get(packet.flow_id, 0.0))
-            finish = start + packet.size_bits / weight
-            last_finish[packet.flow_id] = finish
-            if outstanding.get(packet.flow_id, 0) == 0:
-                busy_weight += weight
-                # Pin the curve flat across the preceding idle period.
-                self.curves.setdefault(packet.flow_id, [(0.0, 0.0)]).append(
-                    (packet.arrival_time, work.get(packet.flow_id, 0.0))
-                )
-            outstanding[packet.flow_id] = outstanding.get(packet.flow_id, 0) + 1
-            heapq.heappush(heap, (finish, packet.packet_id, packet.flow_id))
-
-        advance(float("inf"))
-        return results
+        core = GpsAccrualCore(self.rate_bps, weights=self._weights)
+        for packet in trace:
+            core.arrive(
+                packet.flow_id,
+                packet.packet_id,
+                packet.size_bits,
+                packet.arrival_time,
+            )
+        core.finish()
+        self.curves = core.curves
+        return dict(core.results)
 
     def work_at(self, flow_id: int, time_s: float) -> float:
         """Fluid bits served to ``flow_id`` by ``time_s`` (after run()).
@@ -144,17 +256,7 @@ class GPSFluidSimulator:
         Linear interpolation between the recorded breakpoints; constant
         before the first and after the last.
         """
-        curve = self.curves.get(flow_id)
-        if not curve:
-            return 0.0
-        if time_s <= curve[0][0]:
-            return curve[0][1]
-        for (t0, w0), (t1, w1) in zip(curve, curve[1:]):
-            if t0 <= time_s <= t1:
-                if t1 == t0:
-                    return w1
-                return w0 + (w1 - w0) * (time_s - t0) / (t1 - t0)
-        return curve[-1][1]
+        return interpolate_curve(self.curves.get(flow_id), time_s)
 
     def finish_tags(self, arrivals: Iterable[Packet]) -> Dict[int, float]:
         """Just the finishing tags (convenience for tag-stream studies)."""

@@ -74,3 +74,63 @@ def test_monitor_flags_seeded_fault(tmp_path, monkeypatch):
          "--output", str(tmp_path / "r.txt")]
     )
     assert status == 1
+
+
+def test_live_plane_over_fabric_soak(tmp_path):
+    """--serve over the fabric: endpoints up, serve audit clean."""
+    import json as _json
+    import urllib.request
+
+    run = run_fabric_soak(
+        ops=3000, shards=4, monitor=True, serve_port=0, live_interval=0.05
+    )
+    assert run.live is not None
+    assert run.live["windows"] >= 1
+    assert run.live["skipped_ticks"] == 0 or run.live["windows"] > 0
+    assert run.auditor is not None
+    assert run.auditor.serves > 0
+    assert run.auditor.inversions == 0
+    # Per-shard watermarks: every shard component was audited.
+    components = run.auditor.summary()["components"]
+    assert len(components) >= 1
+    # The exposition text includes both base and live families.
+    text = run.metrics_text()
+    assert "repro_live_windows_total" in text
+    assert "repro_live_serves_total" in text
+    # Server is down after the run.
+    port = run.live["port"]
+    try:
+        urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/health", timeout=1
+        )
+        assert False, "server should be closed"
+    except Exception:
+        pass
+
+
+def test_flight_recorder_dumps_on_fabric_fault(tmp_path, monkeypatch):
+    """A seeded per-shard fault auto-dumps an analyze-loadable window."""
+    import repro.fabric.runner as runner_module
+    from repro.core.sort_retrieve import FaultInjection
+    from repro.fabric.fabric import ScheduleFabric
+    from repro.obs.exporters import read_trace
+
+    original_init = ScheduleFabric.__init__
+
+    def faulty_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.stores[0].circuit.fault_injection = FaultInjection(
+            extra_dequeue_reads=3
+        )
+
+    monkeypatch.setattr(ScheduleFabric, "__init__", faulty_init)
+    flight_path = tmp_path / "fabric_flight.jsonl"
+    run = runner_module.run_fabric_soak(
+        ops=1500, shards=2, monitor=True, flight_path=str(flight_path)
+    )
+    assert run.monitors is not None and not run.monitors.ok
+    assert run.flight is not None and run.flight.dumped
+    document = read_trace(str(flight_path))
+    assert document.header["purpose"] == "flight_recorder"
+    assert document.header["trigger"]["monitor"] == "dequeue_bound"
+    assert document.footer["emitted"] == len(document.events)

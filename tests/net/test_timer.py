@@ -262,3 +262,29 @@ class TestCli:
 
         assert repro_main(["timer", "--events", "300"]) == 0
         assert "timer soak" in capsys.readouterr().out
+
+
+class TestTimerLivePlane:
+    def test_serve_attaches_live_plane_and_auditor(self):
+        run = run_timer_soak(
+            pattern="churn",
+            events=2_000,
+            seed=7,
+            monitor=True,
+            serve_port=0,
+        )
+        assert run.live is not None
+        assert run.live["windows"] >= 1
+        assert run.auditor is not None
+        assert run.auditor.serves > 0
+        document = run.to_document()
+        assert "live" in document
+        assert document["serve_audit"]["inversions"] == run.auditor.inversions
+        assert "live plane" in run.report()
+
+    def test_serve_over_sharded_backend(self):
+        run = run_timer_soak(
+            pattern="expiry", events=1_500, seed=3, shards=2, serve_port=0
+        )
+        assert run.live is not None
+        assert run.conserved

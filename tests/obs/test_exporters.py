@@ -1,11 +1,14 @@
 """Exporter formats: JSONL round trip, Prometheus text, run report."""
 
+import re
+
 from repro.hwsim.stats import AccessStats
 from repro.obs.events import TraceEvent
 from repro.obs.exporters import (
     prometheus_snapshot,
     read_jsonl,
     run_report,
+    sanitize_metric_name,
     write_jsonl,
 )
 from repro.obs.instruments import InstrumentSet
@@ -81,6 +84,140 @@ class TestPrometheusSnapshot:
         ]
         assert counts == sorted(counts)
         assert counts[-1] == 200
+
+
+class TestMetricNameSanitization:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("op.cycles-p99") == "op_cycles_p99"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("99th_delay") == "_99th_delay"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("already_valid:ok") == "already_valid:ok"
+
+    def test_idempotent(self):
+        once = sanitize_metric_name("a.b c/d")
+        assert sanitize_metric_name(once) == once
+
+    def test_invalid_instrument_names_export_clean(self):
+        instruments = InstrumentSet()
+        instruments.gauge("queue.depth").set(3)
+        instruments.counter("ops/total").inc()
+        text = prometheus_snapshot(instruments)
+        assert "repro_queue_depth 3" in text
+        assert "repro_ops_total 1" in text
+        assert "." not in text.replace("0.0", "").split("queue", 1)[0]
+
+    def test_counter_total_suffix_not_doubled(self):
+        instruments = InstrumentSet()
+        instruments.counter("live_windows_total").inc(4)
+        text = prometheus_snapshot(instruments)
+        assert "# TYPE repro_live_windows_total counter" in text
+        assert "repro_live_windows_total 4" in text
+        assert "_total_total" not in text
+
+
+#: One exposition line: HELP/TYPE comment, or `name{labels} value`.
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?(?:[0-9.]+(?:e[+-]?[0-9]+)?|\+?Inf|NaN))$"
+)
+_TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"$')
+
+
+def parse_exposition(text):
+    """Strict parse of Prometheus text exposition; returns samples/types.
+
+    Raises AssertionError (with the offending line) on any grammar
+    violation — the test-side contract for satellite acceptance.
+    """
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = _TYPE_LINE.match(line)
+            assert match, f"malformed comment line: {line!r}"
+            name = match.group("name")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = match.group("type")
+            continue
+        match = _METRIC_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        labels = match.group("labels")
+        if labels is not None:
+            for pair in labels.split(","):
+                assert _LABEL.match(pair), f"malformed label: {pair!r}"
+        samples.append(
+            (match.group("name"), labels, match.group("value"))
+        )
+    return types, samples
+
+
+def _family(sample_name, types):
+    """The TYPE family a sample belongs to (histogram series collapse)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+class TestExpositionGrammar:
+    """Every emitted line must parse; every sample must have a TYPE."""
+
+    def make_instruments(self):
+        instruments = InstrumentSet()
+        for value in (1, 3, 3, 250, 9000):
+            instruments.hist("op.cycles").record(value)
+        instruments.hist("batch_accesses_per_op", scale=100).record(2.37)
+        instruments.gauge("occupancy_now").set(17)
+        instruments.gauge("free-list.depth").set(1024)
+        instruments.counter("events_insert").inc(12)
+        instruments.counter("live_windows_total").inc(3)
+        instruments.counter("9starts_with_digit").inc()
+        return instruments
+
+    def test_every_line_parses_and_is_typed(self):
+        text = prometheus_snapshot(self.make_instruments())
+        types, samples = parse_exposition(text)
+        assert samples, "exposition was empty"
+        for name, labels, value in samples:
+            family = _family(name, types)
+            assert family is not None, f"sample {name} has no TYPE line"
+
+    def test_histogram_buckets_cumulative_and_capped(self):
+        text = prometheus_snapshot(self.make_instruments())
+        types, samples = parse_exposition(text)
+        by_hist = {}
+        for name, labels, value in samples:
+            if name.endswith("_bucket"):
+                by_hist.setdefault(name, []).append((labels, float(value)))
+        assert by_hist
+        for name, buckets in by_hist.items():
+            counts = [count for _, count in buckets]
+            assert counts == sorted(counts), f"{name} not cumulative"
+            assert buckets[-1][0] == 'le="+Inf"', f"{name} missing +Inf cap"
+
+    def test_live_snapshot_from_soak_passes_grammar(self):
+        """The acceptance check: a real run's /metrics text is clean."""
+        from repro.obs.runner import run_traced_soak
+
+        run = run_traced_soak(ops=400, monitor=True, serve_port=0)
+        text = run.metrics_text()
+        types, samples = parse_exposition(text)
+        for name, labels, value in samples:
+            assert _family(name, types) is not None, name
 
 
 class TestRunReport:

@@ -1,0 +1,180 @@
+"""Flight recorder and stall watchdog tests."""
+
+import pytest
+
+from repro.obs.events import INVARIANT_KIND, TraceEvent, WATCHDOG_KIND
+from repro.obs.exporters import read_trace
+from repro.obs.flight import FlightRecorder, StallWatchdog
+from repro.obs.monitors import check_trace
+from repro.obs.runner import run_traced_soak
+
+
+def op_event(seq, kind="push"):
+    return TraceEvent(seq, kind, kind, attrs={"tag": seq})
+
+
+def violation_event(seq, *, monitor="serve_monotonic", offender=None):
+    return TraceEvent(
+        seq,
+        INVARIANT_KIND,
+        monitor,
+        attrs={"monitor": monitor, "offender_seq": offender},
+    )
+
+
+class TestFlightRecorder:
+    def test_passive_until_trigger(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(str(path), ring=8)
+        for seq in range(20):
+            recorder(op_event(seq))
+        assert not recorder.triggered
+        assert not path.exists()
+
+    def test_dump_window_and_framing(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(str(path), ring=8, post_context=3)
+        for seq in range(10):
+            recorder(op_event(seq))
+        recorder(violation_event(10, offender=9))
+        assert recorder.triggered and not recorder.dumped
+        for seq in range(11, 14):
+            recorder(op_event(seq))
+        assert recorder.dumped
+
+        document = read_trace(str(path))
+        header = document.header
+        assert header["purpose"] == "flight_recorder"
+        assert header["trigger"]["kind"] == INVARIANT_KIND
+        assert header["trigger"]["monitor"] == "serve_monotonic"
+        assert header["trigger"]["offender_seq"] == 9
+        # Ring of 8: the window is the 8 most recent events.
+        assert header["window"]["events"] == 8
+        assert len(document.events) == 8
+        # Framed like any archived trace: footer accounts every event.
+        assert document.footer["emitted"] == 8
+        assert document.footer["dropped"] == 0
+
+    def test_only_first_trigger_dumps(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(str(path), ring=8, post_context=0)
+        recorder(violation_event(0))
+        first = path.read_text()
+        recorder(violation_event(1, monitor="coverage"))
+        assert path.read_text() == first
+        assert recorder.summary()["trigger"]["monitor"] == "serve_monotonic"
+
+    def test_close_flushes_truncated_aftermath(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(str(path), ring=8, post_context=100)
+        recorder(op_event(0))
+        recorder(violation_event(1))
+        assert not recorder.dumped
+        recorder.close()
+        assert recorder.dumped
+        assert read_trace(str(path)).footer["emitted"] == 2
+
+    def test_watchdog_kind_triggers(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(str(path), ring=4, post_context=0)
+        recorder(TraceEvent(0, WATCHDOG_KIND, "stall", attrs={}))
+        assert recorder.dumped
+
+    def test_rejects_degenerate_ring(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "x.jsonl"), ring=0)
+
+
+class TestSeededFaultEndToEnd:
+    def test_auto_dump_is_analyze_loadable(self, tmp_path):
+        """The acceptance path: seeded fault -> auto dump -> re-conviction."""
+        path = tmp_path / "flight.jsonl"
+        run = run_traced_soak(
+            ops=2000,
+            monitor=True,
+            flight_path=str(path),
+            fault="monotonic",
+        )
+        assert run.monitors is not None and not run.monitors.ok
+        first = run.monitors.violations[0]
+        assert first.monitor == "serve_monotonic"
+        assert run.flight is not None and run.flight.dumped
+
+        document = read_trace(str(path))
+        assert document.header["purpose"] == "flight_recorder"
+        assert document.header["trigger"]["monitor"] == "serve_monotonic"
+        # The dump replays through the offline monitors and convicts the
+        # same monitor at the same offending event.
+        suite = check_trace(document.events, header=document.header)
+        assert not suite.ok
+        replayed = suite.violations[0]
+        assert replayed.monitor == "serve_monotonic"
+        assert (
+            document.header["trigger"]["offender_seq"]
+            == run.monitors.violations[0].seq
+        )
+
+    def test_clean_run_never_dumps(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        run = run_traced_soak(
+            ops=1000, monitor=True, flight_path=str(path)
+        )
+        assert run.monitors is not None and run.monitors.ok
+        assert run.flight is not None and not run.flight.triggered
+        assert not path.exists()
+
+
+class TestStallWatchdog:
+    def test_progress_keeps_it_quiet(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(timeout=5.0, clock=clock)
+        assert not watchdog.observe(1)
+        clock.advance(4.0)
+        assert not watchdog.observe(2)
+        clock.advance(4.0)
+        assert not watchdog.observe(3)
+        assert not watchdog.stalled
+
+    def test_stall_latches_once(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(timeout=5.0, clock=clock)
+        watchdog.observe(1)
+        clock.advance(6.0)
+        assert watchdog.observe(1)  # new stall
+        assert watchdog.stalled
+        clock.advance(6.0)
+        assert not watchdog.observe(1)  # same stall, no re-trigger
+        assert watchdog.stall_count == 1
+
+    def test_recovery_clears_stalled_keeps_count(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(timeout=5.0, clock=clock)
+        watchdog.observe(1)
+        clock.advance(6.0)
+        watchdog.observe(1)
+        assert watchdog.observe(2) is False  # progress resumes
+        assert not watchdog.stalled
+        assert watchdog.stall_count == 1
+
+    def test_disarm_stops_new_stalls(self):
+        clock = FakeClock()
+        watchdog = StallWatchdog(timeout=5.0, clock=clock)
+        watchdog.observe(1)
+        watchdog.disarm()
+        clock.advance(60.0)
+        assert not watchdog.observe(1)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(timeout=0.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds

@@ -4,6 +4,7 @@ import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs.instruments import Counter, Gauge, Histogram, InstrumentSet
 
@@ -107,6 +108,116 @@ class TestHistogramStructure:
         assert bounds == sorted(bounds)
         assert counts == sorted(counts)
         assert counts[-1] == 1000
+
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=1_000_000), max_size=200
+)
+
+
+def build(values):
+    hist = Histogram()
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+class TestHistogramMergeProperties:
+    """Algebraic laws of merge, the basis for shard aggregation."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(left=values_strategy, right=values_strategy)
+    def test_count_and_sum_are_additive(self, left, right):
+        merged = build(left)
+        merged.merge(build(right))
+        assert merged.count == len(left) + len(right)
+        assert merged.sum == sum(left) + sum(right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(left=values_strategy, right=values_strategy)
+    def test_merge_equals_union_recording(self, left, right):
+        """Merging two histograms == recording all values into one."""
+        merged = build(left)
+        merged.merge(build(right))
+        union = build(left + right)
+        for q in (1, 25, 50, 75, 90, 99, 100):
+            assert merged.percentile(q) == union.percentile(q)
+        assert merged.min == union.min
+        assert merged.max == union.max
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=values_strategy)
+    def test_percentiles_monotone_in_q(self, values):
+        hist = build(values)
+        quantiles = [hist.percentile(q) for q in range(1, 101)]
+        assert quantiles == sorted(quantiles)
+
+    @settings(max_examples=50, deadline=None)
+    @given(left=values_strategy, right=values_strategy)
+    def test_merge_never_shrinks_percentiles_below_parts_min(self, left, right):
+        """A merged percentile stays within the parts' envelope.
+
+        The envelope is widened by one sub-bucket width on each side:
+        values sharing a bucket (e.g. 64 and 65) can put a part's
+        max-clamped estimate just outside the merged bucket bound.
+        """
+        if not left or not right:
+            return
+        a, b = build(left), build(right)
+        merged = build(left)
+        merged.merge(b)
+        for q in (50, 99):
+            low = min(a.percentile(q), b.percentile(q))
+            high = max(a.percentile(q), b.percentile(q))
+            assert low / (1 + 2 ** -5) - 1 <= merged.percentile(q)
+            assert merged.percentile(q) <= high * (1 + 2 ** -5) + 1
+
+
+class TestHistogramSnapshotDelta:
+    """The windowed collector's delta math."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(before=values_strategy, after=values_strategy)
+    def test_delta_matches_tail_recording(self, before, after):
+        hist = build(before)
+        earlier = hist.snapshot()
+        for value in after:
+            hist.record(value)
+        delta = hist.delta_since(earlier)
+        tail = build(after)
+        assert delta.count == tail.count
+        assert delta.sum == tail.sum
+        # Bucket counts are exact; only the delta's min/max are bucket
+        # bounds, so percentiles agree within one sub-bucket width.
+        assert delta._buckets == tail._buckets
+        for q in (50, 99):
+            truth = tail.percentile(q)
+            assert truth <= delta.percentile(q) <= truth * (1 + 2 ** -5) + 1
+
+    def test_snapshot_is_independent(self):
+        hist = build([1, 2, 3])
+        frozen = hist.snapshot()
+        hist.record(1000)
+        assert frozen.count == 3
+        assert frozen.max == 3
+
+    def test_delta_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(subbucket_bits=5).delta_since(
+                Histogram(subbucket_bits=6)
+            )
+
+    def test_delta_min_max_cover_the_tail(self):
+        hist = build([5, 10])
+        earlier = hist.snapshot()
+        hist.record(700)
+        hist.record(42)
+        delta = hist.delta_since(earlier)
+        # Bucket bounds: min is the low edge of the smallest grown
+        # bucket, max is clamped to the true observed maximum.
+        assert delta.min <= 42
+        assert delta.max >= 700
+        assert delta.max <= hist.max
 
 
 class TestGaugeAndCounter:

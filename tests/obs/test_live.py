@@ -1,0 +1,315 @@
+"""Live observability plane tests: collector, HTTP endpoints, runners.
+
+The endpoint tests bind to port 0 (ephemeral) on 127.0.0.1 and query
+the server in-process with :mod:`urllib` — no fixed ports, no external
+tooling.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.events import WATCHDOG_KIND
+from repro.obs.flight import StallWatchdog
+from repro.obs.instruments import InstrumentSet
+from repro.obs.live import LivePlane, MetricsServer, WindowedCollector
+from repro.obs.runner import run_traced_soak
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8"), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8"), dict(error.headers)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestWindowedCollector:
+    def make(self, instruments=None, **kwargs):
+        instruments = instruments if instruments is not None else InstrumentSet()
+        clock = FakeClock()
+        kwargs.setdefault("clock", clock)
+        collector = WindowedCollector(instruments, **kwargs)
+        collector._started_at = clock()
+        collector._last_tick = clock()
+        return collector, instruments, clock
+
+    def test_window_rates(self):
+        collector, instruments, clock = self.make(interval=0.5)
+        instruments.counter("events_insert").inc(100)
+        clock.advance(2.0)
+        collector.tick()
+        window = collector.windows[-1]
+        assert window["ops"] == 100
+        assert window["ops_per_second"] == pytest.approx(50.0)
+        assert collector.live.gauge("live_ops_per_second").value == 50.0
+
+        instruments.counter("events_insert").inc(10)
+        clock.advance(1.0)
+        collector.tick()
+        assert collector.windows[-1]["ops"] == 10
+
+    def test_op_cycles_percentiles_are_windowed(self):
+        collector, instruments, clock = self.make()
+        hist = instruments.hist("op_cycles")
+        for value in (4, 4, 4, 4):
+            hist.record(value)
+        clock.advance(1.0)
+        collector.tick()  # baseline snapshot
+        for value in (8, 8, 8, 8):
+            hist.record(value)
+        clock.advance(1.0)
+        collector.tick()
+        # Only the second window's samples count toward its percentiles.
+        assert collector.windows[-1]["p50_op_cycles"] >= 8
+
+    def test_watchdog_fires_on_stall(self):
+        stalls = []
+        clock = FakeClock()
+        watchdog = StallWatchdog(timeout=1.0, clock=clock)
+        collector = WindowedCollector(
+            InstrumentSet(),
+            progress=lambda: 42.0,
+            watchdog=watchdog,
+            on_stall=stalls.append,
+            clock=clock,
+        )
+        collector._started_at = clock()
+        collector._last_tick = clock()
+        collector.tick()
+        clock.advance(2.0)
+        collector.tick()
+        assert len(stalls) == 1
+        assert (
+            collector.live.counter("live_watchdog_stalls_total").value == 1
+        )
+
+    def test_racy_tick_is_skipped_not_raised(self):
+        class RacyInstruments(InstrumentSet):
+            def items(self):
+                raise RuntimeError("dictionary changed size during iteration")
+
+        collector, _, _ = self.make(instruments=RacyInstruments())
+        collector.tick()
+        assert collector.skipped == 1
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            WindowedCollector(InstrumentSet(), interval=0.0)
+
+
+class TestMetricsServer:
+    def make_server(self, **overrides):
+        kwargs = {
+            "render_metrics": lambda: "# TYPE x gauge\nx 1\n",
+            "render_health": lambda: (200, {"status": "ok"}),
+            "render_snapshot": lambda: {"windows": []},
+        }
+        kwargs.update(overrides)
+        server = MetricsServer(**kwargs)
+        server.start()
+        return server
+
+    def test_endpoints(self):
+        server = self.make_server()
+        try:
+            status, body, headers = fetch(f"{server.url}/metrics")
+            assert status == 200
+            assert "x 1" in body
+            assert headers["Content-Type"].startswith("text/plain")
+
+            status, body, _ = fetch(f"{server.url}/health")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            status, body, _ = fetch(f"{server.url}/snapshot")
+            assert status == 200
+            assert json.loads(body) == {"windows": []}
+
+            status, _, _ = fetch(f"{server.url}/nope")
+            assert status == 404
+        finally:
+            server.close()
+
+    def test_unhealthy_health_is_503(self):
+        server = self.make_server(
+            render_health=lambda: (503, {"status": "stalled"})
+        )
+        try:
+            status, body, _ = fetch(f"{server.url}/health")
+            assert status == 503
+            assert json.loads(body)["status"] == "stalled"
+        finally:
+            server.close()
+
+    def test_render_crash_is_503_not_hang(self):
+        def boom():
+            raise ValueError("render exploded")
+
+        server = self.make_server(render_metrics=boom)
+        try:
+            status, body, _ = fetch(f"{server.url}/metrics")
+            assert status == 503
+            assert json.loads(body)["error"] == "ValueError"
+        finally:
+            server.close()
+
+    def test_racy_render_retries(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("dict resize")
+            return "ok\n"
+
+        server = self.make_server(render_metrics=flaky)
+        try:
+            status, body, _ = fetch(f"{server.url}/metrics")
+            assert status == 200
+            assert body == "ok\n"
+        finally:
+            server.close()
+
+
+class TestLivePlane:
+    def test_health_reflects_monitors_and_levels(self):
+        class FakeSuite:
+            checked = 123
+            violations = []
+
+        instruments = InstrumentSet()
+        plane = LivePlane(
+            instruments=instruments,
+            progress=lambda: 1.0,
+            occupancy=lambda: 7,
+            free_list_depth=lambda: 93,
+            monitors=FakeSuite(),
+            serve_port=0,
+            interval=0.05,
+        ).start()
+        try:
+            status, body, _ = fetch(f"{plane.server.url}/health")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["occupancy"] == 7
+            assert payload["free_list_depth"] == 93
+            assert payload["monitors"]["checked"] == 123
+        finally:
+            summary = plane.finish()
+        assert summary["windows"] >= 1
+        assert summary["port"] == plane.server.port
+
+    def test_violations_flip_health_to_503(self):
+        class Violation:
+            monitor = "serve_monotonic"
+            message = "went backwards"
+
+        class FakeSuite:
+            checked = 10
+            violations = [Violation()]
+
+        plane = LivePlane(
+            instruments=InstrumentSet(),
+            monitors=FakeSuite(),
+            serve_port=0,
+            interval=0.05,
+        ).start()
+        try:
+            status, body, _ = fetch(f"{plane.server.url}/health")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "violations"
+            assert (
+                payload["monitors"]["first_violation"]["monitor"]
+                == "serve_monotonic"
+            )
+        finally:
+            plane.finish()
+
+    def test_finish_is_idempotent(self):
+        plane = LivePlane(
+            instruments=InstrumentSet(), serve_port=0, interval=0.05
+        ).start()
+        first = plane.finish()
+        second = plane.finish()
+        assert first["windows"] == second["windows"]
+
+
+class TestRunnerIntegration:
+    def test_soak_serves_all_endpoints_mid_run(self):
+        """The acceptance check: query the plane while ops still flow."""
+        results = {}
+        ready = threading.Event()
+
+        def on_ready(plane):
+            results["port"] = plane.server.port
+            ready.set()
+
+        def soak():
+            results["run"] = run_traced_soak(
+                ops=60_000,
+                monitor=True,
+                serve_port=0,
+                live_interval=0.05,
+                serve_ready=on_ready,
+            )
+
+        thread = threading.Thread(target=soak, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10), "live plane never came up"
+        base = f"http://127.0.0.1:{results['port']}"
+
+        # The first rollup lands after one collector interval; poll
+        # until the live counter appears (the soak runs much longer).
+        import time as _time
+
+        deadline = _time.monotonic() + 10.0
+        metrics = ""
+        while _time.monotonic() < deadline:
+            status, metrics, headers = fetch(f"{base}/metrics")
+            assert status == 200
+            if "live_windows_total" in metrics:
+                break
+            _time.sleep(0.02)
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE repro_live_windows_total counter" in metrics
+
+        status, health, _ = fetch(f"{base}/health")
+        assert status == 200
+        payload = json.loads(health)
+        assert payload["status"] == "ok"
+        assert "occupancy" in payload
+        assert "free_list_depth" in payload
+
+        status, snapshot, _ = fetch(f"{base}/snapshot")
+        assert status == 200
+        assert "windows" in json.loads(snapshot)
+
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        run = results["run"]
+        assert run.live is not None
+        assert run.live["windows"] >= 1
+        assert run.auditor is not None
+        assert run.auditor.inversions == 0
+        # Port is closed after finish().
+        with pytest.raises(Exception):
+            urllib.request.urlopen(f"{base}/health", timeout=1)

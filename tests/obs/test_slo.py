@@ -1,0 +1,277 @@
+"""Online fairness/SLO auditor tests.
+
+The headline property: the streaming :class:`FairnessAuditor` must
+reconcile **exactly** (same floats, not approximately) with the offline
+metrics in :mod:`repro.net.metrics` computed over the same trace —
+they now share the :class:`~repro.sched.gps.GpsAccrualCore` and the
+:class:`RankInversionCounter`, so any drift is a bug.
+"""
+
+import random
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.net.metrics import gps_lag, gps_lead, out_of_order_service
+from repro.obs.events import SLO_KIND, TraceEvent, build_trace_header
+from repro.obs.instruments import InstrumentSet
+from repro.obs.slo import (
+    FairnessAuditor,
+    RankInversionCounter,
+    ServeStreamAuditor,
+    SloRule,
+)
+from repro.obs.tracer import Tracer
+from repro.sched import GPSFluidSimulator, Packet, WFQScheduler, simulate
+
+RATE = 1e6
+
+
+def random_trace(seed, flows, count):
+    rng = random.Random(seed)
+    trace = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(250.0)
+        trace.append(
+            Packet(
+                flow_id=rng.randrange(flows),
+                size_bytes=rng.choice([64, 576, 1500]),
+                arrival_time=t,
+            )
+        )
+    return trace
+
+
+def clone(trace):
+    return [
+        Packet(p.flow_id, p.size_bytes, p.arrival_time, packet_id=p.packet_id)
+        for p in trace
+    ]
+
+
+def run_wfq(trace, weights):
+    scheduler = WFQScheduler(RATE)
+    for flow_id, weight in weights.items():
+        scheduler.add_flow(flow_id, weight)
+    return simulate(scheduler, clone(trace))
+
+
+def feed_auditor(auditor, trace, result):
+    """Replay a finished run through the auditor in event-time order."""
+    served = sorted(
+        (p for p in result.packets if p.departure_time is not None),
+        key=lambda p: (p.departure_time, p.packet_id),
+    )
+    arrivals = sorted(trace, key=lambda p: (p.arrival_time, p.packet_id))
+    ai, si = 0, 0
+    while ai < len(arrivals) or si < len(served):
+        take_arrival = ai < len(arrivals) and (
+            si >= len(served)
+            or arrivals[ai].arrival_time <= served[si].departure_time
+        )
+        if take_arrival:
+            auditor.on_arrival(arrivals[ai])
+            ai += 1
+        else:
+            auditor.on_departure(served[si])
+            si += 1
+    return auditor.finalize()
+
+
+class TestRankInversionCounter:
+    def test_matches_offline_semantics(self):
+        counter = RankInversionCounter()
+        assert not counter.observe(5.0)
+        assert not counter.observe(7.0)
+        assert counter.observe(6.0)  # below the best rank served
+        assert not counter.observe(7.0)  # ties with watermark are fine
+        assert counter.inversions == 1
+        assert counter.observed == 4
+
+    def test_epsilon_tolerates_float_noise(self):
+        counter = RankInversionCounter()
+        counter.observe(1.0)
+        assert not counter.observe(1.0 - 1e-15)
+        assert counter.inversions == 0
+
+    def test_modular_wrap_is_not_an_inversion(self):
+        counter = RankInversionCounter(modular=True, tag_space=4096)
+        counter.observe(4000)
+        assert not counter.observe(100)  # forward across the wrap
+        assert counter.observe(4090)  # backward half-space
+        assert counter.inversions == 1
+
+    def test_modular_watermark_stays_at_conforming_serve(self):
+        counter = RankInversionCounter(modular=True, tag_space=4096)
+        counter.observe(1000)
+        assert counter.observe(10)  # inversion; watermark stays at 1000
+        assert not counter.observe(1001)
+        assert counter.inversions == 1
+
+    def test_reset_watermark(self):
+        counter = RankInversionCounter()
+        counter.observe(100.0)
+        counter.reset_watermark()
+        assert not counter.observe(1.0)
+
+    def test_modular_requires_tag_space(self):
+        with pytest.raises(ConfigurationError):
+            RankInversionCounter(modular=True, tag_space=0)
+
+
+class TestExactReconciliation:
+    """Online auditor == offline metrics, float for float."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 20060101])
+    def test_gps_lag_lead_and_inversions(self, seed):
+        weights = {0: 0.5, 1: 0.25, 2: 0.25}
+        trace = random_trace(seed, len(weights), 200)
+        result = run_wfq(trace, weights)
+
+        gps = GPSFluidSimulator(RATE)
+        for flow_id, weight in weights.items():
+            gps.set_weight(flow_id, weight)
+        reference = gps.run(clone(trace))
+        offline_lag = gps_lag(result, reference)
+        offline_lead = gps_lead(result, reference)
+        offline_inversions = out_of_order_service(result)
+
+        auditor = FairnessAuditor(RATE, weights=weights)
+        report = feed_auditor(auditor, trace, result)
+
+        # Exact equality is the contract: shared accrual core, same
+        # float-op order as the batch reference.
+        assert report["gps_lag"] == offline_lag
+        assert report["gps_lead"] == offline_lead
+        assert report["inversions"] == offline_inversions
+        assert report["unmatched_fluid"] == 0
+        assert report["unmatched_actual"] == 0
+        assert report["arrivals"] == len(trace)
+        assert report["departures"] == len(result.packets)
+
+    def test_arrivals_must_be_time_ordered(self):
+        auditor = FairnessAuditor(RATE)
+        auditor.on_arrival(Packet(0, 100, 1.0))
+        with pytest.raises(ConfigurationError):
+            auditor.on_arrival(Packet(0, 100, 0.5))
+
+
+class TestSloRules:
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloRule(name="bad", metric="jitter", limit=1.0)
+
+    def test_breach_burns_and_emits(self):
+        instruments = InstrumentSet()
+        tracer = Tracer(buffer_size=256)
+        tracer.write_header(
+            build_trace_header(seed=0, mode="per_op", config={}, ops=0)
+        )
+        rule = SloRule(name="tight_lag", metric="max_gps_lag", limit=0.0)
+        trace = random_trace(3, 2, 60)
+        result = run_wfq(trace, {0: 0.5, 1: 0.5})
+        auditor = FairnessAuditor(
+            RATE,
+            weights={0: 0.5, 1: 0.5},
+            rules=[rule],
+            instruments=instruments,
+            tracer=tracer,
+        )
+        report = feed_auditor(auditor, trace, result)
+        state = report["rules"]["tight_lag"]
+        assert state["breached"]
+        assert state["burn"] >= 1
+        assert state["worst"] == report["max_gps_lag"]
+        # First breach only: one violation event, one violation count.
+        violations = tracer.events(SLO_KIND)
+        assert len(violations) == 1
+        assert violations[0].attrs["rule"] == "tight_lag"
+        assert violations[0].attrs["metric"] == "max_gps_lag"
+        assert instruments.counter("slo_violations_total").value == 1
+        assert (
+            instruments.counter("slo_burn_tight_lag_total").value
+            == state["burn"]
+        )
+
+    def test_satisfied_rule_never_burns(self):
+        rule = SloRule(name="loose", metric="inversions", limit=1e9)
+        trace = random_trace(5, 2, 40)
+        result = run_wfq(trace, {0: 0.5, 1: 0.5})
+        auditor = FairnessAuditor(RATE, weights={0: 0.5, 1: 0.5}, rules=[rule])
+        report = feed_auditor(auditor, trace, result)
+        state = report["rules"]["loose"]
+        assert not state["breached"]
+        assert state["burn"] == 0
+
+
+def serve_event(seq, tag, *, component="", kind="dequeue", occupancy=5):
+    attrs = {"occupancy": occupancy, "component": component}
+    if kind == "dequeue":
+        attrs["tag"] = tag
+    else:
+        attrs["served_tag"] = tag
+    return TraceEvent(seq, kind, kind, attrs=attrs)
+
+
+class TestServeStreamAuditor:
+    def make(self, **kwargs):
+        instruments = InstrumentSet()
+        kwargs.setdefault("instruments", instruments)
+        return ServeStreamAuditor(**kwargs), kwargs["instruments"]
+
+    def test_counts_serves_and_inversions(self):
+        auditor, instruments = self.make()
+        auditor(serve_event(0, 10.0))
+        auditor(serve_event(1, 20.0))
+        auditor(serve_event(2, 15.0))
+        assert auditor.serves == 3
+        assert auditor.inversions == 1
+        assert instruments.counter("live_serves_total").value == 3
+        assert instruments.counter("live_serve_inversions_total").value == 1
+
+    def test_insert_dequeue_uses_served_tag(self):
+        auditor, _ = self.make()
+        auditor(serve_event(0, 30.0, kind="insert_dequeue"))
+        auditor(serve_event(1, 10.0))
+        assert auditor.inversions == 1
+
+    def test_per_component_watermarks(self):
+        auditor, _ = self.make()
+        auditor(serve_event(0, 100.0, component="shard0"))
+        # A lower tag on a *different* shard is not an inversion.
+        auditor(serve_event(1, 10.0, component="shard1"))
+        assert auditor.inversions == 0
+        summary = auditor.summary()
+        assert set(summary["components"]) == {"shard0", "shard1"}
+
+    def test_drain_resets_watermark(self):
+        auditor, _ = self.make()
+        auditor(serve_event(0, 100.0, occupancy=0))
+        auditor(serve_event(1, 1.0))
+        assert auditor.inversions == 0
+
+    def test_failed_serves_ignored(self):
+        auditor, _ = self.make()
+        event = serve_event(0, 50.0)
+        event.attrs["failed"] = True
+        auditor(event)
+        assert auditor.serves == 0
+
+    def test_only_inversion_rules_allowed(self):
+        with pytest.raises(ConfigurationError):
+            ServeStreamAuditor(
+                instruments=InstrumentSet(),
+                rules=[SloRule(name="x", metric="p99_delay", limit=1.0)],
+            )
+
+    def test_inversion_rule_breach(self):
+        instruments = InstrumentSet()
+        auditor = ServeStreamAuditor(
+            instruments=instruments,
+            rules=[SloRule(name="zero_inv", metric="inversions", limit=0)],
+        )
+        auditor(serve_event(0, 10.0))
+        auditor(serve_event(1, 5.0))
+        assert auditor.summary()["rules"]["zero_inv"]["breached"]
+        assert instruments.counter("slo_violations_total").value == 1

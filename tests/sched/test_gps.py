@@ -90,3 +90,100 @@ class TestWorkConservation:
         a = make(1, 100, 0.0)
         tags = gps.finish_tags([a])
         assert tags[a.packet_id] == pytest.approx(800.0)
+
+
+class TestIncrementalCoreParity:
+    """The streaming GpsAccrualCore is the batch simulator, refactored.
+
+    The online SLO auditor's exact-reconciliation guarantee rests on
+    the two producing bit-identical floats — pin it here.
+    """
+
+    def random_trace(self, seed, flows, count):
+        import random
+
+        rng = random.Random(seed)
+        trace = []
+        t = 0.0
+        for _ in range(count):
+            t += rng.expovariate(100.0)
+            trace.append(
+                make(rng.randrange(flows), rng.choice([64, 576, 1500]), t)
+            )
+        return trace
+
+    @pytest.mark.parametrize("seed", [1, 42, 20060101])
+    def test_streaming_matches_batch_exactly(self, seed):
+        from repro.sched.gps import GpsAccrualCore
+
+        weights = {0: 0.5, 1: 0.3, 2: 0.2}
+        trace = self.random_trace(seed, len(weights), 150)
+
+        batch = GPSFluidSimulator(rate_bps=1e6)
+        for flow_id, weight in weights.items():
+            batch.set_weight(flow_id, weight)
+        reference = batch.run(list(trace))
+
+        core = GpsAccrualCore(1e6, weights=weights)
+        streamed = {}
+        for packet in sorted(
+            trace, key=lambda p: (p.arrival_time, p.packet_id)
+        ):
+            for packet_id, departure in core.arrive(
+                packet.flow_id,
+                packet.packet_id,
+                packet.size_bits,
+                packet.arrival_time,
+            ):
+                streamed[packet_id] = departure
+        for packet_id, departure in core.finish():
+            streamed[packet_id] = departure
+
+        assert set(streamed) == set(reference)
+        for packet_id, departure in streamed.items():
+            # Exact float equality, not approx: same op order by design.
+            assert (
+                departure.departure_time
+                == reference[packet_id].departure_time
+            )
+            assert departure.finish_tag == reference[packet_id].finish_tag
+
+    def test_incremental_emission_is_causal(self):
+        from repro.sched.gps import GpsAccrualCore
+
+        core = GpsAccrualCore(8000.0)
+        assert core.arrive(1, 0, 800, 0.0) == []
+        # A later arrival past the first packet's fluid departure emits it.
+        emitted = core.arrive(1, 1, 800, 1.0)
+        assert [packet_id for packet_id, _ in emitted] == [0]
+        assert emitted[0][1].departure_time == pytest.approx(0.1)
+        assert core.backlog == 1
+        drained = core.finish()
+        assert [packet_id for packet_id, _ in drained] == [1]
+
+    def test_rejects_time_travel(self):
+        from repro.hwsim.errors import ConfigurationError
+        from repro.sched.gps import GpsAccrualCore
+
+        core = GpsAccrualCore(8000.0)
+        core.arrive(1, 0, 800, 1.0)
+        with pytest.raises(ConfigurationError):
+            core.arrive(1, 1, 800, 0.5)
+
+    def test_finish_is_idempotent(self):
+        from repro.sched.gps import GpsAccrualCore
+
+        core = GpsAccrualCore(8000.0)
+        core.arrive(1, 0, 800, 0.0)
+        assert len(core.finish()) == 1
+        assert core.finish() == []
+
+    def test_work_at_matches_curves(self):
+        from repro.sched.gps import GpsAccrualCore
+
+        core = GpsAccrualCore(8000.0)
+        core.arrive(1, 0, 800, 0.0)
+        core.arrive(2, 1, 800, 0.0)
+        core.finish()
+        # Equal weights, both backlogged: each accrues at half rate.
+        assert core.work_at(1, 0.1) == pytest.approx(400.0)
