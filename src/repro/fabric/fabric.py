@@ -472,32 +472,70 @@ class ScheduleFabric:
         """Attached worker process count (0 = in-process backend)."""
         return self._pool.workers if self._pool is not None else 0
 
+    def __enter__(self) -> "ScheduleFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Reap any attached worker pool, hard on exceptions.
+
+        A clean exit closes the pool gracefully; an exception
+        terminates it so orphaned worker processes never outlive a
+        crashed soak (the :class:`FabricWorkerPool` contract).
+        """
+        if self._pool is not None:
+            if exc_type is not None:
+                self._pool.terminate()
+                self._pool = None
+            else:
+                self.close_workers()
+        return False
+
     def _push_groups_parallel(
         self,
         groups: List[List[Tuple[float, Tuple[int, object]]]],
         spilled_counts: List[int],
     ) -> None:
+        traced = self._tracer.enabled
         jobs = [
             (shard, self.stores[shard].to_state(), group)
             for shard, group in enumerate(groups)
             if group
         ]
         results = self._pool.push_batches(
-            [(state, group) for _shard, state, group in jobs]
+            [
+                (state, group, traced, shard_component(shard))
+                for shard, state, group in jobs
+            ]
         )
-        traced = self._tracer.enabled
-        for (shard, _state, group), (new_state, deltas) in zip(jobs, results):
+        for (shard, _state, group), (
+            new_state,
+            residual,
+            events,
+            dropped,
+        ) in zip(jobs, results):
             self.stores[shard].load_state(new_state)
             self._sync_head(shard)
             if traced:
+                # Merge the shard's shipped event stream before the
+                # summary event, mirroring the in-process ordering
+                # (per-op circuit events, then shard_enqueue).  The
+                # residual deltas cover whatever traffic the shipped
+                # events do not claim (ring-dropped events), so the
+                # trace reconciles exactly either way.
+                if events:
+                    self._tracer.ingest(
+                        events, component=shard_component(shard)
+                    )
                 self._tracer.event(
                     "shard_enqueue",
                     component=FABRIC_COMPONENT,
                     shard=shard,
                     count=len(group),
                     spilled=spilled_counts[shard],
-                    deltas=deltas,
+                    deltas=residual,
                     worker=True,
+                    shipped=len(events),
+                    worker_dropped=dropped,
                 )
 
     # ------------------------------------------------------------------

@@ -39,7 +39,7 @@ from ..obs.instruments import InstrumentSet
 from ..obs.live import LivePlane
 from ..obs.monitors import MonitorConfig, MonitorSuite
 from ..obs.probes import StandardProbes
-from ..obs.slo import ServeStreamAuditor
+from ..obs.slo import ServeStreamAuditor, SloRule
 from ..obs.tracer import Tracer
 from .fabric import ScheduleFabric
 
@@ -103,6 +103,18 @@ class FabricRun:
         }
 
     @property
+    def attribution_by_component(self) -> Dict[str, int]:
+        """Attributed access totals per component stamp (``shard0``,
+        ``shard1``, ...) — the skew-attribution view of the same ledger
+        :attr:`reconciliation` checks in aggregate."""
+        return {
+            component: sum(stats.total for stats in totals.values())
+            for component, totals in sorted(
+                self.tracer.attributed_totals_by_component().items()
+            )
+        }
+
+    @property
     def reconciled(self) -> bool:
         """True when every shard-registry access is attributed to an
         event — including those performed in worker processes, whose
@@ -128,6 +140,13 @@ class FabricRun:
             f"({manager.flows_moved} flows moved), "
             f"{self.fabric.tournament.comparisons} tournament comparisons",
         ]
+        by_component = self.attribution_by_component
+        if by_component:
+            parts = ", ".join(
+                f"{component}={total}"
+                for component, total in by_component.items()
+            )
+            notes.append(f"attribution by shard: {parts}")
         if self.workers:
             notes.append(f"workers: {self.workers}-process enqueues")
         if self.checkpoint is not None:
@@ -160,9 +179,11 @@ class FabricRun:
                 )
         if self.auditor is not None:
             audit = self.auditor.summary()
+            culprit = audit.get("culprit_shard")
+            culprit_note = f" (worst shard: {culprit})" if culprit else ""
             notes.append(
                 f"serve audit: {audit['serves']} serves, "
-                f"{audit['inversions']} rank inversions"
+                f"{audit['inversions']} rank inversions{culprit_note}"
             )
         if self.flight is not None and self.flight.dumped:
             trigger = self.flight.summary()["trigger"] or {}
@@ -217,6 +238,7 @@ class FabricRun:
             "reconciliation": {
                 **self.reconciliation,
                 "exact": self.reconciled,
+                "by_component": self.attribution_by_component,
             },
             "tracer": {
                 "emitted": self.tracer.emitted,
@@ -272,6 +294,7 @@ def run_fabric_soak(
     live_interval: float = 0.5,
     watchdog_timeout: Optional[float] = None,
     flight_path: Optional[str] = None,
+    shard_slo_inversions: Optional[int] = None,
 ) -> FabricRun:
     """Drive a traced fabric soak and return its telemetry.
 
@@ -292,7 +315,13 @@ def run_fabric_soak(
 
     ``serve_port`` attaches the live observability plane: the windowed
     collector plus HTTP ``/metrics`` / ``/health`` / ``/snapshot``
-    while the soak runs, and the tag-domain serve auditor.
+    while the soak runs, and the tag-domain serve auditor.  The
+    collector sees each shard's occupancy and the per-shard labeled
+    counters, so the scrape carries ``repro_live_*{shard="N"}`` series
+    plus the fleet-skew gauges.  ``shard_slo_inversions`` arms a
+    per-shard inversion-budget SLO rule on top of the auditor: any
+    single shard exceeding that many rank inversions flips ``/health``
+    to a breach attributed to the culprit shard.
     ``watchdog_timeout`` arms a progress watchdog — with a worker pool,
     a hung ``pool.map`` stops the summed-registry progress reading and
     the collector thread declares the stall (no per-op heartbeat on the
@@ -331,19 +360,31 @@ def run_fabric_soak(
     flight: Optional[FlightRecorder] = None
     if flight_path is not None:
         flight = FlightRecorder(flight_path, header=tracer.header)
-        tracer.add_observer(flight)
+        flight.attach(tracer)
     auditor: Optional[ServeStreamAuditor] = None
     plane: Optional[LivePlane] = None
     if serve_port is not None:
         monitor_config = MonitorConfig.from_circuit_config(
             fabric.stores[0].describe()
         )
+        shard_rules = ()
+        if shard_slo_inversions is not None:
+            shard_rules = (
+                SloRule(
+                    name="shard_inversion_budget",
+                    metric="inversions",
+                    limit=float(shard_slo_inversions),
+                ),
+            )
         auditor = ServeStreamAuditor(
             instruments=probes.instruments,
             modular=monitor_config.modular,
             tag_space=monitor_config.tag_space,
+            shard_rules=shard_rules,
         )
-        tracer.add_observer(auditor)
+        tracer.add_observer(
+            auditor, kinds=ServeStreamAuditor.OBSERVED_KINDS
+        )
         stores = fabric.stores
 
         def fabric_progress() -> float:
@@ -358,12 +399,14 @@ def run_fabric_soak(
             instruments=probes.instruments,
             progress=fabric_progress,
             occupancy=lambda: sum(fabric.occupancies()),
+            shard_occupancies=fabric.occupancies,
             free_list_depth=lambda: sum(
                 store.circuit.free_list_depth for store in stores
             ),
             monitors=suite,
             tracer=tracer,
             flight=flight,
+            auditor=auditor,
             serve_port=serve_port,
             serve_host=serve_host,
             interval=live_interval,
@@ -384,29 +427,32 @@ def run_fabric_soak(
     checkpoint_doc: Optional[Dict] = None
     live_summary: Optional[Dict] = None
     try:
-        if checkpoint_path:
-            split = len(stream) // 2
-            served = drive(fabric, stream[:split])
-            state = fabric.to_state()
-            with open(checkpoint_path, "w", encoding="utf-8") as handle:
-                json.dump(state, handle)
-                handle.write("\n")
-            with open(checkpoint_path, "r", encoding="utf-8") as handle:
-                restored = ScheduleFabric.from_state(json.load(handle))
-            tail = stream[split:]
-            resumed = drive(fabric, tail)
-            served.extend(resumed)
-            replayed = drive(restored, tail)
-            checkpoint_doc = {
-                "path": checkpoint_path,
-                "ops_at_checkpoint": split,
-                "resumed_ops": len(tail),
-                "resumed_match": replayed == resumed,
-            }
-        else:
-            served = drive(fabric, stream)
+        # The fabric context manager reaps the worker pool: a clean
+        # exit closes it, an exception terminates it, so crashed soaks
+        # never leak OS processes.
+        with fabric:
+            if checkpoint_path:
+                split = len(stream) // 2
+                served = drive(fabric, stream[:split])
+                state = fabric.to_state()
+                with open(checkpoint_path, "w", encoding="utf-8") as handle:
+                    json.dump(state, handle)
+                    handle.write("\n")
+                with open(checkpoint_path, "r", encoding="utf-8") as handle:
+                    restored = ScheduleFabric.from_state(json.load(handle))
+                tail = stream[split:]
+                resumed = drive(fabric, tail)
+                served.extend(resumed)
+                replayed = drive(restored, tail)
+                checkpoint_doc = {
+                    "path": checkpoint_path,
+                    "ops_at_checkpoint": split,
+                    "resumed_ops": len(tail),
+                    "resumed_match": replayed == resumed,
+                }
+            else:
+                served = drive(fabric, stream)
     finally:
-        fabric.close_workers()
         if plane is not None:
             if serve_linger > 0:
                 time.sleep(serve_linger)
@@ -555,6 +601,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="windowed-collector rollup interval",
     )
     parser.add_argument(
+        "--shard-slo-inversions",
+        type=int,
+        metavar="N",
+        help=(
+            "per-shard SLO: flag /health as breached (with the culprit "
+            "shard) when any single shard exceeds N rank inversions "
+            "(needs --serve)"
+        ),
+    )
+    parser.add_argument(
         "--watchdog",
         type=float,
         metavar="SECONDS",
@@ -601,6 +657,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         live_interval=args.live_interval,
         watchdog_timeout=args.watchdog,
         flight_path=args.flight,
+        shard_slo_inversions=args.shard_slo_inversions,
     )
 
     if args.format == "json":

@@ -10,11 +10,18 @@ which restores the store, runs the group as one ordinary
 then :meth:`load_state`\\ s the result — the in-place stats restore
 means the parent's registries and any attached tracer views stay live.
 
-Workers run untraced (a tracer cannot cross the process boundary), so
-each job also returns the per-structure read/write deltas its batch
-produced; the fabric attaches them to the ``shard_enqueue`` event so a
-traced run still reconciles event deltas against registry totals
-exactly.
+A tracer object cannot cross the process boundary, but its *events*
+can: traced jobs run against a worker-local ring
+:class:`~repro.obs.tracer.Tracer` (behind a per-shard
+:class:`~repro.obs.tracer.ComponentTracer` view) and ship the serialized
+events home alongside the state.  The parent re-emits them via
+:meth:`~repro.obs.tracer.Tracer.ingest` — span ids remapped, component
+stamped — so a traced ``--workers`` soak carries the same per-op events
+as the in-process backend and reconciles event-for-event.  Each job also
+returns the *residual* per-structure deltas (the batch's registry
+traffic minus what the shipped events claim, i.e. ring-dropped events'
+traffic); the fabric attaches the residual to the ``shard_enqueue``
+event so attribution stays exact even when the worker ring overflows.
 
 This backend demonstrates shard *migration* more than wall-clock speed:
 snapshot shipping costs more than the simulated insert work it
@@ -25,31 +32,67 @@ scale-out is identical to the in-process backend's.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..hwsim.errors import ConfigurationError
 from ..hwsim.stats import AccessStats
 from ..net.hardware_store import HardwareTagStore
+from ..obs.tracer import ComponentTracer, Tracer
+
+#: Worker-local ring capacity.  Large enough that realistic batch sizes
+#: ship every event; overflow degrades gracefully to residual-delta
+#: attribution (lossy events, exact totals), surfaced via ``dropped``.
+WORKER_RING_SIZE = 65536
+
+#: One worker job: ``(state, items, traced, component)``.
+WorkerJob = Tuple[dict, list, bool, str]
+
+#: One worker result: ``(new_state, residual_deltas, events, dropped)``.
+WorkerResult = Tuple[dict, Dict[str, dict], List[Dict[str, Any]], int]
 
 
-def _push_batch_worker(job) -> Tuple[dict, Dict[str, dict]]:
+def _push_batch_worker(job: WorkerJob) -> WorkerResult:
     """One worker job: restore a shard, push its group, snapshot back.
 
     Module-level (not a closure) so every multiprocessing start method
-    can pickle it.  Returns ``(new_state, deltas)`` where ``deltas``
-    maps structure name → ``{"reads": int, "writes": int}`` for the
-    batch's memory traffic (the parent re-wraps them as
-    :class:`~repro.hwsim.stats.AccessStats`).
+    can pickle it.  Returns ``(new_state, residual, events, dropped)``:
+    ``events`` is the serialized shard-local event stream (empty for
+    untraced jobs) and ``residual`` maps structure name →
+    ``{"reads": int, "writes": int}`` for whatever batch traffic the
+    shipped events do *not* claim — the full batch deltas when
+    untraced, only ring-dropped traffic when traced.
     """
-    state, items = job
+    state, items, traced, component = job
     store = HardwareTagStore.from_state(state)
+    tracer = None
+    if traced:
+        tracer = Tracer(buffer_size=WORKER_RING_SIZE)
+        store.attach_tracer(ComponentTracer(tracer, component))
     before = store.circuit.registry.snapshot_all()
     store.push_batch(items)
     deltas = store.circuit.registry.deltas_since(before)
-    return store.to_state(), {
+    events: List[Dict[str, Any]] = []
+    dropped = 0
+    if tracer is not None:
+        store.detach_tracer()
+        shipped = tracer.events()
+        dropped = tracer.dropped
+        events = [event.to_dict() for event in shipped]
+        # Residual = batch traffic minus what the shipped events claim
+        # (ring-dropped events contributed to the registry but are not
+        # going home, so their traffic rides the residual instead).
+        for event in shipped:
+            for name, claimed in event.deltas.items():
+                slot = deltas.get(name)
+                if slot is not None:
+                    slot.reads -= claimed.reads
+                    slot.writes -= claimed.writes
+    residual = {
         name: {"reads": delta.reads, "writes": delta.writes}
         for name, delta in deltas.items()
+        if delta.reads or delta.writes
     }
+    return store.to_state(), residual, events, dropped
 
 
 class FabricWorkerPool:
@@ -57,6 +100,11 @@ class FabricWorkerPool:
 
     Prefers the ``fork`` start method (cheap, inherits ``sys.path``) and
     falls back to the platform default where fork is unavailable.
+
+    The pool owns OS processes, so it must be reaped: call
+    :meth:`close` (graceful) or :meth:`terminate` (immediate), or use
+    the pool as a context manager — a clean exit closes, an exception
+    terminates, so worker processes never outlive a crashed driver.
     """
 
     def __init__(self, workers: int) -> None:
@@ -69,10 +117,12 @@ class FabricWorkerPool:
             context = multiprocessing.get_context()
         self._pool = context.Pool(processes=workers)
 
-    def push_batches(
-        self, jobs: List[Tuple[dict, list]]
-    ) -> List[Tuple[dict, Dict[str, AccessStats]]]:
+    def push_batches(self, jobs: List[WorkerJob]) -> List[
+        Tuple[dict, Dict[str, AccessStats], List[Dict[str, Any]], int]
+    ]:
         """Run the jobs across the pool, preserving job order."""
+        if self._pool is None:
+            raise ConfigurationError("worker pool is closed")
         results = self._pool.map(_push_batch_worker, jobs)
         return [
             (
@@ -81,20 +131,39 @@ class FabricWorkerPool:
                     name: AccessStats(
                         reads=entry["reads"], writes=entry["writes"]
                     )
-                    for name, entry in deltas.items()
+                    for name, entry in residual.items()
                 },
+                events,
+                dropped,
             )
-            for state, deltas in results
+            for state, residual, events, dropped in results
         ]
 
     def close(self) -> None:
-        """Shut the pool down and reap the worker processes."""
-        self._pool.close()
-        self._pool.join()
+        """Shut the pool down gracefully and reap the worker processes."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the worker processes without draining in-flight jobs."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool has been closed or terminated."""
+        return self._pool is None
 
     def __enter__(self) -> "FabricWorkerPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.close()
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
         return False

@@ -492,7 +492,9 @@ def run_timer_soak(
             modular=monitor_config.modular,
             tag_space=monitor_config.tag_space,
         )
-        tracer.add_observer(auditor)
+        tracer.add_observer(
+            auditor, kinds=ServeStreamAuditor.OBSERVED_KINDS
+        )
         if shards > 1:
             stores = backend.stores
         else:
@@ -510,11 +512,17 @@ def run_timer_soak(
             instruments=probes.instruments,
             progress=timer_progress,
             occupancy=lambda: sum(len(store) for store in stores),
+            shard_occupancies=(
+                (lambda: [float(len(store)) for store in stores])
+                if shards > 1
+                else None
+            ),
             free_list_depth=lambda: sum(
                 store.circuit.free_list_depth for store in stores
             ),
             monitors=suite,
             tracer=tracer,
+            auditor=auditor,
             serve_port=serve_port,
             serve_host=serve_host,
             interval=live_interval,

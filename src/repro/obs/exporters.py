@@ -21,7 +21,15 @@ from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
 from ..hwsim.stats import AccessStats
 from .events import FRAMING_KINDS, TraceEvent
-from .instruments import Counter, Gauge, Histogram, InstrumentSet
+from .instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentSet,
+    LabelKey,
+    escape_label_value,
+    render_label_key,
+)
 
 
 def write_jsonl(
@@ -104,6 +112,73 @@ def read_trace(source: Union[str, IO[str]]) -> TraceDocument:
     return document
 
 
+#: Series kind tags for the instruments JSONL format.
+_KIND_TAGS = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+_KIND_CLASSES = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+def write_instruments_jsonl(
+    instruments: InstrumentSet, destination: Union[str, IO[str]]
+) -> int:
+    """Write every series as JSON Lines; returns the number written.
+
+    One object per series — ``{"name", "labels", "kind", "state"}`` —
+    using the instruments' exact :meth:`to_state` snapshots, so a
+    :func:`read_instruments_jsonl` round-trip rebuilds the set
+    bucket-for-bucket (histograms included).
+    """
+    own = not hasattr(destination, "write")
+    handle = open(destination, "w", encoding="utf-8") if own else destination
+    count = 0
+    try:
+        for name, family in instruments.families():
+            kind = instruments.kind_of(name)
+            for key in sorted(family):
+                record = {
+                    "name": name,
+                    "labels": dict(key),
+                    "kind": _KIND_TAGS[kind],
+                    "state": family[key].to_state(),
+                }
+                handle.write(json.dumps(record, sort_keys=False) + "\n")
+                count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def read_instruments_jsonl(source: Union[str, IO[str]]) -> InstrumentSet:
+    """Rebuild an :class:`InstrumentSet` from :func:`write_instruments_jsonl`."""
+    own = not hasattr(source, "read")
+    handle = open(source, "r", encoding="utf-8") if own else source
+    instruments = InstrumentSet()
+    try:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kind = _KIND_CLASSES[record["kind"]]
+            restored = kind.from_state(record["state"])
+            labels = record.get("labels") or None
+            if kind is Histogram:
+                slot = instruments.hist(
+                    record["name"],
+                    labels=labels,
+                    subbucket_bits=restored._sub_bits,
+                    scale=restored._scale,
+                )
+            elif kind is Gauge:
+                slot = instruments.gauge(record["name"], labels=labels)
+            else:
+                slot = instruments.counter(record["name"], labels=labels)
+            slot.__dict__.update(restored.__dict__)
+    finally:
+        if own:
+            handle.close()
+    return instruments
+
+
 #: The Prometheus exposition-format metric-name grammar.
 _METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
 _METRIC_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -124,46 +199,71 @@ def sanitize_metric_name(name: str) -> str:
     return cleaned
 
 
+def _render_labels(key: LabelKey, extra: str = "") -> str:
+    """``{a="x",le="2"}`` rendering: family labels plus an extra pair."""
+    body = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in key
+    )
+    if extra:
+        body = f"{body},{extra}" if body else extra
+    return "{" + body + "}" if body else ""
+
+
 def prometheus_snapshot(
     instruments: InstrumentSet, *, prefix: str = "repro"
 ) -> str:
-    """Prometheus-style text exposition of every instrument.
+    """Prometheus-style text exposition of every instrument family.
 
     Histograms use the cumulative ``_bucket{le=...}`` convention plus
     ``_sum``/``_count``; gauges export value/min/max (each series under
     its own ``# TYPE`` line so strict parsers accept the output);
-    counters export their ``_total``.  Instrument names are sanitized
-    into the exposition-format charset via :func:`sanitize_metric_name`.
-    The output is a snapshot, not a live endpoint — good enough for
-    scrape emulation and diffing in CI; :mod:`repro.obs.live` serves it
-    from a running soak.
+    counters export their ``_total``.  Labeled series render after the
+    unlabeled aggregate of their family, under the family's single
+    ``# TYPE`` line, with label values escaped per the exposition
+    grammar (backslash, double quote, newline).  Instrument names are
+    sanitized into the exposition-format charset via
+    :func:`sanitize_metric_name`.  The output is a snapshot, not a live
+    endpoint — good enough for scrape emulation and diffing in CI;
+    :mod:`repro.obs.live` serves it from a running soak.
     """
     lines: List[str] = []
-    for name, instrument in instruments.items():
+    for name, family in instruments.families():
         metric = f"{prefix}_{sanitize_metric_name(name)}"
-        if isinstance(instrument, Histogram):
+        kind = instruments.kind_of(name)
+        keys = sorted(family)  # () sorts first: aggregate leads
+        if kind is Histogram:
             lines.append(f"# TYPE {metric} histogram")
-            for bound, cumulative in instrument.cumulative_buckets():
-                lines.append(
-                    f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
-                )
-            lines.append(f'{metric}_bucket{{le="+Inf"}} {instrument.count}')
-            lines.append(f"{metric}_sum {_fmt(instrument.sum)}")
-            lines.append(f"{metric}_count {instrument.count}")
-        elif isinstance(instrument, Gauge):
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {_fmt(instrument.value)}")
-            lines.append(f"# TYPE {metric}_min gauge")
-            lines.append(f"{metric}_min {_fmt(instrument.min)}")
-            lines.append(f"# TYPE {metric}_max gauge")
-            lines.append(f"{metric}_max {_fmt(instrument.max)}")
-        elif isinstance(instrument, Counter):
+            for key in keys:
+                hist = family[key]
+                for bound, cumulative in hist.cumulative_buckets():
+                    labels = _render_labels(key, f'le="{_fmt(bound)}"')
+                    lines.append(f"{metric}_bucket{labels} {cumulative}")
+                labels = _render_labels(key, 'le="+Inf"')
+                lines.append(f"{metric}_bucket{labels} {hist.count}")
+                suffix = _render_labels(key)
+                lines.append(f"{metric}_sum{suffix} {_fmt(hist.sum)}")
+                lines.append(f"{metric}_count{suffix} {hist.count}")
+        elif kind is Gauge:
+            for part, read in (
+                ("", lambda g: g.value),
+                ("_min", lambda g: g.min),
+                ("_max", lambda g: g.max),
+            ):
+                lines.append(f"# TYPE {metric}{part} gauge")
+                for key in keys:
+                    labels = _render_labels(key)
+                    lines.append(
+                        f"{metric}{part}{labels} {_fmt(read(family[key]))}"
+                    )
+        elif kind is Counter:
             # Counters expose the conventional `_total` suffix; don't
             # double it for instruments already named that way.
             if not metric.endswith("_total"):
                 metric = f"{metric}_total"
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {instrument.value}")
+            for key in keys:
+                labels = _render_labels(key)
+                lines.append(f"{metric}{labels} {family[key].value}")
     return "\n".join(lines) + "\n"
 
 

@@ -48,8 +48,11 @@ DEFAULT_TRIGGER_KINDS = (INVARIANT_KIND, WATCHDOG_KIND)
 class FlightRecorder:
     """Bounded ring of recent trace events with auto-dump on violation.
 
-    Attach with ``tracer.add_observer(recorder)``.  The recorder is
-    passive until a trigger-kind event arrives; it then keeps absorbing
+    Attach with :meth:`attach` (rides the tracer's ring buffer; zero
+    per-event cost until a trigger fires) or, for tracerless callers,
+    feed events directly — the recorder is itself an observer keeping a
+    private ring.  Either way it is passive until a trigger-kind event
+    arrives; it then keeps absorbing
     ``post_context`` more events (the aftermath often matters as much as
     the lead-up) and writes the window to ``path``.  Only the *first*
     trigger dumps — a broken invariant usually cascades, and the first
@@ -73,6 +76,9 @@ class FlightRecorder:
             raise ValueError("post_context must be non-negative")
         self.path = path
         self._ring: deque = deque(maxlen=ring)
+        # Bound once: the observer runs on every traced event and the
+        # attribute walk is measurable there.
+        self._ring_append = self._ring.append
         self._post_context = post_context
         self._trigger_kinds = tuple(trigger_kinds)
         self._header = dict(header) if header else None
@@ -81,10 +87,50 @@ class FlightRecorder:
         self._post_remaining = 0
         #: events seen over the recorder's lifetime (for drop accounting)
         self.observed = 0
+        #: set by :meth:`attach`; the recorder then rides the tracer's
+        #: own ring instead of mirroring every event into a private one
+        self._tracer = None
 
     def set_header(self, header: Dict[str, Any]) -> None:
         """Adopt the run's trace header (copied into the dump)."""
         self._header = dict(header)
+
+    def attach(self, tracer) -> None:
+        """Ride the tracer's own ring instead of keeping a private one.
+
+        The recorder subscribes only for its trigger kinds, so the
+        clean path — no violation ever fires — pays *nothing* per
+        event: the lead-up window is sliced from the tracer's ring
+        buffer at dump time (bounded by this recorder's ``ring``), and
+        the aftermath countdown adds a wildcard observer only once a
+        trigger has actually fired.  The tracer's buffer must be at
+        least as deep as the wanted lead-up for the full window to
+        survive to the dump (the default 65536-event buffer dwarfs the
+        default 4096-event window).
+        """
+        if self._tracer is not None:
+            raise RuntimeError("flight recorder is already attached")
+        self._tracer = tracer
+        tracer.add_observer(self._on_trigger, kinds=self._trigger_kinds)
+
+    def _on_trigger(self, event: TraceEvent) -> None:
+        """Kind-filtered observer: first trigger arms the countdown."""
+        if self.trigger is not None:
+            return
+        self.trigger = event
+        self._post_remaining = self._post_context
+        if self._post_remaining == 0:
+            self._dump()
+        else:
+            self._tracer.add_observer(self._aftermath)
+
+    def _aftermath(self, event: TraceEvent) -> None:
+        """Wildcard observer attached only after the trigger fired."""
+        if self.dumped:
+            return
+        self._post_remaining -= 1
+        if self._post_remaining <= 0:
+            self._dump()
 
     @property
     def triggered(self) -> bool:
@@ -92,17 +138,18 @@ class FlightRecorder:
 
     def __call__(self, event: TraceEvent) -> None:
         """Tracer-observer entry: absorb one event."""
+        # Hot path: runs on every traced event.  Until the first
+        # trigger arrives this is an increment, a bound append, and one
+        # membership test.
         self.observed += 1
-        self._ring.append(event)
-        if self.dumped:
-            return
+        self._ring_append(event)
         if self.trigger is None:
             if event.kind in self._trigger_kinds:
                 self.trigger = event
                 self._post_remaining = self._post_context
                 if self._post_remaining == 0:
                     self._dump()
-        else:
+        elif not self.dumped:
             self._post_remaining -= 1
             if self._post_remaining <= 0:
                 self._dump()
@@ -148,7 +195,12 @@ class FlightRecorder:
         return header
 
     def _dump(self) -> None:
-        events = list(self._ring)
+        if self._tracer is not None:
+            self.observed = self._tracer.emitted
+            window = self._ring.maxlen or 0
+            events = self._tracer.events()[-window:]
+        else:
+            events = list(self._ring)
         with open(self.path, "w", encoding="utf-8") as handle:
             handle.write(
                 json.dumps(self._dump_header(events), sort_keys=False) + "\n"
@@ -166,6 +218,8 @@ class FlightRecorder:
         self.dumped = True
 
     def summary(self) -> Dict[str, Any]:
+        if self._tracer is not None:
+            self.observed = self._tracer.emitted
         return {
             "path": self.path,
             "observed": self.observed,

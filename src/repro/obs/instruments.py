@@ -9,12 +9,66 @@ level (occupancy, backlog) with running min/max; :class:`Counter` is a
 monotone total.
 
 :class:`InstrumentSet` is the named registry the exporters consume
-(:func:`repro.obs.exporters.prometheus_snapshot`).
+(:func:`repro.obs.exporters.prometheus_snapshot`).  Every instrument
+name is a *family* that may hold one unlabeled series plus any number of
+labeled series (``counter("events_insert", labels={"shard": "3"})``),
+the Prometheus data model: the sharded fabric records each sample twice
+— once unlabeled (the fleet aggregate) and once under its shard's label
+— so labeled series sum exactly to the aggregate by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import re
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: A canonical, hashable label set: sorted (name, value) pairs.  The
+#: empty tuple is the unlabeled series of a family.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: The Prometheus label-name grammar (label values are free-form UTF-8
+#: and get escaped at exposition time instead).
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def label_key(labels: Optional[Mapping[str, object]]) -> LabelKey:
+    """Canonicalize a label mapping into a hashable, sorted key.
+
+    Label *names* must match the Prometheus grammar and may not start
+    with ``__`` (reserved); *values* are coerced to strings and may hold
+    anything — the exposition renderer escapes them.
+    """
+    if not labels:
+        return ()
+    key: List[Tuple[str, str]] = []
+    for name in sorted(labels):
+        if not isinstance(name, str) or not _LABEL_NAME_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+        if name.startswith("__"):
+            raise ValueError(f"label name {name!r} is reserved (__ prefix)")
+        key.append((name, str(labels[name])))
+    return tuple(key)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition grammar.
+
+    Backslash, double quote, and newline are the three characters the
+    Prometheus text format requires escaping inside label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_label_key(key: LabelKey) -> str:
+    """``{a="x",b="y"}`` rendering of a label key (``""`` if empty)."""
+    if not key:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in key
+    )
+    return "{" + body + "}"
 
 
 class Histogram:
@@ -216,6 +270,34 @@ class Histogram:
         """Sum of recorded values (scaled back)."""
         return self._sum / self._scale
 
+    def to_state(self) -> Dict[str, object]:
+        """Exact JSON-serializable snapshot (sparse buckets included)."""
+        return {
+            "subbucket_bits": self._sub_bits,
+            "scale": self._scale,
+            "buckets": sorted(self._buckets.items()),
+            "count": self.count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_state` (bucket-exact)."""
+        hist = cls(
+            subbucket_bits=int(state["subbucket_bits"]),
+            scale=float(state["scale"]),
+        )
+        hist._buckets = {
+            int(index): int(count) for index, count in state["buckets"]
+        }
+        hist.count = int(state["count"])
+        hist._sum = int(state["sum"])
+        hist._min = None if state["min"] is None else int(state["min"])
+        hist._max = None if state["max"] is None else int(state["max"])
+        return hist
+
 
 class Gauge:
     """A level with running min/max (occupancy, backlog, span depth)."""
@@ -248,6 +330,46 @@ class Gauge:
             "updates": self.updates,
         }
 
+    def snapshot(self) -> "Gauge":
+        """An independent copy (level plus running extremes)."""
+        clone = Gauge(self.value)
+        clone.min = self.min
+        clone.max = self.max
+        clone.updates = self.updates
+        return clone
+
+    def to_state(self) -> Dict[str, float]:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, float]) -> "Gauge":
+        gauge = cls(state["value"])
+        gauge.min = state["min"]
+        gauge.max = state["max"]
+        gauge.updates = int(state["updates"])
+        return gauge
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold a disjoint source's level into this one.
+
+        Levels from disjoint sources (per-shard occupancies) *add*; the
+        running extremes keep a conservative envelope (min of mins, max
+        of the summed maxima would overstate — we keep max of maxes,
+        which is exact when sources never overlap in time and an
+        underestimate otherwise, documented as such).
+        """
+        self.value += other.value
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.updates += other.updates
+
 
 class Counter:
     """A monotone total."""
@@ -260,58 +382,240 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def snapshot(self) -> "Counter":
+        """An independent copy."""
+        clone = Counter()
+        clone.value = self.value
+        return clone
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one (exact sum)."""
+        self.value += other.value
+
+    def delta_since(self, earlier: "Counter") -> "Counter":
+        """A counter holding the growth since ``earlier`` (clamped >= 0)."""
+        delta = Counter()
+        delta.value = max(0, self.value - earlier.value)
+        return delta
+
+    def to_state(self) -> Dict[str, int]:
+        return {"value": self.value}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, int]) -> "Counter":
+        counter = cls()
+        counter.value = int(state["value"])
+        return counter
+
 
 class InstrumentSet:
-    """Named instruments, get-or-create style, for the exporters.
+    """Named instrument families, get-or-create style, for the exporters.
 
     ``hist("x").record(...)`` either reuses the existing histogram
     ``x`` or creates it; same for :meth:`gauge` and :meth:`counter`.
     Names are export identifiers (Prometheus metric names), so keep
     them ``snake_case``.
+
+    Each name is a *family*: passing ``labels={"shard": "3"}`` addresses
+    an independent labeled series under the same name, with one shared
+    kind per family (a name cannot be a labeled gauge and an unlabeled
+    counter).  The no-``labels`` API is exactly the pre-label behavior —
+    :meth:`items`, :meth:`__contains__`, and :meth:`__getitem__` see
+    only the unlabeled series, so aggregate consumers never double
+    count; label-aware consumers iterate :meth:`families` or
+    :meth:`series`.
     """
 
     def __init__(self) -> None:
-        self._instruments: Dict[str, object] = {}
+        #: family name -> label key -> instrument ((), the empty key,
+        #: is the unlabeled series)
+        self._families: Dict[str, Dict[LabelKey, object]] = {}
+        #: family name -> instrument class (kind consistency across
+        #: every series of the family, labeled or not)
+        self._kinds: Dict[str, type] = {}
+        #: set once a labeled series exists; lets per-tick consumers
+        #: (the live collector) skip whole-registry label scans on
+        #: unsharded runs with an O(1) check
+        self._has_labeled = False
 
-    def _get(self, name: str, kind: type, factory) -> object:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
+    def _get(
+        self,
+        name: str,
+        kind: type,
+        factory,
+        labels: Optional[Mapping[str, object]],
+    ) -> object:
+        known = self._kinds.get(name)
+        if known is None:
+            self._kinds[name] = kind
+        elif known is not kind:
             raise TypeError(
-                f"instrument {name!r} is a {type(instrument).__name__}, "
+                f"instrument {name!r} is a {known.__name__}, "
                 f"not a {kind.__name__}"
             )
+        if labels is None:
+            key: LabelKey = ()
+        else:
+            key = label_key(labels)
+            if key:
+                self._has_labeled = True
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = {}
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = family[key] = factory()
         return instrument
 
-    def hist(self, name: str, **kwargs) -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(**kwargs))
+    def hist(
+        self,
+        name: str,
+        *,
+        labels: Optional[Mapping[str, object]] = None,
+        **kwargs,
+    ) -> Histogram:
+        if labels and "le" in labels:
+            raise ValueError(
+                "'le' is reserved for histogram bucket bounds"
+            )
+        return self._get(name, Histogram, lambda: Histogram(**kwargs), labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, Gauge)
+    def gauge(
+        self, name: str, *, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        return self._get(name, Gauge, Gauge, labels)
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter, Counter)
+    def counter(
+        self, name: str, *, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        return self._get(name, Counter, Counter, labels)
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        """Sorted family names (labeled-only families included)."""
+        return sorted(self._families)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        family = self._families.get(name)
+        return bool(family) and () in family
 
     def __getitem__(self, name: str) -> object:
-        return self._instruments[name]
+        return self._families[name][()]
 
     def items(self) -> Sequence[Tuple[str, object]]:
-        return sorted(self._instruments.items())
+        """Sorted ``(name, instrument)`` pairs — *unlabeled series only*.
+
+        This is the aggregate view every pre-label consumer reads;
+        labeled series live alongside and never show up here.
+        """
+        return sorted(
+            (name, family[()])
+            for name, family in self._families.items()
+            if () in family
+        )
+
+    def series(self, name: str) -> Dict[LabelKey, object]:
+        """Every series of one family, keyed by canonical label key."""
+        return dict(self._families.get(name, {}))
+
+    def families(self) -> List[Tuple[str, Dict[LabelKey, object]]]:
+        """Sorted ``(name, {label_key: instrument})`` over all families."""
+        return sorted(
+            (name, dict(family)) for name, family in self._families.items()
+        )
+
+    def kind_of(self, name: str) -> Optional[type]:
+        """The instrument class of a family (None if unknown)."""
+        return self._kinds.get(name)
+
+    @property
+    def has_labeled_series(self) -> bool:
+        """True once any labeled series has been registered."""
+        return self._has_labeled
 
     def summaries(self) -> Dict[str, Dict[str, float]]:
-        """JSON-ready summary of every instrument."""
+        """JSON-ready summary of every series.
+
+        Unlabeled series keep their bare family name as the key;
+        labeled series render as ``name{a="b"}`` (exposition-style,
+        escaped), so the JSON snapshot of a sharded run reads like its
+        scrape.
+        """
         out: Dict[str, Dict[str, float]] = {}
-        for name, instrument in self.items():
-            if isinstance(instrument, (Histogram, Gauge)):
-                out[name] = instrument.summary()
-            elif isinstance(instrument, Counter):
-                out[name] = {"value": instrument.value}
+        for name, family in sorted(self._families.items()):
+            for key in sorted(family):
+                instrument = family[key]
+                label = f"{name}{render_label_key(key)}"
+                if isinstance(instrument, (Histogram, Gauge)):
+                    out[label] = instrument.summary()
+                elif isinstance(instrument, Counter):
+                    out[label] = {"value": instrument.value}
         return out
+
+    # ------------------------------------------------------------------
+    # label-aware merge / snapshot / delta
+
+    def merge(self, other: "InstrumentSet") -> None:
+        """Fold another set into this one, series by series.
+
+        Label-aware and exact for counters (sums) and histograms
+        (bucket-exact merges); gauges add levels with a conservative
+        extreme envelope (see :meth:`Gauge.merge`).  This is the
+        aggregation step for telemetry shipped home from worker
+        processes or sibling shards.
+        """
+        for name, family in other._families.items():
+            kind = other._kinds[name]
+            for key, theirs in family.items():
+                if kind is Histogram:
+                    mine = self._get(
+                        name,
+                        Histogram,
+                        lambda h=theirs: Histogram(
+                            subbucket_bits=h._sub_bits, scale=h._scale
+                        ),
+                        dict(key),
+                    )
+                    mine.merge(theirs)
+                elif kind is Gauge:
+                    self._get(name, Gauge, Gauge, dict(key)).merge(theirs)
+                else:
+                    self._get(name, Counter, Counter, dict(key)).merge(
+                        theirs
+                    )
+
+    def snapshot(self) -> "InstrumentSet":
+        """An independent copy of every series (same family layout)."""
+        clone = InstrumentSet()
+        clone._has_labeled = self._has_labeled
+        for name, family in self._families.items():
+            clone._kinds[name] = self._kinds[name]
+            clone._families[name] = {
+                key: instrument.snapshot()
+                for key, instrument in family.items()
+            }
+        return clone
+
+    def deltas_since(self, earlier: "InstrumentSet") -> "InstrumentSet":
+        """Growth since an earlier :meth:`snapshot`, series by series.
+
+        Counters and histograms diff exactly (missing-in-earlier series
+        count from zero); gauges are levels, so the delta carries the
+        *current* gauge unchanged.
+        """
+        delta = InstrumentSet()
+        delta._has_labeled = self._has_labeled
+        for name, family in self._families.items():
+            kind = self._kinds[name]
+            earlier_family = earlier._families.get(name, {})
+            delta._kinds[name] = kind
+            slot: Dict[LabelKey, object] = {}
+            for key, instrument in family.items():
+                before = earlier_family.get(key)
+                if before is None:
+                    slot[key] = instrument.snapshot()
+                elif kind is Gauge:
+                    slot[key] = instrument.snapshot()
+                else:
+                    slot[key] = instrument.delta_since(before)
+            delta._families[name] = slot
+        return delta

@@ -38,6 +38,7 @@ progress (and therefore not emitting).
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from collections import deque
@@ -53,6 +54,23 @@ from .instruments import Gauge, Histogram, InstrumentSet
 DEFAULT_INTERVAL = 0.5
 #: Windows kept for /snapshot (the time series the gauges summarize).
 DEFAULT_HISTORY = 120
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index over per-shard quantities.
+
+    ``(Σx)² / (n · Σx²)`` — 1.0 when perfectly balanced, → 1/n when one
+    shard takes everything.  An all-zero window counts as perfectly
+    fair (nothing was served, nothing was unfair).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
 
 
 class WindowedCollector:
@@ -74,6 +92,7 @@ class WindowedCollector:
         history: int = DEFAULT_HISTORY,
         progress: Optional[Callable[[], float]] = None,
         occupancy: Optional[Callable[[], float]] = None,
+        shard_occupancies: Optional[Callable[[], List[float]]] = None,
         watchdog: Optional[StallWatchdog] = None,
         on_stall: Optional[Callable[[StallWatchdog], None]] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -86,6 +105,7 @@ class WindowedCollector:
         self.windows: deque = deque(maxlen=history)
         self._progress = progress
         self._occupancy = occupancy
+        self._shard_occupancies = shard_occupancies
         self.watchdog = watchdog
         self._on_stall = on_stall
         self._clock = clock
@@ -97,6 +117,8 @@ class WindowedCollector:
         self._last_events: Optional[float] = None
         self._last_progress: Optional[float] = None
         self._cycles_snapshot: Optional[Histogram] = None
+        self._last_shard_ops: Dict[str, float] = {}
+        self._shard_cycle_snapshots: Dict[str, Histogram] = {}
         self.ticks = 0
         self.skipped = 0
 
@@ -150,6 +172,28 @@ class WindowedCollector:
             if name[len("events_"):] in OP_KINDS:
                 ops += value
         return ops, events
+
+    def _read_shard_op_counts(self) -> Dict[str, float]:
+        """Per-shard op totals from the ``shard``-labeled counters.
+
+        The standard probes record every component-stamped op event
+        twice — unlabeled and under its shard label — so these sum to
+        the aggregate :meth:`_read_op_counts` ops reading exactly.
+        """
+        by_shard: Dict[str, float] = {}
+        for name in list(self._instruments.names()):
+            if not name.startswith("events_"):
+                continue
+            if name[len("events_"):] not in OP_KINDS:
+                continue
+            for key, instrument in self._instruments.series(name).items():
+                shard = dict(key).get("shard")
+                if shard is None:
+                    continue
+                value = getattr(instrument, "value", None)
+                if value is not None:
+                    by_shard[shard] = by_shard.get(shard, 0.0) + value
+        return by_shard
 
     def tick(self) -> None:
         """Take one window.  Never raises: a racy read skips the tick."""
@@ -236,16 +280,112 @@ class WindowedCollector:
         if occupancy is not None:
             live.gauge("live_occupancy").set(occupancy)
 
+        self._tick_shards(window, duration)
+
         watchdog = self.watchdog
         if watchdog is not None and progress_value is not None:
-            newly_stalled = watchdog.observe(progress_value)
-            live.gauge("live_watchdog_idle_seconds").set(
-                round(watchdog.seconds_since_progress, 3)
+            self._tick_watchdog(watchdog, progress_value)
+
+    def _tick_shards(self, window: Dict[str, Any], duration: float) -> None:
+        """Per-shard window rollups plus the fleet-skew gauges.
+
+        Publishes ``live_ops_per_second{shard=N}``,
+        ``live_p50/p99_op_cycles{shard=N}``, ``live_occupancy{shard=N}``,
+        and two skew summaries: ``live_occupancy_skew`` (max/mean
+        occupancy ratio, 1.0 = balanced) and
+        ``live_throughput_fairness`` (Jain's index over the window's
+        per-shard op deltas).  No-ops entirely on unsharded runs —
+        single-circuit soaks pay nothing here.
+        """
+        if (
+            not self._instruments.has_labeled_series
+            and self._shard_occupancies is None
+        ):
+            return
+        live = self.live
+        shard_totals = self._read_shard_op_counts()
+        shard_windows: Dict[str, Dict[str, float]] = {}
+        ops_deltas: List[float] = []
+        for shard in sorted(shard_totals):
+            total = shard_totals[shard]
+            delta = total - self._last_shard_ops.get(shard, 0.0)
+            self._last_shard_ops[shard] = total
+            rate = round(delta / duration, 3)
+            live.gauge("live_ops_per_second", labels={"shard": shard}).set(
+                rate
             )
-            if newly_stalled:
-                live.counter("live_watchdog_stalls_total").inc()
-                if self._on_stall is not None:
-                    self._on_stall(watchdog)
+            ops_deltas.append(delta)
+            shard_windows[shard] = {"ops": delta, "ops_per_second": rate}
+
+        for key, hist in self._instruments.series("op_cycles").items():
+            shard = dict(key).get("shard")
+            if shard is None or not isinstance(hist, Histogram):
+                continue
+            current = hist.snapshot()
+            earlier = self._shard_cycle_snapshots.get(shard)
+            shard_p50 = shard_p99 = 0.0
+            if earlier is not None:
+                delta = current.delta_since(earlier)
+                if delta.count:
+                    shard_p50 = delta.percentile(50)
+                    shard_p99 = delta.percentile(99)
+            self._shard_cycle_snapshots[shard] = current
+            live.gauge("live_p50_op_cycles", labels={"shard": shard}).set(
+                shard_p50
+            )
+            live.gauge("live_p99_op_cycles", labels={"shard": shard}).set(
+                shard_p99
+            )
+            if shard in shard_windows:
+                shard_windows[shard]["p99_op_cycles"] = shard_p99
+
+        occupancies: Optional[List[float]] = None
+        if self._shard_occupancies is not None:
+            occupancies = [float(v) for v in self._shard_occupancies()]
+            for index, level in enumerate(occupancies):
+                live.gauge(
+                    "live_occupancy", labels={"shard": str(index)}
+                ).set(level)
+                shard_windows.setdefault(str(index), {})[
+                    "occupancy"
+                ] = level
+        elif shard_totals:
+            occupancies = []
+            for key, gauge in self._instruments.series(
+                "occupancy_now"
+            ).items():
+                shard = dict(key).get("shard")
+                if shard is None or not isinstance(gauge, Gauge):
+                    continue
+                occupancies.append(gauge.value)
+                live.gauge("live_occupancy", labels={"shard": shard}).set(
+                    gauge.value
+                )
+
+        if occupancies:
+            mean = sum(occupancies) / len(occupancies)
+            skew = max(occupancies) / mean if mean > 0 else 1.0
+            live.gauge("live_occupancy_skew").set(round(skew, 4))
+            window["occupancy_skew"] = round(skew, 4)
+        if shard_totals:
+            fairness = round(jain_fairness(ops_deltas), 4)
+            live.gauge("live_throughput_fairness").set(fairness)
+            window["throughput_fairness"] = fairness
+        if shard_windows:
+            window["shards"] = shard_windows
+
+    def _tick_watchdog(
+        self, watchdog: StallWatchdog, progress_value: float
+    ) -> None:
+        live = self.live
+        newly_stalled = watchdog.observe(progress_value)
+        live.gauge("live_watchdog_idle_seconds").set(
+            round(watchdog.seconds_since_progress, 3)
+        )
+        if newly_stalled:
+            live.counter("live_watchdog_stalls_total").inc()
+            if self._on_stall is not None:
+                self._on_stall(watchdog)
 
 
 class MetricsServer:
@@ -343,15 +483,28 @@ class MetricsServer:
             raise RuntimeError("server already started")
         self._thread = threading.Thread(
             # Tight poll so close() returns promptly: the default 0.5s
-            # poll_interval would make every short monitored run pay up
-            # to half a second of shutdown latency.
-            target=lambda: self._server.serve_forever(poll_interval=0.05),
+            # A long poll keeps the serve loop (and its GIL wakeups)
+            # off the hot path; close() pokes the socket so shutdown
+            # never actually waits out the poll.
+            target=lambda: self._server.serve_forever(poll_interval=0.5),
             name="repro-metrics-server",
             daemon=True,
         )
         self._thread.start()
 
     def close(self) -> None:
+        if self._thread is not None:
+            # Raise the stop flag *first*, then poke the socket: the
+            # throwaway connection makes serve_forever() re-check the
+            # flag immediately, so the long poll interval adds no
+            # shutdown latency.
+            self._server._BaseServer__shutdown_request = True
+            host = self.host if self.host not in ("", "0.0.0.0") else "127.0.0.1"
+            try:
+                with socket.create_connection((host, self.port), timeout=1.0):
+                    pass
+            except OSError:
+                pass
         self._server.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -394,10 +547,12 @@ class LivePlane:
         instruments: InstrumentSet,
         progress: Optional[Callable[[], float]] = None,
         occupancy: Optional[Callable[[], float]] = None,
+        shard_occupancies: Optional[Callable[[], List[float]]] = None,
         free_list_depth: Optional[Callable[[], float]] = None,
         monitors=None,
         tracer=None,
         flight: Optional[FlightRecorder] = None,
+        auditor=None,
         serve_port: Optional[int] = None,
         serve_host: str = "127.0.0.1",
         interval: float = DEFAULT_INTERVAL,
@@ -411,8 +566,10 @@ class LivePlane:
         self._monitors = monitors
         self._tracer = tracer
         self._flight = flight
+        self._auditor = auditor
         self._free_list_depth = free_list_depth
         self._occupancy = occupancy
+        self._shard_occupancies = shard_occupancies
         self._prefix = prefix
         self._extra_status = extra_status
         self._clock = clock
@@ -429,6 +586,7 @@ class LivePlane:
             history=history,
             progress=progress,
             occupancy=occupancy,
+            shard_occupancies=shard_occupancies,
             watchdog=self.watchdog,
             on_stall=self._handle_stall,
             clock=clock,
@@ -526,11 +684,21 @@ class LivePlane:
         violations = (
             monitor_status["violations"] if monitor_status else 0
         )
-        healthy = not stalled and not violations
+        slo_breached = bool(
+            self._auditor is not None
+            and getattr(self._auditor, "breached", False)
+        )
+        healthy = not stalled and not violations and not slo_breached
+        if healthy:
+            status = "ok"
+        elif stalled:
+            status = "stalled"
+        elif violations:
+            status = "violations"
+        else:
+            status = "slo_breach"
         payload: Dict[str, Any] = {
-            "status": "ok" if healthy else (
-                "stalled" if stalled else "violations"
-            ),
+            "status": status,
             "uptime_seconds": round(self.uptime_seconds, 3),
             "windows": self.collector.ticks,
             "monitors": monitor_status,
@@ -539,6 +707,21 @@ class LivePlane:
             payload["occupancy"] = self._occupancy()
         if self._free_list_depth is not None:
             payload["free_list_depth"] = self._free_list_depth()
+        if self._shard_occupancies is not None:
+            occupancies = [float(v) for v in self._shard_occupancies()]
+            mean = (
+                sum(occupancies) / len(occupancies) if occupancies else 0.0
+            )
+            payload["shards"] = {
+                "occupancies": occupancies,
+                "occupancy_skew": (
+                    round(max(occupancies) / mean, 4) if mean > 0 else 1.0
+                ),
+            }
+        if self._auditor is not None:
+            # The attribution answer: when the SLO burns, name the
+            # culprit shard instead of blaming the blended stream.
+            payload["slo"] = self._auditor.health_status()
         if self.watchdog is not None:
             payload["watchdog"] = self.watchdog.summary()
         if self._flight is not None:

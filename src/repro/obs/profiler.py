@@ -14,7 +14,11 @@ ledger three ways:
   its amortized bookkeeping; its total adds every child insert);
 * **flamegraph frames** (:attr:`Profile.frames`): ``parent;child``
   semicolon paths with self-cost per frame, directly foldable by
-  standard flamegraph tooling.
+  standard flamegraph tooling;
+* **per-shard** (:attr:`Profile.shards`): cost rolled up by each
+  event's ``component`` attr (``shard0``, ``shard1``, ``fabric``, ...),
+  so a sharded or ``--workers`` trace answers *which shard* spent the
+  accesses; empty for unstamped traces.
 
 Worst-case forensics (:meth:`Profile.worst_cases`) ranks the top-K most
 expensive single events and captures each with its surrounding event
@@ -107,6 +111,9 @@ class Profile:
         self.components: Dict[str, Dict[str, int]] = {}
         self.kinds: Dict[str, KindRollup] = {}
         self.frames: Dict[str, KindRollup] = {}
+        #: component-stamped cost (``shard0``, ``fabric``, ...); empty
+        #: for traces with no component stamps
+        self.shards: Dict[str, KindRollup] = {}
         self._fold()
 
     # ------------------------------------------------------------------
@@ -123,6 +130,7 @@ class Profile:
             self._fold_components(event)
             self._fold_kind(event)
             self._fold_frame(event)
+            self._fold_shard(event)
 
     def _fold_components(self, event: TraceEvent) -> None:
         for name, delta in event.deltas.items():
@@ -162,6 +170,16 @@ class Profile:
                 )
                 enclosing.child_accesses += cost
                 parent = grandparent
+
+    def _fold_shard(self, event: TraceEvent) -> None:
+        component = event.attrs.get("component")
+        if component is None:
+            return
+        rollup = self.shards.setdefault(str(component), KindRollup())
+        rollup.count += 1
+        rollup.reads += event.delta_reads
+        rollup.writes += event.delta_writes
+        rollup.cycles += int(event.attrs.get("cycles", 0))
 
     def _path(self, event: TraceEvent) -> str:
         """Semicolon-joined span ancestry ending at the event's name."""
@@ -234,6 +252,9 @@ class Profile:
             "frames": {
                 path: rollup.to_dict() for path, rollup in self.frames.items()
             },
+            "shards": {
+                name: rollup.to_dict() for name, rollup in self.shards.items()
+            },
         }
 
     # ------------------------------------------------------------------
@@ -290,6 +311,19 @@ class Profile:
                 f"{rollup.total_accesses:>10} {rollup.cycles:>10} "
                 f"{per_op:>8.2f}"
             )
+
+        if self.shards:
+            lines += ["", "per-shard cost (component-stamped events)"]
+            lines.append(
+                f"  {'component':<24} {'count':>8} {'reads':>10} "
+                f"{'writes':>10} {'accesses':>10}"
+            )
+            for name in sorted(self.shards):
+                rollup = self.shards[name]
+                lines.append(
+                    f"  {name:<24} {rollup.count:>8} {rollup.reads:>10} "
+                    f"{rollup.writes:>10} {rollup.self_accesses:>10}"
+                )
 
         lines += ["", "flamegraph frames (self accesses)"]
         for line in self.flamegraph_lines():

@@ -289,7 +289,7 @@ def run_traced_soak(
     flight: Optional[FlightRecorder] = None
     if flight_path is not None:
         flight = FlightRecorder(flight_path, header=tracer.header)
-        tracer.add_observer(flight)
+        flight.attach(tracer)
     auditor: Optional[ServeStreamAuditor] = None
     plane: Optional[LivePlane] = None
     if live_enabled:
@@ -299,7 +299,9 @@ def run_traced_soak(
             modular=monitor_config.modular,
             tag_space=monitor_config.tag_space,
         )
-        tracer.add_observer(auditor)
+        tracer.add_observer(
+            auditor, kinds=ServeStreamAuditor.OBSERVED_KINDS
+        )
         registry = store.circuit.registry
         plane = LivePlane(
             instruments=probes.instruments,
@@ -309,6 +311,7 @@ def run_traced_soak(
             monitors=suite,
             tracer=tracer,
             flight=flight,
+            auditor=auditor,
             serve_port=serve_port,
             serve_host=serve_host,
             interval=live_interval,

@@ -34,7 +34,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..hwsim.errors import ConfigurationError
 from ..sched.gps import GpsAccrualCore, GpsDeparture
 from .events import SLO_KIND, TraceEvent
-from .instruments import InstrumentSet
+from .instruments import Counter, InstrumentSet
+from .probes import shard_labels
 
 #: Metrics an :class:`SloRule` may bind to.
 SLO_METRICS = ("max_gps_lag", "max_gps_lead", "p99_delay", "inversions")
@@ -352,6 +353,29 @@ class FairnessAuditor:
         }
 
 
+class _ComponentLane:
+    """Per-component serve state: inversion counter + pre-bound series.
+
+    One lane per ``component`` attr seen on the serve stream, so the
+    per-event hot path touches only pre-resolved instruments — no
+    get-or-create family lookups per serve.
+    """
+
+    __slots__ = ("counter", "serves_total", "inversions_total", "rules")
+
+    def __init__(
+        self,
+        counter: RankInversionCounter,
+        serves_total: Counter,
+        inversions_total: Counter,
+        rules: List[_RuleState],
+    ) -> None:
+        self.counter = counter
+        self.serves_total = serves_total
+        self.inversions_total = inversions_total
+        self.rules = rules
+
+
 class ServeStreamAuditor:
     """Tag-domain serve auditor for circuit soaks (a tracer observer).
 
@@ -359,9 +383,16 @@ class ServeStreamAuditor:
     ledger does not apply; what *can* be watched live is the serve
     stream itself.  Attached as a tracer observer, this counts serves
     and wrap-aware rank inversions per component (shard), exports them
-    as live instruments, and optionally enforces an ``inversions`` SLO
-    rule.
+    as live instruments — aggregate plus ``shard``-labeled series — and
+    optionally enforces ``inversions`` SLO rules both globally
+    (``rules``) and per shard (``shard_rules``), so a global burn is
+    attributed to the culprit shard instead of the blended stream.
     """
+
+    #: The only event kinds :meth:`__call__` acts on — attach with
+    #: ``tracer.add_observer(auditor, kinds=ServeStreamAuditor.OBSERVED_KINDS)``
+    #: so the auditor is never even dispatched for inserts and spans.
+    OBSERVED_KINDS = ("dequeue", "insert_dequeue", "marker_flush")
 
     def __init__(
         self,
@@ -370,9 +401,10 @@ class ServeStreamAuditor:
         modular: bool = False,
         tag_space: int = 0,
         rules: Sequence[SloRule] = (),
+        shard_rules: Sequence[SloRule] = (),
         tracer=None,
     ) -> None:
-        for rule in rules:
+        for rule in tuple(rules) + tuple(shard_rules):
             if rule.metric != "inversions":
                 raise ConfigurationError(
                     "tag-domain serve auditing supports only "
@@ -382,8 +414,9 @@ class ServeStreamAuditor:
         self._modular = modular
         self._tag_space = tag_space
         self._rules = [_RuleState(rule) for rule in rules]
+        self._shard_rules = tuple(shard_rules)
         self._tracer = tracer
-        self._counters: Dict[str, RankInversionCounter] = {}
+        self._lanes: Dict[str, _ComponentLane] = {}
         self.serves = 0
         self.inversions = 0
         # Resolved once: the observer runs on every traced event, and
@@ -394,20 +427,34 @@ class ServeStreamAuditor:
         )
         self._last_served = instruments.gauge("live_last_served_tag")
 
-    def _counter_for(self, component: str) -> RankInversionCounter:
-        counter = self._counters.get(component)
-        if counter is None:
-            counter = RankInversionCounter(
-                modular=self._modular,
-                tag_space=self._tag_space if self._modular else 0,
+    def _lane_for(self, component: str) -> _ComponentLane:
+        lane = self._lanes.get(component)
+        if lane is None:
+            labels = shard_labels(component) if component else None
+            lane = _ComponentLane(
+                RankInversionCounter(
+                    modular=self._modular,
+                    tag_space=self._tag_space if self._modular else 0,
+                ),
+                self._instruments.counter(
+                    "live_serves_total", labels=labels
+                )
+                if labels
+                else self._serves_total,
+                self._instruments.counter(
+                    "live_serve_inversions_total", labels=labels
+                )
+                if labels
+                else self._inversions_total,
+                [_RuleState(rule) for rule in self._shard_rules],
             )
-            self._counters[component] = counter
-        return counter
+            self._lanes[component] = lane
+        return lane
 
     def __call__(self, event: TraceEvent) -> None:
         # Hot path: runs on every traced event; keep the non-serve exit
         # to two attribute loads and the serve path free of per-call
-        # instrument lookups (everything is pre-bound in __init__).
+        # instrument lookups (everything is pre-bound per lane).
         kind = event.kind
         attrs = event.attrs
         if kind == "dequeue":
@@ -416,28 +463,34 @@ class ServeStreamAuditor:
             tag = attrs.get("served_tag")
         else:
             if kind == "marker_flush":
-                counter = self._counters.get(attrs.get("component", ""))
-                if counter is not None:
-                    counter.reset_watermark()
+                lane = self._lanes.get(attrs.get("component", ""))
+                if lane is not None:
+                    lane.counter.reset_watermark()
             return
         if tag is None or attrs.get("failed"):
             return
         component = attrs.get("component", "")
-        counter = self._counters.get(component)
-        if counter is None:
-            counter = self._counter_for(component)
-        inverted = counter.observe(tag)
+        lane = self._lanes.get(component)
+        if lane is None:
+            lane = self._lane_for(component)
+        inverted = lane.counter.observe(tag)
         self.serves += 1
         self._serves_total.value += 1
+        if lane.serves_total is not self._serves_total:
+            lane.serves_total.value += 1
         self._last_served.set(tag)
         if inverted:
             self.inversions += 1
             self._inversions_total.inc()
+            if lane.inversions_total is not self._inversions_total:
+                lane.inversions_total.inc()
             if self._rules:
                 self._evaluate()
+            if lane.rules:
+                self._evaluate_shard(component, lane)
         if attrs.get("occupancy") == 0:
             # Drained: the next busy period may restart at lower tags.
-            counter.reset_watermark()
+            lane.counter.reset_watermark()
 
     def _evaluate(self) -> None:
         for state in self._rules:
@@ -460,18 +513,102 @@ class ServeStreamAuditor:
                         limit=state.rule.limit,
                     )
 
+    def _evaluate_shard(
+        self, component: str, lane: _ComponentLane
+    ) -> None:
+        """Check a shard's own inversion count against the shard rules."""
+        labels = shard_labels(component) if component else None
+        inversions = lane.counter.inversions
+        for state in lane.rules:
+            if inversions <= state.rule.limit:
+                continue
+            state.burn += 1
+            if inversions > state.worst:
+                state.worst = inversions
+            self._instruments.counter(
+                f"slo_burn_{state.rule.name}_total", labels=labels
+            ).inc()
+            if not state.breached:
+                state.breached = True
+                self._instruments.counter(
+                    "slo_violations_total", labels=labels
+                ).inc()
+                if self._tracer is not None:
+                    self._tracer.event(
+                        SLO_KIND,
+                        name=state.rule.name,
+                        rule=state.rule.name,
+                        metric=state.rule.metric,
+                        value=float(inversions),
+                        limit=state.rule.limit,
+                        component=component,
+                        shard=(labels or {}).get("shard"),
+                    )
+
+    @property
+    def culprit_shard(self) -> Optional[str]:
+        """The component contributing the most inversions (None if 0).
+
+        This is the attribution answer ``/health`` surfaces: when a
+        global inversion budget burns, the culprit names which shard's
+        serve stream is misordered rather than blaming the blend.
+        """
+        worst: Optional[str] = None
+        worst_count = 0
+        for name, lane in sorted(self._lanes.items()):
+            if lane.counter.inversions > worst_count:
+                worst = name
+                worst_count = lane.counter.inversions
+        return worst
+
     def summary(self) -> Dict[str, Any]:
         return {
             "serves": self.serves,
             "inversions": self.inversions,
+            "culprit_shard": self.culprit_shard,
             "components": {
                 name: {
-                    "observed": counter.observed,
-                    "inversions": counter.inversions,
+                    "observed": lane.counter.observed,
+                    "inversions": lane.counter.inversions,
+                    "rules": {
+                        state.rule.name: state.summary()
+                        for state in lane.rules
+                    },
                 }
-                for name, counter in sorted(self._counters.items())
+                for name, lane in sorted(self._lanes.items())
             },
             "rules": {
                 state.rule.name: state.summary() for state in self._rules
             },
+        }
+
+    @property
+    def breached(self) -> bool:
+        """True once any rule — global or per-shard — has breached."""
+        if any(state.breached for state in self._rules):
+            return True
+        return any(
+            state.breached
+            for lane in self._lanes.values()
+            for state in lane.rules
+        )
+
+    def health_status(self) -> Dict[str, Any]:
+        """The compact block ``/health`` embeds (culprit included)."""
+        breached_rules = [
+            state.rule.name for state in self._rules if state.breached
+        ]
+        shard_breaches = {
+            name: [
+                state.rule.name for state in lane.rules if state.breached
+            ]
+            for name, lane in sorted(self._lanes.items())
+            if any(state.breached for state in lane.rules)
+        }
+        return {
+            "serves": self.serves,
+            "inversions": self.inversions,
+            "culprit_shard": self.culprit_shard,
+            "breached_rules": breached_rules,
+            "shard_breaches": shard_breaches,
         }

@@ -13,7 +13,14 @@ Converts an event trace into the Trace Event Format JSON that
   so amortization is *visible* — a wide batch slice over a run of
   fixed-width op slices;
 * ``occupancy`` and ``free_list_depth`` become counter (``"C"``) tracks;
-* invariant violations render as instant (``"i"``) markers.
+* invariant violations render as instant (``"i"``) markers;
+* events stamped with a ``component`` attr (per-shard fabric views,
+  ingested worker events) get their own synthetic *process* per
+  component — ``shard0``, ``shard1``, ``fabric``, ... — each with the
+  same ops/maintenance/batch thread trio and its own counter tracks, so
+  a sharded trace renders as side-by-side per-shard lanes.  Traces with
+  no component stamps produce exactly the single-process document they
+  always did.
 
 The timeline runs on a **synthetic clock**: the modeled circuit is
 fully deterministic, so the x-axis is cumulative modeled cycles (μs in
@@ -101,14 +108,50 @@ def build_timeline(
     clock = 0
     #: open span id -> clock at its first observed child
     span_start: Dict[int, int] = {}
+    #: component attr -> synthetic pid (lazily allocated; pid 1 stays
+    #: the unstamped process, so component-free traces are unchanged)
+    component_pids: Dict[str, int] = {}
 
-    def emit_counters(event: TraceEvent, ts: int) -> None:
+    def pid_for(event: TraceEvent) -> int:
+        component = event.attrs.get("component")
+        if component is None:
+            return PID
+        component = str(component)
+        pid = component_pids.get(component)
+        if pid is None:
+            pid = PID + 1 + len(component_pids)
+            component_pids[component] = pid
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": component},
+                }
+            )
+            for tid, label in (
+                (TID_OPS, "ops"),
+                (TID_MAINTENANCE, "maintenance"),
+                (TID_BATCH, "batch spans"),
+            ):
+                trace_events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": label},
+                    }
+                )
+        return pid
+
+    def emit_counters(event: TraceEvent, ts: int, pid: int) -> None:
         for name in _COUNTER_ATTRS:
             if name in event.attrs:
                 trace_events.append(
                     {
                         "ph": "C",
-                        "pid": PID,
+                        "pid": pid,
                         "name": name,
                         "ts": ts,
                         "args": {name: event.attrs[name]},
@@ -118,6 +161,7 @@ def build_timeline(
     for event in events:
         if event.span_id is not None and event.span_id not in span_start:
             span_start[event.span_id] = clock
+        pid = pid_for(event)
 
         if event.kind == SPAN_KIND:
             own_id = event.attrs.get("span")
@@ -130,7 +174,7 @@ def build_timeline(
             trace_events.append(
                 {
                     "ph": "X",
-                    "pid": PID,
+                    "pid": pid,
                     "tid": TID_BATCH,
                     "name": event.name,
                     "ts": start,
@@ -146,7 +190,7 @@ def build_timeline(
             trace_events.append(
                 {
                     "ph": "X",
-                    "pid": PID,
+                    "pid": pid,
                     "tid": TID_OPS,
                     "name": event.name,
                     "ts": clock,
@@ -155,12 +199,12 @@ def build_timeline(
                 }
             )
             clock += duration
-            emit_counters(event, clock)
+            emit_counters(event, clock, pid)
         elif event.kind == INVARIANT_KIND:
             trace_events.append(
                 {
                     "ph": "i",
-                    "pid": PID,
+                    "pid": pid,
                     "tid": TID_OPS,
                     "name": f"violation:{event.name}",
                     "ts": clock,
@@ -173,7 +217,7 @@ def build_timeline(
             trace_events.append(
                 {
                     "ph": "X",
-                    "pid": PID,
+                    "pid": pid,
                     "tid": TID_MAINTENANCE,
                     "name": event.name,
                     "ts": clock,

@@ -78,6 +78,17 @@ class NullTracer:
     def attributed_totals(self) -> Dict[str, AccessStats]:
         return {}
 
+    def attributed_totals_by_component(
+        self,
+    ) -> Dict[str, Dict[str, AccessStats]]:
+        return {}
+
+    def ingest(
+        self, records: Iterable[Any], *, component: Optional[str] = None
+    ) -> List[TraceEvent]:
+        """Discard foreign events."""
+        return []
+
     def write_header(self, header: Dict[str, Any]) -> None:
         """Discard the header."""
 
@@ -146,6 +157,16 @@ class ComponentTracer:
 
     def attributed_totals(self) -> Dict[str, AccessStats]:
         return self._inner.attributed_totals()
+
+    def attributed_totals_by_component(
+        self,
+    ) -> Dict[str, Dict[str, AccessStats]]:
+        return self._inner.attributed_totals_by_component()
+
+    def ingest(self, records: Iterable[Any], **kwargs: Any) -> List[TraceEvent]:
+        """Ingest foreign events, defaulting them to this view's component."""
+        kwargs.setdefault("component", self.component)
+        return self._inner.ingest(records, **kwargs)
 
     def flush(self) -> None:
         """No-op: the inner tracer's owner flushes it."""
@@ -243,19 +264,43 @@ class Tracer:
         self._sink: Optional[IO[str]] = None
         self._owns_sink = False
         self._observers: List[Callable[[TraceEvent], None]] = list(observers)
+        #: kind -> observers that only want that kind (kept off the
+        #: wildcard loop so narrow observers cost nothing on other
+        #: events — the serve auditor never sees an insert)
+        self._kind_observers: Dict[
+            str, List[Callable[[TraceEvent], None]]
+        ] = {}
         self._seq = 0
         self._next_span_id = 0
         self._stack: List[_Span] = []
         self._totals: Dict[str, AccessStats] = {}
+        #: component attr -> per-structure totals (events without a
+        #: component stamp do not appear here)
+        self._component_totals: Dict[str, Dict[str, AccessStats]] = {}
         self._header: Optional[Dict[str, Any]] = None
         self._footer_written = False
 
     # ------------------------------------------------------------------
     # emission
 
-    def add_observer(self, observer: Callable[[TraceEvent], None]) -> None:
-        """Attach a streaming observer (called once per emitted event)."""
-        self._observers.append(observer)
+    def add_observer(
+        self,
+        observer: Callable[[TraceEvent], None],
+        *,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Attach a streaming observer (called once per emitted event).
+
+        ``kinds`` restricts delivery to those event kinds: the observer
+        is never invoked for anything else, which keeps narrow
+        observers off the hot path entirely (an observer call costs
+        more than the dispatch check it replaces).
+        """
+        if kinds is None:
+            self._observers.append(observer)
+            return
+        for kind in kinds:
+            self._kind_observers.setdefault(kind, []).append(observer)
 
     def event(
         self,
@@ -332,6 +377,12 @@ class Tracer:
 
     def _emit(self, event: TraceEvent) -> TraceEvent:
         self._seq += 1
+        component = event.attrs.get("component")
+        by_component = (
+            self._component_totals.setdefault(str(component), {})
+            if component is not None and event.deltas
+            else None
+        )
         for name, delta in event.deltas.items():
             slot = self._totals.get(name)
             if slot is None:
@@ -339,12 +390,88 @@ class Tracer:
             else:
                 slot.reads += delta.reads
                 slot.writes += delta.writes
+            if by_component is not None:
+                slot = by_component.get(name)
+                if slot is None:
+                    by_component[name] = delta.snapshot()
+                else:
+                    slot.reads += delta.reads
+                    slot.writes += delta.writes
         self._buffer.append(event)
         if self._sink_spec is not None:
             self._sink_write(event)
         for observer in self._observers:
             observer(event)
+        if self._kind_observers:
+            for observer in self._kind_observers.get(event.kind, ()):
+                observer(event)
         return event
+
+    # ------------------------------------------------------------------
+    # cross-process ingestion
+
+    def _mapped_span(self, span_map: Dict[int, int], old: Optional[int]) -> Optional[int]:
+        """Resolve a foreign span id into this tracer's id space."""
+        if old is None:
+            return None
+        fresh = span_map.get(old)
+        if fresh is None:
+            fresh = span_map[old] = self._next_span_id
+            self._next_span_id += 1
+        return fresh
+
+    def ingest(
+        self,
+        records: Iterable[Any],
+        *,
+        component: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Re-emit serialized foreign events as native ones.
+
+        Worker processes trace into a private ring and ship
+        ``event.to_dict()`` records home (see
+        :mod:`repro.fabric.workers`); those carry the worker tracer's
+        seq/span ids.  Each record is re-emitted here with a fresh seq,
+        its span ids remapped into this tracer's id space (children can
+        arrive before their span-close event — ids are allocated on
+        first sight), and ``component`` stamped in when the record has
+        none.  Foreign top-level events are parented under the currently
+        open span, and their deltas are absorbed by it, so the merged
+        trace reconciles exactly as if the events had been emitted in
+        process.
+        """
+        span_map: Dict[int, int] = {}
+        ingested: List[TraceEvent] = []
+        for record in records:
+            event = (
+                TraceEvent.from_dict(record)
+                if isinstance(record, dict)
+                else record
+            )
+            attrs = dict(event.attrs)
+            if component is not None:
+                attrs.setdefault("component", component)
+            if attrs.get("span") is not None:
+                attrs["span"] = self._mapped_span(span_map, attrs["span"])
+            if event.span_id is not None:
+                span_id = self._mapped_span(span_map, event.span_id)
+            else:
+                span_id = self._stack[-1].span_id if self._stack else None
+            if event.deltas and self._stack:
+                self._stack[-1]._absorb(event.deltas)
+            ingested.append(
+                self._emit(
+                    TraceEvent(
+                        seq=self._seq,
+                        kind=event.kind,
+                        name=event.name,
+                        span_id=span_id,
+                        deltas=event.deltas,
+                        attrs=attrs,
+                    )
+                )
+            )
+        return ingested
 
     # ------------------------------------------------------------------
     # sink management
@@ -457,3 +584,21 @@ class Tracer:
             combined.reads += stats.reads
             combined.writes += stats.writes
         return combined
+
+    def attributed_totals_by_component(
+        self,
+    ) -> Dict[str, Dict[str, AccessStats]]:
+        """Per-structure traffic split by each event's ``component`` attr.
+
+        Only events stamped with a component (shard views, ingested
+        worker events) contribute; the unstamped remainder is
+        :meth:`attributed_totals` minus the sum of these.  Maintained
+        incrementally like the grand totals, so exact under ring
+        eviction.
+        """
+        return {
+            component: {
+                name: stats.snapshot() for name, stats in totals.items()
+            }
+            for component, totals in self._component_totals.items()
+        }

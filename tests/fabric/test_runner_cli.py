@@ -134,3 +134,64 @@ def test_flight_recorder_dumps_on_fabric_fault(tmp_path, monkeypatch):
     assert document.header["purpose"] == "flight_recorder"
     assert document.header["trigger"]["monitor"] == "dequeue_bound"
     assert document.footer["emitted"] == len(document.events)
+
+
+def test_per_shard_attribution_in_document():
+    run = run_fabric_soak(ops=1500, shards=3, workers=2, batched=True)
+    document = run.to_document()
+    by_component = document["reconciliation"]["by_component"]
+    assert {"shard0", "shard1", "shard2"} <= set(by_component)
+    # Per-component attribution covers the reconciled grand total.
+    assert sum(by_component.values()) == document["reconciliation"]["traced"]
+    assert document["reconciliation"]["exact"]
+    assert "attribution by shard" in run.report()
+
+
+def test_labeled_series_in_prometheus_metrics(tmp_path):
+    metrics = tmp_path / "metrics.prom"
+    status = runner_main(
+        [
+            "--ops",
+            "1200",
+            "--shards",
+            "3",
+            "--workers",
+            "2",
+            "--metrics",
+            str(metrics),
+            "--output",
+            str(tmp_path / "report.txt"),
+        ]
+    )
+    assert status == 0
+    text = metrics.read_text()
+    assert 'repro_events_insert_total{shard="0"}' in text
+    # Labeled series sum to the aggregate sample.
+    import re
+
+    aggregate = None
+    labeled = 0
+    for line in text.splitlines():
+        match = re.match(r"repro_events_insert_total(\{[^}]*\})? (\d+)", line)
+        if not match:
+            continue
+        if match.group(1):
+            labeled += int(match.group(2))
+        else:
+            aggregate = int(match.group(2))
+    assert aggregate is not None and labeled == aggregate
+
+
+def test_shard_slo_flag_arms_per_shard_rules(tmp_path):
+    run = run_fabric_soak(
+        ops=1000,
+        shards=2,
+        serve_port=0,
+        live_interval=0.05,
+        shard_slo_inversions=0,
+    )
+    assert run.auditor is not None
+    # A clean soak never burns the budget, but the lanes carry the rule.
+    status = run.auditor.health_status()
+    assert status["shard_breaches"] == {}
+    assert not run.auditor.breached

@@ -65,3 +65,96 @@ def test_close_workers_is_idempotent():
     # In-process path still works after the pool is gone.
     fabric.push_batch([(1.0, 1), (2.0, 2)])
     assert len(fabric) == 2
+
+
+def collect_kind_counts(tracer):
+    counts = {}
+    for event in tracer.events():
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+def test_worker_events_ship_home_and_match_in_process():
+    """A traced --workers soak reconciles event-for-event: the worker's
+    per-op events ride home and merge into the main trace, so the kind
+    counts match the in-process backend exactly."""
+
+    def run(workers):
+        tracer = Tracer(buffer_size=200_000)
+        fabric = ScheduleFabric(
+            shards=4, granularity=8.0, fast_mode=True, tracer=tracer
+        )
+        if workers:
+            fabric.use_workers(workers)
+        try:
+            _drive_batched(fabric, make_flow_ops(1_200, 5))
+        finally:
+            fabric.close_workers()
+        return tracer
+
+    reference = run(0)
+    shipped = run(2)
+    assert collect_kind_counts(shipped) == collect_kind_counts(reference)
+    assert shipped.emitted == reference.emitted
+    # Shipped shard_enqueue events record how many events came home.
+    enqueues = [
+        event
+        for event in shipped.events("shard_enqueue")
+        if event.attrs.get("worker")
+    ]
+    assert enqueues
+    assert all("shipped" in event.attrs for event in enqueues)
+    assert sum(event.attrs["shipped"] for event in enqueues) > 0
+    assert all(event.attrs["worker_dropped"] == 0 for event in enqueues)
+
+
+def test_worker_events_carry_shard_components():
+    """Ingested worker events are component-stamped, so per-shard
+    attribution covers the worker-side accesses too."""
+    tracer = Tracer(buffer_size=200_000)
+    fabric = ScheduleFabric(
+        shards=3, granularity=8.0, fast_mode=True, tracer=tracer
+    )
+    fabric.use_workers(2)
+    try:
+        _drive_batched(fabric, make_flow_ops(900, 11))
+    finally:
+        fabric.close_workers()
+    by_component = tracer.attributed_totals_by_component()
+    shard_components = {
+        name for name in by_component if name.startswith("shard")
+    }
+    assert shard_components == {"shard0", "shard1", "shard2"}
+    attributed = sum(
+        stats.total
+        for totals in by_component.values()
+        for stats in totals.values()
+    )
+    assert attributed == tracer.attributed_grand_total().total
+
+
+def test_worker_pool_context_manager_closes_cleanly():
+    from repro.fabric.workers import FabricWorkerPool
+
+    with FabricWorkerPool(2) as pool:
+        assert not pool.closed
+    assert pool.closed
+
+
+def test_worker_pool_context_manager_terminates_on_exception():
+    from repro.fabric.workers import FabricWorkerPool
+    from repro.hwsim.errors import ConfigurationError
+
+    with pytest.raises(RuntimeError):
+        with FabricWorkerPool(2) as pool:
+            raise RuntimeError("boom")
+    assert pool.closed
+    with pytest.raises(ConfigurationError):
+        pool.push_batches([])
+
+
+def test_fabric_context_manager_reaps_workers():
+    with ScheduleFabric(shards=2, granularity=8.0, fast_mode=True) as fabric:
+        fabric.use_workers(2)
+        fabric.push_batch([(1.0, 1), (2.0, 2)])
+    assert fabric.workers == 0

@@ -6,9 +6,11 @@ from repro.hwsim.stats import AccessStats
 from repro.obs.events import TraceEvent
 from repro.obs.exporters import (
     prometheus_snapshot,
+    read_instruments_jsonl,
     read_jsonl,
     run_report,
     sanitize_metric_name,
+    write_instruments_jsonl,
     write_jsonl,
 )
 from repro.obs.instruments import InstrumentSet
@@ -118,17 +120,52 @@ class TestMetricNameSanitization:
         assert "_total_total" not in text
 
 
-#: One exposition line: HELP/TYPE comment, or `name{labels} value`.
-_METRIC_LINE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>-?(?:[0-9.]+(?:e[+-]?[0-9]+)?|\+?Inf|NaN))$"
+#: Exposition grammar pieces: sample name, one quoted label pair (value
+#: may hold any character; backslash, quote, and newline appear only as
+#: `\\`, `\"`, `\n` escapes), and the trailing ` value` tail.
+_SAMPLE_NAME = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)")
+_LABEL_PAIR = re.compile(
+    r'(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\[\\"n])*)"'
+)
+_VALUE_TAIL = re.compile(
+    r"^ (?P<value>-?(?:[0-9.]+(?:e[+-]?[0-9]+)?|\+?Inf|NaN))$"
 )
 _TYPE_LINE = re.compile(
     r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r" (?P<type>counter|gauge|histogram|summary|untyped)$"
 )
-_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\\n]*"$')
+
+
+def _parse_sample(line):
+    """Strict-parse one sample line, walking labels pair by pair.
+
+    Quoted label values may contain commas and closing braces, so the
+    label block cannot be split naively — each pair is consumed by the
+    grammar regex in sequence.
+    """
+    match = _SAMPLE_NAME.match(line)
+    assert match, f"malformed sample line: {line!r}"
+    name = match.group("name")
+    rest = line[match.end():]
+    labels = None
+    if rest.startswith("{"):
+        body = rest[1:]
+        pairs = []
+        while True:
+            pair = _LABEL_PAIR.match(body)
+            assert pair, f"malformed label in: {line!r}"
+            pairs.append(pair.group(0))
+            body = body[pair.end():]
+            if body.startswith(","):
+                body = body[1:]
+                continue
+            break
+        assert body.startswith("}"), f"unterminated labels in: {line!r}"
+        labels = ",".join(pairs)
+        rest = body[1:]
+    tail = _VALUE_TAIL.match(rest)
+    assert tail, f"malformed value in: {line!r}"
+    return name, labels, tail.group("value")
 
 
 def parse_exposition(text):
@@ -149,15 +186,7 @@ def parse_exposition(text):
             assert name not in types, f"duplicate TYPE for {name}"
             types[name] = match.group("type")
             continue
-        match = _METRIC_LINE.match(line)
-        assert match, f"malformed sample line: {line!r}"
-        labels = match.group("labels")
-        if labels is not None:
-            for pair in labels.split(","):
-                assert _LABEL.match(pair), f"malformed label: {pair!r}"
-        samples.append(
-            (match.group("name"), labels, match.group("value"))
-        )
+        samples.append(_parse_sample(line))
     return types, samples
 
 
@@ -202,12 +231,18 @@ class TestExpositionGrammar:
         by_hist = {}
         for name, labels, value in samples:
             if name.endswith("_bucket"):
-                by_hist.setdefault(name, []).append((labels, float(value)))
+                # le renders last, so everything before it keys the series.
+                series = labels.rsplit("le=", 1)[0].rstrip(",")
+                by_hist.setdefault((name, series), []).append(
+                    (labels, float(value))
+                )
         assert by_hist
-        for name, buckets in by_hist.items():
+        for (name, _), buckets in by_hist.items():
             counts = [count for _, count in buckets]
             assert counts == sorted(counts), f"{name} not cumulative"
-            assert buckets[-1][0] == 'le="+Inf"', f"{name} missing +Inf cap"
+            assert buckets[-1][0].endswith(
+                'le="+Inf"'
+            ), f"{name} missing +Inf cap"
 
     def test_live_snapshot_from_soak_passes_grammar(self):
         """The acceptance check: a real run's /metrics text is clean."""
@@ -218,6 +253,123 @@ class TestExpositionGrammar:
         types, samples = parse_exposition(text)
         for name, labels, value in samples:
             assert _family(name, types) is not None, name
+
+
+class TestLabeledExposition:
+    """Labeled families: one TYPE line, aggregate first, values escaped."""
+
+    def make_sharded(self):
+        instruments = InstrumentSet()
+        for shard, ops in (("0", 5), ("1", 3)):
+            instruments.counter("events_insert").inc(ops)
+            instruments.counter(
+                "events_insert", labels={"shard": shard}
+            ).inc(ops)
+            for value in range(ops):
+                instruments.hist("op_accesses").record(value + 1)
+                instruments.hist(
+                    "op_accesses", labels={"shard": shard}
+                ).record(value + 1)
+            instruments.gauge(
+                "occupancy_now", labels={"shard": shard}
+            ).set(ops)
+        return instruments
+
+    def test_labeled_series_strict_parse(self):
+        text = prometheus_snapshot(self.make_sharded())
+        types, samples = parse_exposition(text)
+        for name, labels, value in samples:
+            assert _family(name, types) is not None, name
+
+    def test_one_type_line_per_family(self):
+        text = prometheus_snapshot(self.make_sharded())
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+        assert "# TYPE repro_events_insert_total counter" in type_lines
+
+    def test_aggregate_series_renders_before_labeled(self):
+        text = prometheus_snapshot(self.make_sharded())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_events_insert_total")
+        ]
+        assert lines[0].startswith("repro_events_insert_total 8")
+        assert 'repro_events_insert_total{shard="0"} 5' in lines
+        assert 'repro_events_insert_total{shard="1"} 3' in lines
+
+    def test_labeled_counters_sum_to_aggregate(self):
+        text = prometheus_snapshot(self.make_sharded())
+        types, samples = parse_exposition(text)
+        aggregate = labeled = 0
+        for name, labels, value in samples:
+            if name != "repro_events_insert_total":
+                continue
+            if labels is None:
+                aggregate = int(value)
+            else:
+                labeled += int(value)
+        assert labeled == aggregate == 8
+
+    def test_label_values_escaped(self):
+        instruments = InstrumentSet()
+        nasty = 'back\\slash "quote"\nnewline'
+        instruments.counter("events", labels={"source": nasty}).inc(2)
+        text = prometheus_snapshot(instruments)
+        assert (
+            'repro_events_total{source="back\\\\slash \\"quote\\"\\nnewline"} 2'
+            in text
+        )
+        types, samples = parse_exposition(text)
+        assert any(labels for _, labels, _ in samples)
+
+    def test_histogram_le_appends_after_family_labels(self):
+        text = prometheus_snapshot(self.make_sharded())
+        assert 'repro_op_accesses_bucket{shard="0",le="+Inf"} 5' in text
+        assert 'repro_op_accesses_count{shard="1"} 3' in text
+
+
+class TestInstrumentsJsonl:
+    def make_instruments(self):
+        instruments = InstrumentSet()
+        for value in (1, 3, 250, 9000):
+            instruments.hist("op_cycles").record(value)
+            instruments.hist("op_cycles", labels={"shard": "2"}).record(value)
+        instruments.hist("clamp_quanta", scale=100).record(0.25)
+        gauge = instruments.gauge("occupancy_now")
+        gauge.set(12)
+        gauge.set(4)
+        instruments.counter("events_insert", labels={"shard": "0"}).inc(7)
+        return instruments
+
+    def test_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "instruments.jsonl"
+        original = self.make_instruments()
+        written = write_instruments_jsonl(original, str(path))
+        assert written == 5
+        restored = read_instruments_jsonl(str(path))
+        assert restored.summaries() == original.summaries()
+        assert prometheus_snapshot(restored) == prometheus_snapshot(original)
+
+    def test_round_trip_preserves_buckets_exactly(self, tmp_path):
+        path = tmp_path / "instruments.jsonl"
+        original = self.make_instruments()
+        write_instruments_jsonl(original, str(path))
+        restored = read_instruments_jsonl(str(path))
+        before = original.hist("op_cycles", labels={"shard": "2"})
+        after = restored.hist("op_cycles", labels={"shard": "2"})
+        assert after.to_state() == before.to_state()
+
+    def test_file_object_round_trip(self, tmp_path):
+        path = tmp_path / "instruments.jsonl"
+        original = self.make_instruments()
+        with open(path, "w", encoding="utf-8") as handle:
+            write_instruments_jsonl(original, handle)
+        with open(path, "r", encoding="utf-8") as handle:
+            restored = read_instruments_jsonl(handle)
+        assert restored.summaries() == original.summaries()
 
 
 class TestRunReport:

@@ -313,3 +313,177 @@ class TestRunnerIntegration:
         # Port is closed after finish().
         with pytest.raises(Exception):
             urllib.request.urlopen(f"{base}/health", timeout=1)
+
+
+class TestJainFairness:
+    def test_balanced_is_one(self):
+        from repro.obs.live import jain_fairness
+
+        assert jain_fairness([5.0, 5.0, 5.0]) == 1.0
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_skewed_drops_toward_reciprocal_n(self):
+        from repro.obs.live import jain_fairness
+
+        # All load on one of four shards: index = 1/4.
+        assert jain_fairness([8.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert 0.25 < jain_fairness([8.0, 2.0, 2.0, 2.0]) < 1.0
+
+
+class TestPerShardCollector:
+    def make(self, **kwargs):
+        instruments = InstrumentSet()
+        clock = FakeClock()
+        kwargs.setdefault("clock", clock)
+        collector = WindowedCollector(instruments, **kwargs)
+        collector._started_at = clock()
+        collector._last_tick = clock()
+        return collector, instruments, clock
+
+    def record_shard_ops(self, instruments, counts):
+        for shard, amount in counts.items():
+            instruments.counter("events_insert").inc(amount)
+            instruments.counter(
+                "events_insert", labels={"shard": shard}
+            ).inc(amount)
+
+    def test_per_shard_rates_and_fairness(self):
+        collector, instruments, clock = self.make(interval=0.5)
+        self.record_shard_ops(instruments, {"0": 30, "1": 10})
+        clock.advance(2.0)
+        collector.tick()
+        live = collector.live
+        assert live.gauge(
+            "live_ops_per_second", labels={"shard": "0"}
+        ).value == pytest.approx(15.0)
+        assert live.gauge(
+            "live_ops_per_second", labels={"shard": "1"}
+        ).value == pytest.approx(5.0)
+        window = collector.windows[-1]
+        assert window["shards"]["0"]["ops"] == 30
+        assert window["shards"]["1"]["ops"] == 10
+        # Jain over (30, 10): (40^2) / (2 * (900 + 100)) = 0.8.
+        assert window["throughput_fairness"] == pytest.approx(0.8)
+
+    def test_rates_are_per_window_deltas(self):
+        collector, instruments, clock = self.make(interval=0.5)
+        self.record_shard_ops(instruments, {"0": 10, "1": 10})
+        clock.advance(1.0)
+        collector.tick()
+        self.record_shard_ops(instruments, {"0": 50})
+        clock.advance(1.0)
+        collector.tick()
+        window = collector.windows[-1]
+        assert window["shards"]["0"]["ops"] == 50
+        assert window["shards"]["1"]["ops"] == 0
+        assert window["throughput_fairness"] == pytest.approx(0.5)
+
+    def test_occupancy_skew_from_callback(self):
+        collector, instruments, clock = self.make(
+            interval=0.5, shard_occupancies=lambda: [9.0, 1.0, 2.0]
+        )
+        self.record_shard_ops(instruments, {"0": 1, "1": 1, "2": 1})
+        clock.advance(1.0)
+        collector.tick()
+        live = collector.live
+        assert live.gauge(
+            "live_occupancy", labels={"shard": "0"}
+        ).value == 9.0
+        # max/mean = 9 / 4 = 2.25
+        assert live.gauge("live_occupancy_skew").value == pytest.approx(
+            2.25
+        )
+        assert collector.windows[-1]["occupancy_skew"] == pytest.approx(
+            2.25
+        )
+
+    def test_per_shard_cycle_percentiles(self):
+        collector, instruments, clock = self.make(interval=0.5)
+        self.record_shard_ops(instruments, {"0": 1})
+        # The series must exist before the first tick: percentiles are
+        # window deltas between snapshots, so the first window that can
+        # report is the one after the series' first snapshot.
+        instruments.hist("op_cycles", labels={"shard": "0"})
+        clock.advance(1.0)
+        collector.tick()
+        for _ in range(100):
+            instruments.hist("op_cycles", labels={"shard": "0"}).record(10)
+        instruments.hist("op_cycles", labels={"shard": "0"}).record(100)
+        self.record_shard_ops(instruments, {"0": 1})
+        clock.advance(1.0)
+        collector.tick()
+        p99 = collector.live.gauge(
+            "live_p99_op_cycles", labels={"shard": "0"}
+        ).value
+        assert p99 >= 10
+
+    def test_unsharded_runs_pay_nothing(self):
+        collector, instruments, clock = self.make(interval=0.5)
+        instruments.counter("events_insert").inc(10)
+        clock.advance(1.0)
+        collector.tick()
+        live_names = collector.live.names()
+        assert "live_occupancy_skew" not in live_names
+        assert "live_throughput_fairness" not in live_names
+        assert "shards" not in collector.windows[-1]
+
+
+class TestHealthPerShard:
+    def test_shards_and_slo_in_health_payload(self):
+        class FakeAuditor:
+            breached = False
+
+            def health_status(self):
+                return {
+                    "serves": 4,
+                    "inversions": 0,
+                    "culprit_shard": None,
+                    "breached_rules": [],
+                    "shard_breaches": {},
+                }
+
+        plane = LivePlane(
+            instruments=InstrumentSet(),
+            shard_occupancies=lambda: [6.0, 2.0],
+            auditor=FakeAuditor(),
+            serve_port=0,
+            interval=0.05,
+        ).start()
+        try:
+            status, body, _ = fetch(f"{plane.server.url}/health")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["shards"]["occupancies"] == [6.0, 2.0]
+            assert payload["shards"]["occupancy_skew"] == pytest.approx(1.5)
+            assert payload["slo"]["culprit_shard"] is None
+        finally:
+            plane.finish()
+
+    def test_slo_breach_flips_health_to_503(self):
+        class FakeAuditor:
+            breached = True
+
+            def health_status(self):
+                return {
+                    "serves": 9,
+                    "inversions": 3,
+                    "culprit_shard": "shard1",
+                    "breached_rules": ["shard_budget"],
+                    "shard_breaches": {"shard1": ["shard_budget"]},
+                }
+
+        plane = LivePlane(
+            instruments=InstrumentSet(),
+            auditor=FakeAuditor(),
+            serve_port=0,
+            interval=0.05,
+        ).start()
+        try:
+            status, body, _ = fetch(f"{plane.server.url}/health")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "slo_breach"
+            assert payload["slo"]["culprit_shard"] == "shard1"
+        finally:
+            plane.finish()

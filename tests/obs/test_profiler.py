@@ -124,3 +124,44 @@ class TestSyntheticAncestry:
         profile = profile_events(self.events())
         ranked_seqs = {c.event.seq for c in profile.worst_cases(10)}
         assert 0 not in ranked_seqs  # the delta-less child insert
+
+
+class TestPerShardRollups:
+    def sharded_events(self, *, shards=3, ops=800):
+        from repro.fabric.fabric import ScheduleFabric
+
+        tracer = Tracer()
+        fabric = ScheduleFabric(
+            shards=shards, granularity=8.0, tracer=tracer
+        )
+        _drive_per_op(fabric, make_mixed_ops(ops, SEED))
+        return tracer.events()
+
+    def test_shards_roll_up_component_stamped_cost(self):
+        profile = profile_events(self.sharded_events())
+        assert {"shard0", "shard1", "shard2"} <= set(profile.shards)
+        stamped_total = sum(
+            event.delta_total
+            for event in profile.events
+            if "component" in event.attrs
+        )
+        assert (
+            sum(r.self_accesses for r in profile.shards.values())
+            == stamped_total
+        )
+
+    def test_unstamped_trace_has_no_shards(self):
+        events, _ = traced_events(batched=False, ops=300)
+        profile = profile_events(events)
+        assert profile.shards == {}
+        assert "per-shard cost" not in profile.report()
+
+    def test_shards_in_document_and_report(self):
+        profile = profile_events(self.sharded_events())
+        document = profile.to_dict()
+        assert set(document["shards"]) == set(profile.shards)
+        for name, rollup in profile.shards.items():
+            assert document["shards"][name]["count"] == rollup.count
+        report = profile.report()
+        assert "per-shard cost" in report
+        assert "shard0" in report

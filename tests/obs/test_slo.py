@@ -275,3 +275,99 @@ class TestServeStreamAuditor:
         auditor(serve_event(1, 5.0))
         assert auditor.summary()["rules"]["zero_inv"]["breached"]
         assert instruments.counter("slo_violations_total").value == 1
+
+
+class TestPerShardSlo:
+    def make(self, shard_limit=0):
+        instruments = InstrumentSet()
+        auditor = ServeStreamAuditor(
+            instruments=instruments,
+            shard_rules=[
+                SloRule(
+                    name="shard_budget",
+                    metric="inversions",
+                    limit=shard_limit,
+                )
+            ],
+        )
+        return auditor, instruments
+
+    def test_labeled_lane_counters(self):
+        auditor, instruments = self.make()
+        auditor(serve_event(0, 10.0, component="shard0"))
+        auditor(serve_event(1, 20.0, component="shard1"))
+        auditor(serve_event(2, 30.0, component="shard0"))
+        family = instruments.series("live_serves_total")
+        by_shard = {
+            dict(key).get("shard"): counter.value
+            for key, counter in family.items()
+            if key
+        }
+        assert by_shard == {"0": 2, "1": 1}
+        # Aggregate counts every serve regardless of lane.
+        assert family[()].value == 3
+
+    def test_breach_attributed_to_culprit_shard(self):
+        auditor, instruments = self.make(shard_limit=0)
+        auditor(serve_event(0, 100.0, component="shard0"))
+        auditor(serve_event(1, 10.0, component="shard1"))
+        # shard1 inverts; shard0 stays clean.
+        auditor(serve_event(2, 5.0, component="shard1"))
+        assert auditor.inversions == 1
+        assert auditor.culprit_shard == "shard1"
+        assert auditor.breached
+        burns = instruments.series("slo_burn_shard_budget_total")
+        assert {dict(key).get("shard") for key in burns if key} == {"1"}
+        violations = instruments.series("slo_violations_total")
+        assert {dict(key).get("shard") for key in violations if key} == {"1"}
+
+    def test_shard_rule_only_counts_own_lane(self):
+        auditor, _ = self.make(shard_limit=1)
+        auditor(serve_event(0, 100.0, component="shard0"))
+        auditor(serve_event(1, 10.0, component="shard0"))  # inversion 1
+        assert not auditor.breached
+        auditor(serve_event(2, 100.0, component="shard1"))
+        auditor(serve_event(3, 10.0, component="shard1"))  # other lane
+        assert not auditor.breached  # neither lane over its own budget
+        auditor(serve_event(4, 5.0, component="shard0"))  # inversion 2
+        assert auditor.breached
+        status = auditor.health_status()
+        assert status["shard_breaches"] == {"shard0": ["shard_budget"]}
+        assert status["culprit_shard"] == "shard0"
+
+    def test_shard_breach_emits_component_stamped_event(self):
+        tracer = Tracer()
+        instruments = InstrumentSet()
+        auditor = ServeStreamAuditor(
+            instruments=instruments,
+            shard_rules=[
+                SloRule(name="budget", metric="inversions", limit=0)
+            ],
+            tracer=tracer,
+        )
+        auditor(serve_event(0, 50.0, component="shard2"))
+        auditor(serve_event(1, 10.0, component="shard2"))
+        events = tracer.events(SLO_KIND)
+        assert len(events) == 1
+        assert events[0].attrs["component"] == "shard2"
+        assert events[0].attrs["shard"] == "2"
+
+    def test_health_status_clean(self):
+        auditor, _ = self.make()
+        auditor(serve_event(0, 10.0, component="shard0"))
+        status = auditor.health_status()
+        assert status["serves"] == 1
+        assert status["inversions"] == 0
+        assert status["culprit_shard"] is None
+        assert status["breached_rules"] == []
+        assert status["shard_breaches"] == {}
+        assert not auditor.breached
+
+    def test_shard_rules_must_be_inversions(self):
+        with pytest.raises(ConfigurationError):
+            ServeStreamAuditor(
+                instruments=InstrumentSet(),
+                shard_rules=[
+                    SloRule(name="x", metric="p99_delay", limit=1.0)
+                ],
+            )

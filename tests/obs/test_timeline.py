@@ -125,3 +125,83 @@ class TestTimelineExport:
         document = build_timeline(events)
         op = [e for e in document["traceEvents"] if e.get("ph") == "X"][0]
         assert op["dur"] == 4
+
+
+def sharded_events(*, shards=3, ops=800):
+    from repro.fabric.fabric import ScheduleFabric
+
+    tracer = Tracer()
+    fabric = ScheduleFabric(shards=shards, granularity=8.0, tracer=tracer)
+    _drive_per_op(fabric, make_mixed_ops(ops, SEED))
+    return tracer.events()
+
+
+class TestPerComponentTracks:
+    def test_components_get_their_own_process(self):
+        document = build_timeline(sharded_events())
+        names = {
+            entry["pid"]: entry["args"]["name"]
+            for entry in document["traceEvents"]
+            if entry.get("name") == "process_name"
+        }
+        assert names[PID] == "sort_retrieve_circuit"
+        components = {name for pid, name in names.items() if pid != PID}
+        assert {"shard0", "shard1", "shard2"} <= components
+
+    def test_component_processes_carry_the_thread_trio(self):
+        document = build_timeline(sharded_events())
+        threads = {}
+        for entry in document["traceEvents"]:
+            if entry.get("name") == "thread_name":
+                threads.setdefault(entry["pid"], {})[entry["tid"]] = entry[
+                    "args"
+                ]["name"]
+        pids = {
+            entry["pid"]
+            for entry in document["traceEvents"]
+            if entry.get("name") == "process_name"
+        }
+        for pid in pids:
+            assert threads[pid] == {
+                TID_OPS: "ops",
+                TID_MAINTENANCE: "maintenance",
+                TID_BATCH: "batch spans",
+            }
+
+    def test_slices_land_on_their_component_pid(self):
+        events = sharded_events()
+        document = build_timeline(events)
+        names = {
+            entry["pid"]: entry["args"]["name"]
+            for entry in document["traceEvents"]
+            if entry.get("name") == "process_name"
+        }
+        slices = [
+            entry
+            for entry in document["traceEvents"]
+            if entry.get("ph") == "X"
+        ]
+        assert slices
+        # Every component-stamped event renders under its own process.
+        by_seq = {event.seq: event for event in events}
+        for entry in slices:
+            event = by_seq[entry["args"]["seq"]]
+            component = event.attrs.get("component")
+            expected = component if component is not None else (
+                "sort_retrieve_circuit"
+            )
+            assert names[entry["pid"]] == expected
+
+    def test_sharded_timeline_stays_monotonic_per_track(self):
+        assert_monotonic_per_track(build_timeline(sharded_events()))
+
+    def test_unstamped_trace_is_byte_identical_to_before(self):
+        events = [
+            TraceEvent(seq=0, kind="insert", name="insert", attrs={"tag": 1}),
+            TraceEvent(
+                seq=1, kind="dequeue", name="dequeue", attrs={"tag": 1}
+            ),
+        ]
+        document = build_timeline(events)
+        pids = {entry["pid"] for entry in document["traceEvents"]}
+        assert pids == {PID}
