@@ -23,6 +23,14 @@ over the circuit's remove/retag primitives (see :mod:`repro.net.timer`:
 All six subsystems share one output convention: ``--output FILE`` writes
 where you say, ``--format {text,json}`` picks the representation.
 
+``python -m repro serve`` runs the always-on WFQ scheduling server —
+line-delimited JSON over TCP in front of the sorting fabric, with SLA
+admission, ECN-style backpressure, snapshot/restore lifecycle, and the
+live observability plane attached via ``--metrics PORT`` (see
+:mod:`repro.serve.server`).  ``python -m repro client`` drives a running
+server with a deterministic mixed workload (see
+:mod:`repro.serve.client`).
+
 The soak runners (``obs``, ``fabric``, ``timer``) additionally accept
 ``--serve PORT`` to expose the live observability plane (``/metrics``
 Prometheus text, ``/health`` JSON status, ``/snapshot`` full instrument
@@ -140,6 +148,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .net.timer import main as timer_main
 
         return timer_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The always-on scheduling server (asyncio; lazy for the same
+        # reason — artifact generation never pays for it).
+        from .serve.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        # Load driver for a running serve endpoint.
+        from .serve.client import main as client_main
+
+        return client_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(name) for name in ARTIFACTS)

@@ -36,7 +36,7 @@ refresh instead of k.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..hwsim.errors import ConfigurationError, ProtocolError
@@ -109,6 +109,9 @@ class ScheduleFabric:
         self.repins = 0
         self._tracer = NULL_TRACER
         self._pool = None
+        self._relocation_listeners: List[
+            Callable[[Dict[int, int]], None]
+        ] = []
         if tracer is not None:
             self.attach_tracer(tracer)
 
@@ -166,6 +169,15 @@ class ScheduleFabric:
         """A copy of the per-flow live tag counts."""
         return dict(self._flow_live)
 
+    def flow_backlog(self, flow_id: int) -> int:
+        """One flow's live tag count (O(1); 0 when nothing is queued).
+
+        Unlike :attr:`flow_live` this does not copy the whole table, so
+        per-packet policies (backpressure marking, admission checks) can
+        consult it on the hot path.
+        """
+        return self._flow_live.get(flow_id, 0)
+
     # ------------------------------------------------------------------
     # enqueue path
 
@@ -185,18 +197,122 @@ class ScheduleFabric:
         else:
             self._flow_live.pop(flow_id, None)
 
-    def _maybe_rebalance(self) -> None:
+    def add_relocation_listener(
+        self, listener: Callable[[Dict[int, int]], None]
+    ) -> None:
+        """Register a callback for handle relocations.
+
+        Backlog migration moves live entries between shards, which
+        changes their fabric handles.  Each listener is invoked with an
+        ``{old_handle: new_handle}`` dict immediately after a migration,
+        so handle-holding layers (timer wheels, connection sessions) can
+        remap before they next dereference.
+        """
+        self._relocation_listeners.append(listener)
+
+    def _maybe_rebalance(self) -> Dict[int, int]:
+        """Plan/apply a rebalance; returns any handle relocations.
+
+        The ``rebalance`` event carries the *pre-migration* occupancies
+        (the state the decision was made on) and is emitted before the
+        migration's own per-shard remove/insert events, so trace ledgers
+        reconcile op-for-op.
+        """
         occupancies = self.occupancies()
         plan = self.manager.plan_rebalance(
             occupancies, self._flow_live, self.pushes + self.pops
         )
-        if plan is not None and self._tracer.enabled:
+        if plan is None:
+            return {}
+        if self._tracer.enabled:
             self._tracer.event(
                 "rebalance",
                 component=FABRIC_COMPONENT,
                 occupancies=occupancies,
                 **plan.to_dict(),
             )
+        if not self.manager.policy.migrate_backlog:
+            return {}
+        relocations = self._migrate_backlog(plan)
+        if relocations:
+            for listener in self._relocation_listeners:
+                listener(relocations)
+        return relocations
+
+    def _migrate_backlog(self, plan) -> Dict[int, int]:
+        """Physically move a re-pinned flow's queued entries.
+
+        Remove-by-handle on the source shard, re-push at the identical
+        exact tag on the target — enumerated head-first so within-flow
+        FCFS order is preserved.  An entry migrates only when the target
+        can hold it *at its own quantum* (no clamping, no span-guard
+        trip) and has a free slot; anything else stays on the source,
+        which is always correct — rebalancing is an optimization, never
+        a requirement.  At most half the occupancy gap moves: migration
+        *equalizes* the shards rather than dumping the whole backlog,
+        which would invert the skew and ping-pong the flow back on the
+        next rebalance.  Returns ``{old_handle: new_handle}``.
+        """
+        moved_flows = {flow_id for flow_id, _ in plan.moves}
+        source_store = self.stores[plan.source]
+        target_store = self.stores[plan.target]
+        quota = max(0, (len(source_store) - len(target_store)) // 2)
+        base_source = plan.source * self.capacity_per_shard
+        base_target = plan.target * self.capacity_per_shard
+        # Snapshot the candidates before mutating: walk() is peek-only
+        # and head-first (service order), and removing one entry never
+        # disturbs another's storage address.
+        candidates = []
+        for _raw, address in source_store.circuit.storage.walk():
+            finish_tag, (flow_id, _payload) = (
+                source_store.circuit.handle_payload(address)
+            )
+            if flow_id in moved_flows:
+                candidates.append((address, finish_tag))
+        free = self.capacity_per_shard - len(target_store)
+        relocations: Dict[int, int] = {}
+        migrated = 0
+        skipped = 0
+        for address, finish_tag in candidates:
+            if migrated >= quota or free <= 0:
+                skipped += 1
+                continue
+            if not target_store.accepts_without_clamp(finish_tag):
+                skipped += 1
+                continue
+            exact_tag, entry = source_store.remove(address)
+            try:
+                new_local = target_store.push(exact_tag, entry)
+            except ProtocolError:
+                # The target refused after all (belt-and-braces: the
+                # accepts check should have caught it).  Re-push on the
+                # source — its slot is guaranteed free, though the new
+                # address may differ from the old one.
+                back_local = source_store.push(exact_tag, entry)
+                if back_local != address:
+                    relocations[base_source + address] = (
+                        base_source + back_local
+                    )
+                skipped += 1
+                continue
+            free -= 1
+            migrated += 1
+            relocations[base_source + address] = base_target + new_local
+        if migrated:
+            self._sync_head(plan.source)
+            self._sync_head(plan.target)
+            self.manager.entries_migrated += migrated
+        if self._tracer.enabled:
+            self._tracer.event(
+                "shard_migrate",
+                component=FABRIC_COMPONENT,
+                source=plan.source,
+                target=plan.target,
+                entries=migrated,
+                skipped=skipped,
+                flows=len(moved_flows),
+            )
+        return relocations
 
     def push(self, finish_tag: float, flow_id: int, payload=None) -> int:
         """Route and insert one tag; returns its fabric handle.
@@ -232,8 +348,11 @@ class ScheduleFabric:
                 count=1,
                 spilled=1 if spilled else 0,
             )
-        self._maybe_rebalance()
-        return shard * self.capacity_per_shard + local
+        relocations = self._maybe_rebalance()
+        handle = shard * self.capacity_per_shard + local
+        # The rebalance may have migrated the entry just inserted; the
+        # caller must receive the post-migration handle.
+        return relocations.get(handle, handle)
 
     def push_batch(self, items: Iterable[Sequence]) -> None:
         """Route and insert a run of tags in one pass.
@@ -441,8 +560,9 @@ class ScheduleFabric:
                 component=FABRIC_COMPONENT,
                 shard=shard,
             )
-        self._maybe_rebalance()
-        return shard * self.capacity_per_shard + new_local
+        relocations = self._maybe_rebalance()
+        new_handle = shard * self.capacity_per_shard + new_local
+        return relocations.get(new_handle, new_handle)
 
     # ------------------------------------------------------------------
     # worker backend (process-parallel enqueue built on checkpoints)

@@ -13,10 +13,15 @@ mechanisms keep a skewed fabric serviceable:
 * **Threshold rebalancing** — when occupancies diverge past
   ``rebalance_ratio`` (and the fabric holds enough backlog for the move
   to matter), the hottest flows of the fullest shard are re-pinned to
-  the emptiest shard via partitioner overrides.  Moves affect *future
-  arrivals only*: live tags drain where they sit, so no circuit state
-  migrates on the hot path, and within-flow order is preserved because
-  the old shard's tags for that flow all precede the new shard's.
+  the emptiest shard via partitioner overrides.  By default
+  (``migrate_backlog``) the moved flows' queued entries migrate too —
+  remove-by-handle on the old shard, re-enqueue at the identical tag on
+  the new — so the skew that armed the rebalance shrinks immediately;
+  every relocation is announced to registered listeners so outstanding
+  handles stay valid.  With ``migrate_backlog=False`` moves affect
+  *future arrivals only*: live tags drain where they sit, and
+  within-flow order is preserved because the old shard's tags for that
+  flow all precede the new shard's.
 
 Both mechanisms are deterministic (pure functions of occupancy and flow
 ids) so traced fabric runs replay exactly.
@@ -46,6 +51,12 @@ class FabricPolicy:
         rebalance_cooldown_ops: fabric operations that must elapse
             between rebalances (hysteresis).
         max_moves_per_rebalance: flow re-pins per rebalance event.
+        migrate_backlog: when re-pinning a flow, also move its queued
+            entries from the old shard to the new one (remove-by-handle
+            + re-enqueue at the same tag), so the occupancy skew that
+            armed the rebalance actually shrinks instead of waiting for
+            the hot shard to drain.  Disable to restore the legacy
+            future-arrivals-only behavior.
     """
 
     spill_threshold: float = 0.9
@@ -53,6 +64,7 @@ class FabricPolicy:
     rebalance_min_backlog: int = 512
     rebalance_cooldown_ops: int = 1024
     max_moves_per_rebalance: int = 4
+    migrate_backlog: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.spill_threshold <= 1.0:
@@ -73,6 +85,7 @@ class FabricPolicy:
             "rebalance_min_backlog": self.rebalance_min_backlog,
             "rebalance_cooldown_ops": self.rebalance_cooldown_ops,
             "max_moves_per_rebalance": self.max_moves_per_rebalance,
+            "migrate_backlog": self.migrate_backlog,
         }
 
 
@@ -116,6 +129,8 @@ class ShardManager:
         self.rebalance_count = 0
         #: flow re-pins applied across all rebalances
         self.flows_moved = 0
+        #: queued entries physically migrated between shards
+        self.entries_migrated = 0
         self._last_rebalance_ops: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -206,6 +221,7 @@ class ShardManager:
             "spill_count": self.spill_count,
             "rebalance_count": self.rebalance_count,
             "flows_moved": self.flows_moved,
+            "entries_migrated": self.entries_migrated,
         }
 
     def to_state(self) -> dict:
@@ -216,6 +232,7 @@ class ShardManager:
             "spill_count": self.spill_count,
             "rebalance_count": self.rebalance_count,
             "flows_moved": self.flows_moved,
+            "entries_migrated": self.entries_migrated,
             "last_rebalance_ops": self._last_rebalance_ops,
         }
 
@@ -232,4 +249,5 @@ class ShardManager:
         self.spill_count = state["spill_count"]
         self.rebalance_count = state["rebalance_count"]
         self.flows_moved = state["flows_moved"]
+        self.entries_migrated = state.get("entries_migrated", 0)
         self._last_rebalance_ops = state["last_rebalance_ops"]

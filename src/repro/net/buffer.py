@@ -6,6 +6,13 @@ the egress side redeems a pointer for the stored packet.  The paper's
 buffer is a shared-memory gigabit-switch design; this model keeps its
 essential properties — bounded capacity, pointer-based access, accounting
 — over a Python free-list.
+
+Occupancy is also the service plane's backpressure signal: the wfq.cc /
+prio_wfq.cc exemplars mark ECN against buffer thresholds, and
+:meth:`SharedPacketBuffer.mark_threshold` is the single source of truth
+both the :mod:`repro.serve.backpressure` controller and the live plane
+read, so a scraped gauge and a marking decision can never disagree about
+where the threshold sits.
 """
 
 from __future__ import annotations
@@ -36,9 +43,37 @@ class SharedPacketBuffer:
         return self.capacity - len(self._free)
 
     @property
+    def occupancy_fraction(self) -> float:
+        """Fill level in [0, 1] — the backpressure controller's input."""
+        return self.occupancy / self.capacity
+
+    @property
+    def high_watermark(self) -> int:
+        """Highest occupancy ever reached (gauge for the live plane).
+
+        Alias of :attr:`peak_occupancy` under the conventional gauge
+        name; one number feeds both ``/metrics`` and capacity planning.
+        """
+        return self.peak_occupancy
+
+    @property
     def is_full(self) -> bool:
         """True when no slot is free."""
         return not self._free
+
+    def mark_threshold(self, fraction: float) -> int:
+        """Occupancy (in packets) at which a ``fraction`` threshold arms.
+
+        The ECN-style marking and rejection thresholds of the service
+        plane are configured as fractions of capacity; this converts one
+        to the integral occupancy the comparison runs against (at least
+        1, so a threshold can never arm on an empty buffer).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                "mark threshold fraction must be in (0, 1]"
+            )
+        return max(1, int(self.capacity * fraction))
 
     def store(self, packet: Packet) -> int:
         """Place a packet, returning its pointer (slot index).
@@ -55,9 +90,17 @@ class SharedPacketBuffer:
         return pointer
 
     def try_store(self, packet: Packet) -> Optional[int]:
-        """Store if space allows; otherwise count a drop and return None."""
+        """Store if space allows; otherwise count the reject and return None.
+
+        A rejected arrival is not silent: it increments
+        :attr:`drop_count` *and* books the occupancy-check read in
+        :attr:`stats` (the full test reads the free-list head register;
+        an accepted store fuses that check into its write), so the
+        access registry still accounts for every ingress decision.
+        """
         if self.is_full:
             self.drop_count += 1
+            self.stats.record_read()
             return None
         return self.store(packet)
 
@@ -78,3 +121,57 @@ class SharedPacketBuffer:
         if not 0 <= pointer < self.capacity:
             raise ConfigurationError(f"pointer {pointer} out of range")
         return self._slots[pointer]
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service-plane snapshots)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot: slots, free list, counters.
+
+        Pointer identity is part of the scheduler's state (the circuit
+        payloads hold slot indices), so the free list is serialized in
+        order — a restored buffer hands out the same pointers in the
+        same sequence.
+        """
+        return {
+            "kind": "shared_packet_buffer",
+            "capacity": self.capacity,
+            "free": list(self._free),
+            "slots": [
+                [pointer, packet.to_dict()]
+                for pointer, packet in enumerate(self._slots)
+                if packet is not None
+            ],
+            "peak_occupancy": self.peak_occupancy,
+            "drop_count": self.drop_count,
+            "stats": self.stats.to_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "shared_packet_buffer":
+            raise ConfigurationError(
+                f"not a packet buffer snapshot: kind={state.get('kind')!r}"
+            )
+        if state["capacity"] != self.capacity:
+            raise ConfigurationError(
+                f"snapshot capacity {state['capacity']} != {self.capacity}"
+            )
+        self._slots = [None] * self.capacity
+        for pointer, record in state["slots"]:
+            self._slots[int(pointer)] = Packet.from_dict(record)
+        self._free = [int(pointer) for pointer in state["free"]]
+        self.peak_occupancy = state["peak_occupancy"]
+        self.drop_count = state["drop_count"]
+        stats = state.get("stats", {})
+        self.stats = AccessStats(
+            reads=int(stats.get("reads", 0)),
+            writes=int(stats.get("writes", 0)),
+        )
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SharedPacketBuffer":
+        """Reconstruct a buffer from a :meth:`to_state` snapshot."""
+        buffer = cls(state["capacity"])
+        buffer.load_state(state)
+        return buffer

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..core.words import PAPER_FORMAT, WordFormat
-from ..hwsim.errors import ConfigurationError
+from ..hwsim.errors import ConfigurationError, ProtocolError
 from ..sched.packet import Packet
 from .scheduler_system import DEFAULT_CLOCK_HZ, HardwareWFQSystem
 
@@ -131,10 +131,25 @@ class FabricSchedulerSystem(HardwareWFQSystem):
         if pointer is None:
             self.dropped += 1
             return None
-        return self.store.push(tags.finish_tag, packet.flow_id, pointer)
+        try:
+            return self.store.push(tags.finish_tag, packet.flow_id, pointer)
+        except ProtocolError:
+            # Span-guard refusal: release the slot, keep the buffer's
+            # occupancy accounting exact (no orphaned packets).
+            self.buffer.fetch(pointer)
+            raise
 
     # cancel() is inherited: ScheduleFabric.remove matches the store
     # contract, handing back (finish_tag, pointer) for the buffer fetch.
+
+    def add_relocation_listener(self, listener) -> None:
+        """Subscribe to fabric handle relocations (backlog migration).
+
+        Handle-holding layers above the system (timer wheels, service
+        sessions) register here; see
+        :meth:`~repro.fabric.fabric.ScheduleFabric.add_relocation_listener`.
+        """
+        self.store.add_relocation_listener(listener)
 
     def reschedule(self, handle: int, new_finish_tag: float) -> int:
         """Repin a queued packet on its shard; returns the new handle."""

@@ -376,6 +376,30 @@ class HardwareTagStore:
         _, flow_id = self.circuit.remove(handle).payload
         return self.push(new_finish_tag, flow_id)
 
+    def accepts_without_clamp(self, finish_tag: float) -> bool:
+        """Whether a push of ``finish_tag`` lands at its own quantum.
+
+        True when the tag passes the span guard and is not behind the
+        live minimum — a push would place it exactly where the sort
+        wants it, with no FCFS clamping and no
+        :class:`~repro.hwsim.errors.ProtocolError`.  The fabric's
+        backlog migration uses this to move only entries the target
+        shard can hold without degrading their service position.
+        Peek-only: nothing is touched or accounted.
+        """
+        if self.circuit.storage._count == 0:
+            # A push into a drained store opens a fresh epoch: every
+            # floor resets, so any tag is accepted at its own quantum.
+            return True
+        unwrapped = self.quantize(finish_tag)
+        floor = self._span_floor()
+        if floor is not None:
+            if unwrapped - floor >= self._half_space:
+                return False
+            if unwrapped < floor:
+                return False
+        return not self._is_behind_minimum(unwrapped % self._tag_space)
+
     def peek_min_exact(self) -> Optional[Tuple[float, int]]:
         """The head entry's exact (tag, payload) without dequeuing.
 

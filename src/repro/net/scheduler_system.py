@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
-from ..hwsim.errors import ConfigurationError
+from ..hwsim.errors import ConfigurationError, ProtocolError
 from ..sched.base import PacketScheduler
 from ..sched.packet import Packet
 from ..sched.virtual_time import VirtualClock
@@ -122,7 +122,7 @@ class HardwareWFQSystem(PacketScheduler):
     # PacketScheduler interface
 
     def add_flow(self, flow_id: int, weight: float = 1.0, **kwargs) -> None:
-        if self._store is not None:
+        if self._store is not None and self._explicit_granularity is None:
             if self._store.operations > 0 or len(self._store) > 0:
                 raise ConfigurationError(
                     f"cannot register flow {flow_id}: tags are already "
@@ -137,6 +137,36 @@ class HardwareWFQSystem(PacketScheduler):
             # granularity from the full weight set.
             self._store = None
         super().add_flow(flow_id, weight, **kwargs)
+        self.clock.register(flow_id, weight)
+
+    def set_flow_weight(
+        self,
+        flow_id: int,
+        weight: float,
+        *,
+        guaranteed_rate_bps: Optional[float] = None,
+    ) -> None:
+        """Renegotiate a live flow's weight.
+
+        Requires an explicit ``granularity`` once tags are live: the
+        quantum is frozen with the circuit, so an auto-sized quantum
+        derived from the old weight set cannot be trusted to cover a
+        renegotiated (possibly lighter) flow's tag increments.
+        """
+        if (
+            self._explicit_granularity is None
+            and self._store is not None
+            and (self._store.operations > 0 or len(self._store) > 0)
+        ):
+            raise ConfigurationError(
+                f"cannot renegotiate flow {flow_id}: the auto-sized tag "
+                "quantum is frozen while tags are live; construct the "
+                "system with an explicit granularity to allow live "
+                "weight changes"
+            )
+        super().set_flow_weight(
+            flow_id, weight, guaranteed_rate_bps=guaranteed_rate_bps
+        )
         self.clock.register(flow_id, weight)
 
     @property
@@ -156,7 +186,13 @@ class HardwareWFQSystem(PacketScheduler):
         if pointer is None:
             self.dropped += 1
             return None
-        return self.store.push(tags.finish_tag, pointer)
+        try:
+            return self.store.push(tags.finish_tag, pointer)
+        except ProtocolError:
+            # The circuit refused the tag (span guard): release the
+            # buffer slot so a rejected admission cannot leak storage.
+            self.buffer.fetch(pointer)
+            raise
 
     def select_next(self, now: float) -> Optional[Packet]:
         if len(self.store) == 0:
@@ -248,3 +284,69 @@ class HardwareWFQSystem(PacketScheduler):
         if mean_packet_bytes <= 0:
             raise ConfigurationError("mean packet size must be positive")
         return self.sustained_packets_per_second() * mean_packet_bytes * 8
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service-plane snapshots)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot of the whole scheduler system.
+
+        Covers the GPS reference clock, the shared packet buffer (with
+        parked packets), the sort/retrieve circuit (or fabric) state and
+        the flow table — everything needed for a restored system to
+        continue event-for-event identical service.
+        """
+        return {
+            "kind": "hw_wfq_system",
+            "rate_bps": self.rate_bps,
+            "clock": self.clock.to_state(),
+            "buffer": self.buffer.to_state(),
+            "store": self.store.to_state(),
+            "flows": [
+                {
+                    "flow_id": flow.flow_id,
+                    "weight": flow.weight,
+                    "guaranteed_rate_bps": flow.guaranteed_rate_bps,
+                    "last_finish_tag": flow.last_finish_tag,
+                }
+                for flow in self.flows
+            ],
+            "dropped": self.dropped,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance.
+
+        The instance must have been constructed with the same link rate
+        and store configuration (format, granularity, capacity) as the
+        one that was snapshotted; the store's own ``load_state``
+        validates its half of that contract.
+        """
+        if state.get("kind") != "hw_wfq_system":
+            raise ConfigurationError(
+                f"not a scheduler system snapshot: kind={state.get('kind')!r}"
+            )
+        if state["rate_bps"] != self.rate_bps:
+            raise ConfigurationError(
+                f"snapshot link rate {state['rate_bps']} != {self.rate_bps}"
+            )
+        for record in state["flows"]:
+            flow_id = int(record["flow_id"])
+            if flow_id in self.flows:
+                flow = self.flows.set_weight(
+                    flow_id,
+                    record["weight"],
+                    guaranteed_rate_bps=record.get("guaranteed_rate_bps"),
+                )
+            else:
+                flow = self.flows.add(
+                    flow_id,
+                    record["weight"],
+                    guaranteed_rate_bps=record.get("guaranteed_rate_bps"),
+                )
+            flow.last_finish_tag = record.get("last_finish_tag", 0.0)
+            self.clock.register(flow_id, record["weight"])
+        self.clock.load_state(state["clock"])
+        self.buffer.load_state(state["buffer"])
+        self.store.load_state(state["store"])
+        self.dropped = int(state.get("dropped", 0))

@@ -160,6 +160,60 @@ class SessionStateTable:
         """Debug view of a session's record (no accounting)."""
         return self._records.get(session)
 
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service-plane snapshots)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot (all fields are integers)."""
+        return {
+            "kind": "session_state_table",
+            "capacity": self.capacity,
+            "frac_bits": self.frac_bits,
+            "record_bits": self.record_bits,
+            "packet_counter": self._packet_counter,
+            "evictions": self.evictions,
+            "stats": self.stats.to_dict(),
+            "records": [
+                [
+                    session,
+                    record.reciprocal_units,
+                    record.last_finish_units,
+                    record.packets_seen,
+                    record.last_active_packet,
+                ]
+                for session, record in sorted(self._records.items())
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "session_state_table":
+            raise ConfigurationError(
+                f"not a session table snapshot: kind={state.get('kind')!r}"
+            )
+        for attr in ("capacity", "frac_bits", "record_bits"):
+            if state[attr] != getattr(self, attr):
+                raise ConfigurationError(
+                    f"snapshot {attr} {state[attr]} != {getattr(self, attr)}"
+                )
+        self._records = {
+            int(session): SessionRecord(
+                reciprocal_units=int(reciprocal),
+                last_finish_units=int(last_finish),
+                packets_seen=int(seen),
+                last_active_packet=int(last_active),
+            )
+            for session, reciprocal, last_finish, seen, last_active
+            in state["records"]
+        }
+        self._packet_counter = int(state["packet_counter"])
+        self.evictions = int(state["evictions"])
+        stats = state.get("stats", {})
+        self.stats = AccessStats(
+            reads=int(stats.get("reads", 0)),
+            writes=int(stats.get("writes", 0)),
+        )
+
 
 def paper_scale_footprint() -> float:
     """The Section IV figure: 8 M sessions in MB of table memory."""

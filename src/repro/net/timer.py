@@ -64,6 +64,10 @@ class TimerWheel:
         #: fabric backends route on an int flow key and carry the token
         #: as opaque payload; plain stores take the token directly
         self._fabric = hasattr(backend, "handle_location")
+        if self._fabric and hasattr(backend, "add_relocation_listener"):
+            # Rebalancing may migrate live entries between shards; the
+            # wheel's token ledger must follow the moved handles.
+            backend.add_relocation_listener(self._apply_relocations)
         #: stable token -> current circuit handle (resets re-map it)
         self._handles: Dict[int, int] = {}
         #: token -> timer id, for cancel/fire reporting
@@ -80,6 +84,15 @@ class TimerWheel:
         self.fired = 0
         #: effective deadlines in fire order (the order-check witness)
         self.fired_effective: List[float] = []
+
+    def _apply_relocations(self, relocations: Dict[int, int]) -> None:
+        """Remap token handles after a fabric backlog migration."""
+        if not relocations:
+            return
+        for token, handle in self._handles.items():
+            moved = relocations.get(handle)
+            if moved is not None:
+                self._handles[token] = moved
 
     def _clamp_count(self) -> int:
         if self._fabric:

@@ -31,10 +31,17 @@ SPAN_KIND = "span"
 INVARIANT_KIND = "invariant_violation"
 #: Kinds emitted by the sharded scheduling fabric (:mod:`repro.fabric`):
 #: flow-to-shard routing, tournament winner selection, online
-#: rebalancing, and overflow spill-to-neighbor.  Shard-local circuit
-#: events keep the :data:`OP_KINDS` above and carry a ``component``
-#: attribute naming their shard.
-FABRIC_KINDS = ("shard_enqueue", "tournament_select", "rebalance", "spill")
+#: rebalancing (plus the backlog migration it triggers), and overflow
+#: spill-to-neighbor.  Shard-local circuit events keep the
+#: :data:`OP_KINDS` above and carry a ``component`` attribute naming
+#: their shard.
+FABRIC_KINDS = (
+    "shard_enqueue",
+    "tournament_select",
+    "rebalance",
+    "shard_migrate",
+    "spill",
+)
 #: Kinds emitted by the live observability plane: an SLO rule breached
 #: for the first time (:mod:`repro.obs.slo`) and a stall detected by the
 #: progress watchdog (:mod:`repro.obs.flight`).  Both are telemetry

@@ -34,6 +34,24 @@ class PacketScheduler(ABC):
         """Register a flow before (or at) its first packet."""
         self.flows.add(flow_id, weight, **kwargs)
 
+    def set_flow_weight(
+        self,
+        flow_id: int,
+        weight: float,
+        *,
+        guaranteed_rate_bps: Optional[float] = None,
+    ) -> None:
+        """Reconfigure a registered flow's weight on a live scheduler.
+
+        Future tags are computed against the new weight; packets already
+        queued keep the tags they were assigned — the standard WFQ
+        renegotiation semantics (the GPS reference changes share from
+        the reconfiguration instant forward).
+        """
+        self.flows.set_weight(
+            flow_id, weight, guaranteed_rate_bps=guaranteed_rate_bps
+        )
+
     @abstractmethod
     def enqueue(self, packet: Packet, now: float) -> None:
         """Accept an arriving packet at real time ``now``."""

@@ -75,6 +75,34 @@ class FlowTable:
             flow = self.add(flow_id)
         return flow
 
+    def set_weight(
+        self,
+        flow_id: int,
+        weight: float,
+        *,
+        guaranteed_rate_bps: Optional[float] = None,
+    ) -> Flow:
+        """Reconfigure a registered flow's weight in place.
+
+        Unlike :meth:`add` this *requires* the flow to exist — it is the
+        SLA-renegotiation path (admission control re-deriving weights on
+        a live scheduler), where a typo'd flow id must fail loudly
+        rather than silently register a fresh default-weight flow.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise ConfigurationError(
+                f"flow {flow_id} is not registered; add it first"
+            )
+        if weight <= 0:
+            raise ConfigurationError(
+                f"flow {flow_id}: weight must be positive"
+            )
+        flow.weight = weight
+        if guaranteed_rate_bps is not None:
+            flow.guaranteed_rate_bps = guaranteed_rate_bps
+        return flow
+
     def __contains__(self, flow_id: int) -> bool:
         return flow_id in self._flows
 

@@ -36,6 +36,36 @@ class Packet:
         """Wire size in bits."""
         return self.size_bytes * 8
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (service-plane checkpoint records)."""
+        return {
+            "flow_id": self.flow_id,
+            "size_bytes": self.size_bytes,
+            "arrival_time": self.arrival_time,
+            "packet_id": self.packet_id,
+            "start_tag": self.start_tag,
+            "finish_tag": self.finish_tag,
+            "departure_time": self.departure_time,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Packet":
+        """Rebuild a packet from its :meth:`to_dict` form.
+
+        The restored packet keeps the recorded ``packet_id`` — the
+        global id counter is not rewound, so fresh packets created after
+        a restore never collide with the resurrected ones.
+        """
+        return cls(
+            flow_id=record["flow_id"],
+            size_bytes=record["size_bytes"],
+            arrival_time=record["arrival_time"],
+            packet_id=record["packet_id"],
+            start_tag=record.get("start_tag"),
+            finish_tag=record.get("finish_tag"),
+            departure_time=record.get("departure_time"),
+        )
+
     @property
     def delay(self) -> Optional[float]:
         """Queueing + transmission delay, once departed."""

@@ -181,3 +181,56 @@ class VirtualClock:
         self._outstanding.clear()
         self._busy_weight = 0.0
         self._last_finish.clear()
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (service-plane snapshots)
+
+    def to_state(self) -> dict:
+        """Exact serializable snapshot of the GPS reference state.
+
+        The heap is serialized in its list (heap-array) order and the
+        floats ride through JSON repr-exactly, so a restored clock issues
+        bit-identical tags for the same subsequent arrivals — the
+        property the service plane's restart-fidelity check rests on.
+        """
+        return {
+            "kind": "virtual_clock",
+            "rate_bps": self.rate_bps,
+            "now": self._now,
+            "virtual": self._virtual,
+            "busy_weight": self._busy_weight,
+            "weights": sorted(self._weights.items()),
+            "last_finish": sorted(self._last_finish.items()),
+            "outstanding": sorted(self._outstanding.items()),
+            "gps_heap": [[tag, session] for tag, session in self._gps_heap],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`to_state` snapshot into this instance."""
+        if state.get("kind") != "virtual_clock":
+            raise ConfigurationError(
+                f"not a virtual clock snapshot: kind={state.get('kind')!r}"
+            )
+        if state["rate_bps"] != self.rate_bps:
+            raise ConfigurationError(
+                f"snapshot link rate {state['rate_bps']} != {self.rate_bps}"
+            )
+        self._now = state["now"]
+        self._virtual = state["virtual"]
+        self._busy_weight = state["busy_weight"]
+        self._weights = {
+            int(session): weight for session, weight in state["weights"]
+        }
+        self._last_finish = {
+            int(session): finish
+            for session, finish in state["last_finish"]
+        }
+        self._outstanding = {
+            int(session): int(count)
+            for session, count in state["outstanding"]
+        }
+        # A to_state list is already a valid heap array (serialized in
+        # place); restoring it verbatim preserves tie order exactly.
+        self._gps_heap = [
+            (tag, int(session)) for tag, session in state["gps_heap"]
+        ]

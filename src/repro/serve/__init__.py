@@ -1,0 +1,34 @@
+"""The always-on service plane: ``python -m repro serve``.
+
+Everything below this package turns the reproduced hardware — WFQ tag
+computation, shared packet buffer, sharded sort/retrieve fabric — into a
+long-running scheduling *service*:
+
+* :mod:`repro.serve.protocol` — the line-delimited JSON wire protocol
+  (one request object per line, one response object per line);
+* :mod:`repro.serve.sessions` — per-tenant flow sessions bridging SLA
+  admission control and the per-session state table into live
+  connection state;
+* :mod:`repro.serve.backpressure` — ECN-style marking and admission
+  rejection driven by shared-buffer occupancy;
+* :mod:`repro.serve.server` — the asyncio TCP server and its paced
+  drain loop;
+* :mod:`repro.serve.lifecycle` — periodic exact snapshots, graceful
+  shutdown, and crash recovery that provably continues the identical
+  service order;
+* :mod:`repro.serve.client` — a synchronous client plus deterministic
+  load scripts (``python -m repro client``).
+"""
+
+from .backpressure import BackpressureController, BackpressureDecision
+from .protocol import ProtocolDecodeError, decode_line, encode
+from .sessions import SessionManager
+
+__all__ = [
+    "BackpressureController",
+    "BackpressureDecision",
+    "ProtocolDecodeError",
+    "SessionManager",
+    "decode_line",
+    "encode",
+]

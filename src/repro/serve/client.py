@@ -1,0 +1,349 @@
+"""``python -m repro client`` — load driver for the serve plane.
+
+A small synchronous client speaking the line-delimited JSON protocol,
+plus a deterministic workload generator.  Two properties matter:
+
+* **Determinism** — the op stream is a pure function of
+  ``(seed, flows, tenants, ops)``; two clients with the same parameters
+  submit byte-identical request streams.  Combined with the server's
+  virtual arrival clock, the *schedule* is then deterministic too.
+* **Slice safety** — every generated op is self-contained (a
+  ``cancel`` cancels the handle returned by its *own* paired enqueue,
+  never one from an earlier op), so the stream can be split at any
+  index: run ops ``[0, k)``, SIGTERM the server, restart from the
+  snapshot, run ops ``[k, n)`` — exactly what the restart-parity CI job
+  does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import socket
+import sys
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .protocol import ProtocolDecodeError, decode_line, encode
+
+
+class ServeClient:
+    """One connection to a serve endpoint; blocking request/response."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        retries: int = 0,
+        retry_delay: float = 0.2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        """Open the connection (with optional retries for slow starts)."""
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rb")
+                return self
+            except OSError:
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                time.sleep(self.retry_delay)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, block for its response."""
+        if self._sock is None:
+            raise ConnectionError("client is not connected")
+        self._sock.sendall(encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            return decode_line(line)
+        except ProtocolDecodeError as exc:
+            raise ConnectionError(f"unparseable response: {exc}") from exc
+
+    # convenience verbs -------------------------------------------------
+
+    def hello(self) -> Dict[str, Any]:
+        return self.request({"op": "hello"})
+
+    def open_flow(
+        self, tenant: str, flow: int, rate_bps: float, **optional: Any
+    ) -> Dict[str, Any]:
+        message = {
+            "op": "open",
+            "tenant": tenant,
+            "flow": flow,
+            "rate_bps": rate_bps,
+        }
+        message.update(optional)
+        return self.request(message)
+
+    def enqueue(self, flow: int, size: int) -> Dict[str, Any]:
+        return self.request({"op": "enqueue", "flow": flow, "size": size})
+
+    def cancel(self, handle: int) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "handle": handle})
+
+    def reschedule(self, handle: int, tag: float) -> Dict[str, Any]:
+        return self.request(
+            {"op": "reschedule", "handle": handle, "tag": tag}
+        )
+
+    def drain(self, count: int) -> Dict[str, Any]:
+        return self.request({"op": "drain", "count": count})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.request({"op": "snapshot"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+
+# ----------------------------------------------------------------------
+# deterministic workload
+
+
+def build_script(
+    *,
+    seed: int,
+    flows: int,
+    tenants: int,
+    ops: int,
+    rate_min_bps: float = 1e6,
+    rate_max_bps: float = 10e6,
+    size_min: int = 64,
+    size_max: int = 1500,
+    cancel_ratio: float = 0.05,
+    reschedule_ratio: float = 0.05,
+    drain_ratio: float = 0.2,
+    drain_batch: int = 32,
+) -> List[Tuple]:
+    """The deterministic op stream: opens first, then the mixed soak.
+
+    Returns abstract ops the executor materializes:
+    ``("open", tenant, flow, rate)``, ``("enqueue", flow, size)``,
+    ``("enqueue_cancel", flow, size)``,
+    ``("enqueue_reschedule", flow, size, tag_bump)``, and
+    ``("drain", count)``.  The compound ops keep every entry
+    self-contained — see the module docstring.
+    """
+    rng = random.Random(seed)
+    script: List[Tuple] = []
+    for flow in range(flows):
+        rate = rng.uniform(rate_min_bps, rate_max_bps)
+        script.append(("open", f"tenant-{flow % tenants}", flow, rate))
+    for _ in range(ops):
+        roll = rng.random()
+        flow = rng.randrange(flows)
+        size = rng.randint(size_min, size_max)
+        if roll < drain_ratio:
+            script.append(("drain", drain_batch))
+        elif roll < drain_ratio + cancel_ratio:
+            script.append(("enqueue_cancel", flow, size))
+        elif roll < drain_ratio + cancel_ratio + reschedule_ratio:
+            script.append(
+                ("enqueue_reschedule", flow, size, rng.randint(1, 64))
+            )
+        else:
+            script.append(("enqueue", flow, size))
+    return script
+
+
+def run_script(
+    client: ServeClient,
+    script: List[Tuple],
+    *,
+    start: int = 0,
+    stop: Optional[int] = None,
+    granularity: Optional[float] = None,
+) -> Dict[str, int]:
+    """Execute ``script[start:stop]``; returns outcome counters.
+
+    ``granularity`` scales the reschedule tag bump (fetched from
+    ``hello`` when not given) so rescheduled tags stay well inside the
+    span guard.
+    """
+    if granularity is None:
+        granularity = client.hello().get("granularity", 1.0)
+    counters = {
+        "ops": 0,
+        "ok": 0,
+        "rejected": 0,
+        "marked": 0,
+        "served": 0,
+    }
+    for op in script[start:stop]:
+        counters["ops"] += 1
+        kind = op[0]
+        if kind == "open":
+            response = client.open_flow(op[1], op[2], op[3])
+        elif kind == "enqueue":
+            response = client.enqueue(op[1], op[2])
+        elif kind == "enqueue_cancel":
+            response = client.enqueue(op[1], op[2])
+            if response.get("ok"):
+                if response.get("ecn"):
+                    counters["marked"] += 1
+                response = client.cancel(response["handle"])
+        elif kind == "enqueue_reschedule":
+            response = client.enqueue(op[1], op[2])
+            if response.get("ok"):
+                if response.get("ecn"):
+                    counters["marked"] += 1
+                response = client.reschedule(
+                    response["handle"],
+                    response["tag"] + op[3] * granularity,
+                )
+        elif kind == "drain":
+            response = client.drain(op[1])
+            if response.get("ok"):
+                counters["served"] += len(response["served"])
+        else:  # pragma: no cover - script builder emits no other kinds
+            raise ValueError(f"unknown script op {kind!r}")
+        if response.get("ok"):
+            counters["ok"] += 1
+            if response.get("ecn"):
+                counters["marked"] += 1
+        else:
+            counters["rejected"] += 1
+    return counters
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description=(
+            "Drive a serve endpoint with a deterministic mixed workload "
+            "(opens, enqueues, cancels, reschedules, drains)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--flows", type=int, default=64)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--ops", type=int, default=1000)
+    parser.add_argument(
+        "--start", type=int, default=0, help="first script index to run"
+    )
+    parser.add_argument(
+        "--stop",
+        type=int,
+        default=None,
+        help="stop before this script index (default: run to the end)",
+    )
+    parser.add_argument("--rate-min", type=float, default=1e6)
+    parser.add_argument("--rate-max", type=float, default=10e6)
+    parser.add_argument("--size-min", type=int, default=64)
+    parser.add_argument("--size-max", type=int, default=1500)
+    parser.add_argument("--cancel-ratio", type=float, default=0.05)
+    parser.add_argument("--reschedule-ratio", type=float, default=0.05)
+    parser.add_argument("--drain-ratio", type=float, default=0.2)
+    parser.add_argument("--drain-batch", type=int, default=32)
+    parser.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        help="retry the TCP connect this many times (server still booting)",
+    )
+    parser.add_argument(
+        "--drain-rest",
+        action="store_true",
+        help="after the script, drain the remaining backlog to zero",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true", help="send shutdown at the end"
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write the outcome counters + final server stats here",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    script = build_script(
+        seed=args.seed,
+        flows=args.flows,
+        tenants=args.tenants,
+        ops=args.ops,
+        rate_min_bps=args.rate_min,
+        rate_max_bps=args.rate_max,
+        size_min=args.size_min,
+        size_max=args.size_max,
+        cancel_ratio=args.cancel_ratio,
+        reschedule_ratio=args.reschedule_ratio,
+        drain_ratio=args.drain_ratio,
+        drain_batch=args.drain_batch,
+    )
+    client = ServeClient(
+        args.host, args.port, retries=args.connect_retries
+    )
+    with client:
+        counters = run_script(
+            client, script, start=args.start, stop=args.stop
+        )
+        if args.drain_rest:
+            while True:
+                response = client.drain(4096)
+                if not response.get("ok"):
+                    break
+                counters["served"] += len(response["served"])
+                if response["backlog"] == 0:
+                    break
+        stats = client.stats().get("stats", {})
+        if args.shutdown:
+            client.shutdown()
+    summary = {"counters": counters, "stats": stats}
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(counters, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

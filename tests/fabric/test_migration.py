@@ -1,0 +1,180 @@
+"""Backlog migration: repinned flows take their queued entries along."""
+
+import pytest
+
+from repro.fabric.fabric import ScheduleFabric
+from repro.fabric.manager import FabricPolicy
+from repro.net.timer import TimerWheel
+from repro.obs.monitors import MonitorSuite
+from repro.obs.tracer import Tracer
+
+#: arms a rebalance quickly and allows immediate re-arms
+AGGRESSIVE = dict(
+    spill_threshold=1.0,
+    rebalance_ratio=2.0,
+    rebalance_min_backlog=32,
+    rebalance_cooldown_ops=1,
+    max_moves_per_rebalance=4,
+)
+
+
+def _hot_fabric(**policy_overrides):
+    policy = FabricPolicy(**{**AGGRESSIVE, **policy_overrides})
+    return ScheduleFabric(
+        shards=2, granularity=1.0, capacity_per_shard=4096, policy=policy
+    )
+
+
+def test_migration_moves_queued_entries():
+    """The skew that armed the rebalance shrinks immediately."""
+    fabric = _hot_fabric()
+    for index in range(200):
+        fabric.push(float(index % 100), 11)
+    assert fabric.manager.rebalance_count > 0
+    assert fabric.manager.entries_migrated > 0
+    # Both shards now hold backlog: the migration moved roughly half the
+    # gap instead of waiting for the hot shard to drain.
+    occupancies = fabric.occupancies()
+    assert min(occupancies) > 0
+    assert len(fabric) == 200
+
+
+def test_migration_disabled_restores_legacy_behavior():
+    fabric = _hot_fabric(migrate_backlog=False)
+    home = fabric.partitioner.shard_for(11)
+    for index in range(200):
+        fabric.push(float(index % 100), 11)
+    assert fabric.manager.rebalance_count > 0
+    assert fabric.manager.entries_migrated == 0
+    # Queued entries stayed home; only post-repin arrivals landed on the
+    # new shard, so the old home still carries the larger backlog.
+    occupancies = fabric.occupancies()
+    assert occupancies[home] > occupancies[1 - home]
+
+
+def test_migration_conserves_entries_and_flow_order():
+    """No tag is lost and within-flow FCFS survives the move."""
+    fabric = _hot_fabric()
+    # Strictly increasing tags: within-flow service order must equal
+    # arrival order no matter how entries moved between shards.
+    payloads = []
+    for index in range(300):
+        fabric.push(float(index), 11, payload=("pkt", index))
+        payloads.append(("pkt", index))
+    assert fabric.manager.entries_migrated > 0
+    served = [fabric.pop_min() for _ in range(300)]
+    served_payloads = [payload for _, payload in served]
+    assert served_payloads == payloads
+
+
+def test_handles_stay_valid_with_listener_remapping():
+    """A caller following relocations can remove every entry by handle.
+
+    push() itself returns the post-migration handle for the entry it
+    just inserted; handles issued *earlier* are kept fresh through the
+    relocation listener — the contract TimerWheel and the serve ledger
+    build on.
+    """
+    fabric = _hot_fabric()
+    handles = {}
+
+    def remap(relocations):
+        moved = [
+            (new, handles.pop(old))
+            for old, new in relocations.items()
+            if old in handles
+        ]
+        for new, index in moved:
+            handles[new] = index
+
+    fabric.add_relocation_listener(remap)
+    for index in range(250):
+        handles[fabric.push(float(index), 11, payload=("pkt", index))] = index
+    assert fabric.manager.entries_migrated > 0
+    # Every tracked handle still names its own payload.
+    for handle, index in sorted(handles.items()):
+        tag, payload = fabric.remove(handle)
+        assert tag == float(index)
+        assert payload == ("pkt", index)
+    assert len(fabric) == 0
+
+
+def test_relocation_listener_reports_remaps():
+    fabric = _hot_fabric()
+    seen = {}
+    fabric.add_relocation_listener(seen.update)
+    live = {}
+    for index in range(250):
+        live[fabric.push(float(index), 11)] = index
+    assert fabric.manager.entries_migrated > 0
+    assert seen  # the migration announced its moves
+    # Old handles disappear from the live set, new ones are resolvable.
+    for old, new in seen.items():
+        if old in live:
+            index = live.pop(old)
+            live[new] = index
+    for handle, index in list(live.items())[:16]:
+        tag, _ = fabric.remove(handle)
+        assert tag == float(index)
+
+
+def test_timer_tokens_survive_migration():
+    """A TimerWheel over the fabric keeps tokens valid across moves."""
+    policy = FabricPolicy(**AGGRESSIVE)
+    fabric = ScheduleFabric(
+        shards=2, granularity=1.0, capacity_per_shard=4096, policy=policy
+    )
+    wheel = TimerWheel(fabric)
+    # One hot connection id: every timer lands on its home shard, which
+    # arms the rebalance (the fabric routes timers on their id).
+    tokens = [wheel.arm(float(index), 11) for index in range(200)]
+    assert fabric.manager.entries_migrated > 0
+    # Cancel a spread of tokens: every one still resolves post-move.
+    for index in (1, 50, 150, 199):
+        assert wheel.cancel(tokens[index]) == 11
+    assert wheel.pending == 196
+    # The survivors still expire in deadline order.
+    fired = wheel.expire_until(500.0)
+    assert [deadline for deadline, _ in fired] == sorted(
+        float(index) for index in range(200) if index not in (1, 50, 150, 199)
+    )
+
+
+def test_migration_emits_events_and_keeps_monitors_clean():
+    tracer = Tracer(buffer_size=65536)
+    policy = FabricPolicy(**AGGRESSIVE)
+    fabric = ScheduleFabric(
+        shards=2,
+        granularity=1.0,
+        capacity_per_shard=4096,
+        policy=policy,
+        tracer=tracer,
+    )
+    suite = MonitorSuite.for_circuit(fabric.stores[0].circuit, tracer=tracer)
+    tracer.add_observer(suite)
+    for index in range(300):
+        fabric.push(float(index % 100), 11)
+    for _ in range(300):
+        fabric.pop_min()
+    migrations = tracer.events("shard_migrate")
+    assert migrations
+    event = migrations[0]
+    assert event.attrs["entries"] >= 1
+    assert event.attrs["source"] != event.attrs["target"]
+    assert suite.ok, [str(v) for v in suite.violations]
+
+
+def test_full_target_skips_migration_without_loss():
+    """A target shard with no free slots refuses entries gracefully."""
+    policy = FabricPolicy(**AGGRESSIVE)
+    fabric = ScheduleFabric(
+        shards=2, granularity=1.0, capacity_per_shard=150, policy=policy
+    )
+    # Fill both shards near capacity with distinct flows, then skew one.
+    for index in range(140):
+        fabric.push(float(index), 11)  # home shard of flow 11
+    total = len(fabric)
+    for index in range(100):
+        fabric.push(float(index % 50), 11)
+        total += 1
+    assert len(fabric) == total  # nothing vanished, spills included

@@ -67,6 +67,13 @@ class TestExamples:
         assert "identical after restore" in out
         assert "DIVERGED" not in out
 
+    def test_live_service(self, capsys):
+        out = run_example("live_service", capsys)
+        assert "ECN-marked" in out
+        assert "/health -> ok" in out
+        assert "IDENTICAL to uninterrupted reference" in out
+        assert "MISMATCH" not in out
+
     def test_every_example_has_a_test(self):
         """Adding an example without a smoke test fails this meta-check."""
         scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}

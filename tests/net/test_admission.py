@@ -134,3 +134,109 @@ class TestEndToEndBound:
         controller.configure(scheduler)
         assert scheduler.flows.get(1).weight == pytest.approx(0.25)
         assert scheduler.flows.get(1).guaranteed_rate_bps == 2.5e6
+
+
+class TestChurnAccounting:
+    def test_interleaved_admit_release_is_exact_across_tenants(self):
+        """Committed rate stays *exactly* the sum of admitted SLAs.
+
+        The controller maintains the total incrementally (O(1) per op);
+        heavy interleaved churn with awkward float rates must never
+        drift it from the true sum — the invariant the service plane's
+        admission decisions for millions of flows depend on.
+        """
+        import random
+
+        controller = AdmissionController(40e9, utilization_limit=1.0)
+        rng = random.Random(20060923)
+        live = {}
+        for step in range(5000):
+            if live and rng.random() < 0.45:
+                flow = rng.choice(sorted(live))
+                controller.release(flow)
+                del live[flow]
+            else:
+                flow = rng.randrange(10_000)
+                if flow in live:
+                    continue
+                # Rates like 1234567.89 are not exactly representable
+                # sums; only exact accounting survives this churn.
+                rate = rng.uniform(1e4, 1e6) + rng.random()
+                if controller.admit(sla(flow, rate)).admitted:
+                    live[flow] = rate
+            if step % 500 == 0:
+                # The reference itself must be exact: a float sum() over
+                # thousands of rates carries its own rounding noise.
+                from fractions import Fraction
+
+                expected = sum(
+                    Fraction(s.guaranteed_rate_bps)
+                    for s in controller.admitted_slas().values()
+                )
+                assert controller.committed_rate_bps == float(expected)
+        # Release everything: the total returns to exactly zero.
+        for flow in sorted(live):
+            controller.release(flow)
+        assert controller.committed_rate_bps == 0.0
+        assert controller.admitted_count == 0
+
+    def test_released_capacity_readmits_to_the_limit(self):
+        controller = AdmissionController(10e6, utilization_limit=1.0)
+        assert controller.admit(sla(1, 6e6)).admitted
+        assert controller.admit(sla(2, 4e6)).admitted
+        assert not controller.admit(sla(3, 1e5)).admitted
+        controller.release(1)
+        # The freed 6 Mb/s is available again, exactly.
+        assert controller.available_rate_bps == pytest.approx(6e6)
+        assert controller.admit(sla(3, 6e6)).admitted
+        assert not controller.admit(sla(4, 1.0)).admitted
+
+    def test_min_rate_floor_rejects_featherweight_slas(self):
+        controller = AdmissionController(10e9, min_rate_bps=1e5)
+        decision = controller.admit(sla(1, 5e4))
+        assert not decision.admitted
+        assert "floor" in decision.reason
+        assert controller.admit(sla(2, 1e5)).admitted
+
+
+class TestConfigureLiveScheduler:
+    def test_configure_reconfigures_weights_on_live_scheduler(self):
+        """Re-running configure() after SLA churn updates live flows."""
+        controller = AdmissionController(10e6, utilization_limit=1.0)
+        controller.admit(sla(1, 2e6))
+        controller.admit(sla(2, 3e6))
+        scheduler = WFQScheduler(10e6)
+        controller.configure(scheduler)
+        assert scheduler.flows.get(1).weight == pytest.approx(0.2)
+        # Churn: flow 1 renegotiates (release + re-admit), flow 3 joins.
+        controller.release(1)
+        controller.admit(sla(1, 4e6))
+        controller.admit(sla(3, 1e6))
+        controller.configure(scheduler)
+        assert scheduler.flows.get(1).weight == pytest.approx(0.4)
+        assert scheduler.flows.get(2).weight == pytest.approx(0.3)
+        assert scheduler.flows.get(3).weight == pytest.approx(0.1)
+
+    def test_configure_updates_hardware_system_between_packets(self):
+        """On the circuit-backed system, reweighting works while the
+        store is empty (explicit granularity) and the new weight shapes
+        subsequent finishing tags."""
+        from repro.net.scheduler_system import HardwareWFQSystem
+        from repro.sched.packet import Packet
+
+        controller = AdmissionController(10e6, utilization_limit=1.0)
+        controller.admit(sla(1, 2e6))
+        system = HardwareWFQSystem(10e6, granularity=64.0)
+        controller.configure(system)
+        packet = Packet(flow_id=1, size_bytes=125, arrival_time=0.0)
+        system.enqueue(packet, 0.0)
+        first_tag = packet.finish_tag
+        assert system.select_next(0.0) is packet
+        # Double the flow's rate; the same packet length now finishes
+        # in half the virtual time.
+        controller.release(1)
+        controller.admit(sla(1, 4e6))
+        controller.configure(system)
+        packet2 = Packet(flow_id=1, size_bytes=125, arrival_time=0.0)
+        system.enqueue(packet2, 0.0)
+        assert packet2.finish_tag < first_tag * 2

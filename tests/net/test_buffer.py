@@ -70,3 +70,53 @@ class TestSharedPacketBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ConfigurationError):
             SharedPacketBuffer(0)
+
+
+class TestOccupancyTelemetry:
+    def test_high_watermark_tracks_peak_live_occupancy(self):
+        buffer = SharedPacketBuffer(8)
+        assert buffer.high_watermark == 0
+        pointers = [buffer.store(make_packet()) for _ in range(5)]
+        assert buffer.high_watermark == 5
+        for pointer in pointers:
+            buffer.fetch(pointer)
+        # Draining never lowers the watermark.
+        assert buffer.occupancy == 0
+        assert buffer.high_watermark == 5
+        buffer.store(make_packet())
+        assert buffer.high_watermark == 5
+
+    def test_mark_threshold_fraction(self):
+        buffer = SharedPacketBuffer(100)
+        assert buffer.mark_threshold(0.65) == 65
+        assert buffer.mark_threshold(1.0) == 100
+        # At least one slot, even for tiny buffers/fractions.
+        assert SharedPacketBuffer(2).mark_threshold(0.1) == 1
+        with pytest.raises(ConfigurationError):
+            buffer.mark_threshold(0.0)
+        with pytest.raises(ConfigurationError):
+            buffer.mark_threshold(1.5)
+
+    def test_try_store_reject_records_occupancy_read(self):
+        """A refused try_store still books the occupancy check."""
+        buffer = SharedPacketBuffer(1)
+        buffer.try_store(make_packet())
+        reads_before = buffer.stats.reads
+        assert buffer.try_store(make_packet()) is None
+        assert buffer.drop_count == 1
+        assert buffer.stats.reads == reads_before + 1
+
+    def test_state_roundtrip_preserves_telemetry(self):
+        import json
+
+        buffer = SharedPacketBuffer(4)
+        pointers = [buffer.store(make_packet(flow=i)) for i in range(3)]
+        buffer.fetch(pointers[0])
+        buffer.try_store(make_packet())  # fits: occupancy 2/4
+        state = json.loads(json.dumps(buffer.to_state()))
+        restored = SharedPacketBuffer.from_state(state)
+        assert restored.occupancy == buffer.occupancy
+        assert restored.high_watermark == buffer.high_watermark
+        assert restored.drop_count == buffer.drop_count
+        # The restored buffer serves the same live pointers.
+        assert restored.fetch(pointers[1]).flow_id == 1

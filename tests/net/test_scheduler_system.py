@@ -202,3 +202,57 @@ class TestSystemBatchPaths:
         system = HardwareWFQSystem(1e6)
         system.add_flow(0)
         assert system.select_batch(5, now=0.0) == []
+
+
+class TestStateRoundtrip:
+    def test_checkpoint_restore_continues_identical_service(self):
+        """to_state/load_state resumes mid-schedule, exactly."""
+        import json
+
+        from repro.net.scheduler_system import HardwareWFQSystem
+
+        def build():
+            system = HardwareWFQSystem(10e6, granularity=512.0)
+            system.add_flow(1, 0.5, guaranteed_rate_bps=5e6)
+            system.add_flow(2, 0.3)
+            return system
+
+        system = build()
+        now = 0.0
+        for index in range(60):
+            packet = Packet(
+                flow_id=1 + index % 2,
+                size_bytes=100 + index,
+                arrival_time=now,
+            )
+            system.enqueue(packet, now)
+            now += 1e-4
+        for _ in range(20):
+            system.select_next(now)
+        state = json.loads(json.dumps(system.to_state()))
+        restored = build()
+        restored.load_state(state)
+        assert restored.backlog == system.backlog
+        assert restored.dropped == system.dropped
+        # Both serve the identical remaining stream.
+        while system.backlog:
+            left = system.select_next(now)
+            right = restored.select_next(now)
+            assert right is not None
+            assert (left.flow_id, left.size_bytes, left.finish_tag) == (
+                right.flow_id,
+                right.size_bytes,
+                right.finish_tag,
+            )
+
+    def test_load_state_rejects_mismatched_link(self):
+        import json
+
+        from repro.hwsim.errors import ConfigurationError
+        from repro.net.scheduler_system import HardwareWFQSystem
+
+        system = HardwareWFQSystem(10e6, granularity=64.0)
+        state = json.loads(json.dumps(system.to_state()))
+        other = HardwareWFQSystem(20e6, granularity=64.0)
+        with pytest.raises(ConfigurationError):
+            other.load_state(state)

@@ -98,3 +98,39 @@ class TestLifecycle:
         assert table.evictions == 1
         assert table.record_of(1) is None
         assert table.record_of(2) is not None
+
+
+class TestStateRoundtrip:
+    def test_roundtrip_preserves_records_and_stats(self):
+        import json
+
+        table = SessionStateTable(8)
+        table.provision(3, 0.25)
+        table.provision(5, 0.5)
+        table.compute_finish_tag(3, 1000, 0.0)
+        table.compute_finish_tag(5, 2000, 1.0)
+        state = json.loads(json.dumps(table.to_state()))
+        restored = SessionStateTable(8)
+        restored.load_state(state)
+        assert restored.active_sessions == 2
+        original = table.record_of(3)
+        copy = restored.record_of(3)
+        assert copy.last_finish_units == original.last_finish_units
+        assert copy.reciprocal_units == original.reciprocal_units
+        assert restored.stats.reads == table.stats.reads
+        assert restored.stats.writes == table.stats.writes
+        # The restored table continues the same tag datapath.
+        assert restored.compute_finish_tag(
+            3, 500, 2.0
+        ) == table.compute_finish_tag(3, 500, 2.0)
+
+    def test_geometry_mismatch_rejected(self):
+        import json
+
+        from repro.hwsim.errors import ConfigurationError
+
+        table = SessionStateTable(8)
+        state = json.loads(json.dumps(table.to_state()))
+        other = SessionStateTable(16)
+        with pytest.raises(ConfigurationError):
+            other.load_state(state)

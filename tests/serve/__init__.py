@@ -1,0 +1,1 @@
+"""Service-plane tests."""

@@ -1,0 +1,135 @@
+"""Backpressure marking schemes against a real shared buffer."""
+
+import pytest
+
+from repro.hwsim.errors import ConfigurationError
+from repro.net.buffer import SharedPacketBuffer
+from repro.sched.packet import Packet
+from repro.serve.backpressure import BackpressureController
+
+
+def fill(buffer, count):
+    for index in range(count):
+        buffer.store(Packet(flow_id=0, size_bytes=64, arrival_time=0.0))
+
+
+class TestShared:
+    def test_clear_buffer_accepts_unmarked(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(buffer, scheme="shared")
+        decision = controller.decide(1)
+        assert decision.accept and not decision.mark
+        assert controller.accepted == 1
+
+    def test_marks_above_fraction(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(
+            buffer, scheme="shared", mark_fraction=0.5, reject_fraction=0.9
+        )
+        fill(buffer, 50)
+        decision = controller.decide(1)
+        assert decision.accept and decision.mark
+        assert controller.marked == 1
+
+    def test_rejects_above_reject_fraction(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(
+            buffer, scheme="shared", mark_fraction=0.5, reject_fraction=0.9
+        )
+        fill(buffer, 90)
+        decision = controller.decide(1)
+        assert not decision.accept
+        assert "reject threshold" in decision.reason
+        assert controller.rejected == 1
+
+
+class TestPerQueue:
+    def test_marks_on_flow_backlog_only(self):
+        buffer = SharedPacketBuffer(1000)
+        backlogs = {1: 5, 2: 64}
+        controller = BackpressureController(
+            buffer,
+            scheme="per_queue",
+            per_queue_mark=64,
+            flow_backlog=backlogs.get,
+        )
+        assert not controller.decide(1).mark
+        assert controller.decide(2).mark
+
+    def test_requires_backlog_accessor(self):
+        with pytest.raises(ConfigurationError):
+            BackpressureController(
+                SharedPacketBuffer(10), scheme="per_queue"
+            )
+
+
+class TestWeighted:
+    def test_threshold_scales_with_weight_share(self):
+        buffer = SharedPacketBuffer(100)
+        backlogs = {1: 10, 2: 10}
+        shares = {1: 0.5, 2: 0.05}
+        controller = BackpressureController(
+            buffer,
+            scheme="weighted",
+            mark_fraction=0.65,  # mark region: 65 slots
+            flow_backlog=backlogs.get,
+            weight_share=shares.get,
+        )
+        # Flow 1 may hold 32 slots unmarked; flow 2 only 3.
+        assert not controller.decide(1).mark
+        assert controller.decide(2).mark
+
+    def test_one_packet_floor(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(
+            buffer,
+            scheme="weighted",
+            flow_backlog=lambda _f: 0,
+            weight_share=lambda _f: 0.0,
+        )
+        assert not controller.decide(1).mark
+
+
+class TestConfigAndState:
+    def test_bad_scheme(self):
+        with pytest.raises(ConfigurationError):
+            BackpressureController(SharedPacketBuffer(4), scheme="magic")
+
+    def test_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            BackpressureController(
+                SharedPacketBuffer(4),
+                mark_fraction=0.9,
+                reject_fraction=0.5,
+            )
+
+    def test_state_roundtrip(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(buffer, scheme="shared")
+        fill(buffer, 70)
+        controller.decide(1)
+        controller.decide(1)
+        state = controller.to_state()
+        fresh = BackpressureController(buffer, scheme="shared")
+        fresh.load_state(state)
+        assert fresh.accepted == controller.accepted
+        assert fresh.marked == controller.marked
+
+    def test_state_scheme_mismatch_rejected(self):
+        buffer = SharedPacketBuffer(100)
+        controller = BackpressureController(buffer, scheme="shared")
+        other = BackpressureController(
+            buffer, scheme="per_queue", flow_backlog=lambda _f: 0
+        )
+        with pytest.raises(ConfigurationError):
+            other.load_state(controller.to_state())
+
+    def test_describe_reports_thresholds(self):
+        controller = BackpressureController(
+            SharedPacketBuffer(100),
+            mark_fraction=0.65,
+            reject_fraction=0.9,
+        )
+        description = controller.describe()
+        assert description["mark_threshold"] == 65
+        assert description["reject_threshold"] == 90
