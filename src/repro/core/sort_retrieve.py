@@ -56,7 +56,16 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..hwsim.errors import (
     CapacityError,
@@ -76,41 +85,20 @@ from .words import PAPER_FORMAT, WordFormat
 FIXED_OP_CYCLES = 4
 
 
-class ServedTag:
+class ServedTag(NamedTuple):
     """A tag retrieved from the circuit.
 
-    A frozen-dataclass-shaped ``__slots__`` class: one is allocated per
-    dequeue, so the per-instance ``__dict__`` and the frozen dataclass's
-    checked ``__setattr__`` are measurable hot-path overhead.
+    A named tuple: one is allocated per dequeue, so construction speed
+    is hot-path overhead.  ``tuple.__new__`` (reachable in bulk as
+    ``map(ServedTag._make, zip(...))``) builds instances without a
+    Python frame per serve, which the vector engine's batch drain
+    leans on; immutability and value equality/hashing come with the
+    tuple for free.
     """
 
-    __slots__ = ("tag", "payload", "address")
-
-    def __init__(self, tag: int, payload: Any = None, address: int = 0) -> None:
-        object.__setattr__(self, "tag", tag)
-        object.__setattr__(self, "payload", payload)
-        object.__setattr__(self, "address", address)
-
-    def __setattr__(self, name: str, value: Any) -> None:
-        raise AttributeError(f"ServedTag is immutable (tried to set {name!r})")
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, ServedTag):
-            return NotImplemented
-        return (
-            self.tag == other.tag
-            and self.payload == other.payload
-            and self.address == other.address
-        )
-
-    def __hash__(self) -> int:
-        return hash((self.tag, self.payload, self.address))
-
-    def __repr__(self) -> str:
-        return (
-            f"ServedTag(tag={self.tag!r}, payload={self.payload!r}, "
-            f"address={self.address!r})"
-        )
+    tag: int
+    payload: Any = None
+    address: int = 0
 
 
 @dataclass

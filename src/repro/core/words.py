@@ -120,3 +120,86 @@ PAPER_FORMAT = WordFormat(levels=3, literal_bits=4)
 
 FIGURE_FORMAT = WordFormat(levels=3, literal_bits=2)
 """The worked-example configuration of Figs. 4 and 5: 6-bit tags."""
+
+
+# ----------------------------------------------------------------------
+# Word-level find-first-set / population-count primitives.
+#
+# The matcher's bit-twiddling (`search_fast` in core/tree.py) inlines
+# these for one node under one mask; the vectorized engine needs the
+# same primitives over whole arrays of node words.  Both variants live
+# here so the tree, the vector engine, and the sizing math share one
+# definition — the hypothesis suite in tests/core/test_word_ffs.py
+# pins the scalar, array, and `search_fast` answers to each other.
+
+def ffs_word(word: int) -> int:
+    """Index of the lowest set bit of ``word`` (-1 when no bit is set).
+
+    The software analogue of the paper's priority-encoder output: the
+    matcher reports the smallest marked literal in a node word.
+    """
+    if word <= 0:
+        if word < 0:
+            raise ConfigurationError(f"ffs_word needs a non-negative word, got {word}")
+        return -1
+    return (word & -word).bit_length() - 1
+
+
+def fls_word(word: int) -> int:
+    """Index of the highest set bit of ``word`` (-1 when no bit is set)."""
+    if word <= 0:
+        if word < 0:
+            raise ConfigurationError(f"fls_word needs a non-negative word, got {word}")
+        return -1
+    return word.bit_length() - 1
+
+
+def popcount_word(word: int) -> int:
+    """Number of set bits in ``word`` (a node's marked-children count)."""
+    if word < 0:
+        raise ConfigurationError(f"popcount_word needs a non-negative word, got {word}")
+    return bin(word).count("1")
+
+
+def ffs_array(words, np):
+    """Per-word lowest-set-bit indices for an integer array (-1 on zero).
+
+    ``np`` is the caller's numpy module (kept a parameter so this module
+    never imports numpy — it must stay importable without it; see
+    :func:`repro.core.engine.require_numpy`).  Uses the isolate-lowest-bit
+    identity ``word & -word`` and a log2 via bit-length-free float
+    conversion: exact for words below 2**53, far wider than any node.
+    """
+    words = np.asarray(words)
+    isolated = words & -words
+    out = np.full(words.shape, -1, dtype=np.int64)
+    nonzero = isolated != 0
+    # float64 holds every power of two in a node word exactly, so the
+    # log2 of the isolated bit is exact integer-valued.
+    out[nonzero] = np.log2(isolated[nonzero].astype(np.float64)).astype(np.int64)
+    return out
+
+
+def popcount_array(words, np, *, bits: int = 16):
+    """Per-word population counts for an integer array.
+
+    SWAR (shift-and-add) over ``bits``-wide words; ``bits`` must cover
+    the widest value present (node words are 16-bit, occupancy bitmaps
+    use 64-bit words).
+    """
+    if bits > 64:
+        raise ConfigurationError(f"popcount_array supports at most 64 bits, got {bits}")
+    # Classic SWAR in uint64 lanes (top-bit-set 64-bit bitmaps included).
+    lanes = np.asarray(words).astype(np.uint64)
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    one, two, four = np.uint64(1), np.uint64(2), np.uint64(4)
+    lanes = lanes - ((lanes >> one) & m1)
+    lanes = (lanes & m2) + ((lanes >> two) & m2)
+    lanes = (lanes + (lanes >> four)) & m4
+    shift = 8
+    while shift < 64:
+        lanes = lanes + (lanes >> np.uint64(shift))
+        shift *= 2
+    return (lanes & np.uint64(0x7F)).astype(np.int64)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.engine import resolve_mode
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..hwsim.errors import ConfigurationError, ProtocolError
 from ..net.hardware_store import HardwareTagStore
@@ -69,6 +70,7 @@ class ScheduleFabric:
         capacity_per_shard: int = 4096,
         fast_mode: bool = False,
         turbo: bool = False,
+        mode: Optional[str] = None,
         partition_policy: str = "hash",
         flow_space: int = 1024,
         policy: Optional[FabricPolicy] = None,
@@ -81,17 +83,27 @@ class ScheduleFabric:
         self.granularity = granularity
         self.capacity_per_shard = capacity_per_shard
         self.fast_mode = fast_mode
-        self.turbo = turbo
+        self.mode = resolve_mode(mode, turbo)
+        self.turbo = self.mode == "turbo"
         self.stores: List[HardwareTagStore] = [
             HardwareTagStore(
                 fmt=fmt,
                 granularity=granularity,
                 capacity=capacity_per_shard,
                 fast_mode=fast_mode,
-                turbo=turbo,
+                mode=self.mode,
             )
             for _ in range(shards)
         ]
+        #: shared array plane over the shard circuits (vector mode only):
+        #: lazy upper-tree rebuilds run as one stacked array op for all
+        #: shards instead of one dispatch per shard.
+        self.plane = None
+        if self.mode == "vector":
+            from ..core.vector import VectorPlane
+
+            self.plane = VectorPlane()
+            self.plane.adopt([store.circuit for store in self.stores])
         self.partitioner = FlowPartitioner(
             shards, policy=partition_policy, flow_space=flow_space
         )
@@ -696,6 +708,7 @@ class ScheduleFabric:
             "capacity_per_shard": self.capacity_per_shard,
             "fast_mode": self.fast_mode,
             "turbo": self.turbo,
+            "mode": self.mode,
             "levels": self.fmt.levels,
             "literal_bits": self.fmt.literal_bits,
             "pushes": self.pushes,
@@ -740,10 +753,16 @@ class ScheduleFabric:
         cls,
         state: dict,
         *,
+        mode: Optional[str] = None,
         policy: Optional[FabricPolicy] = None,
         tracer=None,
     ) -> "ScheduleFabric":
-        """Reconstruct a fabric from a :meth:`to_state` snapshot."""
+        """Reconstruct a fabric from a :meth:`to_state` snapshot.
+
+        ``mode`` overrides the snapshot's engine (snapshots are
+        engine-neutral); legacy snapshots without a ``mode`` key fall
+        back to their ``turbo`` flag.
+        """
         partitioner_state = state["partitioner"]
         fabric = cls(
             shards=state["shards"],
@@ -753,7 +772,9 @@ class ScheduleFabric:
             granularity=state["granularity"],
             capacity_per_shard=state["capacity_per_shard"],
             fast_mode=state["fast_mode"],
-            turbo=state.get("turbo", False),
+            mode=mode
+            or state.get("mode")
+            or ("turbo" if state.get("turbo", False) else "gate"),
             partition_policy=partitioner_state["policy"],
             flow_space=partitioner_state["flow_space"],
             policy=policy,

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..bench.perf import _drive_batched, _drive_per_op, make_flow_ops
+from ..core.engine import VALID_MODES, resolve_mode
 from ..hwsim.stats import AccessStats
 from ..obs.events import build_trace_header
 from ..obs.exporters import prometheus_snapshot, run_report
@@ -283,6 +284,7 @@ def run_fabric_soak(
     granularity: float = 8.0,
     batched: bool = False,
     turbo: bool = False,
+    mode: Optional[str] = None,
     workers: int = 0,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
@@ -327,6 +329,7 @@ def run_fabric_soak(
     the collector thread declares the stall (no per-op heartbeat on the
     hot path).  ``flight_path`` arms the flight recorder.
     """
+    mode = resolve_mode(mode, turbo)
     probes = StandardProbes()
     tracer = Tracer(
         buffer_size=buffer_size, sink=trace_sink, observers=[probes]
@@ -335,7 +338,7 @@ def run_fabric_soak(
         shards=shards,
         granularity=granularity,
         fast_mode=batched,
-        turbo=turbo,
+        mode=mode,
         tracer=tracer,
     )
     tracer.write_header(
@@ -345,7 +348,7 @@ def run_fabric_soak(
             config=fabric.describe(),
             ops=ops,
             buffer_size=buffer_size,
-            engine="turbo" if turbo else "gate",
+            engine=mode,
         )
     )
     suite: Optional[MonitorSuite] = None
@@ -522,6 +525,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--mode",
+        choices=tuple(VALID_MODES),
+        default=None,
+        help=(
+            "shard circuit engine (gate/turbo/vector); wins over "
+            "--turbo when both are given"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -646,6 +658,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         granularity=args.granularity,
         batched=batched,
         turbo=args.turbo,
+        mode=args.mode,
         workers=args.workers,
         trace_sink=args.trace,
         buffer_size=args.buffer_size,

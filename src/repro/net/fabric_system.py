@@ -54,6 +54,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
         clock_hz: float = DEFAULT_CLOCK_HZ,
         fast_mode: bool = False,
         turbo: bool = False,
+        mode: Optional[str] = None,
         partition_policy: str = "hash",
         flow_space: int = 1024,
         policy: Optional["FabricPolicy"] = None,
@@ -70,6 +71,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
             clock_hz=clock_hz,
             fast_mode=fast_mode,
             turbo=turbo,
+            mode=mode,
             tracer=tracer,
         )
         self.shards = shards
@@ -103,7 +105,7 @@ class FabricSchedulerSystem(HardwareWFQSystem):
                 granularity=self._resolve_granularity(),
                 capacity_per_shard=capacity,
                 fast_mode=self._fast_mode,
-                turbo=self._turbo,
+                mode=self._mode,
                 partition_policy=self._partition_policy,
                 flow_space=self._flow_space,
                 policy=self._policy,

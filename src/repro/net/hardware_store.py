@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core.sort_retrieve import TagSortRetrieveCircuit
+from ..core.engine import make_circuit, resolve_mode
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..hwsim.errors import ConfigurationError, ProtocolError
 
@@ -45,18 +45,20 @@ class HardwareTagStore:
         capacity: int = 4096,
         fast_mode: bool = False,
         turbo: bool = False,
+        mode: Optional[str] = None,
         tracer=None,
     ) -> None:
         if granularity <= 0:
             raise ConfigurationError("granularity must be positive")
         self.fmt = fmt
         self.granularity = granularity
-        self.circuit = TagSortRetrieveCircuit(
+        self.mode = resolve_mode(mode, turbo)
+        self.circuit = make_circuit(
             fmt,
+            mode=self.mode,
             capacity=capacity,
             modular=True,
             fast_mode=fast_mode,
-            turbo=turbo,
             tracer=tracer,
         )
         self._section_span = fmt.capacity // fmt.branching_factor
@@ -430,6 +432,7 @@ class HardwareTagStore:
         """
         return {
             "kind": "hardware_tag_store",
+            "mode": self.mode,
             "granularity": self.granularity,
             "frontier": self._frontier,
             "last_served_unwrapped": self._last_served_unwrapped,
@@ -462,18 +465,30 @@ class HardwareTagStore:
         self.clamp_error_quanta = state["clamp_error_quanta"]
 
     @classmethod
-    def from_state(cls, state: dict, *, tracer=None) -> "HardwareTagStore":
-        """Reconstruct a store from a :meth:`to_state` snapshot."""
+    def from_state(
+        cls, state: dict, *, mode: Optional[str] = None, tracer=None
+    ) -> "HardwareTagStore":
+        """Reconstruct a store from a :meth:`to_state` snapshot.
+
+        ``mode`` overrides the engine at restore time (snapshots are
+        engine-neutral); when omitted, the snapshot's own ``mode`` key
+        — or, for pre-engine snapshots, its legacy ``turbo`` flag —
+        picks the engine.
+        """
         config = state["circuit"]["config"]
         fmt = WordFormat(
             levels=config["levels"], literal_bits=config["literal_bits"]
         )
+        if mode is None:
+            mode = state.get("mode") or (
+                "turbo" if config.get("turbo", False) else "gate"
+            )
         store = cls(
             fmt=fmt,
             granularity=state["granularity"],
             capacity=config["capacity"],
             fast_mode=config["fast_mode"],
-            turbo=config.get("turbo", False),
+            mode=mode,
         )
         store.load_state(state)
         if tracer is not None:

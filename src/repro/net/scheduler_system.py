@@ -31,6 +31,7 @@ from ..sched.packet import Packet
 from ..sched.virtual_time import VirtualClock
 from .buffer import SharedPacketBuffer
 from .hardware_store import HardwareTagStore
+from ..core.engine import resolve_mode
 from ..core.words import PAPER_FORMAT, WordFormat
 
 #: Post-layout clock target: 35.8 Mpps at 4 cycles/operation (Section IV).
@@ -52,6 +53,7 @@ class HardwareWFQSystem(PacketScheduler):
         clock_hz: float = DEFAULT_CLOCK_HZ,
         fast_mode: bool = False,
         turbo: bool = False,
+        mode: Optional[str] = None,
         tracer=None,
     ) -> None:
         super().__init__(rate_bps)
@@ -64,7 +66,7 @@ class HardwareWFQSystem(PacketScheduler):
         self._buffer_capacity = buffer_capacity
         self._explicit_granularity = granularity
         self._fast_mode = fast_mode
-        self._turbo = turbo
+        self._mode = resolve_mode(mode, turbo)
         self._tracer = tracer
         self._store: Optional[HardwareTagStore] = None
         self.dropped = 0
@@ -91,7 +93,7 @@ class HardwareWFQSystem(PacketScheduler):
                 granularity=self._resolve_granularity(),
                 capacity=self._buffer_capacity,
                 fast_mode=self._fast_mode,
-                turbo=self._turbo,
+                mode=self._mode,
                 tracer=self._tracer,
             )
         return self._store

@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.engine import resolve_mode
 from ..hwsim.errors import ProtocolError
 from .hardware_store import HardwareTagStore
 
@@ -205,7 +206,7 @@ class TimerRun:
     events: int
     seed: int
     granularity: float
-    turbo: bool
+    mode: str
     shards: int
     armed: int
     cancelled: int
@@ -247,7 +248,7 @@ class TimerRun:
                 "pattern": self.pattern,
                 "events": self.events,
                 "seed": self.seed,
-                "engine": "turbo" if self.turbo else "gate",
+                "engine": self.mode,
                 "shards": self.shards,
             },
             "timers": {
@@ -285,7 +286,7 @@ class TimerRun:
         lines = [
             f"timer soak: pattern={self.pattern}, {self.events} events, "
             f"seed {self.seed}, "
-            f"{'turbo' if self.turbo else 'gate'} engine"
+            f"{self.mode} engine"
             + (f", {self.shards} shards" if self.shards > 1 else ""),
             "",
             f"  armed      {self.armed:>8}",
@@ -319,16 +320,32 @@ class TimerRun:
 
 
 def _drive_churn(
-    wheel: TimerWheel, events: int, rng: random.Random, *, cancel_ratio: float
+    wheel: TimerWheel,
+    events: int,
+    rng: random.Random,
+    *,
+    cancel_ratio: float,
+    pending_target: int = 1500,
+    ramp: int = 0,
 ) -> List[Tuple[float, object]]:
-    """Uniform arm/cancel/reset/fire mix; live set soft-capped."""
+    """Uniform arm/cancel/reset/fire mix; live set soft-capped.
+
+    ``pending_target`` is the relief-valve threshold (the soft cap on
+    concurrently armed timers).  ``ramp`` arms that many timers up
+    front — spread over the usual deadline window — before the churn
+    mix starts, which is how the million-timer preset reaches its
+    concurrency without waiting for the mix's slow net drift.
+    """
     now = 0.0
     live: List[int] = []
     due: List[Tuple[float, object]] = []
+    for index in range(ramp):
+        now += 0.001
+        live.append(wheel.arm(now + 60.0 + rng.random() * 240.0, -index - 1))
     for index in range(events):
         now += rng.random() * 2.0
         roll = rng.random()
-        if wheel.pending > 1500:
+        if wheel.pending > pending_target:
             # Relief valve: fire everything due in the near future so the
             # circuit never hits capacity under an arm-heavy seed.  The
             # horizon stays below the arm offset floor, so relief never
@@ -423,8 +440,12 @@ def run_timer_soak(
     seed: int = 20060101,
     granularity: float = 1.0,
     turbo: bool = False,
+    mode: Optional[str] = None,
     shards: int = 1,
+    capacity: int = 4096,
     cancel_ratio: float = 0.6,
+    pending_target: int = 1500,
+    ramp: int = 0,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
     monitor: bool = False,
@@ -449,6 +470,7 @@ def run_timer_soak(
     """
     if pattern not in PATTERNS:
         raise ValueError(f"unknown timer pattern {pattern!r}")
+    mode = resolve_mode(mode, turbo)
     from ..obs.events import build_trace_header
     from ..obs.monitors import MonitorSuite
     from ..obs.tracer import Tracer
@@ -463,14 +485,18 @@ def run_timer_soak(
         backend = ScheduleFabric(
             shards=shards,
             granularity=granularity,
-            turbo=turbo,
+            capacity_per_shard=capacity,
+            mode=mode,
             tracer=tracer,
         )
         describe = backend.stores[0].describe
         circuit_for_config = backend.stores[0].circuit
     else:
         backend = HardwareTagStore(
-            granularity=granularity, turbo=turbo, tracer=tracer
+            granularity=granularity,
+            capacity=capacity,
+            mode=mode,
+            tracer=tracer,
         )
         describe = backend.describe
         circuit_for_config = backend.circuit
@@ -482,7 +508,7 @@ def run_timer_soak(
                 config=describe(),
                 ops=events,
                 purpose=f"timer_{pattern}",
-                engine="turbo" if turbo else "gate",
+                engine=mode,
             )
         )
         if monitor:
@@ -558,7 +584,14 @@ def run_timer_soak(
         plane.start()
     try:
         if pattern == "churn":
-            due = _drive_churn(wheel, events, rng, cancel_ratio=cancel_ratio)
+            due = _drive_churn(
+                wheel,
+                events,
+                rng,
+                cancel_ratio=cancel_ratio,
+                pending_target=pending_target,
+                ramp=ramp,
+            )
         elif pattern == "retransmit":
             due = _drive_retransmit(wheel, events, rng, connections=256)
         else:
@@ -576,7 +609,7 @@ def run_timer_soak(
         events=events,
         seed=seed,
         granularity=granularity,
-        turbo=turbo,
+        mode=mode,
         shards=shards,
         armed=wheel.armed,
         cancelled=wheel.cancelled,
@@ -619,9 +652,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("gate", "turbo"),
+        choices=("gate", "turbo", "vector"),
         default="gate",
         help="circuit engine (identical behaviour, different wall clock)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=4096,
+        help="per-circuit tag-storage capacity (links)",
+    )
+    parser.add_argument(
+        "--pending-target",
+        type=int,
+        default=1500,
+        help="churn pattern: soft cap on concurrently armed timers",
+    )
+    parser.add_argument(
+        "--ramp",
+        type=int,
+        default=0,
+        help="churn pattern: timers armed up front before the mix starts",
     )
     parser.add_argument(
         "--shards",
@@ -704,9 +755,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         events=args.events,
         seed=args.seed,
         granularity=args.granularity,
-        turbo=args.mode == "turbo",
+        mode=args.mode,
         shards=args.shards,
+        capacity=args.capacity,
         cancel_ratio=args.cancel_ratio,
+        pending_target=args.pending_target,
+        ramp=args.ramp,
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
         monitor=args.monitor,

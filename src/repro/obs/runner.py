@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..bench.perf import _drive_batched, _drive_per_op, make_mixed_ops
+from ..core.engine import VALID_MODES, resolve_mode
 from ..core.sort_retrieve import FaultInjection
 from ..net.hardware_store import HardwareTagStore
 from .events import build_trace_header
@@ -56,6 +57,7 @@ class TracedRun:
     batched: bool
     served: int
     turbo: bool = False
+    engine: str = "gate"
     monitors: Optional[MonitorSuite] = None
     live: Optional[Dict] = None
     live_instruments: Optional[InstrumentSet] = None
@@ -98,8 +100,8 @@ class TracedRun:
     def report(self) -> str:
         """The human-readable run report."""
         mode = "batched fast-mode" if self.batched else "per-op"
-        if self.turbo:
-            mode += ", turbo engine"
+        if self.engine != "gate":
+            mode += f", {self.engine} engine"
         notes = [
             f"tracer: {self.tracer.emitted} events emitted, "
             f"{self.tracer.dropped} evicted from the ring buffer",
@@ -157,7 +159,7 @@ class TracedRun:
                 "ops": self.ops,
                 "seed": self.seed,
                 "mode": "batched" if self.batched else "per_op",
-                "engine": "turbo" if self.turbo else "gate",
+                "engine": self.engine,
                 "granularity": self.store.granularity,
                 "served": self.served,
             },
@@ -212,6 +214,7 @@ def run_traced_soak(
     granularity: float = 8.0,
     batched: bool = False,
     turbo: bool = False,
+    mode: Optional[str] = None,
     trace_sink: Optional[str] = None,
     buffer_size: int = 65536,
     monitor: bool = False,
@@ -237,7 +240,9 @@ def run_traced_soak(
     ``turbo=True`` runs the store on the access-fused turbo engine
     (identical service order and accounting; the trace must diff clean
     against a gate run of the same seed — the CI soak asserts exactly
-    that).  ``monitor=True`` additionally screens every event through the
+    that).  ``mode`` generalizes it to any registered engine
+    (``gate``/``turbo``/``vector``) and wins over ``turbo`` when both
+    are given.  ``monitor=True`` additionally screens every event through the
     online invariant monitors (:class:`~repro.obs.monitors.MonitorSuite`)
     while the soak runs; violations land in the returned run's
     ``monitors`` suite and, as ``invariant_violation`` events, in the
@@ -262,12 +267,13 @@ def run_traced_soak(
             f"unknown fault preset {fault!r}; "
             f"expected one of {sorted(FAULT_PRESETS)}"
         )
+    mode = resolve_mode(mode, turbo)
     probes = StandardProbes()
     tracer = Tracer(
         buffer_size=buffer_size, sink=trace_sink, observers=[probes]
     )
     store = HardwareTagStore(
-        granularity=granularity, fast_mode=batched, turbo=turbo,
+        granularity=granularity, fast_mode=batched, mode=mode,
         tracer=tracer,
     )
     tracer.write_header(
@@ -277,7 +283,7 @@ def run_traced_soak(
             config=store.describe(),
             ops=ops,
             buffer_size=buffer_size,
-            engine="turbo" if turbo else "gate",
+            engine=mode,
         )
     )
     suite: Optional[MonitorSuite] = None
@@ -355,7 +361,8 @@ def run_traced_soak(
         seed=seed,
         batched=batched,
         served=len(served),
-        turbo=turbo,
+        turbo=mode == "turbo",
+        engine=mode,
         monitors=suite,
         live=live_summary,
         live_instruments=(
@@ -391,12 +398,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("gate", "turbo"),
+        choices=tuple(VALID_MODES),
         default="gate",
         help=(
             "circuit engine: 'gate' walks the gate-accurate model, "
-            "'turbo' uses the access-fused hot paths (identical service "
-            "order and accounting, faster wall clock)"
+            "'turbo' uses the access-fused hot paths, 'vector' the "
+            "numpy array data plane (identical service order and "
+            "gate-shaped accounting, faster wall clock)"
         ),
     )
     parser.add_argument(
@@ -507,7 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         granularity=args.granularity,
         batched=args.batched,
-        turbo=args.mode == "turbo",
+        mode=args.mode,
         trace_sink=args.trace,
         buffer_size=args.buffer_size,
         monitor=args.monitor,

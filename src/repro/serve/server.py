@@ -32,6 +32,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..core.engine import resolve_mode
 from ..core.words import PAPER_FORMAT, WordFormat
 from ..hwsim.errors import ConfigurationError, ProtocolError
 from ..net.admission import AdmissionController
@@ -98,6 +99,7 @@ class ServeConfig:
     min_rate_bps: float = 1e6
     utilization_limit: float = 0.95
     turbo: bool = True
+    mode: Optional[str] = None
     workers: int = 0
     scheme: str = "shared"
     mark_fraction: float = 0.65
@@ -127,6 +129,7 @@ class ServeConfig:
         "min_rate_bps",
         "utilization_limit",
         "turbo",
+        "mode",
         "workers",
         "scheme",
         "mark_fraction",
@@ -135,6 +138,14 @@ class ServeConfig:
     )
 
     def __post_init__(self) -> None:
+        # Normalize the engine pair: ``mode`` wins when set; the legacy
+        # ``turbo`` bool keeps working (and keeps freezing) for old
+        # snapshots and callers.
+        if self.mode is None:
+            self.mode = "turbo" if self.turbo else "gate"
+        else:
+            resolve_mode(self.mode)
+        self.turbo = self.mode == "turbo"
         if self.drain_mode not in ("manual", "paced"):
             raise ConfigurationError(
                 f"drain_mode must be 'manual' or 'paced', "
@@ -151,7 +162,13 @@ class ServeConfig:
     def adopt_scheduling_fields(self, recorded: Dict[str, Any]) -> None:
         """Take the snapshot's scheduling fields (restore path)."""
         for name in self.SCHEDULING_FIELDS:
-            setattr(self, name, recorded[name])
+            if name == "mode" and name not in recorded:
+                # Pre-engine snapshots froze only the turbo bool.
+                value = "turbo" if recorded.get("turbo", True) else "gate"
+            else:
+                value = recorded[name]
+            setattr(self, name, value)
+        self.turbo = self.mode == "turbo"
 
 
 class ServeEngine:
@@ -172,7 +189,7 @@ class ServeEngine:
             shards=config.shards,
             granularity=self.granularity,
             buffer_capacity=config.buffer_capacity,
-            turbo=config.turbo,
+            mode=config.mode,
             workers=config.workers,
             tracer=tracer,
         )
@@ -690,7 +707,7 @@ class WfqServer:
                 config=fabric.stores[0].describe(),
                 ops=0,
                 purpose="serve",
-                engine="turbo" if self.config.turbo else "gate",
+                engine=self.config.mode,
             )
         )
         suite = MonitorSuite.for_circuit(
@@ -846,7 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--utilization", type=float, default=0.95)
     parser.add_argument(
         "--mode",
-        choices=("gate", "turbo"),
+        choices=("gate", "turbo", "vector"),
         default="turbo",
         help="circuit engine",
     )
@@ -908,7 +925,7 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         table_capacity=args.table,
         min_rate_bps=args.min_rate,
         utilization_limit=args.utilization,
-        turbo=args.mode == "turbo",
+        mode=args.mode,
         workers=args.workers,
         scheme=args.scheme,
         mark_fraction=args.mark_fraction,

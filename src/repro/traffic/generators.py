@@ -14,7 +14,9 @@ draws every inter-arrival gap and packet size in single vectorized numpy
 calls; the bulk stream is deterministic per ``(seed, flow_id)`` but
 *distinct* from the per-packet stream (different RNG).  When numpy is
 unavailable, or for processes whose state machine resists vectorization
-(on-off), the bulk path transparently falls back to the per-packet one.
+(on-off), the bulk path transparently falls back to the per-packet one;
+``strict=True`` turns that fallback into one clear ``ConfigurationError``
+(the same contract as ``--mode vector``).
 """
 
 from __future__ import annotations
@@ -24,12 +26,11 @@ import random
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
-try:  # optional: enables the vectorized bulk-synthesis paths
-    import numpy as np
-except ImportError:  # pragma: no cover - numpy ships with the toolchain
-    np = None
-
+from ..core.engine import numpy_or_none, require_numpy
 from ..hwsim.errors import ConfigurationError
+
+#: Shared optional-numpy probe (one source of truth with ``--mode vector``).
+np = numpy_or_none()
 from ..sched.packet import Packet
 from .packet_sizes import FixedSize, PacketSizeModel
 
@@ -59,7 +60,8 @@ class ArrivalProcess(ABC):
         as :meth:`packets` calls continue ``self.rng``.
         """
         if self._np_rng is None:
-            self._np_rng = np.random.default_rng(self._seed_word & (2**64 - 1))
+            numpy = require_numpy("vectorized traffic synthesis")
+            self._np_rng = numpy.random.default_rng(self._seed_word & (2**64 - 1))
         return self._np_rng
 
     @abstractmethod
@@ -96,21 +98,30 @@ class ArrivalProcess(ABC):
         return out
 
     def packets_bulk(
-        self, count: int, *, start_time: float = 0.0
+        self, count: int, *, start_time: float = 0.0, strict: bool = False
     ) -> List[Packet]:
         """Generate ``count`` packets with vectorized synthesis.
 
         All inter-arrival gaps and packet sizes are drawn in single
         numpy calls, then cumulative-summed into arrival times — the
         100k+-packet soak path.  Falls back to :meth:`packets` when
-        numpy is missing or the process has no vectorized form.
+        numpy is missing or the process has no vectorized form;
+        ``strict=True`` demands the vectorized path instead, raising
+        one clear :class:`ConfigurationError` when it is unavailable.
         """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
         if np is None:
+            if strict:
+                require_numpy("vectorized traffic synthesis")
             return self.packets(count, start_time=start_time)
         gaps = self.bulk_intervals(count)
         if gaps is None:
+            if strict:
+                raise ConfigurationError(
+                    f"{type(self).__name__} has no vectorized form; drop "
+                    "strict=True to use the per-packet fallback"
+                )
             return self.packets(count, start_time=start_time)
         times = start_time + np.cumsum(gaps)
         sizes = self.size_model.sample_bulk(self.bulk_rng, count)
@@ -284,11 +295,13 @@ def bulk_trace(
     counts: Union[int, Sequence[int]],
     *,
     start_time: float = 0.0,
+    strict: bool = False,
 ) -> List[Packet]:
     """Vectorized multi-flow trace: bulk-generate each flow, then merge.
 
     ``counts`` is one packet count shared by every flow or a per-flow
-    sequence aligned with ``processes``.
+    sequence aligned with ``processes``.  ``strict`` is forwarded to
+    :meth:`ArrivalProcess.packets_bulk`.
     """
     if isinstance(counts, int):
         counts = [counts] * len(processes)
@@ -297,6 +310,6 @@ def bulk_trace(
             f"{len(processes)} processes but {len(counts)} counts"
         )
     return merge(
-        process.packets_bulk(count, start_time=start_time)
+        process.packets_bulk(count, start_time=start_time, strict=strict)
         for process, count in zip(processes, counts)
     )

@@ -14,12 +14,11 @@ import random
 from abc import ABC, abstractmethod
 from typing import List, Sequence, Tuple
 
-try:  # optional: enables the vectorized bulk-sampling paths
-    import numpy as np
-except ImportError:  # pragma: no cover - numpy ships with the toolchain
-    np = None
-
+from ..core.engine import numpy_or_none
 from ..hwsim.errors import ConfigurationError
+
+#: Shared optional-numpy probe (one source of truth with ``--mode vector``).
+np = numpy_or_none()
 
 #: The paper's conservative average IP packet size (Section IV).
 PAPER_MEAN_PACKET_BYTES = 140

@@ -1,0 +1,77 @@
+"""numpy as a graceful optional dependency.
+
+Every vectorized entry point — ``--mode vector`` and strict bulk
+traffic synthesis — must surface a missing numpy as one clear
+:class:`ConfigurationError` naming the feature and a remedy, never a
+bare ImportError from inside an array kernel.  Non-strict bulk
+synthesis falls back to the per-packet path instead.
+
+The absence is simulated by clearing the cached probe in
+``repro.core.engine`` plus the module-level mirrors in the traffic
+modules, so these tests run whether or not numpy is installed.
+"""
+
+import pytest
+
+from repro.core import engine
+from repro.core.engine import make_circuit
+from repro.core.words import PAPER_FORMAT
+from repro.hwsim.errors import ConfigurationError
+from repro.net.hardware_store import HardwareTagStore
+from repro.traffic import generators, packet_sizes
+from repro.traffic.generators import OnOffArrivals, PoissonArrivals, bulk_trace
+from repro.traffic.packet_sizes import FixedSize
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make every numpy probe in the tree report 'not installed'."""
+    monkeypatch.setattr(engine, "_NUMPY", None)
+    monkeypatch.setattr(generators, "np", None)
+    monkeypatch.setattr(packet_sizes, "np", None)
+
+
+def test_vector_mode_raises_one_clear_configuration_error(no_numpy):
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_circuit(PAPER_FORMAT, mode="vector", capacity=64)
+    message = str(excinfo.value)
+    assert "numpy" in message
+    assert "--mode gate" in message  # the remedy is spelled out
+
+
+def test_vector_store_raises_configuration_error(no_numpy):
+    with pytest.raises(ConfigurationError, match="numpy"):
+        HardwareTagStore(granularity=8.0, mode="vector")
+
+
+def test_scalar_engines_unaffected_by_missing_numpy(no_numpy):
+    for mode in ("gate", "turbo"):
+        circuit = make_circuit(PAPER_FORMAT, mode=mode, capacity=64)
+        circuit.insert(5, "a")
+        assert circuit.dequeue_min().tag == 5
+
+
+def test_strict_bulk_synthesis_raises_configuration_error(no_numpy):
+    flow = PoissonArrivals(1, 1000.0, FixedSize(140), seed=7)
+    with pytest.raises(ConfigurationError, match="numpy"):
+        flow.packets_bulk(16, strict=True)
+    with pytest.raises(ConfigurationError, match="numpy"):
+        bulk_trace([flow], 16, strict=True)
+
+
+def test_bulk_synthesis_falls_back_to_per_packet_stream(no_numpy):
+    bulk = PoissonArrivals(1, 1000.0, FixedSize(140), seed=7)
+    scalar = PoissonArrivals(1, 1000.0, FixedSize(140), seed=7)
+    # Packet ids are a global counter; compare the synthesized fields.
+    def fields(packets):
+        return [(p.flow_id, p.size_bytes, p.arrival_time) for p in packets]
+
+    assert fields(bulk.packets_bulk(32)) == fields(scalar.packets(32))
+
+
+def test_strict_bulk_rejects_processes_with_no_vectorized_form():
+    # Independent of numpy availability: on-off has no bulk form, so the
+    # strict contract refuses it instead of silently degrading.
+    flow = OnOffArrivals(1, 1000.0, FixedSize(140), seed=7)
+    with pytest.raises(ConfigurationError, match="no vectorized form"):
+        flow.packets_bulk(16, strict=True)

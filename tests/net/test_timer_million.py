@@ -1,0 +1,55 @@
+"""The million-timer churn preset under the vector engine.
+
+The churn pattern's ``ramp`` arms the full pending set up front, so
+peak concurrency is at least ``ramp`` by construction; the vector
+engine is what makes a million concurrent timers tractable in test
+time (the scalar engines take minutes at this scale).  The deadline
+ordering and conservation checks are the point of the exercise — scale
+must not loosen them.
+"""
+
+import pytest
+
+from repro.core.engine import numpy_or_none
+from repro.net.timer import run_timer_soak
+
+needs_numpy = pytest.mark.skipif(
+    numpy_or_none() is None, reason="numpy is not installed"
+)
+
+MILLION = 1_000_000
+
+
+@pytest.mark.slow
+@needs_numpy
+def test_million_concurrent_timers_vector_churn():
+    run = run_timer_soak(
+        pattern="churn",
+        mode="vector",
+        capacity=1 << 21,
+        pending_target=MILLION + 100_000,
+        ramp=MILLION,
+        events=20_000,
+        seed=5,
+    )
+    assert run.armed >= MILLION
+    assert run.served_in_order, "timers fired out of deadline order"
+    assert run.conserved, "armed != fired + cancelled + pending"
+    assert run.pending == 0  # the final drain fires everything left
+
+
+@needs_numpy
+def test_ramped_vector_churn_smoke():
+    """Same shape at a CI-friendly scale, still deadline-ordered."""
+    run = run_timer_soak(
+        pattern="churn",
+        mode="vector",
+        capacity=1 << 16,
+        pending_target=40_000,
+        ramp=30_000,
+        events=2_000,
+        seed=5,
+    )
+    assert run.armed >= 30_000
+    assert run.served_in_order
+    assert run.conserved
